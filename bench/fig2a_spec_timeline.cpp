@@ -1,0 +1,89 @@
+//===- bench/fig2a_spec_timeline.cpp --------------------------------------===//
+//
+// Reproduces Figure 2(a): SPEC2K INT behaviour under the engine with
+// Reference inputs. The paper plots VM translation requests (vertical
+// lines) over each program's run; translation clusters at startup for
+// every benchmark except 176.gcc, which keeps discovering new code —
+// over 60% of its run is spent generating code that is not reused
+// enough to amortize VM overhead.
+//
+// Here each benchmark prints an ASCII timeline (one column per 1/60th of
+// the executed instructions; darker = more translation requests) plus
+// the VM-overhead share of total cycles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "workloads/Spec2k.h"
+
+#include <cstdio>
+
+using namespace pcc;
+using namespace pcc::bench;
+using namespace pcc::workloads;
+
+static std::string renderTimeline(const dbi::EngineStats &Stats,
+                                  unsigned Columns) {
+  std::vector<uint32_t> Buckets(Columns, 0);
+  uint64_t Total = Stats.GuestInstsExecuted;
+  if (Total == 0)
+    return std::string(Columns, ' ');
+  for (const dbi::CompileEvent &Event : Stats.Timeline) {
+    auto Bucket = static_cast<size_t>(
+        Event.GuestInstsExecuted * Columns / (Total + 1));
+    ++Buckets[std::min<size_t>(Bucket, Columns - 1)];
+  }
+  std::string Line;
+  for (uint32_t Count : Buckets) {
+    if (Count == 0)
+      Line += ' ';
+    else if (Count <= 2)
+      Line += '.';
+    else if (Count <= 8)
+      Line += ':';
+    else if (Count <= 32)
+      Line += '|';
+    else
+      Line += '#';
+  }
+  return Line;
+}
+
+int main() {
+  banner("Figure 2(a): SPEC2K INT behavior under the engine (ref inputs)",
+         "translation requests cluster at startup; 176.gcc keeps "
+         "translating all run long");
+
+  SpecSuite Suite = buildSpecSuite();
+  TablePrinter Table;
+  Table.addRow({"benchmark", "timeline (translation requests over run)",
+                "vm%", "traces", "late%"});
+  for (const SpecBenchmark &Bench : Suite.Benchmarks) {
+    auto R = mustOk(runUnderEngine(Suite.Registry, Bench.App,
+                                   Bench.RefInputs[0]),
+                    Bench.Profile.Name.c_str());
+    const dbi::EngineStats &S = R.Stats;
+    // Fraction of translation requests after the first 10% of the run.
+    uint64_t Late = 0;
+    for (const dbi::CompileEvent &Event : S.Timeline)
+      if (Event.GuestInstsExecuted * 10 > S.GuestInstsExecuted)
+        ++Late;
+    double LatePct = S.Timeline.empty()
+                         ? 0
+                         : 100.0 * static_cast<double>(Late) /
+                               static_cast<double>(S.Timeline.size());
+    double VmPct = 100.0 * static_cast<double>(S.vmCycles()) /
+                   static_cast<double>(S.totalCycles());
+    Table.addRow({Bench.Profile.Name,
+                  "[" + renderTimeline(S, 56) + "]", pct(VmPct),
+                  formatString("%llu",
+                               (unsigned long long)S.TracesCompiled),
+                  pct(LatePct)});
+  }
+  Table.print();
+  std::printf("\nExpected shape: all benchmarks translate mostly in the "
+              "first decile (late%% near 0),\nexcept 176.gcc whose "
+              "translation requests continue throughout and whose VM "
+              "share is the largest.\n");
+  return 0;
+}

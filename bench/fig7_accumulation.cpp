@@ -1,0 +1,125 @@
+//===- bench/fig7_accumulation.cpp ----------------------------------------===//
+//
+// Reproduces Figure 7: persistent cache accumulation. For each
+// evaluated input, persistent caches of the *other* inputs are
+// accumulated in ascending order (Set 1 = first other input, Set 2
+// adds the next, ...) and the evaluated input runs against each
+// accumulated set, bracketed by base (no persistence) and same-input
+// persistence.
+//
+// Paper observations: for gcc, accumulated caches nearly match
+// same-input persistence after two accumulations; for Oracle,
+// accumulation keeps improving through Set 3 (which adds the Open
+// phase's large footprint) and lands within 22% of same-input.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "workloads/Oracle.h"
+#include "workloads/Spec2k.h"
+
+#include <cstdio>
+
+using namespace pcc;
+using namespace pcc::bench;
+using namespace pcc::workloads;
+using persist::CacheDatabase;
+using persist::PersistOptions;
+
+namespace {
+
+void accumulationGrid(const std::string &Title,
+                      const loader::ModuleRegistry &Registry,
+                      std::shared_ptr<const binary::Module> App,
+                      const std::vector<std::vector<uint8_t>> &Inputs,
+                      const std::vector<std::string> &Names,
+                      const std::string &ScratchPath) {
+  CacheDatabase Db(ScratchPath);
+  const size_t NumSets = Inputs.size() - 1;
+
+  TablePrinter Table(Title);
+  std::vector<std::string> Header = {"input", "no persist"};
+  for (size_t K = 1; K <= NumSets; ++K)
+    Header.push_back("Set " + std::to_string(K));
+  Header.push_back("same-input");
+  Table.addRow(Header);
+
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    auto Base =
+        mustOk(runUnderEngine(Registry, App, Inputs[I]), "baseline");
+    std::vector<std::string> Row = {Names[I],
+                                    cyclesMega(Base.Run.Cycles)};
+
+    // Accumulate the other inputs' caches in ascending order into one
+    // growing cache file, evaluating after each addition.
+    std::string Accumulated =
+        ScratchPath + "/accum-" + std::to_string(I) + ".pcc";
+    bool First = true;
+    for (size_t J = 0; J != Inputs.size(); ++J) {
+      if (J == I)
+        continue;
+      PersistOptions Grow;
+      if (!First)
+        Grow.ExplicitCachePath = Accumulated;
+      Grow.StoreAsPath = Accumulated;
+      (void)mustOk(runPersistent(Registry, App, Inputs[J], Db, Grow),
+                   "accumulation run");
+      First = false;
+
+      PersistOptions Eval;
+      Eval.ExplicitCachePath = Accumulated;
+      Eval.WriteBack = false;
+      auto R = mustOk(runPersistent(Registry, App, Inputs[I], Db, Eval),
+                      "accumulated-set run");
+      Row.push_back(cyclesMega(R.Run.Cycles));
+    }
+
+    // Same-input persistence bracket.
+    PersistOptions Own;
+    Own.StoreAsPath =
+        ScratchPath + "/own-" + std::to_string(I) + ".pcc";
+    (void)mustOk(runPersistent(Registry, App, Inputs[I], Db, Own),
+                 "own-cache generation");
+    PersistOptions UseOwn;
+    UseOwn.ExplicitCachePath = Own.StoreAsPath;
+    UseOwn.WriteBack = false;
+    auto Same = mustOk(
+        runPersistent(Registry, App, Inputs[I], Db, UseOwn),
+        "same-input run");
+    Row.push_back(cyclesMega(Same.Run.Cycles));
+    Table.addRow(Row);
+  }
+  Table.print();
+  std::printf("Cells are Mcycles; Set k accumulates the first k other "
+              "inputs' caches (ascending, skipping the evaluated "
+              "input).\n\n");
+}
+
+} // namespace
+
+int main() {
+  banner("Figure 7: time savings under persistent cache accumulation",
+         "accumulated caches approach same-input persistence; Oracle "
+         "gains through Set 3");
+  ScratchDir Scratch("pcc-fig7");
+
+  SpecSuite Suite = buildSpecSuite();
+  for (const SpecBenchmark &Bench : Suite.Benchmarks) {
+    if (Bench.Profile.Name != "176.gcc")
+      continue;
+    std::vector<std::string> Names;
+    for (size_t I = 0; I != Bench.RefInputs.size(); ++I)
+      Names.push_back("Input " + std::to_string(I + 1));
+    accumulationGrid("Figure 7(a): 176.gcc", Suite.Registry, Bench.App,
+                     Bench.RefInputs, Names, Scratch.path() + "/gcc");
+  }
+
+  OracleSetup Oracle = buildOracleSetup();
+  std::vector<std::string> Names;
+  for (unsigned Phase = 0; Phase != OraclePhases; ++Phase)
+    Names.push_back(oraclePhaseName(Phase));
+  accumulationGrid("Figure 7(b): Oracle", Oracle.Registry, Oracle.App,
+                   Oracle.PhaseInputs, Names,
+                   Scratch.path() + "/oracle");
+  return 0;
+}

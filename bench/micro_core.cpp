@@ -1,0 +1,173 @@
+//===- bench/micro_core.cpp -----------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the core engine operations whose
+// costs the cycle model abstracts: module key hashing, translation-map
+// lookup, trace selection+compilation, persistent cache file
+// serialization/deserialization, and CRC validation. These measure the
+// *host* implementation (how fast the simulator itself runs), not the
+// modeled guest cycles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbi/Compiler.h"
+#include "dbi/Engine.h"
+#include "persist/CacheFile.h"
+#include "persist/Key.h"
+#include "support/Hashing.h"
+#include "workloads/Codegen.h"
+#include "workloads/Runner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pcc;
+
+namespace {
+
+/// A loaded machine shared by the microbenchmarks.
+struct Fixture {
+  loader::ModuleRegistry Registry;
+  std::shared_ptr<binary::Module> App;
+  std::unique_ptr<vm::Machine> M;
+
+  Fixture() {
+    workloads::AppDef Def;
+    Def.Name = "micro";
+    Def.Path = "/bin/micro";
+    for (uint32_t I = 0; I != 16; ++I) {
+      workloads::RegionDef Region;
+      Region.Name = "r" + std::to_string(I);
+      Region.Blocks = 6;
+      Region.InstsPerBlock = 10;
+      Region.Seed = I + 1;
+      Def.Slots.push_back(
+          workloads::FunctionSlot::local(std::move(Region)));
+    }
+    App = workloads::buildExecutable(Def);
+    std::vector<workloads::WorkItem> Items;
+    for (uint32_t I = 0; I != 16; ++I)
+      Items.push_back(workloads::WorkItem{I, 20});
+    auto Machine = workloads::makeMachine(
+        Registry, App, workloads::encodeWorkload(Items));
+    M = std::make_unique<vm::Machine>(Machine.take());
+  }
+};
+
+Fixture &fixture() {
+  static Fixture F;
+  return F;
+}
+
+void BM_ModuleKeyCompute(benchmark::State &State) {
+  const auto &Mod = fixture().M->image().Modules[0];
+  for (auto _ : State)
+    benchmark::DoNotOptimize(persist::ModuleKey::compute(Mod));
+}
+BENCHMARK(BM_ModuleKeyCompute);
+
+void BM_Fnv1a64(benchmark::State &State) {
+  std::vector<uint8_t> Data(State.range(0), 0x5a);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(fnv1a64Bytes(Data.data(), Data.size()));
+  State.SetBytesProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_Fnv1a64)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Crc32(benchmark::State &State) {
+  std::vector<uint8_t> Data(State.range(0), 0xa5);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(crc32(Data.data(), Data.size()));
+  State.SetBytesProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(4096)->Arg(65536);
+
+void BM_TraceSelection(benchmark::State &State) {
+  Fixture &F = fixture();
+  uint32_t Entry = F.M->image().EntryAddress;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(dbi::selectTrace(F.M->space(), Entry, 16));
+}
+BENCHMARK(BM_TraceSelection);
+
+void BM_TraceCompile(benchmark::State &State) {
+  Fixture &F = fixture();
+  uint32_t Entry = F.M->image().EntryAddress;
+  dbi::CostModel Costs;
+  for (auto _ : State) {
+    dbi::CodeCache Cache(1 << 20, 1 << 20);
+    dbi::Compiler Comp(F.M->space(), Cache, Costs,
+                       dbi::InstrumentationSpec(), 16);
+    dbi::EngineStats Stats;
+    benchmark::DoNotOptimize(Comp.compile(Entry, Stats));
+  }
+}
+BENCHMARK(BM_TraceCompile);
+
+void BM_TranslationMapLookup(benchmark::State &State) {
+  dbi::CodeCache Cache(1 << 20, 1 << 24);
+  for (uint32_t I = 0; I != 4096; ++I)
+    (void)Cache.addTrace(std::make_unique<dbi::TranslatedTrace>(
+        0x1000 + I * 64, 4, 0, 0, std::vector<dbi::TraceExit>{},
+        false));
+  uint32_t Probe = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Cache.lookup(0x1000 + (Probe & 4095) * 64));
+    ++Probe;
+  }
+}
+BENCHMARK(BM_TranslationMapLookup);
+
+persist::CacheFile makeCacheFile(unsigned NumTraces) {
+  persist::CacheFile File;
+  File.EngineHash = 1;
+  persist::ModuleKey Key;
+  Key.Path = "/bin/micro";
+  File.Modules.push_back(Key);
+  for (unsigned I = 0; I != NumTraces; ++I) {
+    persist::TraceRecord Trace;
+    Trace.GuestStart = 0x400000 + I * 128;
+    Trace.GuestInstCount = 12;
+    Trace.Code.assign(160, static_cast<uint8_t>(I));
+    Trace.Exits.push_back(
+        persist::ExitRecord{0, 11, Trace.GuestStart + 96, 0});
+    File.Traces.push_back(std::move(Trace));
+  }
+  return File;
+}
+
+void BM_CacheFileSerialize(benchmark::State &State) {
+  persist::CacheFile File =
+      makeCacheFile(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(File.serialize());
+}
+BENCHMARK(BM_CacheFileSerialize)->Arg(128)->Arg(1024);
+
+void BM_CacheFileDeserialize(benchmark::State &State) {
+  std::vector<uint8_t> Bytes =
+      makeCacheFile(static_cast<unsigned>(State.range(0))).serialize();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(persist::CacheFile::deserialize(Bytes));
+}
+BENCHMARK(BM_CacheFileDeserialize)->Arg(128)->Arg(1024);
+
+void BM_EngineThroughput(benchmark::State &State) {
+  Fixture &F = fixture();
+  std::vector<workloads::WorkItem> Items;
+  for (uint32_t I = 0; I != 16; ++I)
+    Items.push_back(workloads::WorkItem{I, 50});
+  auto Input = workloads::encodeWorkload(Items);
+  uint64_t GuestInsts = 0;
+  for (auto _ : State) {
+    auto R = workloads::runUnderEngine(F.Registry, F.App, Input);
+    if (R)
+      GuestInsts += R->Run.InstructionsExecuted;
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(GuestInsts));
+  State.SetLabel("guest insts/s");
+}
+BENCHMARK(BM_EngineThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+//===- bench/table3_coverage.cpp ------------------------------------------===//
+//
+// Reproduces Table 3: code-coverage matrices for (a) 176.gcc across its
+// five Reference inputs (84-98%) and (b) Oracle across its five phases
+// (18-91%). Each cell prints measured% (paper%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "workloads/Oracle.h"
+#include "workloads/Spec2k.h"
+
+#include <cstdio>
+
+using namespace pcc;
+using namespace pcc::bench;
+using namespace pcc::workloads;
+
+namespace {
+
+void printMatrix(const std::string &Title,
+                 const std::vector<std::string> &Names,
+                 const std::vector<AddressIntervals> &Covers,
+                 const CoverageMatrix &Paper) {
+  TablePrinter Table(Title);
+  std::vector<std::string> Header = {"coverage of \\ by"};
+  for (const std::string &Name : Names)
+    Header.push_back(Name);
+  Table.addRow(Header);
+  double MaxErr = 0;
+  for (size_t I = 0; I != Covers.size(); ++I) {
+    std::vector<std::string> Row = {Names[I]};
+    for (size_t J = 0; J != Covers.size(); ++J) {
+      double Measured = codeCoverage(Covers[I], Covers[J]);
+      Row.push_back(formatString("%3.0f%% (%3.0f%%)", Measured * 100,
+                                 Paper[I][J] * 100));
+      if (I != J)
+        MaxErr = std::max(MaxErr,
+                          std::abs(Measured - Paper[I][J]) * 100);
+    }
+    Table.addRow(Row);
+  }
+  Table.print();
+  std::printf("Max off-diagonal deviation from the paper: %.1f "
+              "percentage points.\n\n",
+              MaxErr);
+}
+
+} // namespace
+
+int main() {
+  banner("Table 3: code coverage matrices (measured vs paper)",
+         "gcc inputs cover each other 84-98%; Oracle phases 18-91%");
+
+  // (a) 176.gcc.
+  SpecSuite Suite = buildSpecSuite();
+  for (const SpecBenchmark &Bench : Suite.Benchmarks) {
+    if (Bench.Profile.Name != "176.gcc")
+      continue;
+    std::vector<AddressIntervals> Covers;
+    std::vector<std::string> Names;
+    for (size_t I = 0; I != Bench.RefInputs.size(); ++I) {
+      Covers.push_back(mustOk(runUnderEngine(Suite.Registry, Bench.App,
+                                             Bench.RefInputs[I]),
+                              "gcc input")
+                           .Coverage);
+      Names.push_back("Input " + std::to_string(I + 1));
+    }
+    printMatrix("Table 3(a): 176.gcc", Names, Covers,
+                gccCoverageTarget());
+  }
+
+  // (b) Oracle.
+  OracleSetup Oracle = buildOracleSetup();
+  std::vector<AddressIntervals> Covers;
+  std::vector<std::string> Names;
+  for (unsigned Phase = 0; Phase != OraclePhases; ++Phase) {
+    Covers.push_back(mustOk(runUnderEngine(Oracle.Registry, Oracle.App,
+                                           Oracle.PhaseInputs[Phase]),
+                            "oracle phase")
+                         .Coverage);
+    Names.push_back(oraclePhaseName(Phase));
+  }
+  printMatrix("Table 3(b): Oracle", Names, Covers,
+              oracleCoverageTarget());
+  return 0;
+}

@@ -1,0 +1,27 @@
+; fib.s - compute fibonacci numbers and emit them as guest words.
+; Build and run:
+;   pcc-asm examples/asm/fib.s -o fib.mod
+;   pccrun --mode persist --db /tmp/pcc-demo --stats fib.mod
+.module fib "/bin/fib"
+.entry main
+
+.data
+count: .word 12        ; how many numbers to emit
+
+.text
+main:
+  ldi r4, @count
+  ld r10, [r4+0]       ; n
+  ldi r5, 0            ; fib(i)
+  ldi r6, 1            ; fib(i+1)
+  ldi r12, 0
+loop:
+  add r1, r5, r12
+  sys 3                ; WriteWord(fib(i))
+  add r7, r5, r6
+  add r5, r6, r12
+  add r6, r7, r12
+  addi r10, r10, -1
+  bne r10, r12, loop
+  ldi r1, 0
+  sys 1                ; exit(0)

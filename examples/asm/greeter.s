@@ -1,0 +1,15 @@
+; greeter.s - a library-using program: the greeting text lives in
+; libgreet.so and is emitted character by character through a callback.
+.module greeter "/bin/greeter"
+.entry main
+
+.data
+.got emit_hello "libgreet.so" "emit_hello"
+
+.text
+main:
+  ldi r4, @emit_hello
+  ld r5, [r4+0]
+  callr r5
+  ldi r1, 0
+  sys 1

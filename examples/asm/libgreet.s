@@ -1,0 +1,17 @@
+; libgreet.s - shared library exporting emit_hello.
+.module libgreet.so "/lib/libgreet.so"
+.library
+.export emit_hello
+
+emit_hello:
+  ldi r1, 'h'
+  sys 2
+  ldi r1, 'e'
+  sys 2
+  ldi r1, 'l'
+  sys 2
+  ldi r1, 'l'
+  sys 2
+  ldi r1, 'o'
+  sys 2
+  ret

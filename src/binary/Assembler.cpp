@@ -1,0 +1,708 @@
+//===- binary/Assembler.cpp --------------------------------------------------===//
+
+#include "binary/Assembler.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+using namespace pcc;
+using namespace pcc::binary;
+using namespace pcc::isa;
+using binary::Module;
+
+namespace {
+
+/// Where a label points.
+struct Label {
+  bool InData = false;
+  uint32_t Offset = 0; ///< Instruction index (.text) or byte offset
+                       ///< (.data).
+};
+
+/// A pending use of a label whose address is patched in pass 2.
+struct LabelUse {
+  std::string Name;
+  unsigned Line = 0;
+  /// Instruction index whose Imm receives the address, or (for .word
+  /// references) the data offset of the word.
+  uint32_t Where = 0;
+  bool InData = false;
+};
+
+/// Tokenizer state for one line.
+class LineParser {
+public:
+  LineParser(std::string Text, unsigned Line)
+      : Text(std::move(Text)), Line(Line) {}
+
+  /// Consumes leading whitespace; true at end of line.
+  bool atEnd() {
+    while (Pos < Text.size() && std::isspace(Byte(Pos)))
+      ++Pos;
+    return Pos == Text.size();
+  }
+
+  /// Next bare word (identifier / mnemonic / directive / number body).
+  ErrorOr<std::string> word() {
+    if (atEnd())
+      return err("expected a word");
+    size_t Start = Pos;
+    auto isWordChar = [](char C) {
+      return !std::isspace(static_cast<unsigned char>(C)) &&
+             C != ',' && C != ':' && C != '[' && C != ']' &&
+             C != '+' && C != '-' && C != '"' && C != '@';
+    };
+    while (Pos < Text.size() && isWordChar(Text[Pos]))
+      ++Pos;
+    if (Pos == Start)
+      return err("expected a word");
+    return Text.substr(Start, Pos - Start);
+  }
+
+  /// Consumes \p C (after whitespace); error if absent.
+  Status expect(char C) {
+    if (atEnd() || Text[Pos] != C)
+      return err(formatString("expected '%c'", C));
+    ++Pos;
+    return Status::success();
+  }
+
+  /// True if the next character is \p C (consumed when present).
+  bool accept(char C) {
+    if (!atEnd() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() { return atEnd() ? '\0' : Text[Pos]; }
+
+  /// Register operand: r0..r15.
+  ErrorOr<unsigned> reg() {
+    auto W = word();
+    if (!W)
+      return W.status();
+    const std::string &Name = *W;
+    if (Name.size() < 2 || Name[0] != 'r')
+      return err("expected a register, got '" + Name + "'");
+    unsigned Index = 0;
+    for (size_t I = 1; I != Name.size(); ++I) {
+      if (!std::isdigit(static_cast<unsigned char>(Name[I])))
+        return err("expected a register, got '" + Name + "'");
+      Index = Index * 10 + (Name[I] - '0');
+    }
+    if (Index >= NumRegisters)
+      return err("register out of range: " + Name);
+    return Index;
+  }
+
+  /// Numeric immediate: decimal (optionally negative), 0x hex, or a
+  /// character literal 'c'.
+  ErrorOr<uint32_t> number() {
+    if (atEnd())
+      return err("expected a number");
+    if (Text[Pos] == '\'') {
+      if (Pos + 2 >= Text.size() || Text[Pos + 2] != '\'')
+        return err("malformed character literal");
+      uint32_t Value = static_cast<uint8_t>(Text[Pos + 1]);
+      Pos += 3;
+      return Value;
+    }
+    bool Negative = accept('-');
+    auto W = word();
+    if (!W)
+      return W.status();
+    const std::string &Digits = *W;
+    uint64_t Value = 0;
+    if (Digits.size() > 2 && Digits[0] == '0' &&
+        (Digits[1] == 'x' || Digits[1] == 'X')) {
+      for (size_t I = 2; I != Digits.size(); ++I) {
+        int Nibble = hexValue(Digits[I]);
+        if (Nibble < 0)
+          return err("bad hex number: " + Digits);
+        Value = Value * 16 + static_cast<unsigned>(Nibble);
+      }
+    } else {
+      for (char C : Digits) {
+        if (!std::isdigit(static_cast<unsigned char>(C)))
+          return err("bad number: " + Digits);
+        Value = Value * 10 + static_cast<unsigned>(C - '0');
+      }
+    }
+    uint32_t Result = static_cast<uint32_t>(Value);
+    return Negative ? static_cast<uint32_t>(-static_cast<int64_t>(Result))
+                    : Result;
+  }
+
+  /// Quoted string.
+  ErrorOr<std::string> string() {
+    if (atEnd() || Text[Pos] != '"')
+      return err("expected a quoted string");
+    size_t End = Text.find('"', Pos + 1);
+    if (End == std::string::npos)
+      return err("unterminated string");
+    std::string Value = Text.substr(Pos + 1, End - Pos - 1);
+    Pos = End + 1;
+    return Value;
+  }
+
+  Status err(const std::string &Message) const {
+    return Status::error(ErrorCode::InvalidFormat,
+                         formatString("line %u: %s", Line,
+                                      Message.c_str()));
+  }
+
+private:
+  static int hexValue(char C) {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    if (C >= 'A' && C <= 'F')
+      return C - 'A' + 10;
+    return -1;
+  }
+  unsigned char Byte(size_t I) const {
+    return static_cast<unsigned char>(Text[I]);
+  }
+
+  std::string Text;
+  unsigned Line;
+  size_t Pos = 0;
+};
+
+/// The assembler proper: accumulates sections, labels and fixups.
+class Assembler {
+public:
+  ErrorOr<Module> run(const std::string &Source);
+
+private:
+  Status parseLine(const std::string &Text, unsigned Line);
+  Status parseDirective(LineParser &P, const std::string &Directive,
+                        unsigned Line);
+  Status parseInstruction(LineParser &P, const std::string &Mnemonic,
+                          unsigned Line);
+
+  /// Operand that is either a number or @label / bare label (for branch
+  /// targets). Returns the immediate; records a fixup when a label was
+  /// referenced.
+  ErrorOr<uint32_t> immOrLabel(LineParser &P, unsigned Line,
+                               bool BareLabelAllowed);
+
+  /// [rN+off] memory operand.
+  struct MemOperand {
+    unsigned Base = 0;
+    uint32_t Offset = 0;
+  };
+  ErrorOr<MemOperand> memOperand(LineParser &P);
+
+  Status defineLabel(const std::string &Name, unsigned Line);
+  Status resolveFixups(Module &M);
+
+  std::string Name = "a";
+  std::string Path = "/a";
+  binary::ModuleKind Kind = binary::ModuleKind::Executable;
+  std::optional<std::string> EntryLabel;
+  bool InData = false;
+
+  std::vector<Instruction> Text;
+  std::vector<uint8_t> Data;
+  std::map<std::string, Label> Labels;
+  std::vector<LabelUse> Uses;
+  std::vector<std::string> Exports;
+  std::vector<unsigned> ExportLines;
+  struct GotSlot {
+    uint32_t DataOffset;
+    std::string Lib;
+    std::string Sym;
+  };
+  std::vector<GotSlot> GotSlots;
+};
+
+Status Assembler::defineLabel(const std::string &Name, unsigned Line) {
+  if (Labels.count(Name))
+    return Status::error(ErrorCode::InvalidFormat,
+                         formatString("line %u: duplicate label '%s'",
+                                      Line, Name.c_str()));
+  Label L;
+  L.InData = InData;
+  L.Offset = InData ? static_cast<uint32_t>(Data.size())
+                    : static_cast<uint32_t>(Text.size());
+  Labels.emplace(Name, L);
+  return Status::success();
+}
+
+ErrorOr<uint32_t> Assembler::immOrLabel(LineParser &P, unsigned Line,
+                                        bool BareLabelAllowed) {
+  bool IsLabel = P.accept('@');
+  if (!IsLabel && BareLabelAllowed && !std::isdigit(P.peek()) &&
+      P.peek() != '-' && P.peek() != '\'')
+    IsLabel = true;
+  if (!IsLabel)
+    return P.number();
+  auto LabelName = P.word();
+  if (!LabelName)
+    return LabelName.status();
+  Uses.push_back(LabelUse{*LabelName, Line,
+                          static_cast<uint32_t>(Text.size()),
+                          /*InData=*/false});
+  return 0u; // Patched in pass 2.
+}
+
+ErrorOr<Assembler::MemOperand> Assembler::memOperand(LineParser &P) {
+  Status S = P.expect('[');
+  if (!S.ok())
+    return S;
+  auto Base = P.reg();
+  if (!Base)
+    return Base.status();
+  MemOperand Operand;
+  Operand.Base = *Base;
+  if (P.accept('+')) {
+    auto Offset = P.number();
+    if (!Offset)
+      return Offset.status();
+    Operand.Offset = *Offset;
+  } else if (P.accept('-')) {
+    auto Offset = P.number();
+    if (!Offset)
+      return Offset.status();
+    Operand.Offset = static_cast<uint32_t>(
+        -static_cast<int64_t>(*Offset));
+  }
+  S = P.expect(']');
+  if (!S.ok())
+    return S;
+  return Operand;
+}
+
+Status Assembler::parseDirective(LineParser &P,
+                                 const std::string &Directive,
+                                 unsigned Line) {
+  auto lineErr = [&](const std::string &Message) {
+    return Status::error(ErrorCode::InvalidFormat,
+                         formatString("line %u: %s", Line,
+                                      Message.c_str()));
+  };
+
+  if (Directive == ".module") {
+    auto N = P.word();
+    if (!N)
+      return N.status();
+    Name = *N;
+    auto Quoted = P.string();
+    if (!Quoted)
+      return Quoted.status();
+    Path = *Quoted;
+    return Status::success();
+  }
+  if (Directive == ".library") {
+    Kind = binary::ModuleKind::SharedLibrary;
+    return Status::success();
+  }
+  if (Directive == ".entry") {
+    auto L = P.word();
+    if (!L)
+      return L.status();
+    EntryLabel = *L;
+    return Status::success();
+  }
+  if (Directive == ".export") {
+    auto L = P.word();
+    if (!L)
+      return L.status();
+    Exports.push_back(*L);
+    ExportLines.push_back(Line);
+    return Status::success();
+  }
+  if (Directive == ".text") {
+    InData = false;
+    return Status::success();
+  }
+  if (Directive == ".data") {
+    InData = true;
+    return Status::success();
+  }
+  if (Directive == ".word") {
+    if (!InData)
+      return lineErr(".word outside .data");
+    while (!P.atEnd()) {
+      uint32_t Value = 0;
+      if (P.accept('@')) {
+        auto LabelName = P.word();
+        if (!LabelName)
+          return LabelName.status();
+        Uses.push_back(LabelUse{*LabelName, Line,
+                                static_cast<uint32_t>(Data.size()),
+                                /*InData=*/true});
+      } else {
+        auto Number = P.number();
+        if (!Number)
+          return Number.status();
+        Value = *Number;
+      }
+      for (unsigned I = 0; I != 4; ++I)
+        Data.push_back(static_cast<uint8_t>(Value >> (8 * I)));
+    }
+    return Status::success();
+  }
+  if (Directive == ".byte") {
+    if (!InData)
+      return lineErr(".byte outside .data");
+    while (!P.atEnd()) {
+      auto Number = P.number();
+      if (!Number)
+        return Number.status();
+      Data.push_back(static_cast<uint8_t>(*Number));
+    }
+    return Status::success();
+  }
+  if (Directive == ".space") {
+    if (!InData)
+      return lineErr(".space outside .data");
+    auto Count = P.number();
+    if (!Count)
+      return Count.status();
+    Data.insert(Data.end(), *Count, 0);
+    return Status::success();
+  }
+  if (Directive == ".got") {
+    if (!InData)
+      return lineErr(".got outside .data");
+    auto LabelName = P.word();
+    if (!LabelName)
+      return LabelName.status();
+    Status S = defineLabel(*LabelName, Line);
+    if (!S.ok())
+      return S;
+    auto Lib = P.string();
+    if (!Lib)
+      return Lib.status();
+    auto Sym = P.string();
+    if (!Sym)
+      return Sym.status();
+    GotSlots.push_back(
+        GotSlot{static_cast<uint32_t>(Data.size()), *Lib, *Sym});
+    Data.insert(Data.end(), 4, 0);
+    return Status::success();
+  }
+  return lineErr("unknown directive " + Directive);
+}
+
+Status Assembler::parseInstruction(LineParser &P,
+                                   const std::string &Mnemonic,
+                                   unsigned Line) {
+  auto lineErr = [&](const std::string &Message) {
+    return Status::error(ErrorCode::InvalidFormat,
+                         formatString("line %u: %s", Line,
+                                      Message.c_str()));
+  };
+  if (InData)
+    return lineErr("instruction outside .text");
+
+  static const std::map<std::string, Opcode> RegOps = {
+      {"add", Opcode::Add},   {"sub", Opcode::Sub},
+      {"mul", Opcode::Mul},   {"divu", Opcode::Divu},
+      {"and", Opcode::And},   {"or", Opcode::Or},
+      {"xor", Opcode::Xor},   {"shl", Opcode::Shl},
+      {"shr", Opcode::Shr},   {"sltu", Opcode::Sltu},
+      {"seq", Opcode::Seq}};
+  static const std::map<std::string, Opcode> ImmOps = {
+      {"addi", Opcode::Addi},   {"muli", Opcode::Muli},
+      {"andi", Opcode::Andi},   {"ori", Opcode::Ori},
+      {"xori", Opcode::Xori},   {"shli", Opcode::Shli},
+      {"shri", Opcode::Shri},   {"sltiu", Opcode::Sltiu}};
+  static const std::map<std::string, Opcode> BranchOps = {
+      {"beq", Opcode::Beq},
+      {"bne", Opcode::Bne},
+      {"bltu", Opcode::Bltu},
+      {"bgeu", Opcode::Bgeu}};
+
+  if (auto It = RegOps.find(Mnemonic); It != RegOps.end()) {
+    auto Rd = P.reg();
+    if (!Rd)
+      return Rd.status();
+    if (Status S = P.expect(','); !S.ok())
+      return S;
+    auto Rs1 = P.reg();
+    if (!Rs1)
+      return Rs1.status();
+    if (Status S = P.expect(','); !S.ok())
+      return S;
+    auto Rs2 = P.reg();
+    if (!Rs2)
+      return Rs2.status();
+    Text.push_back(makeAlu(It->second, *Rd, *Rs1, *Rs2));
+    return Status::success();
+  }
+  if (auto It = ImmOps.find(Mnemonic); It != ImmOps.end()) {
+    auto Rd = P.reg();
+    if (!Rd)
+      return Rd.status();
+    if (Status S = P.expect(','); !S.ok())
+      return S;
+    auto Rs1 = P.reg();
+    if (!Rs1)
+      return Rs1.status();
+    if (Status S = P.expect(','); !S.ok())
+      return S;
+    auto Imm = P.number();
+    if (!Imm)
+      return Imm.status();
+    Text.push_back(makeAluImm(It->second, *Rd, *Rs1, *Imm));
+    return Status::success();
+  }
+  if (auto It = BranchOps.find(Mnemonic); It != BranchOps.end()) {
+    auto Rs1 = P.reg();
+    if (!Rs1)
+      return Rs1.status();
+    if (Status S = P.expect(','); !S.ok())
+      return S;
+    auto Rs2 = P.reg();
+    if (!Rs2)
+      return Rs2.status();
+    if (Status S = P.expect(','); !S.ok())
+      return S;
+    auto Target = immOrLabel(*&P, Line, /*BareLabelAllowed=*/true);
+    if (!Target)
+      return Target.status();
+    Text.push_back(makeBranch(It->second, *Rs1, *Rs2, *Target));
+    return Status::success();
+  }
+
+  if (Mnemonic == "ldi") {
+    auto Rd = P.reg();
+    if (!Rd)
+      return Rd.status();
+    if (Status S = P.expect(','); !S.ok())
+      return S;
+    auto Imm = immOrLabel(P, Line, /*BareLabelAllowed=*/false);
+    if (!Imm)
+      return Imm.status();
+    Text.push_back(makeLdi(*Rd, *Imm));
+    return Status::success();
+  }
+  if (Mnemonic == "ld") {
+    auto Rd = P.reg();
+    if (!Rd)
+      return Rd.status();
+    if (Status S = P.expect(','); !S.ok())
+      return S;
+    auto Mem = memOperand(P);
+    if (!Mem)
+      return Mem.status();
+    Text.push_back(makeLoad(*Rd, Mem->Base,
+                            static_cast<int32_t>(Mem->Offset)));
+    return Status::success();
+  }
+  if (Mnemonic == "st") {
+    auto Mem = memOperand(P);
+    if (!Mem)
+      return Mem.status();
+    if (Status S = P.expect(','); !S.ok())
+      return S;
+    auto Rs = P.reg();
+    if (!Rs)
+      return Rs.status();
+    Text.push_back(makeStore(Mem->Base,
+                             static_cast<int32_t>(Mem->Offset), *Rs));
+    return Status::success();
+  }
+  if (Mnemonic == "jmp" || Mnemonic == "call") {
+    auto Target = immOrLabel(P, Line, /*BareLabelAllowed=*/true);
+    if (!Target)
+      return Target.status();
+    Text.push_back(Mnemonic == "jmp" ? makeJmp(*Target)
+                                     : makeCall(*Target));
+    return Status::success();
+  }
+  if (Mnemonic == "jr" || Mnemonic == "callr") {
+    auto Rs = P.reg();
+    if (!Rs)
+      return Rs.status();
+    Text.push_back(Mnemonic == "jr" ? makeJr(*Rs) : makeCallr(*Rs));
+    return Status::success();
+  }
+  if (Mnemonic == "ret") {
+    Text.push_back(makeRet());
+    return Status::success();
+  }
+  if (Mnemonic == "halt") {
+    Text.push_back(makeHalt());
+    return Status::success();
+  }
+  if (Mnemonic == "nop") {
+    Text.push_back(makeNop());
+    return Status::success();
+  }
+  if (Mnemonic == "sys") {
+    auto Number = P.number();
+    if (!Number)
+      return Number.status();
+    Text.push_back(makeSys(*Number));
+    return Status::success();
+  }
+  return lineErr("unknown mnemonic '" + Mnemonic + "'");
+}
+
+Status Assembler::parseLine(const std::string &RawText, unsigned Line) {
+  // Strip comments.
+  std::string Stripped = RawText.substr(0, RawText.find(';'));
+  LineParser P(Stripped, Line);
+  if (P.atEnd())
+    return Status::success();
+
+  auto First = P.word();
+  if (!First)
+    return First.status();
+
+  // Label definitions: one or more "name:" prefixes.
+  std::string Token = *First;
+  while (P.accept(':')) {
+    Status S = defineLabel(Token, Line);
+    if (!S.ok())
+      return S;
+    if (P.atEnd())
+      return Status::success();
+    auto NextWord = P.word();
+    if (!NextWord)
+      return NextWord.status();
+    Token = *NextWord;
+  }
+
+  if (!Token.empty() && Token[0] == '.')
+    return parseDirective(P, Token, Line);
+  Status S = parseInstruction(P, Token, Line);
+  if (!S.ok())
+    return S;
+  if (!P.atEnd())
+    return Status::error(ErrorCode::InvalidFormat,
+                         formatString("line %u: trailing operands",
+                                      Line));
+  return Status::success();
+}
+
+Status Assembler::resolveFixups(Module &M) {
+  uint32_t DataStart = M.dataStart();
+  auto addressOf = [&](const Label &L) {
+    return L.InData ? DataStart + L.Offset
+                    : L.Offset * InstructionSize;
+  };
+
+  for (const LabelUse &Use : Uses) {
+    auto It = Labels.find(Use.Name);
+    if (It == Labels.end())
+      return Status::error(ErrorCode::NotFound,
+                           formatString("line %u: undefined label '%s'",
+                                        Use.Line, Use.Name.c_str()));
+    uint32_t Address = addressOf(It->second);
+    if (Use.InData) {
+      for (unsigned I = 0; I != 4; ++I)
+        M.data()[Use.Where + I] =
+            static_cast<uint8_t>(Address >> (8 * I));
+      M.addDataRelocation(Use.Where);
+    } else {
+      M.instructions()[Use.Where].Imm = Address;
+      M.addTextRelocation(Use.Where);
+    }
+  }
+
+  for (size_t I = 0; I != Exports.size(); ++I) {
+    auto It = Labels.find(Exports[I]);
+    if (It == Labels.end() || It->second.InData)
+      return Status::error(
+          ErrorCode::NotFound,
+          formatString("line %u: cannot export '%s': not a code label",
+                       ExportLines[I], Exports[I].c_str()));
+    M.addSymbol(Exports[I], It->second.Offset * InstructionSize);
+  }
+
+  if (EntryLabel) {
+    auto It = Labels.find(*EntryLabel);
+    if (It == Labels.end() || It->second.InData)
+      return Status::error(ErrorCode::NotFound,
+                           ".entry label not found: " + *EntryLabel);
+    M.setEntryOffset(It->second.Offset * InstructionSize);
+  }
+  return Status::success();
+}
+
+ErrorOr<Module> Assembler::run(const std::string &Source) {
+  unsigned Line = 0;
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Source.size();
+    ++Line;
+    Status S = parseLine(Source.substr(Pos, End - Pos), Line);
+    if (!S.ok())
+      return S;
+    Pos = End + 1;
+  }
+
+  Module M(Name, Path, Kind);
+  M.setInstructions(std::move(Text));
+  M.setData(std::move(Data));
+  for (const GotSlot &Slot : GotSlots)
+    M.addImport(Slot.Sym, Slot.Lib, Slot.DataOffset);
+  Status S = resolveFixups(M);
+  if (!S.ok())
+    return S;
+  return M;
+}
+
+} // namespace
+
+ErrorOr<Module> pcc::binary::assemble(const std::string &Source) {
+  Assembler A;
+  return A.run(Source);
+}
+
+std::string pcc::binary::disassembleModule(const Module &M) {
+  std::string Out;
+  Out += formatString("; module %s (\"%s\") %s\n", M.name().c_str(),
+                      M.path().c_str(),
+                      M.isExecutable() ? "executable" : "library");
+  Out += formatString("; text %u bytes, data %zu bytes, bss %u bytes, "
+                      "entry +0x%x, mtime %llu\n",
+                      M.textSize(), M.data().size(), M.bssSize(),
+                      M.entryOffset(),
+                      (unsigned long long)M.modificationTime());
+  for (const binary::ImportEntry &Import : M.imports())
+    Out += formatString("; import %s from %s -> data+0x%x\n",
+                        Import.SymbolName.c_str(),
+                        Import.LibraryName.c_str(), Import.GotOffset);
+
+  // Symbol and relocation annotations by instruction index.
+  std::map<uint32_t, std::string> SymbolAt;
+  for (const binary::Symbol &Sym : M.symbols())
+    SymbolAt[Sym.Offset / InstructionSize] = Sym.Name;
+  std::vector<uint32_t> Relocs = M.textRelocations();
+  std::sort(Relocs.begin(), Relocs.end());
+
+  const auto &Insts = M.instructions();
+  for (uint32_t I = 0; I != Insts.size(); ++I) {
+    if (auto It = SymbolAt.find(I); It != SymbolAt.end())
+      Out += It->second + ":\n";
+    bool Relocated =
+        std::binary_search(Relocs.begin(), Relocs.end(), I);
+    Out += formatString("  %06x:  %-28s%s\n", I * InstructionSize,
+                        Insts[I].toString().c_str(),
+                        Relocated ? " ; reloc" : "");
+  }
+  if (!M.data().empty()) {
+    Out += formatString(".data  ; %zu bytes at +0x%x\n",
+                        M.data().size(), M.dataStart());
+    for (uint32_t Offset : M.dataRelocations())
+      Out += formatString("  ; reloc word at data+0x%x\n", Offset);
+  }
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- binary/Assembler.h - Textual guest assembly -----------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass assembler from a small textual assembly language to a
+/// binary::Module, plus the matching module disassembler. Lets guest
+/// programs be written by hand (tests, tools, examples) instead of only
+/// generated.
+///
+/// Language summary (one statement per line, `;` starts a comment):
+///
+///   .module  NAME "PATH"      module identity (default: "a", "/a")
+///   .library                  module is a shared library (default:
+///                             executable)
+///   .entry   LABEL            executable entry point (default: first
+///                             instruction)
+///   .export  LABEL            export LABEL as a symbol
+///   .text / .data             switch section (default .text)
+///
+///   In .text:
+///     LABEL:                  define a code label
+///     add  r1, r2, r3         register ALU (sub mul divu and or xor
+///                             shl shr sltu seq)
+///     addi r1, r2, 5          immediate ALU (muli andi ori xori shli
+///                             shri sltiu)
+///     ldi  r1, 0x10           load immediate; `ldi r1, @LABEL` loads
+///                             the absolute address of a code or data
+///                             label (emits a relocation)
+///     ld   r1, [r2+8]         load word;  st [r2-4], r3  store word
+///     beq  r1, r2, LABEL      conditional branches (bne bltu bgeu)
+///     jmp LABEL / jr r1 / call LABEL / callr r1 / ret
+///     sys  N / halt / nop
+///
+///   In .data:
+///     LABEL:                  define a data label
+///     .word 1 2 0xff          32-bit words
+///     .word @LABEL            address of a label (emits a relocation)
+///     .byte 1 2 3             raw bytes
+///     .space N                N zero bytes
+///     .got LABEL "LIB" "SYM"  a GOT slot resolved by the loader to
+///                             SYM exported from LIB
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_BINARY_ASSEMBLER_H
+#define PCC_BINARY_ASSEMBLER_H
+
+#include "binary/Module.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace pcc {
+namespace binary {
+
+/// Assembles \p Source into a module. Errors carry 1-based line numbers.
+ErrorOr<Module> assemble(const std::string &Source);
+
+/// Renders a module as annotated assembly-like text: header, symbols,
+/// disassembled instructions with label/symbol annotations, and a data
+/// summary. Round-trip fidelity is not a goal (relocation provenance is
+/// shown as comments); readability is.
+std::string disassembleModule(const Module &M);
+
+} // namespace binary
+} // namespace pcc
+
+#endif // PCC_BINARY_ASSEMBLER_H

@@ -1,0 +1,166 @@
+//===- binary/Module.cpp --------------------------------------------------===//
+
+#include "binary/Module.h"
+
+#include "support/ByteStream.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+
+using namespace pcc;
+using namespace pcc::binary;
+
+std::optional<uint32_t> Module::findSymbol(const std::string &SymName) const {
+  for (const Symbol &Sym : Symbols)
+    if (Sym.Name == SymName)
+      return Sym.Offset;
+  return std::nullopt;
+}
+
+std::vector<std::string> Module::dependencyNames() const {
+  std::vector<std::string> Names;
+  for (const ImportEntry &Import : Imports)
+    if (std::find(Names.begin(), Names.end(), Import.LibraryName) ==
+        Names.end())
+      Names.push_back(Import.LibraryName);
+  return Names;
+}
+
+uint64_t Module::programHeaderHash() const {
+  uint64_t Hash = fnv1a64(Name);
+  Hash = fnv1a64(Path, Hash);
+  Hash = fnv1a64U64(static_cast<uint64_t>(Kind), Hash);
+  Hash = fnv1a64U64(textSize(), Hash);
+  Hash = fnv1a64U64(Data.size(), Hash);
+  Hash = fnv1a64U64(BssSize, Hash);
+  Hash = fnv1a64U64(EntryOffset, Hash);
+  Hash = fnv1a64U64(Symbols.size(), Hash);
+  Hash = fnv1a64U64(Imports.size(), Hash);
+  return Hash;
+}
+
+uint64_t Module::contentHash() const {
+  uint64_t Hash = programHeaderHash();
+  for (const isa::Instruction &Inst : Insts) {
+    auto Bytes = Inst.encode();
+    Hash = fnv1a64Bytes(Bytes.data(), Bytes.size(), Hash);
+  }
+  Hash = fnv1a64Bytes(Data.data(), Data.size(), Hash);
+  for (const Symbol &Sym : Symbols) {
+    Hash = fnv1a64(Sym.Name, Hash);
+    Hash = fnv1a64U64(Sym.Offset, Hash);
+  }
+  for (const ImportEntry &Import : Imports) {
+    Hash = fnv1a64(Import.SymbolName, Hash);
+    Hash = fnv1a64(Import.LibraryName, Hash);
+    Hash = fnv1a64U64(Import.GotOffset, Hash);
+  }
+  for (uint32_t Reloc : TextRelocs)
+    Hash = fnv1a64U64(Reloc, Hash);
+  for (uint32_t Reloc : DataRelocs)
+    Hash = fnv1a64U64(Reloc, Hash);
+  return Hash;
+}
+
+namespace {
+constexpr uint32_t ModuleMagic = 0x4d434350; // "PCCM"
+constexpr uint32_t ModuleVersion = 1;
+} // namespace
+
+std::vector<uint8_t> Module::serialize() const {
+  ByteWriter Writer;
+  Writer.writeU32(ModuleMagic);
+  Writer.writeU32(ModuleVersion);
+  Writer.writeString(Name);
+  Writer.writeString(Path);
+  Writer.writeU8(static_cast<uint8_t>(Kind));
+  Writer.writeU64(ModTime);
+  Writer.writeU32(EntryOffset);
+  Writer.writeU32(BssSize);
+
+  Writer.writeU32(static_cast<uint32_t>(Insts.size()));
+  for (const isa::Instruction &Inst : Insts) {
+    auto Bytes = Inst.encode();
+    Writer.writeBytes(Bytes.data(), Bytes.size());
+  }
+  Writer.writeBlob(Data);
+
+  Writer.writeU32(static_cast<uint32_t>(Symbols.size()));
+  for (const Symbol &Sym : Symbols) {
+    Writer.writeString(Sym.Name);
+    Writer.writeU32(Sym.Offset);
+  }
+  Writer.writeU32(static_cast<uint32_t>(Imports.size()));
+  for (const ImportEntry &Import : Imports) {
+    Writer.writeString(Import.SymbolName);
+    Writer.writeString(Import.LibraryName);
+    Writer.writeU32(Import.GotOffset);
+  }
+  Writer.writeU32(static_cast<uint32_t>(TextRelocs.size()));
+  for (uint32_t Reloc : TextRelocs)
+    Writer.writeU32(Reloc);
+  Writer.writeU32(static_cast<uint32_t>(DataRelocs.size()));
+  for (uint32_t Reloc : DataRelocs)
+    Writer.writeU32(Reloc);
+  return Writer.take();
+}
+
+ErrorOr<Module> Module::deserialize(const std::vector<uint8_t> &Bytes) {
+  ByteReader Reader(Bytes);
+  if (Reader.readU32() != ModuleMagic)
+    return Status::error(ErrorCode::InvalidFormat, "bad module magic");
+  if (Reader.readU32() != ModuleVersion)
+    return Status::error(ErrorCode::VersionMismatch,
+                         "unsupported module version");
+  Module Mod;
+  Mod.Name = Reader.readString();
+  Mod.Path = Reader.readString();
+  uint8_t KindByte = Reader.readU8();
+  if (KindByte > static_cast<uint8_t>(ModuleKind::SharedLibrary))
+    return Status::error(ErrorCode::InvalidFormat, "bad module kind");
+  Mod.Kind = static_cast<ModuleKind>(KindByte);
+  Mod.ModTime = Reader.readU64();
+  Mod.EntryOffset = Reader.readU32();
+  Mod.BssSize = Reader.readU32();
+
+  uint32_t NumInsts = Reader.readU32();
+  if (Reader.remaining() < static_cast<size_t>(NumInsts) *
+                               isa::InstructionSize)
+    return Status::error(ErrorCode::InvalidFormat, "truncated text");
+  Mod.Insts.reserve(NumInsts);
+  for (uint32_t I = 0; I != NumInsts; ++I) {
+    uint8_t Raw[isa::InstructionSize];
+    Reader.readBytes(Raw, sizeof(Raw));
+    auto Inst = isa::Instruction::decode(Raw);
+    if (!Inst)
+      return Inst.status();
+    Mod.Insts.push_back(*Inst);
+  }
+  Mod.Data = Reader.readBlob();
+
+  uint32_t NumSymbols = Reader.readU32();
+  for (uint32_t I = 0; I != NumSymbols && !Reader.failed(); ++I) {
+    std::string SymName = Reader.readString();
+    uint32_t Offset = Reader.readU32();
+    Mod.Symbols.push_back(Symbol{std::move(SymName), Offset});
+  }
+  uint32_t NumImports = Reader.readU32();
+  for (uint32_t I = 0; I != NumImports && !Reader.failed(); ++I) {
+    std::string SymName = Reader.readString();
+    std::string LibName = Reader.readString();
+    uint32_t GotOffset = Reader.readU32();
+    Mod.Imports.push_back(
+        ImportEntry{std::move(SymName), std::move(LibName), GotOffset});
+  }
+  uint32_t NumTextRelocs = Reader.readU32();
+  for (uint32_t I = 0; I != NumTextRelocs && !Reader.failed(); ++I)
+    Mod.TextRelocs.push_back(Reader.readU32());
+  uint32_t NumDataRelocs = Reader.readU32();
+  for (uint32_t I = 0; I != NumDataRelocs && !Reader.failed(); ++I)
+    Mod.DataRelocs.push_back(Reader.readU32());
+
+  if (Reader.failed())
+    return Status::error(ErrorCode::InvalidFormat,
+                         "truncated module image");
+  return Mod;
+}

@@ -1,0 +1,228 @@
+//===- dbi/CodeCache.h - Software code cache --------------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The software-managed code cache: two linear memory pools (translated
+/// code and its supporting data structures — kept separate per Section
+/// 3.2.2 of the paper), the translation map from original guest addresses
+/// to translated traces, and trace links. When either pool fills, the
+/// whole cache is flushed, discarding all translated code and data
+/// structures (Section 4.1).
+///
+/// Persisted traces are installed *unmaterialized*: their translated code
+/// lives in the memory-mapped pool and is decoded on first execution,
+/// charging demand-paging costs — mirroring "disk I/O occurs based on the
+/// access pattern of the executing code" (Section 3.2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_DBI_CODECACHE_H
+#define PCC_DBI_CODECACHE_H
+
+#include "dbi/Trace.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace pcc {
+namespace dbi {
+
+class TranslatedTrace;
+
+/// One exit of a translated trace, linkable to a successor trace.
+struct TraceExit {
+  ExitKind Kind = ExitKind::Halt;
+  uint32_t InstIndex = 0;
+  uint32_t Target = 0;
+  /// Linked successor, or nullptr when the exit still goes through the
+  /// dispatcher. Only linkable exits are ever linked.
+  TranslatedTrace *Link = nullptr;
+};
+
+/// A compiled trace resident in the code cache.
+class TranslatedTrace {
+public:
+  TranslatedTrace(uint32_t GuestStart, uint32_t GuestInstCount,
+                  uint32_t PoolOffset, uint32_t PoolBytes,
+                  std::vector<TraceExit> Exits, bool FromPersistentCache)
+      : GuestStart(GuestStart), GuestInstCount(GuestInstCount),
+        PoolOffset(PoolOffset), PoolBytes(PoolBytes),
+        Exits(std::move(Exits)),
+        FromPersistentCache(FromPersistentCache) {}
+
+  uint32_t guestStart() const { return GuestStart; }
+  uint32_t guestInstCount() const { return GuestInstCount; }
+  uint32_t poolOffset() const { return PoolOffset; }
+  uint32_t poolBytes() const { return PoolBytes; }
+
+  bool isFromPersistentCache() const { return FromPersistentCache; }
+  bool isMaterialized() const { return Materialized; }
+
+  /// Decoded translated body; valid only when materialized.
+  const std::vector<isa::Instruction> &body() const {
+    assert(Materialized && "trace not materialized");
+    return Body;
+  }
+
+  /// Installs the decoded body (at compile time, or on demand for
+  /// persisted traces).
+  void materialize(std::vector<isa::Instruction> DecodedBody) {
+    assert(DecodedBody.size() == GuestInstCount && "body size mismatch");
+    Body = std::move(DecodedBody);
+    Materialized = true;
+  }
+
+  /// Moves the trace's code within the pool (cache compaction).
+  void relocateInPool(uint32_t NewOffset) { PoolOffset = NewOffset; }
+
+  std::vector<TraceExit> &exits() { return Exits; }
+  const std::vector<TraceExit> &exits() const { return Exits; }
+
+  /// Exit taken when the conditional branch at \p InstIndex is taken.
+  /// A branch in the final trace slot shares its instruction index with
+  /// the fall-through exit, so the kinds are distinct lookups.
+  TraceExit *findBranchExit(uint32_t InstIndex);
+
+  /// The final exit (always present, always last).
+  TraceExit &finalExit() {
+    assert(!Exits.empty() && "trace without exits");
+    return Exits.back();
+  }
+
+  /// Traces whose exits link to this trace (for unlinking on removal).
+  std::vector<std::pair<TranslatedTrace *, uint32_t>> &incomingLinks() {
+    return Incoming;
+  }
+
+  uint64_t executionCount() const { return ExecCount; }
+  void countExecution() { ++ExecCount; }
+
+  /// Bytes of supporting data structures this trace consumes in the data
+  /// pool: trace descriptor, exit records, translation-map node, and
+  /// per-instruction bookkeeping (liveness, register bindings). The
+  /// paper's Figure 9 observes these outweigh the code itself.
+  uint32_t dataBytes() const {
+    return 64 + 40 * static_cast<uint32_t>(Exits.size()) + 24 +
+           8 * GuestInstCount;
+  }
+
+private:
+  uint32_t GuestStart;
+  uint32_t GuestInstCount;
+  uint32_t PoolOffset;
+  uint32_t PoolBytes;
+  std::vector<TraceExit> Exits;
+  bool FromPersistentCache;
+  bool Materialized = false;
+  std::vector<isa::Instruction> Body;
+  std::vector<std::pair<TranslatedTrace *, uint32_t>> Incoming;
+  uint64_t ExecCount = 0;
+};
+
+/// The code cache: pools, translation map, and link bookkeeping.
+class CodeCache {
+public:
+  CodeCache(uint64_t CodePoolCapacity, uint64_t DataPoolCapacity)
+      : CodePoolCapacity(CodePoolCapacity),
+        DataPoolCapacity(DataPoolCapacity) {}
+
+  /// \name Translation map
+  /// @{
+  TranslatedTrace *lookup(uint32_t GuestAddr) const;
+  /// @}
+
+  /// Reserves \p NumBytes in the code pool; fails with OutOfMemory when
+  /// the pool is full (the engine then flushes). Returns the offset.
+  ErrorOr<uint32_t> allocateCode(uint32_t NumBytes);
+
+  /// Writes translated code bytes at \p Offset (within an allocation).
+  void writeCode(uint32_t Offset, const std::vector<uint8_t> &Bytes);
+
+  /// Code-pool bytes starting at \p Offset (for materialization).
+  const uint8_t *codeAt(uint32_t Offset) const;
+
+  /// Registers a freshly compiled or persisted trace. Fails with
+  /// OutOfMemory when the data pool is exhausted. A trace for the same
+  /// guest address must not already exist.
+  ErrorOr<TranslatedTrace *> addTrace(std::unique_ptr<TranslatedTrace> T);
+
+  /// Replaces the code pool with the memory-mapped contents of a
+  /// persistent cache; only valid on an empty cache. Subsequent
+  /// allocateCode() calls append after the mapped image.
+  Status installPersistedPool(std::vector<uint8_t> PoolBytes);
+
+  /// Links \p Exit of \p From to \p To and records the incoming edge.
+  void link(TranslatedTrace *From, uint32_t ExitIndex,
+            TranslatedTrace *To);
+
+  /// Removes every trace whose guest start lies in
+  /// [\p Base, \p Base + \p Size), unlinking all edges in and out.
+  /// Pool space is not reclaimed (linear pools, as in Pin).
+  /// \returns the number of traces removed.
+  uint32_t removeTracesInRange(uint32_t Base, uint32_t Size);
+
+  /// Discards all traces, links, map entries and pool contents.
+  void flush();
+
+  /// Granular alternative to flush() (beyond the paper, which always
+  /// flushes wholesale; finer-grained code-cache management follows the
+  /// Hazelwood line of work the paper cites): evicts the oldest
+  /// \p Fraction of resident traces and *compacts* the code pool around
+  /// the survivors, reclaiming their bytes. All evicted traces are
+  /// unlinked; surviving pool pages are resident afterwards.
+  /// \returns the number of traces evicted.
+  uint32_t evictOldest(double Fraction);
+
+  /// Monotonic counter bumped by flush() and evictOldest(); callers
+  /// holding trace pointers across cache mutations use it as a guard.
+  uint64_t modificationGeneration() const {
+    return ModificationGeneration;
+  }
+
+  /// \name Demand-paging support
+  /// Marks the code-pool pages of [Offset, Offset+Bytes) as resident and
+  /// returns how many pages were newly touched (persisted pages fault in
+  /// on first touch; freshly written pages are already resident).
+  /// @{
+  uint32_t touchPages(uint32_t Offset, uint32_t Bytes);
+  /// @}
+
+  /// \name Accounting
+  /// @{
+  uint64_t codeBytesUsed() const { return CodePool.size(); }
+  uint64_t dataBytesUsed() const { return DataPoolUsed; }
+  uint64_t codePoolCapacity() const { return CodePoolCapacity; }
+  uint64_t dataPoolCapacity() const { return DataPoolCapacity; }
+  /// @}
+
+  /// All resident traces, in insertion order.
+  const std::vector<std::unique_ptr<TranslatedTrace>> &traces() const {
+    return Traces;
+  }
+
+private:
+  uint64_t CodePoolCapacity;
+  uint64_t DataPoolCapacity;
+  std::vector<uint8_t> CodePool;
+  uint64_t DataPoolUsed = 0;
+  std::vector<std::unique_ptr<TranslatedTrace>> Traces;
+  std::unordered_map<uint32_t, TranslatedTrace *> TranslationMap;
+  /// One bit per 4 KiB code-pool page: resident or not.
+  std::vector<bool> ResidentPages;
+  uint64_t ModificationGeneration = 0;
+
+  /// Detaches \p T from the link graph (both directions).
+  void unlinkTrace(TranslatedTrace *T);
+};
+
+} // namespace dbi
+} // namespace pcc
+
+#endif // PCC_DBI_CODECACHE_H

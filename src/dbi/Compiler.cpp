@@ -1,0 +1,79 @@
+//===- dbi/Compiler.cpp ---------------------------------------------------===//
+
+#include "dbi/Compiler.h"
+
+using namespace pcc;
+using namespace pcc::dbi;
+
+uint32_t Compiler::instrumentationPoints(const Trace &T,
+                                         const InstrumentationSpec &Spec) {
+  uint32_t Points = 0;
+  if (Spec.BasicBlocks)
+    Points += T.numBasicBlocks();
+  if (Spec.MemoryAccesses)
+    Points += T.numMemoryAccesses();
+  if (Spec.Instructions)
+    Points += T.numInsts();
+  return Points;
+}
+
+uint32_t Compiler::translatedBytes(const Trace &T,
+                                   const InstrumentationSpec &Spec) {
+  return TracePrologueBytes + T.numInsts() * isa::InstructionSize +
+         static_cast<uint32_t>(T.Exits.size()) * ExitStubBytes +
+         instrumentationPoints(T, Spec) * InstrumentStubBytes;
+}
+
+ErrorOr<TranslatedTrace *> Compiler::compile(uint32_t StartAddr,
+                                             EngineStats &Stats) {
+  auto Selected = selectTrace(Space, StartAddr, MaxTraceInsts);
+  if (!Selected)
+    return Selected.status();
+  const Trace &T = *Selected;
+
+  uint32_t PoolBytes = translatedBytes(T, Spec);
+  auto Offset = Cache.allocateCode(PoolBytes);
+  if (!Offset)
+    return Offset.status();
+
+  // Emit the translated image: zeroed prologue, the re-encoded guest
+  // instructions, then zeroed stubs. The encoded instruction bytes are
+  // what a persistent cache stores and later re-decodes.
+  std::vector<uint8_t> Image(PoolBytes, 0);
+  std::vector<uint8_t> Encoded = isa::encodeAll(T.Insts);
+  std::copy(Encoded.begin(), Encoded.end(),
+            Image.begin() + TracePrologueBytes);
+  Cache.writeCode(*Offset, Image);
+
+  std::vector<TraceExit> Exits;
+  Exits.reserve(T.Exits.size());
+  for (const TraceExitInfo &Info : T.Exits)
+    Exits.push_back(TraceExit{Info.Kind, Info.InstIndex, Info.Target,
+                              nullptr});
+
+  auto NewTrace = std::make_unique<TranslatedTrace>(
+      T.StartAddr, T.numInsts(), *Offset, PoolBytes, std::move(Exits),
+      /*FromPersistentCache=*/false);
+  NewTrace->materialize(T.Insts);
+
+  auto Added = Cache.addTrace(std::move(NewTrace));
+  if (!Added)
+    return Added.status();
+
+  uint64_t InstrumentCycles = 0;
+  if (Spec.BasicBlocks)
+    InstrumentCycles +=
+        Costs.CompileCyclesPerBlockPoint * T.numBasicBlocks();
+  if (Spec.MemoryAccesses)
+    InstrumentCycles +=
+        Costs.CompileCyclesPerMemoryPoint * T.numMemoryAccesses();
+  if (Spec.Instructions)
+    InstrumentCycles += Costs.CompileCyclesPerInstPoint * T.numInsts();
+  Stats.CompileCycles += Costs.CompileCyclesPerTrace +
+                         Costs.CompileCyclesPerInst * T.numInsts() +
+                         InstrumentCycles;
+  ++Stats.TracesCompiled;
+  Stats.Timeline.push_back(
+      CompileEvent{Stats.GuestInstsExecuted, T.numInsts()});
+  return *Added;
+}

@@ -1,0 +1,74 @@
+//===- dbi/Compiler.h - Trace compilation unit ------------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation unit: selects a trace from guest memory, emits its
+/// translated form into the code cache pool (original layout preserved —
+/// Pin "does not attempt original program optimization"), weaves in the
+/// tool's instrumentation points, and charges the translation cycles that
+/// constitute the paper's VM overhead.
+///
+/// Translated code layout in the pool:
+///
+///   [ prologue 16B ][ N guest instructions re-encoded, 8B each ]
+///   [ one 16B exit stub per exit ][ one 16B stub per instr. point ]
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_DBI_COMPILER_H
+#define PCC_DBI_COMPILER_H
+
+#include "dbi/CodeCache.h"
+#include "dbi/CostModel.h"
+#include "dbi/Stats.h"
+#include "dbi/Tool.h"
+#include "dbi/Trace.h"
+
+namespace pcc {
+namespace dbi {
+
+/// Pool-layout constants of the translated form.
+inline constexpr uint32_t TracePrologueBytes = 16;
+inline constexpr uint32_t ExitStubBytes = 16;
+inline constexpr uint32_t InstrumentStubBytes = 16;
+
+/// Compiles traces on behalf of one engine run.
+class Compiler {
+public:
+  Compiler(const loader::AddressSpace &Space, CodeCache &Cache,
+           const CostModel &Costs, InstrumentationSpec Spec,
+           uint32_t MaxTraceInsts)
+      : Space(Space), Cache(Cache), Costs(Costs), Spec(Spec),
+        MaxTraceInsts(MaxTraceInsts) {}
+
+  /// Translates the code starting at \p StartAddr into a new resident
+  /// trace, charging compile cycles into \p Stats. Fails with
+  /// OutOfMemory when a pool is full (caller flushes and retries) and
+  /// with GuestFault/InvalidFormat on unexecutable guest memory.
+  ErrorOr<TranslatedTrace *> compile(uint32_t StartAddr,
+                                     EngineStats &Stats);
+
+  /// Number of instrumentation points \p Spec inserts into \p T.
+  static uint32_t instrumentationPoints(const Trace &T,
+                                        const InstrumentationSpec &Spec);
+
+  /// Translated size in pool bytes of \p T under \p Spec.
+  static uint32_t translatedBytes(const Trace &T,
+                                  const InstrumentationSpec &Spec);
+
+private:
+  const loader::AddressSpace &Space;
+  CodeCache &Cache;
+  const CostModel &Costs;
+  InstrumentationSpec Spec;
+  uint32_t MaxTraceInsts;
+};
+
+} // namespace dbi
+} // namespace pcc
+
+#endif // PCC_DBI_COMPILER_H

@@ -1,0 +1,275 @@
+//===- dbi/Engine.cpp -----------------------------------------------------===//
+
+#include "dbi/Engine.h"
+
+#include "support/Hashing.h"
+#include "vm/Exec.h"
+#include "vm/Threads.h"
+
+#include <cassert>
+
+using namespace pcc;
+using namespace pcc::dbi;
+using isa::Instruction;
+using isa::Opcode;
+
+uint64_t pcc::dbi::engineVersionHash() {
+  // Bump the string when the translation scheme or persistent format
+  // changes incompatibly.
+  return fnv1a64("pcc-dbi-engine-1.0");
+}
+
+Engine::Engine(vm::Machine &M, Tool *ClientTool, EngineOptions Opts)
+    : M(M), ClientTool(ClientTool), Opts(Opts),
+      Cache(Opts.CodePoolBytes, Opts.DataPoolBytes),
+      TheCompiler(M.space(), Cache, this->Opts.Costs, spec(),
+                  this->Opts.MaxTraceInsts) {}
+
+ErrorOr<TranslatedTrace *> Engine::lookupOrCompile(uint32_t Pc) {
+  if (TranslatedTrace *T = Cache.lookup(Pc))
+    return T;
+  auto Compiled = TheCompiler.compile(Pc, Stats);
+  if (Compiled)
+    return Compiled;
+  if (Compiled.status().code() != ErrorCode::OutOfMemory)
+    return Compiled;
+  if (Opts.Eviction == EvictionPolicy::EvictOldestHalf) {
+    // Granular reaction: drop the oldest half, compact, retry.
+    uint32_t Evicted = Cache.evictOldest(0.5);
+    Stats.TracesEvicted += Evicted;
+    Stats.EvictionCycles +=
+        Evicted * Opts.Costs.EvictionCyclesPerTrace;
+    auto Retry = TheCompiler.compile(Pc, Stats);
+    if (Retry || Retry.status().code() != ErrorCode::OutOfMemory)
+      return Retry;
+  }
+  // A pool filled up: flush the whole cache (translated code and data
+  // structures) and retry once, as Pin does.
+  Cache.flush();
+  ++Stats.CacheFlushes;
+  return TheCompiler.compile(Pc, Stats);
+}
+
+Status Engine::ensureMaterialized(TranslatedTrace *T) {
+  if (T->isMaterialized())
+    return Status::success();
+  assert(T->isFromPersistentCache() &&
+         "only persisted traces are unmaterialized");
+  auto Body = isa::decodeAll(
+      Cache.codeAt(T->poolOffset() + TracePrologueBytes),
+      T->guestInstCount());
+  if (!Body)
+    return Body.status();
+  T->materialize(Body.take());
+  uint32_t NewPages = Cache.touchPages(T->poolOffset(), T->poolBytes());
+  Stats.PersistCycles += Opts.Costs.PersistTraceMaterializeCycles +
+                         NewPages * Opts.Costs.PersistPageTouchCycles;
+  ++Stats.TracesReused;
+  return Status::success();
+}
+
+namespace {
+
+/// Size in instructions of the basic block starting at \p StartIndex:
+/// through the next conditional branch (inclusive) or the trace end.
+uint32_t basicBlockSize(const std::vector<Instruction> &Body,
+                        uint32_t StartIndex) {
+  for (uint32_t I = StartIndex; I != Body.size(); ++I)
+    if (isa::isConditionalBranch(Body[I].Op))
+      return I - StartIndex + 1;
+  return static_cast<uint32_t>(Body.size()) - StartIndex;
+}
+
+/// A direct exit waiting to be linked once its target trace exists.
+struct PendingLink {
+  TranslatedTrace *From = nullptr;
+  uint32_t ExitIndex = 0;
+  /// CodeCache::modificationGeneration() when the exit was recorded;
+  /// a flush or eviction in between invalidates the pointer.
+  uint64_t CacheGeneration = 0;
+};
+
+} // namespace
+
+vm::RunResult Engine::run() {
+  assert(!HasRun && "Engine::run is single-shot");
+  HasRun = true;
+
+  const CostModel &Costs = Opts.Costs;
+  const InstrumentationSpec Spec = spec();
+  vm::SyscallEnv Env;
+  vm::ThreadScheduler Threads(M.initialCpuState());
+  loader::AddressSpace &Space = M.space();
+  vm::RunResult Result;
+
+  uint32_t Pc = Threads.current().Cpu.Pc;
+  TranslatedTrace *Current = nullptr;
+  PendingLink Pending;
+  bool Done = false;
+
+  while (!Done) {
+    if (Stats.GuestInstsExecuted >= Opts.Limits.MaxInstructions) {
+      Result.Error = Status::error(ErrorCode::GuestFault,
+                                   "instruction limit exceeded");
+      break;
+    }
+
+    if (!Current) {
+      // Dispatcher: context switch out of the code cache plus
+      // translation-map lookup; compile on a miss.
+      Stats.DispatchCycles += Costs.DispatchCycles;
+      auto Found = lookupOrCompile(Pc);
+      if (!Found) {
+        Result.Error = Found.status();
+        break;
+      }
+      Current = *Found;
+      // Link the exit that brought us here, unless a flush invalidated
+      // the source trace in the meantime.
+      if (Pending.From && Opts.EnableLinking &&
+          Pending.CacheGeneration == Cache.modificationGeneration()) {
+        Cache.link(Pending.From, Pending.ExitIndex, Current);
+        Stats.LinkCycles += Costs.LinkCycles;
+        ++Stats.LinksCreated;
+      }
+      Pending = PendingLink();
+    }
+
+    Status MatStatus = ensureMaterialized(Current);
+    if (!MatStatus.ok()) {
+      Result.Error = MatStatus;
+      break;
+    }
+    Current->countExecution();
+    ++Stats.TraceExecutions;
+
+    const std::vector<Instruction> &Body = Current->body();
+    const uint32_t TraceStart = Current->guestStart();
+    TranslatedTrace *Next = nullptr;
+    vm::CpuState &Cpu = Threads.current().Cpu;
+
+    for (uint32_t Index = 0; Index != Body.size(); ++Index) {
+      const Instruction &Inst = Body[Index];
+      const uint32_t InstPc =
+          TraceStart + Index * isa::InstructionSize;
+
+      // Analysis callbacks compiled in by the tool.
+      if (Spec.BasicBlocks && Index == 0) {
+        ClientTool->onBasicBlock(InstPc, basicBlockSize(Body, 0));
+        Stats.ToolCycles += Costs.AnalysisCyclesPerBlockCall;
+      }
+      if (Spec.Instructions) {
+        ClientTool->onInstruction(InstPc);
+        Stats.ToolCycles += Costs.AnalysisCyclesPerInstCall;
+      }
+      if (Spec.MemoryAccesses && isa::isMemoryAccess(Inst.Op)) {
+        uint32_t EffectiveAddr = Cpu.Regs[Inst.Rs1] + Inst.Imm;
+        ClientTool->onMemoryAccess(InstPc, EffectiveAddr,
+                                   Inst.Op == Opcode::St);
+        Stats.ToolCycles += Costs.AnalysisCyclesPerMemoryCall;
+      }
+
+      auto Step = vm::executeInstruction(Inst, InstPc, Cpu, Space, Env);
+      if (!Step) {
+        Result.Error = Step.status();
+        Done = true;
+        break;
+      }
+      ++Stats.GuestInstsExecuted;
+
+      if (Step->Kind == vm::StepKind::Halted) {
+        Done = true;
+        break;
+      }
+
+      if (Step->Kind == vm::StepKind::Syscall) {
+        // Control leaves the code cache for the emulation unit; the
+        // syscall exit is never linked. This is also the cooperative
+        // thread-switch point — the same point the interpreter
+        // switches at, so interleavings match across engines.
+        Stats.EmulationCycles += Costs.SyscallEmulationCycles;
+        auto Alive = Threads.afterSyscall(Env, Space, Step->NextPc);
+        if (!Alive) {
+          Result.Error = Alive.status();
+          Done = true;
+          break;
+        }
+        if (!*Alive) {
+          Done = true; // Every thread exited: program ends, code 0.
+          break;
+        }
+        Pc = Threads.current().Cpu.Pc;
+        break;
+      }
+
+      if (Step->Kind == vm::StepKind::Sequential) {
+        if (isa::isConditionalBranch(Inst.Op) && Spec.BasicBlocks &&
+            Index + 1 != Body.size()) {
+          // Fell through into the next basic block of this trace.
+          uint32_t NextBlockPc = InstPc + isa::InstructionSize;
+          ClientTool->onBasicBlock(NextBlockPc,
+                                   basicBlockSize(Body, Index + 1));
+          Stats.ToolCycles += Costs.AnalysisCyclesPerBlockCall;
+        }
+        if (Index + 1 != Body.size())
+          continue;
+        // Instruction-limit cutoff: fall-through exit.
+        TraceExit *Exit = &Current->finalExit();
+        assert(Exit->Kind == ExitKind::FallThrough &&
+               "missing fall-through exit");
+        if (Exit->Link) {
+          Next = Exit->Link;
+          break;
+        }
+        Pc = Exit->Target;
+        Pending = PendingLink{
+            Current,
+            static_cast<uint32_t>(Exit - Current->exits().data()),
+            Cache.modificationGeneration()};
+        break;
+      }
+
+      assert(Step->Kind == vm::StepKind::Control);
+      TraceExit *Exit = isa::isConditionalBranch(Inst.Op)
+                            ? Current->findBranchExit(Index)
+                            : &Current->finalExit();
+      assert(Exit && "control transfer without an exit record");
+      if (Exit->Kind == ExitKind::Indirect) {
+        // Inline indirect-target lookup; a hit stays in the cache, a
+        // miss surfaces through the dispatcher.
+        Stats.IndirectCycles += Costs.IndirectLookupCycles;
+        Pc = Step->NextPc;
+        Next = Cache.lookup(Pc);
+        break;
+      }
+      assert(isLinkableExit(Exit->Kind) && "unexpected exit kind");
+      assert(Exit->Target == Step->NextPc && "exit target mismatch");
+      if (Exit->Link) {
+        Next = Exit->Link;
+        break;
+      }
+      Pc = Exit->Target;
+      Pending = PendingLink{
+          Current,
+          static_cast<uint32_t>(Exit - Current->exits().data()),
+          Cache.modificationGeneration()};
+      break;
+    }
+
+    Current = Next;
+  }
+
+  Stats.ExecCycles = Costs.translatedExecCycles(Stats.GuestInstsExecuted);
+  if (Opts.IntermixPools)
+    Stats.ExecCycles = Stats.ExecCycles * Costs.IntermixExecPenaltyNum /
+                       Costs.IntermixExecPenaltyDen;
+  Stats.SyscallCount = Env.SyscallCount;
+
+  Result.ExitCode = Env.Exited ? Env.ExitCode : 0;
+  Result.Output = std::move(Env.Output);
+  Result.WordLog = std::move(Env.WordLog);
+  Result.InstructionsExecuted = Stats.GuestInstsExecuted;
+  Result.SyscallCount = Stats.SyscallCount;
+  Result.Cycles = Stats.totalCycles();
+  return Result;
+}

@@ -1,0 +1,118 @@
+//===- dbi/Engine.h - The run-time compilation engine -----------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual machine that runs a guest program completely under its
+/// control — the Pin analogue of Figure 1 in the paper. The dispatcher
+/// looks up traces in the translation map, invokes the compilation unit
+/// on misses (the dominant VM overhead), links traces so hot paths stay
+/// inside the code cache, and hands syscalls to the emulation unit.
+///
+/// Persistence (the paper's contribution) is layered on top by
+/// pcc::persist: it pre-populates this engine's code cache from a
+/// persistent cache file before run() and harvests resident traces after.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_DBI_ENGINE_H
+#define PCC_DBI_ENGINE_H
+
+#include "dbi/CodeCache.h"
+#include "dbi/Compiler.h"
+#include "dbi/CostModel.h"
+#include "dbi/Stats.h"
+#include "dbi/Tool.h"
+#include "vm/Machine.h"
+
+#include <memory>
+
+namespace pcc {
+namespace dbi {
+
+/// What the engine does when a code-cache pool fills up.
+enum class EvictionPolicy : uint8_t {
+  /// Discard everything (Pin's behaviour, and the paper's: "a code
+  /// cache flush discards all translated code and data structures").
+  FlushAll,
+  /// Evict the oldest half of the traces and compact the pool —
+  /// granular code-cache management in the spirit of the Hazelwood
+  /// work the paper builds on. Evaluated in bench/ablate_eviction.
+  EvictOldestHalf,
+};
+
+/// Engine configuration. Defaults mirror the paper's setup scaled to the
+/// synthetic workloads (the paper reserves 512 MB split evenly between
+/// code cache and data structures; a flush discards everything).
+struct EngineOptions {
+  /// Fixed instruction count bounding trace selection.
+  uint32_t MaxTraceInsts = 16;
+  uint64_t CodePoolBytes = 64ull << 20;
+  uint64_t DataPoolBytes = 64ull << 20;
+  /// Trace linking (proactive branch patching). On in Pin; switchable
+  /// for ablation.
+  bool EnableLinking = true;
+  /// Ablation of the separate code/data pools (Section 3.2.2): when
+  /// true, data structures are intermixed with code in a single pool,
+  /// degrading translated-code locality.
+  bool IntermixPools = false;
+  /// Reaction to a full pool.
+  EvictionPolicy Eviction = EvictionPolicy::FlushAll;
+  CostModel Costs;
+  vm::RunLimits Limits;
+};
+
+/// Version stamp of the engine implementation. Part of every persistent
+/// cache key: "code and the data structures are specific to a version of
+/// the system and cannot be utilized across versions" (Section 3.2.1).
+uint64_t engineVersionHash();
+
+/// One run of one guest program under dynamic binary translation.
+class Engine {
+public:
+  /// \p ClientTool may be nullptr (no instrumentation — the paper's
+  /// "minimum overhead Pin must overcome" baseline).
+  Engine(vm::Machine &M, Tool *ClientTool,
+         EngineOptions Opts = EngineOptions());
+
+  /// Executes the guest to completion. Callable once per Engine.
+  vm::RunResult run();
+
+  CodeCache &cache() { return Cache; }
+  const CodeCache &cache() const { return Cache; }
+  EngineStats &stats() { return Stats; }
+  const EngineStats &stats() const { return Stats; }
+  const EngineOptions &options() const { return Opts; }
+  vm::Machine &machine() { return M; }
+  Tool *tool() const { return ClientTool; }
+
+  /// Instrumentation compiled into every trace (empty without a tool).
+  InstrumentationSpec spec() const {
+    return ClientTool ? ClientTool->spec() : InstrumentationSpec();
+  }
+
+private:
+  /// Dispatcher slow path: translation-map lookup, compiling on a miss,
+  /// flushing and retrying when a pool fills.
+  ErrorOr<TranslatedTrace *> lookupOrCompile(uint32_t Pc);
+
+  /// Decodes a persisted trace's body on first execution, charging
+  /// demand-paging costs.
+  Status ensureMaterialized(TranslatedTrace *T);
+
+  vm::Machine &M;
+  Tool *ClientTool;
+  EngineOptions Opts;
+  CodeCache Cache;
+  Compiler TheCompiler;
+  EngineStats Stats;
+  bool HasRun = false;
+};
+
+} // namespace dbi
+} // namespace pcc
+
+#endif // PCC_DBI_ENGINE_H

@@ -1,0 +1,87 @@
+//===- dbi/Stats.h - Engine execution statistics ----------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cycle and event accounting for one engine run, split exactly the way
+/// the paper reports results: VM overhead (translation + dispatch +
+/// linking + persistence bookkeeping) vs. translated-code execution vs.
+/// emulation. The compile-event timeline feeds Figure 2(a).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_DBI_STATS_H
+#define PCC_DBI_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pcc {
+namespace dbi {
+
+/// One VM translation request, recorded for the Figure 2(a) timeline.
+struct CompileEvent {
+  /// Guest instructions executed when the request occurred.
+  uint64_t GuestInstsExecuted = 0;
+  /// Number of guest instructions in the compiled trace.
+  uint32_t TraceInsts = 0;
+};
+
+/// Aggregated counters for one engine run.
+struct EngineStats {
+  /// \name Cycle accounts
+  /// @{
+  uint64_t CompileCycles = 0;      ///< Trace translation work.
+  uint64_t DispatchCycles = 0;     ///< Code cache exits to the VM.
+  uint64_t LinkCycles = 0;         ///< Trace link patching.
+  uint64_t IndirectCycles = 0;     ///< Inline indirect-target lookups.
+  uint64_t ExecCycles = 0;         ///< Translated guest instructions.
+  uint64_t ToolCycles = 0;         ///< Analysis-routine execution.
+  uint64_t EmulationCycles = 0;    ///< Syscall interception/emulation.
+  uint64_t PersistCycles = 0;      ///< Keys, cache open, demand paging,
+                                   ///< cache write-back.
+  uint64_t EvictionCycles = 0;     ///< Granular cache eviction work.
+  /// @}
+
+  /// \name Event counts
+  /// @{
+  uint64_t GuestInstsExecuted = 0;
+  uint64_t SyscallCount = 0;
+  uint64_t TracesCompiled = 0;
+  uint64_t TracesLoadedFromCache = 0; ///< Persisted traces installed.
+  uint64_t TracesReused = 0;          ///< Persisted traces executed.
+  uint64_t TraceExecutions = 0;
+  uint64_t LinksCreated = 0;
+  uint64_t CacheFlushes = 0;
+  uint64_t TracesEvicted = 0;
+  uint64_t ModulesInvalidated = 0;    ///< Key conflicts at load time.
+  /// @}
+
+  /// Translation-request timeline (Figure 2(a)).
+  std::vector<CompileEvent> Timeline;
+
+  /// The paper's "VM overhead": everything spent inside the virtual
+  /// machine generating and managing code.
+  uint64_t vmCycles() const {
+    return CompileCycles + DispatchCycles + LinkCycles + PersistCycles +
+           EvictionCycles;
+  }
+
+  /// The paper's "translated code performance" time.
+  uint64_t translatedCycles() const {
+    return ExecCycles + ToolCycles + IndirectCycles;
+  }
+
+  /// Total run cycles under the engine.
+  uint64_t totalCycles() const {
+    return vmCycles() + translatedCycles() + EmulationCycles;
+  }
+};
+
+} // namespace dbi
+} // namespace pcc
+
+#endif // PCC_DBI_STATS_H

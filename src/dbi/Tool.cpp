@@ -1,0 +1,62 @@
+//===- dbi/Tool.cpp -------------------------------------------------------===//
+
+#include "dbi/Tool.h"
+
+#include "support/Hashing.h"
+
+using namespace pcc;
+using namespace pcc::dbi;
+
+uint64_t InstrumentationSpec::hash() const {
+  uint64_t Bits = (BasicBlocks ? 1 : 0) | (MemoryAccesses ? 2 : 0) |
+                  (Instructions ? 4 : 0);
+  return fnv1a64U64(Bits, Fnv1a64Init);
+}
+
+Tool::~Tool() = default;
+
+void Tool::onBasicBlock(uint32_t, uint32_t) {}
+void Tool::onMemoryAccess(uint32_t, uint32_t, bool) {}
+void Tool::onInstruction(uint32_t) {}
+
+uint64_t Tool::keyHash() const {
+  uint64_t Hash = fnv1a64(name());
+  Hash = fnv1a64U64(version(), Hash);
+  return hashCombine(Hash, spec().hash());
+}
+
+InstrumentationSpec BasicBlockCounterTool::spec() const {
+  InstrumentationSpec Spec;
+  Spec.BasicBlocks = true;
+  return Spec;
+}
+
+void BasicBlockCounterTool::onBasicBlock(uint32_t Addr, uint32_t NumInsts) {
+  ++Counts[Addr];
+  ++TotalBlocks;
+  TotalInsts += NumInsts;
+}
+
+InstrumentationSpec MemRefTraceTool::spec() const {
+  InstrumentationSpec Spec;
+  Spec.MemoryAccesses = true;
+  return Spec;
+}
+
+void MemRefTraceTool::onMemoryAccess(uint32_t Pc, uint32_t EffectiveAddr,
+                                     bool IsWrite) {
+  if (IsWrite)
+    ++Stores;
+  else
+    ++Loads;
+  uint64_t Record = (static_cast<uint64_t>(Pc) << 32) | EffectiveAddr;
+  Checksum = hashCombine(hashCombine(Checksum, Record), IsWrite ? 1 : 0);
+}
+
+InstrumentationSpec InstructionCounterTool::spec() const {
+  InstrumentationSpec Spec;
+  Spec.Instructions = true;
+  return Spec;
+}
+
+void InstructionCounterTool::onInstruction(uint32_t) { ++Count; }

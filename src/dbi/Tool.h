@@ -1,0 +1,141 @@
+//===- dbi/Tool.h - Client instrumentation API ------------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client API — the analogue of a Pin Tool. A Tool declares which
+/// instrumentation points it wants (its InstrumentationSpec, applied
+/// uniformly at trace compile time) and receives analysis callbacks as
+/// translated code executes. The tool's identity hashes into the
+/// persistent cache key (Section 3.2.1: "The Pin Tool key ensures
+/// instrumentation semantics are consistent across executions"), so a
+/// cache created under one tool is never reused under another.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_DBI_TOOL_H
+#define PCC_DBI_TOOL_H
+
+#include "isa/Instruction.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace pcc {
+namespace dbi {
+
+/// Which instrumentation points a tool inserts into every trace.
+struct InstrumentationSpec {
+  bool BasicBlocks = false;  ///< Callback at every basic-block entry.
+  bool MemoryAccesses = false; ///< Callback before every load/store.
+  bool Instructions = false;   ///< Callback before every instruction.
+
+  bool any() const { return BasicBlocks || MemoryAccesses || Instructions; }
+
+  /// Stable hash (feeds the tool key).
+  uint64_t hash() const;
+
+  bool operator==(const InstrumentationSpec &Other) const = default;
+};
+
+/// Base class for clients. Subclasses override the callbacks they
+/// requested through spec(). Callbacks must be deterministic functions of
+/// the observed execution for persistent-cache results to be meaningful.
+class Tool {
+public:
+  virtual ~Tool();
+
+  /// Unique, stable tool name (part of the persistent cache key).
+  virtual std::string name() const = 0;
+
+  /// Tool version; bump to invalidate previously persisted caches.
+  virtual uint32_t version() const { return 1; }
+
+  /// Instrumentation this tool wants compiled into every trace.
+  virtual InstrumentationSpec spec() const { return InstrumentationSpec(); }
+
+  /// \name Analysis callbacks (execution time)
+  /// @{
+  virtual void onBasicBlock(uint32_t Addr, uint32_t NumInsts);
+  virtual void onMemoryAccess(uint32_t Pc, uint32_t EffectiveAddr,
+                              bool IsWrite);
+  virtual void onInstruction(uint32_t Pc);
+  /// @}
+
+  /// Key ingredient: hash of name, version and spec.
+  uint64_t keyHash() const;
+};
+
+/// A named tool that instruments nothing. Exists to demonstrate that the
+/// tool identity alone partitions the persistent cache database.
+class NullTool : public Tool {
+public:
+  std::string name() const override { return "null"; }
+};
+
+/// Counts executions of every basic block (the paper's "detailed basic
+/// block profiling", Figure 5(b)).
+class BasicBlockCounterTool : public Tool {
+public:
+  std::string name() const override { return "bbcount"; }
+  InstrumentationSpec spec() const override;
+  void onBasicBlock(uint32_t Addr, uint32_t NumInsts) override;
+
+  /// Execution count per basic-block start address.
+  const std::unordered_map<uint32_t, uint64_t> &counts() const {
+    return Counts;
+  }
+  /// Total dynamic basic blocks observed.
+  uint64_t totalBlocks() const { return TotalBlocks; }
+  /// Total dynamic instructions attributed through block sizes.
+  uint64_t totalInstructions() const { return TotalInsts; }
+
+private:
+  std::unordered_map<uint32_t, uint64_t> Counts;
+  uint64_t TotalBlocks = 0;
+  uint64_t TotalInsts = 0;
+};
+
+/// Traces memory references (the paper instruments memory references on
+/// Oracle, Section 4.2). Keeps counts plus an order-sensitive checksum
+/// instead of an unbounded log.
+class MemRefTraceTool : public Tool {
+public:
+  std::string name() const override { return "memtrace"; }
+  InstrumentationSpec spec() const override;
+  void onMemoryAccess(uint32_t Pc, uint32_t EffectiveAddr,
+                      bool IsWrite) override;
+
+  uint64_t loadCount() const { return Loads; }
+  uint64_t storeCount() const { return Stores; }
+  /// Order-sensitive checksum over (pc, address, kind) triples; equal
+  /// checksums across engines mean identical observed reference streams.
+  uint64_t checksum() const { return Checksum; }
+
+private:
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t Checksum = 0;
+};
+
+/// Counts every executed instruction (icount-style tool).
+class InstructionCounterTool : public Tool {
+public:
+  std::string name() const override { return "icount"; }
+  InstrumentationSpec spec() const override;
+  void onInstruction(uint32_t Pc) override;
+
+  uint64_t count() const { return Count; }
+
+private:
+  uint64_t Count = 0;
+};
+
+} // namespace dbi
+} // namespace pcc
+
+#endif // PCC_DBI_TOOL_H

@@ -1,0 +1,89 @@
+//===- dbi/Trace.cpp ------------------------------------------------------===//
+
+#include "dbi/Trace.h"
+
+#include <cassert>
+
+using namespace pcc;
+using namespace pcc::dbi;
+using isa::Instruction;
+using isa::Opcode;
+
+uint32_t Trace::numBasicBlocks() const {
+  uint32_t Blocks = Insts.empty() ? 0 : 1;
+  for (size_t I = 0; I + 1 < Insts.size(); ++I)
+    if (isa::isConditionalBranch(Insts[I].Op))
+      ++Blocks;
+  return Blocks;
+}
+
+uint32_t Trace::numMemoryAccesses() const {
+  uint32_t Count = 0;
+  for (const Instruction &Inst : Insts)
+    if (isa::isMemoryAccess(Inst.Op))
+      ++Count;
+  return Count;
+}
+
+ErrorOr<Trace> pcc::dbi::selectTrace(const loader::AddressSpace &Space,
+                                     uint32_t StartAddr,
+                                     uint32_t MaxInsts) {
+  assert(MaxInsts > 0 && "trace limit must be positive");
+  Trace Result;
+  Result.StartAddr = StartAddr;
+
+  uint32_t Pc = StartAddr;
+  for (uint32_t Count = 0; Count != MaxInsts; ++Count) {
+    uint8_t Raw[isa::InstructionSize];
+    Status FetchStatus = Space.fetchInstructionBytes(Pc, Raw);
+    if (!FetchStatus.ok())
+      return FetchStatus;
+    auto Inst = Instruction::decode(Raw);
+    if (!Inst)
+      return Inst.status();
+    uint32_t Index = Result.numInsts();
+    Result.Insts.push_back(*Inst);
+
+    if (isa::isConditionalBranch(Inst->Op)) {
+      // Mid-trace exit on the taken path; fall-through continues the
+      // trace (unless this is the last slot, handled below).
+      Result.Exits.push_back(
+          TraceExitInfo{ExitKind::Branch, Index, Inst->Imm});
+      Pc += isa::InstructionSize;
+      continue;
+    }
+    if (isa::isTraceTerminator(Inst->Op)) {
+      TraceExitInfo Exit;
+      Exit.InstIndex = Index;
+      switch (Inst->Op) {
+      case Opcode::Jmp:
+      case Opcode::Call:
+        Exit.Kind = ExitKind::Direct;
+        Exit.Target = Inst->Imm;
+        break;
+      case Opcode::Jr:
+      case Opcode::Callr:
+      case Opcode::Ret:
+        Exit.Kind = ExitKind::Indirect;
+        break;
+      case Opcode::Sys:
+        Exit.Kind = ExitKind::Syscall;
+        Exit.Target = Pc + isa::InstructionSize;
+        break;
+      case Opcode::Halt:
+        Exit.Kind = ExitKind::Halt;
+        break;
+      default:
+        assert(false && "unexpected terminator");
+      }
+      Result.Exits.push_back(Exit);
+      return Result;
+    }
+    Pc += isa::InstructionSize;
+  }
+
+  // Instruction limit reached without a terminator: fall-through exit.
+  Result.Exits.push_back(TraceExitInfo{
+      ExitKind::FallThrough, Result.numInsts() - 1, Pc});
+  return Result;
+}

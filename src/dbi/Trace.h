@@ -1,0 +1,87 @@
+//===- dbi/Trace.h - Trace selection ----------------------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace selection per Section 2.1 of the paper: "a linear sequence of
+/// instructions fetched from a starting address until a fixed instruction
+/// count is reached or an unconditional branch instruction is
+/// encountered. Execution always enters a trace via its first
+/// instruction; no side-entrances are allowed." The fetched layout is not
+/// altered and no optimization is applied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_DBI_TRACE_H
+#define PCC_DBI_TRACE_H
+
+#include "isa/Instruction.h"
+#include "loader/AddressSpace.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pcc {
+namespace dbi {
+
+/// How control leaves a trace at a given exit point.
+enum class ExitKind : uint8_t {
+  Branch,      ///< Conditional branch taken (mid-trace or final).
+  Direct,      ///< Jmp or Call: unconditional, statically known target.
+  FallThrough, ///< Instruction-limit cutoff: continue at the next PC.
+  Indirect,    ///< Jr / Callr / Ret: target known only at run time.
+  Syscall,     ///< Sys: control returns to the VM's emulation unit.
+  Halt,        ///< Halt or guest exit.
+};
+
+/// True if exits of this kind have a statically known guest target that
+/// can be linked to another trace.
+inline bool isLinkableExit(ExitKind Kind) {
+  return Kind == ExitKind::Branch || Kind == ExitKind::Direct ||
+         Kind == ExitKind::FallThrough;
+}
+
+/// One exit point of a (selected or translated) trace.
+struct TraceExitInfo {
+  ExitKind Kind = ExitKind::Halt;
+  /// Index of the instruction producing this exit.
+  uint32_t InstIndex = 0;
+  /// Absolute guest target; 0 for Indirect/Halt (Syscall stores the
+  /// fall-through address, where execution resumes after emulation).
+  uint32_t Target = 0;
+};
+
+/// A selected trace: original guest instructions plus exit metadata.
+struct Trace {
+  uint32_t StartAddr = 0;
+  std::vector<isa::Instruction> Insts;
+  std::vector<TraceExitInfo> Exits;
+
+  uint32_t numInsts() const {
+    return static_cast<uint32_t>(Insts.size());
+  }
+  /// Guest bytes covered by the trace.
+  uint32_t guestBytes() const {
+    return numInsts() * isa::InstructionSize;
+  }
+  /// Number of basic blocks: the head plus one per conditional branch
+  /// fall-through (traces have no side entries).
+  uint32_t numBasicBlocks() const;
+  /// Number of memory-access instructions.
+  uint32_t numMemoryAccesses() const;
+};
+
+/// Fetches and decodes a trace starting at \p StartAddr.
+/// \p MaxInsts bounds the trace length (the paper's fixed instruction
+/// count). Fails on unmapped code or undecodable bytes.
+ErrorOr<Trace> selectTrace(const loader::AddressSpace &Space,
+                           uint32_t StartAddr, uint32_t MaxInsts);
+
+} // namespace dbi
+} // namespace pcc
+
+#endif // PCC_DBI_TRACE_H

@@ -1,0 +1,97 @@
+//===- isa/Instruction.h - Guest instruction encoding -----------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoded form of a guest instruction plus its fixed 8-byte encoding:
+///
+///   byte 0: opcode
+///   byte 1: Rd   (destination register)
+///   byte 2: Rs1  (source register 1 / base / indirect target)
+///   byte 3: Rs2  (source register 2 / store value)
+///   bytes 4..7: Imm, little-endian 32 bits (sign interpretation per op)
+///
+/// Factory functions build well-formed instructions; decode() validates
+/// raw bytes so the VM never executes junk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_ISA_INSTRUCTION_H
+#define PCC_ISA_INSTRUCTION_H
+
+#include "isa/Opcode.h"
+#include "support/Error.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace isa {
+
+/// A guest code address. The guest address space is 32-bit.
+using GuestAddr = uint32_t;
+
+/// One decoded guest instruction.
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  uint8_t Rd = 0;
+  uint8_t Rs1 = 0;
+  uint8_t Rs2 = 0;
+  uint32_t Imm = 0;
+
+  bool operator==(const Instruction &Other) const = default;
+
+  /// Encodes into the fixed 8-byte form.
+  std::array<uint8_t, InstructionSize> encode() const;
+
+  /// Appends the encoding to \p Out.
+  void encodeTo(std::vector<uint8_t> &Out) const;
+
+  /// Decodes 8 bytes; fails on invalid opcode or register fields.
+  static ErrorOr<Instruction> decode(const uint8_t *Bytes);
+
+  /// Renders "add r1, r2, r3" style disassembly.
+  std::string toString() const;
+
+  /// \returns the absolute branch/call target, valid only when
+  /// hasCodeTarget(Op).
+  GuestAddr codeTarget() const { return Imm; }
+};
+
+/// \name Factory functions
+/// Builders assert register indices in range so malformed programs fail
+/// at construction, not execution.
+/// @{
+Instruction makeNop();
+Instruction makeHalt();
+Instruction makeAlu(Opcode Op, unsigned Rd, unsigned Rs1, unsigned Rs2);
+Instruction makeAluImm(Opcode Op, unsigned Rd, unsigned Rs1, uint32_t Imm);
+Instruction makeLdi(unsigned Rd, uint32_t Imm);
+Instruction makeLoad(unsigned Rd, unsigned Base, int32_t Offset);
+Instruction makeStore(unsigned Base, int32_t Offset, unsigned Src);
+Instruction makeBranch(Opcode Op, unsigned Rs1, unsigned Rs2,
+                       GuestAddr Target);
+Instruction makeJmp(GuestAddr Target);
+Instruction makeJr(unsigned Rs1);
+Instruction makeCall(GuestAddr Target);
+Instruction makeCallr(unsigned Rs1);
+Instruction makeRet();
+Instruction makeSys(uint32_t Number);
+/// @}
+
+/// Decodes \p Count instructions starting at \p Bytes.
+ErrorOr<std::vector<Instruction>> decodeAll(const uint8_t *Bytes,
+                                            size_t Count);
+
+/// Encodes a sequence of instructions into contiguous bytes.
+std::vector<uint8_t> encodeAll(const std::vector<Instruction> &Insts);
+
+} // namespace isa
+} // namespace pcc
+
+#endif // PCC_ISA_INSTRUCTION_H

@@ -1,0 +1,149 @@
+//===- isa/Opcode.cpp -----------------------------------------------------===//
+
+#include "isa/Opcode.h"
+
+#include <cassert>
+
+using namespace pcc;
+using namespace pcc::isa;
+
+bool pcc::isa::isControlFlow(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+  case Opcode::Jmp:
+  case Opcode::Jr:
+  case Opcode::Call:
+  case Opcode::Callr:
+  case Opcode::Ret:
+  case Opcode::Halt:
+  case Opcode::Sys:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool pcc::isa::isTraceTerminator(Opcode Op) {
+  switch (Op) {
+  case Opcode::Jmp:
+  case Opcode::Jr:
+  case Opcode::Call:
+  case Opcode::Callr:
+  case Opcode::Ret:
+  case Opcode::Halt:
+  case Opcode::Sys:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool pcc::isa::isConditionalBranch(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool pcc::isa::hasCodeTarget(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+  case Opcode::Jmp:
+  case Opcode::Call:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool pcc::isa::isMemoryAccess(Opcode Op) {
+  return Op == Opcode::Ld || Op == Opcode::St;
+}
+
+const char *pcc::isa::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::Halt:
+    return "halt";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Divu:
+    return "divu";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Sltu:
+    return "sltu";
+  case Opcode::Seq:
+    return "seq";
+  case Opcode::Addi:
+    return "addi";
+  case Opcode::Muli:
+    return "muli";
+  case Opcode::Andi:
+    return "andi";
+  case Opcode::Ori:
+    return "ori";
+  case Opcode::Xori:
+    return "xori";
+  case Opcode::Shli:
+    return "shli";
+  case Opcode::Shri:
+    return "shri";
+  case Opcode::Sltiu:
+    return "sltiu";
+  case Opcode::Ldi:
+    return "ldi";
+  case Opcode::Ld:
+    return "ld";
+  case Opcode::St:
+    return "st";
+  case Opcode::Beq:
+    return "beq";
+  case Opcode::Bne:
+    return "bne";
+  case Opcode::Bltu:
+    return "bltu";
+  case Opcode::Bgeu:
+    return "bgeu";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Jr:
+    return "jr";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Callr:
+    return "callr";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Sys:
+    return "sys";
+  case Opcode::NumOpcodes:
+    break;
+  }
+  assert(false && "invalid opcode");
+  return "invalid";
+}

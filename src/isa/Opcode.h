@@ -1,0 +1,115 @@
+//===- isa/Opcode.h - Guest ISA opcode definitions --------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcodes of the synthetic guest ISA. The ISA stands in for IA32 in the
+/// paper's setup; what matters for persistent code caching is the
+/// control-flow classification: traces end at *unconditional* control
+/// transfers (Section 2.1), and all control transfers use absolute target
+/// addresses so that persisted translations break when a module is
+/// relocated (Section 3.2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_ISA_OPCODE_H
+#define PCC_ISA_OPCODE_H
+
+#include <cstdint>
+
+namespace pcc {
+namespace isa {
+
+/// Guest instruction opcodes. Fixed 8-byte encoding; see Instruction.
+enum class Opcode : uint8_t {
+  // No-ops and program termination.
+  Nop = 0,
+  Halt,
+
+  // Register-register ALU: Rd = Rs1 op Rs2.
+  Add,
+  Sub,
+  Mul,
+  Divu, ///< Unsigned divide; divide-by-zero yields 0 (guest-visible rule).
+  And,
+  Or,
+  Xor,
+  Shl, ///< Shift amount masked to 5 bits.
+  Shr,
+  Sltu, ///< Rd = (Rs1 < Rs2) unsigned.
+  Seq,  ///< Rd = (Rs1 == Rs2).
+
+  // Register-immediate ALU: Rd = Rs1 op Imm (Imm sign behavior per op).
+  Addi,
+  Muli,
+  Andi,
+  Ori,
+  Xori,
+  Shli,
+  Shri,
+  Sltiu,
+  Ldi, ///< Rd = Imm (32-bit immediate load).
+
+  // Memory: 32-bit words, little-endian guest memory.
+  Ld, ///< Rd = mem32[Rs1 + signext(Imm)].
+  St, ///< mem32[Rs1 + signext(Imm)] = Rs2.
+
+  // Conditional branches: absolute target address in Imm.
+  Beq,
+  Bne,
+  Bltu,
+  Bgeu,
+
+  // Unconditional control transfers (trace enders).
+  Jmp,   ///< pc = Imm.
+  Jr,    ///< pc = Rs1.
+  Call,  ///< push(pc + 8); pc = Imm.
+  Callr, ///< push(pc + 8); pc = Rs1.
+  Ret,   ///< pc = pop().
+
+  // System call: number in Imm, args/result in r1..r3. Exits the code
+  // cache to the VM's emulation unit, so it also ends a trace.
+  Sys,
+
+  NumOpcodes
+};
+
+/// Number of general-purpose registers. r15 is the stack pointer by
+/// software convention (Call/Ret push/pop through it).
+inline constexpr unsigned NumRegisters = 16;
+
+/// Register index used as the stack pointer by Call/Ret.
+inline constexpr unsigned StackPointerReg = 15;
+
+/// Bytes per encoded instruction.
+inline constexpr unsigned InstructionSize = 8;
+
+/// True for any instruction that can change the PC non-sequentially.
+bool isControlFlow(Opcode Op);
+
+/// True for unconditional control transfers and Halt/Sys: these terminate
+/// trace selection (execution cannot fall through them).
+bool isTraceTerminator(Opcode Op);
+
+/// True for Beq/Bne/Bltu/Bgeu.
+bool isConditionalBranch(Opcode Op);
+
+/// True for instructions whose Imm field holds an absolute code address
+/// (conditional branches, Jmp, Call). These are the instructions whose
+/// translations embed absolute addresses and therefore pin a persisted
+/// trace to its original load address.
+bool hasCodeTarget(Opcode Op);
+
+/// True for Ld/St.
+bool isMemoryAccess(Opcode Op);
+
+/// Mnemonic for disassembly ("add", "beq", ...).
+const char *opcodeName(Opcode Op);
+
+} // namespace isa
+} // namespace pcc
+
+#endif // PCC_ISA_OPCODE_H

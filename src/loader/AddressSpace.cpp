@@ -1,0 +1,143 @@
+//===- loader/AddressSpace.cpp --------------------------------------------===//
+
+#include "loader/AddressSpace.h"
+
+#include "support/StringUtils.h"
+
+using namespace pcc;
+using namespace pcc::loader;
+using binary::PageSize;
+
+static uint32_t pageIndex(uint32_t Addr) { return Addr / PageSize; }
+static uint32_t pageOffset(uint32_t Addr) { return Addr % PageSize; }
+
+static Status faultAt(uint32_t Addr) {
+  return Status::error(ErrorCode::GuestFault,
+                       formatString("access to unmapped address 0x%x",
+                                    Addr));
+}
+
+const AddressSpace::Page *AddressSpace::findPage(uint32_t Addr) const {
+  auto It = Pages.find(pageIndex(Addr));
+  return It == Pages.end() ? nullptr : It->second.get();
+}
+
+AddressSpace::Page *AddressSpace::findPage(uint32_t Addr) {
+  auto It = Pages.find(pageIndex(Addr));
+  return It == Pages.end() ? nullptr : It->second.get();
+}
+
+Status AddressSpace::mapRegion(uint32_t Addr, uint32_t Size) {
+  if (Size == 0)
+    return Status::success();
+  uint32_t First = pageIndex(Addr);
+  uint32_t Last = pageIndex(Addr + Size - 1);
+  for (uint32_t Index = First;; ++Index) {
+    if (Pages.count(Index))
+      return Status::error(
+          ErrorCode::InvalidArgument,
+          formatString("page 0x%x already mapped", Index * PageSize));
+    if (Index == Last)
+      break;
+  }
+  for (uint32_t Index = First;; ++Index) {
+    Pages.emplace(Index, std::make_unique<Page>(PageSize, 0));
+    if (Index == Last)
+      break;
+  }
+  return Status::success();
+}
+
+bool AddressSpace::isMapped(uint32_t Addr) const {
+  return findPage(Addr) != nullptr;
+}
+
+ErrorOr<uint8_t> AddressSpace::read8(uint32_t Addr) const {
+  const Page *P = findPage(Addr);
+  if (!P)
+    return faultAt(Addr);
+  return (*P)[pageOffset(Addr)];
+}
+
+ErrorOr<uint32_t> AddressSpace::read32(uint32_t Addr) const {
+  // Fast path: within one page.
+  const Page *P = findPage(Addr);
+  if (P && pageOffset(Addr) + 4 <= PageSize) {
+    const uint8_t *Bytes = P->data() + pageOffset(Addr);
+    return static_cast<uint32_t>(Bytes[0]) |
+           (static_cast<uint32_t>(Bytes[1]) << 8) |
+           (static_cast<uint32_t>(Bytes[2]) << 16) |
+           (static_cast<uint32_t>(Bytes[3]) << 24);
+  }
+  uint32_t Value = 0;
+  for (unsigned I = 0; I != 4; ++I) {
+    auto Byte = read8(Addr + I);
+    if (!Byte)
+      return Byte.status();
+    Value |= static_cast<uint32_t>(*Byte) << (8 * I);
+  }
+  return Value;
+}
+
+Status AddressSpace::write8(uint32_t Addr, uint8_t Value) {
+  Page *P = findPage(Addr);
+  if (!P)
+    return faultAt(Addr);
+  (*P)[pageOffset(Addr)] = Value;
+  return Status::success();
+}
+
+Status AddressSpace::write32(uint32_t Addr, uint32_t Value) {
+  Page *P = findPage(Addr);
+  if (P && pageOffset(Addr) + 4 <= PageSize) {
+    uint8_t *Bytes = P->data() + pageOffset(Addr);
+    Bytes[0] = static_cast<uint8_t>(Value);
+    Bytes[1] = static_cast<uint8_t>(Value >> 8);
+    Bytes[2] = static_cast<uint8_t>(Value >> 16);
+    Bytes[3] = static_cast<uint8_t>(Value >> 24);
+    return Status::success();
+  }
+  for (unsigned I = 0; I != 4; ++I) {
+    Status S = write8(Addr + I, static_cast<uint8_t>(Value >> (8 * I)));
+    if (!S.ok())
+      return S;
+  }
+  return Status::success();
+}
+
+Status AddressSpace::writeBytes(uint32_t Addr, const void *Data,
+                                uint32_t Size) {
+  const auto *Src = static_cast<const uint8_t *>(Data);
+  uint32_t Done = 0;
+  while (Done != Size) {
+    Page *P = findPage(Addr + Done);
+    if (!P)
+      return faultAt(Addr + Done);
+    uint32_t Offset = pageOffset(Addr + Done);
+    uint32_t Chunk = std::min(Size - Done, PageSize - Offset);
+    std::copy(Src + Done, Src + Done + Chunk, P->data() + Offset);
+    Done += Chunk;
+  }
+  return Status::success();
+}
+
+Status AddressSpace::readBytes(uint32_t Addr, void *Out,
+                               uint32_t Size) const {
+  auto *Dst = static_cast<uint8_t *>(Out);
+  uint32_t Done = 0;
+  while (Done != Size) {
+    const Page *P = findPage(Addr + Done);
+    if (!P)
+      return faultAt(Addr + Done);
+    uint32_t Offset = pageOffset(Addr + Done);
+    uint32_t Chunk = std::min(Size - Done, PageSize - Offset);
+    std::copy(P->data() + Offset, P->data() + Offset + Chunk, Dst + Done);
+    Done += Chunk;
+  }
+  return Status::success();
+}
+
+Status AddressSpace::fetchInstructionBytes(uint32_t Addr,
+                                           uint8_t *Out) const {
+  return readBytes(Addr, Out, isa::InstructionSize);
+}

@@ -1,0 +1,73 @@
+//===- loader/AddressSpace.h - Guest virtual address space ------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse, paged 32-bit guest address space. Pages are allocated on
+/// mapRegion(); access to unmapped memory is a guest fault surfaced as a
+/// Status, never undefined behaviour. The interpreter and the DBI engine
+/// both execute against this memory, so results are bit-identical across
+/// execution modes — the property the equivalence tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_LOADER_ADDRESSSPACE_H
+#define PCC_LOADER_ADDRESSSPACE_H
+
+#include "binary/Module.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace pcc {
+namespace loader {
+
+/// Paged guest memory. All multi-byte accesses are little-endian and may
+/// span page boundaries.
+class AddressSpace {
+public:
+  /// Maps [Addr, Addr+Size) zero-filled. Both ends are page aligned
+  /// internally. Fails if any page in the range is already mapped.
+  Status mapRegion(uint32_t Addr, uint32_t Size);
+
+  /// True if the byte at \p Addr is mapped.
+  bool isMapped(uint32_t Addr) const;
+
+  /// \name Checked accessors (guest-visible semantics)
+  /// @{
+  ErrorOr<uint8_t> read8(uint32_t Addr) const;
+  ErrorOr<uint32_t> read32(uint32_t Addr) const;
+  Status write8(uint32_t Addr, uint8_t Value);
+  Status write32(uint32_t Addr, uint32_t Value);
+  Status writeBytes(uint32_t Addr, const void *Data, uint32_t Size);
+  Status readBytes(uint32_t Addr, void *Out, uint32_t Size) const;
+  /// @}
+
+  /// Reads the 8 instruction bytes at \p Addr into \p Out. Hot path for
+  /// both the interpreter and trace selection.
+  Status fetchInstructionBytes(uint32_t Addr, uint8_t *Out) const;
+
+  /// Total mapped bytes (for memory accounting).
+  uint64_t mappedBytes() const {
+    return static_cast<uint64_t>(Pages.size()) * binary::PageSize;
+  }
+
+private:
+  using Page = std::vector<uint8_t>;
+
+  const Page *findPage(uint32_t Addr) const;
+  Page *findPage(uint32_t Addr);
+
+  std::unordered_map<uint32_t, std::unique_ptr<Page>> Pages;
+};
+
+} // namespace loader
+} // namespace pcc
+
+#endif // PCC_LOADER_ADDRESSSPACE_H

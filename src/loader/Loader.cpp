@@ -1,0 +1,223 @@
+//===- loader/Loader.cpp --------------------------------------------------===//
+
+#include "loader/Loader.h"
+
+#include "support/Hashing.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <deque>
+
+using namespace pcc;
+using namespace pcc::loader;
+using binary::Module;
+using binary::PageSize;
+
+void ModuleRegistry::add(std::shared_ptr<const Module> Mod) {
+  assert(Mod && "null module");
+  Modules[Mod->name()] = std::move(Mod);
+}
+
+std::shared_ptr<const Module>
+ModuleRegistry::find(const std::string &Name) const {
+  auto It = Modules.find(Name);
+  return It == Modules.end() ? nullptr : It->second;
+}
+
+const LoadedModule *LoadedImage::findByAddress(uint32_t Addr) const {
+  for (const LoadedModule &Mod : Modules)
+    if (Mod.contains(Addr))
+      return &Mod;
+  return nullptr;
+}
+
+const LoadedModule *LoadedImage::findByName(const std::string &Name) const {
+  for (const LoadedModule &Mod : Modules)
+    if (Mod.Image->name() == Name)
+      return &Mod;
+  return nullptr;
+}
+
+static bool overlaps(uint32_t BaseA, uint32_t SizeA, uint32_t BaseB,
+                     uint32_t SizeB) {
+  return BaseA < BaseB + SizeB && BaseB < BaseA + SizeA;
+}
+
+ErrorOr<uint32_t> Loader::chooseBase(const Module &Mod,
+                                     std::vector<LoadedModule> &Loaded) {
+  if (Mod.isExecutable())
+    return ExecutableBase;
+  if (Policy == BasePolicy::Fixed) {
+    // Prelink-style: preferred base from the library name, probing past
+    // any module already occupying the slot. Identical libraries land at
+    // identical addresses across applications unless a collision chain
+    // differs — exactly the partial-sharing behaviour of Section 4.5.
+    const uint32_t ArenaSize = 0x50000000;
+    uint32_t Candidate =
+        LibraryRegionBase +
+        static_cast<uint32_t>(fnv1a64(Mod.name()) %
+                              (ArenaSize / PageSize)) *
+            PageSize;
+    for (unsigned Attempt = 0; Attempt != 1024; ++Attempt) {
+      if (Candidate < LibraryRegionBase ||
+          Candidate + Mod.imageSize() >
+              LibraryRegionBase + ArenaSize)
+        Candidate = LibraryRegionBase;
+      const LoadedModule *Colliding = nullptr;
+      for (const LoadedModule &Prior : Loaded)
+        if (overlaps(Candidate, Mod.imageSize(), Prior.Base,
+                     Prior.Size))
+          Colliding = &Prior;
+      if (!Colliding)
+        return Candidate;
+      Candidate = binary::alignToPage(Colliding->Base +
+                                      Colliding->Size) +
+                  PageSize;
+    }
+    return Status::error(ErrorCode::OutOfMemory,
+                         "cannot place " + Mod.name());
+  }
+  // Randomized: derive a per-run, per-module base from the seed and pick
+  // the first candidate that does not collide with prior mappings.
+  Rng Generator(hashCombine(AslrSeed, fnv1a64(Mod.name())));
+  for (unsigned Attempt = 0; Attempt != 64; ++Attempt) {
+    // Library arena: 0x10000000..0x70000000, page aligned.
+    uint32_t Base = static_cast<uint32_t>(
+        LibraryRegionBase +
+        Generator.nextBelow((0x70000000u - LibraryRegionBase) / PageSize) *
+            PageSize);
+    bool Collides = overlaps(Base, Mod.imageSize(), ExecutableBase,
+                             0x10000000u - ExecutableBase) ||
+                    overlaps(Base, Mod.imageSize(), StackBase, StackSize);
+    for (const LoadedModule &Prior : Loaded)
+      Collides |= overlaps(Base, Mod.imageSize(), Prior.Base, Prior.Size);
+    if (!Collides)
+      return Base;
+  }
+  return Status::error(ErrorCode::OutOfMemory,
+                       "cannot place " + Mod.name());
+}
+
+Status Loader::mapModule(const Module &Mod, uint32_t Base) {
+  Status MapResult = Space.mapRegion(Base, Mod.imageSize());
+  if (!MapResult.ok())
+    return MapResult;
+
+  // Copy text, rebasing relocated immediates.
+  std::vector<isa::Instruction> Insts = Mod.instructions();
+  for (uint32_t InstIndex : Mod.textRelocations()) {
+    if (InstIndex >= Insts.size())
+      return Status::error(ErrorCode::InvalidFormat,
+                           "text relocation out of range in " +
+                               Mod.name());
+    Insts[InstIndex].Imm += Base;
+  }
+  std::vector<uint8_t> TextBytes = isa::encodeAll(Insts);
+  Status S = Space.writeBytes(Base, TextBytes.data(),
+                              static_cast<uint32_t>(TextBytes.size()));
+  if (!S.ok())
+    return S;
+
+  // Copy data and rebase address-holding words.
+  if (!Mod.data().empty()) {
+    S = Space.writeBytes(Base + Mod.dataStart(), Mod.data().data(),
+                         static_cast<uint32_t>(Mod.data().size()));
+    if (!S.ok())
+      return S;
+  }
+  for (uint32_t DataOffset : Mod.dataRelocations()) {
+    uint32_t Addr = Base + Mod.dataStart() + DataOffset;
+    auto Word = Space.read32(Addr);
+    if (!Word)
+      return Status::error(ErrorCode::InvalidFormat,
+                           "data relocation out of range in " +
+                               Mod.name());
+    S = Space.write32(Addr, *Word + Base);
+    if (!S.ok())
+      return S;
+  }
+  return Status::success();
+}
+
+Status Loader::resolveImports(const LoadedModule &Mod,
+                              const LoadedImage &Image) {
+  for (const binary::ImportEntry &Import : Mod.Image->imports()) {
+    const LoadedModule *Lib = Image.findByName(Import.LibraryName);
+    if (!Lib)
+      return Status::error(ErrorCode::NotFound,
+                           "unresolved library " + Import.LibraryName +
+                               " needed by " + Mod.Image->name());
+    auto SymOffset = Lib->Image->findSymbol(Import.SymbolName);
+    if (!SymOffset)
+      return Status::error(ErrorCode::NotFound,
+                           "unresolved symbol " + Import.SymbolName +
+                               " in " + Import.LibraryName);
+    uint32_t SlotAddr = Mod.dataBase() + Import.GotOffset;
+    Status S = Space.write32(SlotAddr, Lib->Base + *SymOffset);
+    if (!S.ok())
+      return S;
+  }
+  return Status::success();
+}
+
+ErrorOr<LoadedImage> Loader::load(std::shared_ptr<const Module> App) {
+  assert(App && "null application module");
+  if (!App->isExecutable())
+    return Status::error(ErrorCode::InvalidArgument,
+                         App->name() + " is not an executable");
+
+  // Discover the transitive dependency set breadth-first, executable
+  // first, preserving first-seen order (the paper's load order).
+  std::vector<std::shared_ptr<const Module>> ToLoad = {App};
+  std::deque<const Module *> Worklist = {App.get()};
+  auto alreadyQueued = [&](const std::string &Name) {
+    for (const auto &Mod : ToLoad)
+      if (Mod->name() == Name)
+        return true;
+    return false;
+  };
+  while (!Worklist.empty()) {
+    const Module *Current = Worklist.front();
+    Worklist.pop_front();
+    for (const std::string &Dep : Current->dependencyNames()) {
+      if (alreadyQueued(Dep))
+        continue;
+      auto Lib = Registry.find(Dep);
+      if (!Lib)
+        return Status::error(ErrorCode::NotFound,
+                             "library not found: " + Dep);
+      ToLoad.push_back(Lib);
+      Worklist.push_back(Lib.get());
+    }
+  }
+
+  LoadedImage Image;
+  for (const auto &Mod : ToLoad) {
+    auto Base = chooseBase(*Mod, Image.Modules);
+    if (!Base)
+      return Base.status();
+    Status S = mapModule(*Mod, *Base);
+    if (!S.ok())
+      return S;
+    Image.Modules.push_back(
+        LoadedModule{Mod, *Base, Mod->imageSize()});
+  }
+
+  // Imports can only be resolved once every module has a base.
+  for (const LoadedModule &Mod : Image.Modules) {
+    Status S = resolveImports(Mod, Image);
+    if (!S.ok())
+      return S;
+  }
+
+  Status S = Space.mapRegion(StackBase, StackSize);
+  if (!S.ok())
+    return S;
+  Image.EntryAddress = Image.Modules.front().entryAddress();
+  Image.StackTop = StackBase + StackSize;
+
+  if (ObserverFn)
+    for (const LoadedModule &Mod : Image.Modules)
+      ObserverFn(Mod);
+  return Image;
+}

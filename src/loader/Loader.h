@@ -1,0 +1,152 @@
+//===- loader/Loader.h - Guest program loader -------------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps an executable and its transitive shared-library dependencies into
+/// a guest address space: base-address assignment, absolute-address
+/// relocation, and GOT-based import resolution. The base-address policy is
+/// what drives the paper's Section 3.2.3 failure mode: "libraries may load
+/// at different addresses across executions"; a randomized policy models
+/// hosts with address-space layout randomization (the paper cites PaX).
+///
+/// Module-load events can be observed through a callback — the analogue of
+/// Pin intercepting mmap — which is how the persistent cache manager
+/// validates keys for every loaded image.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_LOADER_LOADER_H
+#define PCC_LOADER_LOADER_H
+
+#include "binary/Module.h"
+#include "loader/AddressSpace.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pcc {
+namespace loader {
+
+/// Set of modules available to the loader — the analogue of the
+/// filesystem's library directories.
+class ModuleRegistry {
+public:
+  /// Registers \p Mod under its name. Replaces any same-named module
+  /// (models installing a new library version).
+  void add(std::shared_ptr<const binary::Module> Mod);
+
+  /// \returns the module named \p Name, or nullptr.
+  std::shared_ptr<const binary::Module>
+  find(const std::string &Name) const;
+
+  size_t size() const { return Modules.size(); }
+
+private:
+  std::unordered_map<std::string, std::shared_ptr<const binary::Module>>
+      Modules;
+};
+
+/// How load bases are chosen across runs.
+enum class BasePolicy : uint8_t {
+  /// Deterministic, prelink-style: every library has a preferred base
+  /// derived from its name, with collision probing. The same library
+  /// therefore loads at the same address across runs *and across
+  /// applications* — the common case on the paper's RedHat systems, and
+  /// what makes inter-application persistence pay off. Collisions
+  /// (different library mixes probing into each other) are the paper's
+  /// "identical libraries loaded at different addresses" case.
+  Fixed,
+  /// Randomized per run from a seed (ASLR-like, the paper cites PaX).
+  /// Persisted translations for relocated modules become unusable and
+  /// are retranslated (unless position-independent translations are
+  /// enabled).
+  Randomized,
+};
+
+/// A module mapped into the guest address space.
+struct LoadedModule {
+  std::shared_ptr<const binary::Module> Image;
+  uint32_t Base = 0;
+  uint32_t Size = 0; ///< Mapping size in bytes.
+
+  /// Absolute address of the text section start.
+  uint32_t textBase() const { return Base; }
+  /// Absolute address of the data section start.
+  uint32_t dataBase() const { return Base + Image->dataStart(); }
+  /// Absolute entry point (executables).
+  uint32_t entryAddress() const { return Base + Image->entryOffset(); }
+  /// True if \p Addr falls inside this mapping.
+  bool contains(uint32_t Addr) const {
+    return Addr >= Base && Addr - Base < Size;
+  }
+};
+
+/// Result of loading an executable: all mapped modules (executable first,
+/// then libraries in load order) plus the initial PC and SP.
+struct LoadedImage {
+  std::vector<LoadedModule> Modules;
+  uint32_t EntryAddress = 0;
+  uint32_t StackTop = 0;
+
+  /// \returns the module containing \p Addr, or nullptr.
+  const LoadedModule *findByAddress(uint32_t Addr) const;
+  /// \returns the module named \p Name, or nullptr.
+  const LoadedModule *findByName(const std::string &Name) const;
+};
+
+/// Loads guest programs into an AddressSpace.
+class Loader {
+public:
+  /// Called once per module as it is mapped (the persistence manager's
+  /// interception point).
+  using LoadObserver = std::function<void(const LoadedModule &)>;
+
+  Loader(AddressSpace &Space, const ModuleRegistry &Registry,
+         BasePolicy Policy = BasePolicy::Fixed, uint64_t AslrSeed = 0)
+      : Space(Space), Registry(Registry), Policy(Policy),
+        AslrSeed(AslrSeed) {}
+
+  void setLoadObserver(LoadObserver Observer) {
+    ObserverFn = std::move(Observer);
+  }
+
+  /// Loads \p App plus its transitive dependencies, maps a stack, and
+  /// resolves all imports. Fails on missing libraries/symbols, address
+  /// conflicts, or malformed GOT offsets.
+  ErrorOr<LoadedImage>
+  load(std::shared_ptr<const binary::Module> App);
+
+  /// Default base of the executable image.
+  static constexpr uint32_t ExecutableBase = 0x00400000;
+  /// First base considered for shared libraries under the Fixed policy.
+  static constexpr uint32_t LibraryRegionBase = 0x10000000;
+  /// Stack mapping: [StackBase, StackBase+StackSize).
+  static constexpr uint32_t StackBase = 0x7ffe0000;
+  static constexpr uint32_t StackSize = 0x00020000;
+
+private:
+  ErrorOr<uint32_t> chooseBase(const binary::Module &Mod,
+                               std::vector<LoadedModule> &Loaded);
+  Status mapModule(const binary::Module &Mod, uint32_t Base);
+  Status resolveImports(const LoadedModule &Mod,
+                        const LoadedImage &Image);
+
+  AddressSpace &Space;
+  const ModuleRegistry &Registry;
+  BasePolicy Policy;
+  uint64_t AslrSeed;
+  LoadObserver ObserverFn;
+};
+
+} // namespace loader
+} // namespace pcc
+
+#endif // PCC_LOADER_LOADER_H

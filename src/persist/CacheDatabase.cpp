@@ -1,0 +1,180 @@
+//===- persist/CacheDatabase.cpp ------------------------------------------===//
+
+#include "persist/CacheDatabase.h"
+
+#include "support/FileSystem.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace pcc;
+using namespace pcc::persist;
+
+CacheDatabase::CacheDatabase(std::string Dir) : Dir(std::move(Dir)) {
+  // Creation failure surfaces later as IoError from load/store.
+  (void)createDirectories(this->Dir);
+}
+
+std::string CacheDatabase::pathFor(uint64_t LookupKey) const {
+  return Dir + "/" + toHex(LookupKey, 16) + ".pcc";
+}
+
+bool CacheDatabase::exists(uint64_t LookupKey) const {
+  return fileExists(pathFor(LookupKey));
+}
+
+ErrorOr<CacheFile> CacheDatabase::load(uint64_t LookupKey) const {
+  std::string Path = pathFor(LookupKey);
+  if (!fileExists(Path))
+    return Status::error(ErrorCode::NotFound,
+                         "no persistent cache at " + Path);
+  return loadPath(Path);
+}
+
+ErrorOr<CacheFile> CacheDatabase::loadPath(const std::string &Path) const {
+  auto Bytes = readFile(Path);
+  if (!Bytes)
+    return Bytes.status();
+  return CacheFile::deserialize(*Bytes);
+}
+
+Status CacheDatabase::store(uint64_t LookupKey,
+                            const CacheFile &File) const {
+  return writeFileAtomic(pathFor(LookupKey), File.serialize());
+}
+
+Status CacheDatabase::remove(uint64_t LookupKey) const {
+  return removeFile(pathFor(LookupKey));
+}
+
+ErrorOr<std::vector<std::string>>
+CacheDatabase::findCompatible(uint64_t EngineHash,
+                              uint64_t ToolHash) const {
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return Names.status();
+  std::vector<std::string> Matches;
+  for (const std::string &Name : *Names) {
+    if (Name.size() < 4 || Name.substr(Name.size() - 4) != ".pcc")
+      continue;
+    std::string Path = Dir + "/" + Name;
+    auto File = loadPath(Path);
+    if (!File)
+      continue; // Unreadable/corrupt caches are simply not candidates.
+    if (File->EngineHash == EngineHash && File->ToolHash == ToolHash)
+      Matches.push_back(Path);
+  }
+  return Matches;
+}
+
+Status CacheDatabase::clear() const {
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return Names.status();
+  for (const std::string &Name : *Names) {
+    Status S = removeFile(Dir + "/" + Name);
+    if (!S.ok())
+      return S;
+  }
+  return Status::success();
+}
+
+namespace {
+
+bool isCacheFileName(const std::string &Name) {
+  return Name.size() >= 4 && Name.substr(Name.size() - 4) == ".pcc";
+}
+
+} // namespace
+
+ErrorOr<CacheDatabase::Stats> CacheDatabase::stats() const {
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return Names.status();
+  Stats Result;
+  for (const std::string &Name : *Names) {
+    if (!isCacheFileName(Name))
+      continue;
+    auto Bytes = readFile(Dir + "/" + Name);
+    if (!Bytes)
+      continue;
+    ++Result.CacheFiles;
+    Result.DiskBytes += Bytes->size();
+    auto File = CacheFile::deserialize(*Bytes);
+    if (!File) {
+      ++Result.CorruptFiles;
+      continue;
+    }
+    Result.CodeBytes += File->codeBytes();
+    Result.DataBytes += File->dataBytes();
+    Result.Traces += File->Traces.size();
+  }
+  return Result;
+}
+
+ErrorOr<uint32_t> CacheDatabase::shrinkTo(uint64_t MaxBytes) const {
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return Names.status();
+
+  struct Entry {
+    std::string Path;
+    uint64_t Size = 0;
+    uint32_t Generation = 0;
+    bool Corrupt = false;
+  };
+  std::vector<Entry> Entries;
+  uint64_t Total = 0;
+  for (const std::string &Name : *Names) {
+    if (!isCacheFileName(Name))
+      continue;
+    Entry E;
+    E.Path = Dir + "/" + Name;
+    auto Bytes = readFile(E.Path);
+    if (!Bytes)
+      continue;
+    E.Size = Bytes->size();
+    auto File = CacheFile::deserialize(*Bytes);
+    if (!File)
+      E.Corrupt = true;
+    else
+      E.Generation = File->Generation;
+    Total += E.Size;
+    Entries.push_back(std::move(E));
+  }
+
+  uint32_t Removed = 0;
+  // Corrupt files go unconditionally.
+  for (auto &E : Entries) {
+    if (!E.Corrupt)
+      continue;
+    if (removeFile(E.Path).ok()) {
+      Total -= E.Size;
+      E.Size = 0;
+      ++Removed;
+    }
+  }
+  if (Total <= MaxBytes)
+    return Removed;
+
+  // Evict least-accumulated caches first (lowest reuse evidence); among
+  // equals, reclaim the most bytes per eviction.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) {
+              if (A.Generation != B.Generation)
+                return A.Generation < B.Generation;
+              return A.Size > B.Size;
+            });
+  for (const Entry &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    if (E.Corrupt || E.Size == 0)
+      continue;
+    if (removeFile(E.Path).ok()) {
+      Total -= E.Size;
+      ++Removed;
+    }
+  }
+  return Removed;
+}

@@ -1,0 +1,93 @@
+//===- persist/CacheDatabase.h - Persistent cache database ------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent cache database of Figure 1: a host directory of cache
+/// files indexed by lookup key (application × engine version × tool).
+/// Multiple guest "processes" share one database, which is how the
+/// multi-process Oracle workload accumulates a cache across phases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_PERSIST_CACHEDATABASE_H
+#define PCC_PERSIST_CACHEDATABASE_H
+
+#include "persist/CacheFile.h"
+
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace persist {
+
+/// Directory-backed store of persistent cache files.
+class CacheDatabase {
+public:
+  /// Opens (creating if needed) the database at \p Dir.
+  explicit CacheDatabase(std::string Dir);
+
+  const std::string &directory() const { return Dir; }
+
+  /// Host path of the cache file for \p LookupKey.
+  std::string pathFor(uint64_t LookupKey) const;
+
+  bool exists(uint64_t LookupKey) const;
+
+  /// Loads and validates the cache for \p LookupKey. NotFound when no
+  /// file exists; InvalidFormat/VersionMismatch on bad contents.
+  ErrorOr<CacheFile> load(uint64_t LookupKey) const;
+
+  /// Loads an explicit cache file (cross-input / inter-application
+  /// experiments pick their donor caches this way).
+  ErrorOr<CacheFile> loadPath(const std::string &Path) const;
+
+  /// Atomically writes the cache for \p LookupKey.
+  Status store(uint64_t LookupKey, const CacheFile &File) const;
+
+  /// Removes the cache for \p LookupKey if present.
+  Status remove(uint64_t LookupKey) const;
+
+  /// Paths of every cache in the database whose engine and tool hashes
+  /// match — the inter-application candidate set ("a cache corresponding
+  /// to any application instrumented identically", Section 3.2.3).
+  /// Sorted by path for determinism.
+  ErrorOr<std::vector<std::string>>
+  findCompatible(uint64_t EngineHash, uint64_t ToolHash) const;
+
+  /// Deletes every cache file in the database.
+  Status clear() const;
+
+  /// Aggregate statistics over the database (for operators and the
+  /// maintenance policy).
+  struct Stats {
+    uint32_t CacheFiles = 0;
+    uint32_t CorruptFiles = 0;
+    uint64_t DiskBytes = 0;
+    uint64_t CodeBytes = 0;
+    uint64_t DataBytes = 0;
+    uint64_t Traces = 0;
+  };
+  ErrorOr<Stats> stats() const;
+
+  /// Maintenance: shrinks the database until its total on-disk size is
+  /// at most \p MaxBytes, deleting the smallest-generation (least
+  /// accumulated, i.e. least reused) caches first; ties broken by file
+  /// size, largest first. Corrupt cache files are always deleted.
+  /// \returns the number of files removed. This is the analogue of the
+  /// cache-database housekeeping a deployment needs once hundreds of
+  /// applications persist translations (the paper's Oracle setting has
+  /// 100,000 tests sharing one database).
+  ErrorOr<uint32_t> shrinkTo(uint64_t MaxBytes) const;
+
+private:
+  std::string Dir;
+};
+
+} // namespace persist
+} // namespace pcc
+
+#endif // PCC_PERSIST_CACHEDATABASE_H

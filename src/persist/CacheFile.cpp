@@ -1,0 +1,176 @@
+//===- persist/CacheFile.cpp ----------------------------------------------===//
+
+#include "persist/CacheFile.h"
+
+#include "dbi/Compiler.h"
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+
+#include <unordered_set>
+
+using namespace pcc;
+using namespace pcc::persist;
+
+uint32_t pcc::persist::traceDataBytes(uint32_t NumExits,
+                                      uint32_t NumInsts) {
+  return 64 + 40 * NumExits + 24 + 8 * NumInsts;
+}
+
+uint64_t CacheFile::codeBytes() const {
+  uint64_t Total = 0;
+  for (const TraceRecord &Trace : Traces)
+    Total += Trace.Code.size();
+  return Total;
+}
+
+uint64_t CacheFile::dataBytes() const {
+  uint64_t Total = 0;
+  for (const TraceRecord &Trace : Traces)
+    Total += traceDataBytes(static_cast<uint32_t>(Trace.Exits.size()),
+                            Trace.GuestInstCount);
+  return Total;
+}
+
+namespace {
+constexpr uint32_t CacheMagic = 0x31434350; // "PCC1"
+constexpr uint32_t CacheFormatVersion = 2;
+} // namespace
+
+std::vector<uint8_t> CacheFile::serialize() const {
+  ByteWriter Writer;
+  Writer.writeU32(CacheMagic);
+  Writer.writeU32(CacheFormatVersion);
+  Writer.writeU64(EngineHash);
+  Writer.writeU64(ToolHash);
+  Writer.writeU8(SpecBits);
+  Writer.writeU8(PositionIndependent ? 1 : 0);
+  Writer.writeU32(Generation);
+
+  Writer.writeU32(static_cast<uint32_t>(Modules.size()));
+  for (const ModuleKey &Key : Modules)
+    Key.serialize(Writer);
+
+  Writer.writeU32(static_cast<uint32_t>(Traces.size()));
+  for (const TraceRecord &Trace : Traces) {
+    Writer.writeU32(Trace.GuestStart);
+    Writer.writeU32(Trace.ModuleIndex);
+    Writer.writeU32(Trace.GuestInstCount);
+    Writer.writeBlob(Trace.Code);
+    Writer.writeU32(static_cast<uint32_t>(Trace.Exits.size()));
+    for (const ExitRecord &Exit : Trace.Exits) {
+      Writer.writeU8(Exit.Kind);
+      Writer.writeU32(Exit.InstIndex);
+      Writer.writeU32(Exit.Target);
+      Writer.writeU32(Exit.LinkedStart);
+    }
+    Writer.writeBlob(Trace.RelocMask);
+  }
+
+  uint32_t Checksum = crc32(Writer.bytes().data(), Writer.size());
+  Writer.writeU32(Checksum);
+  return Writer.take();
+}
+
+ErrorOr<CacheFile> CacheFile::deserialize(
+    const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() < 4)
+    return Status::error(ErrorCode::InvalidFormat,
+                         "cache file too small");
+  // Validate the CRC before trusting any field.
+  size_t PayloadSize = Bytes.size() - 4;
+  uint32_t Stored = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    Stored |= static_cast<uint32_t>(Bytes[PayloadSize + I]) << (8 * I);
+  if (crc32(Bytes.data(), PayloadSize) != Stored)
+    return Status::error(ErrorCode::InvalidFormat,
+                         "cache file checksum mismatch");
+
+  ByteReader Reader(Bytes.data(), PayloadSize);
+  if (Reader.readU32() != CacheMagic)
+    return Status::error(ErrorCode::InvalidFormat, "bad cache magic");
+  if (Reader.readU32() != CacheFormatVersion)
+    return Status::error(ErrorCode::VersionMismatch,
+                         "unsupported cache format version");
+
+  CacheFile File;
+  File.EngineHash = Reader.readU64();
+  File.ToolHash = Reader.readU64();
+  File.SpecBits = Reader.readU8();
+  File.PositionIndependent = Reader.readU8() != 0;
+  File.Generation = Reader.readU32();
+
+  uint32_t NumModules = Reader.readU32();
+  for (uint32_t I = 0; I != NumModules && !Reader.failed(); ++I)
+    File.Modules.push_back(ModuleKey::deserialize(Reader));
+
+  uint32_t NumTraces = Reader.readU32();
+  for (uint32_t I = 0; I != NumTraces && !Reader.failed(); ++I) {
+    TraceRecord Trace;
+    Trace.GuestStart = Reader.readU32();
+    Trace.ModuleIndex = Reader.readU32();
+    Trace.GuestInstCount = Reader.readU32();
+    Trace.Code = Reader.readBlob();
+    uint32_t NumExits = Reader.readU32();
+    for (uint32_t E = 0; E != NumExits && !Reader.failed(); ++E) {
+      ExitRecord Exit;
+      Exit.Kind = Reader.readU8();
+      Exit.InstIndex = Reader.readU32();
+      Exit.Target = Reader.readU32();
+      Exit.LinkedStart = Reader.readU32();
+      Trace.Exits.push_back(Exit);
+    }
+    Trace.RelocMask = Reader.readBlob();
+    if (Trace.ModuleIndex >= NumModules)
+      return Status::error(ErrorCode::InvalidFormat,
+                           "trace module index out of range");
+    File.Traces.push_back(std::move(Trace));
+  }
+
+  if (Reader.failed() || !Reader.atEnd())
+    return Status::error(ErrorCode::InvalidFormat,
+                         "truncated or oversized cache payload");
+  return File;
+}
+
+Status CacheFile::validate() const {
+  std::unordered_set<uint32_t> Starts;
+  for (size_t I = 0; I != Traces.size(); ++I) {
+    const TraceRecord &Trace = Traces[I];
+    auto traceErr = [&](const std::string &Message) {
+      return Status::error(ErrorCode::InvalidFormat,
+                           formatString("trace %zu @0x%x: %s", I,
+                                        Trace.GuestStart,
+                                        Message.c_str()));
+    };
+    if (Trace.ModuleIndex >= Modules.size())
+      return traceErr("module index out of range");
+    const ModuleKey &Mod = Modules[Trace.ModuleIndex];
+    if (Trace.GuestStart < Mod.Base ||
+        Trace.GuestStart - Mod.Base >= Mod.Size)
+      return traceErr("guest start outside its module mapping");
+    if (!Starts.insert(Trace.GuestStart).second)
+      return traceErr("duplicate guest start");
+    size_t MinCode = dbi::TracePrologueBytes +
+                     static_cast<size_t>(Trace.GuestInstCount) *
+                         isa::InstructionSize;
+    if (Trace.Code.size() < MinCode)
+      return traceErr("code image smaller than instruction count");
+    if (Trace.GuestInstCount == 0)
+      return traceErr("empty trace");
+    for (const ExitRecord &Exit : Trace.Exits) {
+      if (Exit.Kind > static_cast<uint8_t>(dbi::ExitKind::Halt))
+        return traceErr("invalid exit kind");
+      if (Exit.InstIndex >= Trace.GuestInstCount)
+        return traceErr("exit instruction index out of range");
+    }
+  }
+  // Second pass: links must reference traces in this file.
+  for (size_t I = 0; I != Traces.size(); ++I)
+    for (const ExitRecord &Exit : Traces[I].Exits)
+      if (Exit.LinkedStart != 0 && !Starts.count(Exit.LinkedStart))
+        return Status::error(
+            ErrorCode::InvalidFormat,
+            formatString("trace %zu @0x%x: dangling link to 0x%x", I,
+                         Traces[I].GuestStart, Exit.LinkedStart));
+  return Status::success();
+}

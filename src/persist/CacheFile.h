@@ -1,0 +1,116 @@
+//===- persist/CacheFile.h - On-disk persistent cache format ----*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent code cache file: "a file stored on disk containing
+/// traces and their associated data structures... trace links and
+/// translation maps" (Section 3.2.1). The file carries:
+///
+///   * engine-version and tool hashes (reuse across versions or under a
+///     different tool is rejected outright),
+///   * one ModuleKey per executable mapping present at creation,
+///   * one record per trace: guest location, translated code bytes, exit
+///     records including persisted trace links, and (in PIC mode) the
+///     relocation mask that makes the translation position independent,
+///   * a CRC over the whole payload so corruption is detected before any
+///     trace is reused.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_PERSIST_CACHEFILE_H
+#define PCC_PERSIST_CACHEFILE_H
+
+#include "dbi/Trace.h"
+#include "persist/Key.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace persist {
+
+/// A persisted trace exit, including its persisted link.
+struct ExitRecord {
+  uint8_t Kind = 0; ///< dbi::ExitKind.
+  uint32_t InstIndex = 0;
+  uint32_t Target = 0;      ///< Absolute guest target (0 if none).
+  uint32_t LinkedStart = 0; ///< Guest start of the linked trace (0 if
+                            ///< the exit was unlinked at store time).
+};
+
+/// One persisted trace.
+struct TraceRecord {
+  uint32_t GuestStart = 0;
+  /// Index into CacheFile::Modules of the module containing GuestStart.
+  uint32_t ModuleIndex = 0;
+  uint32_t GuestInstCount = 0;
+  /// Translated pool image (prologue + encoded instructions + stubs).
+  std::vector<uint8_t> Code;
+  std::vector<ExitRecord> Exits;
+  /// PIC mode only: bit I set when instruction I's immediate holds an
+  /// absolute address that must be rebased on relocated reuse.
+  std::vector<uint8_t> RelocMask;
+
+  bool relocBit(uint32_t InstIndex) const {
+    uint32_t Byte = InstIndex / 8;
+    return Byte < RelocMask.size() &&
+           (RelocMask[Byte] >> (InstIndex % 8)) & 1;
+  }
+  void setRelocBit(uint32_t InstIndex) {
+    uint32_t Byte = InstIndex / 8;
+    if (RelocMask.size() <= Byte)
+      RelocMask.resize(Byte + 1, 0);
+    RelocMask[Byte] |= uint8_t(1u << (InstIndex % 8));
+  }
+};
+
+/// In-memory image of a persistent cache file.
+struct CacheFile {
+  uint64_t EngineHash = 0;
+  uint64_t ToolHash = 0;
+  /// Serialized dbi::InstrumentationSpec flags (diagnostics; the tool
+  /// hash already covers them).
+  uint8_t SpecBits = 0;
+  /// True when translations are position independent.
+  bool PositionIndependent = false;
+  /// Executable mappings at creation time; index 0 is the application.
+  std::vector<ModuleKey> Modules;
+  std::vector<TraceRecord> Traces;
+  /// Accumulation generation: how many runs contributed to this cache.
+  uint32_t Generation = 1;
+
+  /// Total translated-code bytes (the code half of Figure 9).
+  uint64_t codeBytes() const;
+  /// Total data-structure bytes (the data half of Figure 9), using the
+  /// same footprint formula as the resident cache.
+  uint64_t dataBytes() const;
+
+  /// Serializes with a trailing CRC32.
+  std::vector<uint8_t> serialize() const;
+  /// Deserializes, validating magic, format version and CRC.
+  static ErrorOr<CacheFile> deserialize(const std::vector<uint8_t> &Bytes);
+
+  /// Deep structural validation beyond what deserialize() enforces:
+  /// every trace's start lies inside its module's mapping, code images
+  /// are large enough for their instruction counts, exit instruction
+  /// indices are in range, linked exits reference traces present in the
+  /// file, and no two traces share a guest start. Returns the first
+  /// violation found.
+  Status validate() const;
+};
+
+/// Data-structure footprint of one trace with \p NumExits exits and
+/// \p NumInsts instructions (must agree with
+/// dbi::TranslatedTrace::dataBytes()).
+uint32_t traceDataBytes(uint32_t NumExits, uint32_t NumInsts);
+
+} // namespace persist
+} // namespace pcc
+
+#endif // PCC_PERSIST_CACHEFILE_H

@@ -1,0 +1,56 @@
+//===- persist/Key.cpp ----------------------------------------------------===//
+
+#include "persist/Key.h"
+
+#include "support/Hashing.h"
+
+using namespace pcc;
+using namespace pcc::persist;
+
+ModuleKey ModuleKey::compute(const loader::LoadedModule &Mod) {
+  ModuleKey Key;
+  Key.Path = Mod.Image->path();
+  Key.Base = Mod.Base;
+  Key.Size = Mod.Size;
+  Key.HeaderHash = Mod.Image->programHeaderHash();
+  Key.ModTime = Mod.Image->modificationTime();
+
+  uint64_t Hash = fnv1a64(Key.Path);
+  Hash = fnv1a64U64(Key.Size, Hash);
+  Hash = fnv1a64U64(Key.HeaderHash, Hash);
+  Hash = fnv1a64U64(Key.ModTime, Hash);
+  Key.PicHash = Hash;
+  Key.FullHash = fnv1a64U64(Key.Base, Hash);
+  return Key;
+}
+
+void ModuleKey::serialize(ByteWriter &Writer) const {
+  Writer.writeString(Path);
+  Writer.writeU32(Base);
+  Writer.writeU32(Size);
+  Writer.writeU64(HeaderHash);
+  Writer.writeU64(ModTime);
+  Writer.writeU64(FullHash);
+  Writer.writeU64(PicHash);
+}
+
+ModuleKey ModuleKey::deserialize(ByteReader &Reader) {
+  ModuleKey Key;
+  Key.Path = Reader.readString();
+  Key.Base = Reader.readU32();
+  Key.Size = Reader.readU32();
+  Key.HeaderHash = Reader.readU64();
+  Key.ModTime = Reader.readU64();
+  Key.FullHash = Reader.readU64();
+  Key.PicHash = Reader.readU64();
+  return Key;
+}
+
+uint64_t pcc::persist::computeLookupKey(const ModuleKey &AppKey,
+                                        uint64_t EngineHash,
+                                        uint64_t ToolHash) {
+  // The application's identity here must not depend on its base address:
+  // the lookup happens before any key validation, and executables load
+  // at a fixed base anyway.
+  return hashCombine(hashCombine(AppKey.PicHash, EngineHash), ToolHash);
+}

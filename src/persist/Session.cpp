@@ -1,0 +1,482 @@
+//===- persist/Session.cpp ------------------------------------------------===//
+
+#include "persist/Session.h"
+
+#include "support/FileSystem.h"
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace pcc;
+using namespace pcc::persist;
+using dbi::ExitKind;
+using dbi::TranslatedTrace;
+using loader::LoadedModule;
+
+uint64_t pcc::persist::noToolHash() { return fnv1a64("pcc-no-tool"); }
+
+static uint64_t toolHashOf(const dbi::Engine &Engine) {
+  return Engine.tool() ? Engine.tool()->keyHash() : noToolHash();
+}
+
+static uint8_t specBitsOf(const dbi::InstrumentationSpec &Spec) {
+  return static_cast<uint8_t>((Spec.BasicBlocks ? 1 : 0) |
+                              (Spec.MemoryAccesses ? 2 : 0) |
+                              (Spec.Instructions ? 4 : 0));
+}
+
+static const LoadedModule *
+findLoadedByPath(const loader::LoadedImage &Image,
+                 const std::string &Path) {
+  for (const LoadedModule &Mod : Image.Modules)
+    if (Mod.Image->path() == Path)
+      return &Mod;
+  return nullptr;
+}
+
+static bool regionsOverlap(uint32_t BaseA, uint32_t SizeA, uint32_t BaseB,
+                           uint32_t SizeB) {
+  return BaseA < BaseB + SizeB && BaseB < BaseA + SizeA;
+}
+
+static uint64_t pagesOf(uint64_t Bytes) {
+  return (Bytes + binary::PageSize - 1) / binary::PageSize;
+}
+
+/// Adds \p Delta to the 32-bit immediate of the encoded instruction at
+/// index \p InstIndex inside a translated code image.
+static void rebaseImmediate(std::vector<uint8_t> &Code, uint32_t InstIndex,
+                            int64_t Delta) {
+  size_t Offset = dbi::TracePrologueBytes +
+                  static_cast<size_t>(InstIndex) * isa::InstructionSize +
+                  4;
+  assert(Offset + 4 <= Code.size() && "immediate outside code image");
+  uint32_t Imm = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    Imm |= static_cast<uint32_t>(Code[Offset + I]) << (8 * I);
+  Imm = static_cast<uint32_t>(Imm + Delta);
+  for (unsigned I = 0; I != 4; ++I)
+    Code[Offset + I] = static_cast<uint8_t>(Imm >> (8 * I));
+}
+
+ErrorOr<CacheFile>
+PersistentSession::locateCache(dbi::Engine &Engine, PrimeResult &Result) {
+  (void)Engine;
+  auto tryLoad = [&](const std::string &Path,
+                     bool IsOwn) -> ErrorOr<CacheFile> {
+    auto File = Db.loadPath(Path);
+    if (File) {
+      Result.CachePath = Path;
+      LoadedWasOwn = IsOwn;
+      return File;
+    }
+    // Corrupt or unreadable caches must never break the run: record the
+    // reason and fall back to an empty code cache.
+    if (File.status().code() != ErrorCode::NotFound &&
+        File.status().code() != ErrorCode::IoError)
+      Result.RejectReason = File.status().toString();
+    return Status::error(ErrorCode::NotFound, "no usable cache");
+  };
+
+  if (!Opts.ExplicitCachePath.empty())
+    return tryLoad(Opts.ExplicitCachePath,
+                   Opts.ExplicitCachePath == Db.pathFor(LookupKey));
+
+  if (Db.exists(LookupKey))
+    return tryLoad(Db.pathFor(LookupKey), /*IsOwn=*/true);
+
+  if (Opts.InterApplication) {
+    auto Candidates = Db.findCompatible(EngineHash, ToolHash);
+    if (Candidates && !Candidates->empty())
+      return tryLoad(Candidates->front(), /*IsOwn=*/false);
+  }
+  return Status::error(ErrorCode::NotFound, "no usable cache");
+}
+
+ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
+  assert(!Primed && "prime() is single-shot per session");
+  Primed = true;
+
+  const dbi::CostModel &Costs = Engine.options().Costs;
+  const loader::LoadedImage &Image = Engine.machine().image();
+  assert(!Image.Modules.empty() && "engine machine has no modules");
+
+  EngineHash = dbi::engineVersionHash();
+  ToolHash = toolHashOf(Engine);
+  // Keys are computed for every executable mapping plus the engine and
+  // the tool (Section 3.2.1).
+  Engine.stats().PersistCycles +=
+      Costs.KeyHashCyclesPerModule * (Image.Modules.size() + 2);
+
+  ModuleKey AppKey = ModuleKey::compute(Image.Modules.front());
+  LookupKey = computeLookupKey(AppKey, EngineHash, ToolHash);
+
+  PrimeResult Result;
+  auto File = locateCache(Engine, Result);
+  if (!File)
+    return Result; // No cache: start empty, still success.
+
+  if (File->EngineHash != EngineHash) {
+    Result.RejectReason = "engine version mismatch";
+    return Result;
+  }
+  if (File->ToolHash != ToolHash) {
+    Result.RejectReason = "tool key mismatch";
+    return Result;
+  }
+  if (File->PositionIndependent != Opts.PositionIndependent) {
+    Result.RejectReason = "translation addressing mode mismatch";
+    return Result;
+  }
+
+  Result.CacheFound = true;
+  Engine.stats().PersistCycles += Costs.PersistOpenCycles;
+
+  Status S = installCache(Engine, *File, Result);
+  if (!S.ok())
+    return S;
+  LoadedCache = File.take();
+  return Result;
+}
+
+Status PersistentSession::installCache(dbi::Engine &Engine,
+                                       const CacheFile &File,
+                                       PrimeResult &Result) {
+  dbi::CodeCache &Cache = Engine.cache();
+  const loader::LoadedImage &Image = Engine.machine().image();
+
+  // Validate every persisted module key against the image loaded now.
+  const size_t NumModules = File.Modules.size();
+  ModuleValidated.assign(NumModules, false);
+  ModuleLoadedNow.assign(NumModules, false);
+  std::vector<int64_t> Delta(NumModules, 0);
+  std::vector<std::pair<uint32_t, uint32_t>> Region(NumModules, {0, 0});
+  for (size_t I = 0; I != NumModules; ++I) {
+    const ModuleKey &Persisted = File.Modules[I];
+    const LoadedModule *Now = findLoadedByPath(Image, Persisted.Path);
+    if (!Now)
+      continue; // Module absent this run; its traces stay on disk.
+    ModuleLoadedNow[I] = true;
+    ModuleKey NowKey = ModuleKey::compute(*Now);
+    bool Match = Opts.PositionIndependent
+                     ? Persisted.matchesIgnoringBase(NowKey)
+                     : Persisted.matches(NowKey);
+    if (!Match) {
+      // Key conflict: the binary changed or (without PIC) relocated.
+      // All its persisted translations are invalid; the engine falls
+      // back to retranslation.
+      ++Result.ModulesInvalidated;
+      ++Engine.stats().ModulesInvalidated;
+      continue;
+    }
+    ModuleValidated[I] = true;
+    ++Result.ModulesValidated;
+    Delta[I] = static_cast<int64_t>(NowKey.Base) -
+               static_cast<int64_t>(Persisted.Base);
+    Region[I] = {NowKey.Base, NowKey.Size};
+  }
+
+  // Build the mapped pool image from the usable trace records.
+  struct PendingInstall {
+    uint32_t NewStart = 0;
+    uint32_t GuestInstCount = 0;
+    uint32_t PoolOffset = 0;
+    uint32_t PoolBytes = 0;
+    std::vector<dbi::TraceExit> Exits;
+    std::vector<uint32_t> LinkedStarts;
+  };
+  std::vector<PendingInstall> Installs;
+  std::vector<uint8_t> Pool;
+  std::unordered_set<uint32_t> SeenStarts;
+
+  for (const TraceRecord &Rec : File.Traces) {
+    if (!ModuleValidated[Rec.ModuleIndex]) {
+      ++Result.TracesSkipped;
+      continue;
+    }
+    const int64_t D = Delta[Rec.ModuleIndex];
+    const auto [RegionBase, RegionSize] = Region[Rec.ModuleIndex];
+    const uint32_t NewStart = static_cast<uint32_t>(Rec.GuestStart + D);
+    const size_t MinCodeBytes =
+        dbi::TracePrologueBytes +
+        static_cast<size_t>(Rec.GuestInstCount) * isa::InstructionSize;
+    bool Usable = NewStart >= RegionBase &&
+                  NewStart - RegionBase < RegionSize &&
+                  Rec.Code.size() >= MinCodeBytes &&
+                  !SeenStarts.count(NewStart);
+    if (!Usable) {
+      ++Result.TracesSkipped;
+      continue;
+    }
+
+    std::vector<uint8_t> Code = Rec.Code;
+    if (D != 0)
+      for (uint32_t I = 0; I != Rec.GuestInstCount; ++I)
+        if (Rec.relocBit(I))
+          rebaseImmediate(Code, I, D);
+
+    PendingInstall Install;
+    Install.NewStart = NewStart;
+    Install.GuestInstCount = Rec.GuestInstCount;
+    bool BadExit = false;
+    for (const ExitRecord &Exit : Rec.Exits) {
+      if (Exit.Kind > static_cast<uint8_t>(ExitKind::Halt)) {
+        BadExit = true;
+        break;
+      }
+      uint32_t Target =
+          Exit.Target ? static_cast<uint32_t>(Exit.Target + D) : 0;
+      uint32_t Linked =
+          Exit.LinkedStart ? static_cast<uint32_t>(Exit.LinkedStart + D)
+                           : 0;
+      Install.Exits.push_back(dbi::TraceExit{
+          static_cast<ExitKind>(Exit.Kind), Exit.InstIndex, Target,
+          nullptr});
+      Install.LinkedStarts.push_back(Linked);
+    }
+    if (BadExit) {
+      ++Result.TracesSkipped;
+      continue;
+    }
+    Install.PoolOffset = static_cast<uint32_t>(Pool.size());
+    Install.PoolBytes = static_cast<uint32_t>(Code.size());
+    Pool.insert(Pool.end(), Code.begin(), Code.end());
+    SeenStarts.insert(NewStart);
+    Installs.push_back(std::move(Install));
+  }
+
+  if (Pool.size() > Engine.options().CodePoolBytes) {
+    // Persistent pools unavailable: abandon persistence for this run
+    // (Section 3.2.2), continue with an empty code cache.
+    Result.RejectReason = "persistent pool exceeds code cache capacity";
+    Result.TracesSkipped +=
+        static_cast<uint32_t>(Installs.size());
+    Result.TracesInstalled = 0;
+    return Status::success();
+  }
+  Status S = Cache.installPersistedPool(std::move(Pool));
+  if (!S.ok())
+    return S;
+
+  std::unordered_map<uint32_t, TranslatedTrace *> ByStart;
+  std::vector<std::pair<TranslatedTrace *, std::vector<uint32_t>>>
+      LinkWork;
+  for (PendingInstall &Install : Installs) {
+    auto T = std::make_unique<TranslatedTrace>(
+        Install.NewStart, Install.GuestInstCount, Install.PoolOffset,
+        Install.PoolBytes, std::move(Install.Exits),
+        /*FromPersistentCache=*/true);
+    auto Added = Cache.addTrace(std::move(T));
+    if (!Added) {
+      // Data pool exhausted: remaining traces fall back to translation.
+      ++Result.TracesSkipped;
+      continue;
+    }
+    ByStart.emplace(Install.NewStart, *Added);
+    LinkWork.emplace_back(*Added, std::move(Install.LinkedStarts));
+    ++Result.TracesInstalled;
+  }
+  Engine.stats().TracesLoadedFromCache += Result.TracesInstalled;
+
+  // Restore persisted trace links between installed traces.
+  if (Engine.options().EnableLinking) {
+    for (auto &[T, LinkedStarts] : LinkWork) {
+      for (uint32_t I = 0; I != LinkedStarts.size(); ++I) {
+        uint32_t Target = LinkedStarts[I];
+        if (Target == 0)
+          continue;
+        const dbi::TraceExit &Exit = T->exits()[I];
+        if (!dbi::isLinkableExit(Exit.Kind) || Exit.Target != Target)
+          continue;
+        auto It = ByStart.find(Target);
+        if (It == ByStart.end())
+          continue;
+        Cache.link(T, I, It->second);
+        ++Result.LinksRestored;
+      }
+    }
+  }
+  return Status::success();
+}
+
+Status PersistentSession::finalize(dbi::Engine &Engine) {
+  assert(Primed && "finalize() requires a prior prime()");
+  if (!Opts.WriteBack)
+    return Status::success();
+
+  const loader::LoadedImage &Image = Engine.machine().image();
+  const dbi::CodeCache &Cache = Engine.cache();
+
+  CacheFile File;
+  File.EngineHash = EngineHash;
+  File.ToolHash = ToolHash;
+  File.SpecBits = specBitsOf(Engine.spec());
+  File.PositionIndependent = Opts.PositionIndependent;
+  File.Generation = LoadedCache ? LoadedCache->Generation + 1 : 1;
+
+  for (const LoadedModule &Mod : Image.Modules)
+    File.Modules.push_back(ModuleKey::compute(Mod));
+
+  // Per-module set of text-relocated instruction indices, for the PIC
+  // relocation masks.
+  std::vector<std::unordered_set<uint32_t>> RelocSets;
+  if (Opts.PositionIndependent) {
+    RelocSets.resize(Image.Modules.size());
+    for (size_t I = 0; I != Image.Modules.size(); ++I)
+      for (uint32_t Index : Image.Modules[I].Image->textRelocations())
+        RelocSets[I].insert(Index);
+  }
+
+  auto moduleIndexFor = [&](uint32_t Addr) -> int {
+    for (size_t I = 0; I != Image.Modules.size(); ++I)
+      if (Image.Modules[I].contains(Addr))
+        return static_cast<int>(I);
+    return -1;
+  };
+
+  for (const auto &T : Cache.traces()) {
+    int ModIndex = moduleIndexFor(T->guestStart());
+    if (ModIndex < 0)
+      continue; // Not backed by a file on disk: never persisted.
+    TraceRecord Rec;
+    Rec.GuestStart = T->guestStart();
+    Rec.ModuleIndex = static_cast<uint32_t>(ModIndex);
+    Rec.GuestInstCount = T->guestInstCount();
+    const uint8_t *Code = Cache.codeAt(T->poolOffset());
+    Rec.Code.assign(Code, Code + T->poolBytes());
+    for (const dbi::TraceExit &Exit : T->exits())
+      Rec.Exits.push_back(ExitRecord{
+          static_cast<uint8_t>(Exit.Kind), Exit.InstIndex, Exit.Target,
+          Exit.Link ? Exit.Link->guestStart() : 0});
+
+    if (Opts.PositionIndependent) {
+      // Mark every address-bearing immediate: branch/call targets plus
+      // the module's own text relocations (address materialization).
+      auto Body = T->isMaterialized()
+                      ? ErrorOr<std::vector<isa::Instruction>>(T->body())
+                      : isa::decodeAll(Code + dbi::TracePrologueBytes,
+                                       T->guestInstCount());
+      if (!Body)
+        return Body.status();
+      const LoadedModule &Mod = Image.Modules[ModIndex];
+      uint32_t FirstIndex =
+          (T->guestStart() - Mod.Base) / isa::InstructionSize;
+      for (uint32_t I = 0; I != Body->size(); ++I) {
+        bool NeedsReloc =
+            isa::hasCodeTarget((*Body)[I].Op) ||
+            RelocSets[ModIndex].count(FirstIndex + I);
+        if (NeedsReloc)
+          Rec.setRelocBit(I);
+      }
+    }
+    File.Traces.push_back(std::move(Rec));
+  }
+
+  // Accumulation carry-through, part 1: traces of *validated* modules
+  // that are no longer resident in the engine cache — dropped by a
+  // mid-run flush or skipped at install when a pool filled. The paper
+  // writes the persistent cache "whenever the intra-execution code
+  // cache becomes full" for exactly this reason; merging here keeps
+  // accumulation monotone under cache pressure. Only applies to this
+  // application's own cache, and only when the module's base is
+  // unchanged (always true for validated non-PIC modules; PIC reuse at
+  // a new base would require rebasing the stale records, so those are
+  // left to retranslation instead).
+  if (Opts.Accumulate && LoadedWasOwn && LoadedCache) {
+    std::unordered_set<uint32_t> Written;
+    for (const TraceRecord &Rec : File.Traces)
+      Written.insert(Rec.GuestStart);
+    std::unordered_map<std::string, uint32_t> IndexByPath;
+    for (size_t I = 0; I != File.Modules.size(); ++I)
+      IndexByPath.emplace(File.Modules[I].Path,
+                          static_cast<uint32_t>(I));
+    for (size_t I = 0; I != LoadedCache->Modules.size(); ++I) {
+      if (!ModuleLoadedNow[I] || !ModuleValidated[I])
+        continue;
+      const ModuleKey &Old = LoadedCache->Modules[I];
+      auto It = IndexByPath.find(Old.Path);
+      if (It == IndexByPath.end() ||
+          File.Modules[It->second].Base != Old.Base)
+        continue;
+      for (const TraceRecord &Rec : LoadedCache->Traces) {
+        if (Rec.ModuleIndex != I || Written.count(Rec.GuestStart))
+          continue;
+        TraceRecord Copy = Rec;
+        Copy.ModuleIndex = It->second;
+        Written.insert(Copy.GuestStart);
+        File.Traces.push_back(std::move(Copy));
+      }
+    }
+  }
+
+  // Accumulation carry-through, part 2: keep still-valid traces of
+  // modules that simply were not loaded by this run, so the cache's
+  // coverage only grows over time (Section 4.4). Only applies to this
+  // application's own cache; donor caches are never modified or
+  // absorbed wholesale.
+  if (Opts.Accumulate && LoadedWasOwn && LoadedCache) {
+    for (size_t I = 0; I != LoadedCache->Modules.size(); ++I) {
+      if (ModuleLoadedNow[I])
+        continue;
+      const ModuleKey &Old = LoadedCache->Modules[I];
+      bool Collides = false;
+      for (const ModuleKey &Current : File.Modules)
+        Collides |= regionsOverlap(Old.Base, Old.Size, Current.Base,
+                                   Current.Size);
+      if (Collides)
+        continue;
+      uint32_t NewIndex = static_cast<uint32_t>(File.Modules.size());
+      File.Modules.push_back(Old);
+      for (const TraceRecord &Rec : LoadedCache->Traces) {
+        if (Rec.ModuleIndex != I)
+          continue;
+        TraceRecord Copy = Rec;
+        Copy.ModuleIndex = NewIndex;
+        File.Traces.push_back(std::move(Copy));
+      }
+    }
+  }
+
+  // Clear links whose targets did not make it into this file (e.g. a
+  // link into a trace the engine recompiled differently): readers treat
+  // LinkedStart == 0 as "unlinked", and validate() requires closure.
+  std::unordered_set<uint32_t> AllStarts;
+  for (const TraceRecord &Rec : File.Traces)
+    AllStarts.insert(Rec.GuestStart);
+  for (TraceRecord &Rec : File.Traces)
+    for (ExitRecord &Exit : Rec.Exits)
+      if (Exit.LinkedStart != 0 && !AllStarts.count(Exit.LinkedStart))
+        Exit.LinkedStart = 0;
+
+  std::vector<uint8_t> Bytes = File.serialize();
+  Engine.stats().PersistCycles +=
+      Engine.options().Costs.PersistWriteCyclesPerPage *
+      pagesOf(Bytes.size());
+  if (!Opts.StoreAsPath.empty())
+    return writeFileAtomic(Opts.StoreAsPath, Bytes);
+  return writeFileAtomic(Db.pathFor(LookupKey), Bytes);
+}
+
+ErrorOr<PersistentRunResult> pcc::persist::runWithPersistence(
+    vm::Machine &M, dbi::Tool *ClientTool,
+    const dbi::EngineOptions &EngineOpts, const CacheDatabase &Db,
+    const PersistOptions &Opts) {
+  dbi::Engine Engine(M, ClientTool, EngineOpts);
+  PersistentSession Session(Db, Opts);
+  auto Prime = Session.prime(Engine);
+  if (!Prime)
+    return Prime.status();
+
+  PersistentRunResult Result;
+  Result.Prime = Prime.take();
+  Result.Run = Engine.run();
+  Status Finalized = Session.finalize(Engine);
+  if (!Finalized.ok())
+    return Finalized;
+  Result.Stats = Engine.stats();
+  // Include the cache write-back charged by finalize().
+  Result.Run.Cycles = Result.Stats.totalCycles();
+  return Result;
+}

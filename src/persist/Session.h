@@ -1,0 +1,148 @@
+//===- persist/Session.h - Persistent cache manager -------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent cache manager (Figure 1, shaded components): performs
+/// "the fundamental tasks of generating persistent caches, verifying
+/// possible reuse, and storing them in the database" (Section 3.2).
+///
+/// A PersistentSession brackets one engine run:
+///
+///   prime()    — before run(): locate a cache by key (or donor path),
+///                validate every module key against the loaded image,
+///                install valid traces (unmaterialized, demand-paged)
+///                and restore persisted trace links; invalid modules'
+///                traces are dropped for retranslation.
+///   finalize() — after run(): write the resident traces back to the
+///                database, accumulating newly discovered translations
+///                into the persistent cache (Section 4.4) and carrying
+///                forward still-valid traces of modules not loaded by
+///                this particular run.
+///
+/// Inter-application persistence (Section 3.2.3 end): lookup ignores the
+/// application key and accepts a cache from any program instrumented
+/// identically; the donor's application traces fail validation and are
+/// retranslated while shared-library traces are reused when bases match.
+///
+/// Position-independent translations (Opts.PositionIndependent) are this
+/// reproduction's implementation of the paper's noted future work: module
+/// keys match ignoring the base address, and the install path rebases
+/// every address-bearing immediate, so relocated libraries keep their
+/// persisted translations instead of falling back to retranslation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_PERSIST_SESSION_H
+#define PCC_PERSIST_SESSION_H
+
+#include "dbi/Engine.h"
+#include "persist/CacheDatabase.h"
+#include "persist/CacheFile.h"
+#include "persist/Key.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace persist {
+
+/// Session configuration.
+struct PersistOptions {
+  /// Ignore the application key at lookup (inter-application mode).
+  bool InterApplication = false;
+  /// Merge still-valid prior traces into the written cache. Off, the
+  /// written cache contains only this run's resident traces.
+  bool Accumulate = true;
+  /// Write the cache back at finalize().
+  bool WriteBack = true;
+  /// Generate/consume position-independent translations (extension).
+  bool PositionIndependent = false;
+  /// Donor cache file to prime from, overriding key lookup (cross-input
+  /// and inter-application experiments pick donors explicitly).
+  std::string ExplicitCachePath;
+  /// Write the cache to this path instead of the database slot.
+  std::string StoreAsPath;
+};
+
+/// What prime() did, for reporting and tests.
+struct PrimeResult {
+  bool CacheFound = false;
+  std::string CachePath;
+  /// Why a located cache was rejected wholesale (empty otherwise).
+  std::string RejectReason;
+  uint32_t TracesInstalled = 0;
+  uint32_t TracesSkipped = 0;
+  uint32_t ModulesValidated = 0;
+  uint32_t ModulesInvalidated = 0;
+  uint32_t LinksRestored = 0;
+};
+
+/// Brackets one engine run with persistent-cache reuse and generation.
+class PersistentSession {
+public:
+  PersistentSession(const CacheDatabase &Db,
+                    PersistOptions Opts = PersistOptions())
+      : Db(Db), Opts(std::move(Opts)) {}
+
+  /// Locates, validates and installs a persistent cache into \p Engine's
+  /// code cache. Must be called before Engine::run(), on an engine whose
+  /// cache is empty. A missing cache is success with
+  /// PrimeResult::CacheFound == false.
+  ErrorOr<PrimeResult> prime(dbi::Engine &Engine);
+
+  /// Writes the persistent cache for \p Engine's application after its
+  /// run. Requires a prior prime() on the same engine.
+  Status finalize(dbi::Engine &Engine);
+
+  /// Database slot key for this application/engine/tool (valid after
+  /// prime()).
+  uint64_t lookupKey() const { return LookupKey; }
+
+private:
+  ErrorOr<CacheFile> locateCache(dbi::Engine &Engine,
+                                 PrimeResult &Result);
+  Status installCache(dbi::Engine &Engine, const CacheFile &File,
+                      PrimeResult &Result);
+
+  const CacheDatabase &Db;
+  PersistOptions Opts;
+
+  /// State carried from prime() to finalize().
+  std::optional<CacheFile> LoadedCache;
+  std::vector<bool> ModuleValidated; ///< Per LoadedCache module.
+  std::vector<bool> ModuleLoadedNow; ///< Per LoadedCache module.
+  bool LoadedWasOwn = false; ///< Cache came from this app's own slot.
+  uint64_t LookupKey = 0;
+  uint64_t EngineHash = 0;
+  uint64_t ToolHash = 0;
+  bool Primed = false;
+};
+
+/// Tool hash used when the engine runs without a tool.
+uint64_t noToolHash();
+
+/// Outcome of a full persistent run.
+struct PersistentRunResult {
+  vm::RunResult Run;
+  dbi::EngineStats Stats;
+  PrimeResult Prime;
+};
+
+/// Convenience wrapper: construct an engine over \p M with \p ClientTool,
+/// prime from \p Db, run, finalize, and return everything measured.
+/// EngineStats include the persistence costs charged by finalize().
+ErrorOr<PersistentRunResult>
+runWithPersistence(vm::Machine &M, dbi::Tool *ClientTool,
+                   const dbi::EngineOptions &EngineOpts,
+                   const CacheDatabase &Db,
+                   const PersistOptions &Opts = PersistOptions());
+
+} // namespace persist
+} // namespace pcc
+
+#endif // PCC_PERSIST_SESSION_H

@@ -1,0 +1,40 @@
+//===- support/Error.cpp --------------------------------------------------===//
+
+#include "support/Error.h"
+
+using namespace pcc;
+
+const char *pcc::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Success:
+    return "success";
+  case ErrorCode::NotFound:
+    return "not found";
+  case ErrorCode::InvalidFormat:
+    return "invalid format";
+  case ErrorCode::VersionMismatch:
+    return "version mismatch";
+  case ErrorCode::KeyMismatch:
+    return "key mismatch";
+  case ErrorCode::OutOfMemory:
+    return "out of memory";
+  case ErrorCode::IoError:
+    return "io error";
+  case ErrorCode::GuestFault:
+    return "guest fault";
+  case ErrorCode::InvalidArgument:
+    return "invalid argument";
+  }
+  return "unknown";
+}
+
+std::string Status::toString() const {
+  if (ok())
+    return "success";
+  std::string Result = errorCodeName(Code);
+  if (!Message.empty()) {
+    Result += ": ";
+    Result += Message;
+  }
+  return Result;
+}

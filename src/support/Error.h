@@ -1,0 +1,114 @@
+//===- support/Error.h - Status and ErrorOr error handling ------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free recoverable-error handling in the style of
+/// llvm::Expected: a Status carries a code and message, and ErrorOr<T>
+/// carries either a value or a Status. Library code never throws;
+/// unrecoverable programmer errors are asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_SUPPORT_ERROR_H
+#define PCC_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pcc {
+
+/// Error categories surfaced by the library. Benign conditions that callers
+/// routinely branch on (e.g. "no persistent cache for this key") get their
+/// own codes so callers need not parse messages.
+enum class ErrorCode {
+  Success = 0,
+  NotFound,        ///< Lookup miss (cache database, symbol, module).
+  InvalidFormat,   ///< Malformed or truncated serialized data.
+  VersionMismatch, ///< Persistent cache from a different engine version.
+  KeyMismatch,     ///< Module/tool key conflict (Section 3.2.1).
+  OutOfMemory,     ///< A fixed-size pool or guest region is exhausted.
+  IoError,         ///< Host filesystem failure.
+  GuestFault,      ///< Guest program performed an illegal operation.
+  InvalidArgument, ///< Caller passed an out-of-contract value.
+};
+
+/// Human-readable name of \p Code (for messages and tests).
+const char *errorCodeName(ErrorCode Code);
+
+/// A success-or-error result with an optional message. Cheap to copy on
+/// the success path (no allocation).
+class Status {
+public:
+  Status() = default;
+  Status(ErrorCode Code, std::string Message)
+      : Code(Code), Message(std::move(Message)) {
+    assert(Code != ErrorCode::Success && "error status requires a code");
+  }
+
+  static Status success() { return Status(); }
+  static Status error(ErrorCode Code, std::string Message) {
+    return Status(Code, std::move(Message));
+  }
+
+  bool ok() const { return Code == ErrorCode::Success; }
+  ErrorCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+
+  /// Renders "code: message" for logs and test failures.
+  std::string toString() const;
+
+private:
+  ErrorCode Code = ErrorCode::Success;
+  std::string Message;
+};
+
+/// Either a T or a Status describing why no T could be produced.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+  ErrorOr(Status Error) : Storage(std::move(Error)) {
+    assert(!std::get<Status>(Storage).ok() &&
+           "ErrorOr must not hold a success status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(Storage); }
+  explicit operator bool() const { return ok(); }
+
+  T &value() {
+    assert(ok() && "value() on error ErrorOr");
+    return std::get<T>(Storage);
+  }
+  const T &value() const {
+    assert(ok() && "value() on error ErrorOr");
+    return std::get<T>(Storage);
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+  /// The error; valid only when !ok().
+  const Status &status() const {
+    assert(!ok() && "status() on success ErrorOr");
+    return std::get<Status>(Storage);
+  }
+
+  /// Moves the value out; valid only when ok().
+  T take() {
+    assert(ok() && "take() on error ErrorOr");
+    return std::move(std::get<T>(Storage));
+  }
+
+private:
+  std::variant<T, Status> Storage;
+};
+
+} // namespace pcc
+
+#endif // PCC_SUPPORT_ERROR_H

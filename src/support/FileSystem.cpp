@@ -1,0 +1,120 @@
+//===- support/FileSystem.cpp ---------------------------------------------===//
+
+#include "support/FileSystem.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+using namespace pcc;
+namespace fs = std::filesystem;
+
+ErrorOr<std::vector<uint8_t>> pcc::readFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return Status::error(ErrorCode::IoError, "cannot open " + Path);
+  std::fseek(File, 0, SEEK_END);
+  long Size = std::ftell(File);
+  if (Size < 0) {
+    std::fclose(File);
+    return Status::error(ErrorCode::IoError, "cannot stat " + Path);
+  }
+  std::fseek(File, 0, SEEK_SET);
+  std::vector<uint8_t> Bytes(static_cast<size_t>(Size));
+  size_t Read = Bytes.empty()
+                    ? 0
+                    : std::fread(Bytes.data(), 1, Bytes.size(), File);
+  std::fclose(File);
+  if (Read != Bytes.size())
+    return Status::error(ErrorCode::IoError, "short read from " + Path);
+  return Bytes;
+}
+
+Status pcc::writeFileAtomic(const std::string &Path,
+                            const std::vector<uint8_t> &Bytes) {
+  std::string TempPath = Path + ".tmp";
+  std::FILE *File = std::fopen(TempPath.c_str(), "wb");
+  if (!File)
+    return Status::error(ErrorCode::IoError, "cannot create " + TempPath);
+  size_t Written =
+      Bytes.empty() ? 0 : std::fwrite(Bytes.data(), 1, Bytes.size(), File);
+  int CloseResult = std::fclose(File);
+  if (Written != Bytes.size() || CloseResult != 0) {
+    std::remove(TempPath.c_str());
+    return Status::error(ErrorCode::IoError, "short write to " + TempPath);
+  }
+  std::error_code Ec;
+  fs::rename(TempPath, Path, Ec);
+  if (Ec) {
+    std::remove(TempPath.c_str());
+    return Status::error(ErrorCode::IoError,
+                         "cannot rename " + TempPath + " to " + Path);
+  }
+  return Status::success();
+}
+
+Status pcc::createDirectories(const std::string &Path) {
+  std::error_code Ec;
+  fs::create_directories(Path, Ec);
+  if (Ec)
+    return Status::error(ErrorCode::IoError, "cannot create " + Path);
+  return Status::success();
+}
+
+bool pcc::fileExists(const std::string &Path) {
+  std::error_code Ec;
+  return fs::is_regular_file(Path, Ec);
+}
+
+Status pcc::removeFile(const std::string &Path) {
+  std::error_code Ec;
+  fs::remove(Path, Ec);
+  if (Ec)
+    return Status::error(ErrorCode::IoError, "cannot remove " + Path);
+  return Status::success();
+}
+
+ErrorOr<std::vector<std::string>> pcc::listDirectory(const std::string &Dir) {
+  std::error_code Ec;
+  std::vector<std::string> Names;
+  fs::directory_iterator It(Dir, Ec);
+  if (Ec)
+    return Status::error(ErrorCode::IoError, "cannot list " + Dir);
+  for (const auto &Entry : It)
+    if (Entry.is_regular_file())
+      Names.push_back(Entry.path().filename().string());
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+ErrorOr<std::string> pcc::createUniqueTempDir(const std::string &Prefix) {
+  std::error_code Ec;
+  fs::path Base = fs::temp_directory_path(Ec);
+  if (Ec)
+    return Status::error(ErrorCode::IoError, "no temp directory");
+  // Clock + counter keeps this unique within and across processes.
+  static unsigned Counter = 0;
+  uint64_t Stamp = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  for (unsigned Attempt = 0; Attempt != 100; ++Attempt) {
+    fs::path Candidate =
+        Base / formatString("%s-%llx-%u", Prefix.c_str(),
+                            static_cast<unsigned long long>(Stamp),
+                            Counter++);
+    if (fs::create_directory(Candidate, Ec) && !Ec)
+      return Candidate.string();
+  }
+  return Status::error(ErrorCode::IoError, "cannot create temp dir");
+}
+
+Status pcc::removeRecursively(const std::string &Path) {
+  std::error_code Ec;
+  fs::remove_all(Path, Ec);
+  if (Ec)
+    return Status::error(ErrorCode::IoError, "cannot remove " + Path);
+  return Status::success();
+}

@@ -1,0 +1,56 @@
+//===- support/FileSystem.h - Host filesystem helpers -----------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-file read/write helpers used by the persistent cache database.
+/// Persistent caches are real files on the host disk, exactly as in the
+/// paper (Section 3.2.2: "a persistent code cache is a file stored on
+/// disk").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_SUPPORT_FILESYSTEM_H
+#define PCC_SUPPORT_FILESYSTEM_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcc {
+
+/// Reads the whole file at \p Path.
+ErrorOr<std::vector<uint8_t>> readFile(const std::string &Path);
+
+/// Atomically replaces the file at \p Path with \p Bytes (write to a
+/// temporary sibling, then rename). Parent directories must exist.
+Status writeFileAtomic(const std::string &Path,
+                       const std::vector<uint8_t> &Bytes);
+
+/// Creates \p Path and all missing parents.
+Status createDirectories(const std::string &Path);
+
+/// True if a regular file exists at \p Path.
+bool fileExists(const std::string &Path);
+
+/// Deletes the file at \p Path if it exists (missing file is success).
+Status removeFile(const std::string &Path);
+
+/// Lists regular files directly inside \p Dir (names only, sorted).
+ErrorOr<std::vector<std::string>> listDirectory(const std::string &Dir);
+
+/// Creates a fresh unique directory under the system temp directory with
+/// the given prefix and returns its path. Used by tests and benches.
+ErrorOr<std::string> createUniqueTempDir(const std::string &Prefix);
+
+/// Recursively deletes \p Path (for temp-dir cleanup).
+Status removeRecursively(const std::string &Path);
+
+} // namespace pcc
+
+#endif // PCC_SUPPORT_FILESYSTEM_H

@@ -1,0 +1,50 @@
+//===- support/Hashing.cpp ------------------------------------------------===//
+
+#include "support/Hashing.h"
+
+#include <array>
+
+using namespace pcc;
+
+uint64_t pcc::fnv1a64Bytes(const void *Data, size_t Size, uint64_t State) {
+  const auto *Bytes = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I != Size; ++I) {
+    State ^= Bytes[I];
+    State *= 0x100000001b3ULL;
+  }
+  return State;
+}
+
+uint64_t pcc::fnv1a64U64(uint64_t Value, uint64_t State) {
+  uint8_t Bytes[8];
+  for (unsigned I = 0; I != 8; ++I)
+    Bytes[I] = static_cast<uint8_t>(Value >> (8 * I));
+  return fnv1a64Bytes(Bytes, sizeof(Bytes), State);
+}
+
+static std::array<uint32_t, 256> makeCrc32Table() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xedb88320U ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+uint32_t pcc::crc32(const void *Data, size_t Size, uint32_t Seed) {
+  static const std::array<uint32_t, 256> Table = makeCrc32Table();
+  uint32_t C = Seed ^ 0xffffffffU;
+  const auto *Bytes = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I != Size; ++I)
+    C = Table[(C ^ Bytes[I]) & 0xff] ^ (C >> 8);
+  return C ^ 0xffffffffU;
+}
+
+uint64_t pcc::hashCombine(uint64_t A, uint64_t B) {
+  // 64-bit variant of boost::hash_combine's magic constant (derived from
+  // the golden ratio) with extra shifts for avalanche.
+  A ^= B + 0x9e3779b97f4a7c15ULL + (A << 12) + (A >> 4);
+  return A;
+}

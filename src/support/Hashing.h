@@ -1,0 +1,54 @@
+//===- support/Hashing.h - Deterministic hash functions ---------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching:
+// Exploiting Code Reuse Across Executions and Applications" (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, platform-independent hash functions used for module keys
+/// (Section 3.2.1 of the paper) and cache-file integrity checks. The
+/// persistent cache format embeds these hashes on disk, so they must be
+/// stable across hosts and builds: no std::hash, no pointer hashing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_SUPPORT_HASHING_H
+#define PCC_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pcc {
+
+/// 64-bit FNV-1a offset basis.
+inline constexpr uint64_t Fnv1a64Init = 0xcbf29ce484222325ULL;
+
+/// Feeds \p Size bytes at \p Data into a running FNV-1a state \p State.
+/// Returns the updated state so calls can be chained. Named distinctly
+/// from the string overload: otherwise `fnv1a64("s", State)` would bind
+/// the char pointer to void* and the state to the byte count.
+uint64_t fnv1a64Bytes(const void *Data, size_t Size,
+                      uint64_t State = Fnv1a64Init);
+
+/// Hashes a string (chainable through \p State).
+inline uint64_t fnv1a64(std::string_view Str,
+                        uint64_t State = Fnv1a64Init) {
+  return fnv1a64Bytes(Str.data(), Str.size(), State);
+}
+
+/// Feeds a little-endian encoding of \p Value into \p State.
+uint64_t fnv1a64U64(uint64_t Value, uint64_t State);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Used as the cache-file
+/// payload checksum so corruption is detected before any trace is reused.
+uint32_t crc32(const void *Data, size_t Size, uint32_t Seed = 0);
+
+/// Mixes two 64-bit hash values into one (boost::hash_combine style with a
+/// 64-bit constant). Order-sensitive.
+uint64_t hashCombine(uint64_t A, uint64_t B);
+
+} // namespace pcc
+
+#endif // PCC_SUPPORT_HASHING_H

@@ -1,0 +1,72 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ---*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic SplitMix64-based generator. All workload synthesis and
+/// property tests draw from this so every experiment is reproducible on
+/// any host; std::mt19937 distributions are not cross-platform stable,
+/// so the range mapping is implemented here as well.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_SUPPORT_RANDOM_H
+#define PCC_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pcc {
+
+/// SplitMix64: tiny state, excellent diffusion, sequential-seed safe.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    // Debiased multiply-shift (Lemire). The rejection loop terminates
+    // quickly for all bounds.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t Value = next();
+      __uint128_t Product = static_cast<__uint128_t>(Value) * Bound;
+      if (static_cast<uint64_t>(Product) >= Threshold)
+        return static_cast<uint64_t>(Product >> 64);
+    }
+  }
+
+  /// Uniform value in [Low, High] inclusive.
+  uint64_t nextInRange(uint64_t Low, uint64_t High) {
+    assert(Low <= High && "inverted range");
+    return Low + nextBelow(High - Low + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability \p P (clamped to [0,1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace pcc
+
+#endif // PCC_SUPPORT_RANDOM_H

@@ -1,0 +1,70 @@
+//===- support/TablePrinter.cpp -------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace pcc;
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::addSeparator() {
+  if (!Rows.empty())
+    SeparatorAfter.push_back(Rows.size() - 1);
+}
+
+std::string TablePrinter::render() const {
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  }
+
+  auto renderSeparator = [&] {
+    std::string Line;
+    for (size_t I = 0; I != Widths.size(); ++I) {
+      Line += std::string(Widths[I] + 2, '-');
+      if (I + 1 != Widths.size())
+        Line += '+';
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out;
+  if (!Title.empty())
+    Out += "== " + Title + " ==\n";
+  for (size_t R = 0; R != Rows.size(); ++R) {
+    const auto &Row = Rows[R];
+    std::string Line;
+    for (size_t I = 0; I != Widths.size(); ++I) {
+      std::string Cell = I < Row.size() ? Row[I] : std::string();
+      Line += ' ';
+      Line += Cell;
+      Line += std::string(Widths[I] - Cell.size() + 1, ' ');
+      if (I + 1 != Widths.size())
+        Line += '|';
+    }
+    // Trim trailing spaces for cleaner diffs.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Out += Line + '\n';
+    if (R == 0 && Rows.size() > 1)
+      Out += renderSeparator();
+    else if (std::find(SeparatorAfter.begin(), SeparatorAfter.end(), R) !=
+             SeparatorAfter.end())
+      Out += renderSeparator();
+  }
+  return Out;
+}
+
+void TablePrinter::print() const {
+  std::string Text = render();
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+  std::fflush(stdout);
+}

@@ -1,0 +1,50 @@
+//===- support/TablePrinter.h - Aligned text tables -------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats rows of cells into an aligned text table. Every bench binary
+/// reproduces one of the paper's tables or figures and prints it through
+/// this class so the output is uniform and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_SUPPORT_TABLEPRINTER_H
+#define PCC_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace pcc {
+
+/// Accumulates rows and renders them with columns padded to the widest
+/// cell. The first addRow() call defines the header.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::string Title = "") : Title(std::move(Title)) {}
+
+  /// Appends one row; all rows may have different cell counts (short rows
+  /// leave trailing columns empty).
+  void addRow(std::vector<std::string> Cells);
+
+  /// Inserts a horizontal separator line after the current last row.
+  void addSeparator();
+
+  /// Renders the table (title, header separator after row 0, rows).
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+private:
+  std::string Title;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<size_t> SeparatorAfter;
+};
+
+} // namespace pcc
+
+#endif // PCC_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,77 @@
+//===- vm/Cpu.h - Guest CPU state and syscall environment -------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guest-visible machine state: 16 general-purpose registers plus PC, and
+/// the syscall environment (the VM's "emulation unit" state in the
+/// paper's terminology). Both the reference interpreter and the DBI
+/// engine's translated-code executor operate on this state, so final
+/// register/memory/output contents are directly comparable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_VM_CPU_H
+#define PCC_VM_CPU_H
+
+#include "isa/Opcode.h"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace vm {
+
+/// Architected register and PC state.
+struct CpuState {
+  std::array<uint32_t, isa::NumRegisters> Regs{};
+  uint32_t Pc = 0;
+
+  uint32_t sp() const { return Regs[isa::StackPointerReg]; }
+  void setSp(uint32_t Value) { Regs[isa::StackPointerReg] = Value; }
+};
+
+/// Guest system call numbers (passed in the Sys instruction's Imm).
+enum class SyscallNumber : uint32_t {
+  Exit = 1,      ///< r1 = exit code; terminates the whole program.
+  WriteChar = 2, ///< r1 = character appended to the output stream.
+  WriteWord = 3, ///< r1 = 32-bit value appended to the word log.
+  Yield = 4,     ///< No-op; exists to add syscall/emulation pressure.
+  Spawn = 5,     ///< r1 = entry, r2 = arg; returns thread id in r1.
+  ThreadExit = 6, ///< Ends the calling thread (see vm/Threads.h).
+};
+
+/// A requested thread creation, serviced by the scheduler.
+struct SpawnRequest {
+  uint32_t Entry = 0;
+  uint32_t Arg = 0;
+};
+
+/// Observable side effects of a run plus exit bookkeeping. The DBI engine
+/// transfers control to its emulation unit for every syscall, exactly as
+/// Pin does.
+struct SyscallEnv {
+  std::string Output;
+  std::vector<uint32_t> WordLog;
+  uint64_t SyscallCount = 0;
+  bool Exited = false;
+  uint32_t ExitCode = 0;
+  /// Thread requests, consumed by ThreadScheduler::afterSyscall.
+  std::optional<SpawnRequest> PendingSpawn;
+  bool CurrentThreadExited = false;
+
+  /// Handles syscall \p Number against \p Cpu. Unknown numbers are a
+  /// guest bug and terminate the program with exit code 127.
+  void handle(uint32_t Number, CpuState &Cpu);
+};
+
+} // namespace vm
+} // namespace pcc
+
+#endif // PCC_VM_CPU_H

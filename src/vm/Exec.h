@@ -1,0 +1,52 @@
+//===- vm/Exec.h - Single-instruction execution semantics -------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one and only definition of guest instruction semantics.
+/// The reference interpreter and the DBI engine's translated-trace
+/// executor both call executeInstruction(), which guarantees the paper's
+/// correctness baseline: running under the run-time compiler must be
+/// observably identical to native execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_VM_EXEC_H
+#define PCC_VM_EXEC_H
+
+#include "isa/Instruction.h"
+#include "loader/AddressSpace.h"
+#include "vm/Cpu.h"
+
+namespace pcc {
+namespace vm {
+
+/// What a single executed instruction did to control flow.
+enum class StepKind : uint8_t {
+  Sequential, ///< Fell through to Pc + 8.
+  Control,    ///< Redirected the PC (branch taken, jump, call, return).
+  Syscall,    ///< Performed a system call (falls through unless Exit).
+  Halted,     ///< Halt, or Sys Exit.
+};
+
+/// Result of executing one instruction.
+struct StepResult {
+  StepKind Kind = StepKind::Sequential;
+  uint32_t NextPc = 0;
+};
+
+/// Executes \p Inst located at \p Pc against \p Cpu / \p Space / \p Env.
+/// Does not modify Cpu.Pc; the caller advances to the returned NextPc.
+/// Fails with GuestFault on unmapped memory access.
+ErrorOr<StepResult> executeInstruction(const isa::Instruction &Inst,
+                                       uint32_t Pc, CpuState &Cpu,
+                                       loader::AddressSpace &Space,
+                                       SyscallEnv &Env);
+
+} // namespace vm
+} // namespace pcc
+
+#endif // PCC_VM_EXEC_H

@@ -1,0 +1,82 @@
+//===- vm/Interpreter.h - Reference interpreter -----------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference ("native") execution engine: fetch/decode/execute with a
+/// cost of one cycle per instruction. This models original program
+/// execution on the hardware — the paper's leftmost bars — and serves as
+/// the correctness oracle for the DBI engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_VM_INTERPRETER_H
+#define PCC_VM_INTERPRETER_H
+
+#include "loader/AddressSpace.h"
+#include "vm/Cpu.h"
+#include "vm/Exec.h"
+
+#include <cstdint>
+
+namespace pcc {
+namespace vm {
+
+/// Hard limits so runaway guests terminate deterministically.
+struct RunLimits {
+  uint64_t MaxInstructions = 2'000'000'000ULL;
+};
+
+/// The outcome of a guest run, on any execution engine.
+struct RunResult {
+  /// Failure status; success unless the guest faulted or ran past limits.
+  Status Error = Status::success();
+  uint32_t ExitCode = 0;
+  std::string Output;
+  std::vector<uint32_t> WordLog;
+  uint64_t InstructionsExecuted = 0;
+  uint64_t SyscallCount = 0;
+  /// Cycles charged by this engine's cost model.
+  uint64_t Cycles = 0;
+
+  bool ok() const { return Error.ok(); }
+
+  /// True when the architecturally observable outcome (exit code, output
+  /// streams, instruction count) matches \p Other. Cycle counts are
+  /// engine-specific and deliberately excluded.
+  bool observablyEquals(const RunResult &Other) const {
+    return Error.ok() && Other.Error.ok() && ExitCode == Other.ExitCode &&
+           Output == Other.Output && WordLog == Other.WordLog &&
+           InstructionsExecuted == Other.InstructionsExecuted &&
+           SyscallCount == Other.SyscallCount;
+  }
+};
+
+/// Cycle costs of native execution.
+struct NativeCostModel {
+  uint64_t CyclesPerInstruction = 1;
+  /// Kernel entry/exit on real hardware; keeps syscall-heavy guests from
+  /// looking free natively.
+  uint64_t CyclesPerSyscall = 150;
+};
+
+/// Executes a guest program by interpretation.
+class Interpreter {
+public:
+  explicit Interpreter(loader::AddressSpace &Space) : Space(Space) {}
+
+  /// Runs from \p Cpu until halt, fault, or limit.
+  RunResult run(CpuState Cpu, const RunLimits &Limits = RunLimits(),
+                const NativeCostModel &Costs = NativeCostModel());
+
+private:
+  loader::AddressSpace &Space;
+};
+
+} // namespace vm
+} // namespace pcc
+
+#endif // PCC_VM_INTERPRETER_H

@@ -1,0 +1,45 @@
+//===- vm/Machine.cpp -----------------------------------------------------===//
+
+#include "vm/Machine.h"
+
+using namespace pcc;
+using namespace pcc::vm;
+
+ErrorOr<Machine> Machine::create(
+    std::shared_ptr<const binary::Module> App,
+    const loader::ModuleRegistry &Registry, loader::BasePolicy Policy,
+    uint64_t AslrSeed, loader::Loader::LoadObserver OnLoad) {
+  Machine M;
+  loader::Loader TheLoader(*M.Space, Registry, Policy, AslrSeed);
+  if (OnLoad)
+    TheLoader.setLoadObserver(std::move(OnLoad));
+  auto Image = TheLoader.load(std::move(App));
+  if (!Image)
+    return Image.status();
+  M.Image = Image.take();
+  return M;
+}
+
+Status Machine::installInput(const std::vector<uint8_t> &Blob) {
+  uint32_t Size = static_cast<uint32_t>(Blob.size());
+  Status S = Space->mapRegion(InputRegionBase,
+                              Size == 0 ? binary::PageSize : Size);
+  if (!S.ok())
+    return S;
+  if (Size == 0)
+    return Status::success();
+  return Space->writeBytes(InputRegionBase, Blob.data(), Size);
+}
+
+CpuState Machine::initialCpuState() const {
+  CpuState Cpu;
+  Cpu.Pc = Image.EntryAddress;
+  Cpu.setSp(Image.StackTop);
+  return Cpu;
+}
+
+RunResult Machine::runNative(const RunLimits &Limits,
+                             const NativeCostModel &Costs) {
+  Interpreter Interp(*Space);
+  return Interp.run(initialCpuState(), Limits, Costs);
+}

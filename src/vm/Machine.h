@@ -1,0 +1,74 @@
+//===- vm/Machine.h - Loaded guest machine facade ---------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One process-like unit: a loaded executable, its libraries, a guest
+/// address space, and an initial CPU state. A Machine is consumed by
+/// exactly one run (native or under the DBI engine); multi-process
+/// workloads such as the Oracle phases create one Machine per process,
+/// all sharing the same ModuleRegistry and persistent cache database.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_VM_MACHINE_H
+#define PCC_VM_MACHINE_H
+
+#include "loader/AddressSpace.h"
+#include "loader/Loader.h"
+#include "vm/Cpu.h"
+#include "vm/Interpreter.h"
+
+#include <memory>
+
+namespace pcc {
+namespace vm {
+
+/// A loaded guest program ready to execute.
+class Machine {
+public:
+  /// Loads \p App (plus dependencies from \p Registry) into a fresh
+  /// address space. \p Policy / \p AslrSeed control library placement.
+  /// \p OnLoad, if given, observes every module mapping (used by the
+  /// persistent cache manager).
+  static ErrorOr<Machine>
+  create(std::shared_ptr<const binary::Module> App,
+         const loader::ModuleRegistry &Registry,
+         loader::BasePolicy Policy = loader::BasePolicy::Fixed,
+         uint64_t AslrSeed = 0,
+         loader::Loader::LoadObserver OnLoad = nullptr);
+
+  loader::AddressSpace &space() { return *Space; }
+  const loader::LoadedImage &image() const { return Image; }
+
+  /// Fixed guest address where program input is mapped. Inputs live
+  /// outside every module image (like argv/env pages on Linux) so that
+  /// changing the input never changes the application's module key —
+  /// the paper's cross-input persistence depends on this.
+  static constexpr uint32_t InputRegionBase = 0x7f000000;
+
+  /// Maps \p Blob read-only at InputRegionBase. Call at most once,
+  /// before running.
+  Status installInput(const std::vector<uint8_t> &Blob);
+
+  /// Initial architected state: PC at the entry point, SP at stack top.
+  CpuState initialCpuState() const;
+
+  /// Runs the program natively (reference interpreter).
+  RunResult runNative(const RunLimits &Limits = RunLimits(),
+                      const NativeCostModel &Costs = NativeCostModel());
+
+private:
+  Machine() : Space(std::make_unique<loader::AddressSpace>()) {}
+
+  std::unique_ptr<loader::AddressSpace> Space;
+  loader::LoadedImage Image;
+};
+
+} // namespace vm
+} // namespace pcc
+
+#endif // PCC_VM_MACHINE_H

@@ -1,0 +1,128 @@
+//===- vm/Threads.h - Guest thread scheduling -------------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-threaded guest support ("the system supports inter-execution
+/// as well as inter-application persistence of single-threaded,
+/// multi-threaded, and multi-process applications", Section 3.2).
+///
+/// Threads are cooperative: a context switch happens exactly when a
+/// thread performs a system call — the one point where control returns
+/// to the VM in both execution engines (system calls terminate traces),
+/// so the reference interpreter and the DBI engine produce *identical*
+/// thread interleavings and the equivalence tests extend to threaded
+/// guests unchanged.
+///
+/// Guest API (see SyscallNumber):
+///   Spawn      r1 = entry address, r2 = argument.
+///              Returns the new thread id in r1 (0xffffffff on failure).
+///              The new thread starts with r1 = argument and a fresh
+///              stack.
+///   ThreadExit Ends the calling thread. The program ends with exit
+///              code 0 once every thread has exited. (Exit still
+///              terminates the whole program immediately.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_VM_THREADS_H
+#define PCC_VM_THREADS_H
+
+#include "loader/AddressSpace.h"
+#include "vm/Cpu.h"
+
+#include <vector>
+
+namespace pcc {
+namespace vm {
+
+/// Round-robin scheduler over cooperative guest threads, shared by the
+/// interpreter and the DBI engine.
+class ThreadScheduler {
+public:
+  /// Thread stacks: thread N (N >= 1) gets
+  /// [ThreadStackBase + (N-1)*ThreadStackStride, +ThreadStackSize).
+  static constexpr uint32_t ThreadStackBase = 0x78000000;
+  static constexpr uint32_t ThreadStackSize = 0x20000;
+  static constexpr uint32_t ThreadStackStride = 0x40000;
+  static constexpr unsigned MaxThreads = 16;
+
+  struct Thread {
+    CpuState Cpu;
+    bool Done = false;
+  };
+
+  /// Starts with the main thread's initial state.
+  explicit ThreadScheduler(const CpuState &Main) {
+    Threads.push_back(Thread{Main, false});
+  }
+
+  Thread &current() { return Threads[Current]; }
+  size_t currentIndex() const { return Current; }
+  size_t threadCount() const { return Threads.size(); }
+
+  unsigned liveCount() const {
+    unsigned Count = 0;
+    for (const Thread &T : Threads)
+      Count += T.Done ? 0 : 1;
+    return Count;
+  }
+
+  /// Post-syscall bookkeeping: records the current thread's resume PC,
+  /// services a pending spawn or thread-exit from \p Env, and rotates to
+  /// the next live thread. \returns false when no thread remains (the
+  /// program ends with exit code 0); fails only on stack-mapping errors.
+  ErrorOr<bool> afterSyscall(SyscallEnv &Env,
+                             loader::AddressSpace &Space,
+                             uint32_t ResumePc) {
+    current().Cpu.Pc = ResumePc;
+
+    if (Env.PendingSpawn) {
+      SpawnRequest Request = *Env.PendingSpawn;
+      Env.PendingSpawn.reset();
+      if (Threads.size() >= MaxThreads) {
+        current().Cpu.Regs[1] = 0xffffffffu;
+      } else {
+        uint32_t Index = static_cast<uint32_t>(Threads.size());
+        uint32_t StackLow =
+            ThreadStackBase + (Index - 1) * ThreadStackStride;
+        Status S = Space.mapRegion(StackLow, ThreadStackSize);
+        if (!S.ok())
+          return S;
+        Thread NewThread;
+        NewThread.Cpu.Pc = Request.Entry;
+        NewThread.Cpu.setSp(StackLow + ThreadStackSize);
+        NewThread.Cpu.Regs[1] = Request.Arg;
+        current().Cpu.Regs[1] = Index; // Spawn's return value.
+        Threads.push_back(NewThread);
+      }
+    }
+
+    if (Env.CurrentThreadExited) {
+      Env.CurrentThreadExited = false;
+      current().Done = true;
+    }
+
+    // Round-robin to the next live thread.
+    for (size_t Step = 1; Step <= Threads.size(); ++Step) {
+      size_t Next = (Current + Step) % Threads.size();
+      if (!Threads[Next].Done) {
+        Current = Next;
+        return true;
+      }
+    }
+    return false; // Everyone has exited.
+  }
+
+private:
+  std::vector<Thread> Threads;
+  size_t Current = 0;
+};
+
+} // namespace vm
+} // namespace pcc
+
+#endif // PCC_VM_THREADS_H

@@ -1,0 +1,266 @@
+//===- workloads/Codegen.cpp ----------------------------------------------===//
+
+#include "workloads/Codegen.h"
+
+#include "support/ByteStream.h"
+#include "support/Hashing.h"
+#include "support/Random.h"
+#include "vm/Machine.h"
+
+#include <cassert>
+#include <iterator>
+
+using namespace pcc;
+using namespace pcc::workloads;
+using binary::Module;
+using isa::Instruction;
+using isa::Opcode;
+
+// Register convention of generated code:
+//   r1         region argument (iteration count); scratch inside regions
+//   r2..r9     scratch (clobbered by regions and main's item decode)
+//   r10        main: work-item count
+//   r11        region: scratch-memory base
+//   r12        zero (re-established by every region and by main)
+//   r13        main: input-region base
+//   r14        main: work-item index
+//   r15        stack pointer
+namespace {
+
+/// Bytes of per-region scratch memory in the data section.
+constexpr uint32_t ScratchBytes = 32;
+
+/// Accumulates module text plus the fixups that can only be resolved
+/// once the total text size (and hence the data-section start) is known.
+struct Emitter {
+  std::vector<Instruction> Insts;
+  /// (instruction index, data-section offset): Imm must become the
+  /// module-relative address of that data byte, then be base-relocated.
+  std::vector<std::pair<uint32_t, uint32_t>> DataAddrFixups;
+  /// Instruction indices whose Imm is a module-relative code address.
+  std::vector<uint32_t> CodeAddrRelocs;
+
+  uint32_t here() const { return static_cast<uint32_t>(Insts.size()); }
+
+  void emit(Instruction Inst) { Insts.push_back(Inst); }
+
+  /// Emits `ldi Rd, &data[DataOffset]`.
+  void emitDataAddr(unsigned Rd, uint32_t DataOffset) {
+    DataAddrFixups.emplace_back(here(), DataOffset);
+    emit(isa::makeLdi(Rd, 0));
+  }
+
+  /// Emits a control transfer to the instruction at \p TargetIndex.
+  void emitCodeTarget(Instruction Inst, uint32_t TargetIndex) {
+    Inst.Imm = TargetIndex * isa::InstructionSize;
+    CodeAddrRelocs.push_back(here());
+    emit(Inst);
+  }
+
+  /// Resolves data-address fixups and installs everything into \p M.
+  void finishInto(Module &M) {
+    M.setInstructions(std::move(Insts));
+    uint32_t DataStart = M.dataStart();
+    for (auto &[InstIndex, DataOffset] : DataAddrFixups) {
+      M.instructions()[InstIndex].Imm = DataStart + DataOffset;
+      M.addTextRelocation(InstIndex);
+    }
+    for (uint32_t InstIndex : CodeAddrRelocs)
+      M.addTextRelocation(InstIndex);
+  }
+};
+
+bool blockHasYield(const RegionDef &Def, uint32_t Block) {
+  return Def.YieldEveryBlocks != 0 &&
+         (Block + 1) % Def.YieldEveryBlocks == 0;
+}
+
+uint32_t blockSize(const RegionDef &Def, uint32_t Block) {
+  return Def.InstsPerBlock + (blockHasYield(Def, Block) ? 1 : 0);
+}
+
+/// Emits one region's code; returns its start instruction index.
+/// \p ScratchOffset is the region's scratch area in the data section.
+uint32_t emitRegion(Emitter &E, const RegionDef &Def,
+                    uint32_t ScratchOffset) {
+  assert(Def.Blocks >= 1 && Def.InstsPerBlock >= 4 &&
+         "region too small to generate");
+  Rng Gen(Def.Seed);
+  const uint32_t Start = E.here();
+
+  E.emit(isa::makeLdi(12, 0));
+  E.emitDataAddr(11, ScratchOffset);
+
+  // Precompute block start indices so forward branch targets are known.
+  const uint32_t LoopHead = Start + 2;
+  std::vector<uint32_t> BlockStart(Def.Blocks);
+  uint32_t Cursor = LoopHead;
+  for (uint32_t B = 0; B != Def.Blocks; ++B) {
+    BlockStart[B] = Cursor;
+    Cursor += blockSize(Def, B);
+  }
+  const uint32_t LoopCheck = Cursor;
+
+  static const Opcode RegOps[] = {Opcode::Add,  Opcode::Sub, Opcode::Mul,
+                                  Opcode::And,  Opcode::Or,  Opcode::Xor,
+                                  Opcode::Sltu, Opcode::Seq};
+  static const Opcode ImmOps[] = {Opcode::Addi, Opcode::Muli,
+                                  Opcode::Xori, Opcode::Ori,
+                                  Opcode::Shri, Opcode::Sltiu};
+
+  for (uint32_t B = 0; B != Def.Blocks; ++B) {
+    assert(E.here() == BlockStart[B] && "block layout drift");
+    uint32_t Slot = (B % 8) * 4;
+    E.emit(isa::makeLoad(3, 11, static_cast<int32_t>(Slot)));
+    for (uint32_t I = 0; I != Def.InstsPerBlock - 3; ++I) {
+      unsigned Rd = 3 + static_cast<unsigned>(Gen.nextBelow(7));
+      unsigned Rs1 = 3 + static_cast<unsigned>(Gen.nextBelow(7));
+      if (Gen.nextBool(0.3)) {
+        Opcode Op = ImmOps[Gen.nextBelow(std::size(ImmOps))];
+        E.emit(isa::makeAluImm(Op, Rd, Rs1,
+                               1 + static_cast<uint32_t>(
+                                       Gen.nextBelow(997))));
+      } else {
+        Opcode Op = RegOps[Gen.nextBelow(std::size(RegOps))];
+        unsigned Rs2 = 3 + static_cast<unsigned>(Gen.nextBelow(7));
+        E.emit(isa::makeAlu(Op, Rd, Rs1, Rs2));
+      }
+    }
+    E.emit(isa::makeStore(11, static_cast<int32_t>(Slot), 3));
+    if (blockHasYield(Def, B))
+      E.emit(isa::makeSys(
+          static_cast<uint32_t>(vm::SyscallNumber::Yield)));
+    // Data-dependent branch that skips the next block (or exits the
+    // body) — generates multi-block traces and realistic control flow.
+    uint32_t TargetIndex =
+        B + 2 < Def.Blocks ? BlockStart[B + 2] : LoopCheck;
+    Opcode BranchOp =
+        Gen.nextBool(0.5) ? Opcode::Beq : Opcode::Bltu;
+    E.emitCodeTarget(isa::makeBranch(BranchOp, 4, 12, 0), TargetIndex);
+  }
+
+  assert(E.here() == LoopCheck && "loop-check layout drift");
+  E.emit(isa::makeAluImm(Opcode::Addi, 1, 1, 0xffffffffu));
+  E.emitCodeTarget(isa::makeBranch(Opcode::Bne, 1, 12, 0), LoopHead);
+  E.emit(isa::makeRet());
+  return Start;
+}
+
+/// Fills \p NumRegions scratch areas with deterministic bytes.
+std::vector<uint8_t> makeScratchData(uint32_t BaseOffset,
+                                     uint32_t NumRegions, uint64_t Seed) {
+  (void)BaseOffset;
+  std::vector<uint8_t> Data(NumRegions * ScratchBytes);
+  Rng Gen(Seed);
+  for (uint8_t &Byte : Data)
+    Byte = static_cast<uint8_t>(Gen.nextBelow(256));
+  return Data;
+}
+
+} // namespace
+
+uint32_t RegionDef::sizeInInsts() const {
+  uint32_t Size = 2 + 3; // Prologue + loop check + ret.
+  for (uint32_t B = 0; B != Blocks; ++B)
+    Size += blockSize(*this, B);
+  return Size;
+}
+
+std::shared_ptr<Module>
+pcc::workloads::buildLibrary(const LibraryDef &Def) {
+  auto M = std::make_shared<Module>(Def.Name, Def.Path,
+                                    binary::ModuleKind::SharedLibrary);
+  Emitter E;
+  for (size_t I = 0; I != Def.Regions.size(); ++I) {
+    uint32_t Start = emitRegion(E, Def.Regions[I],
+                                static_cast<uint32_t>(I) * ScratchBytes);
+    M->addSymbol(Def.Regions[I].Name, Start * isa::InstructionSize);
+  }
+  E.finishInto(*M);
+  M->setData(makeScratchData(0,
+                             static_cast<uint32_t>(Def.Regions.size()),
+                             fnv1a64(Def.Name)));
+  return M;
+}
+
+std::shared_ptr<Module>
+pcc::workloads::buildExecutable(const AppDef &Def) {
+  auto M = std::make_shared<Module>(Def.Name, Def.Path,
+                                    binary::ModuleKind::Executable);
+  const uint32_t NumSlots = static_cast<uint32_t>(Def.Slots.size());
+  const uint32_t TableOffset = 0;
+  const uint32_t ScratchBase = NumSlots * 4;
+
+  Emitter E;
+  // main: iterate the input work list, dispatching through the table.
+  constexpr uint32_t InputBase = vm::Machine::InputRegionBase;
+  E.emit(isa::makeLdi(13, InputBase));
+  E.emit(isa::makeLoad(10, 13, 0));
+  E.emit(isa::makeLdi(14, 0));
+  E.emit(isa::makeLdi(12, 0));
+  const uint32_t MainLoop = E.here();
+  // Layout of the loop is fixed: beq(+0) .. jmp(+11), done at +12.
+  const uint32_t Done = MainLoop + 12;
+  E.emitCodeTarget(isa::makeBranch(Opcode::Beq, 14, 10, 0), Done);
+  E.emit(isa::makeAluImm(Opcode::Muli, 2, 14, 8));
+  E.emit(isa::makeAlu(Opcode::Add, 2, 2, 13));
+  E.emit(isa::makeLoad(3, 2, 4)); // Slot id.
+  E.emit(isa::makeLoad(1, 2, 8)); // Iteration count.
+  E.emitDataAddr(5, TableOffset);
+  E.emit(isa::makeAluImm(Opcode::Muli, 6, 3, 4));
+  E.emit(isa::makeAlu(Opcode::Add, 5, 5, 6));
+  E.emit(isa::makeLoad(7, 5, 0));
+  E.emit(isa::makeCallr(7));
+  E.emit(isa::makeAluImm(Opcode::Addi, 14, 14, 1));
+  E.emitCodeTarget(isa::makeJmp(0), MainLoop);
+  assert(E.here() == Done && "main layout drift");
+  E.emit(isa::makeLdi(1, 0));
+  E.emit(isa::makeSys(static_cast<uint32_t>(vm::SyscallNumber::Exit)));
+
+  // Local regions.
+  std::vector<uint32_t> LocalStart(NumSlots, 0);
+  uint32_t LocalIndex = 0;
+  for (uint32_t Slot = 0; Slot != NumSlots; ++Slot) {
+    if (!Def.Slots[Slot].Local)
+      continue;
+    LocalStart[Slot] =
+        emitRegion(E, *Def.Slots[Slot].Local,
+                   ScratchBase + LocalIndex * ScratchBytes);
+    ++LocalIndex;
+  }
+  E.finishInto(*M);
+  M->setEntryOffset(0);
+
+  // Data section: dispatch table then scratch areas.
+  std::vector<uint8_t> Data(ScratchBase, 0);
+  std::vector<uint8_t> Scratch =
+      makeScratchData(ScratchBase, LocalIndex, fnv1a64(Def.Name));
+  Data.insert(Data.end(), Scratch.begin(), Scratch.end());
+  for (uint32_t Slot = 0; Slot != NumSlots; ++Slot) {
+    const FunctionSlot &Fn = Def.Slots[Slot];
+    uint32_t SlotOffset = TableOffset + Slot * 4;
+    if (Fn.Local) {
+      // Module-relative code address, rebased at load.
+      uint32_t Target = LocalStart[Slot] * isa::InstructionSize;
+      for (unsigned I = 0; I != 4; ++I)
+        Data[SlotOffset + I] = static_cast<uint8_t>(Target >> (8 * I));
+      M->addDataRelocation(SlotOffset);
+    } else {
+      M->addImport(Fn.SymbolName, Fn.LibraryName, SlotOffset);
+    }
+  }
+  M->setData(std::move(Data));
+  return M;
+}
+
+std::vector<uint8_t>
+pcc::workloads::encodeWorkload(const std::vector<WorkItem> &Items) {
+  ByteWriter Writer;
+  Writer.writeU32(static_cast<uint32_t>(Items.size()));
+  for (const WorkItem &Item : Items) {
+    assert(Item.Iterations >= 1 && "zero iterations would wrap");
+    Writer.writeU32(Item.Slot);
+    Writer.writeU32(Item.Iterations);
+  }
+  return Writer.take();
+}

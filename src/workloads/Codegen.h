@@ -1,0 +1,117 @@
+//===- workloads/Codegen.h - Synthetic guest program builder ----*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds synthetic guest executables and shared libraries with precisely
+/// controllable code footprint, hot/cold behaviour, library composition
+/// and syscall pressure — the knobs the paper's workload classes differ
+/// in. Programs are *real* guest code (they execute, access memory, make
+/// syscalls); only their provenance is synthetic.
+///
+/// Structure of a generated program:
+///
+///   * The executable's `main` reads a work list from the input region
+///     (outside every module, so inputs never perturb module keys):
+///     a count N followed by N (slot, iterations) pairs.
+///   * Each slot of the dispatch table names a *region* — a generated
+///     function of several basic blocks with loads/stores, data-dependent
+///     conditional branches and an iteration loop — either local to the
+///     executable or imported from a shared library through a GOT slot.
+///   * Cold code = regions run with iterations == 1; hot code = large
+///     iteration counts. Code coverage of an input = the set of slots
+///     its work list touches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_WORKLOADS_CODEGEN_H
+#define PCC_WORKLOADS_CODEGEN_H
+
+#include "binary/Module.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace workloads {
+
+/// Shape of one generated region (function).
+struct RegionDef {
+  /// Exported symbol name (library regions) / diagnostic name.
+  std::string Name;
+  /// Straight-line basic blocks in the loop body.
+  uint32_t Blocks = 6;
+  /// Instructions per block (>= 4: load, ALU work, store, branch).
+  uint32_t InstsPerBlock = 10;
+  /// Emit a Yield syscall at the end of every k-th block (0 = never);
+  /// models emulation-heavy workloads such as the Oracle server.
+  uint32_t YieldEveryBlocks = 0;
+  /// Seed selecting the ALU operation mix and block-skip branches.
+  uint64_t Seed = 1;
+
+  /// Instructions this region occupies (exact; layout is deterministic).
+  uint32_t sizeInInsts() const;
+};
+
+/// A shared library: a bag of exported regions.
+struct LibraryDef {
+  std::string Name; ///< e.g. "libgtk.so"
+  std::string Path; ///< e.g. "/usr/lib/libgtk.so"
+  std::vector<RegionDef> Regions;
+};
+
+/// One dispatch-table slot of an executable: either a region generated
+/// into the executable itself or an import resolved from a library.
+struct FunctionSlot {
+  /// Local region (when set).
+  std::optional<RegionDef> Local;
+  /// Import (when Local is not set).
+  std::string LibraryName;
+  std::string SymbolName;
+
+  static FunctionSlot local(RegionDef Def) {
+    FunctionSlot Slot;
+    Slot.Local = std::move(Def);
+    return Slot;
+  }
+  static FunctionSlot import(std::string Lib, std::string Sym) {
+    FunctionSlot Slot;
+    Slot.LibraryName = std::move(Lib);
+    Slot.SymbolName = std::move(Sym);
+    return Slot;
+  }
+};
+
+/// An executable: a dispatch table over function slots.
+struct AppDef {
+  std::string Name; ///< e.g. "gftp"
+  std::string Path; ///< e.g. "/usr/bin/gftp"
+  std::vector<FunctionSlot> Slots;
+};
+
+/// Builds the shared-library module for \p Def.
+std::shared_ptr<binary::Module> buildLibrary(const LibraryDef &Def);
+
+/// Builds the executable module for \p Def.
+std::shared_ptr<binary::Module> buildExecutable(const AppDef &Def);
+
+/// One unit of work: run dispatch slot \p Slot for \p Iterations loop
+/// iterations.
+struct WorkItem {
+  uint32_t Slot = 0;
+  uint32_t Iterations = 1;
+};
+
+/// Encodes a work list into the program input format.
+std::vector<uint8_t> encodeWorkload(const std::vector<WorkItem> &Items);
+
+} // namespace workloads
+} // namespace pcc
+
+#endif // PCC_WORKLOADS_CODEGEN_H

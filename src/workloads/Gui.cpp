@@ -1,0 +1,168 @@
+//===- workloads/Gui.cpp --------------------------------------------------===//
+
+#include "workloads/Gui.h"
+
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace pcc;
+using namespace pcc::workloads;
+
+CoverageMatrix pcc::workloads::guiLibCoverageTarget() {
+  // Paper Table 4: library code coverage between GUI applications.
+  return {
+      {1.00, 0.71, 0.64, 0.78, 0.78},
+      {0.78, 1.00, 0.76, 0.62, 0.72},
+      {0.64, 0.55, 1.00, 0.74, 0.78},
+      {0.62, 0.81, 0.74, 1.00, 0.84},
+      {0.79, 0.72, 0.78, 0.84, 1.00},
+  };
+}
+
+std::vector<double> pcc::workloads::guiLibCodeFractionTargets() {
+  // Paper Table 1: % of startup code executed from libraries.
+  return {0.97, 0.80, 0.96, 0.97, 0.95};
+}
+
+namespace {
+
+struct AppProfile {
+  const char *Name;
+  const char *Path;
+  /// Warm re-execution: fraction of slots re-run and their iterations.
+  /// Controls the startup slowdown under the engine (higher warmth ⇒
+  /// more reuse ⇒ lower slowdown), spanning the paper's 20x-100x range.
+  double WarmFraction;
+  uint32_t WarmIters;
+  /// Syscall pressure in local code; File-Roller replaces signal
+  /// handlers, making Pin emulate signals on its behalf (Figure 2b).
+  uint32_t LocalYieldEveryBlocks;
+};
+
+const AppProfile Profiles[5] = {
+    {"gftp", "/usr/bin/gftp", 0.28, 3, 0},
+    {"gvim", "/usr/bin/gvim", 0.35, 8, 0},
+    {"dia", "/usr/bin/dia", 0.30, 3, 0},
+    {"file-roller", "/usr/bin/file-roller", 0.30, 4, 1},
+    {"gqview", "/usr/bin/gqview", 0.30, 6, 0},
+};
+
+/// Max regions bundled into one synthetic shared library.
+constexpr uint32_t RegionsPerLibrary = 10;
+
+} // namespace
+
+GuiSuite pcc::workloads::buildGuiSuite() {
+  GuiSuite Suite;
+  const CoverageMatrix Target = guiLibCoverageTarget();
+  const std::vector<double> LibFractions = guiLibCodeFractionTargets();
+
+  // Large library universe: GUI startup executes a lot of cold code
+  // (Pin startup times of 20+ seconds in Figure 2b), and a big footprint
+  // amortizes the fixed cache-open/key costs the way the paper's
+  // applications do.
+  CoverageDesign Design =
+      designCoverage(Target, /*RegionsPerInput=*/220, fnv1a64("gui"));
+
+  // Invert the design: for every region, which apps use it? Regions with
+  // the same app subset form the atoms that become shared libraries.
+  std::map<uint32_t, std::vector<uint32_t>> AtomRegions; // mask -> regions
+  std::vector<uint32_t> RegionMask(Design.NumRegions, 0);
+  for (uint32_t App = 0; App != 5; ++App)
+    for (uint32_t Region : Design.InputRegions[App])
+      RegionMask[Region] |= 1u << App;
+  for (uint32_t Region = 0; Region != Design.NumRegions; ++Region)
+    AtomRegions[RegionMask[Region]].push_back(Region);
+
+  // One or more shared libraries per atom; libraries are chunks of at
+  // most RegionsPerLibrary regions used by exactly the atom's apps.
+  struct BuiltLib {
+    std::string Name;
+    uint32_t Mask;
+    std::vector<std::string> Symbols;
+  };
+  std::vector<BuiltLib> Libs;
+  for (const auto &[Mask, Regions] : AtomRegions) {
+    for (size_t Chunk = 0; Chunk * RegionsPerLibrary < Regions.size();
+         ++Chunk) {
+      LibraryDef Def;
+      Def.Name = formatString("libgui%02x_%zu.so", Mask, Chunk);
+      Def.Path = "/usr/lib/" + Def.Name;
+      BuiltLib Built;
+      Built.Name = Def.Name;
+      Built.Mask = Mask;
+      size_t Begin = Chunk * RegionsPerLibrary;
+      size_t End =
+          std::min(Begin + RegionsPerLibrary, Regions.size());
+      for (size_t I = Begin; I != End; ++I) {
+        RegionDef Region;
+        Region.Name = "fn" + std::to_string(Regions[I]);
+        Region.Blocks = 6;
+        Region.InstsPerBlock = 10;
+        Region.Seed = fnv1a64U64(Regions[I], fnv1a64("guilib"));
+        Built.Symbols.push_back(Region.Name);
+        Def.Regions.push_back(std::move(Region));
+      }
+      Suite.Registry.add(buildLibrary(Def));
+      Libs.push_back(std::move(Built));
+    }
+  }
+
+  // Applications: import every region of every library they use, plus
+  // local startup code sized to hit the Table 1 library fraction.
+  for (uint32_t AppIndex = 0; AppIndex != 5; ++AppIndex) {
+    const AppProfile &Profile = Profiles[AppIndex];
+    GuiApp App;
+    App.Name = Profile.Name;
+    App.LibCodeFraction = LibFractions[AppIndex];
+
+    AppDef Def;
+    Def.Name = Profile.Name;
+    Def.Path = Profile.Path;
+    uint32_t LibRegionCount = 0;
+    for (const BuiltLib &Lib : Libs) {
+      if (!(Lib.Mask & (1u << AppIndex)))
+        continue;
+      App.Libraries.push_back(Lib.Name);
+      for (const std::string &Symbol : Lib.Symbols) {
+        Def.Slots.push_back(FunctionSlot::import(Lib.Name, Symbol));
+        ++LibRegionCount;
+      }
+    }
+    // local / (local + lib) = 1 - fraction.
+    double Fraction = LibFractions[AppIndex];
+    uint32_t LocalCount = std::max<uint32_t>(
+        1, static_cast<uint32_t>(LibRegionCount * (1.0 - Fraction) /
+                                 Fraction + 0.5));
+    for (uint32_t I = 0; I != LocalCount; ++I) {
+      RegionDef Region;
+      Region.Name = "app" + std::to_string(I);
+      Region.Blocks = 6;
+      Region.InstsPerBlock = 10;
+      Region.YieldEveryBlocks = Profile.LocalYieldEveryBlocks;
+      Region.Seed = fnv1a64U64(I, fnv1a64(Profile.Name));
+      Def.Slots.push_back(FunctionSlot::local(std::move(Region)));
+    }
+    App.App = buildExecutable(Def);
+
+    // Startup: every slot executes once (cold), then a warm subset
+    // re-runs — initialization loops, widget layout passes, and the
+    // event-loop warmup before the UI is interactive.
+    std::vector<WorkItem> Items;
+    uint32_t NumSlots = LibRegionCount + LocalCount;
+    for (uint32_t Slot = 0; Slot != NumSlots; ++Slot)
+      Items.push_back(WorkItem{Slot, 1});
+    uint32_t WarmCount =
+        static_cast<uint32_t>(NumSlots * Profile.WarmFraction);
+    for (uint32_t I = 0; I != WarmCount; ++I)
+      Items.push_back(
+          WorkItem{(I * 7) % NumSlots, Profile.WarmIters});
+    App.StartupInput = encodeWorkload(Items);
+    Suite.Apps.push_back(std::move(App));
+  }
+  return Suite;
+}

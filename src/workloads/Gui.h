@@ -1,0 +1,70 @@
+//===- workloads/Gui.h - GUI application startup workloads ------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five Linux GUI applications of the paper's Table 1 (Gftp, Gvim,
+/// Dia, File-Roller, Gqview), modeled at startup: almost entirely cold
+/// code, 80–97% of it executed from shared libraries, with heavy library
+/// sharing between the applications (Tables 2 and 4). File-Roller's
+/// signal-emulation burden (Figure 2b) appears as syscall pressure in
+/// its regions.
+///
+/// The shared-library universe is derived from the paper's Table 4
+/// pairwise library-code coverage matrix via the coverage designer: each
+/// atom (subset of apps) becomes one or more shared libraries used by
+/// exactly those apps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_WORKLOADS_GUI_H
+#define PCC_WORKLOADS_GUI_H
+
+#include "loader/Loader.h"
+#include "workloads/Codegen.h"
+#include "workloads/Coverage.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace workloads {
+
+/// One GUI application ready to run its startup phase.
+struct GuiApp {
+  std::string Name;
+  std::shared_ptr<binary::Module> App;
+  /// Startup input (the only input: reaching the ready-for-interaction
+  /// point, reproduced deterministically — the paper used Xnee).
+  std::vector<uint8_t> StartupInput;
+  /// Names of the shared libraries this app links.
+  std::vector<std::string> Libraries;
+  /// Fraction of startup code expected from libraries (Table 1 target).
+  double LibCodeFraction = 0.9;
+};
+
+/// The whole GUI suite with its shared library pool.
+struct GuiSuite {
+  loader::ModuleRegistry Registry;
+  std::vector<GuiApp> Apps;
+};
+
+/// Paper Table 4: library code coverage between GUI applications
+/// (row app's library code found in column app's cache).
+CoverageMatrix guiLibCoverageTarget();
+
+/// Paper Table 1 %-library-code targets, in suite order
+/// (Gftp, Gvim, Dia, File-Roller, Gqview).
+std::vector<double> guiLibCodeFractionTargets();
+
+/// Builds the five applications and their shared libraries.
+GuiSuite buildGuiSuite();
+
+} // namespace workloads
+} // namespace pcc
+
+#endif // PCC_WORKLOADS_GUI_H

@@ -1,0 +1,58 @@
+//===- workloads/Oracle.h - Oracle regression-test workload -----*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Oracle Database 10g XE regression-test workload of Section 4.1:
+/// one binary, five phases — Start, Mount, Open, Work, Close — each a
+/// separate process execution treated as a unique input. The phases
+/// exercise significantly different code (Table 3b, 18–91% coverage),
+/// carry heavy system-call/emulation pressure, and the Work phase runs
+/// sixty transactions over ten database tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_WORKLOADS_ORACLE_H
+#define PCC_WORKLOADS_ORACLE_H
+
+#include "loader/Loader.h"
+#include "workloads/Codegen.h"
+#include "workloads/Coverage.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace workloads {
+
+/// Number of regression-test phases.
+inline constexpr unsigned OraclePhases = 5;
+
+/// Phase names, in execution order.
+const char *oraclePhaseName(unsigned Phase);
+
+/// The built workload.
+struct OracleSetup {
+  loader::ModuleRegistry Registry;
+  std::shared_ptr<binary::Module> App;
+  /// One encoded input per phase (Start..Close).
+  std::vector<std::vector<uint8_t>> PhaseInputs;
+  CoverageDesign Design;
+};
+
+/// Paper Table 3(b): phase coverage matrix (row phase's code covered by
+/// column phase).
+CoverageMatrix oracleCoverageTarget();
+
+/// Builds the Oracle binary and its five phase inputs. \p Scale in
+/// (0, 1] shrinks the warm iteration counts.
+OracleSetup buildOracleSetup(double Scale = 1.0);
+
+} // namespace workloads
+} // namespace pcc
+
+#endif // PCC_WORKLOADS_ORACLE_H

@@ -1,0 +1,76 @@
+//===- workloads/Runner.cpp -----------------------------------------------===//
+
+#include "workloads/Runner.h"
+
+using namespace pcc;
+using namespace pcc::workloads;
+
+ErrorOr<vm::Machine>
+pcc::workloads::makeMachine(const loader::ModuleRegistry &Registry,
+                            std::shared_ptr<const binary::Module> App,
+                            const std::vector<uint8_t> &Input,
+                            loader::BasePolicy Policy,
+                            uint64_t AslrSeed) {
+  auto M = vm::Machine::create(std::move(App), Registry, Policy,
+                               AslrSeed);
+  if (!M)
+    return M.status();
+  Status S = M->installInput(Input);
+  if (!S.ok())
+    return S;
+  return M;
+}
+
+ErrorOr<vm::RunResult>
+pcc::workloads::runNative(const loader::ModuleRegistry &Registry,
+                          std::shared_ptr<const binary::Module> App,
+                          const std::vector<uint8_t> &Input) {
+  auto M = makeMachine(Registry, std::move(App), Input);
+  if (!M)
+    return M.status();
+  vm::RunResult Result = M->runNative();
+  if (!Result.ok())
+    return Result.Error;
+  return Result;
+}
+
+ErrorOr<EngineRun> pcc::workloads::runUnderEngine(
+    const loader::ModuleRegistry &Registry,
+    std::shared_ptr<const binary::Module> App,
+    const std::vector<uint8_t> &Input, dbi::Tool *ClientTool,
+    const dbi::EngineOptions &Opts, loader::BasePolicy Policy,
+    uint64_t AslrSeed) {
+  auto M = makeMachine(Registry, std::move(App), Input, Policy,
+                       AslrSeed);
+  if (!M)
+    return M.status();
+  dbi::Engine Engine(*M, ClientTool, Opts);
+  EngineRun Result;
+  Result.Run = Engine.run();
+  if (!Result.Run.ok())
+    return Result.Run.Error;
+  Result.Stats = Engine.stats();
+  Result.Coverage = coveredCode(Engine.cache());
+  Result.Modules = M->image().Modules;
+  return Result;
+}
+
+ErrorOr<persist::PersistentRunResult> pcc::workloads::runPersistent(
+    const loader::ModuleRegistry &Registry,
+    std::shared_ptr<const binary::Module> App,
+    const std::vector<uint8_t> &Input, const persist::CacheDatabase &Db,
+    const persist::PersistOptions &PersistOpts, dbi::Tool *ClientTool,
+    const dbi::EngineOptions &Opts, loader::BasePolicy Policy,
+    uint64_t AslrSeed) {
+  auto M = makeMachine(Registry, std::move(App), Input, Policy,
+                       AslrSeed);
+  if (!M)
+    return M.status();
+  auto Result = persist::runWithPersistence(*M, ClientTool, Opts, Db,
+                                            PersistOpts);
+  if (!Result)
+    return Result.status();
+  if (!Result->Run.ok())
+    return Result->Run.Error;
+  return Result;
+}

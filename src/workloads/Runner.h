@@ -1,0 +1,78 @@
+//===- workloads/Runner.h - Workload execution helpers ----------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry points tying workloads to execution engines: run an
+/// (application, input) pair natively, under the DBI engine, or under
+/// the engine with persistent code caching. Each run gets a fresh
+/// Machine — the process model of the paper's experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_WORKLOADS_RUNNER_H
+#define PCC_WORKLOADS_RUNNER_H
+
+#include "dbi/Engine.h"
+#include "persist/Session.h"
+#include "workloads/Coverage.h"
+
+#include <memory>
+
+namespace pcc {
+namespace workloads {
+
+/// Outcome of a run under the engine (with or without a tool).
+struct EngineRun {
+  vm::RunResult Run;
+  dbi::EngineStats Stats;
+  /// Static code the run executed (trace coverage).
+  AddressIntervals Coverage;
+  /// Modules mapped for the run (for attributing coverage to images).
+  std::vector<loader::LoadedModule> Modules;
+};
+
+/// Creates a loaded machine for (\p App, \p Input).
+ErrorOr<vm::Machine>
+makeMachine(const loader::ModuleRegistry &Registry,
+            std::shared_ptr<const binary::Module> App,
+            const std::vector<uint8_t> &Input,
+            loader::BasePolicy Policy = loader::BasePolicy::Fixed,
+            uint64_t AslrSeed = 0);
+
+/// Native (reference interpreter) run.
+ErrorOr<vm::RunResult>
+runNative(const loader::ModuleRegistry &Registry,
+          std::shared_ptr<const binary::Module> App,
+          const std::vector<uint8_t> &Input);
+
+/// Run under the DBI engine without persistence.
+ErrorOr<EngineRun>
+runUnderEngine(const loader::ModuleRegistry &Registry,
+               std::shared_ptr<const binary::Module> App,
+               const std::vector<uint8_t> &Input,
+               dbi::Tool *ClientTool = nullptr,
+               const dbi::EngineOptions &Opts = dbi::EngineOptions(),
+               loader::BasePolicy Policy = loader::BasePolicy::Fixed,
+               uint64_t AslrSeed = 0);
+
+/// Run under the DBI engine with persistent code caching.
+ErrorOr<persist::PersistentRunResult>
+runPersistent(const loader::ModuleRegistry &Registry,
+              std::shared_ptr<const binary::Module> App,
+              const std::vector<uint8_t> &Input,
+              const persist::CacheDatabase &Db,
+              const persist::PersistOptions &PersistOpts =
+                  persist::PersistOptions(),
+              dbi::Tool *ClientTool = nullptr,
+              const dbi::EngineOptions &Opts = dbi::EngineOptions(),
+              loader::BasePolicy Policy = loader::BasePolicy::Fixed,
+              uint64_t AslrSeed = 0);
+
+} // namespace workloads
+} // namespace pcc
+
+#endif // PCC_WORKLOADS_RUNNER_H

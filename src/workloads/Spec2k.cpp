@@ -1,0 +1,217 @@
+//===- workloads/Spec2k.cpp -----------------------------------------------===//
+
+#include "workloads/Spec2k.h"
+
+#include "support/Hashing.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pcc;
+using namespace pcc::workloads;
+
+namespace {
+
+/// Startup regions every benchmark executes once: run-time loader and C
+/// library initialization (the cold code bursts of Figure 2a).
+constexpr uint32_t LibcInitRegions = 25;
+
+std::shared_ptr<binary::Module> buildLibc() {
+  LibraryDef Def;
+  Def.Name = "libc.so";
+  Def.Path = "/lib/libc.so";
+  for (uint32_t I = 0; I != LibcInitRegions; ++I) {
+    RegionDef Region;
+    Region.Name = "init" + std::to_string(I);
+    Region.Blocks = 6;
+    Region.InstsPerBlock = 10;
+    Region.Seed = fnv1a64U64(I, fnv1a64("libc"));
+    Def.Regions.push_back(std::move(Region));
+  }
+  return buildLibrary(Def);
+}
+
+/// Scaled hot iteration count, never below 2.
+uint32_t scaleIters(uint32_t Iters, double Scale) {
+  auto Scaled = static_cast<uint32_t>(Iters * Scale);
+  return std::max<uint32_t>(Scaled, 2);
+}
+
+} // namespace
+
+CoverageMatrix pcc::workloads::gccCoverageTarget() {
+  // Paper Table 3(a): coverage of row input by column input.
+  return {
+      {1.00, 0.87, 0.89, 0.84, 0.88},
+      {0.93, 1.00, 0.90, 0.85, 0.98},
+      {0.93, 0.88, 1.00, 0.91, 0.89},
+      {0.95, 0.90, 0.98, 1.00, 0.90},
+      {0.92, 0.97, 0.90, 0.84, 1.00},
+  };
+}
+
+std::vector<SpecProfile> pcc::workloads::defaultSpecProfiles() {
+  auto uniform = [](std::string Name, uint32_t Inputs, double Coverage,
+                    uint32_t Regions, uint32_t Hot, uint32_t HotIters,
+                    uint32_t TrainIters) {
+    SpecProfile P;
+    P.Name = std::move(Name);
+    P.NumRefInputs = Inputs;
+    P.UniformCoverage = Coverage;
+    P.RegionsPerInput = Regions;
+    P.HotRegions = Hot;
+    P.HotIters = HotIters;
+    P.TrainHotIters = TrainIters;
+    return P;
+  };
+
+  std::vector<SpecProfile> Profiles;
+  Profiles.push_back(
+      uniform("164.gzip", 5, 0.99, 40, 10, 27000, 4500));
+  Profiles.push_back(uniform("175.vpr", 2, 0.80, 55, 9, 16000, 2700));
+
+  SpecProfile Gcc;
+  Gcc.Name = "176.gcc";
+  Gcc.NumRefInputs = 5;
+  Gcc.ExplicitCoverage = gccCoverageTarget();
+  Gcc.RegionsPerInput = 120;
+  Gcc.HotRegions = 14;
+  Gcc.HotIters = 2600;
+  Gcc.ColdIters = 6;
+  Gcc.TrainHotIters = 430;
+  Gcc.SpreadDiscovery = true;
+  Profiles.push_back(std::move(Gcc));
+
+  Profiles.push_back(uniform("181.mcf", 1, 1.0, 25, 6, 25000, 4200));
+  Profiles.push_back(
+      uniform("186.crafty", 1, 1.0, 45, 10, 18000, 3000));
+  Profiles.push_back(uniform("197.parser", 1, 1.0, 30, 6, 24000, 540));
+  Profiles.push_back(
+      uniform("253.perlbmk", 4, 0.85, 40, 8, 10000, 1700));
+  Profiles.push_back(uniform("254.gap", 1, 1.0, 35, 8, 24000, 420));
+  Profiles.push_back(
+      uniform("255.vortex", 3, 0.95, 50, 11, 28000, 4700));
+  Profiles.push_back(
+      uniform("256.bzip2", 3, 0.99, 35, 9, 27000, 4500));
+  Profiles.push_back(uniform("300.twolf", 1, 1.0, 40, 9, 21000, 3500));
+  return Profiles;
+}
+
+SpecBenchmark pcc::workloads::buildSpecBenchmark(
+    const SpecProfile &Profile, loader::ModuleRegistry &Registry,
+    double Scale) {
+  if (!Registry.find("libc.so"))
+    Registry.add(buildLibc());
+
+  SpecBenchmark Bench;
+  Bench.Profile = Profile;
+
+  // Region universe sized by the coverage design across inputs.
+  CoverageMatrix Target = Profile.ExplicitCoverage;
+  if (Target.empty()) {
+    Target.assign(Profile.NumRefInputs,
+                  std::vector<double>(Profile.NumRefInputs,
+                                      Profile.UniformCoverage));
+    for (uint32_t I = 0; I != Profile.NumRefInputs; ++I)
+      Target[I][I] = 1.0;
+  }
+  Bench.Design = designCoverage(Target, Profile.RegionsPerInput,
+                                fnv1a64(Profile.Name));
+
+  // The executable: libc imports in slots [0, LibcInitRegions), then the
+  // local region universe.
+  AppDef Def;
+  Def.Name = Profile.Name;
+  Def.Path = "/spec/" + Profile.Name;
+  for (uint32_t I = 0; I != LibcInitRegions; ++I)
+    Def.Slots.push_back(
+        FunctionSlot::import("libc.so", "init" + std::to_string(I)));
+  const uint32_t FirstLocal = LibcInitRegions;
+  for (uint32_t R = 0; R != Bench.Design.NumRegions; ++R) {
+    RegionDef Region;
+    Region.Name = "r" + std::to_string(R);
+    Region.Blocks = 6;
+    Region.InstsPerBlock = 10;
+    Region.Seed = fnv1a64U64(R, fnv1a64(Profile.Name));
+    Def.Slots.push_back(FunctionSlot::local(std::move(Region)));
+  }
+  Bench.App = buildExecutable(Def);
+
+  // Work lists. Hot regions are the highest-numbered regions of each
+  // input's set: the atom enumeration puts widely-shared regions there,
+  // so the hot working set is stable across inputs (as in real
+  // programs, where the hot loops are input-independent).
+  auto makeInput = [&](const std::vector<uint32_t> &Regions,
+                       uint32_t HotIters, uint64_t OrderSeed) {
+    std::vector<uint32_t> Sorted = Regions;
+    std::sort(Sorted.begin(), Sorted.end());
+    uint32_t NumHot =
+        std::min<uint32_t>(Profile.HotRegions,
+                           static_cast<uint32_t>(Sorted.size()));
+    std::vector<WorkItem> Cold, Hot;
+    for (size_t I = 0; I != Sorted.size(); ++I) {
+      bool IsHot = I + NumHot >= Sorted.size();
+      WorkItem Item;
+      Item.Slot = FirstLocal + Sorted[I];
+      Item.Iterations = IsHot ? scaleIters(HotIters, Scale)
+                              : std::max<uint32_t>(Profile.ColdIters, 1);
+      (IsHot ? Hot : Cold).push_back(Item);
+    }
+
+    std::vector<WorkItem> Items;
+    // Startup: every libc init region once.
+    for (uint32_t I = 0; I != LibcInitRegions; ++I)
+      Items.push_back(WorkItem{I, 1});
+    if (Profile.SpreadDiscovery) {
+      // Interleave discovery of cold code with hot execution: the
+      // gcc profile, where translation requests continue throughout
+      // the run (Figure 2a).
+      Rng Gen(OrderSeed);
+      size_t ColdIndex = 0;
+      size_t HotIndex = 0;
+      uint32_t ColdPerHot = Hot.empty() ? 0
+                            : static_cast<uint32_t>(
+                                  (Cold.size() + Hot.size() - 1) /
+                                  std::max<size_t>(Hot.size(), 1));
+      while (HotIndex != Hot.size() || ColdIndex != Cold.size()) {
+        if (HotIndex != Hot.size())
+          Items.push_back(Hot[HotIndex++]);
+        for (uint32_t K = 0;
+             K != ColdPerHot && ColdIndex != Cold.size(); ++K)
+          Items.push_back(Cold[ColdIndex++]);
+      }
+    } else {
+      // Typical profile: cold initialization first, then a short
+      // warm-up over the hot working set (this is where its code is
+      // discovered and translated), then the long hot loops.
+      Items.insert(Items.end(), Cold.begin(), Cold.end());
+      for (const WorkItem &Item : Hot)
+        if (Item.Iterations > 30)
+          Items.push_back(WorkItem{Item.Slot, 25});
+      for (const WorkItem &Item : Hot)
+        Items.push_back(WorkItem{
+            Item.Slot,
+            Item.Iterations > 30 ? Item.Iterations - 25
+                                 : Item.Iterations});
+    }
+    return encodeWorkload(Items);
+  };
+
+  for (uint32_t I = 0; I != Profile.NumRefInputs; ++I)
+    Bench.RefInputs.push_back(
+        makeInput(Bench.Design.InputRegions[I], Profile.HotIters,
+                  fnv1a64U64(I, fnv1a64(Profile.Name))));
+  Bench.TrainInput = makeInput(Bench.Design.InputRegions[0],
+                               Profile.TrainHotIters,
+                               fnv1a64("train-" + Profile.Name));
+  return Bench;
+}
+
+SpecSuite pcc::workloads::buildSpecSuite(double Scale) {
+  SpecSuite Suite;
+  for (const SpecProfile &Profile : defaultSpecProfiles())
+    Suite.Benchmarks.push_back(
+        buildSpecBenchmark(Profile, Suite.Registry, Scale));
+  return Suite;
+}

@@ -1,0 +1,90 @@
+//===- workloads/Spec2k.h - SPEC2K INT-like benchmark suite -----*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the SPEC2K INT benchmarks (252.eon omitted,
+/// as in the paper). Each benchmark's knobs — code footprint, hot/cold
+/// split, run length, number of Reference inputs and the cross-input
+/// code-coverage matrix — are calibrated to the characteristics the
+/// paper reports: 176.gcc translates new code throughout its run with
+/// 84–98% input coverage (Table 3a); gzip/bzip2 inputs exercise
+/// near-identical code (Figure 4); Train inputs run roughly 6x shorter
+/// than Reference (Section 4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_WORKLOADS_SPEC2K_H
+#define PCC_WORKLOADS_SPEC2K_H
+
+#include "loader/Loader.h"
+#include "workloads/Codegen.h"
+#include "workloads/Coverage.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace workloads {
+
+/// Calibration profile of one synthetic SPEC2K benchmark.
+struct SpecProfile {
+  std::string Name;
+  uint32_t NumRefInputs = 1;
+  /// Uniform off-diagonal coverage target; ignored when an explicit
+  /// matrix is set.
+  double UniformCoverage = 0.99;
+  /// Explicit coverage-matrix target (e.g. gcc's Table 3a), optional.
+  CoverageMatrix ExplicitCoverage;
+  uint32_t RegionsPerInput = 40;
+  /// Number of hot regions per input (rest are cold).
+  uint32_t HotRegions = 8;
+  uint32_t HotIters = 6000;
+  uint32_t ColdIters = 3;
+  /// Hot iterations of the (single) Train input.
+  uint32_t TrainHotIters = 1000;
+  /// Interleave cold discovery through the run (gcc's Figure 2a
+  /// profile) instead of clustering it at startup.
+  bool SpreadDiscovery = false;
+};
+
+/// A built benchmark: the executable plus encoded inputs.
+struct SpecBenchmark {
+  SpecProfile Profile;
+  std::shared_ptr<binary::Module> App;
+  std::vector<std::vector<uint8_t>> RefInputs;
+  std::vector<uint8_t> TrainInput;
+  CoverageDesign Design;
+};
+
+/// The full suite sharing one module registry (all benchmarks link the
+/// same libc).
+struct SpecSuite {
+  loader::ModuleRegistry Registry;
+  std::vector<SpecBenchmark> Benchmarks;
+};
+
+/// The default profiles (11 benchmarks, paper Section 4.1).
+std::vector<SpecProfile> defaultSpecProfiles();
+
+/// gcc's Reference-input coverage target (paper Table 3a).
+CoverageMatrix gccCoverageTarget();
+
+/// Builds the whole suite. \p Scale in (0, 1] shrinks hot iteration
+/// counts proportionally (quick test runs).
+SpecSuite buildSpecSuite(double Scale = 1.0);
+
+/// Builds one benchmark from \p Profile into \p Registry (the shared
+/// libc is added to the registry if missing).
+SpecBenchmark buildSpecBenchmark(const SpecProfile &Profile,
+                                 loader::ModuleRegistry &Registry,
+                                 double Scale = 1.0);
+
+} // namespace workloads
+} // namespace pcc
+
+#endif // PCC_WORKLOADS_SPEC2K_H

@@ -1,0 +1,282 @@
+//===- tests/assembler_test.cpp - textual assembler tests -----------------===//
+
+#include "binary/Assembler.h"
+#include "vm/Machine.h"
+
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace pcc;
+using namespace pcc::binary;
+using namespace pcc::isa;
+
+namespace {
+
+/// Assembles, loads and runs an executable source natively.
+vm::RunResult assembleAndRun(const std::string &Source,
+                             loader::ModuleRegistry Registry =
+                                 loader::ModuleRegistry()) {
+  auto M = assemble(Source);
+  EXPECT_TRUE(M.ok()) << (M.ok() ? "" : M.status().toString());
+  if (!M.ok())
+    return vm::RunResult();
+  auto Machine = vm::Machine::create(
+      std::make_shared<Module>(M.take()), Registry);
+  EXPECT_TRUE(Machine.ok())
+      << (Machine.ok() ? "" : Machine.status().toString());
+  if (!Machine.ok())
+    return vm::RunResult();
+  return Machine->runNative();
+}
+
+} // namespace
+
+TEST(Assembler, MinimalProgram) {
+  auto R = assembleAndRun(R"(
+    .module hello "/bin/hello"
+    ldi r1, 7
+    sys 1            ; exit(7)
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_EQ(R.ExitCode, 7u);
+}
+
+TEST(Assembler, AllAluForms) {
+  auto R = assembleAndRun(R"(
+    ldi r1, 12
+    ldi r2, 5
+    add r3, r1, r2     ; 17
+    sub r3, r3, r2     ; 12
+    mul r3, r3, r2     ; 60
+    divu r3, r3, r2    ; 12
+    xor r3, r3, r1     ; 0
+    ori r3, r3, 0x30   ; 48
+    shri r3, r3, 4     ; 3
+    addi r1, r3, 0     ; exit(3)
+    sys 1
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_EQ(R.ExitCode, 3u);
+}
+
+TEST(Assembler, LabelsAndControlFlow) {
+  auto R = assembleAndRun(R"(
+    ; sum 1..5 with a loop
+      ldi r1, 5
+      ldi r2, 0
+      ldi r3, 0
+    loop:
+      add r2, r2, r1
+      addi r1, r1, -1
+      bne r1, r3, loop
+      addi r1, r2, 0
+      sys 1
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_EQ(R.ExitCode, 15u);
+}
+
+TEST(Assembler, CallAndRet) {
+  auto R = assembleAndRun(R"(
+    .entry main
+    double:              ; r1 = 2*r1
+      add r1, r1, r1
+      ret
+    main:
+      ldi r1, 21
+      call double
+      sys 1
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_EQ(R.ExitCode, 42u);
+}
+
+TEST(Assembler, DataSectionAndAddressOf) {
+  auto R = assembleAndRun(R"(
+    .entry main
+    .data
+    counter: .word 40
+    message: .byte 'h' 'i'
+    .space 2
+    table: .word @main
+    .text
+    main:
+      ldi r4, @counter
+      ld r1, [r4+0]
+      addi r1, r1, 2
+      st [r4+0], r1
+      ld r1, [r4+0]     ; 42
+      sys 1
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_EQ(R.ExitCode, 42u);
+}
+
+TEST(Assembler, MemoryOperandOffsets) {
+  auto R = assembleAndRun(R"(
+    .entry main
+    .data
+    arr: .word 1 2 3 4
+    .text
+    main:
+      ldi r4, @arr
+      addi r4, r4, 8   ; &arr[2]
+      ld r1, [r4-8]    ; arr[0] == 1
+      ld r2, [r4+4]    ; arr[3] == 4
+      add r1, r1, r2   ; 5
+      sys 1
+  )");
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_EQ(R.ExitCode, 5u);
+}
+
+TEST(Assembler, LibraryImportThroughGot) {
+  auto Lib = assemble(R"(
+    .module mathlib.so "/lib/mathlib.so"
+    .library
+    .export square
+    square:
+      mul r1, r1, r1
+      ret
+  )");
+  ASSERT_TRUE(Lib.ok()) << Lib.status().toString();
+  EXPECT_FALSE(Lib->isExecutable());
+  EXPECT_TRUE(Lib->findSymbol("square").has_value());
+
+  loader::ModuleRegistry Registry;
+  Registry.add(std::make_shared<Module>(Lib.take()));
+  auto R = assembleAndRun(R"(
+    .module app "/bin/app"
+    .entry main
+    .data
+    .got sq "mathlib.so" "square"
+    .text
+    main:
+      ldi r4, @sq
+      ld r5, [r4+0]
+      ldi r1, 6
+      callr r5
+      sys 1          ; exit(36)
+  )",
+                          std::move(Registry));
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_EQ(R.ExitCode, 36u);
+}
+
+TEST(Assembler, CharLiteralsAndOutput) {
+  auto R = assembleAndRun(R"(
+    ldi r1, 'o'
+    sys 2
+    ldi r1, 'k'
+    sys 2
+    ldi r1, 0
+    sys 1
+  )");
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Output, "ok");
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  auto bad = [](const std::string &Source) {
+    auto M = assemble(Source);
+    EXPECT_FALSE(M.ok());
+    return M.ok() ? std::string() : M.status().toString();
+  };
+  EXPECT_NE(bad("frobnicate r1").find("line 1"), std::string::npos);
+  EXPECT_NE(bad("\nadd r1, r2").find("line 2"), std::string::npos);
+  EXPECT_NE(bad("add r1, r2, r99").find("register"),
+            std::string::npos);
+  EXPECT_NE(bad("jmp nowhere").find("undefined label"),
+            std::string::npos);
+  EXPECT_NE(bad("x: nop\nx: nop").find("duplicate label"),
+            std::string::npos);
+  EXPECT_NE(bad(".word 1").find(".word outside .data"),
+            std::string::npos);
+  EXPECT_NE(bad(".export ghost\nnop").find("cannot export"),
+            std::string::npos);
+}
+
+TEST(Assembler, SerializedRoundTripPreservesBehavior) {
+  auto M = assemble(R"(
+    .module rt "/bin/rt"
+    ldi r1, 9
+    muli r1, r1, 3
+    sys 1
+  )");
+  ASSERT_TRUE(M.ok());
+  auto Bytes = M->serialize();
+  auto Back = Module::deserialize(Bytes);
+  ASSERT_TRUE(Back.ok());
+  loader::ModuleRegistry Registry;
+  auto Machine = vm::Machine::create(
+      std::make_shared<Module>(Back.take()), Registry);
+  ASSERT_TRUE(Machine.ok());
+  auto R = Machine->runNative();
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitCode, 27u);
+}
+
+TEST(Assembler, DisassemblerMentionsEverything) {
+  auto M = assemble(R"(
+    .module demo "/bin/demo"
+    .entry main
+    .export main
+    .data
+    .got slot "libx.so" "fn"
+    .text
+    main:
+      ldi r4, @slot
+      jmp main
+  )");
+  ASSERT_TRUE(M.ok()) << M.status().toString();
+  std::string Text = disassembleModule(*M);
+  EXPECT_NE(Text.find("module demo"), std::string::npos);
+  EXPECT_NE(Text.find("import fn from libx.so"), std::string::npos);
+  EXPECT_NE(Text.find("main:"), std::string::npos);
+  EXPECT_NE(Text.find("ldi r4"), std::string::npos);
+  EXPECT_NE(Text.find("; reloc"), std::string::npos);
+}
+
+TEST(Assembler, AssembledProgramsWorkUnderEngineAndPersistence) {
+  auto M = assemble(R"(
+    .module engine_demo "/bin/engine_demo"
+    .entry main
+    .data
+    buf: .word 0
+    .text
+    tick:               ; r1 += 1, spins a short loop
+      ldi r3, 10
+      ldi r5, 0
+    spin:
+      addi r3, r3, -1
+      bne r3, r5, spin
+      addi r1, r1, 1
+      ret
+    main:
+      ldi r1, 0
+      call tick
+      call tick
+      call tick
+      sys 1            ; exit(3)
+  )");
+  ASSERT_TRUE(M.ok()) << M.status().toString();
+  auto App = std::make_shared<Module>(M.take());
+  loader::ModuleRegistry Registry;
+
+  tests::TempDir Dir;
+  persist::CacheDatabase Db(Dir.path());
+  auto run = [&] {
+    auto Machine = vm::Machine::create(App, Registry);
+    EXPECT_TRUE(Machine.ok());
+    auto R = persist::runWithPersistence(*Machine, nullptr,
+                                         dbi::EngineOptions(), Db);
+    EXPECT_TRUE(R.ok());
+    return R.take();
+  };
+  auto Cold = run();
+  auto Warm = run();
+  EXPECT_EQ(Cold.Run.ExitCode, 3u);
+  EXPECT_EQ(Warm.Stats.TracesCompiled, 0u);
+  EXPECT_TRUE(Cold.Run.observablyEquals(Warm.Run));
+}

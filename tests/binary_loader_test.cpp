@@ -1,0 +1,270 @@
+//===- tests/binary_loader_test.cpp - module format and loader tests ------===//
+
+#include "binary/Module.h"
+#include "loader/AddressSpace.h"
+#include "loader/Loader.h"
+
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace pcc;
+using namespace pcc::binary;
+using namespace pcc::loader;
+using namespace pcc::isa;
+
+TEST(Module, SerializeDeserializeRoundTrip) {
+  Module M("app", "/bin/app", ModuleKind::Executable);
+  M.setInstructions({makeLdi(1, 7), makeCall(0x40), makeHalt()});
+  M.setData({1, 2, 3, 4});
+  M.setBssSize(128);
+  M.setEntryOffset(8);
+  M.addSymbol("start", 0);
+  M.addImport("fn", "lib.so", 0);
+  M.addTextRelocation(1);
+  M.addDataRelocation(0);
+  M.setModificationTime(99);
+
+  auto Bytes = M.serialize();
+  auto Back = Module::deserialize(Bytes);
+  ASSERT_TRUE(Back.ok()) << Back.status().toString();
+  EXPECT_EQ(*Back, M);
+  EXPECT_EQ(Back->contentHash(), M.contentHash());
+}
+
+TEST(Module, DeserializeRejectsCorruption) {
+  Module M("x", "/x", ModuleKind::SharedLibrary);
+  M.setInstructions({makeHalt()});
+  auto Bytes = M.serialize();
+  Bytes[0] ^= 0xff; // Magic.
+  EXPECT_FALSE(Module::deserialize(Bytes).ok());
+
+  auto Truncated = M.serialize();
+  Truncated.resize(Truncated.size() / 2);
+  EXPECT_FALSE(Module::deserialize(Truncated).ok());
+}
+
+TEST(Module, HeaderHashChangesWithStructure) {
+  Module A("app", "/bin/app", ModuleKind::Executable);
+  A.setInstructions({makeHalt()});
+  Module B = A;
+  EXPECT_EQ(A.programHeaderHash(), B.programHeaderHash());
+  B.setInstructions({makeHalt(), makeHalt()});
+  EXPECT_NE(A.programHeaderHash(), B.programHeaderHash());
+}
+
+TEST(Module, TouchBumpsTimestamp) {
+  Module M("app", "/bin/app", ModuleKind::Executable);
+  uint64_t Before = M.modificationTime();
+  M.touch();
+  EXPECT_EQ(M.modificationTime(), Before + 1);
+}
+
+TEST(Module, LayoutComputations) {
+  Module M("app", "/bin/app", ModuleKind::Executable);
+  M.setInstructions(std::vector<Instruction>(100, makeNop()));
+  M.setData(std::vector<uint8_t>(10, 0));
+  M.setBssSize(20);
+  EXPECT_EQ(M.textSize(), 800u);
+  EXPECT_EQ(M.dataStart(), PageSize);
+  EXPECT_EQ(M.imageSize(), alignToPage(PageSize + 30));
+}
+
+TEST(Module, FindSymbol) {
+  Module M("lib", "/lib", ModuleKind::SharedLibrary);
+  M.addSymbol("a", 0);
+  M.addSymbol("b", 16);
+  EXPECT_EQ(M.findSymbol("b").value(), 16u);
+  EXPECT_FALSE(M.findSymbol("c").has_value());
+}
+
+TEST(Module, DependencyNamesDeduplicated) {
+  Module M("app", "/app", ModuleKind::Executable);
+  M.addImport("f", "libA.so", 0);
+  M.addImport("g", "libB.so", 4);
+  M.addImport("h", "libA.so", 8);
+  auto Deps = M.dependencyNames();
+  ASSERT_EQ(Deps.size(), 2u);
+  EXPECT_EQ(Deps[0], "libA.so");
+  EXPECT_EQ(Deps[1], "libB.so");
+}
+
+TEST(AddressSpace, MapAndAccess) {
+  AddressSpace Space;
+  ASSERT_TRUE(Space.mapRegion(0x1000, 100).ok());
+  EXPECT_TRUE(Space.isMapped(0x1000));
+  EXPECT_TRUE(Space.isMapped(0x1fff)); // Page-granular mapping.
+  EXPECT_FALSE(Space.isMapped(0x2000));
+
+  ASSERT_TRUE(Space.write32(0x1000, 0x11223344).ok());
+  auto V = Space.read32(0x1000);
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, 0x11223344u);
+}
+
+TEST(AddressSpace, CrossPageAccess) {
+  AddressSpace Space;
+  ASSERT_TRUE(Space.mapRegion(0x1000, 2 * PageSize).ok());
+  uint32_t Addr = 0x1000 + PageSize - 2;
+  ASSERT_TRUE(Space.write32(Addr, 0xaabbccdd).ok());
+  auto V = Space.read32(Addr);
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, 0xaabbccddU);
+}
+
+TEST(AddressSpace, DoubleMapFails) {
+  AddressSpace Space;
+  ASSERT_TRUE(Space.mapRegion(0x1000, PageSize).ok());
+  EXPECT_FALSE(Space.mapRegion(0x1000, PageSize).ok());
+  EXPECT_FALSE(Space.mapRegion(0x1800, PageSize).ok()); // Overlap.
+}
+
+TEST(AddressSpace, UnmappedAccessFaults) {
+  AddressSpace Space;
+  EXPECT_FALSE(Space.read32(0x5000).ok());
+  EXPECT_FALSE(Space.write8(0x5000, 1).ok());
+  uint8_t Buf[8];
+  EXPECT_FALSE(Space.fetchInstructionBytes(0x5000, Buf).ok());
+}
+
+TEST(AddressSpace, BulkReadWrite) {
+  AddressSpace Space;
+  ASSERT_TRUE(Space.mapRegion(0x1000, 3 * PageSize).ok());
+  std::vector<uint8_t> Data(2 * PageSize + 7);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<uint8_t>(I);
+  ASSERT_TRUE(Space.writeBytes(0x1003, Data.data(),
+                               static_cast<uint32_t>(Data.size()))
+                  .ok());
+  std::vector<uint8_t> Back(Data.size());
+  ASSERT_TRUE(Space.readBytes(0x1003, Back.data(),
+                              static_cast<uint32_t>(Back.size()))
+                  .ok());
+  EXPECT_EQ(Back, Data);
+}
+
+TEST(Loader, LoadsAppAndDependencies) {
+  tests::TinyWorkload W = tests::makeTinyWorkload(2, 2);
+  AddressSpace Space;
+  Loader L(Space, W.Registry);
+  auto Image = L.load(W.App);
+  ASSERT_TRUE(Image.ok()) << Image.status().toString();
+  ASSERT_EQ(Image->Modules.size(), 2u); // App + libtest.so.
+  EXPECT_EQ(Image->Modules[0].Base, Loader::ExecutableBase);
+  EXPECT_EQ(Image->EntryAddress, Loader::ExecutableBase);
+  EXPECT_TRUE(Space.isMapped(Image->Modules[1].Base));
+  EXPECT_NE(Image->findByName("libtest.so"), nullptr);
+  EXPECT_EQ(Image->findByName("nope"), nullptr);
+  EXPECT_EQ(Image->findByAddress(Loader::ExecutableBase),
+            &Image->Modules[0]);
+}
+
+TEST(Loader, ImportResolution) {
+  tests::TinyWorkload W = tests::makeTinyWorkload(1, 2);
+  AddressSpace Space;
+  Loader L(Space, W.Registry);
+  auto Image = L.load(W.App);
+  ASSERT_TRUE(Image.ok());
+  const LoadedModule &App = Image->Modules[0];
+  const LoadedModule *Lib = Image->findByName("libtest.so");
+  ASSERT_NE(Lib, nullptr);
+  // GOT slot 0 holds the address of libfn0.
+  auto Slot = Space.read32(App.dataBase() + 0);
+  ASSERT_TRUE(Slot.ok());
+  auto Offset = Lib->Image->findSymbol("libfn0");
+  ASSERT_TRUE(Offset.has_value());
+  EXPECT_EQ(*Slot, Lib->Base + *Offset);
+}
+
+TEST(Loader, MissingLibraryFails) {
+  auto App = std::make_shared<Module>("app", "/app",
+                                      ModuleKind::Executable);
+  App->setInstructions({makeHalt()});
+  App->addImport("f", "libmissing.so", 0);
+  App->setData(std::vector<uint8_t>(4, 0));
+  ModuleRegistry Registry;
+  AddressSpace Space;
+  Loader L(Space, Registry);
+  auto Image = L.load(App);
+  ASSERT_FALSE(Image.ok());
+  EXPECT_EQ(Image.status().code(), ErrorCode::NotFound);
+}
+
+TEST(Loader, MissingSymbolFails) {
+  auto Lib = std::make_shared<Module>("lib.so", "/lib.so",
+                                      ModuleKind::SharedLibrary);
+  Lib->setInstructions({makeRet()});
+  auto App = std::make_shared<Module>("app", "/app",
+                                      ModuleKind::Executable);
+  App->setInstructions({makeHalt()});
+  App->addImport("nosuchfn", "lib.so", 0);
+  App->setData(std::vector<uint8_t>(4, 0));
+  ModuleRegistry Registry;
+  Registry.add(Lib);
+  AddressSpace Space;
+  Loader L(Space, Registry);
+  EXPECT_FALSE(L.load(App).ok());
+}
+
+TEST(Loader, FixedPolicyIsDeterministic) {
+  tests::TinyWorkload W = tests::makeTinyWorkload(2, 2);
+  AddressSpace SpaceA, SpaceB;
+  Loader LA(SpaceA, W.Registry), LB(SpaceB, W.Registry);
+  auto A = LA.load(W.App);
+  auto B = LB.load(W.App);
+  ASSERT_TRUE(A.ok() && B.ok());
+  for (size_t I = 0; I != A->Modules.size(); ++I)
+    EXPECT_EQ(A->Modules[I].Base, B->Modules[I].Base);
+}
+
+TEST(Loader, RandomizedPolicyMovesLibraries) {
+  tests::TinyWorkload W = tests::makeTinyWorkload(2, 2);
+  AddressSpace SpaceA, SpaceB;
+  Loader LA(SpaceA, W.Registry, BasePolicy::Randomized, 1);
+  Loader LB(SpaceB, W.Registry, BasePolicy::Randomized, 2);
+  auto A = LA.load(W.App);
+  auto B = LB.load(W.App);
+  ASSERT_TRUE(A.ok() && B.ok());
+  // Executable stays fixed; the library moves with the seed.
+  EXPECT_EQ(A->Modules[0].Base, B->Modules[0].Base);
+  EXPECT_NE(A->Modules[1].Base, B->Modules[1].Base);
+  // Same seed reproduces the layout.
+  AddressSpace SpaceC;
+  Loader LC(SpaceC, W.Registry, BasePolicy::Randomized, 1);
+  auto C = LC.load(W.App);
+  ASSERT_TRUE(C.ok());
+  EXPECT_EQ(A->Modules[1].Base, C->Modules[1].Base);
+}
+
+TEST(Loader, ObserverSeesEveryModule) {
+  tests::TinyWorkload W = tests::makeTinyWorkload(1, 3);
+  AddressSpace Space;
+  Loader L(Space, W.Registry);
+  std::vector<std::string> Seen;
+  L.setLoadObserver([&](const LoadedModule &Mod) {
+    Seen.push_back(Mod.Image->name());
+  });
+  ASSERT_TRUE(L.load(W.App).ok());
+  ASSERT_EQ(Seen.size(), 2u);
+  EXPECT_EQ(Seen[0], "tinyapp");
+  EXPECT_EQ(Seen[1], "libtest.so");
+}
+
+TEST(Loader, TextRelocationApplied) {
+  // A module whose jmp needs rebasing: jmp to its own instruction 1.
+  auto App = std::make_shared<Module>("app", "/app",
+                                      ModuleKind::Executable);
+  App->setInstructions({makeJmp(8), makeHalt()});
+  App->addTextRelocation(0);
+  ModuleRegistry Registry;
+  AddressSpace Space;
+  Loader L(Space, Registry);
+  auto Image = L.load(App);
+  ASSERT_TRUE(Image.ok());
+  uint8_t Raw[InstructionSize];
+  ASSERT_TRUE(
+      Space.fetchInstructionBytes(Loader::ExecutableBase, Raw).ok());
+  auto Inst = Instruction::decode(Raw);
+  ASSERT_TRUE(Inst.ok());
+  EXPECT_EQ(Inst->Imm, Loader::ExecutableBase + 8);
+}

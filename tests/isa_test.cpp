@@ -1,0 +1,144 @@
+//===- tests/isa_test.cpp - guest ISA unit tests --------------------------===//
+
+#include "isa/Instruction.h"
+#include "isa/Opcode.h"
+
+#include <gtest/gtest.h>
+
+using namespace pcc;
+using namespace pcc::isa;
+
+TEST(Opcode, TerminatorClassification) {
+  EXPECT_TRUE(isTraceTerminator(Opcode::Jmp));
+  EXPECT_TRUE(isTraceTerminator(Opcode::Jr));
+  EXPECT_TRUE(isTraceTerminator(Opcode::Call));
+  EXPECT_TRUE(isTraceTerminator(Opcode::Callr));
+  EXPECT_TRUE(isTraceTerminator(Opcode::Ret));
+  EXPECT_TRUE(isTraceTerminator(Opcode::Halt));
+  EXPECT_TRUE(isTraceTerminator(Opcode::Sys));
+  // Conditional branches do NOT end traces (Section 2.1).
+  EXPECT_FALSE(isTraceTerminator(Opcode::Beq));
+  EXPECT_FALSE(isTraceTerminator(Opcode::Bne));
+  EXPECT_FALSE(isTraceTerminator(Opcode::Add));
+  EXPECT_FALSE(isTraceTerminator(Opcode::Ld));
+}
+
+TEST(Opcode, ControlFlowClassification) {
+  EXPECT_TRUE(isControlFlow(Opcode::Beq));
+  EXPECT_TRUE(isControlFlow(Opcode::Ret));
+  EXPECT_FALSE(isControlFlow(Opcode::Add));
+  EXPECT_FALSE(isControlFlow(Opcode::St));
+}
+
+TEST(Opcode, CodeTargetClassification) {
+  EXPECT_TRUE(hasCodeTarget(Opcode::Beq));
+  EXPECT_TRUE(hasCodeTarget(Opcode::Jmp));
+  EXPECT_TRUE(hasCodeTarget(Opcode::Call));
+  EXPECT_FALSE(hasCodeTarget(Opcode::Jr));
+  EXPECT_FALSE(hasCodeTarget(Opcode::Ret));
+  EXPECT_FALSE(hasCodeTarget(Opcode::Ldi));
+}
+
+TEST(Opcode, MemoryClassification) {
+  EXPECT_TRUE(isMemoryAccess(Opcode::Ld));
+  EXPECT_TRUE(isMemoryAccess(Opcode::St));
+  EXPECT_FALSE(isMemoryAccess(Opcode::Add));
+}
+
+TEST(Opcode, AllOpcodesNamed) {
+  for (unsigned Op = 0; Op != static_cast<unsigned>(Opcode::NumOpcodes);
+       ++Op)
+    EXPECT_STRNE(opcodeName(static_cast<Opcode>(Op)), "invalid");
+}
+
+TEST(Instruction, EncodeDecodeRoundTripAllOpcodes) {
+  for (unsigned Op = 0; Op != static_cast<unsigned>(Opcode::NumOpcodes);
+       ++Op) {
+    Instruction Inst;
+    Inst.Op = static_cast<Opcode>(Op);
+    Inst.Rd = 3;
+    Inst.Rs1 = 7;
+    Inst.Rs2 = 15;
+    Inst.Imm = 0xdeadbeef;
+    auto Bytes = Inst.encode();
+    auto Back = Instruction::decode(Bytes.data());
+    ASSERT_TRUE(Back.ok()) << opcodeName(Inst.Op);
+    EXPECT_EQ(*Back, Inst);
+  }
+}
+
+TEST(Instruction, DecodeRejectsBadOpcode) {
+  uint8_t Bytes[InstructionSize] = {0xff, 0, 0, 0, 0, 0, 0, 0};
+  auto Result = Instruction::decode(Bytes);
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), ErrorCode::InvalidFormat);
+}
+
+TEST(Instruction, DecodeRejectsBadRegister) {
+  Instruction Inst = makeAlu(Opcode::Add, 1, 2, 3);
+  auto Bytes = Inst.encode();
+  Bytes[1] = 16; // Register out of range.
+  auto Result = Instruction::decode(Bytes.data());
+  ASSERT_FALSE(Result.ok());
+  EXPECT_EQ(Result.status().code(), ErrorCode::InvalidFormat);
+}
+
+TEST(Instruction, FactoriesProduceExpectedFields) {
+  Instruction Add = makeAlu(Opcode::Add, 1, 2, 3);
+  EXPECT_EQ(Add.Op, Opcode::Add);
+  EXPECT_EQ(Add.Rd, 1);
+  EXPECT_EQ(Add.Rs1, 2);
+  EXPECT_EQ(Add.Rs2, 3);
+
+  Instruction Addi = makeAluImm(Opcode::Addi, 4, 5, 100);
+  EXPECT_EQ(Addi.Imm, 100u);
+
+  Instruction Load = makeLoad(1, 2, -8);
+  EXPECT_EQ(Load.Op, Opcode::Ld);
+  EXPECT_EQ(static_cast<int32_t>(Load.Imm), -8);
+
+  Instruction Store = makeStore(2, 4, 3);
+  EXPECT_EQ(Store.Rs1, 2);
+  EXPECT_EQ(Store.Rs2, 3);
+
+  Instruction Branch = makeBranch(Opcode::Beq, 1, 2, 0x1000);
+  EXPECT_EQ(Branch.codeTarget(), 0x1000u);
+
+  Instruction Jump = makeJmp(0x2000);
+  EXPECT_EQ(Jump.codeTarget(), 0x2000u);
+
+  Instruction Syscall = makeSys(7);
+  EXPECT_EQ(Syscall.Imm, 7u);
+}
+
+TEST(Instruction, DisassemblyMentionsOperands) {
+  EXPECT_EQ(makeAlu(Opcode::Add, 1, 2, 3).toString(), "add r1, r2, r3");
+  EXPECT_EQ(makeLdi(4, 0x10).toString(), "ldi r4, 0x10");
+  EXPECT_EQ(makeLoad(1, 2, 8).toString(), "ld r1, [r2+8]");
+  EXPECT_EQ(makeStore(2, -4, 3).toString(), "st [r2-4], r3");
+  EXPECT_EQ(makeBranch(Opcode::Bne, 1, 2, 0x40).toString(),
+            "bne r1, r2, 0x40");
+  EXPECT_EQ(makeRet().toString(), "ret");
+  EXPECT_EQ(makeHalt().toString(), "halt");
+}
+
+TEST(Instruction, EncodeAllDecodeAllRoundTrip) {
+  std::vector<Instruction> Insts = {
+      makeLdi(1, 42), makeAlu(Opcode::Add, 2, 1, 1),
+      makeBranch(Opcode::Beq, 2, 1, 0x100), makeCall(0x200), makeRet(),
+      makeHalt()};
+  std::vector<uint8_t> Bytes = encodeAll(Insts);
+  ASSERT_EQ(Bytes.size(), Insts.size() * InstructionSize);
+  auto Back = decodeAll(Bytes.data(), Insts.size());
+  ASSERT_TRUE(Back.ok());
+  EXPECT_EQ(*Back, Insts);
+}
+
+TEST(Instruction, ImmEncodingIsLittleEndian) {
+  Instruction Inst = makeLdi(1, 0x04030201);
+  auto Bytes = Inst.encode();
+  EXPECT_EQ(Bytes[4], 0x01);
+  EXPECT_EQ(Bytes[5], 0x02);
+  EXPECT_EQ(Bytes[6], 0x03);
+  EXPECT_EQ(Bytes[7], 0x04);
+}

@@ -1,0 +1,235 @@
+//===- tests/persist_db_test.cpp - cache database maintenance + fuzzing ---===//
+//
+// Database maintenance (stats, size-capped eviction) and a corruption
+// sweep: a persistent cache file damaged at any byte must either be
+// rejected cleanly or — never — affect execution results. "To prevent
+// the use of invalid/inconsistent translations" (Section 3.2.1) has to
+// hold against disk corruption too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/CacheDatabase.h"
+#include "persist/Session.h"
+
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace pcc;
+using namespace pcc::persist;
+using tests::makeTinyWorkload;
+using tests::TempDir;
+using tests::TinyWorkload;
+
+namespace {
+
+CacheFile makeFileWithTraces(unsigned NumTraces, uint32_t Generation) {
+  CacheFile File;
+  File.EngineHash = dbi::engineVersionHash();
+  File.ToolHash = noToolHash();
+  File.Generation = Generation;
+  ModuleKey Key;
+  Key.Path = "/bin/x";
+  Key.Base = 0x400000;
+  Key.Size = 0x10000;
+  File.Modules.push_back(Key);
+  for (unsigned I = 0; I != NumTraces; ++I) {
+    TraceRecord Trace;
+    Trace.GuestStart = 0x400000 + I * 64;
+    Trace.GuestInstCount = 4;
+    Trace.Code.assign(64, static_cast<uint8_t>(I));
+    File.Traces.push_back(std::move(Trace));
+  }
+  return File;
+}
+
+} // namespace
+
+TEST(Database, StatsAggregateAcrossFiles) {
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  ASSERT_TRUE(Db.store(1, makeFileWithTraces(3, 1)).ok());
+  ASSERT_TRUE(Db.store(2, makeFileWithTraces(5, 2)).ok());
+
+  auto Stats = Db.stats();
+  ASSERT_TRUE(Stats.ok());
+  EXPECT_EQ(Stats->CacheFiles, 2u);
+  EXPECT_EQ(Stats->CorruptFiles, 0u);
+  EXPECT_EQ(Stats->Traces, 8u);
+  EXPECT_EQ(Stats->CodeBytes, 8u * 64u);
+  EXPECT_GT(Stats->DataBytes, Stats->CodeBytes);
+  EXPECT_GT(Stats->DiskBytes, Stats->CodeBytes);
+}
+
+TEST(Database, StatsCountCorruptFiles) {
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  ASSERT_TRUE(Db.store(1, makeFileWithTraces(2, 1)).ok());
+  auto Bytes = readFile(Db.pathFor(1));
+  ASSERT_TRUE(Bytes.ok());
+  (*Bytes)[10] ^= 0xff;
+  ASSERT_TRUE(writeFileAtomic(Db.pathFor(1), *Bytes).ok());
+  auto Stats = Db.stats();
+  ASSERT_TRUE(Stats.ok());
+  EXPECT_EQ(Stats->CacheFiles, 1u);
+  EXPECT_EQ(Stats->CorruptFiles, 1u);
+}
+
+TEST(Database, ShrinkEvictsLeastAccumulatedFirst) {
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  // Generation 5 (heavily reused) vs generation 1 (one-shot) caches.
+  ASSERT_TRUE(Db.store(1, makeFileWithTraces(10, 5)).ok());
+  ASSERT_TRUE(Db.store(2, makeFileWithTraces(10, 1)).ok());
+  ASSERT_TRUE(Db.store(3, makeFileWithTraces(10, 1)).ok());
+
+  auto Before = Db.stats();
+  ASSERT_TRUE(Before.ok());
+  // Cap so exactly one file must go: the generation-1 ones go first.
+  uint64_t PerFile = Before->DiskBytes / 3;
+  auto Removed = Db.shrinkTo(Before->DiskBytes - PerFile);
+  ASSERT_TRUE(Removed.ok());
+  EXPECT_EQ(*Removed, 1u);
+  EXPECT_TRUE(Db.exists(1)) << "high-generation cache must survive";
+  EXPECT_TRUE(Db.exists(2) != Db.exists(3))
+      << "exactly one generation-1 cache evicted";
+}
+
+TEST(Database, ShrinkToZeroEmptiesDatabase) {
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  ASSERT_TRUE(Db.store(1, makeFileWithTraces(4, 1)).ok());
+  ASSERT_TRUE(Db.store(2, makeFileWithTraces(4, 2)).ok());
+  auto Removed = Db.shrinkTo(0);
+  ASSERT_TRUE(Removed.ok());
+  EXPECT_EQ(*Removed, 2u);
+  auto Stats = Db.stats();
+  ASSERT_TRUE(Stats.ok());
+  EXPECT_EQ(Stats->CacheFiles, 0u);
+}
+
+TEST(Database, ShrinkAlwaysDropsCorruptFiles) {
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  ASSERT_TRUE(Db.store(1, makeFileWithTraces(4, 9)).ok());
+  ASSERT_TRUE(Db.store(2, makeFileWithTraces(4, 9)).ok());
+  auto Bytes = readFile(Db.pathFor(2));
+  ASSERT_TRUE(Bytes.ok());
+  Bytes->resize(Bytes->size() / 2);
+  ASSERT_TRUE(writeFileAtomic(Db.pathFor(2), *Bytes).ok());
+
+  // Budget is generous: only the corrupt file goes.
+  auto Removed = Db.shrinkTo(1ull << 30);
+  ASSERT_TRUE(Removed.ok());
+  EXPECT_EQ(*Removed, 1u);
+  EXPECT_TRUE(Db.exists(1));
+  EXPECT_FALSE(Db.exists(2));
+}
+
+TEST(Database, ShrinkNoopWhenUnderBudget) {
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  ASSERT_TRUE(Db.store(1, makeFileWithTraces(4, 1)).ok());
+  auto Removed = Db.shrinkTo(1ull << 30);
+  ASSERT_TRUE(Removed.ok());
+  EXPECT_EQ(*Removed, 0u);
+  EXPECT_TRUE(Db.exists(1));
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption sweep: flip a byte at a position spread over the file and
+// verify the run is never affected.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class CacheCorruptionSweep : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(CacheCorruptionSweep, DamagedCacheNeverChangesResults) {
+  TinyWorkload W = makeTinyWorkload(3, 2, /*Seed=*/77);
+  auto Input = W.allSlotsInput(3);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+
+  auto Reference = workloads::runNative(W.Registry, W.App, Input);
+  ASSERT_TRUE(Reference.ok());
+  auto Cold = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(Cold.ok());
+
+  auto Files = listDirectory(Dir.path());
+  ASSERT_TRUE(Files.ok());
+  ASSERT_EQ(Files->size(), 1u);
+  std::string Path = Dir.path() + "/" + (*Files)[0];
+  auto Bytes = readFile(Path);
+  ASSERT_TRUE(Bytes.ok());
+
+  // Parameter 0..19 selects a byte position across the file; flip it.
+  size_t Position = (Bytes->size() - 1) *
+                    static_cast<size_t>(GetParam()) / 19;
+  (*Bytes)[Position] ^= 0x5a;
+  ASSERT_TRUE(writeFileAtomic(Path, *Bytes).ok());
+
+  persist::PersistOptions ReadOnly;
+  ReadOnly.WriteBack = false;
+  auto Warm =
+      workloads::runPersistent(W.Registry, W.App, Input, Db, ReadOnly);
+  ASSERT_TRUE(Warm.ok()) << Warm.status().toString();
+  // The damaged cache must have been rejected by the CRC (the flip is
+  // always inside the checksummed payload or the checksum itself).
+  EXPECT_FALSE(Warm->Prime.CacheFound)
+      << "byte " << Position << " flip must fail validation";
+  EXPECT_TRUE(Reference->observablyEquals(Warm->Run));
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, CacheCorruptionSweep,
+                         ::testing::Range(0, 20));
+
+TEST(CacheValidation, RealCachesValidateCleanly) {
+  TinyWorkload W = makeTinyWorkload(3, 2);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  ASSERT_TRUE(workloads::runPersistent(W.Registry, W.App,
+                                       W.allSlotsInput(3), Db)
+                  .ok());
+  auto Files = listDirectory(Dir.path());
+  ASSERT_TRUE(Files.ok());
+  auto File = Db.loadPath(Dir.path() + "/" + (*Files)[0]);
+  ASSERT_TRUE(File.ok());
+  EXPECT_TRUE(File->validate().ok());
+}
+
+TEST(CacheValidation, DetectsStructuralViolations) {
+  auto expectInvalid = [](CacheFile File, const char *What) {
+    Status S = File.validate();
+    EXPECT_FALSE(S.ok()) << What;
+  };
+  CacheFile Base = makeFileWithTraces(2, 1);
+  EXPECT_TRUE(Base.validate().ok());
+
+  CacheFile BadModule = Base;
+  BadModule.Traces[0].ModuleIndex = 9;
+  expectInvalid(BadModule, "module index");
+
+  CacheFile OutsideMapping = Base;
+  OutsideMapping.Traces[0].GuestStart = 0x90000000;
+  expectInvalid(OutsideMapping, "start outside module");
+
+  CacheFile Duplicate = Base;
+  Duplicate.Traces[1].GuestStart = Duplicate.Traces[0].GuestStart;
+  expectInvalid(Duplicate, "duplicate start");
+
+  CacheFile ShortCode = Base;
+  ShortCode.Traces[0].Code.resize(8);
+  expectInvalid(ShortCode, "short code image");
+
+  CacheFile BadExit = Base;
+  BadExit.Traces[0].Exits.push_back(ExitRecord{0, 99, 0, 0});
+  expectInvalid(BadExit, "exit index out of range");
+
+  CacheFile DanglingLink = Base;
+  DanglingLink.Traces[0].Exits.push_back(
+      ExitRecord{1, 0, 0x12345678, 0x12345678});
+  expectInvalid(DanglingLink, "dangling link");
+}

@@ -1,0 +1,337 @@
+//===- tests/property_test.cpp - parameterized property sweeps ------------===//
+//
+// Property-based testing over randomly generated guest programs:
+//
+//   P1  Execution under the DBI engine is observably identical to the
+//       reference interpreter (the run-time compiler's contract).
+//   P2  Priming from a same-input persistent cache changes nothing
+//       observable and removes all translation work.
+//   P3  Accumulation is monotone: a cache never loses valid traces, and
+//       re-running an already-covered input compiles nothing.
+//   P4  Any module modification (timestamp bump) invalidates exactly
+//       that module's traces.
+//   P5  PIC caches survive arbitrary relocation with identical results.
+//   P6  Severe cache-pool pressure (flushes) never changes results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/CacheDatabase.h"
+#include "persist/Session.h"
+#include "support/Random.h"
+
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace pcc;
+using namespace pcc::workloads;
+using tests::TempDir;
+
+namespace {
+
+/// Deterministically generates a random app + input from a seed.
+struct RandomProgram {
+  loader::ModuleRegistry Registry;
+  std::shared_ptr<binary::Module> App;
+  std::vector<uint8_t> Input;
+  unsigned NumSlots = 0;
+};
+
+RandomProgram makeRandomProgram(uint64_t Seed) {
+  Rng Gen(Seed);
+  RandomProgram P;
+
+  // 0-2 libraries with 1-4 regions each.
+  unsigned NumLibs = static_cast<unsigned>(Gen.nextBelow(3));
+  std::vector<std::pair<std::string, std::string>> LibFns;
+  for (unsigned L = 0; L != NumLibs; ++L) {
+    LibraryDef Lib;
+    Lib.Name = "librand" + std::to_string(L) + ".so";
+    Lib.Path = "/lib/" + Lib.Name;
+    unsigned NumFns = 1 + static_cast<unsigned>(Gen.nextBelow(4));
+    for (unsigned F = 0; F != NumFns; ++F) {
+      RegionDef Region;
+      Region.Name = "f" + std::to_string(F);
+      Region.Blocks = 2 + static_cast<uint32_t>(Gen.nextBelow(8));
+      Region.InstsPerBlock = 5 + static_cast<uint32_t>(Gen.nextBelow(8));
+      Region.YieldEveryBlocks =
+          Gen.nextBool(0.3) ? 1 + static_cast<uint32_t>(Gen.nextBelow(4))
+                            : 0;
+      Region.Seed = Gen.next();
+      Lib.Regions.push_back(std::move(Region));
+      LibFns.emplace_back(Lib.Name, "f" + std::to_string(F));
+    }
+    P.Registry.add(buildLibrary(Lib));
+  }
+
+  AppDef Def;
+  Def.Name = "rand" + std::to_string(Seed);
+  Def.Path = "/bin/" + Def.Name;
+  for (const auto &[LibName, Symbol] : LibFns)
+    Def.Slots.push_back(FunctionSlot::import(LibName, Symbol));
+  unsigned NumLocal = 1 + static_cast<unsigned>(Gen.nextBelow(6));
+  for (unsigned I = 0; I != NumLocal; ++I) {
+    RegionDef Region;
+    Region.Name = "l" + std::to_string(I);
+    Region.Blocks = 2 + static_cast<uint32_t>(Gen.nextBelow(8));
+    Region.InstsPerBlock = 5 + static_cast<uint32_t>(Gen.nextBelow(8));
+    Region.Seed = Gen.next();
+    Def.Slots.push_back(FunctionSlot::local(std::move(Region)));
+  }
+  P.App = buildExecutable(Def);
+
+  P.NumSlots = static_cast<unsigned>(LibFns.size()) + NumLocal;
+  unsigned NumSlots = P.NumSlots;
+  unsigned NumItems = 1 + static_cast<unsigned>(Gen.nextBelow(12));
+  std::vector<WorkItem> Items;
+  for (unsigned I = 0; I != NumItems; ++I)
+    Items.push_back(WorkItem{
+        static_cast<uint32_t>(Gen.nextBelow(NumSlots)),
+        1 + static_cast<uint32_t>(Gen.nextBelow(40))});
+  P.Input = encodeWorkload(Items);
+  return P;
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(RandomProgramTest, EngineMatchesInterpreter) {
+  RandomProgram P = makeRandomProgram(GetParam());
+  auto Native = runNative(P.Registry, P.App, P.Input);
+  ASSERT_TRUE(Native.ok()) << Native.status().toString();
+  auto Engine = runUnderEngine(P.Registry, P.App, P.Input);
+  ASSERT_TRUE(Engine.ok()) << Engine.status().toString();
+  EXPECT_TRUE(Native->observablyEquals(Engine->Run))
+      << "seed " << GetParam();
+}
+
+TEST_P(RandomProgramTest, SameInputPersistenceIsTransparent) {
+  RandomProgram P = makeRandomProgram(GetParam());
+  TempDir Dir;
+  persist::CacheDatabase Db(Dir.path());
+  auto Cold = runPersistent(P.Registry, P.App, P.Input, Db);
+  ASSERT_TRUE(Cold.ok()) << Cold.status().toString();
+  auto Warm = runPersistent(P.Registry, P.App, P.Input, Db);
+  ASSERT_TRUE(Warm.ok()) << Warm.status().toString();
+  EXPECT_TRUE(Cold->Run.observablyEquals(Warm->Run))
+      << "seed " << GetParam();
+  EXPECT_EQ(Warm->Stats.TracesCompiled, 0u) << "seed " << GetParam();
+  EXPECT_EQ(Warm->Stats.CompileCycles, 0u);
+}
+
+TEST_P(RandomProgramTest, AccumulationIsMonotone) {
+  RandomProgram P = makeRandomProgram(GetParam());
+  TempDir Dir;
+  persist::CacheDatabase Db(Dir.path());
+
+  // Three different inputs derived from the same program.
+  Rng Gen(GetParam() ^ 0xabcdef);
+  std::vector<std::vector<uint8_t>> Inputs;
+  for (unsigned K = 0; K != 3; ++K) {
+    std::vector<WorkItem> Items;
+    unsigned NumItems = 1 + static_cast<unsigned>(Gen.nextBelow(6));
+    for (unsigned I = 0; I != NumItems; ++I)
+      Items.push_back(WorkItem{
+          static_cast<uint32_t>(
+              Gen.nextBelow(std::min(2 + K, P.NumSlots))),
+          1 + static_cast<uint32_t>(Gen.nextBelow(20))});
+    Inputs.push_back(encodeWorkload(Items));
+  }
+
+  uint64_t PreviousTraces = 0;
+  for (const auto &Input : Inputs) {
+    auto R = runPersistent(P.Registry, P.App, Input, Db);
+    ASSERT_TRUE(R.ok());
+    // Cache only grows.
+    auto Files = listDirectory(Dir.path());
+    ASSERT_TRUE(Files.ok());
+    ASSERT_EQ(Files->size(), 1u);
+    auto File = persist::CacheFile::deserialize(
+        *readFile(Dir.path() + "/" + (*Files)[0]));
+    ASSERT_TRUE(File.ok());
+    EXPECT_GE(File->Traces.size(), PreviousTraces);
+    PreviousTraces = File->Traces.size();
+  }
+
+  // Re-running every input: nothing left to translate.
+  for (const auto &Input : Inputs) {
+    auto R = runPersistent(P.Registry, P.App, Input, Db);
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(R->Stats.TracesCompiled, 0u) << "seed " << GetParam();
+  }
+}
+
+TEST_P(RandomProgramTest, TouchedModuleInvalidatesOnlyItsTraces) {
+  RandomProgram P = makeRandomProgram(GetParam());
+  TempDir Dir;
+  persist::CacheDatabase Db(Dir.path());
+  auto Cold = runPersistent(P.Registry, P.App, P.Input, Db);
+  ASSERT_TRUE(Cold.ok());
+
+  // Touch the first library if there is one; otherwise touch the app.
+  auto Lib = P.Registry.find("librand0.so");
+  if (Lib) {
+    auto NewLib = std::make_shared<binary::Module>(*Lib);
+    NewLib->touch();
+    P.Registry.add(NewLib);
+    auto Warm = runPersistent(P.Registry, P.App, P.Input, Db);
+    ASSERT_TRUE(Warm.ok());
+    EXPECT_TRUE(Warm->Prime.CacheFound);
+    EXPECT_EQ(Warm->Prime.ModulesInvalidated, 1u);
+    EXPECT_TRUE(Cold->Run.observablyEquals(Warm->Run));
+    return;
+  }
+  auto NewApp = std::make_shared<binary::Module>(*P.App);
+  NewApp->touch();
+  // A touched app changes the lookup key: fresh cache, full retranslate.
+  auto Warm = runPersistent(P.Registry, NewApp, P.Input, Db);
+  ASSERT_TRUE(Warm.ok());
+  EXPECT_FALSE(Warm->Prime.CacheFound);
+  EXPECT_GT(Warm->Stats.TracesCompiled, 0u);
+}
+
+TEST_P(RandomProgramTest, PicSurvivesRelocation) {
+  RandomProgram P = makeRandomProgram(GetParam());
+  TempDir Dir;
+  persist::CacheDatabase Db(Dir.path());
+  persist::PersistOptions Pic;
+  Pic.PositionIndependent = true;
+  auto Cold = runPersistent(P.Registry, P.App, P.Input, Db, Pic,
+                            nullptr, dbi::EngineOptions(),
+                            loader::BasePolicy::Randomized,
+                            GetParam() * 3 + 1);
+  ASSERT_TRUE(Cold.ok()) << Cold.status().toString();
+  auto Warm = runPersistent(P.Registry, P.App, P.Input, Db, Pic,
+                            nullptr, dbi::EngineOptions(),
+                            loader::BasePolicy::Randomized,
+                            GetParam() * 7 + 5);
+  ASSERT_TRUE(Warm.ok()) << Warm.status().toString();
+  EXPECT_EQ(Warm->Stats.TracesCompiled, 0u) << "seed " << GetParam();
+  EXPECT_TRUE(Cold->Run.observablyEquals(Warm->Run));
+}
+
+TEST_P(RandomProgramTest, FlushPressureIsTransparent) {
+  RandomProgram P = makeRandomProgram(GetParam());
+  auto Reference = runNative(P.Registry, P.App, P.Input);
+  ASSERT_TRUE(Reference.ok());
+  dbi::EngineOptions Tiny;
+  Tiny.CodePoolBytes = 2048;
+  Tiny.DataPoolBytes = 2048;
+  auto R = runUnderEngine(P.Registry, P.App, P.Input, nullptr, Tiny);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_TRUE(Reference->observablyEquals(R->Run))
+      << "seed " << GetParam();
+}
+
+TEST_P(RandomProgramTest, InstrumentationCountsConsistent) {
+  RandomProgram P = makeRandomProgram(GetParam());
+  dbi::InstructionCounterTool Icount;
+  auto R = runUnderEngine(P.Registry, P.App, P.Input, &Icount);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(Icount.count(), R->Run.InstructionsExecuted);
+
+  dbi::BasicBlockCounterTool Bb;
+  auto R2 = runUnderEngine(P.Registry, P.App, P.Input, &Bb);
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(Bb.totalInstructions(), R2->Run.InstructionsExecuted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+//===----------------------------------------------------------------------===//
+// Trace-limit sweep: the fixed instruction count bounding trace
+// selection is a pure performance knob — results must be identical for
+// any limit, and persistence must work at every limit.
+//===----------------------------------------------------------------------===//
+
+namespace {
+class TraceLimitSweep : public ::testing::TestWithParam<uint32_t> {};
+} // namespace
+
+TEST_P(TraceLimitSweep, LimitNeverChangesResults) {
+  RandomProgram P = makeRandomProgram(777);
+  auto Native = runNative(P.Registry, P.App, P.Input);
+  ASSERT_TRUE(Native.ok());
+
+  dbi::EngineOptions Opts;
+  Opts.MaxTraceInsts = GetParam();
+  auto R = runUnderEngine(P.Registry, P.App, P.Input, nullptr, Opts);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_TRUE(Native->observablyEquals(R->Run))
+      << "limit " << GetParam();
+
+  // Persistence round-trips at this limit too.
+  TempDir Dir;
+  persist::CacheDatabase Db(Dir.path());
+  ASSERT_TRUE(runPersistent(P.Registry, P.App, P.Input, Db,
+                            persist::PersistOptions(), nullptr, Opts)
+                  .ok());
+  auto Warm = runPersistent(P.Registry, P.App, P.Input, Db,
+                            persist::PersistOptions(), nullptr, Opts);
+  ASSERT_TRUE(Warm.ok());
+  EXPECT_EQ(Warm->Stats.TracesCompiled, 0u) << "limit " << GetParam();
+  EXPECT_TRUE(Native->observablyEquals(Warm->Run));
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, TraceLimitSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u,
+                                           32u, 64u));
+
+TEST(PicInterApp, RelocatedLibrariesSharedAcrossApplications) {
+  // The full synergy of the paper's two extensions: inter-application
+  // reuse *and* position independence. App B primes from app A's cache
+  // under ASLR — even though every shared library sits at a different
+  // base in B, the PIC translations relocate and B reuses them.
+  loader::ModuleRegistry Registry;
+  workloads::LibraryDef Lib;
+  Lib.Name = "libshared.so";
+  Lib.Path = "/lib/libshared.so";
+  for (uint32_t I = 0; I != 6; ++I) {
+    workloads::RegionDef Region;
+    Region.Name = "fn" + std::to_string(I);
+    Region.Blocks = 5;
+    Region.InstsPerBlock = 9;
+    Region.Seed = 900 + I;
+    Lib.Regions.push_back(std::move(Region));
+  }
+  Registry.add(workloads::buildLibrary(Lib));
+  auto makeApp = [&](const std::string &Name) {
+    workloads::AppDef Def;
+    Def.Name = Name;
+    Def.Path = "/bin/" + Name;
+    for (uint32_t I = 0; I != 6; ++I)
+      Def.Slots.push_back(workloads::FunctionSlot::import(
+          "libshared.so", "fn" + std::to_string(I)));
+    return workloads::buildExecutable(Def);
+  };
+  auto AppA = makeApp("picA");
+  auto AppB = makeApp("picB");
+  auto Input = workloads::encodeWorkload(
+      {{0, 3}, {1, 3}, {2, 3}, {3, 3}, {4, 3}, {5, 3}});
+
+  TempDir Dir;
+  persist::CacheDatabase Db(Dir.path());
+  persist::PersistOptions Opts;
+  Opts.PositionIndependent = true;
+  Opts.InterApplication = true;
+
+  auto RA = runPersistent(Registry, AppA, Input, Db, Opts, nullptr,
+                          dbi::EngineOptions(),
+                          loader::BasePolicy::Randomized, 100);
+  ASSERT_TRUE(RA.ok());
+  auto RB = runPersistent(Registry, AppB, Input, Db, Opts, nullptr,
+                          dbi::EngineOptions(),
+                          loader::BasePolicy::Randomized, 200);
+  ASSERT_TRUE(RB.ok()) << RB.status().toString();
+  EXPECT_TRUE(RB->Prime.CacheFound);
+  EXPECT_GT(RB->Prime.TracesInstalled, 0u)
+      << "PIC library traces must survive relocation across apps";
+  // B's own application code still needs translating, nothing else.
+  auto Native = runNative(Registry, AppB, Input);
+  ASSERT_TRUE(Native.ok());
+  EXPECT_TRUE(Native->observablyEquals(RB->Run));
+  // Library traces dominate this program: reuse must dominate.
+  EXPECT_GT(RB->Prime.TracesInstalled, RB->Stats.TracesCompiled);
+}

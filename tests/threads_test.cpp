@@ -1,0 +1,262 @@
+//===- tests/threads_test.cpp - multi-threaded guest tests ----------------===//
+//
+// The paper's system "supports inter-execution as well as
+// inter-application persistence of single-threaded, multi-threaded, and
+// multi-process applications" (Section 3.2). These tests cover the
+// multi-threaded part: cooperative threads scheduled at syscall
+// boundaries, identical interleavings across the interpreter, the DBI
+// engine, and persistent runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Threads.h"
+
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace pcc;
+using namespace pcc::isa;
+using namespace pcc::vm;
+
+namespace {
+
+constexpr uint32_t Base = loader::Loader::ExecutableBase;
+constexpr uint32_t SysExit = static_cast<uint32_t>(SyscallNumber::Exit);
+constexpr uint32_t SysWriteChar =
+    static_cast<uint32_t>(SyscallNumber::WriteChar);
+constexpr uint32_t SysWriteWord =
+    static_cast<uint32_t>(SyscallNumber::WriteWord);
+constexpr uint32_t SysYield =
+    static_cast<uint32_t>(SyscallNumber::Yield);
+constexpr uint32_t SysSpawn =
+    static_cast<uint32_t>(SyscallNumber::Spawn);
+constexpr uint32_t SysThreadExit =
+    static_cast<uint32_t>(SyscallNumber::ThreadExit);
+
+/// Builds a raw executable module from instructions (absolute
+/// addresses precomputed against the executable base).
+std::shared_ptr<binary::Module>
+rawProgram(const std::vector<Instruction> &Insts) {
+  auto Mod = std::make_shared<binary::Module>(
+      "threads", "/bin/threads", binary::ModuleKind::Executable);
+  Mod->setInstructions(Insts);
+  Mod->setBssSize(binary::PageSize);
+  return Mod;
+}
+
+/// A worker at instruction index \p WorkerIndex that writes its
+/// argument as a character \p Count times (yield-separated) and exits
+/// the thread.
+std::vector<Instruction> workerBody(uint32_t Count) {
+  std::vector<Instruction> Body;
+  for (uint32_t I = 0; I != Count; ++I)
+    Body.push_back(makeSys(SysWriteChar)); // r1 = arg = the character.
+  Body.push_back(makeSys(SysThreadExit));
+  Body.push_back(makeHalt()); // Unreachable.
+  return Body;
+}
+
+} // namespace
+
+TEST(Threads, SpawnRunsWorkerToCompletion) {
+  // main: spawn worker('A'), thread-exit. worker: write 'A' x3, exit.
+  std::vector<Instruction> Insts;
+  uint32_t WorkerIndex = 5;
+  Insts.push_back(makeLdi(1, Base + WorkerIndex * InstructionSize));
+  Insts.push_back(makeLdi(2, 'A'));
+  Insts.push_back(makeSys(SysSpawn));
+  Insts.push_back(makeSys(SysThreadExit));
+  Insts.push_back(makeHalt()); // Unreachable.
+  std::vector<Instruction> Worker = workerBody(3);
+  Insts.insert(Insts.end(), Worker.begin(), Worker.end());
+
+  loader::ModuleRegistry Registry;
+  auto M = Machine::create(rawProgram(Insts), Registry);
+  ASSERT_TRUE(M.ok());
+  RunResult R = M->runNative();
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_EQ(R.ExitCode, 0u);
+  EXPECT_EQ(R.Output, "AAA");
+}
+
+TEST(Threads, SpawnReturnsThreadIdAndArgReachesWorker) {
+  // main: spawn worker(42); write spawn result (tid); exit program.
+  // worker: writes its argument as a word.
+  std::vector<Instruction> Insts;
+  uint32_t WorkerIndex = 6;
+  Insts.push_back(makeLdi(1, Base + WorkerIndex * InstructionSize));
+  Insts.push_back(makeLdi(2, 42));
+  Insts.push_back(makeSys(SysSpawn));
+  Insts.push_back(makeSys(SysWriteWord)); // r1 == tid == 1.
+  Insts.push_back(makeSys(SysThreadExit));
+  Insts.push_back(makeHalt());
+  // Worker at index 6:
+  Insts.push_back(makeSys(SysWriteWord)); // r1 == 42.
+  Insts.push_back(makeSys(SysThreadExit));
+  Insts.push_back(makeHalt());
+  ASSERT_EQ(WorkerIndex, 6u);
+
+  loader::ModuleRegistry Registry;
+  auto M = Machine::create(rawProgram(Insts), Registry);
+  ASSERT_TRUE(M.ok());
+  RunResult R = M->runNative();
+  ASSERT_TRUE(R.ok());
+  // main writes tid=1 after its spawn syscall rotated to the worker:
+  // worker writes 42 first, then main writes 1.
+  EXPECT_EQ(R.WordLog, (std::vector<uint32_t>{42, 1}));
+}
+
+TEST(Threads, RoundRobinInterleavingIsDeterministic) {
+  // Two workers writing 'a' and 'b' three times each; switches at each
+  // syscall produce a strict interleave.
+  std::vector<Instruction> Insts;
+  uint32_t WorkerIndex = 7;
+  Insts.push_back(makeLdi(1, Base + WorkerIndex * InstructionSize));
+  Insts.push_back(makeLdi(2, 'a'));
+  Insts.push_back(makeSys(SysSpawn));
+  Insts.push_back(makeLdi(1, Base + WorkerIndex * InstructionSize));
+  Insts.push_back(makeLdi(2, 'b'));
+  Insts.push_back(makeSys(SysSpawn));
+  Insts.push_back(makeSys(SysThreadExit));
+  ASSERT_EQ(Insts.size(), WorkerIndex);
+  std::vector<Instruction> Worker = workerBody(3);
+  Insts.insert(Insts.end(), Worker.begin(), Worker.end());
+
+  loader::ModuleRegistry Registry;
+  auto M = Machine::create(rawProgram(Insts), Registry);
+  ASSERT_TRUE(M.ok());
+  RunResult R = M->runNative();
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitCode, 0u);
+  // Exact interleaving is part of the contract (deterministic
+  // round-robin at syscalls): T1 enters after main's first spawn,
+  // T2 after the second, then strict rotation T0,T1,T2.
+  EXPECT_EQ(R.Output, "aababb");
+}
+
+TEST(Threads, ExitTerminatesAllThreads) {
+  // Worker loops forever writing; main exits the program after its
+  // spawn — everything stops with main's exit code.
+  std::vector<Instruction> Insts;
+  uint32_t WorkerIndex = 5;
+  Insts.push_back(makeLdi(1, Base + WorkerIndex * InstructionSize));
+  Insts.push_back(makeLdi(2, 'x'));
+  Insts.push_back(makeSys(SysSpawn));
+  Insts.push_back(makeLdi(1, 9));
+  Insts.push_back(makeSys(SysExit));
+  // Worker at 5: infinite write loop.
+  Insts.push_back(makeSys(SysWriteChar));
+  Insts.push_back(makeJmp(Base + WorkerIndex * InstructionSize));
+
+  loader::ModuleRegistry Registry;
+  auto M = Machine::create(rawProgram(Insts), Registry);
+  ASSERT_TRUE(M.ok());
+  RunResult R = M->runNative();
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.ExitCode, 9u);
+  // Worker got exactly one write in (after main's spawn, before main's
+  // ldi+exit reached the Exit syscall).
+  EXPECT_EQ(R.Output, "x");
+}
+
+TEST(Threads, SpawnFailureBeyondLimit) {
+  // Spawn MaxThreads workers; the one beyond the limit returns
+  // 0xffffffff.
+  std::vector<Instruction> Insts;
+  const uint32_t Spawns = ThreadScheduler::MaxThreads; // 1 too many.
+  uint32_t WorkerIndex = 3 * Spawns + 3;
+  for (uint32_t I = 0; I != Spawns; ++I) {
+    Insts.push_back(makeLdi(1, Base + WorkerIndex * InstructionSize));
+    Insts.push_back(makeLdi(2, 0));
+    Insts.push_back(makeSys(SysSpawn));
+  }
+  Insts.push_back(makeSys(SysWriteWord)); // Last spawn's result.
+  Insts.push_back(makeLdi(1, 0));
+  Insts.push_back(makeSys(SysExit));
+  ASSERT_EQ(Insts.size(), WorkerIndex);
+  Insts.push_back(makeSys(SysThreadExit)); // Workers exit immediately.
+
+  loader::ModuleRegistry Registry;
+  auto M = Machine::create(rawProgram(Insts), Registry);
+  ASSERT_TRUE(M.ok());
+  RunResult R = M->runNative();
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  ASSERT_EQ(R.WordLog.size(), 1u);
+  EXPECT_EQ(R.WordLog[0], 0xffffffffu);
+}
+
+TEST(Threads, EngineMatchesInterpreterWithThreads) {
+  // A threaded program with real work in each thread.
+  std::vector<Instruction> Insts;
+  uint32_t WorkerIndex = 8;
+  Insts.push_back(makeLdi(1, Base + WorkerIndex * InstructionSize));
+  Insts.push_back(makeLdi(2, 5));
+  Insts.push_back(makeSys(SysSpawn));
+  Insts.push_back(makeLdi(1, Base + WorkerIndex * InstructionSize));
+  Insts.push_back(makeLdi(2, 9));
+  Insts.push_back(makeSys(SysSpawn));
+  Insts.push_back(makeSys(SysYield));
+  Insts.push_back(makeSys(SysThreadExit));
+  ASSERT_EQ(Insts.size(), WorkerIndex);
+  // Worker(n): r3 = n*n via loop; write word; thread-exit.
+  uint32_t LoopIndex = WorkerIndex + 3;
+  Insts.push_back(makeLdi(3, 0));          // acc = 0
+  Insts.push_back(makeAlu(Opcode::Add, 4, 1, 12)); // counter = n
+  Insts.push_back(makeLdi(12, 0));
+  Insts.push_back(makeAlu(Opcode::Add, 3, 3, 1)); // loop: acc += n
+  Insts.push_back(makeAluImm(Opcode::Addi, 4, 4, 0xffffffffu));
+  Insts.push_back(makeBranch(Opcode::Bne, 4, 12,
+                             Base + LoopIndex * InstructionSize));
+  Insts.push_back(makeAlu(Opcode::Add, 1, 3, 12)); // r1 = acc
+  Insts.push_back(makeSys(SysWriteWord));
+  Insts.push_back(makeSys(SysThreadExit));
+  Insts.push_back(makeHalt());
+
+  loader::ModuleRegistry Registry;
+  auto Program = rawProgram(Insts);
+  auto MNative = Machine::create(Program, Registry);
+  ASSERT_TRUE(MNative.ok());
+  RunResult Native = MNative->runNative();
+  ASSERT_TRUE(Native.ok()) << Native.Error.toString();
+  // 5*5 and 9*9 computed concurrently.
+  ASSERT_EQ(Native.WordLog.size(), 2u);
+  EXPECT_EQ(Native.WordLog[0] + Native.WordLog[1], 25u + 81u);
+
+  auto MEngine = Machine::create(Program, Registry);
+  ASSERT_TRUE(MEngine.ok());
+  dbi::Engine Engine(*MEngine, nullptr);
+  RunResult Translated = Engine.run();
+  ASSERT_TRUE(Translated.ok()) << Translated.Error.toString();
+  EXPECT_TRUE(Native.observablyEquals(Translated));
+}
+
+TEST(Threads, PersistenceWorksForThreadedGuests) {
+  std::vector<Instruction> Insts;
+  uint32_t WorkerIndex = 5;
+  Insts.push_back(makeLdi(1, Base + WorkerIndex * InstructionSize));
+  Insts.push_back(makeLdi(2, 'T'));
+  Insts.push_back(makeSys(SysSpawn));
+  Insts.push_back(makeSys(SysThreadExit));
+  Insts.push_back(makeHalt());
+  std::vector<Instruction> Worker = workerBody(4);
+  Insts.insert(Insts.end(), Worker.begin(), Worker.end());
+  auto Program = rawProgram(Insts);
+  loader::ModuleRegistry Registry;
+
+  tests::TempDir Dir;
+  persist::CacheDatabase Db(Dir.path());
+  auto run = [&] {
+    auto M = Machine::create(Program, Registry);
+    EXPECT_TRUE(M.ok());
+    auto R = persist::runWithPersistence(*M, nullptr,
+                                         dbi::EngineOptions(), Db);
+    EXPECT_TRUE(R.ok());
+    return R.take();
+  };
+  auto Cold = run();
+  auto Warm = run();
+  EXPECT_EQ(Warm.Stats.TracesCompiled, 0u);
+  EXPECT_TRUE(Cold.Run.observablyEquals(Warm.Run));
+  EXPECT_EQ(Warm.Run.Output, "TTTT");
+}

@@ -1,0 +1,308 @@
+//===- tests/vm_test.cpp - CPU semantics and interpreter tests ------------===//
+
+#include "vm/Exec.h"
+#include "vm/Interpreter.h"
+#include "vm/Machine.h"
+
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace pcc;
+using namespace pcc::isa;
+using namespace pcc::vm;
+
+namespace {
+
+/// Executes a single instruction against a fresh CPU with a small mapped
+/// memory window at 0x1000 and returns the step result.
+struct SingleStep {
+  CpuState Cpu;
+  loader::AddressSpace Space;
+  SyscallEnv Env;
+
+  SingleStep() {
+    EXPECT_TRUE(Space.mapRegion(0x1000, 0x2000).ok());
+    Cpu.setSp(0x3000);
+  }
+
+  ErrorOr<StepResult> step(const Instruction &Inst, uint32_t Pc = 0x1000) {
+    return executeInstruction(Inst, Pc, Cpu, Space, Env);
+  }
+};
+
+/// Builds an executable module around raw instructions and runs it
+/// natively.
+RunResult runProgram(const std::vector<Instruction> &Insts) {
+  auto Mod = std::make_shared<binary::Module>(
+      "prog", "/bin/prog", binary::ModuleKind::Executable);
+  Mod->setInstructions(Insts);
+  Mod->setBssSize(binary::PageSize);
+  loader::ModuleRegistry Registry;
+  auto M = Machine::create(Mod, Registry);
+  EXPECT_TRUE(M.ok()) << (M.ok() ? "" : M.status().toString());
+  return M->runNative();
+}
+
+} // namespace
+
+TEST(Exec, AluRegisterOps) {
+  SingleStep S;
+  S.Cpu.Regs[1] = 10;
+  S.Cpu.Regs[2] = 3;
+
+  auto check = [&](Opcode Op, uint32_t Expected) {
+    auto R = S.step(makeAlu(Op, 3, 1, 2));
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(S.Cpu.Regs[3], Expected) << opcodeName(Op);
+    EXPECT_EQ(R->Kind, StepKind::Sequential);
+    EXPECT_EQ(R->NextPc, 0x1008u);
+  };
+  check(Opcode::Add, 13);
+  check(Opcode::Sub, 7);
+  check(Opcode::Mul, 30);
+  check(Opcode::Divu, 3);
+  check(Opcode::And, 2);
+  check(Opcode::Or, 11);
+  check(Opcode::Xor, 9);
+  check(Opcode::Shl, 80);
+  check(Opcode::Shr, 1);
+  check(Opcode::Sltu, 0);
+  check(Opcode::Seq, 0);
+}
+
+TEST(Exec, DivideByZeroYieldsZero) {
+  SingleStep S;
+  S.Cpu.Regs[1] = 99;
+  S.Cpu.Regs[2] = 0;
+  ASSERT_TRUE(S.step(makeAlu(Opcode::Divu, 3, 1, 2)).ok());
+  EXPECT_EQ(S.Cpu.Regs[3], 0u);
+}
+
+TEST(Exec, AluImmediateOps) {
+  SingleStep S;
+  S.Cpu.Regs[1] = 7;
+  ASSERT_TRUE(S.step(makeAluImm(Opcode::Addi, 2, 1, 5)).ok());
+  EXPECT_EQ(S.Cpu.Regs[2], 12u);
+  ASSERT_TRUE(S.step(makeAluImm(Opcode::Muli, 2, 1, 3)).ok());
+  EXPECT_EQ(S.Cpu.Regs[2], 21u);
+  ASSERT_TRUE(S.step(makeAluImm(Opcode::Sltiu, 2, 1, 8)).ok());
+  EXPECT_EQ(S.Cpu.Regs[2], 1u);
+  // Wrap-around subtraction idiom used by generated loop code.
+  ASSERT_TRUE(S.step(makeAluImm(Opcode::Addi, 1, 1, 0xffffffffu)).ok());
+  EXPECT_EQ(S.Cpu.Regs[1], 6u);
+}
+
+TEST(Exec, ShiftAmountsMasked) {
+  SingleStep S;
+  S.Cpu.Regs[1] = 1;
+  S.Cpu.Regs[2] = 33; // 33 & 31 == 1.
+  ASSERT_TRUE(S.step(makeAlu(Opcode::Shl, 3, 1, 2)).ok());
+  EXPECT_EQ(S.Cpu.Regs[3], 2u);
+  ASSERT_TRUE(S.step(makeAluImm(Opcode::Shri, 3, 1, 32)).ok());
+  EXPECT_EQ(S.Cpu.Regs[3], 1u); // Shift by 0.
+}
+
+TEST(Exec, LoadStoreRoundTrip) {
+  SingleStep S;
+  S.Cpu.Regs[1] = 0x1800;
+  S.Cpu.Regs[2] = 0xcafebabe;
+  ASSERT_TRUE(S.step(makeStore(1, 16, 2)).ok());
+  ASSERT_TRUE(S.step(makeLoad(3, 1, 16)).ok());
+  EXPECT_EQ(S.Cpu.Regs[3], 0xcafebabeU);
+}
+
+TEST(Exec, LoadFromUnmappedFaults) {
+  SingleStep S;
+  S.Cpu.Regs[1] = 0x90000000;
+  auto R = S.step(makeLoad(3, 1, 0));
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::GuestFault);
+}
+
+TEST(Exec, BranchTakenAndNotTaken) {
+  SingleStep S;
+  S.Cpu.Regs[1] = 5;
+  S.Cpu.Regs[2] = 5;
+  auto Taken = S.step(makeBranch(Opcode::Beq, 1, 2, 0x1400));
+  ASSERT_TRUE(Taken.ok());
+  EXPECT_EQ(Taken->Kind, StepKind::Control);
+  EXPECT_EQ(Taken->NextPc, 0x1400u);
+
+  auto NotTaken = S.step(makeBranch(Opcode::Bne, 1, 2, 0x1400));
+  ASSERT_TRUE(NotTaken.ok());
+  EXPECT_EQ(NotTaken->Kind, StepKind::Sequential);
+  EXPECT_EQ(NotTaken->NextPc, 0x1008u);
+}
+
+TEST(Exec, UnsignedBranchComparisons) {
+  SingleStep S;
+  S.Cpu.Regs[1] = 0xffffffff; // Large unsigned, not -1.
+  S.Cpu.Regs[2] = 1;
+  auto R = S.step(makeBranch(Opcode::Bltu, 1, 2, 0x1400));
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->Kind, StepKind::Sequential) << "0xffffffff !< 1 unsigned";
+  auto R2 = S.step(makeBranch(Opcode::Bgeu, 1, 2, 0x1400));
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(R2->Kind, StepKind::Control);
+}
+
+TEST(Exec, CallPushesReturnAddressAndRetPops) {
+  SingleStep S;
+  uint32_t Sp = S.Cpu.sp();
+  auto CallStep = S.step(makeCall(0x1800), 0x1000);
+  ASSERT_TRUE(CallStep.ok());
+  EXPECT_EQ(CallStep->NextPc, 0x1800u);
+  EXPECT_EQ(S.Cpu.sp(), Sp - 4);
+  auto Pushed = S.Space.read32(S.Cpu.sp());
+  ASSERT_TRUE(Pushed.ok());
+  EXPECT_EQ(*Pushed, 0x1008u);
+
+  auto RetStep = S.step(makeRet(), 0x1800);
+  ASSERT_TRUE(RetStep.ok());
+  EXPECT_EQ(RetStep->NextPc, 0x1008u);
+  EXPECT_EQ(S.Cpu.sp(), Sp);
+}
+
+TEST(Exec, IndirectCallThroughRegister) {
+  SingleStep S;
+  S.Cpu.Regs[4] = 0x1900;
+  auto R = S.step(makeCallr(4), 0x1000);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->Kind, StepKind::Control);
+  EXPECT_EQ(R->NextPc, 0x1900u);
+}
+
+TEST(Exec, JumpAndJr) {
+  SingleStep S;
+  auto J = S.step(makeJmp(0x1500));
+  ASSERT_TRUE(J.ok());
+  EXPECT_EQ(J->NextPc, 0x1500u);
+  S.Cpu.Regs[6] = 0x1600;
+  auto R = S.step(makeJr(6));
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->NextPc, 0x1600u);
+}
+
+TEST(Exec, SyscallExit) {
+  SingleStep S;
+  S.Cpu.Regs[1] = 17;
+  auto R = S.step(makeSys(static_cast<uint32_t>(SyscallNumber::Exit)));
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->Kind, StepKind::Halted);
+  EXPECT_TRUE(S.Env.Exited);
+  EXPECT_EQ(S.Env.ExitCode, 17u);
+}
+
+TEST(Exec, SyscallWriteCharAndWord) {
+  SingleStep S;
+  S.Cpu.Regs[1] = 'h';
+  ASSERT_TRUE(
+      S.step(makeSys(static_cast<uint32_t>(SyscallNumber::WriteChar)))
+          .ok());
+  S.Cpu.Regs[1] = 'i';
+  ASSERT_TRUE(
+      S.step(makeSys(static_cast<uint32_t>(SyscallNumber::WriteChar)))
+          .ok());
+  S.Cpu.Regs[1] = 99;
+  auto R =
+      S.step(makeSys(static_cast<uint32_t>(SyscallNumber::WriteWord)));
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->Kind, StepKind::Syscall);
+  EXPECT_EQ(S.Env.Output, "hi");
+  EXPECT_EQ(S.Env.WordLog, (std::vector<uint32_t>{99}));
+  EXPECT_EQ(S.Env.SyscallCount, 3u);
+}
+
+TEST(Exec, UnknownSyscallTerminates) {
+  SingleStep S;
+  auto R = S.step(makeSys(999));
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->Kind, StepKind::Halted);
+  EXPECT_EQ(S.Env.ExitCode, 127u);
+}
+
+TEST(Exec, HaltStops) {
+  SingleStep S;
+  auto R = S.step(makeHalt());
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R->Kind, StepKind::Halted);
+  EXPECT_FALSE(S.Env.Exited);
+}
+
+TEST(Interpreter, RunsStraightLineProgram) {
+  RunResult R = runProgram({
+      makeLdi(1, 6),
+      makeAluImm(Opcode::Muli, 1, 1, 7),
+      makeSys(static_cast<uint32_t>(SyscallNumber::WriteWord)),
+      makeLdi(1, 3),
+      makeSys(static_cast<uint32_t>(SyscallNumber::Exit)),
+  });
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_EQ(R.ExitCode, 3u);
+  EXPECT_EQ(R.WordLog, (std::vector<uint32_t>{42}));
+  EXPECT_EQ(R.InstructionsExecuted, 5u);
+  EXPECT_EQ(R.SyscallCount, 2u);
+}
+
+TEST(Interpreter, LoopExecutesCorrectCount) {
+  // r1 = 10; loop: r2 += 2; r1 -= 1; bne r1, r0, loop.
+  constexpr uint32_t Base = 0x00400000; // Executable load base.
+  RunResult R = runProgram({
+      makeLdi(1, 10),
+      makeLdi(2, 0),
+      makeLdi(3, 0),
+      /*loop @ idx 3:*/ makeAluImm(Opcode::Addi, 2, 2, 2),
+      makeAluImm(Opcode::Addi, 1, 1, 0xffffffffu),
+      makeBranch(Opcode::Bne, 1, 3, Base + 3 * 8),
+      makeAlu(Opcode::Add, 1, 2, 3), // r1 = r2 = 20.
+      makeSys(static_cast<uint32_t>(SyscallNumber::Exit)),
+  });
+  ASSERT_TRUE(R.ok()) << R.Error.toString();
+  EXPECT_EQ(R.ExitCode, 20u);
+  // 3 setup + 10 * 3 loop + 2 tail.
+  EXPECT_EQ(R.InstructionsExecuted, 35u);
+}
+
+TEST(Interpreter, InstructionLimitEnforced) {
+  constexpr uint32_t Base = 0x00400000;
+  auto Mod = std::make_shared<binary::Module>(
+      "spin", "/bin/spin", binary::ModuleKind::Executable);
+  Mod->setInstructions({makeJmp(Base)}); // Infinite loop.
+  loader::ModuleRegistry Registry;
+  auto M = Machine::create(Mod, Registry);
+  ASSERT_TRUE(M.ok());
+  RunLimits Limits;
+  Limits.MaxInstructions = 1000;
+  RunResult R = M->runNative(Limits);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Error.code(), ErrorCode::GuestFault);
+  EXPECT_EQ(R.InstructionsExecuted, 1000u);
+}
+
+TEST(Interpreter, NativeCostModelCharges) {
+  RunResult R = runProgram({
+      makeLdi(1, 0),
+      makeSys(static_cast<uint32_t>(SyscallNumber::Exit)),
+  });
+  ASSERT_TRUE(R.ok());
+  NativeCostModel Costs;
+  EXPECT_EQ(R.Cycles, 2 * Costs.CyclesPerInstruction +
+                          1 * Costs.CyclesPerSyscall);
+}
+
+TEST(Interpreter, FaultOnJumpToUnmapped) {
+  RunResult R = runProgram({makeJmp(0x09000000)});
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Error.code(), ErrorCode::GuestFault);
+}
+
+TEST(Machine, InputRegionVisible) {
+  tests::TinyWorkload W = tests::makeTinyWorkload(2, 0);
+  auto Input = W.allSlotsInput(1);
+  auto M = workloads::makeMachine(W.Registry, W.App, Input);
+  ASSERT_TRUE(M.ok());
+  auto N = M->space().read32(Machine::InputRegionBase);
+  ASSERT_TRUE(N.ok());
+  EXPECT_EQ(*N, 2u); // Work-item count.
+}

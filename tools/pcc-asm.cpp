@@ -1,0 +1,62 @@
+//===- tools/pcc-asm.cpp - guest assembler driver -------------------------===//
+//
+// Assembles a .s source file into a serialized guest module (.mod).
+//
+//   pcc-asm input.s -o output.mod
+//
+//===----------------------------------------------------------------------===//
+
+#include "binary/Assembler.h"
+#include "support/FileSystem.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace pcc;
+
+int main(int Argc, char **Argv) {
+  const char *InputPath = nullptr;
+  const char *OutputPath = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc) {
+      OutputPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--help") == 0) {
+      std::printf("usage: pcc-asm input.s -o output.mod\n");
+      return 0;
+    } else if (!InputPath) {
+      InputPath = Argv[I];
+    } else {
+      std::fprintf(stderr, "pcc-asm: unexpected argument %s\n",
+                   Argv[I]);
+      return 2;
+    }
+  }
+  if (!InputPath || !OutputPath) {
+    std::fprintf(stderr, "usage: pcc-asm input.s -o output.mod\n");
+    return 2;
+  }
+
+  auto Source = readFile(InputPath);
+  if (!Source) {
+    std::fprintf(stderr, "pcc-asm: %s\n",
+                 Source.status().toString().c_str());
+    return 1;
+  }
+  std::string Text(Source->begin(), Source->end());
+  auto M = binary::assemble(Text);
+  if (!M) {
+    std::fprintf(stderr, "pcc-asm: %s: %s\n", InputPath,
+                 M.status().toString().c_str());
+    return 1;
+  }
+  Status S = writeFileAtomic(OutputPath, M->serialize());
+  if (!S.ok()) {
+    std::fprintf(stderr, "pcc-asm: %s\n", S.toString().c_str());
+    return 1;
+  }
+  std::printf("pcc-asm: wrote %s (%u text bytes, %zu data bytes, "
+              "%zu symbols, %zu imports)\n",
+              OutputPath, M->textSize(), M->data().size(),
+              M->symbols().size(), M->imports().size());
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- tools/pcc-dbstat.cpp - cache database maintenance -------------------===//
+//
+// Reports and maintains a persistent cache database directory.
+//
+//   pcc-dbstat DIR                  print aggregate statistics
+//   pcc-dbstat DIR --shrink-to N    evict caches until <= N bytes
+//                                   (least-accumulated first; corrupt
+//                                   files always removed)
+//   pcc-dbstat DIR --clear          delete every cache file
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/CacheDatabase.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace pcc;
+using namespace pcc::persist;
+
+int main(int Argc, char **Argv) {
+  const char *Dir = nullptr;
+  bool Clear = false;
+  bool Shrink = false;
+  uint64_t MaxBytes = 0;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--clear") == 0)
+      Clear = true;
+    else if (std::strcmp(Argv[I], "--shrink-to") == 0 && I + 1 < Argc) {
+      Shrink = true;
+      MaxBytes = std::strtoull(Argv[++I], nullptr, 0);
+    } else if (std::strcmp(Argv[I], "--help") == 0) {
+      std::printf(
+          "usage: pcc-dbstat DIR [--shrink-to BYTES | --clear]\n");
+      return 0;
+    } else if (!Dir)
+      Dir = Argv[I];
+    else {
+      std::fprintf(stderr, "pcc-dbstat: unexpected argument %s\n",
+                   Argv[I]);
+      return 2;
+    }
+  }
+  if (!Dir) {
+    std::fprintf(stderr,
+                 "usage: pcc-dbstat DIR [--shrink-to BYTES | --clear]\n");
+    return 2;
+  }
+
+  CacheDatabase Db(Dir);
+  if (Clear) {
+    Status S = Db.clear();
+    if (!S.ok()) {
+      std::fprintf(stderr, "pcc-dbstat: %s\n", S.toString().c_str());
+      return 1;
+    }
+    std::printf("cleared %s\n", Dir);
+    return 0;
+  }
+  if (Shrink) {
+    auto Removed = Db.shrinkTo(MaxBytes);
+    if (!Removed) {
+      std::fprintf(stderr, "pcc-dbstat: %s\n",
+                   Removed.status().toString().c_str());
+      return 1;
+    }
+    std::printf("evicted %u cache file(s)\n", *Removed);
+  }
+
+  auto Stats = Db.stats();
+  if (!Stats) {
+    std::fprintf(stderr, "pcc-dbstat: %s\n",
+                 Stats.status().toString().c_str());
+    return 1;
+  }
+  std::printf("cache database %s\n", Dir);
+  std::printf("  cache files   %u (%u corrupt)\n", Stats->CacheFiles,
+              Stats->CorruptFiles);
+  std::printf("  on disk       %s\n",
+              formatByteSize(Stats->DiskBytes).c_str());
+  std::printf("  traces        %llu\n",
+              (unsigned long long)Stats->Traces);
+  std::printf("  code pool     %s\n",
+              formatByteSize(Stats->CodeBytes).c_str());
+  std::printf("  data structs  %s\n",
+              formatByteSize(Stats->DataBytes).c_str());
+  return 0;
+}

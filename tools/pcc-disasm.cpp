@@ -1,0 +1,37 @@
+//===- tools/pcc-disasm.cpp - guest module disassembler --------------------===//
+//
+// Prints a serialized guest module (.mod) as annotated assembly.
+//
+//   pcc-disasm module.mod
+//
+//===----------------------------------------------------------------------===//
+
+#include "binary/Assembler.h"
+#include "support/FileSystem.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace pcc;
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2 || std::strcmp(Argv[1], "--help") == 0) {
+    std::fprintf(stderr, "usage: pcc-disasm module.mod\n");
+    return Argc == 2 ? 0 : 2;
+  }
+  auto Bytes = readFile(Argv[1]);
+  if (!Bytes) {
+    std::fprintf(stderr, "pcc-disasm: %s\n",
+                 Bytes.status().toString().c_str());
+    return 1;
+  }
+  auto M = binary::Module::deserialize(*Bytes);
+  if (!M) {
+    std::fprintf(stderr, "pcc-disasm: %s: %s\n", Argv[1],
+                 M.status().toString().c_str());
+    return 1;
+  }
+  std::string Text = binary::disassembleModule(*M);
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+  return 0;
+}

@@ -1,0 +1,317 @@
+//===- tools/pccrun.cpp - run guest programs under the engine --------------===//
+//
+// The front-end driver: loads a serialized guest executable (plus
+// libraries), and runs it natively, under dynamic binary translation,
+// or under translation with persistent code caching — with any of the
+// canned instrumentation tools.
+//
+//   pccrun [options] app.mod
+//     --lib FILE           register a library module (repeatable)
+//     --mode MODE          native | engine | persist   (default engine)
+//     --tool TOOL          none | bbcount | memtrace | icount
+//     --db DIR             cache database directory (persist mode;
+//                          default ./pcc-cache)
+//     --work S:I[,S:I...]  work-list input: run slot S for I iterations
+//     --inter-app          allow priming from another app's cache
+//     --pic                position-independent translations
+//     --read-only          do not write the cache back
+//     --aslr SEED          randomized library bases
+//     --stats              print the engine cycle breakdown
+//     --disasm             print the app module and exit
+//
+//===----------------------------------------------------------------------===//
+
+#include "binary/Assembler.h"
+#include "persist/Session.h"
+#include "support/FileSystem.h"
+#include "support/StringUtils.h"
+#include "workloads/Codegen.h"
+#include "workloads/Runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace pcc;
+
+namespace {
+
+int usage(int Code) {
+  std::fprintf(
+      stderr,
+      "usage: pccrun [options] app.mod\n"
+      "  --lib FILE   --mode native|engine|persist   --tool NAME\n"
+      "  --db DIR     --work S:I,S:I   --inter-app   --pic\n"
+      "  --read-only  --aslr SEED      --stats       --disasm\n");
+  return Code;
+}
+
+ErrorOr<std::shared_ptr<binary::Module>>
+loadModule(const std::string &Path) {
+  auto Bytes = readFile(Path);
+  if (!Bytes)
+    return Bytes.status();
+  auto M = binary::Module::deserialize(*Bytes);
+  if (!M)
+    return M.status();
+  return std::make_shared<binary::Module>(M.take());
+}
+
+ErrorOr<std::vector<uint8_t>> parseWork(const std::string &Spec) {
+  std::vector<workloads::WorkItem> Items;
+  for (const std::string &Part : splitString(Spec, ',')) {
+    auto Fields = splitString(Part, ':');
+    if (Fields.size() != 2)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "bad work item: " + Part);
+    workloads::WorkItem Item;
+    Item.Slot = static_cast<uint32_t>(std::strtoul(
+        Fields[0].c_str(), nullptr, 0));
+    Item.Iterations = static_cast<uint32_t>(std::strtoul(
+        Fields[1].c_str(), nullptr, 0));
+    if (Item.Iterations == 0)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "iterations must be >= 1: " + Part);
+    Items.push_back(Item);
+  }
+  return workloads::encodeWorkload(Items);
+}
+
+void printStats(const dbi::EngineStats &S) {
+  auto line = [&](const char *Name, uint64_t Cycles) {
+    std::printf("  %-22s %12llu cycles (%5.1f%%)\n", Name,
+                (unsigned long long)Cycles,
+                100.0 * static_cast<double>(Cycles) /
+                    static_cast<double>(S.totalCycles()));
+  };
+  std::printf("engine cycle breakdown:\n");
+  line("translation", S.CompileCycles);
+  line("dispatch", S.DispatchCycles);
+  line("linking", S.LinkCycles);
+  line("persistence", S.PersistCycles);
+  line("translated exec", S.ExecCycles);
+  line("tool analysis", S.ToolCycles);
+  line("indirect lookups", S.IndirectCycles);
+  line("syscall emulation", S.EmulationCycles);
+  std::printf("  traces: %llu compiled, %llu from cache, %llu "
+              "executions, %llu links, %llu flushes\n",
+              (unsigned long long)S.TracesCompiled,
+              (unsigned long long)S.TracesLoadedFromCache,
+              (unsigned long long)S.TraceExecutions,
+              (unsigned long long)S.LinksCreated,
+              (unsigned long long)S.CacheFlushes);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string AppPath;
+  std::vector<std::string> LibPaths;
+  std::string Mode = "engine";
+  std::string ToolName = "none";
+  std::string DbDir = "pcc-cache";
+  std::string WorkSpec;
+  bool InterApp = false, Pic = false, ReadOnly = false;
+  bool Stats = false, Disasm = false;
+  uint64_t AslrSeed = 0;
+  bool Randomized = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--help")
+      return usage(0);
+    if (Arg == "--lib") {
+      if (const char *V = next())
+        LibPaths.push_back(V);
+      else
+        return usage(2);
+    } else if (Arg == "--mode") {
+      if (const char *V = next())
+        Mode = V;
+      else
+        return usage(2);
+    } else if (Arg == "--tool") {
+      if (const char *V = next())
+        ToolName = V;
+      else
+        return usage(2);
+    } else if (Arg == "--db") {
+      if (const char *V = next())
+        DbDir = V;
+      else
+        return usage(2);
+    } else if (Arg == "--work") {
+      if (const char *V = next())
+        WorkSpec = V;
+      else
+        return usage(2);
+    } else if (Arg == "--aslr") {
+      if (const char *V = next()) {
+        AslrSeed = std::strtoull(V, nullptr, 0);
+        Randomized = true;
+      } else
+        return usage(2);
+    } else if (Arg == "--inter-app")
+      InterApp = true;
+    else if (Arg == "--pic")
+      Pic = true;
+    else if (Arg == "--read-only")
+      ReadOnly = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg == "--disasm")
+      Disasm = true;
+    else if (!Arg.empty() && Arg[0] == '-')
+      return usage(2);
+    else if (AppPath.empty())
+      AppPath = Arg;
+    else
+      return usage(2);
+  }
+  if (AppPath.empty())
+    return usage(2);
+
+  auto App = loadModule(AppPath);
+  if (!App) {
+    std::fprintf(stderr, "pccrun: %s: %s\n", AppPath.c_str(),
+                 App.status().toString().c_str());
+    return 1;
+  }
+  if (Disasm) {
+    std::string Text = binary::disassembleModule(**App);
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+    return 0;
+  }
+
+  loader::ModuleRegistry Registry;
+  for (const std::string &LibPath : LibPaths) {
+    auto Lib = loadModule(LibPath);
+    if (!Lib) {
+      std::fprintf(stderr, "pccrun: %s: %s\n", LibPath.c_str(),
+                   Lib.status().toString().c_str());
+      return 1;
+    }
+    Registry.add(*Lib);
+  }
+
+  std::vector<uint8_t> Input;
+  if (!WorkSpec.empty()) {
+    auto Parsed = parseWork(WorkSpec);
+    if (!Parsed) {
+      std::fprintf(stderr, "pccrun: %s\n",
+                   Parsed.status().toString().c_str());
+      return 1;
+    }
+    Input = Parsed.take();
+  }
+
+  std::unique_ptr<dbi::Tool> Tool;
+  if (ToolName == "bbcount")
+    Tool = std::make_unique<dbi::BasicBlockCounterTool>();
+  else if (ToolName == "memtrace")
+    Tool = std::make_unique<dbi::MemRefTraceTool>();
+  else if (ToolName == "icount")
+    Tool = std::make_unique<dbi::InstructionCounterTool>();
+  else if (ToolName != "none") {
+    std::fprintf(stderr, "pccrun: unknown tool %s\n",
+                 ToolName.c_str());
+    return 2;
+  }
+
+  loader::BasePolicy Policy = Randomized
+                                  ? loader::BasePolicy::Randomized
+                                  : loader::BasePolicy::Fixed;
+
+  vm::RunResult Run;
+  dbi::EngineStats EngineStats;
+  bool HaveStats = false;
+
+  if (Mode == "native") {
+    auto R = workloads::runNative(Registry, *App, Input);
+    if (!R) {
+      std::fprintf(stderr, "pccrun: %s\n",
+                   R.status().toString().c_str());
+      return 1;
+    }
+    Run = R.take();
+  } else if (Mode == "engine") {
+    auto R = workloads::runUnderEngine(Registry, *App, Input,
+                                       Tool.get(),
+                                       dbi::EngineOptions(), Policy,
+                                       AslrSeed);
+    if (!R) {
+      std::fprintf(stderr, "pccrun: %s\n",
+                   R.status().toString().c_str());
+      return 1;
+    }
+    Run = R->Run;
+    EngineStats = R->Stats;
+    HaveStats = true;
+  } else if (Mode == "persist") {
+    persist::CacheDatabase Db(DbDir);
+    persist::PersistOptions Opts;
+    Opts.InterApplication = InterApp;
+    Opts.PositionIndependent = Pic;
+    Opts.WriteBack = !ReadOnly;
+    auto R = workloads::runPersistent(Registry, *App, Input, Db, Opts,
+                                      Tool.get(), dbi::EngineOptions(),
+                                      Policy, AslrSeed);
+    if (!R) {
+      std::fprintf(stderr, "pccrun: %s\n",
+                   R.status().toString().c_str());
+      return 1;
+    }
+    std::printf("persistent cache: %s%s\n",
+                R->Prime.CacheFound ? "found " : "not found",
+                R->Prime.CacheFound
+                    ? formatString("(%u traces installed, %u skipped, "
+                                   "%u modules invalidated)",
+                                   R->Prime.TracesInstalled,
+                                   R->Prime.TracesSkipped,
+                                   R->Prime.ModulesInvalidated)
+                          .c_str()
+                    : "");
+    Run = R->Run;
+    EngineStats = R->Stats;
+    HaveStats = true;
+  } else {
+    return usage(2);
+  }
+
+  if (!Run.Output.empty())
+    std::printf("guest output: %s\n", Run.Output.c_str());
+  for (uint32_t Word : Run.WordLog)
+    std::printf("guest word: %u (0x%x)\n", Word, Word);
+  std::printf("exit code %u; %llu instructions, %llu syscalls, "
+              "%llu cycles\n",
+              Run.ExitCode,
+              (unsigned long long)Run.InstructionsExecuted,
+              (unsigned long long)Run.SyscallCount,
+              (unsigned long long)Run.Cycles);
+  if (Stats && HaveStats)
+    printStats(EngineStats);
+
+  // The tool's concrete type is known from its name (no RTTI).
+  if (ToolName == "bbcount") {
+    auto *Bb = static_cast<dbi::BasicBlockCounterTool *>(Tool.get());
+    std::printf("bbcount: %llu blocks over %zu sites\n",
+                (unsigned long long)Bb->totalBlocks(),
+                Bb->counts().size());
+  } else if (ToolName == "memtrace") {
+    auto *Mem = static_cast<dbi::MemRefTraceTool *>(Tool.get());
+    std::printf("memtrace: %llu loads, %llu stores, checksum %016llx\n",
+                (unsigned long long)Mem->loadCount(),
+                (unsigned long long)Mem->storeCount(),
+                (unsigned long long)Mem->checksum());
+  } else if (ToolName == "icount") {
+    auto *Ic = static_cast<dbi::InstructionCounterTool *>(Tool.get());
+    std::printf("icount: %llu instructions\n",
+                (unsigned long long)Ic->count());
+  }
+  return static_cast<int>(Run.ExitCode);
+}
