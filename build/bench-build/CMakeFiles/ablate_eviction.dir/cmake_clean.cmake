@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_eviction"
+  "../bench/ablate_eviction.pdb"
+  "CMakeFiles/ablate_eviction.dir/ablate_eviction.cpp.o"
+  "CMakeFiles/ablate_eviction.dir/ablate_eviction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_linking"
+  "../bench/ablate_linking.pdb"
+  "CMakeFiles/ablate_linking.dir/ablate_linking.cpp.o"
+  "CMakeFiles/ablate_linking.dir/ablate_linking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_pic"
+  "../bench/ablate_pic.pdb"
+  "CMakeFiles/ablate_pic.dir/ablate_pic.cpp.o"
+  "CMakeFiles/ablate_pic.dir/ablate_pic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

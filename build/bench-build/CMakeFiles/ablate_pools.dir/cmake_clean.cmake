@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_pools"
+  "../bench/ablate_pools.pdb"
+  "CMakeFiles/ablate_pools.dir/ablate_pools.cpp.o"
+  "CMakeFiles/ablate_pools.dir/ablate_pools.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

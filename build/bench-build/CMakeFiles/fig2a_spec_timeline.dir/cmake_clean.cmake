@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2a_spec_timeline"
+  "../bench/fig2a_spec_timeline.pdb"
+  "CMakeFiles/fig2a_spec_timeline.dir/fig2a_spec_timeline.cpp.o"
+  "CMakeFiles/fig2a_spec_timeline.dir/fig2a_spec_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_spec_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2b_gui_startup"
+  "../bench/fig2b_gui_startup.pdb"
+  "CMakeFiles/fig2b_gui_startup.dir/fig2b_gui_startup.cpp.o"
+  "CMakeFiles/fig2b_gui_startup.dir/fig2b_gui_startup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_gui_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_code_invariance"
+  "../bench/fig4_code_invariance.pdb"
+  "CMakeFiles/fig4_code_invariance.dir/fig4_code_invariance.cpp.o"
+  "CMakeFiles/fig4_code_invariance.dir/fig4_code_invariance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_code_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5a_same_input"
+  "../bench/fig5a_same_input.pdb"
+  "CMakeFiles/fig5a_same_input.dir/fig5a_same_input.cpp.o"
+  "CMakeFiles/fig5a_same_input.dir/fig5a_same_input.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_same_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b_overhead_breakdown"
+  "../bench/fig5b_overhead_breakdown.pdb"
+  "CMakeFiles/fig5b_overhead_breakdown.dir/fig5b_overhead_breakdown.cpp.o"
+  "CMakeFiles/fig5b_overhead_breakdown.dir/fig5b_overhead_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_overhead_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

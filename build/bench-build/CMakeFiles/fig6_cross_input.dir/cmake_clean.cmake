@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cross_input"
+  "../bench/fig6_cross_input.pdb"
+  "CMakeFiles/fig6_cross_input.dir/fig6_cross_input.cpp.o"
+  "CMakeFiles/fig6_cross_input.dir/fig6_cross_input.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cross_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_accumulation"
+  "../bench/fig7_accumulation.pdb"
+  "CMakeFiles/fig7_accumulation.dir/fig7_accumulation.cpp.o"
+  "CMakeFiles/fig7_accumulation.dir/fig7_accumulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_accumulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_interapp"
+  "../bench/fig8_interapp.pdb"
+  "CMakeFiles/fig8_interapp.dir/fig8_interapp.cpp.o"
+  "CMakeFiles/fig8_interapp.dir/fig8_interapp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_interapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_cache_sizes"
+  "../bench/fig9_cache_sizes.pdb"
+  "CMakeFiles/fig9_cache_sizes.dir/fig9_cache_sizes.cpp.o"
+  "CMakeFiles/fig9_cache_sizes.dir/fig9_cache_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cache_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_gui_libcode"
+  "../bench/table1_gui_libcode.pdb"
+  "CMakeFiles/table1_gui_libcode.dir/table1_gui_libcode.cpp.o"
+  "CMakeFiles/table1_gui_libcode.dir/table1_gui_libcode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_gui_libcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_gui_common_libs.cpp" "bench-build/CMakeFiles/table2_gui_common_libs.dir/table2_gui_common_libs.cpp.o" "gcc" "bench-build/CMakeFiles/table2_gui_common_libs.dir/table2_gui_common_libs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pcc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/pcc_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbi/CMakeFiles/pcc_dbi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/pcc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/pcc_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/pcc_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pcc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_gui_common_libs"
+  "../bench/table2_gui_common_libs.pdb"
+  "CMakeFiles/table2_gui_common_libs.dir/table2_gui_common_libs.cpp.o"
+  "CMakeFiles/table2_gui_common_libs.dir/table2_gui_common_libs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_gui_common_libs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

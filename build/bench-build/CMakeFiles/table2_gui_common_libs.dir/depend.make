@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_gui_common_libs.
+# This may be replaced when dependencies are built.

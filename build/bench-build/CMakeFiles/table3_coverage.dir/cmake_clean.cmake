@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_coverage"
+  "../bench/table3_coverage.pdb"
+  "CMakeFiles/table3_coverage.dir/table3_coverage.cpp.o"
+  "CMakeFiles/table3_coverage.dir/table3_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_gui_libcoverage"
+  "../bench/table4_gui_libcoverage.pdb"
+  "CMakeFiles/table4_gui_libcoverage.dir/table4_gui_libcoverage.cpp.o"
+  "CMakeFiles/table4_gui_libcoverage.dir/table4_gui_libcoverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_gui_libcoverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_desktop.dir/shared_desktop.cpp.o"
+  "CMakeFiles/shared_desktop.dir/shared_desktop.cpp.o.d"
+  "shared_desktop"
+  "shared_desktop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_desktop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

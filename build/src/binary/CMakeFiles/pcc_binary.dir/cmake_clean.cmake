@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_binary.dir/Assembler.cpp.o"
+  "CMakeFiles/pcc_binary.dir/Assembler.cpp.o.d"
+  "CMakeFiles/pcc_binary.dir/Module.cpp.o"
+  "CMakeFiles/pcc_binary.dir/Module.cpp.o.d"
+  "libpcc_binary.a"
+  "libpcc_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

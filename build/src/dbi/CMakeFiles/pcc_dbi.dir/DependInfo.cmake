@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbi/CodeCache.cpp" "src/dbi/CMakeFiles/pcc_dbi.dir/CodeCache.cpp.o" "gcc" "src/dbi/CMakeFiles/pcc_dbi.dir/CodeCache.cpp.o.d"
+  "/root/repo/src/dbi/Compiler.cpp" "src/dbi/CMakeFiles/pcc_dbi.dir/Compiler.cpp.o" "gcc" "src/dbi/CMakeFiles/pcc_dbi.dir/Compiler.cpp.o.d"
+  "/root/repo/src/dbi/Engine.cpp" "src/dbi/CMakeFiles/pcc_dbi.dir/Engine.cpp.o" "gcc" "src/dbi/CMakeFiles/pcc_dbi.dir/Engine.cpp.o.d"
+  "/root/repo/src/dbi/Tool.cpp" "src/dbi/CMakeFiles/pcc_dbi.dir/Tool.cpp.o" "gcc" "src/dbi/CMakeFiles/pcc_dbi.dir/Tool.cpp.o.d"
+  "/root/repo/src/dbi/Trace.cpp" "src/dbi/CMakeFiles/pcc_dbi.dir/Trace.cpp.o" "gcc" "src/dbi/CMakeFiles/pcc_dbi.dir/Trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/pcc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/pcc_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/pcc_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pcc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

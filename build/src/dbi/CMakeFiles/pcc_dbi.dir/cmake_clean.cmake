@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_dbi.dir/CodeCache.cpp.o"
+  "CMakeFiles/pcc_dbi.dir/CodeCache.cpp.o.d"
+  "CMakeFiles/pcc_dbi.dir/Compiler.cpp.o"
+  "CMakeFiles/pcc_dbi.dir/Compiler.cpp.o.d"
+  "CMakeFiles/pcc_dbi.dir/Engine.cpp.o"
+  "CMakeFiles/pcc_dbi.dir/Engine.cpp.o.d"
+  "CMakeFiles/pcc_dbi.dir/Tool.cpp.o"
+  "CMakeFiles/pcc_dbi.dir/Tool.cpp.o.d"
+  "CMakeFiles/pcc_dbi.dir/Trace.cpp.o"
+  "CMakeFiles/pcc_dbi.dir/Trace.cpp.o.d"
+  "libpcc_dbi.a"
+  "libpcc_dbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_dbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

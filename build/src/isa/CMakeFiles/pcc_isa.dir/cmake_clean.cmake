@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_isa.dir/Instruction.cpp.o"
+  "CMakeFiles/pcc_isa.dir/Instruction.cpp.o.d"
+  "CMakeFiles/pcc_isa.dir/Opcode.cpp.o"
+  "CMakeFiles/pcc_isa.dir/Opcode.cpp.o.d"
+  "libpcc_isa.a"
+  "libpcc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loader/AddressSpace.cpp" "src/loader/CMakeFiles/pcc_loader.dir/AddressSpace.cpp.o" "gcc" "src/loader/CMakeFiles/pcc_loader.dir/AddressSpace.cpp.o.d"
+  "/root/repo/src/loader/Loader.cpp" "src/loader/CMakeFiles/pcc_loader.dir/Loader.cpp.o" "gcc" "src/loader/CMakeFiles/pcc_loader.dir/Loader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/binary/CMakeFiles/pcc_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pcc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

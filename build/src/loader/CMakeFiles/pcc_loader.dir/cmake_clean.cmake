@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_loader.dir/AddressSpace.cpp.o"
+  "CMakeFiles/pcc_loader.dir/AddressSpace.cpp.o.d"
+  "CMakeFiles/pcc_loader.dir/Loader.cpp.o"
+  "CMakeFiles/pcc_loader.dir/Loader.cpp.o.d"
+  "libpcc_loader.a"
+  "libpcc_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_persist.dir/CacheDatabase.cpp.o"
+  "CMakeFiles/pcc_persist.dir/CacheDatabase.cpp.o.d"
+  "CMakeFiles/pcc_persist.dir/CacheFile.cpp.o"
+  "CMakeFiles/pcc_persist.dir/CacheFile.cpp.o.d"
+  "CMakeFiles/pcc_persist.dir/Key.cpp.o"
+  "CMakeFiles/pcc_persist.dir/Key.cpp.o.d"
+  "CMakeFiles/pcc_persist.dir/Session.cpp.o"
+  "CMakeFiles/pcc_persist.dir/Session.cpp.o.d"
+  "libpcc_persist.a"
+  "libpcc_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

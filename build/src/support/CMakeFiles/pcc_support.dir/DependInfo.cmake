@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/ByteStream.cpp" "src/support/CMakeFiles/pcc_support.dir/ByteStream.cpp.o" "gcc" "src/support/CMakeFiles/pcc_support.dir/ByteStream.cpp.o.d"
+  "/root/repo/src/support/Error.cpp" "src/support/CMakeFiles/pcc_support.dir/Error.cpp.o" "gcc" "src/support/CMakeFiles/pcc_support.dir/Error.cpp.o.d"
+  "/root/repo/src/support/FileSystem.cpp" "src/support/CMakeFiles/pcc_support.dir/FileSystem.cpp.o" "gcc" "src/support/CMakeFiles/pcc_support.dir/FileSystem.cpp.o.d"
+  "/root/repo/src/support/Hashing.cpp" "src/support/CMakeFiles/pcc_support.dir/Hashing.cpp.o" "gcc" "src/support/CMakeFiles/pcc_support.dir/Hashing.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "src/support/CMakeFiles/pcc_support.dir/StringUtils.cpp.o" "gcc" "src/support/CMakeFiles/pcc_support.dir/StringUtils.cpp.o.d"
+  "/root/repo/src/support/TablePrinter.cpp" "src/support/CMakeFiles/pcc_support.dir/TablePrinter.cpp.o" "gcc" "src/support/CMakeFiles/pcc_support.dir/TablePrinter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

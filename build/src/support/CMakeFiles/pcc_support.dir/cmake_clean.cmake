@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_support.dir/ByteStream.cpp.o"
+  "CMakeFiles/pcc_support.dir/ByteStream.cpp.o.d"
+  "CMakeFiles/pcc_support.dir/Error.cpp.o"
+  "CMakeFiles/pcc_support.dir/Error.cpp.o.d"
+  "CMakeFiles/pcc_support.dir/FileSystem.cpp.o"
+  "CMakeFiles/pcc_support.dir/FileSystem.cpp.o.d"
+  "CMakeFiles/pcc_support.dir/Hashing.cpp.o"
+  "CMakeFiles/pcc_support.dir/Hashing.cpp.o.d"
+  "CMakeFiles/pcc_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/pcc_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/pcc_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/pcc_support.dir/TablePrinter.cpp.o.d"
+  "libpcc_support.a"
+  "libpcc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

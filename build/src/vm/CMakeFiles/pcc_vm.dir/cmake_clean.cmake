@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_vm.dir/Exec.cpp.o"
+  "CMakeFiles/pcc_vm.dir/Exec.cpp.o.d"
+  "CMakeFiles/pcc_vm.dir/Interpreter.cpp.o"
+  "CMakeFiles/pcc_vm.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/pcc_vm.dir/Machine.cpp.o"
+  "CMakeFiles/pcc_vm.dir/Machine.cpp.o.d"
+  "libpcc_vm.a"
+  "libpcc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Codegen.cpp" "src/workloads/CMakeFiles/pcc_workloads.dir/Codegen.cpp.o" "gcc" "src/workloads/CMakeFiles/pcc_workloads.dir/Codegen.cpp.o.d"
+  "/root/repo/src/workloads/Coverage.cpp" "src/workloads/CMakeFiles/pcc_workloads.dir/Coverage.cpp.o" "gcc" "src/workloads/CMakeFiles/pcc_workloads.dir/Coverage.cpp.o.d"
+  "/root/repo/src/workloads/Gui.cpp" "src/workloads/CMakeFiles/pcc_workloads.dir/Gui.cpp.o" "gcc" "src/workloads/CMakeFiles/pcc_workloads.dir/Gui.cpp.o.d"
+  "/root/repo/src/workloads/Oracle.cpp" "src/workloads/CMakeFiles/pcc_workloads.dir/Oracle.cpp.o" "gcc" "src/workloads/CMakeFiles/pcc_workloads.dir/Oracle.cpp.o.d"
+  "/root/repo/src/workloads/Runner.cpp" "src/workloads/CMakeFiles/pcc_workloads.dir/Runner.cpp.o" "gcc" "src/workloads/CMakeFiles/pcc_workloads.dir/Runner.cpp.o.d"
+  "/root/repo/src/workloads/Spec2k.cpp" "src/workloads/CMakeFiles/pcc_workloads.dir/Spec2k.cpp.o" "gcc" "src/workloads/CMakeFiles/pcc_workloads.dir/Spec2k.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/persist/CMakeFiles/pcc_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbi/CMakeFiles/pcc_dbi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/pcc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/pcc_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/pcc_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pcc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

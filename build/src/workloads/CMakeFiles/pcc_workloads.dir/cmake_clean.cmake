@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_workloads.dir/Codegen.cpp.o"
+  "CMakeFiles/pcc_workloads.dir/Codegen.cpp.o.d"
+  "CMakeFiles/pcc_workloads.dir/Coverage.cpp.o"
+  "CMakeFiles/pcc_workloads.dir/Coverage.cpp.o.d"
+  "CMakeFiles/pcc_workloads.dir/Gui.cpp.o"
+  "CMakeFiles/pcc_workloads.dir/Gui.cpp.o.d"
+  "CMakeFiles/pcc_workloads.dir/Oracle.cpp.o"
+  "CMakeFiles/pcc_workloads.dir/Oracle.cpp.o.d"
+  "CMakeFiles/pcc_workloads.dir/Runner.cpp.o"
+  "CMakeFiles/pcc_workloads.dir/Runner.cpp.o.d"
+  "CMakeFiles/pcc_workloads.dir/Spec2k.cpp.o"
+  "CMakeFiles/pcc_workloads.dir/Spec2k.cpp.o.d"
+  "libpcc_workloads.a"
+  "libpcc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

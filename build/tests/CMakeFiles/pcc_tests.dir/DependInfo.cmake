@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assembler_test.cpp" "tests/CMakeFiles/pcc_tests.dir/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/assembler_test.cpp.o.d"
+  "/root/repo/tests/binary_loader_test.cpp" "tests/CMakeFiles/pcc_tests.dir/binary_loader_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/binary_loader_test.cpp.o.d"
+  "/root/repo/tests/dbi_test.cpp" "tests/CMakeFiles/pcc_tests.dir/dbi_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/dbi_test.cpp.o.d"
+  "/root/repo/tests/isa_test.cpp" "tests/CMakeFiles/pcc_tests.dir/isa_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/isa_test.cpp.o.d"
+  "/root/repo/tests/persist_db_test.cpp" "tests/CMakeFiles/pcc_tests.dir/persist_db_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/persist_db_test.cpp.o.d"
+  "/root/repo/tests/persist_test.cpp" "tests/CMakeFiles/pcc_tests.dir/persist_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/persist_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/pcc_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/session_edge_test.cpp" "tests/CMakeFiles/pcc_tests.dir/session_edge_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/session_edge_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/pcc_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/threads_test.cpp" "tests/CMakeFiles/pcc_tests.dir/threads_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/threads_test.cpp.o.d"
+  "/root/repo/tests/vm_test.cpp" "tests/CMakeFiles/pcc_tests.dir/vm_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/vm_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/pcc_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/pcc_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/pcc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/pcc_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbi/CMakeFiles/pcc_dbi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/pcc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/loader/CMakeFiles/pcc_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/pcc_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pcc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

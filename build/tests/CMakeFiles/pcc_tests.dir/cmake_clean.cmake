@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc_tests.dir/assembler_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/assembler_test.cpp.o.d"
+  "CMakeFiles/pcc_tests.dir/binary_loader_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/binary_loader_test.cpp.o.d"
+  "CMakeFiles/pcc_tests.dir/dbi_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/dbi_test.cpp.o.d"
+  "CMakeFiles/pcc_tests.dir/isa_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/isa_test.cpp.o.d"
+  "CMakeFiles/pcc_tests.dir/persist_db_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/persist_db_test.cpp.o.d"
+  "CMakeFiles/pcc_tests.dir/persist_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/persist_test.cpp.o.d"
+  "CMakeFiles/pcc_tests.dir/property_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/pcc_tests.dir/session_edge_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/session_edge_test.cpp.o.d"
+  "CMakeFiles/pcc_tests.dir/support_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/support_test.cpp.o.d"
+  "CMakeFiles/pcc_tests.dir/threads_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/threads_test.cpp.o.d"
+  "CMakeFiles/pcc_tests.dir/vm_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/vm_test.cpp.o.d"
+  "CMakeFiles/pcc_tests.dir/workloads_test.cpp.o"
+  "CMakeFiles/pcc_tests.dir/workloads_test.cpp.o.d"
+  "pcc_tests"
+  "pcc_tests.pdb"
+  "pcc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

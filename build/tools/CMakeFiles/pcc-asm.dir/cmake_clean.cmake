@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc-asm.dir/pcc-asm.cpp.o"
+  "CMakeFiles/pcc-asm.dir/pcc-asm.cpp.o.d"
+  "pcc-asm"
+  "pcc-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc-cacheinspect.dir/pcc-cacheinspect.cpp.o"
+  "CMakeFiles/pcc-cacheinspect.dir/pcc-cacheinspect.cpp.o.d"
+  "pcc-cacheinspect"
+  "pcc-cacheinspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc-cacheinspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

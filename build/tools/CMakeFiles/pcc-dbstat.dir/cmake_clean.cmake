@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc-dbstat.dir/pcc-dbstat.cpp.o"
+  "CMakeFiles/pcc-dbstat.dir/pcc-dbstat.cpp.o.d"
+  "pcc-dbstat"
+  "pcc-dbstat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc-dbstat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

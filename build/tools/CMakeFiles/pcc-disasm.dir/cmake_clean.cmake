@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcc-disasm.dir/pcc-disasm.cpp.o"
+  "CMakeFiles/pcc-disasm.dir/pcc-disasm.cpp.o.d"
+  "pcc-disasm"
+  "pcc-disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcc-disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

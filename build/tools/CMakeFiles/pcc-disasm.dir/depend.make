@@ -1,0 +1,2 @@
+# Empty dependencies file for pcc-disasm.
+# This may be replaced when dependencies are built.

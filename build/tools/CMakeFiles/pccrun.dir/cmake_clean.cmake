@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pccrun.dir/pccrun.cpp.o"
+  "CMakeFiles/pccrun.dir/pccrun.cpp.o.d"
+  "pccrun"
+  "pccrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pccrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
