@@ -9,8 +9,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtils.h"
 #include "dbi/Compiler.h"
 #include "dbi/Engine.h"
+#include "persist/CacheDatabase.h"
 #include "persist/CacheFile.h"
 #include "persist/Key.h"
 #include "support/Hashing.h"
@@ -149,6 +151,116 @@ void BM_CacheFileDeserialize(benchmark::State &State) {
     benchmark::DoNotOptimize(persist::CacheFile::deserialize(Bytes));
 }
 BENCHMARK(BM_CacheFileDeserialize)->Arg(128)->Arg(1024);
+
+/// A 64-file database, half of it compatible with (engine 1, tool 0),
+/// for the header-scan vs. eager-scan comparison.
+struct ScanDb {
+  bench::ScratchDir Dir{"pcc-bench-scan"};
+  persist::CacheDatabase Db{Dir.path()};
+
+  ScanDb() {
+    persist::CacheFile File = makeCacheFile(256);
+    for (uint64_t Key = 1; Key <= 64; ++Key) {
+      File.EngineHash = (Key % 2) ? 1 : 2;
+      if (!Db.store(Key, File).ok())
+        std::abort();
+    }
+  }
+};
+
+ScanDb &scanDb() {
+  static ScanDb S;
+  return S;
+}
+
+void BM_HeaderScan(benchmark::State &State) {
+  persist::CacheDatabase &Db = scanDb().Db;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Db.findCompatible(1, 0));
+  State.SetItemsProcessed(State.iterations() * 64);
+  State.SetLabel("cache files");
+}
+BENCHMARK(BM_HeaderScan);
+
+/// The same compatibility scan done the v1 way — every file fully
+/// deserialized and CRC-checked — as the baseline BM_HeaderScan is
+/// measured against.
+void BM_DatabaseEagerScan(benchmark::State &State) {
+  ScanDb &S = scanDb();
+  auto Names = listDirectory(S.Dir.path());
+  if (!Names)
+    std::abort();
+  for (auto _ : State) {
+    uint32_t Matches = 0;
+    for (const std::string &Name : *Names) {
+      auto File = S.Db.loadPath(S.Dir.path() + "/" + Name);
+      if (File && File->EngineHash == 1 && File->ToolHash == 0)
+        ++Matches;
+    }
+    benchmark::DoNotOptimize(Matches);
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+  State.SetLabel("cache files");
+}
+BENCHMARK(BM_DatabaseEagerScan);
+
+/// A large persisted application whose warm runs touch only a couple of
+/// regions: measures prime + partial execution, where lazy validation
+/// means only the executed traces' payloads are CRC-checked and decoded.
+struct PrimeFixture {
+  loader::ModuleRegistry Registry;
+  std::shared_ptr<binary::Module> App;
+  bench::ScratchDir Dir{"pcc-bench-prime"};
+  persist::CacheDatabase Db{Dir.path()};
+  std::vector<uint8_t> WarmInput;
+
+  PrimeFixture() {
+    workloads::AppDef Def;
+    Def.Name = "prime";
+    Def.Path = "/bin/prime";
+    for (uint32_t I = 0; I != 208; ++I) {
+      workloads::RegionDef Region;
+      Region.Name = "p" + std::to_string(I);
+      Region.Blocks = 32;
+      Region.InstsPerBlock = 10;
+      Region.Seed = I + 101;
+      Def.Slots.push_back(
+          workloads::FunctionSlot::local(std::move(Region)));
+    }
+    App = workloads::buildExecutable(Def);
+    std::vector<workloads::WorkItem> All;
+    for (uint32_t I = 0; I != 208; ++I)
+      All.push_back(workloads::WorkItem{I, 1});
+    bench::mustOk(workloads::runPersistent(
+                      Registry, App, workloads::encodeWorkload(All), Db),
+                  "cold run populating the prime-bench cache");
+    std::vector<workloads::WorkItem> Few;
+    for (uint32_t I = 0; I != 2; ++I)
+      Few.push_back(workloads::WorkItem{I, 1});
+    WarmInput = workloads::encodeWorkload(Few);
+  }
+};
+
+void BM_PrimeCold(benchmark::State &State) {
+  static PrimeFixture F;
+  persist::PersistOptions ReadOnly;
+  ReadOnly.WriteBack = false;
+  uint64_t Installed = 0;
+  uint64_t Materialized = 0;
+  for (auto _ : State) {
+    auto R = workloads::runPersistent(F.Registry, F.App, F.WarmInput,
+                                      F.Db, ReadOnly);
+    if (R) {
+      Installed = R->Prime.TracesInstalled;
+      Materialized = R->Stats.TracePayloadsValidated;
+    }
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel(formatString(
+      "%llu traces primed, %llu payloads validated",
+      (unsigned long long)Installed, (unsigned long long)Materialized));
+}
+BENCHMARK(BM_PrimeCold);
 
 void BM_EngineThroughput(benchmark::State &State) {
   Fixture &F = fixture();

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Runs the google-benchmark microbenchmarks and writes BENCH_micro.json
+# next to the build (same output as the bench_micro_json CMake target).
+#
+#   bench/run_micro.sh [BUILD_DIR] [extra --benchmark_* flags...]
+set -e
+BUILD="${1:-build}"
+if [ $# -gt 0 ]; then shift; fi
+exec "$BUILD/bench/micro_core" \
+  --benchmark_out="$BUILD/BENCH_micro.json" \
+  --benchmark_out_format=json "$@"

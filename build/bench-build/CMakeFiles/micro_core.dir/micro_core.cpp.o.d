@@ -1,6 +1,7 @@
 bench-build/CMakeFiles/micro_core.dir/micro_core.cpp.o: \
  /root/repo/bench/micro_core.cpp /usr/include/stdc-predef.h \
- /root/repo/src/dbi/Compiler.h /root/repo/src/dbi/CodeCache.h \
+ /root/repo/bench/BenchUtils.h /root/repo/src/persist/Session.h \
+ /root/repo/src/dbi/Engine.h /root/repo/src/dbi/CodeCache.h \
  /root/repo/src/dbi/Trace.h /root/repo/src/isa/Instruction.h \
  /root/repo/src/isa/Opcode.h /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
@@ -209,9 +210,9 @@ bench-build/CMakeFiles/micro_core.dir/micro_core.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/dbi/CostModel.h \
- /root/repo/src/dbi/Stats.h /root/repo/src/dbi/Tool.h \
- /root/repo/src/dbi/Engine.h /root/repo/src/vm/Machine.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/dbi/Compiler.h \
+ /root/repo/src/dbi/CostModel.h /root/repo/src/dbi/Stats.h \
+ /root/repo/src/dbi/Tool.h /root/repo/src/vm/Machine.h \
  /root/repo/src/loader/Loader.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
@@ -219,15 +220,17 @@ bench-build/CMakeFiles/micro_core.dir/micro_core.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/vm/Cpu.h \
  /root/repo/src/vm/Interpreter.h /root/repo/src/vm/Exec.h \
+ /root/repo/src/persist/CacheDatabase.h \
  /root/repo/src/persist/CacheFile.h /root/repo/src/persist/Key.h \
  /root/repo/src/support/ByteStream.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/support/Hashing.h /usr/include/c++/12/cstddef \
- /root/repo/src/workloads/Codegen.h /root/repo/src/workloads/Runner.h \
- /root/repo/src/persist/Session.h /root/repo/src/persist/CacheDatabase.h \
+ /root/repo/src/persist/CacheView.h /root/repo/src/support/FileSystem.h \
+ /root/repo/src/support/StringUtils.h \
+ /root/repo/src/support/TablePrinter.h /root/repo/src/workloads/Runner.h \
  /root/repo/src/workloads/Coverage.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/support/Hashing.h \
+ /usr/include/c++/12/cstddef /root/repo/src/workloads/Codegen.h \
  /usr/include/benchmark/benchmark.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

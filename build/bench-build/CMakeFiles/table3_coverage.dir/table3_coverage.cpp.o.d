@@ -224,7 +224,8 @@ bench-build/CMakeFiles/table3_coverage.dir/table3_coverage.cpp.o: \
  /root/repo/src/persist/CacheFile.h /root/repo/src/persist/Key.h \
  /root/repo/src/support/ByteStream.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/support/FileSystem.h /root/repo/src/support/StringUtils.h \
+ /root/repo/src/persist/CacheView.h /root/repo/src/support/FileSystem.h \
+ /root/repo/src/support/StringUtils.h \
  /root/repo/src/support/TablePrinter.h /root/repo/src/workloads/Runner.h \
  /root/repo/src/workloads/Coverage.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \

@@ -224,9 +224,9 @@ examples/CMakeFiles/shared_desktop.dir/shared_desktop.cpp.o: \
  /root/repo/src/persist/CacheFile.h /root/repo/src/persist/Key.h \
  /root/repo/src/support/ByteStream.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/support/FileSystem.h /root/repo/src/workloads/Gui.h \
- /root/repo/src/workloads/Codegen.h /root/repo/src/workloads/Coverage.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/persist/CacheView.h /root/repo/src/support/FileSystem.h \
+ /root/repo/src/workloads/Gui.h /root/repo/src/workloads/Codegen.h \
+ /root/repo/src/workloads/Coverage.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/workloads/Runner.h

@@ -219,7 +219,8 @@ src/persist/CMakeFiles/pcc_persist.dir/CacheDatabase.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/support/ByteStream.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/support/FileSystem.h /root/repo/src/support/StringUtils.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/persist/CacheView.h /root/repo/src/support/FileSystem.h \
+ /root/repo/src/support/StringUtils.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

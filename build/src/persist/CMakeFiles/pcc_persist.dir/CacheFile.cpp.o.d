@@ -220,7 +220,8 @@ src/persist/CMakeFiles/pcc_persist.dir/CacheFile.cpp.o: \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/dbi/Compiler.h /root/repo/src/dbi/CodeCache.h \
  /root/repo/src/dbi/CostModel.h /root/repo/src/dbi/Stats.h \
- /root/repo/src/dbi/Tool.h /root/repo/src/support/Hashing.h \
+ /root/repo/src/dbi/Tool.h /root/repo/src/persist/CacheView.h \
+ /root/repo/src/support/FileSystem.h /root/repo/src/support/Hashing.h \
  /usr/include/c++/12/cstddef /root/repo/src/support/StringUtils.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h

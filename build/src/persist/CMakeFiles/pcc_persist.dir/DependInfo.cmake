@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/persist/CacheDatabase.cpp" "src/persist/CMakeFiles/pcc_persist.dir/CacheDatabase.cpp.o" "gcc" "src/persist/CMakeFiles/pcc_persist.dir/CacheDatabase.cpp.o.d"
   "/root/repo/src/persist/CacheFile.cpp" "src/persist/CMakeFiles/pcc_persist.dir/CacheFile.cpp.o" "gcc" "src/persist/CMakeFiles/pcc_persist.dir/CacheFile.cpp.o.d"
+  "/root/repo/src/persist/CacheView.cpp" "src/persist/CMakeFiles/pcc_persist.dir/CacheView.cpp.o" "gcc" "src/persist/CMakeFiles/pcc_persist.dir/CacheView.cpp.o.d"
   "/root/repo/src/persist/Key.cpp" "src/persist/CMakeFiles/pcc_persist.dir/Key.cpp.o" "gcc" "src/persist/CMakeFiles/pcc_persist.dir/Key.cpp.o.d"
   "/root/repo/src/persist/Session.cpp" "src/persist/CMakeFiles/pcc_persist.dir/Session.cpp.o" "gcc" "src/persist/CMakeFiles/pcc_persist.dir/Session.cpp.o.d"
   )

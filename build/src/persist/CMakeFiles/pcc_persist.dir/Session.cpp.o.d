@@ -224,6 +224,7 @@ src/persist/CMakeFiles/pcc_persist.dir/Session.cpp.o: \
  /root/repo/src/persist/CacheFile.h /root/repo/src/persist/Key.h \
  /root/repo/src/support/ByteStream.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/support/FileSystem.h /root/repo/src/support/Hashing.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/unordered_set \
+ /root/repo/src/persist/CacheView.h /root/repo/src/support/FileSystem.h \
+ /root/repo/src/support/Hashing.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/pcc_persist.dir/CacheDatabase.cpp.o.d"
   "CMakeFiles/pcc_persist.dir/CacheFile.cpp.o"
   "CMakeFiles/pcc_persist.dir/CacheFile.cpp.o.d"
+  "CMakeFiles/pcc_persist.dir/CacheView.cpp.o"
+  "CMakeFiles/pcc_persist.dir/CacheView.cpp.o.d"
   "CMakeFiles/pcc_persist.dir/Key.cpp.o"
   "CMakeFiles/pcc_persist.dir/Key.cpp.o.d"
   "CMakeFiles/pcc_persist.dir/Session.cpp.o"

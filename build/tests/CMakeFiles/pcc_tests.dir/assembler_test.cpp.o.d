@@ -226,8 +226,9 @@ tests/CMakeFiles/pcc_tests.dir/assembler_test.cpp.o: \
  /root/repo/src/persist/CacheFile.h /root/repo/src/persist/Key.h \
  /root/repo/src/support/ByteStream.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/workloads/Coverage.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/persist/CacheView.h /root/repo/src/workloads/Coverage.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits \

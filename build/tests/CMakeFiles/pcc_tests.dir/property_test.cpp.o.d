@@ -224,11 +224,12 @@ tests/CMakeFiles/pcc_tests.dir/property_test.cpp.o: \
  /root/repo/src/dbi/CostModel.h /root/repo/src/dbi/Stats.h \
  /root/repo/src/dbi/Tool.h /root/repo/src/vm/Machine.h \
  /root/repo/src/vm/Cpu.h /root/repo/src/vm/Interpreter.h \
- /root/repo/src/vm/Exec.h /root/repo/src/support/Random.h \
- /root/repo/tests/TestUtils.h /root/repo/src/support/FileSystem.h \
- /root/repo/src/workloads/Codegen.h /root/repo/src/workloads/Runner.h \
- /root/repo/src/workloads/Coverage.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/vm/Exec.h /root/repo/src/persist/CacheView.h \
+ /root/repo/src/support/FileSystem.h /root/repo/src/support/Random.h \
+ /root/repo/tests/TestUtils.h /root/repo/src/workloads/Codegen.h \
+ /root/repo/src/workloads/Runner.h /root/repo/src/workloads/Coverage.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits \

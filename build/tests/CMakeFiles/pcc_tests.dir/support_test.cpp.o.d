@@ -230,8 +230,9 @@ tests/CMakeFiles/pcc_tests.dir/support_test.cpp.o: \
  /root/repo/src/vm/Interpreter.h /root/repo/src/vm/Exec.h \
  /root/repo/src/persist/Session.h /root/repo/src/persist/CacheDatabase.h \
  /root/repo/src/persist/CacheFile.h /root/repo/src/persist/Key.h \
- /root/repo/src/workloads/Coverage.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/persist/CacheView.h /root/repo/src/workloads/Coverage.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \

@@ -231,8 +231,8 @@ tests/CMakeFiles/pcc_tests.dir/workloads_test.cpp.o: \
  /root/repo/src/persist/CacheFile.h /root/repo/src/persist/Key.h \
  /root/repo/src/support/ByteStream.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits \
+ /root/repo/src/persist/CacheView.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/x86_64-linux-gnu/sys/stat.h \

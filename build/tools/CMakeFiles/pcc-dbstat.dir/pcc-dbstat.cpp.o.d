@@ -219,4 +219,6 @@ tools/CMakeFiles/pcc-dbstat.dir/pcc-dbstat.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/support/ByteStream.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/support/StringUtils.h
+ /root/repo/src/persist/CacheView.h /root/repo/src/support/FileSystem.h \
+ /root/repo/src/support/StringUtils.h \
+ /root/repo/src/support/TablePrinter.h

@@ -44,6 +44,11 @@ const uint8_t *CodeCache::codeAt(uint32_t Offset) const {
   return CodePool.data() + Offset;
 }
 
+uint8_t *CodeCache::mutableCodeAt(uint32_t Offset) {
+  assert(Offset <= CodePool.size() && "offset outside code pool");
+  return CodePool.data() + Offset;
+}
+
 ErrorOr<TranslatedTrace *>
 CodeCache::addTrace(std::unique_ptr<TranslatedTrace> T) {
   assert(!TranslationMap.count(T->guestStart()) &&

@@ -46,6 +46,23 @@ struct TraceExit {
   TranslatedTrace *Link = nullptr;
 };
 
+/// Deferred-validation state for a trace installed from an indexed (v2)
+/// persistent cache: the payload CRC recorded in the cache file's trace
+/// index, plus the position-independent rebase that must be applied to
+/// the raw stored bytes *after* the CRC is verified. Cleared once the
+/// trace materializes successfully.
+struct PersistedPayload {
+  uint32_t ExpectedCodeCrc = 0;
+  /// Load-address delta to rebase position-independent immediates by;
+  /// zero when no rebase is needed.
+  int64_t RebaseDelta = 0;
+  /// Per-instruction reloc bitmask (empty when RebaseDelta == 0).
+  std::vector<uint8_t> RelocMask;
+  /// Index of this trace in the source cache file's trace index, so
+  /// finalize() can harvest unexecuted traces without decoding them.
+  uint32_t SourceTraceIndex = 0;
+};
+
 /// A compiled trace resident in the code cache.
 class TranslatedTrace {
 public:
@@ -81,6 +98,15 @@ public:
 
   /// Moves the trace's code within the pool (cache compaction).
   void relocateInPool(uint32_t NewOffset) { PoolOffset = NewOffset; }
+
+  /// \name Lazy payload validation (format v2)
+  /// @{
+  void setPersistedPayload(std::unique_ptr<PersistedPayload> P) {
+    Pending = std::move(P);
+  }
+  PersistedPayload *persistedPayload() const { return Pending.get(); }
+  void clearPersistedPayload() { Pending.reset(); }
+  /// @}
 
   std::vector<TraceExit> &exits() { return Exits; }
   const std::vector<TraceExit> &exits() const { return Exits; }
@@ -121,6 +147,7 @@ private:
   std::vector<TraceExit> Exits;
   bool FromPersistentCache;
   bool Materialized = false;
+  std::unique_ptr<PersistedPayload> Pending;
   std::vector<isa::Instruction> Body;
   std::vector<std::pair<TranslatedTrace *, uint32_t>> Incoming;
   uint64_t ExecCount = 0;
@@ -147,6 +174,10 @@ public:
 
   /// Code-pool bytes starting at \p Offset (for materialization).
   const uint8_t *codeAt(uint32_t Offset) const;
+
+  /// Writable code-pool bytes at \p Offset (for in-place rebasing of
+  /// position-independent persisted code after its CRC is verified).
+  uint8_t *mutableCodeAt(uint32_t Offset);
 
   /// Registers a freshly compiled or persisted trace. Fails with
   /// OutOfMemory when the data pool is exhausted. A trace for the same

@@ -80,6 +80,9 @@ struct CostModel {
   uint64_t PersistPageTouchCycles = 900;
   /// Materializing one persisted trace's data structures.
   uint64_t PersistTraceMaterializeCycles = 60;
+  /// Checksumming one lazily validated trace payload at first execution
+  /// (format v2 defers per-trace CRC from prime to materialization).
+  uint64_t PersistTraceCrcCycles = 150;
   /// Writing the persistent cache at exit, per 4 KiB page written.
   uint64_t PersistWriteCyclesPerPage = 600;
   /// @}

@@ -55,6 +55,29 @@ Status Engine::ensureMaterialized(TranslatedTrace *T) {
     return Status::success();
   assert(T->isFromPersistentCache() &&
          "only persisted traces are unmaterialized");
+  if (PersistedPayload *P = T->persistedPayload()) {
+    // Deferred per-trace validation (cache format v2): prime() checked
+    // only the header, module table and trace index, so the payload CRC
+    // runs here, on first execution — over the raw stored bytes, before
+    // any position-independent rebase touches them.
+    Stats.PersistCycles += Opts.Costs.PersistTraceCrcCycles;
+    ++Stats.TracePayloadsValidated;
+    const uint8_t *Raw = Cache.codeAt(T->poolOffset());
+    if (crc32(Raw, T->poolBytes()) != P->ExpectedCodeCrc)
+      return Status::error(ErrorCode::InvalidFormat,
+                           "persisted trace payload checksum mismatch");
+    if (P->RebaseDelta != 0) {
+      uint8_t *Image = Cache.mutableCodeAt(T->poolOffset());
+      for (uint32_t I = 0; I != T->guestInstCount(); ++I) {
+        uint32_t Byte = I / 8;
+        if (Byte < P->RelocMask.size() &&
+            (P->RelocMask[Byte] >> (I % 8)) & 1)
+          rebaseTranslatedImmediate(Image, T->poolBytes(), I,
+                                    P->RebaseDelta);
+      }
+    }
+    T->clearPersistedPayload();
+  }
   auto Body = isa::decodeAll(
       Cache.codeAt(T->poolOffset() + TracePrologueBytes),
       T->guestInstCount());
@@ -137,6 +160,18 @@ vm::RunResult Engine::run() {
 
     Status MatStatus = ensureMaterialized(Current);
     if (!MatStatus.ok()) {
+      if (Current->isFromPersistentCache() &&
+          !Current->isMaterialized()) {
+        // Corrupt persisted payload caught at first use (lazy CRC):
+        // drop just this trace and retranslate it from guest memory.
+        // The run continues; only the damaged translation is lost.
+        Pc = Current->guestStart();
+        Cache.removeTracesInRange(Pc, 1);
+        ++Stats.TracesDroppedCorrupt;
+        Current = nullptr;
+        Pending = PendingLink();
+        continue;
+      }
       Result.Error = MatStatus;
       break;
     }

@@ -58,6 +58,10 @@ struct EngineStats {
   uint64_t CacheFlushes = 0;
   uint64_t TracesEvicted = 0;
   uint64_t ModulesInvalidated = 0;    ///< Key conflicts at load time.
+  uint64_t TracePayloadsValidated = 0; ///< Lazy per-trace CRC checks run
+                                       ///< at first materialization.
+  uint64_t TracesDroppedCorrupt = 0;   ///< Persisted traces whose payload
+                                       ///< CRC failed; retranslated.
   /// @}
 
   /// Translation-request timeline (Figure 2(a)).

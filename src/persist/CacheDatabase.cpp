@@ -2,10 +2,12 @@
 
 #include "persist/CacheDatabase.h"
 
+#include "persist/CacheView.h"
 #include "support/FileSystem.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 using namespace pcc;
@@ -59,7 +61,19 @@ CacheDatabase::findCompatible(uint64_t EngineHash,
     if (Name.size() < 4 || Name.substr(Name.size() - 4) != ".pcc")
       continue;
     std::string Path = Dir + "/" + Name;
-    auto File = loadPath(Path);
+    if (isV2CacheFile(Path)) {
+      // Header-only open: the compatibility hashes live in the first 76
+      // bytes, so the scan cost is independent of cache size.
+      auto View = CacheFileView::openFile(
+          Path, CacheFileView::Depth::HeaderOnly);
+      if (!View)
+        continue; // Unreadable/corrupt caches are not candidates.
+      if (View->engineHash() == EngineHash &&
+          View->toolHash() == ToolHash)
+        Matches.push_back(Path);
+      continue;
+    }
+    auto File = loadPath(Path); // Legacy fallback: eager deserialize.
     if (!File)
       continue; // Unreadable/corrupt caches are simply not candidates.
     if (File->EngineHash == EngineHash && File->ToolHash == ToolHash)
@@ -96,7 +110,27 @@ ErrorOr<CacheDatabase::Stats> CacheDatabase::stats() const {
   for (const std::string &Name : *Names) {
     if (!isCacheFileName(Name))
       continue;
-    auto Bytes = readFile(Dir + "/" + Name);
+    std::string Path = Dir + "/" + Name;
+    if (isV2CacheFile(Path)) {
+      // Index-deep open: trace counts and code/data totals come from
+      // the trace index; payload bytes are never read.
+      auto OnDisk = fileSize(Path);
+      if (!OnDisk)
+        continue;
+      ++Result.CacheFiles;
+      Result.DiskBytes += *OnDisk;
+      auto View =
+          CacheFileView::openFile(Path, CacheFileView::Depth::Index);
+      if (!View) {
+        ++Result.CorruptFiles;
+        continue;
+      }
+      Result.CodeBytes += View->codeBytes();
+      Result.DataBytes += View->dataBytes();
+      Result.Traces += View->numTraces();
+      continue;
+    }
+    auto Bytes = readFile(Path);
     if (!Bytes)
       continue;
     ++Result.CacheFiles;
@@ -131,15 +165,31 @@ ErrorOr<uint32_t> CacheDatabase::shrinkTo(uint64_t MaxBytes) const {
       continue;
     Entry E;
     E.Path = Dir + "/" + Name;
-    auto Bytes = readFile(E.Path);
-    if (!Bytes)
-      continue;
-    E.Size = Bytes->size();
-    auto File = CacheFile::deserialize(*Bytes);
-    if (!File)
-      E.Corrupt = true;
-    else
-      E.Generation = File->Generation;
+    if (isV2CacheFile(E.Path)) {
+      // Index-deep (still payload-free): shrinkTo must flag files with
+      // damaged module tables or trace indices as corrupt so they are
+      // deleted unconditionally, not just truncated-header ones.
+      auto OnDisk = fileSize(E.Path);
+      if (!OnDisk)
+        continue;
+      E.Size = *OnDisk;
+      auto View = CacheFileView::openFile(
+          E.Path, CacheFileView::Depth::Index);
+      if (!View)
+        E.Corrupt = true;
+      else
+        E.Generation = View->generation();
+    } else {
+      auto Bytes = readFile(E.Path);
+      if (!Bytes)
+        continue;
+      E.Size = Bytes->size();
+      auto File = CacheFile::deserialize(*Bytes);
+      if (!File)
+        E.Corrupt = true;
+      else
+        E.Generation = File->Generation;
+    }
     Total += E.Size;
     Entries.push_back(std::move(E));
   }

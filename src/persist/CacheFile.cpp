@@ -3,6 +3,7 @@
 #include "persist/CacheFile.h"
 
 #include "dbi/Compiler.h"
+#include "persist/CacheView.h"
 #include "support/Hashing.h"
 #include "support/StringUtils.h"
 
@@ -32,14 +33,114 @@ uint64_t CacheFile::dataBytes() const {
 }
 
 namespace {
-constexpr uint32_t CacheMagic = 0x31434350; // "PCC1"
-constexpr uint32_t CacheFormatVersion = 2;
+constexpr uint32_t LegacyFormatVersion = 2;
+
+/// Serialized size of one ModuleKey: u32 path length + path bytes +
+/// Base/Size + four u64 hashes.
+size_t moduleKeyBytes(const ModuleKey &Key) {
+  return 4 + Key.Path.size() + 4 + 4 + 4 * 8;
+}
+
 } // namespace
 
 std::vector<uint8_t> CacheFile::serialize() const {
+  // Exact section sizes, so one reserve() covers the whole file.
+  size_t ModuleTableSize = 0;
+  for (const ModuleKey &Key : Modules)
+    ModuleTableSize += moduleKeyBytes(Key);
+  size_t HeapSize = 0;
+  size_t PayloadBytes = 0;
+  for (const TraceRecord &Trace : Traces) {
+    HeapSize += Trace.Exits.size() * v2::ExitRecordBytes +
+                Trace.RelocMask.size();
+    PayloadBytes += Trace.Code.size();
+  }
+  size_t IndexSize = Traces.size() * v2::IndexEntryBytes + HeapSize;
+  size_t TotalSize =
+      v2::HeaderBytes + ModuleTableSize + IndexSize + PayloadBytes;
+
   ByteWriter Writer;
-  Writer.writeU32(CacheMagic);
-  Writer.writeU32(CacheFormatVersion);
+  Writer.reserve(TotalSize);
+
+  Writer.writeU32(v2::Magic);
+  Writer.writeU32(v2::Version);
+  Writer.writeU64(EngineHash);
+  Writer.writeU64(ToolHash);
+  Writer.writeU8(SpecBits);
+  Writer.writeU8(PositionIndependent ? 1 : 0);
+  Writer.writeU16(0); // Reserved0.
+  Writer.writeU32(Generation);
+  Writer.writeU32(static_cast<uint32_t>(Modules.size()));
+  Writer.writeU32(static_cast<uint32_t>(Traces.size()));
+  uint32_t ModuleTableOffset = static_cast<uint32_t>(v2::HeaderBytes);
+  uint32_t TraceIndexOffset =
+      ModuleTableOffset + static_cast<uint32_t>(ModuleTableSize);
+  uint32_t PayloadOffset =
+      TraceIndexOffset + static_cast<uint32_t>(IndexSize);
+  Writer.writeU32(ModuleTableOffset);
+  Writer.writeU32(static_cast<uint32_t>(ModuleTableSize));
+  Writer.writeU32(TraceIndexOffset);
+  Writer.writeU32(static_cast<uint32_t>(IndexSize));
+  Writer.writeU32(PayloadOffset);
+  Writer.writeU32(static_cast<uint32_t>(PayloadBytes));
+  size_t CrcFieldsAt = Writer.size();
+  Writer.writeU32(0); // ModuleTableCrc, patched below.
+  Writer.writeU32(0); // TraceIndexCrc, patched below.
+  Writer.writeU32(0); // HeaderCrc, patched below.
+  assert(Writer.size() == v2::HeaderBytes && "v2 header layout drifted");
+
+  for (const ModuleKey &Key : Modules)
+    Key.serialize(Writer);
+  assert(Writer.size() == TraceIndexOffset && "module table size drifted");
+
+  // Index entries first, then the metadata heap they point into.
+  uint32_t MetaOffset =
+      static_cast<uint32_t>(Traces.size() * v2::IndexEntryBytes);
+  uint32_t CodeOffset = 0;
+  for (const TraceRecord &Trace : Traces) {
+    Writer.writeU32(Trace.GuestStart);
+    Writer.writeU32(Trace.ModuleIndex);
+    Writer.writeU32(Trace.GuestInstCount);
+    Writer.writeU32(CodeOffset);
+    Writer.writeU32(static_cast<uint32_t>(Trace.Code.size()));
+    Writer.writeU32(crc32(Trace.Code.data(), Trace.Code.size()));
+    Writer.writeU32(MetaOffset);
+    Writer.writeU32(static_cast<uint32_t>(Trace.Exits.size()));
+    Writer.writeU32(static_cast<uint32_t>(Trace.RelocMask.size()));
+    Writer.writeU32(0); // Reserved.
+    CodeOffset += static_cast<uint32_t>(Trace.Code.size());
+    MetaOffset += static_cast<uint32_t>(
+        Trace.Exits.size() * v2::ExitRecordBytes + Trace.RelocMask.size());
+  }
+  for (const TraceRecord &Trace : Traces) {
+    for (const ExitRecord &Exit : Trace.Exits) {
+      Writer.writeU8(Exit.Kind);
+      Writer.writeU32(Exit.InstIndex);
+      Writer.writeU32(Exit.Target);
+      Writer.writeU32(Exit.LinkedStart);
+    }
+    Writer.writeBytes(Trace.RelocMask.data(), Trace.RelocMask.size());
+  }
+  assert(Writer.size() == PayloadOffset && "trace index size drifted");
+
+  for (const TraceRecord &Trace : Traces)
+    Writer.writeBytes(Trace.Code.data(), Trace.Code.size());
+  assert(Writer.size() == TotalSize && "payload size drifted");
+
+  const uint8_t *Raw = Writer.bytes().data();
+  Writer.patchU32(CrcFieldsAt,
+                  crc32(Raw + ModuleTableOffset, ModuleTableSize));
+  Writer.patchU32(CrcFieldsAt + 4,
+                  crc32(Raw + TraceIndexOffset, IndexSize));
+  // Header CRC covers everything before itself, section CRCs included.
+  Writer.patchU32(CrcFieldsAt + 8, crc32(Raw, v2::HeaderBytes - 4));
+  return Writer.take();
+}
+
+std::vector<uint8_t> CacheFile::serializeLegacy() const {
+  ByteWriter Writer;
+  Writer.writeU32(LegacyCacheMagic);
+  Writer.writeU32(LegacyFormatVersion);
   Writer.writeU64(EngineHash);
   Writer.writeU64(ToolHash);
   Writer.writeU8(SpecBits);
@@ -71,8 +172,10 @@ std::vector<uint8_t> CacheFile::serialize() const {
   return Writer.take();
 }
 
-ErrorOr<CacheFile> CacheFile::deserialize(
-    const std::vector<uint8_t> &Bytes) {
+namespace {
+
+/// Eager v1 parse: whole-file trailing CRC, then field-by-field decode.
+ErrorOr<CacheFile> deserializeLegacy(const std::vector<uint8_t> &Bytes) {
   if (Bytes.size() < 4)
     return Status::error(ErrorCode::InvalidFormat,
                          "cache file too small");
@@ -86,13 +189,14 @@ ErrorOr<CacheFile> CacheFile::deserialize(
                          "cache file checksum mismatch");
 
   ByteReader Reader(Bytes.data(), PayloadSize);
-  if (Reader.readU32() != CacheMagic)
+  if (Reader.readU32() != LegacyCacheMagic)
     return Status::error(ErrorCode::InvalidFormat, "bad cache magic");
-  if (Reader.readU32() != CacheFormatVersion)
+  if (Reader.readU32() != LegacyFormatVersion)
     return Status::error(ErrorCode::VersionMismatch,
                          "unsupported cache format version");
 
   CacheFile File;
+  File.SourceFormat = 1;
   File.EngineHash = Reader.readU64();
   File.ToolHash = Reader.readU64();
   File.SpecBits = Reader.readU8();
@@ -129,6 +233,42 @@ ErrorOr<CacheFile> CacheFile::deserialize(
   if (Reader.failed() || !Reader.atEnd())
     return Status::error(ErrorCode::InvalidFormat,
                          "truncated or oversized cache payload");
+  return File;
+}
+
+} // namespace
+
+ErrorOr<CacheFile> CacheFile::deserialize(
+    const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() < 4)
+    return Status::error(ErrorCode::InvalidFormat,
+                         "cache file too small");
+  uint32_t Magic = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    Magic |= static_cast<uint32_t>(Bytes[I]) << (8 * I);
+  if (Magic == LegacyCacheMagic)
+    return deserializeLegacy(Bytes);
+
+  auto View = CacheFileView::open(Bytes, CacheFileView::Depth::Index);
+  if (!View)
+    return View.status();
+  CacheFile File;
+  File.SourceFormat = 2;
+  File.EngineHash = View->engineHash();
+  File.ToolHash = View->toolHash();
+  File.SpecBits = View->specBits();
+  File.PositionIndependent = View->positionIndependent();
+  File.Generation = View->generation();
+  File.Modules = View->modules();
+  File.Traces.reserve(View->numTraces());
+  for (uint32_t I = 0; I != View->numTraces(); ++I) {
+    // The eager path checks every payload CRC up front, matching the v1
+    // contract callers of deserialize() rely on.
+    auto Rec = View->record(I);
+    if (!Rec)
+      return Rec.status();
+    File.Traces.push_back(Rec.take());
+  }
   return File;
 }
 

@@ -84,6 +84,9 @@ struct CacheFile {
   std::vector<TraceRecord> Traces;
   /// Accumulation generation: how many runs contributed to this cache.
   uint32_t Generation = 1;
+  /// On-disk format the file was deserialized from (1 = legacy eager,
+  /// 2 = indexed). Not serialized; serialize() always emits v2.
+  uint32_t SourceFormat = 2;
 
   /// Total translated-code bytes (the code half of Figure 9).
   uint64_t codeBytes() const;
@@ -91,9 +94,19 @@ struct CacheFile {
   /// same footprint formula as the resident cache.
   uint64_t dataBytes() const;
 
-  /// Serializes with a trailing CRC32.
+  /// Serializes in the indexed v2 format (header + module table + trace
+  /// index + payload, with per-section and per-trace CRCs). The output
+  /// buffer is reserved from a computed exact size, so appending never
+  /// reallocates.
   std::vector<uint8_t> serialize() const;
-  /// Deserializes, validating magic, format version and CRC.
+  /// Serializes in the legacy v1 format (whole-file trailing CRC32).
+  /// Kept for migration tests and for writing donor fixtures.
+  std::vector<uint8_t> serializeLegacy() const;
+  /// Deserializes either format, dispatching on the magic; validates all
+  /// CRCs (v2: header, module table, trace index, and every trace
+  /// payload — this is the eager compatibility path; scans and priming
+  /// use CacheFileView instead). SourceFormat records which format the
+  /// bytes were in.
   static ErrorOr<CacheFile> deserialize(const std::vector<uint8_t> &Bytes);
 
   /// Deep structural validation beyond what deserialize() enforces:

@@ -1,0 +1,257 @@
+//===- persist/CacheView.cpp ----------------------------------------------===//
+
+#include "persist/CacheView.h"
+
+#include "support/ByteStream.h"
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace pcc;
+using namespace pcc::persist;
+
+static Status formatError(const char *Message) {
+  return Status::error(ErrorCode::InvalidFormat, Message);
+}
+
+bool pcc::persist::isV2CacheFile(const std::string &Path) {
+  auto Prefix = readFileRange(Path, 0, 4);
+  if (!Prefix || Prefix->size() < 4)
+    return false;
+  uint32_t Magic = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    Magic |= static_cast<uint32_t>((*Prefix)[I]) << (8 * I);
+  return Magic == v2::Magic;
+}
+
+Status CacheFileView::parseHeader(const uint8_t *Bytes, size_t Available) {
+  if (Available < v2::HeaderBytes)
+    return formatError("cache file smaller than v2 header");
+  ByteReader Reader(Bytes, v2::HeaderBytes);
+  uint32_t Magic = Reader.readU32();
+  if (Magic != v2::Magic) {
+    if (Magic == LegacyCacheMagic)
+      return Status::error(ErrorCode::VersionMismatch,
+                           "legacy (v1) cache file");
+    return formatError("bad cache magic");
+  }
+  if (Reader.readU32() != v2::Version)
+    return Status::error(ErrorCode::VersionMismatch,
+                         "unsupported cache format version");
+  EngineHash = Reader.readU64();
+  ToolHash = Reader.readU64();
+  SpecBits = Reader.readU8();
+  PositionIndependent = Reader.readU8() != 0;
+  Reader.readU16(); // Reserved0.
+  Generation = Reader.readU32();
+  NumModules = Reader.readU32();
+  NumTraces = Reader.readU32();
+  ModuleTableOffset = Reader.readU32();
+  ModuleTableSize = Reader.readU32();
+  TraceIndexOffset = Reader.readU32();
+  TraceIndexSize = Reader.readU32();
+  PayloadOffset = Reader.readU32();
+  PayloadSize = Reader.readU32();
+  ModuleTableCrc = Reader.readU32();
+  TraceIndexCrc = Reader.readU32();
+  uint32_t HeaderCrc = Reader.readU32();
+  assert(!Reader.failed() && "fixed-size header read cannot fail");
+  if (crc32(Bytes, v2::HeaderBytes - 4) != HeaderCrc)
+    return formatError("cache header checksum mismatch");
+
+  // Section layout sanity: contiguous, in order, no overflow.
+  if (ModuleTableOffset != v2::HeaderBytes ||
+      TraceIndexOffset !=
+          static_cast<uint64_t>(ModuleTableOffset) + ModuleTableSize ||
+      PayloadOffset !=
+          static_cast<uint64_t>(TraceIndexOffset) + TraceIndexSize)
+    return formatError("cache section layout inconsistent");
+  if (static_cast<uint64_t>(NumTraces) * v2::IndexEntryBytes >
+      TraceIndexSize)
+    return formatError("trace index smaller than its entry count");
+  return Status::success();
+}
+
+Status CacheFileView::parseSections() {
+  if (Size != declaredFileBytes())
+    return formatError("cache file size does not match header");
+
+  const uint8_t *ModTable = Data + ModuleTableOffset;
+  if (crc32(ModTable, ModuleTableSize) != ModuleTableCrc)
+    return formatError("module table checksum mismatch");
+  ByteReader ModReader(ModTable, ModuleTableSize);
+  Modules.reserve(NumModules);
+  for (uint32_t I = 0; I != NumModules && !ModReader.failed(); ++I)
+    Modules.push_back(ModuleKey::deserialize(ModReader));
+  if (ModReader.failed() || !ModReader.atEnd())
+    return formatError("truncated or oversized module table");
+
+  const uint8_t *Index = Data + TraceIndexOffset;
+  if (crc32(Index, TraceIndexSize) != TraceIndexCrc)
+    return formatError("trace index checksum mismatch");
+  ByteReader IndexReader(Index,
+                         static_cast<size_t>(NumTraces) *
+                             v2::IndexEntryBytes);
+  Entries.reserve(NumTraces);
+  for (uint32_t I = 0; I != NumTraces; ++I) {
+    TraceIndexEntry E;
+    E.GuestStart = IndexReader.readU32();
+    E.ModuleIndex = IndexReader.readU32();
+    E.GuestInstCount = IndexReader.readU32();
+    E.CodeOffset = IndexReader.readU32();
+    E.CodeSize = IndexReader.readU32();
+    E.CodeCrc = IndexReader.readU32();
+    E.MetaOffset = IndexReader.readU32();
+    E.ExitCount = IndexReader.readU32();
+    E.RelocSize = IndexReader.readU32();
+    IndexReader.readU32(); // Reserved.
+    if (IndexReader.failed())
+      return formatError("truncated trace index");
+    // Entry bounds: everything an entry points at must land inside its
+    // section, so later accessors can index without checks.
+    if (E.ModuleIndex >= NumModules)
+      return formatError("trace module index out of range");
+    if (static_cast<uint64_t>(E.CodeOffset) + E.CodeSize > PayloadSize)
+      return formatError("trace code outside payload section");
+    uint64_t MetaEnd = static_cast<uint64_t>(E.MetaOffset) +
+                       static_cast<uint64_t>(E.ExitCount) *
+                           v2::ExitRecordBytes +
+                       E.RelocSize;
+    if (MetaEnd > TraceIndexSize)
+      return formatError("trace metadata outside index section");
+    Entries.push_back(E);
+  }
+  return Status::success();
+}
+
+ErrorOr<CacheFileView> CacheFileView::open(std::vector<uint8_t> Bytes,
+                                           Depth D) {
+  CacheFileView View;
+  View.OpenDepth = D;
+  View.Owned = std::move(Bytes);
+  View.Data = View.Owned.data();
+  View.Size = View.Owned.size();
+  Status S = View.parseHeader(View.Data, View.Size);
+  if (!S.ok())
+    return S;
+  if (D == Depth::HeaderOnly) {
+    // An in-memory image is complete, so the declared size is checkable
+    // even without parsing the sections.
+    if (View.Size != View.declaredFileBytes())
+      return formatError("cache file size does not match header");
+    return View;
+  }
+  S = View.parseSections();
+  if (!S.ok())
+    return S;
+  return View;
+}
+
+ErrorOr<CacheFileView> CacheFileView::openFile(const std::string &Path,
+                                               Depth D) {
+  if (D == Depth::HeaderOnly) {
+    auto Prefix = readFileRange(Path, 0, v2::HeaderBytes);
+    if (!Prefix)
+      return Prefix.status();
+    CacheFileView View;
+    View.OpenDepth = D;
+    View.Owned = Prefix.take();
+    View.Data = View.Owned.data();
+    View.Size = View.Owned.size();
+    Status S = View.parseHeader(View.Data, View.Size);
+    if (!S.ok())
+      return S;
+    // Truncation is detectable without reading the body: the header
+    // declares the exact file size.
+    auto OnDisk = fileSize(Path);
+    if (!OnDisk)
+      return OnDisk.status();
+    if (*OnDisk != View.declaredFileBytes())
+      return formatError("cache file size does not match header");
+    return View;
+  }
+
+  auto Mapped = MappedFile::open(Path);
+  if (!Mapped)
+    return Mapped.status();
+  CacheFileView View;
+  View.OpenDepth = D;
+  View.Map = Mapped.take();
+  View.Data = View.Map.data();
+  View.Size = View.Map.size();
+  Status S = View.parseHeader(View.Data, View.Size);
+  if (!S.ok())
+    return S;
+  S = View.parseSections();
+  if (!S.ok())
+    return S;
+  return View;
+}
+
+std::vector<ExitRecord> CacheFileView::readExits(uint32_t I) const {
+  assert(OpenDepth == Depth::Index && "exits need an index-deep open");
+  const TraceIndexEntry &E = Entries[I];
+  const uint8_t *Meta = Data + TraceIndexOffset + E.MetaOffset;
+  ByteReader Reader(Meta, static_cast<size_t>(E.ExitCount) *
+                              v2::ExitRecordBytes);
+  std::vector<ExitRecord> Exits;
+  Exits.reserve(E.ExitCount);
+  for (uint32_t K = 0; K != E.ExitCount; ++K) {
+    ExitRecord Exit;
+    Exit.Kind = Reader.readU8();
+    Exit.InstIndex = Reader.readU32();
+    Exit.Target = Reader.readU32();
+    Exit.LinkedStart = Reader.readU32();
+    Exits.push_back(Exit);
+  }
+  assert(!Reader.failed() && "exit heap bounds were validated at open");
+  return Exits;
+}
+
+std::vector<uint8_t> CacheFileView::readRelocMask(uint32_t I) const {
+  assert(OpenDepth == Depth::Index && "masks need an index-deep open");
+  const TraceIndexEntry &E = Entries[I];
+  const uint8_t *Mask = Data + TraceIndexOffset + E.MetaOffset +
+                        static_cast<size_t>(E.ExitCount) *
+                            v2::ExitRecordBytes;
+  return std::vector<uint8_t>(Mask, Mask + E.RelocSize);
+}
+
+const uint8_t *CacheFileView::codeBytesOf(uint32_t I) const {
+  assert(OpenDepth == Depth::Index && "payload needs an index-deep open");
+  return Data + PayloadOffset + Entries[I].CodeOffset;
+}
+
+bool CacheFileView::codeCrcOk(uint32_t I) const {
+  const TraceIndexEntry &E = Entries[I];
+  return crc32(codeBytesOf(I), E.CodeSize) == E.CodeCrc;
+}
+
+ErrorOr<TraceRecord> CacheFileView::record(uint32_t I) const {
+  const TraceIndexEntry &E = Entries[I];
+  if (!codeCrcOk(I))
+    return formatError("trace code checksum mismatch");
+  TraceRecord Rec;
+  Rec.GuestStart = E.GuestStart;
+  Rec.ModuleIndex = E.ModuleIndex;
+  Rec.GuestInstCount = E.GuestInstCount;
+  const uint8_t *Code = codeBytesOf(I);
+  Rec.Code.assign(Code, Code + E.CodeSize);
+  Rec.Exits = readExits(I);
+  Rec.RelocMask = readRelocMask(I);
+  return Rec;
+}
+
+uint64_t CacheFileView::codeBytes() const {
+  uint64_t Total = 0;
+  for (const TraceIndexEntry &E : Entries)
+    Total += E.CodeSize;
+  return Total;
+}
+
+uint64_t CacheFileView::dataBytes() const {
+  uint64_t Total = 0;
+  for (const TraceIndexEntry &E : Entries)
+    Total += traceDataBytes(E.ExitCount, E.GuestInstCount);
+  return Total;
+}

@@ -1,0 +1,189 @@
+//===- persist/CacheView.h - Indexed cache-file (v2) reader -----*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Zero-copy reader for cache-file format v2. The v2 layout front-loads
+/// everything the database and the prime path need — compatibility
+/// hashes, module keys, and a fixed-size per-trace index — so scans and
+/// priming never touch trace payload bytes:
+///
+///   [ header 76 B                                    ] crc: HeaderCrc
+///   [ module table: NumModules serialized ModuleKeys ] crc: ModuleTableCrc
+///   [ trace index: NumTraces x 40 B entries          ]
+///   [   + metadata heap: exits (13 B each) and       ] crc: TraceIndexCrc
+///   [     reloc masks, in entry order                ]
+///   [ payload: concatenated trace code images        ] crc: per-entry CodeCrc
+///
+/// Header layout (all fields little-endian):
+///
+///   +0  u32 Magic "PCC2"        +40 u32 ModuleTableOffset (== 76)
+///   +4  u32 Version (== 2)      +44 u32 ModuleTableSize
+///   +8  u64 EngineHash          +48 u32 TraceIndexOffset
+///   +16 u64 ToolHash            +52 u32 TraceIndexSize
+///   +24 u8  SpecBits            +56 u32 PayloadOffset
+///   +25 u8  PositionIndependent +60 u32 PayloadSize
+///   +26 u16 Reserved0           +64 u32 ModuleTableCrc
+///   +28 u32 Generation          +68 u32 TraceIndexCrc
+///   +32 u32 NumModules          +72 u32 HeaderCrc (over bytes [0, 72))
+///   +36 u32 NumTraces
+///
+/// CRC domains: the header CRC covers the fixed header (including the
+/// two section CRCs); the module-table CRC covers the serialized module
+/// keys; the trace-index CRC covers index entries *and* the metadata
+/// heap — so exits, links and reloc masks are trusted right after
+/// prime-time validation, while each trace's code image carries its own
+/// CRC in the index, checked lazily at first execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_PERSIST_CACHEVIEW_H
+#define PCC_PERSIST_CACHEVIEW_H
+
+#include "persist/CacheFile.h"
+#include "support/FileSystem.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace persist {
+
+/// Format v2 layout constants.
+namespace v2 {
+inline constexpr uint32_t Magic = 0x32434350; // "PCC2"
+inline constexpr uint32_t Version = 2;
+inline constexpr size_t HeaderBytes = 76;
+inline constexpr size_t IndexEntryBytes = 40;
+inline constexpr size_t ExitRecordBytes = 13;
+} // namespace v2
+
+/// Legacy (v1) on-disk magic, kept for read compatibility.
+inline constexpr uint32_t LegacyCacheMagic = 0x31434350; // "PCC1"
+
+/// True when the file at \p Path starts with the v2 magic. False on
+/// short, unreadable or legacy files — callers then take the eager v1
+/// path, which reports corruption itself.
+bool isV2CacheFile(const std::string &Path);
+
+/// One fixed-size trace-index entry.
+struct TraceIndexEntry {
+  uint32_t GuestStart = 0;
+  uint32_t ModuleIndex = 0;
+  uint32_t GuestInstCount = 0;
+  /// Code image location, relative to the payload section.
+  uint32_t CodeOffset = 0;
+  uint32_t CodeSize = 0;
+  /// CRC32 of the raw code image (checked lazily at materialization).
+  uint32_t CodeCrc = 0;
+  /// Exit records + reloc mask, relative to the trace-index section.
+  uint32_t MetaOffset = 0;
+  uint32_t ExitCount = 0;
+  uint32_t RelocSize = 0;
+};
+
+/// Read-only view of a v2 cache file. Owns its backing bytes (a loaded
+/// buffer or a memory mapping); accessors hand out pointers into them,
+/// so the view must outlive anything priming from it.
+class CacheFileView {
+public:
+  /// How much of the file open() validates and parses.
+  enum class Depth : uint8_t {
+    /// Header only: compatibility hashes, generation and declared sizes.
+    /// openFile() reads just the first 76 bytes from disk.
+    HeaderOnly,
+    /// Header + module table + trace index (all CRC-checked). Payload
+    /// bytes are mapped but never read.
+    Index,
+  };
+
+  /// Opens a view over an in-memory file image.
+  static ErrorOr<CacheFileView> open(std::vector<uint8_t> Bytes,
+                                     Depth D = Depth::Index);
+
+  /// Opens a view over the file at \p Path. HeaderOnly reads a fixed
+  /// prefix; Index memory-maps the whole file.
+  static ErrorOr<CacheFileView> openFile(const std::string &Path,
+                                         Depth D = Depth::Index);
+
+  Depth depth() const { return OpenDepth; }
+
+  /// \name Header fields
+  /// @{
+  uint64_t engineHash() const { return EngineHash; }
+  uint64_t toolHash() const { return ToolHash; }
+  uint8_t specBits() const { return SpecBits; }
+  bool positionIndependent() const { return PositionIndependent; }
+  uint32_t generation() const { return Generation; }
+  uint32_t numModules() const { return NumModules; }
+  uint32_t numTraces() const { return NumTraces; }
+  /// Total file size declared by the header.
+  uint64_t declaredFileBytes() const {
+    return static_cast<uint64_t>(PayloadOffset) + PayloadSize;
+  }
+  /// @}
+
+  /// \name Index accessors (Depth::Index only)
+  /// @{
+  const std::vector<ModuleKey> &modules() const { return Modules; }
+  const TraceIndexEntry &entry(uint32_t I) const { return Entries[I]; }
+
+  /// Decodes trace \p I's exit records from the metadata heap.
+  std::vector<ExitRecord> readExits(uint32_t I) const;
+  /// Copies trace \p I's reloc mask from the metadata heap.
+  std::vector<uint8_t> readRelocMask(uint32_t I) const;
+  /// Raw (stored, never rebased) code image of trace \p I.
+  const uint8_t *codeBytesOf(uint32_t I) const;
+  /// Checks trace \p I's code image against its indexed CRC.
+  bool codeCrcOk(uint32_t I) const;
+
+  /// Fully decodes trace \p I into a TraceRecord, CRC-checking its code
+  /// image. The eager-compat path for tools and accumulation.
+  ErrorOr<TraceRecord> record(uint32_t I) const;
+
+  /// Totals computed from the index alone (no payload reads).
+  uint64_t codeBytes() const;
+  uint64_t dataBytes() const;
+  /// @}
+
+private:
+  Depth OpenDepth = Depth::HeaderOnly;
+
+  /// Backing storage: exactly one of these is active.
+  std::vector<uint8_t> Owned;
+  MappedFile Map;
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+
+  /// Parsed header.
+  uint64_t EngineHash = 0;
+  uint64_t ToolHash = 0;
+  uint8_t SpecBits = 0;
+  bool PositionIndependent = false;
+  uint32_t Generation = 0;
+  uint32_t NumModules = 0;
+  uint32_t NumTraces = 0;
+  uint32_t ModuleTableOffset = 0;
+  uint32_t ModuleTableSize = 0;
+  uint32_t TraceIndexOffset = 0;
+  uint32_t TraceIndexSize = 0;
+  uint32_t PayloadOffset = 0;
+  uint32_t PayloadSize = 0;
+  uint32_t ModuleTableCrc = 0;
+  uint32_t TraceIndexCrc = 0;
+
+  std::vector<ModuleKey> Modules;
+  std::vector<TraceIndexEntry> Entries;
+
+  Status parseHeader(const uint8_t *Bytes, size_t Available);
+  Status parseSections();
+};
+
+} // namespace persist
+} // namespace pcc
+
+#endif // PCC_PERSIST_CACHEVIEW_H

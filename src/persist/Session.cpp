@@ -49,28 +49,39 @@ static uint64_t pagesOf(uint64_t Bytes) {
 /// index \p InstIndex inside a translated code image.
 static void rebaseImmediate(std::vector<uint8_t> &Code, uint32_t InstIndex,
                             int64_t Delta) {
-  size_t Offset = dbi::TracePrologueBytes +
-                  static_cast<size_t>(InstIndex) * isa::InstructionSize +
-                  4;
-  assert(Offset + 4 <= Code.size() && "immediate outside code image");
-  uint32_t Imm = 0;
-  for (unsigned I = 0; I != 4; ++I)
-    Imm |= static_cast<uint32_t>(Code[Offset + I]) << (8 * I);
-  Imm = static_cast<uint32_t>(Imm + Delta);
-  for (unsigned I = 0; I != 4; ++I)
-    Code[Offset + I] = static_cast<uint8_t>(Imm >> (8 * I));
+  dbi::rebaseTranslatedImmediate(Code.data(), Code.size(), InstIndex,
+                                 Delta);
 }
 
-ErrorOr<CacheFile>
+ErrorOr<PersistentSession::CacheSource>
 PersistentSession::locateCache(dbi::Engine &Engine, PrimeResult &Result) {
   (void)Engine;
   auto tryLoad = [&](const std::string &Path,
-                     bool IsOwn) -> ErrorOr<CacheFile> {
+                     bool IsOwn) -> ErrorOr<CacheSource> {
+    CacheSource Source;
+    if (isV2CacheFile(Path)) {
+      // Indexed open: header, module table and trace index are
+      // CRC-validated here; trace payloads stay unread until first
+      // execution.
+      auto View =
+          CacheFileView::openFile(Path, CacheFileView::Depth::Index);
+      if (View) {
+        Result.CachePath = Path;
+        LoadedWasOwn = IsOwn;
+        Source.View = View.take();
+        return Source;
+      }
+      if (View.status().code() != ErrorCode::NotFound &&
+          View.status().code() != ErrorCode::IoError)
+        Result.RejectReason = View.status().toString();
+      return Status::error(ErrorCode::NotFound, "no usable cache");
+    }
     auto File = Db.loadPath(Path);
     if (File) {
       Result.CachePath = Path;
       LoadedWasOwn = IsOwn;
-      return File;
+      Source.Eager = File.take();
+      return Source;
     }
     // Corrupt or unreadable caches must never break the run: record the
     // reason and fall back to an empty code cache.
@@ -114,19 +125,25 @@ ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
   LookupKey = computeLookupKey(AppKey, EngineHash, ToolHash);
 
   PrimeResult Result;
-  auto File = locateCache(Engine, Result);
-  if (!File)
+  auto Source = locateCache(Engine, Result);
+  if (!Source)
     return Result; // No cache: start empty, still success.
 
-  if (File->EngineHash != EngineHash) {
+  uint64_t FileEngineHash = Source->View ? Source->View->engineHash()
+                                         : Source->Eager->EngineHash;
+  uint64_t FileToolHash =
+      Source->View ? Source->View->toolHash() : Source->Eager->ToolHash;
+  bool FilePic = Source->View ? Source->View->positionIndependent()
+                              : Source->Eager->PositionIndependent;
+  if (FileEngineHash != EngineHash) {
     Result.RejectReason = "engine version mismatch";
     return Result;
   }
-  if (File->ToolHash != ToolHash) {
+  if (FileToolHash != ToolHash) {
     Result.RejectReason = "tool key mismatch";
     return Result;
   }
-  if (File->PositionIndependent != Opts.PositionIndependent) {
+  if (FilePic != Opts.PositionIndependent) {
     Result.RejectReason = "translation addressing mode mismatch";
     return Result;
   }
@@ -134,35 +151,40 @@ ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
   Result.CacheFound = true;
   Engine.stats().PersistCycles += Costs.PersistOpenCycles;
 
-  Status S = installCache(Engine, *File, Result);
-  if (!S.ok())
-    return S;
-  LoadedCache = File.take();
+  if (Source->View) {
+    Status S = installView(Engine, *Source->View, Result);
+    if (!S.ok())
+      return S;
+    LoadedView = std::move(Source->View);
+  } else {
+    Status S = installCache(Engine, *Source->Eager, Result);
+    if (!S.ok())
+      return S;
+    LoadedCache = std::move(Source->Eager);
+  }
   return Result;
 }
 
-Status PersistentSession::installCache(dbi::Engine &Engine,
-                                       const CacheFile &File,
-                                       PrimeResult &Result) {
-  dbi::CodeCache &Cache = Engine.cache();
+void PersistentSession::validateModules(
+    dbi::Engine &Engine, const std::vector<ModuleKey> &Persisted,
+    PrimeResult &Result, std::vector<int64_t> &Delta,
+    std::vector<std::pair<uint32_t, uint32_t>> &Region) {
   const loader::LoadedImage &Image = Engine.machine().image();
-
-  // Validate every persisted module key against the image loaded now.
-  const size_t NumModules = File.Modules.size();
+  const size_t NumModules = Persisted.size();
   ModuleValidated.assign(NumModules, false);
   ModuleLoadedNow.assign(NumModules, false);
-  std::vector<int64_t> Delta(NumModules, 0);
-  std::vector<std::pair<uint32_t, uint32_t>> Region(NumModules, {0, 0});
+  Delta.assign(NumModules, 0);
+  Region.assign(NumModules, {0, 0});
   for (size_t I = 0; I != NumModules; ++I) {
-    const ModuleKey &Persisted = File.Modules[I];
-    const LoadedModule *Now = findLoadedByPath(Image, Persisted.Path);
+    const ModuleKey &Old = Persisted[I];
+    const LoadedModule *Now = findLoadedByPath(Image, Old.Path);
     if (!Now)
       continue; // Module absent this run; its traces stay on disk.
     ModuleLoadedNow[I] = true;
     ModuleKey NowKey = ModuleKey::compute(*Now);
     bool Match = Opts.PositionIndependent
-                     ? Persisted.matchesIgnoringBase(NowKey)
-                     : Persisted.matches(NowKey);
+                     ? Old.matchesIgnoringBase(NowKey)
+                     : Old.matches(NowKey);
     if (!Match) {
       // Key conflict: the binary changed or (without PIC) relocated.
       // All its persisted translations are invalid; the engine falls
@@ -174,9 +196,20 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
     ModuleValidated[I] = true;
     ++Result.ModulesValidated;
     Delta[I] = static_cast<int64_t>(NowKey.Base) -
-               static_cast<int64_t>(Persisted.Base);
+               static_cast<int64_t>(Old.Base);
     Region[I] = {NowKey.Base, NowKey.Size};
   }
+}
+
+Status PersistentSession::installCache(dbi::Engine &Engine,
+                                       const CacheFile &File,
+                                       PrimeResult &Result) {
+  dbi::CodeCache &Cache = Engine.cache();
+
+  // Validate every persisted module key against the image loaded now.
+  std::vector<int64_t> Delta;
+  std::vector<std::pair<uint32_t, uint32_t>> Region;
+  validateModules(Engine, File.Modules, Result, Delta, Region);
 
   // Build the mapped pool image from the usable trace records.
   struct PendingInstall {
@@ -301,6 +334,149 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
   return Status::success();
 }
 
+Status PersistentSession::installView(dbi::Engine &Engine,
+                                      const CacheFileView &View,
+                                      PrimeResult &Result) {
+  dbi::CodeCache &Cache = Engine.cache();
+
+  std::vector<int64_t> Delta;
+  std::vector<std::pair<uint32_t, uint32_t>> Region;
+  validateModules(Engine, View.modules(), Result, Delta, Region);
+
+  // Build the mapped pool image from usable index entries. Code bytes
+  // are copied *raw* — no rebase — because each trace's CRC must run
+  // over the stored bytes at first execution; the rebase parameters ride
+  // along as the trace's PersistedPayload.
+  struct PendingInstall {
+    uint32_t NewStart = 0;
+    uint32_t GuestInstCount = 0;
+    uint32_t PoolOffset = 0;
+    uint32_t PoolBytes = 0;
+    std::vector<dbi::TraceExit> Exits;
+    std::vector<uint32_t> LinkedStarts;
+    std::unique_ptr<dbi::PersistedPayload> Payload;
+  };
+  std::vector<PendingInstall> Installs;
+  std::vector<uint8_t> Pool;
+  std::unordered_set<uint32_t> SeenStarts;
+
+  for (uint32_t TraceI = 0; TraceI != View.numTraces(); ++TraceI) {
+    const TraceIndexEntry &E = View.entry(TraceI);
+    if (!ModuleValidated[E.ModuleIndex]) {
+      ++Result.TracesSkipped;
+      continue;
+    }
+    const int64_t D = Delta[E.ModuleIndex];
+    const auto [RegionBase, RegionSize] = Region[E.ModuleIndex];
+    const uint32_t NewStart = static_cast<uint32_t>(E.GuestStart + D);
+    const size_t MinCodeBytes =
+        dbi::TracePrologueBytes +
+        static_cast<size_t>(E.GuestInstCount) * isa::InstructionSize;
+    bool Usable = NewStart >= RegionBase &&
+                  NewStart - RegionBase < RegionSize &&
+                  E.CodeSize >= MinCodeBytes && !SeenStarts.count(NewStart);
+    if (!Usable) {
+      ++Result.TracesSkipped;
+      continue;
+    }
+
+    PendingInstall Install;
+    Install.NewStart = NewStart;
+    Install.GuestInstCount = E.GuestInstCount;
+    bool BadExit = false;
+    // Exits and links come from the trace index, whose CRC was already
+    // validated at open — so restoring links here is safe even though
+    // the code payload is still unverified.
+    for (const ExitRecord &Exit : View.readExits(TraceI)) {
+      if (Exit.Kind > static_cast<uint8_t>(ExitKind::Halt)) {
+        BadExit = true;
+        break;
+      }
+      uint32_t Target =
+          Exit.Target ? static_cast<uint32_t>(Exit.Target + D) : 0;
+      uint32_t Linked =
+          Exit.LinkedStart ? static_cast<uint32_t>(Exit.LinkedStart + D)
+                           : 0;
+      Install.Exits.push_back(dbi::TraceExit{
+          static_cast<ExitKind>(Exit.Kind), Exit.InstIndex, Target,
+          nullptr});
+      Install.LinkedStarts.push_back(Linked);
+    }
+    if (BadExit) {
+      ++Result.TracesSkipped;
+      continue;
+    }
+
+    auto Payload = std::make_unique<dbi::PersistedPayload>();
+    Payload->ExpectedCodeCrc = E.CodeCrc;
+    Payload->RebaseDelta = D;
+    if (Opts.PositionIndependent)
+      Payload->RelocMask = View.readRelocMask(TraceI);
+    Payload->SourceTraceIndex = TraceI;
+    Install.Payload = std::move(Payload);
+
+    Install.PoolOffset = static_cast<uint32_t>(Pool.size());
+    Install.PoolBytes = E.CodeSize;
+    const uint8_t *Code = View.codeBytesOf(TraceI);
+    Pool.insert(Pool.end(), Code, Code + E.CodeSize);
+    SeenStarts.insert(NewStart);
+    Installs.push_back(std::move(Install));
+  }
+
+  if (Pool.size() > Engine.options().CodePoolBytes) {
+    // Persistent pools unavailable: abandon persistence for this run
+    // (Section 3.2.2), continue with an empty code cache.
+    Result.RejectReason = "persistent pool exceeds code cache capacity";
+    Result.TracesSkipped += static_cast<uint32_t>(Installs.size());
+    Result.TracesInstalled = 0;
+    return Status::success();
+  }
+  Status S = Cache.installPersistedPool(std::move(Pool));
+  if (!S.ok())
+    return S;
+
+  std::unordered_map<uint32_t, TranslatedTrace *> ByStart;
+  std::vector<std::pair<TranslatedTrace *, std::vector<uint32_t>>>
+      LinkWork;
+  for (PendingInstall &Install : Installs) {
+    auto T = std::make_unique<TranslatedTrace>(
+        Install.NewStart, Install.GuestInstCount, Install.PoolOffset,
+        Install.PoolBytes, std::move(Install.Exits),
+        /*FromPersistentCache=*/true);
+    T->setPersistedPayload(std::move(Install.Payload));
+    auto Added = Cache.addTrace(std::move(T));
+    if (!Added) {
+      // Data pool exhausted: remaining traces fall back to translation.
+      ++Result.TracesSkipped;
+      continue;
+    }
+    ByStart.emplace(Install.NewStart, *Added);
+    LinkWork.emplace_back(*Added, std::move(Install.LinkedStarts));
+    ++Result.TracesInstalled;
+  }
+  Engine.stats().TracesLoadedFromCache += Result.TracesInstalled;
+
+  // Restore persisted trace links between installed traces.
+  if (Engine.options().EnableLinking) {
+    for (auto &[T, LinkedStarts] : LinkWork) {
+      for (uint32_t I = 0; I != LinkedStarts.size(); ++I) {
+        uint32_t Target = LinkedStarts[I];
+        if (Target == 0)
+          continue;
+        const dbi::TraceExit &Exit = T->exits()[I];
+        if (!dbi::isLinkableExit(Exit.Kind) || Exit.Target != Target)
+          continue;
+        auto It = ByStart.find(Target);
+        if (It == ByStart.end())
+          continue;
+        Cache.link(T, I, It->second);
+        ++Result.LinksRestored;
+      }
+    }
+  }
+  return Status::success();
+}
+
 Status PersistentSession::finalize(dbi::Engine &Engine) {
   assert(Primed && "finalize() requires a prior prime()");
   if (!Opts.WriteBack)
@@ -314,7 +490,9 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
   File.ToolHash = ToolHash;
   File.SpecBits = specBitsOf(Engine.spec());
   File.PositionIndependent = Opts.PositionIndependent;
-  File.Generation = LoadedCache ? LoadedCache->Generation + 1 : 1;
+  File.Generation = LoadedCache   ? LoadedCache->Generation + 1
+                    : LoadedView  ? LoadedView->generation() + 1
+                                  : 1;
 
   for (const LoadedModule &Mod : Image.Modules)
     File.Modules.push_back(ModuleKey::compute(Mod));
@@ -351,6 +529,25 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
           static_cast<uint8_t>(Exit.Kind), Exit.InstIndex, Exit.Target,
           Exit.Link ? Exit.Link->guestStart() : 0});
 
+    if (const dbi::PersistedPayload *P = T->persistedPayload()) {
+      // Installed lazily and never executed: the pool still holds the
+      // raw stored bytes, whose CRC was never checked. Verify now so a
+      // damaged payload is dropped (and retranslated by whichever run
+      // needs it) rather than re-signed under a fresh checksum; rebase
+      // the written copy so the file's bytes match the current base.
+      if (crc32(Rec.Code.data(), Rec.Code.size()) != P->ExpectedCodeCrc)
+        continue;
+      if (P->RebaseDelta != 0)
+        for (uint32_t I = 0; I != Rec.GuestInstCount; ++I)
+          if (P->RelocMask.size() > I / 8 &&
+              (P->RelocMask[I / 8] >> (I % 8)) & 1)
+            rebaseImmediate(Rec.Code, I, P->RebaseDelta);
+      if (Opts.PositionIndependent)
+        Rec.RelocMask = P->RelocMask;
+      File.Traces.push_back(std::move(Rec));
+      continue;
+    }
+
     if (Opts.PositionIndependent) {
       // Mark every address-bearing immediate: branch/call targets plus
       // the module's own text relocations (address materialization).
@@ -374,6 +571,35 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
     File.Traces.push_back(std::move(Rec));
   }
 
+  // Prior-cache accessors, uniform over the eagerly loaded v1 file and
+  // the indexed v2 view. v2 record extraction CRC-checks the payload;
+  // failures drop only that trace from the carry-through.
+  const bool HasPrior = LoadedCache.has_value() || LoadedView.has_value();
+  size_t PriorModules = LoadedCache  ? LoadedCache->Modules.size()
+                        : LoadedView ? LoadedView->numModules()
+                                     : 0;
+  size_t PriorTraces = LoadedCache  ? LoadedCache->Traces.size()
+                       : LoadedView ? LoadedView->numTraces()
+                                    : 0;
+  auto priorModule = [&](size_t I) -> const ModuleKey & {
+    return LoadedCache ? LoadedCache->Modules[I] : LoadedView->modules()[I];
+  };
+  auto priorTraceModule = [&](size_t J) -> uint32_t {
+    return LoadedCache
+               ? LoadedCache->Traces[J].ModuleIndex
+               : LoadedView->entry(static_cast<uint32_t>(J)).ModuleIndex;
+  };
+  auto priorTraceStart = [&](size_t J) -> uint32_t {
+    return LoadedCache
+               ? LoadedCache->Traces[J].GuestStart
+               : LoadedView->entry(static_cast<uint32_t>(J)).GuestStart;
+  };
+  auto priorRecord = [&](size_t J) -> ErrorOr<TraceRecord> {
+    if (LoadedCache)
+      return LoadedCache->Traces[J];
+    return LoadedView->record(static_cast<uint32_t>(J));
+  };
+
   // Accumulation carry-through, part 1: traces of *validated* modules
   // that are no longer resident in the engine cache — dropped by a
   // mid-run flush or skipped at install when a pool filled. The paper
@@ -384,7 +610,7 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
   // unchanged (always true for validated non-PIC modules; PIC reuse at
   // a new base would require rebasing the stale records, so those are
   // left to retranslation instead).
-  if (Opts.Accumulate && LoadedWasOwn && LoadedCache) {
+  if (Opts.Accumulate && LoadedWasOwn && HasPrior) {
     std::unordered_set<uint32_t> Written;
     for (const TraceRecord &Rec : File.Traces)
       Written.insert(Rec.GuestStart);
@@ -392,21 +618,23 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
     for (size_t I = 0; I != File.Modules.size(); ++I)
       IndexByPath.emplace(File.Modules[I].Path,
                           static_cast<uint32_t>(I));
-    for (size_t I = 0; I != LoadedCache->Modules.size(); ++I) {
+    for (size_t I = 0; I != PriorModules; ++I) {
       if (!ModuleLoadedNow[I] || !ModuleValidated[I])
         continue;
-      const ModuleKey &Old = LoadedCache->Modules[I];
+      const ModuleKey &Old = priorModule(I);
       auto It = IndexByPath.find(Old.Path);
       if (It == IndexByPath.end() ||
           File.Modules[It->second].Base != Old.Base)
         continue;
-      for (const TraceRecord &Rec : LoadedCache->Traces) {
-        if (Rec.ModuleIndex != I || Written.count(Rec.GuestStart))
+      for (size_t J = 0; J != PriorTraces; ++J) {
+        if (priorTraceModule(J) != I || Written.count(priorTraceStart(J)))
           continue;
-        TraceRecord Copy = Rec;
-        Copy.ModuleIndex = It->second;
-        Written.insert(Copy.GuestStart);
-        File.Traces.push_back(std::move(Copy));
+        auto Copy = priorRecord(J);
+        if (!Copy)
+          continue; // Corrupt prior payload: dropped from carry-through.
+        Copy->ModuleIndex = It->second;
+        Written.insert(Copy->GuestStart);
+        File.Traces.push_back(Copy.take());
       }
     }
   }
@@ -416,11 +644,11 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
   // coverage only grows over time (Section 4.4). Only applies to this
   // application's own cache; donor caches are never modified or
   // absorbed wholesale.
-  if (Opts.Accumulate && LoadedWasOwn && LoadedCache) {
-    for (size_t I = 0; I != LoadedCache->Modules.size(); ++I) {
+  if (Opts.Accumulate && LoadedWasOwn && HasPrior) {
+    for (size_t I = 0; I != PriorModules; ++I) {
       if (ModuleLoadedNow[I])
         continue;
-      const ModuleKey &Old = LoadedCache->Modules[I];
+      const ModuleKey &Old = priorModule(I);
       bool Collides = false;
       for (const ModuleKey &Current : File.Modules)
         Collides |= regionsOverlap(Old.Base, Old.Size, Current.Base,
@@ -429,12 +657,14 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
         continue;
       uint32_t NewIndex = static_cast<uint32_t>(File.Modules.size());
       File.Modules.push_back(Old);
-      for (const TraceRecord &Rec : LoadedCache->Traces) {
-        if (Rec.ModuleIndex != I)
+      for (size_t J = 0; J != PriorTraces; ++J) {
+        if (priorTraceModule(J) != I)
           continue;
-        TraceRecord Copy = Rec;
-        Copy.ModuleIndex = NewIndex;
-        File.Traces.push_back(std::move(Copy));
+        auto Copy = priorRecord(J);
+        if (!Copy)
+          continue; // Corrupt prior payload: dropped from carry-through.
+        Copy->ModuleIndex = NewIndex;
+        File.Traces.push_back(Copy.take());
       }
     }
   }

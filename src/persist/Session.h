@@ -42,6 +42,7 @@
 #include "dbi/Engine.h"
 #include "persist/CacheDatabase.h"
 #include "persist/CacheFile.h"
+#include "persist/CacheView.h"
 #include "persist/Key.h"
 
 #include <optional>
@@ -104,16 +105,37 @@ public:
   uint64_t lookupKey() const { return LookupKey; }
 
 private:
-  ErrorOr<CacheFile> locateCache(dbi::Engine &Engine,
-                                 PrimeResult &Result);
+  /// A located cache: eagerly deserialized (legacy v1) or an indexed
+  /// view whose payloads stay on disk until first execution (v2).
+  struct CacheSource {
+    std::optional<CacheFile> Eager;
+    std::optional<CacheFileView> View;
+  };
+
+  ErrorOr<CacheSource> locateCache(dbi::Engine &Engine,
+                                   PrimeResult &Result);
+  /// Validates \p Persisted module keys against the loaded image,
+  /// filling ModuleValidated/ModuleLoadedNow and the per-module load
+  /// deltas and current mapping regions.
+  void validateModules(dbi::Engine &Engine,
+                       const std::vector<ModuleKey> &Persisted,
+                       PrimeResult &Result, std::vector<int64_t> &Delta,
+                       std::vector<std::pair<uint32_t, uint32_t>> &Region);
   Status installCache(dbi::Engine &Engine, const CacheFile &File,
                       PrimeResult &Result);
+  /// v2 install: traces enter the cache as unmaterialized index
+  /// references; code bytes are copied raw and their CRC + decode (and
+  /// PIC rebase) deferred to Engine::ensureMaterialized().
+  Status installView(dbi::Engine &Engine, const CacheFileView &View,
+                     PrimeResult &Result);
 
   const CacheDatabase &Db;
   PersistOptions Opts;
 
-  /// State carried from prime() to finalize().
+  /// State carried from prime() to finalize(). At most one of
+  /// LoadedCache (v1) and LoadedView (v2) is engaged.
   std::optional<CacheFile> LoadedCache;
+  std::optional<CacheFileView> LoadedView;
   std::vector<bool> ModuleValidated; ///< Per LoadedCache module.
   std::vector<bool> ModuleLoadedNow; ///< Per LoadedCache module.
   bool LoadedWasOwn = false; ///< Cache came from this app's own slot.

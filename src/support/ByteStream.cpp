@@ -18,8 +18,13 @@ void ByteWriter::writeString(const std::string &Str) {
 }
 
 void ByteWriter::writeBytes(const void *Data, size_t Size) {
-  const auto *Src = static_cast<const uint8_t *>(Data);
-  Bytes.insert(Bytes.end(), Src, Src + Size);
+  if (Size == 0)
+    return;
+  // Single grow + memcpy append: vector<uint8_t> resize value-initializes
+  // cheaply and memcpy beats element-wise insert on large code payloads.
+  size_t Old = Bytes.size();
+  Bytes.resize(Old + Size);
+  std::memcpy(Bytes.data() + Old, Data, Size);
 }
 
 void ByteWriter::writeBlob(const std::vector<uint8_t> &Blob) {

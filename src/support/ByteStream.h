@@ -46,6 +46,11 @@ public:
   /// Overwrites 4 bytes at \p Offset (for back-patching size fields).
   void patchU32(size_t Offset, uint32_t Value);
 
+  /// Pre-allocates capacity for \p Total bytes so a serializer with a
+  /// computed size estimate appends without reallocation churn.
+  void reserve(size_t Total) { Bytes.reserve(Total); }
+
+  size_t capacity() const { return Bytes.capacity(); }
   size_t size() const { return Bytes.size(); }
   const std::vector<uint8_t> &bytes() const { return Bytes; }
   std::vector<uint8_t> take() { return std::move(Bytes); }

@@ -10,6 +10,14 @@
 #include <filesystem>
 #include <system_error>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define PCC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 using namespace pcc;
 namespace fs = std::filesystem;
 
@@ -32,6 +40,102 @@ ErrorOr<std::vector<uint8_t>> pcc::readFile(const std::string &Path) {
   if (Read != Bytes.size())
     return Status::error(ErrorCode::IoError, "short read from " + Path);
   return Bytes;
+}
+
+ErrorOr<uint64_t> pcc::fileSize(const std::string &Path) {
+  std::error_code Ec;
+  uint64_t Size = fs::file_size(Path, Ec);
+  if (Ec)
+    return Status::error(ErrorCode::IoError, "cannot stat " + Path);
+  return Size;
+}
+
+ErrorOr<std::vector<uint8_t>> pcc::readFileRange(const std::string &Path,
+                                                 uint64_t Offset,
+                                                 size_t MaxBytes) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return Status::error(ErrorCode::IoError, "cannot open " + Path);
+  std::vector<uint8_t> Bytes;
+  if (std::fseek(File, static_cast<long>(Offset), SEEK_SET) != 0) {
+    std::fclose(File);
+    // Seeking past EOF on some platforms fails: treat as empty range.
+    return Bytes;
+  }
+  Bytes.resize(MaxBytes);
+  size_t Read =
+      Bytes.empty() ? 0 : std::fread(Bytes.data(), 1, Bytes.size(), File);
+  bool HadError = std::ferror(File) != 0;
+  std::fclose(File);
+  if (HadError)
+    return Status::error(ErrorCode::IoError, "read error from " + Path);
+  Bytes.resize(Read);
+  return Bytes;
+}
+
+MappedFile &MappedFile::operator=(MappedFile &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+#if PCC_HAVE_MMAP
+  if (Mapped && Data)
+    ::munmap(const_cast<uint8_t *>(Data), Size);
+#endif
+  Data = Other.Data;
+  Size = Other.Size;
+  Mapped = Other.Mapped;
+  FallbackCopy = std::move(Other.FallbackCopy);
+  if (!Mapped && !FallbackCopy.empty())
+    Data = FallbackCopy.data();
+  Other.Data = nullptr;
+  Other.Size = 0;
+  Other.Mapped = false;
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if PCC_HAVE_MMAP
+  if (Mapped && Data)
+    ::munmap(const_cast<uint8_t *>(Data), Size);
+#endif
+  Data = nullptr;
+  Size = 0;
+  Mapped = false;
+  FallbackCopy.clear();
+}
+
+ErrorOr<MappedFile> MappedFile::open(const std::string &Path) {
+  MappedFile Result;
+#if PCC_HAVE_MMAP
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return Status::error(ErrorCode::IoError, "cannot open " + Path);
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || !S_ISREG(St.st_mode)) {
+    ::close(Fd);
+    return Status::error(ErrorCode::IoError, "cannot stat " + Path);
+  }
+  if (St.st_size == 0) {
+    ::close(Fd);
+    return Result;
+  }
+  void *Addr =
+      ::mmap(nullptr, static_cast<size_t>(St.st_size), PROT_READ,
+             MAP_PRIVATE, Fd, 0);
+  ::close(Fd);
+  if (Addr != MAP_FAILED) {
+    Result.Data = static_cast<const uint8_t *>(Addr);
+    Result.Size = static_cast<size_t>(St.st_size);
+    Result.Mapped = true;
+    return Result;
+  }
+#endif
+  auto Bytes = readFile(Path);
+  if (!Bytes.ok())
+    return Bytes.status();
+  Result.FallbackCopy = std::move(*Bytes);
+  Result.Data = Result.FallbackCopy.data();
+  Result.Size = Result.FallbackCopy.size();
+  return Result;
 }
 
 Status pcc::writeFileAtomic(const std::string &Path,

@@ -27,6 +27,41 @@ namespace pcc {
 /// Reads the whole file at \p Path.
 ErrorOr<std::vector<uint8_t>> readFile(const std::string &Path);
 
+/// Returns the size in bytes of the regular file at \p Path.
+ErrorOr<uint64_t> fileSize(const std::string &Path);
+
+/// Reads up to \p MaxBytes starting at byte \p Offset. Returns fewer
+/// bytes (possibly zero) when the file is shorter; only I/O failures and
+/// a nonexistent file are errors. Lets header-only scans touch a fixed
+/// prefix of arbitrarily large cache files.
+ErrorOr<std::vector<uint8_t>> readFileRange(const std::string &Path,
+                                            uint64_t Offset,
+                                            size_t MaxBytes);
+
+/// Read-only view of a whole file, memory-mapped when the platform
+/// supports it (falls back to a heap copy otherwise). Movable, not
+/// copyable; unmapped on destruction.
+class MappedFile {
+public:
+  MappedFile() = default;
+  MappedFile(MappedFile &&Other) noexcept { *this = std::move(Other); }
+  MappedFile &operator=(MappedFile &&Other) noexcept;
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+  ~MappedFile();
+
+  static ErrorOr<MappedFile> open(const std::string &Path);
+
+  const uint8_t *data() const { return Data; }
+  size_t size() const { return Size; }
+
+private:
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+  bool Mapped = false;
+  std::vector<uint8_t> FallbackCopy;
+};
+
 /// Atomically replaces the file at \p Path with \p Bytes (write to a
 /// temporary sibling, then rename). Parent directories must exist.
 Status writeFileAtomic(const std::string &Path,

@@ -22,23 +22,48 @@ uint64_t pcc::fnv1a64U64(uint64_t Value, uint64_t State) {
   return fnv1a64Bytes(Bytes, sizeof(Bytes), State);
 }
 
-static std::array<uint32_t, 256> makeCrc32Table() {
-  std::array<uint32_t, 256> Table{};
+// Slice-by-8 CRC-32: eight derived tables let the inner loop consume 8
+// bytes per iteration instead of 1, with the identical IEEE (reflected
+// 0xedb88320) polynomial and check values as the classic bytewise loop.
+// Table[K][B] is the CRC contribution of byte B seen K+1 positions before
+// the end of an 8-byte group.
+static std::array<std::array<uint32_t, 256>, 8> makeCrc32Tables() {
+  std::array<std::array<uint32_t, 256>, 8> Tables{};
   for (uint32_t I = 0; I != 256; ++I) {
     uint32_t C = I;
     for (int K = 0; K != 8; ++K)
       C = (C & 1) ? 0xedb88320U ^ (C >> 1) : C >> 1;
-    Table[I] = C;
+    Tables[0][I] = C;
   }
-  return Table;
+  for (uint32_t K = 1; K != 8; ++K)
+    for (uint32_t I = 0; I != 256; ++I)
+      Tables[K][I] =
+          (Tables[K - 1][I] >> 8) ^ Tables[0][Tables[K - 1][I] & 0xff];
+  return Tables;
 }
 
 uint32_t pcc::crc32(const void *Data, size_t Size, uint32_t Seed) {
-  static const std::array<uint32_t, 256> Table = makeCrc32Table();
+  static const std::array<std::array<uint32_t, 256>, 8> T =
+      makeCrc32Tables();
   uint32_t C = Seed ^ 0xffffffffU;
   const auto *Bytes = static_cast<const uint8_t *>(Data);
-  for (size_t I = 0; I != Size; ++I)
-    C = Table[(C ^ Bytes[I]) & 0xff] ^ (C >> 8);
+  while (Size >= 8) {
+    uint32_t Lo = C ^ (static_cast<uint32_t>(Bytes[0]) |
+                       static_cast<uint32_t>(Bytes[1]) << 8 |
+                       static_cast<uint32_t>(Bytes[2]) << 16 |
+                       static_cast<uint32_t>(Bytes[3]) << 24);
+    uint32_t Hi = static_cast<uint32_t>(Bytes[4]) |
+                  static_cast<uint32_t>(Bytes[5]) << 8 |
+                  static_cast<uint32_t>(Bytes[6]) << 16 |
+                  static_cast<uint32_t>(Bytes[7]) << 24;
+    C = T[7][Lo & 0xff] ^ T[6][(Lo >> 8) & 0xff] ^
+        T[5][(Lo >> 16) & 0xff] ^ T[4][Lo >> 24] ^ T[3][Hi & 0xff] ^
+        T[2][(Hi >> 8) & 0xff] ^ T[1][(Hi >> 16) & 0xff] ^ T[0][Hi >> 24];
+    Bytes += 8;
+    Size -= 8;
+  }
+  while (Size--)
+    C = T[0][(C ^ *Bytes++) & 0xff] ^ (C >> 8);
   return C ^ 0xffffffffU;
 }
 

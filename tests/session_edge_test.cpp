@@ -273,6 +273,73 @@ TEST(SessionEdge, FlushDuringPrimedRunDoesNotShrinkCache) {
   EXPECT_EQ(Full->Stats.TracesCompiled, 0u);
 }
 
+TEST(SessionEdge, LazyPayloadCorruptionDroppedAtFirstExecution) {
+  // A v2 cache whose header, module table and index are intact but
+  // whose payload is damaged primes successfully — the corruption is
+  // only detectable at the damaged trace's first execution, where the
+  // per-trace CRC fails, the trace is dropped and retranslated, and the
+  // run completes with unchanged results.
+  TinyWorkload W = makeTinyWorkload(4, 2, /*Seed=*/91);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  auto Input = W.allSlotsInput(4);
+  auto Cold = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(Cold.ok());
+
+  auto Files = listDirectory(Dir.path());
+  ASSERT_TRUE(Files.ok());
+  ASSERT_EQ(Files->size(), 1u);
+  std::string Path = Dir.path() + "/" + (*Files)[0];
+  auto Bytes = readFile(Path);
+  ASSERT_TRUE(Bytes.ok());
+  // The header stores the payload section's offset at byte 56 (see
+  // CacheView.h); flip a code byte well inside the section.
+  uint32_t PayloadOffset = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    PayloadOffset |= static_cast<uint32_t>((*Bytes)[56 + I]) << (8 * I);
+  size_t Victim = PayloadOffset + (Bytes->size() - PayloadOffset) / 2;
+  (*Bytes)[Victim] ^= 0x5a;
+  ASSERT_TRUE(writeFileAtomic(Path, *Bytes).ok());
+
+  PersistOptions ReadOnly;
+  ReadOnly.WriteBack = false;
+  auto Warm = workloads::runPersistent(W.Registry, W.App, Input, Db,
+                                       ReadOnly);
+  ASSERT_TRUE(Warm.ok()) << Warm.status().toString();
+  EXPECT_TRUE(Warm->Prime.CacheFound);
+  EXPECT_EQ(Warm->Prime.TracesInstalled, Cold->Stats.TracesCompiled)
+      << "damaged payload must not be detectable at prime time";
+  EXPECT_GT(Warm->Stats.TracesDroppedCorrupt, 0u);
+  EXPECT_GT(Warm->Stats.TracesCompiled, 0u)
+      << "dropped trace must be retranslated";
+  EXPECT_TRUE(Cold->Run.observablyEquals(Warm->Run));
+}
+
+TEST(SessionEdge, OnlyExecutedTracesAreValidated) {
+  // Prime N traces, execute a strict subset: exactly the executed
+  // traces' payloads are CRC-checked and decoded.
+  TinyWorkload W = makeTinyWorkload(8, 2, /*Seed=*/47);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  ASSERT_TRUE(workloads::runPersistent(W.Registry, W.App,
+                                       W.allSlotsInput(3), Db)
+                  .ok());
+
+  PersistOptions ReadOnly;
+  ReadOnly.WriteBack = false;
+  auto Partial = workloads::runPersistent(
+      W.Registry, W.App, W.input({{0, 3}, {1, 3}}), Db, ReadOnly);
+  ASSERT_TRUE(Partial.ok());
+  EXPECT_GT(Partial->Prime.TracesInstalled, 0u);
+  EXPECT_EQ(Partial->Stats.TracesCompiled, 0u);
+  EXPECT_EQ(Partial->Stats.TracePayloadsValidated,
+            Partial->Stats.TracesReused)
+      << "each executed persisted trace is validated exactly once";
+  EXPECT_LT(Partial->Stats.TracePayloadsValidated,
+            static_cast<uint64_t>(Partial->Prime.TracesInstalled))
+      << "unexecuted traces' payloads must never be validated";
+}
+
 TEST(SessionEdge, WrittenCachesAlwaysValidateStructurally) {
   // Every write-back path (fresh, accumulated, post-flush merge,
   // inter-app) produces files that pass deep validation.

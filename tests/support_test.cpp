@@ -48,6 +48,54 @@ TEST(Hashing, Crc32DetectsBitFlip) {
   EXPECT_NE(Before, crc32(Data.data(), Data.size()));
 }
 
+namespace {
+
+/// Textbook bytewise IEEE CRC-32 (reflected 0xedb88320), the loop the
+/// production slice-by-8 implementation must stay bit-identical to.
+uint32_t crc32Bytewise(const uint8_t *Data, size_t Size, uint32_t Seed) {
+  uint32_t Crc = Seed ^ 0xffffffffU;
+  for (size_t I = 0; I != Size; ++I) {
+    Crc ^= Data[I];
+    for (int Bit = 0; Bit != 8; ++Bit)
+      Crc = (Crc >> 1) ^ (0xedb88320U & (0U - (Crc & 1)));
+  }
+  return Crc ^ 0xffffffffU;
+}
+
+} // namespace
+
+TEST(Hashing, Crc32MatchesBytewiseReference) {
+  // Sweep lengths around the slice-by-8 block boundary (0..64) plus
+  // larger sizes, at every alignment of the buffer start.
+  std::vector<uint8_t> Data(4096 + 8);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<uint8_t>(I * 131 + 17);
+  for (size_t Offset = 0; Offset != 8; ++Offset) {
+    for (size_t Size = 0; Size <= 64; ++Size)
+      ASSERT_EQ(crc32(Data.data() + Offset, Size),
+                crc32Bytewise(Data.data() + Offset, Size, 0))
+          << "offset " << Offset << " size " << Size;
+    ASSERT_EQ(crc32(Data.data() + Offset, 4096),
+              crc32Bytewise(Data.data() + Offset, 4096, 0))
+        << "offset " << Offset;
+  }
+}
+
+TEST(Hashing, Crc32SeedChaining) {
+  // Feeding a buffer in arbitrary splits through the seed parameter
+  // must equal one pass over the whole buffer.
+  std::vector<uint8_t> Data(777);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<uint8_t>(I ^ (I >> 3));
+  uint32_t Whole = crc32(Data.data(), Data.size());
+  for (size_t Split : {1u, 7u, 8u, 64u, 511u, 776u}) {
+    uint32_t First = crc32(Data.data(), Split);
+    EXPECT_EQ(crc32(Data.data() + Split, Data.size() - Split, First),
+              Whole)
+        << "split at " << Split;
+  }
+}
+
 TEST(Hashing, HashCombineDistinguishesOrder) {
   EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
   EXPECT_NE(hashCombine(0, 0), 0u);

@@ -3,6 +3,9 @@
 // Reports and maintains a persistent cache database directory.
 //
 //   pcc-dbstat DIR                  print aggregate statistics
+//   pcc-dbstat DIR --header-only    list per-file headers; reads only
+//                                   the fixed 76-byte v2 header of each
+//                                   cache, never its index or payload
 //   pcc-dbstat DIR --shrink-to N    evict caches until <= N bytes
 //                                   (least-accumulated first; corrupt
 //                                   files always removed)
@@ -11,7 +14,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "persist/CacheDatabase.h"
+#include "persist/CacheView.h"
+#include "support/FileSystem.h"
 #include "support/StringUtils.h"
+#include "support/TablePrinter.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,16 +30,27 @@ int main(int Argc, char **Argv) {
   const char *Dir = nullptr;
   bool Clear = false;
   bool Shrink = false;
+  bool HeaderOnly = false;
   uint64_t MaxBytes = 0;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--clear") == 0)
       Clear = true;
+    else if (std::strcmp(Argv[I], "--header-only") == 0)
+      HeaderOnly = true;
     else if (std::strcmp(Argv[I], "--shrink-to") == 0 && I + 1 < Argc) {
       Shrink = true;
       MaxBytes = std::strtoull(Argv[++I], nullptr, 0);
     } else if (std::strcmp(Argv[I], "--help") == 0) {
       std::printf(
-          "usage: pcc-dbstat DIR [--shrink-to BYTES | --clear]\n");
+          "usage: pcc-dbstat DIR [--header-only | --shrink-to BYTES | "
+          "--clear]\n"
+          "  --header-only  per-file listing from v2 headers alone: each\n"
+          "                 cache costs one 76-byte read regardless of\n"
+          "                 size (legacy v1 files are listed by magic\n"
+          "                 only, without header fields)\n"
+          "  --shrink-to N  evict caches until the database is <= N "
+          "bytes\n"
+          "  --clear        delete every cache file\n");
       return 0;
     } else if (!Dir)
       Dir = Argv[I];
@@ -50,6 +67,42 @@ int main(int Argc, char **Argv) {
   }
 
   CacheDatabase Db(Dir);
+  if (HeaderOnly) {
+    auto Names = listDirectory(Dir);
+    if (!Names) {
+      std::fprintf(stderr, "pcc-dbstat: %s\n",
+                   Names.status().toString().c_str());
+      return 1;
+    }
+    TablePrinter Table("cache files (header-only scan)");
+    Table.addRow({"file", "fmt", "engine key", "tool key", "gen",
+                  "modules", "traces", "declared size"});
+    for (const std::string &Name : *Names) {
+      if (Name.size() < 4 || Name.substr(Name.size() - 4) != ".pcc")
+        continue;
+      std::string Path = std::string(Dir) + "/" + Name;
+      if (!isV2CacheFile(Path)) {
+        Table.addRow({Name, "v1", "-", "-", "-", "-", "-", "-"});
+        continue;
+      }
+      auto View =
+          CacheFileView::openFile(Path, CacheFileView::Depth::HeaderOnly);
+      if (!View) {
+        Table.addRow({Name, "v2",
+                      "corrupt: " + View.status().toString(), "", "", "",
+                      "", ""});
+        continue;
+      }
+      Table.addRow({Name, "v2", toHex(View->engineHash(), 16),
+                    toHex(View->toolHash(), 16),
+                    formatString("%u", View->generation()),
+                    formatString("%u", View->numModules()),
+                    formatString("%u", View->numTraces()),
+                    formatByteSize(View->declaredFileBytes())});
+    }
+    Table.print();
+    return 0;
+  }
   if (Clear) {
     Status S = Db.clear();
     if (!S.ok()) {
