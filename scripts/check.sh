@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 check: configure, build, and run the full test suite — the
+# exact gate a change must pass before merging.
+#
+#   scripts/check.sh                 standard RelWithDebInfo build
+#   scripts/check.sh --tsan          ThreadSanitizer build (separate
+#                                    build tree; vets the concurrent
+#                                    store publish/lock paths)
+#
+# Extra arguments after the mode are forwarded to ctest, e.g.
+#   scripts/check.sh --tsan -R CacheStore
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD="$ROOT/build"
+EXTRA_CMAKE=""
+
+if [ "${1:-}" = "--tsan" ]; then
+  shift
+  BUILD="$ROOT/build-tsan"
+  EXTRA_CMAKE="-DPCC_SANITIZE=thread"
+fi
+
+# shellcheck disable=SC2086  # EXTRA_CMAKE is intentionally word-split.
+cmake -B "$BUILD" -S "$ROOT" $EXTRA_CMAKE
+cmake --build "$BUILD" -j
+cd "$BUILD"
+exec ctest --output-on-failure -j "$@"

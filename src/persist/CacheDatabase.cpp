@@ -2,229 +2,17 @@
 
 #include "persist/CacheDatabase.h"
 
-#include "persist/CacheView.h"
-#include "support/FileSystem.h"
-#include "support/StringUtils.h"
+#include "persist/DirectoryStore.h"
 
-#include <algorithm>
-#include <optional>
-#include <vector>
+#include <cassert>
 
 using namespace pcc;
 using namespace pcc::persist;
 
-CacheDatabase::CacheDatabase(std::string Dir) : Dir(std::move(Dir)) {
-  // Creation failure surfaces later as IoError from load/store.
-  (void)createDirectories(this->Dir);
-}
+CacheDatabase::CacheDatabase(std::string Dir)
+    : Store(std::make_shared<DirectoryStore>(std::move(Dir))) {}
 
-std::string CacheDatabase::pathFor(uint64_t LookupKey) const {
-  return Dir + "/" + toHex(LookupKey, 16) + ".pcc";
-}
-
-bool CacheDatabase::exists(uint64_t LookupKey) const {
-  return fileExists(pathFor(LookupKey));
-}
-
-ErrorOr<CacheFile> CacheDatabase::load(uint64_t LookupKey) const {
-  std::string Path = pathFor(LookupKey);
-  if (!fileExists(Path))
-    return Status::error(ErrorCode::NotFound,
-                         "no persistent cache at " + Path);
-  return loadPath(Path);
-}
-
-ErrorOr<CacheFile> CacheDatabase::loadPath(const std::string &Path) const {
-  auto Bytes = readFile(Path);
-  if (!Bytes)
-    return Bytes.status();
-  return CacheFile::deserialize(*Bytes);
-}
-
-Status CacheDatabase::store(uint64_t LookupKey,
-                            const CacheFile &File) const {
-  return writeFileAtomic(pathFor(LookupKey), File.serialize());
-}
-
-Status CacheDatabase::remove(uint64_t LookupKey) const {
-  return removeFile(pathFor(LookupKey));
-}
-
-ErrorOr<std::vector<std::string>>
-CacheDatabase::findCompatible(uint64_t EngineHash,
-                              uint64_t ToolHash) const {
-  auto Names = listDirectory(Dir);
-  if (!Names)
-    return Names.status();
-  std::vector<std::string> Matches;
-  for (const std::string &Name : *Names) {
-    if (Name.size() < 4 || Name.substr(Name.size() - 4) != ".pcc")
-      continue;
-    std::string Path = Dir + "/" + Name;
-    if (isV2CacheFile(Path)) {
-      // Header-only open: the compatibility hashes live in the first 76
-      // bytes, so the scan cost is independent of cache size.
-      auto View = CacheFileView::openFile(
-          Path, CacheFileView::Depth::HeaderOnly);
-      if (!View)
-        continue; // Unreadable/corrupt caches are not candidates.
-      if (View->engineHash() == EngineHash &&
-          View->toolHash() == ToolHash)
-        Matches.push_back(Path);
-      continue;
-    }
-    auto File = loadPath(Path); // Legacy fallback: eager deserialize.
-    if (!File)
-      continue; // Unreadable/corrupt caches are simply not candidates.
-    if (File->EngineHash == EngineHash && File->ToolHash == ToolHash)
-      Matches.push_back(Path);
-  }
-  return Matches;
-}
-
-Status CacheDatabase::clear() const {
-  auto Names = listDirectory(Dir);
-  if (!Names)
-    return Names.status();
-  for (const std::string &Name : *Names) {
-    Status S = removeFile(Dir + "/" + Name);
-    if (!S.ok())
-      return S;
-  }
-  return Status::success();
-}
-
-namespace {
-
-bool isCacheFileName(const std::string &Name) {
-  return Name.size() >= 4 && Name.substr(Name.size() - 4) == ".pcc";
-}
-
-} // namespace
-
-ErrorOr<CacheDatabase::Stats> CacheDatabase::stats() const {
-  auto Names = listDirectory(Dir);
-  if (!Names)
-    return Names.status();
-  Stats Result;
-  for (const std::string &Name : *Names) {
-    if (!isCacheFileName(Name))
-      continue;
-    std::string Path = Dir + "/" + Name;
-    if (isV2CacheFile(Path)) {
-      // Index-deep open: trace counts and code/data totals come from
-      // the trace index; payload bytes are never read.
-      auto OnDisk = fileSize(Path);
-      if (!OnDisk)
-        continue;
-      ++Result.CacheFiles;
-      Result.DiskBytes += *OnDisk;
-      auto View =
-          CacheFileView::openFile(Path, CacheFileView::Depth::Index);
-      if (!View) {
-        ++Result.CorruptFiles;
-        continue;
-      }
-      Result.CodeBytes += View->codeBytes();
-      Result.DataBytes += View->dataBytes();
-      Result.Traces += View->numTraces();
-      continue;
-    }
-    auto Bytes = readFile(Path);
-    if (!Bytes)
-      continue;
-    ++Result.CacheFiles;
-    Result.DiskBytes += Bytes->size();
-    auto File = CacheFile::deserialize(*Bytes);
-    if (!File) {
-      ++Result.CorruptFiles;
-      continue;
-    }
-    Result.CodeBytes += File->codeBytes();
-    Result.DataBytes += File->dataBytes();
-    Result.Traces += File->Traces.size();
-  }
-  return Result;
-}
-
-ErrorOr<uint32_t> CacheDatabase::shrinkTo(uint64_t MaxBytes) const {
-  auto Names = listDirectory(Dir);
-  if (!Names)
-    return Names.status();
-
-  struct Entry {
-    std::string Path;
-    uint64_t Size = 0;
-    uint32_t Generation = 0;
-    bool Corrupt = false;
-  };
-  std::vector<Entry> Entries;
-  uint64_t Total = 0;
-  for (const std::string &Name : *Names) {
-    if (!isCacheFileName(Name))
-      continue;
-    Entry E;
-    E.Path = Dir + "/" + Name;
-    if (isV2CacheFile(E.Path)) {
-      // Index-deep (still payload-free): shrinkTo must flag files with
-      // damaged module tables or trace indices as corrupt so they are
-      // deleted unconditionally, not just truncated-header ones.
-      auto OnDisk = fileSize(E.Path);
-      if (!OnDisk)
-        continue;
-      E.Size = *OnDisk;
-      auto View = CacheFileView::openFile(
-          E.Path, CacheFileView::Depth::Index);
-      if (!View)
-        E.Corrupt = true;
-      else
-        E.Generation = View->generation();
-    } else {
-      auto Bytes = readFile(E.Path);
-      if (!Bytes)
-        continue;
-      E.Size = Bytes->size();
-      auto File = CacheFile::deserialize(*Bytes);
-      if (!File)
-        E.Corrupt = true;
-      else
-        E.Generation = File->Generation;
-    }
-    Total += E.Size;
-    Entries.push_back(std::move(E));
-  }
-
-  uint32_t Removed = 0;
-  // Corrupt files go unconditionally.
-  for (auto &E : Entries) {
-    if (!E.Corrupt)
-      continue;
-    if (removeFile(E.Path).ok()) {
-      Total -= E.Size;
-      E.Size = 0;
-      ++Removed;
-    }
-  }
-  if (Total <= MaxBytes)
-    return Removed;
-
-  // Evict least-accumulated caches first (lowest reuse evidence); among
-  // equals, reclaim the most bytes per eviction.
-  std::sort(Entries.begin(), Entries.end(),
-            [](const Entry &A, const Entry &B) {
-              if (A.Generation != B.Generation)
-                return A.Generation < B.Generation;
-              return A.Size > B.Size;
-            });
-  for (const Entry &E : Entries) {
-    if (Total <= MaxBytes)
-      break;
-    if (E.Corrupt || E.Size == 0)
-      continue;
-    if (removeFile(E.Path).ok()) {
-      Total -= E.Size;
-      ++Removed;
-    }
-  }
-  return Removed;
+CacheDatabase::CacheDatabase(std::shared_ptr<CacheStore> Store)
+    : Store(std::move(Store)) {
+  assert(this->Store && "database requires a backend");
 }

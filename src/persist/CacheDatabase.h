@@ -6,10 +6,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The persistent cache database of Figure 1: a host directory of cache
-/// files indexed by lookup key (application × engine version × tool).
-/// Multiple guest "processes" share one database, which is how the
-/// multi-process Oracle workload accumulates a cache across phases.
+/// The persistent cache database of Figure 1: cache files indexed by
+/// lookup key (application × engine version × tool). Multiple guest
+/// "processes" share one database, which is how the multi-process
+/// Oracle workload accumulates a cache across phases.
+///
+/// The database is a thin facade over a pluggable CacheStore backend:
+/// the historical constructor-from-directory keeps every existing
+/// caller working against a DirectoryStore, while tests and benches
+/// can substitute a MemoryStore.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,61 +22,79 @@
 #define PCC_PERSIST_CACHEDATABASE_H
 
 #include "persist/CacheFile.h"
+#include "persist/CacheStore.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace pcc {
 namespace persist {
 
-/// Directory-backed store of persistent cache files.
+/// Store-backed database of persistent cache files.
 class CacheDatabase {
 public:
-  /// Opens (creating if needed) the database at \p Dir.
+  /// Opens (creating if needed) a directory-backed database at \p Dir.
   explicit CacheDatabase(std::string Dir);
 
-  const std::string &directory() const { return Dir; }
+  /// Wraps an existing storage backend.
+  explicit CacheDatabase(std::shared_ptr<CacheStore> Store);
 
-  /// Host path of the cache file for \p LookupKey.
-  std::string pathFor(uint64_t LookupKey) const;
+  /// Location of the backing store (the directory path for
+  /// directory-backed databases).
+  const std::string &directory() const { return Store->location(); }
 
-  bool exists(uint64_t LookupKey) const;
+  /// The storage backend (never null).
+  const std::shared_ptr<CacheStore> &backend() const { return Store; }
+
+  /// Ref (host path for directory stores) of the cache for \p LookupKey.
+  std::string pathFor(uint64_t LookupKey) const {
+    return Store->refFor(LookupKey);
+  }
+
+  bool exists(uint64_t LookupKey) const {
+    return Store->exists(LookupKey);
+  }
 
   /// Loads and validates the cache for \p LookupKey. NotFound when no
   /// file exists; InvalidFormat/VersionMismatch on bad contents.
-  ErrorOr<CacheFile> load(uint64_t LookupKey) const;
+  ErrorOr<CacheFile> load(uint64_t LookupKey) const {
+    return Store->loadKey(LookupKey);
+  }
 
-  /// Loads an explicit cache file (cross-input / inter-application
+  /// Loads an explicit cache ref (cross-input / inter-application
   /// experiments pick their donor caches this way).
-  ErrorOr<CacheFile> loadPath(const std::string &Path) const;
+  ErrorOr<CacheFile> loadPath(const std::string &Path) const {
+    return Store->loadRef(Path);
+  }
 
-  /// Atomically writes the cache for \p LookupKey.
-  Status store(uint64_t LookupKey, const CacheFile &File) const;
+  /// Atomically writes the cache for \p LookupKey (unconditional
+  /// replace; concurrent finalizers use CacheStore::publish instead).
+  Status store(uint64_t LookupKey, const CacheFile &File) const {
+    return Store->put(LookupKey, File);
+  }
 
   /// Removes the cache for \p LookupKey if present.
-  Status remove(uint64_t LookupKey) const;
+  Status remove(uint64_t LookupKey) const {
+    return Store->retire(LookupKey);
+  }
 
-  /// Paths of every cache in the database whose engine and tool hashes
-  /// match — the inter-application candidate set ("a cache corresponding
-  /// to any application instrumented identically", Section 3.2.3).
-  /// Sorted by path for determinism.
+  /// Refs of every cache in the database whose engine and tool hashes
+  /// match — the inter-application candidate set ("a cache
+  /// corresponding to any application instrumented identically",
+  /// Section 3.2.3). Sorted by ref for determinism.
   ErrorOr<std::vector<std::string>>
-  findCompatible(uint64_t EngineHash, uint64_t ToolHash) const;
+  findCompatible(uint64_t EngineHash, uint64_t ToolHash) const {
+    return Store->findCompatible(EngineHash, ToolHash);
+  }
 
   /// Deletes every cache file in the database.
-  Status clear() const;
+  Status clear() const { return Store->clear(); }
 
   /// Aggregate statistics over the database (for operators and the
   /// maintenance policy).
-  struct Stats {
-    uint32_t CacheFiles = 0;
-    uint32_t CorruptFiles = 0;
-    uint64_t DiskBytes = 0;
-    uint64_t CodeBytes = 0;
-    uint64_t DataBytes = 0;
-    uint64_t Traces = 0;
-  };
-  ErrorOr<Stats> stats() const;
+  using Stats = StoreStats;
+  ErrorOr<Stats> stats() const { return Store->stats(); }
 
   /// Maintenance: shrinks the database until its total on-disk size is
   /// at most \p MaxBytes, deleting the smallest-generation (least
@@ -81,10 +104,12 @@ public:
   /// cache-database housekeeping a deployment needs once hundreds of
   /// applications persist translations (the paper's Oracle setting has
   /// 100,000 tests sharing one database).
-  ErrorOr<uint32_t> shrinkTo(uint64_t MaxBytes) const;
+  ErrorOr<uint32_t> shrinkTo(uint64_t MaxBytes) const {
+    return Store->shrinkTo(MaxBytes);
+  }
 
 private:
-  std::string Dir;
+  std::shared_ptr<CacheStore> Store;
 };
 
 } // namespace persist

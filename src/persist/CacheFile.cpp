@@ -43,6 +43,21 @@ size_t moduleKeyBytes(const ModuleKey &Key) {
 
 } // namespace
 
+size_t CacheFile::serializedSize() const {
+  size_t ModuleTableSize = 0;
+  for (const ModuleKey &Key : Modules)
+    ModuleTableSize += moduleKeyBytes(Key);
+  size_t HeapSize = 0;
+  size_t PayloadBytes = 0;
+  for (const TraceRecord &Trace : Traces) {
+    HeapSize += Trace.Exits.size() * v2::ExitRecordBytes +
+                Trace.RelocMask.size();
+    PayloadBytes += Trace.Code.size();
+  }
+  size_t IndexSize = Traces.size() * v2::IndexEntryBytes + HeapSize;
+  return v2::HeaderBytes + ModuleTableSize + IndexSize + PayloadBytes;
+}
+
 std::vector<uint8_t> CacheFile::serialize() const {
   // Exact section sizes, so one reserve() covers the whole file.
   size_t ModuleTableSize = 0;
@@ -68,7 +83,7 @@ std::vector<uint8_t> CacheFile::serialize() const {
   Writer.writeU64(ToolHash);
   Writer.writeU8(SpecBits);
   Writer.writeU8(PositionIndependent ? 1 : 0);
-  Writer.writeU16(0); // Reserved0.
+  Writer.writeU16(WriterTag); // Former Reserved0: last-writer pid tag.
   Writer.writeU32(Generation);
   Writer.writeU32(static_cast<uint32_t>(Modules.size()));
   Writer.writeU32(static_cast<uint32_t>(Traces.size()));
@@ -259,6 +274,7 @@ ErrorOr<CacheFile> CacheFile::deserialize(
   File.SpecBits = View->specBits();
   File.PositionIndependent = View->positionIndependent();
   File.Generation = View->generation();
+  File.WriterTag = View->writerTag();
   File.Modules = View->modules();
   File.Traces.reserve(View->numTraces());
   for (uint32_t I = 0; I != View->numTraces(); ++I) {

@@ -84,6 +84,10 @@ struct CacheFile {
   std::vector<TraceRecord> Traces;
   /// Accumulation generation: how many runs contributed to this cache.
   uint32_t Generation = 1;
+  /// Low 16 bits of the last writer's process id (diagnostics only; the
+  /// v2 header stores it in the former Reserved0 field, so old readers
+  /// ignore it). 0 when unknown (legacy files, unset by caller).
+  uint16_t WriterTag = 0;
   /// On-disk format the file was deserialized from (1 = legacy eager,
   /// 2 = indexed). Not serialized; serialize() always emits v2.
   uint32_t SourceFormat = 2;
@@ -99,6 +103,9 @@ struct CacheFile {
   /// buffer is reserved from a computed exact size, so appending never
   /// reallocates.
   std::vector<uint8_t> serialize() const;
+  /// Exact byte size serialize() would produce, without producing it
+  /// (cost accounting charges by size before the store serializes).
+  size_t serializedSize() const;
   /// Serializes in the legacy v1 format (whole-file trailing CRC32).
   /// Kept for migration tests and for writing donor fixtures.
   std::vector<uint8_t> serializeLegacy() const;

@@ -1,0 +1,184 @@
+//===- persist/CacheStore.h - Pluggable cache storage -----------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage layer under the persistent cache database: an abstract
+/// CacheStore keyed by the lookup key of Section 3.2.1, with caches
+/// addressed by opaque refs (host paths for the directory backend,
+/// slot names for the in-memory backend). The cache manager and the
+/// database facade speak only this interface; all filesystem knowledge
+/// lives in the backends.
+///
+/// The write side is transactional. publish() is the multi-process-safe
+/// path: it installs a cache under a key using whatever atomicity the
+/// backend offers (the directory backend: write-to-temp + fsync +
+/// rename under advisory locks) and resolves concurrent finalizers of
+/// the same key by *merging* — the loser re-reads the winner's cache
+/// and re-accumulates the traces the winner did not have, so no run's
+/// translations are clobbered (the paper's Oracle deployment has many
+/// worker processes racing on one database).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_PERSIST_CACHESTORE_H
+#define PCC_PERSIST_CACHESTORE_H
+
+#include "persist/CacheFile.h"
+#include "persist/CacheView.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace persist {
+
+/// A located cache, uniform over the eagerly deserialized legacy (v1)
+/// format and the indexed v2 view whose payloads stay unread until
+/// first execution. Exactly one of the two members is engaged.
+struct StoredCache {
+  std::optional<CacheFile> Eager;
+  std::optional<CacheFileView> View;
+
+  uint64_t engineHash() const {
+    return View ? View->engineHash() : Eager->EngineHash;
+  }
+  uint64_t toolHash() const {
+    return View ? View->toolHash() : Eager->ToolHash;
+  }
+  bool positionIndependent() const {
+    return View ? View->positionIndependent()
+                : Eager->PositionIndependent;
+  }
+  uint32_t generation() const {
+    return View ? View->generation() : Eager->Generation;
+  }
+};
+
+/// Aggregate statistics over a store (for operators and the
+/// maintenance policy).
+struct StoreStats {
+  uint32_t CacheFiles = 0;
+  uint32_t CorruptFiles = 0;
+  uint64_t DiskBytes = 0;
+  uint64_t CodeBytes = 0;
+  uint64_t DataBytes = 0;
+  uint64_t Traces = 0;
+};
+
+/// One advisory lock a store uses for writer coordination, with its
+/// (racy, diagnostic-only) current status.
+struct LockInfo {
+  std::string Path;
+  bool Held = false;
+};
+
+/// What publish() did.
+struct PublishResult {
+  /// Generation of the cache now stored under the key.
+  uint32_t Generation = 0;
+  /// True when a concurrent writer won the slot first and the caller's
+  /// cache was merged with the winner's instead of replacing it.
+  bool Merged = false;
+};
+
+/// Abstract storage backend for persistent caches.
+class CacheStore {
+public:
+  virtual ~CacheStore() = default;
+
+  /// Human-readable location of the store (directory path, "<memory>").
+  virtual const std::string &location() const = 0;
+
+  /// Opaque ref of the cache slot for \p LookupKey. For directory
+  /// stores this is the host path of the cache file.
+  virtual std::string refFor(uint64_t LookupKey) const = 0;
+
+  virtual bool exists(uint64_t LookupKey) const = 0;
+
+  /// Opens the cache at \p Ref for reuse: v2 caches come back as a
+  /// CRC-validated indexed view (payloads untouched), legacy caches as
+  /// an eager CacheFile. NotFound/IoError when there is nothing usable;
+  /// InvalidFormat/VersionMismatch on bad contents.
+  virtual ErrorOr<StoredCache> openRef(const std::string &Ref,
+                                       CacheFileView::Depth D) = 0;
+
+  /// Opens the cache slot for \p LookupKey (NotFound when empty).
+  ErrorOr<StoredCache> openKey(uint64_t LookupKey,
+                               CacheFileView::Depth D);
+
+  /// Eagerly loads and fully CRC-validates the cache at \p Ref — the
+  /// compatibility path for tools and cross-cache accumulation.
+  virtual ErrorOr<CacheFile> loadRef(const std::string &Ref) = 0;
+
+  /// Eagerly loads the cache slot for \p LookupKey.
+  ErrorOr<CacheFile> loadKey(uint64_t LookupKey);
+
+  /// Unconditionally replaces the cache slot for \p LookupKey
+  /// (atomically, but with no conflict detection — last writer wins).
+  virtual Status put(uint64_t LookupKey, const CacheFile &File) = 0;
+
+  /// Writes \p File to an explicit ref outside any key slot (donor
+  /// fixtures, StoreAsPath experiments). No locking or merging.
+  virtual Status putRef(const std::string &Ref,
+                        const CacheFile &File) = 0;
+
+  /// Transactionally installs \p File under \p LookupKey.
+  /// \p BaseGeneration is the generation of the cache the caller primed
+  /// from (0 when it started empty). When the slot still holds that
+  /// generation the file is stored as given; when a concurrent writer
+  /// advanced the slot first, the caller's file is merged with the
+  /// winner's (the winner's still-novel traces are re-accumulated into
+  /// the caller's) and the merge is stored at the next generation.
+  virtual ErrorOr<PublishResult> publish(uint64_t LookupKey,
+                                         CacheFile File,
+                                         uint32_t BaseGeneration) = 0;
+
+  /// Removes the cache slot for \p LookupKey if present.
+  virtual Status retire(uint64_t LookupKey) = 0;
+
+  /// Removes every cache in the store (lock files survive).
+  virtual Status clear() = 0;
+
+  /// Refs of every cache whose engine and tool hashes match — the
+  /// inter-application candidate set ("a cache corresponding to any
+  /// application instrumented identically", Section 3.2.3). Sorted by
+  /// ref for determinism.
+  virtual ErrorOr<std::vector<std::string>>
+  findCompatible(uint64_t EngineHash, uint64_t ToolHash) = 0;
+
+  virtual ErrorOr<StoreStats> stats() = 0;
+
+  /// Maintenance: shrinks the store until its total size is at most
+  /// \p MaxBytes, deleting the smallest-generation (least accumulated,
+  /// i.e. least reused) caches first; ties broken by size, largest
+  /// first. Corrupt caches are always deleted. \returns the number of
+  /// caches removed.
+  virtual ErrorOr<uint32_t> shrinkTo(uint64_t MaxBytes) = 0;
+
+  /// The store's writer-coordination locks and their current status
+  /// (empty for backends that need none).
+  virtual std::vector<LockInfo> locks() const { return {}; }
+};
+
+/// Merges two caches produced from the same application under the same
+/// engine/tool: \p Novel is the cache a finalizer just built (its
+/// module keys were validated against the live image moments ago) and
+/// \p Winner is the cache a concurrent finalizer got into the slot
+/// first. The result keeps all of Novel and re-accumulates from Winner
+/// every trace Novel does not cover: winner modules are matched to
+/// novel modules by path (key mismatch drops that module's traces);
+/// winner-only modules are carried over unless their mapping overlaps
+/// a retained module; trace links whose targets did not survive are
+/// cleared. Generation and WriterTag are left as Novel's — publish()
+/// assigns the final generation.
+CacheFile mergeCacheFiles(const CacheFile &Winner, CacheFile Novel);
+
+} // namespace persist
+} // namespace pcc
+
+#endif // PCC_PERSIST_CACHESTORE_H

@@ -42,7 +42,7 @@ Status CacheFileView::parseHeader(const uint8_t *Bytes, size_t Available) {
   ToolHash = Reader.readU64();
   SpecBits = Reader.readU8();
   PositionIndependent = Reader.readU8() != 0;
-  Reader.readU16(); // Reserved0.
+  WriterTag = Reader.readU16(); // Former Reserved0: last-writer pid tag.
   Generation = Reader.readU32();
   NumModules = Reader.readU32();
   NumTraces = Reader.readU32();

@@ -26,7 +26,7 @@
 ///   +16 u64 ToolHash            +52 u32 TraceIndexSize
 ///   +24 u8  SpecBits            +56 u32 PayloadOffset
 ///   +25 u8  PositionIndependent +60 u32 PayloadSize
-///   +26 u16 Reserved0           +64 u32 ModuleTableCrc
+///   +26 u16 WriterTag           +64 u32 ModuleTableCrc
 ///   +28 u32 Generation          +68 u32 TraceIndexCrc
 ///   +32 u32 NumModules          +72 u32 HeaderCrc (over bytes [0, 72))
 ///   +36 u32 NumTraces
@@ -119,6 +119,8 @@ public:
   uint8_t specBits() const { return SpecBits; }
   bool positionIndependent() const { return PositionIndependent; }
   uint32_t generation() const { return Generation; }
+  /// Low 16 bits of the last writer's pid (0 when untagged).
+  uint16_t writerTag() const { return WriterTag; }
   uint32_t numModules() const { return NumModules; }
   uint32_t numTraces() const { return NumTraces; }
   /// Total file size declared by the header.
@@ -164,6 +166,7 @@ private:
   uint64_t ToolHash = 0;
   uint8_t SpecBits = 0;
   bool PositionIndependent = false;
+  uint16_t WriterTag = 0;
   uint32_t Generation = 0;
   uint32_t NumModules = 0;
   uint32_t NumTraces = 0;

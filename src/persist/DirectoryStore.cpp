@@ -1,0 +1,354 @@
+//===- persist/DirectoryStore.cpp -----------------------------------------===//
+
+#include "persist/DirectoryStore.h"
+
+#include "support/FileLock.h"
+#include "support/FileSystem.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace pcc;
+using namespace pcc::persist;
+
+namespace {
+
+bool isCacheFileName(const std::string &Name) {
+  return Name.size() >= 4 && Name.substr(Name.size() - 4) == ".pcc";
+}
+
+bool isLockFileName(const std::string &Name) {
+  return Name.size() >= 5 && Name.substr(Name.size() - 5) == ".lock";
+}
+
+} // namespace
+
+DirectoryStore::DirectoryStore(std::string Dir) : Dir(std::move(Dir)) {
+  // Creation failure surfaces later as IoError from open/publish.
+  (void)createDirectories(this->Dir);
+}
+
+std::string DirectoryStore::refFor(uint64_t LookupKey) const {
+  return Dir + "/" + toHex(LookupKey, 16) + ".pcc";
+}
+
+std::string DirectoryStore::lockDir() const { return Dir + "/.locks"; }
+
+std::string DirectoryStore::storeLockPath() const {
+  // Lock files live out of the store directory proper so directory
+  // listings see nothing but cache files. Creation failure surfaces as
+  // IoError from the subsequent FileLock::acquire.
+  (void)createDirectories(lockDir());
+  return lockDir() + "/store.lock";
+}
+
+std::string DirectoryStore::keyLockPath(uint64_t LookupKey) const {
+  (void)createDirectories(lockDir());
+  return lockDir() + "/k" + toHex(LookupKey, 16) + ".lock";
+}
+
+bool DirectoryStore::exists(uint64_t LookupKey) const {
+  return fileExists(refFor(LookupKey));
+}
+
+ErrorOr<StoredCache> DirectoryStore::openRef(const std::string &Ref,
+                                             CacheFileView::Depth D) {
+  StoredCache Cache;
+  if (isV2CacheFile(Ref)) {
+    // Indexed open: header (and at Depth::Index the module table and
+    // trace index) are CRC-validated here; trace payloads stay unread
+    // until first execution.
+    auto View = CacheFileView::openFile(Ref, D);
+    if (!View)
+      return View.status();
+    Cache.View = View.take();
+    return Cache;
+  }
+  auto File = loadRef(Ref); // Legacy fallback: eager deserialize.
+  if (!File)
+    return File.status();
+  Cache.Eager = File.take();
+  return Cache;
+}
+
+ErrorOr<CacheFile> DirectoryStore::loadRef(const std::string &Ref) {
+  auto Bytes = readFile(Ref);
+  if (!Bytes)
+    return Bytes.status();
+  return CacheFile::deserialize(*Bytes);
+}
+
+Status DirectoryStore::put(uint64_t LookupKey, const CacheFile &File) {
+  return writeFileAtomic(refFor(LookupKey), File.serialize());
+}
+
+Status DirectoryStore::putRef(const std::string &Ref,
+                              const CacheFile &File) {
+  return writeFileAtomic(Ref, File.serialize());
+}
+
+uint32_t DirectoryStore::slotGeneration(const std::string &Ref) const {
+  if (!fileExists(Ref))
+    return 0;
+  if (isV2CacheFile(Ref)) {
+    auto View =
+        CacheFileView::openFile(Ref, CacheFileView::Depth::HeaderOnly);
+    return View ? View->generation() : 0;
+  }
+  auto Bytes = readFile(Ref);
+  if (!Bytes)
+    return 0;
+  auto File = CacheFile::deserialize(*Bytes);
+  return File ? File->Generation : 0;
+}
+
+ErrorOr<PublishResult> DirectoryStore::publish(uint64_t LookupKey,
+                                               CacheFile File,
+                                               uint32_t BaseGeneration) {
+  // Shared on the store lock: publishers of different keys proceed in
+  // parallel, while maintenance (exclusive holder) quiesces them all.
+  auto StoreLock =
+      FileLock::acquire(storeLockPath(), FileLock::Mode::Shared);
+  if (!StoreLock)
+    return StoreLock.status();
+  // Exclusive on the slot: the generation read, the merge decision and
+  // the rename below form one critical section per key.
+  auto KeyLock = FileLock::acquire(keyLockPath(LookupKey));
+  if (!KeyLock)
+    return KeyLock.status();
+
+  std::string Ref = refFor(LookupKey);
+  PublishResult Result;
+  uint32_t Current = slotGeneration(Ref);
+  if (Current != 0 && Current != BaseGeneration) {
+    // A concurrent finalizer advanced the slot since the caller primed.
+    // Re-read the winner and re-accumulate its novel traces, so both
+    // runs' translations survive. An unreadable winner is overwritten.
+    auto Winner = loadRef(Ref);
+    if (Winner) {
+      File = mergeCacheFiles(*Winner, std::move(File));
+      File.Generation = Current + 1;
+      Result.Merged = true;
+    }
+  }
+  Result.Generation = File.Generation;
+  Status S = writeFileAtomic(Ref, File.serialize(), /*SyncToDisk=*/true);
+  if (!S.ok())
+    return S;
+  return Result;
+}
+
+Status DirectoryStore::retire(uint64_t LookupKey) {
+  return removeFile(refFor(LookupKey));
+}
+
+void DirectoryStore::sweepOrphanedTemps() {
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return;
+  for (const std::string &Name : *Names)
+    if (isAtomicTempName(Name))
+      (void)removeFile(Dir + "/" + Name);
+}
+
+Status DirectoryStore::clear() {
+  auto Lock = FileLock::acquire(storeLockPath());
+  if (!Lock)
+    return Lock.status();
+  sweepOrphanedTemps();
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return Names.status();
+  for (const std::string &Name : *Names) {
+    // Lock files are never deleted (see FileLock.h); they normally live
+    // in .locks/ (which listDirectory's files-only scan skips anyway),
+    // but skip strays in the store directory too.
+    if (isLockFileName(Name))
+      continue;
+    Status S = removeFile(Dir + "/" + Name);
+    if (!S.ok())
+      return S;
+  }
+  return Status::success();
+}
+
+ErrorOr<std::vector<std::string>>
+DirectoryStore::findCompatible(uint64_t EngineHash, uint64_t ToolHash) {
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return Names.status();
+  std::vector<std::string> Matches;
+  for (const std::string &Name : *Names) {
+    if (!isCacheFileName(Name))
+      continue;
+    std::string Path = Dir + "/" + Name;
+    if (isV2CacheFile(Path)) {
+      // Header-only open: the compatibility hashes live in the first 76
+      // bytes, so the scan cost is independent of cache size.
+      auto View = CacheFileView::openFile(
+          Path, CacheFileView::Depth::HeaderOnly);
+      if (!View)
+        continue; // Unreadable/corrupt caches are not candidates.
+      if (View->engineHash() == EngineHash &&
+          View->toolHash() == ToolHash)
+        Matches.push_back(Path);
+      continue;
+    }
+    auto File = loadRef(Path); // Legacy fallback: eager deserialize.
+    if (!File)
+      continue; // Unreadable/corrupt caches are simply not candidates.
+    if (File->EngineHash == EngineHash && File->ToolHash == ToolHash)
+      Matches.push_back(Path);
+  }
+  return Matches;
+}
+
+ErrorOr<StoreStats> DirectoryStore::stats() {
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return Names.status();
+  StoreStats Result;
+  for (const std::string &Name : *Names) {
+    if (!isCacheFileName(Name))
+      continue;
+    std::string Path = Dir + "/" + Name;
+    if (isV2CacheFile(Path)) {
+      // Index-deep open: trace counts and code/data totals come from
+      // the trace index; payload bytes are never read.
+      auto OnDisk = fileSize(Path);
+      if (!OnDisk)
+        continue;
+      ++Result.CacheFiles;
+      Result.DiskBytes += *OnDisk;
+      auto View =
+          CacheFileView::openFile(Path, CacheFileView::Depth::Index);
+      if (!View) {
+        ++Result.CorruptFiles;
+        continue;
+      }
+      Result.CodeBytes += View->codeBytes();
+      Result.DataBytes += View->dataBytes();
+      Result.Traces += View->numTraces();
+      continue;
+    }
+    auto Bytes = readFile(Path);
+    if (!Bytes)
+      continue;
+    ++Result.CacheFiles;
+    Result.DiskBytes += Bytes->size();
+    auto File = CacheFile::deserialize(*Bytes);
+    if (!File) {
+      ++Result.CorruptFiles;
+      continue;
+    }
+    Result.CodeBytes += File->codeBytes();
+    Result.DataBytes += File->dataBytes();
+    Result.Traces += File->Traces.size();
+  }
+  return Result;
+}
+
+ErrorOr<uint32_t> DirectoryStore::shrinkTo(uint64_t MaxBytes) {
+  // Exclusive on the store lock: no publisher may race the eviction
+  // scan, and orphaned temporaries can be swept safely.
+  auto Lock = FileLock::acquire(storeLockPath());
+  if (!Lock)
+    return Lock.status();
+  sweepOrphanedTemps();
+
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return Names.status();
+
+  struct Entry {
+    std::string Path;
+    uint64_t Size = 0;
+    uint32_t Generation = 0;
+    bool Corrupt = false;
+  };
+  std::vector<Entry> Entries;
+  uint64_t Total = 0;
+  for (const std::string &Name : *Names) {
+    if (!isCacheFileName(Name))
+      continue;
+    Entry E;
+    E.Path = Dir + "/" + Name;
+    if (isV2CacheFile(E.Path)) {
+      // Index-deep (still payload-free): shrinkTo must flag files with
+      // damaged module tables or trace indices as corrupt so they are
+      // deleted unconditionally, not just truncated-header ones.
+      auto OnDisk = fileSize(E.Path);
+      if (!OnDisk)
+        continue;
+      E.Size = *OnDisk;
+      auto View = CacheFileView::openFile(
+          E.Path, CacheFileView::Depth::Index);
+      if (!View)
+        E.Corrupt = true;
+      else
+        E.Generation = View->generation();
+    } else {
+      auto Bytes = readFile(E.Path);
+      if (!Bytes)
+        continue;
+      E.Size = Bytes->size();
+      auto File = CacheFile::deserialize(*Bytes);
+      if (!File)
+        E.Corrupt = true;
+      else
+        E.Generation = File->Generation;
+    }
+    Total += E.Size;
+    Entries.push_back(std::move(E));
+  }
+
+  uint32_t Removed = 0;
+  // Corrupt files go unconditionally.
+  for (auto &E : Entries) {
+    if (!E.Corrupt)
+      continue;
+    if (removeFile(E.Path).ok()) {
+      Total -= E.Size;
+      E.Size = 0;
+      ++Removed;
+    }
+  }
+  if (Total <= MaxBytes)
+    return Removed;
+
+  // Evict least-accumulated caches first (lowest reuse evidence); among
+  // equals, reclaim the most bytes per eviction.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) {
+              if (A.Generation != B.Generation)
+                return A.Generation < B.Generation;
+              return A.Size > B.Size;
+            });
+  for (const Entry &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    if (E.Corrupt || E.Size == 0)
+      continue;
+    if (removeFile(E.Path).ok()) {
+      Total -= E.Size;
+      ++Removed;
+    }
+  }
+  return Removed;
+}
+
+std::vector<LockInfo> DirectoryStore::locks() const {
+  std::vector<LockInfo> Result;
+  auto Names = listDirectory(Dir + "/.locks");
+  if (!Names)
+    return Result; // No .locks/ yet: nothing has ever published.
+  for (const std::string &Name : *Names) {
+    if (!isLockFileName(Name))
+      continue;
+    LockInfo Info;
+    Info.Path = Dir + "/.locks/" + Name;
+    Info.Held = isFileLockHeld(Info.Path);
+    Result.push_back(std::move(Info));
+  }
+  return Result;
+}

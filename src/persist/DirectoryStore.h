@@ -1,0 +1,84 @@
+//===- persist/DirectoryStore.h - Directory-of-files backend ----*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The production CacheStore backend: a host directory of cache files,
+/// one `<lookup-key-hex>.pcc` per slot — the database of Figure 1 as it
+/// actually lives on disk.
+///
+/// Writer coordination (multi-process, advisory):
+///
+///   * publish() holds the store-wide lock *shared* plus the slot's
+///     per-key lock *exclusive* — concurrent publishers of different
+///     keys proceed in parallel; two finalizers of one key serialize,
+///     and the loser merges the winner's novel traces before writing.
+///   * shrinkTo() and clear() hold the store-wide lock *exclusive*,
+///     quiescing all publishers, and sweep any temporaries a crashed
+///     writer orphaned.
+///   * Readers take no locks at all: every visible cache file is the
+///     product of an atomic rename, so scans and priming always see a
+///     complete file (possibly one generation stale).
+///
+/// Lock files live in a `.locks/` subdirectory (`store.lock`,
+/// `k<hex>.lock`) so the store directory itself holds nothing but cache
+/// files; they are created on demand and never deleted — see FileLock.h
+/// for the inode-split hazard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_PERSIST_DIRECTORYSTORE_H
+#define PCC_PERSIST_DIRECTORYSTORE_H
+
+#include "persist/CacheStore.h"
+
+namespace pcc {
+namespace persist {
+
+/// Directory-backed store of persistent cache files.
+class DirectoryStore : public CacheStore {
+public:
+  /// Opens (creating if needed) the store at \p Dir.
+  explicit DirectoryStore(std::string Dir);
+
+  const std::string &location() const override { return Dir; }
+  std::string refFor(uint64_t LookupKey) const override;
+  bool exists(uint64_t LookupKey) const override;
+  ErrorOr<StoredCache> openRef(const std::string &Ref,
+                               CacheFileView::Depth D) override;
+  ErrorOr<CacheFile> loadRef(const std::string &Ref) override;
+  Status put(uint64_t LookupKey, const CacheFile &File) override;
+  Status putRef(const std::string &Ref, const CacheFile &File) override;
+  ErrorOr<PublishResult> publish(uint64_t LookupKey, CacheFile File,
+                                 uint32_t BaseGeneration) override;
+  Status retire(uint64_t LookupKey) override;
+  Status clear() override;
+  ErrorOr<std::vector<std::string>>
+  findCompatible(uint64_t EngineHash, uint64_t ToolHash) override;
+  ErrorOr<StoreStats> stats() override;
+  ErrorOr<uint32_t> shrinkTo(uint64_t MaxBytes) override;
+  std::vector<LockInfo> locks() const override;
+
+private:
+  /// Lock-file subdirectory, created on first use by the *LockPath
+  /// accessors (so read-only stores never grow one).
+  std::string lockDir() const;
+  std::string storeLockPath() const;
+  std::string keyLockPath(uint64_t LookupKey) const;
+  /// Current generation of the slot at \p Ref: 0 when missing or
+  /// unreadable (an unreadable slot is overwritten, not merged).
+  uint32_t slotGeneration(const std::string &Ref) const;
+  /// Deletes temporaries orphaned by crashed writers. Caller must hold
+  /// the store-wide lock exclusively.
+  void sweepOrphanedTemps();
+
+  std::string Dir;
+};
+
+} // namespace persist
+} // namespace pcc
+
+#endif // PCC_PERSIST_DIRECTORYSTORE_H

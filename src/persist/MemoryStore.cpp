@@ -1,0 +1,221 @@
+//===- persist/MemoryStore.cpp --------------------------------------------===//
+
+#include "persist/MemoryStore.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace pcc;
+using namespace pcc::persist;
+
+MemoryStore::MemoryStore() = default;
+
+std::string MemoryStore::refFor(uint64_t LookupKey) const {
+  return Location + "/" + toHex(LookupKey, 16) + ".pcc";
+}
+
+bool MemoryStore::exists(uint64_t LookupKey) const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Slots.count(refFor(LookupKey)) != 0;
+}
+
+namespace {
+
+bool isLegacyImage(const std::vector<uint8_t> &Bytes) {
+  if (Bytes.size() < 4)
+    return false;
+  uint32_t Magic = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    Magic |= static_cast<uint32_t>(Bytes[I]) << (8 * I);
+  return Magic == LegacyCacheMagic;
+}
+
+/// Parses generation without a full decode: 0 when unreadable.
+uint32_t imageGeneration(const std::vector<uint8_t> &Bytes) {
+  if (isLegacyImage(Bytes)) {
+    auto File = CacheFile::deserialize(Bytes);
+    return File ? File->Generation : 0;
+  }
+  auto View =
+      CacheFileView::open(Bytes, CacheFileView::Depth::HeaderOnly);
+  return View ? View->generation() : 0;
+}
+
+} // namespace
+
+ErrorOr<StoredCache> MemoryStore::openRef(const std::string &Ref,
+                                          CacheFileView::Depth D) {
+  std::vector<uint8_t> Bytes;
+  {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    auto It = Slots.find(Ref);
+    if (It == Slots.end())
+      return Status::error(ErrorCode::NotFound, "no cache at " + Ref);
+    Bytes = It->second;
+  }
+  StoredCache Cache;
+  if (isLegacyImage(Bytes)) {
+    auto File = CacheFile::deserialize(Bytes);
+    if (!File)
+      return File.status();
+    Cache.Eager = File.take();
+    return Cache;
+  }
+  auto View = CacheFileView::open(std::move(Bytes), D);
+  if (!View)
+    return View.status();
+  Cache.View = View.take();
+  return Cache;
+}
+
+ErrorOr<CacheFile> MemoryStore::loadRef(const std::string &Ref) {
+  std::vector<uint8_t> Bytes;
+  {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    auto It = Slots.find(Ref);
+    if (It == Slots.end())
+      return Status::error(ErrorCode::NotFound, "no cache at " + Ref);
+    Bytes = It->second;
+  }
+  return CacheFile::deserialize(Bytes);
+}
+
+Status MemoryStore::put(uint64_t LookupKey, const CacheFile &File) {
+  return putRef(refFor(LookupKey), File);
+}
+
+Status MemoryStore::putRef(const std::string &Ref,
+                           const CacheFile &File) {
+  std::vector<uint8_t> Bytes = File.serialize();
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Slots[Ref] = std::move(Bytes);
+  return Status::success();
+}
+
+ErrorOr<PublishResult> MemoryStore::publish(uint64_t LookupKey,
+                                            CacheFile File,
+                                            uint32_t BaseGeneration) {
+  // One mutex plays both of the directory store's lock roles: the
+  // generation read, merge and slot swap are a single critical section.
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::string Ref = refFor(LookupKey);
+  PublishResult Result;
+  auto It = Slots.find(Ref);
+  uint32_t Current = It == Slots.end() ? 0 : imageGeneration(It->second);
+  if (Current != 0 && Current != BaseGeneration) {
+    auto Winner = CacheFile::deserialize(It->second);
+    if (Winner) {
+      File = mergeCacheFiles(*Winner, std::move(File));
+      File.Generation = Current + 1;
+      Result.Merged = true;
+    }
+  }
+  Result.Generation = File.Generation;
+  Slots[Ref] = File.serialize();
+  return Result;
+}
+
+Status MemoryStore::retire(uint64_t LookupKey) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Slots.erase(refFor(LookupKey));
+  return Status::success();
+}
+
+Status MemoryStore::clear() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Slots.clear();
+  return Status::success();
+}
+
+ErrorOr<std::vector<std::string>>
+MemoryStore::findCompatible(uint64_t EngineHash, uint64_t ToolHash) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::vector<std::string> Matches;
+  for (const auto &[Ref, Bytes] : Slots) {
+    if (isLegacyImage(Bytes)) {
+      auto File = CacheFile::deserialize(Bytes);
+      if (File && File->EngineHash == EngineHash &&
+          File->ToolHash == ToolHash)
+        Matches.push_back(Ref);
+      continue;
+    }
+    auto View =
+        CacheFileView::open(Bytes, CacheFileView::Depth::HeaderOnly);
+    if (View && View->engineHash() == EngineHash &&
+        View->toolHash() == ToolHash)
+      Matches.push_back(Ref);
+  }
+  return Matches;
+}
+
+ErrorOr<StoreStats> MemoryStore::stats() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  StoreStats Result;
+  for (const auto &[Ref, Bytes] : Slots) {
+    ++Result.CacheFiles;
+    Result.DiskBytes += Bytes.size();
+    auto File = CacheFile::deserialize(Bytes);
+    if (!File) {
+      ++Result.CorruptFiles;
+      continue;
+    }
+    Result.CodeBytes += File->codeBytes();
+    Result.DataBytes += File->dataBytes();
+    Result.Traces += File->Traces.size();
+  }
+  return Result;
+}
+
+ErrorOr<uint32_t> MemoryStore::shrinkTo(uint64_t MaxBytes) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  struct Entry {
+    std::string Ref;
+    uint64_t Size = 0;
+    uint32_t Generation = 0;
+    bool Corrupt = false;
+  };
+  std::vector<Entry> Entries;
+  uint64_t Total = 0;
+  for (const auto &[Ref, Bytes] : Slots) {
+    Entry E;
+    E.Ref = Ref;
+    E.Size = Bytes.size();
+    auto File = CacheFile::deserialize(Bytes);
+    if (!File)
+      E.Corrupt = true;
+    else
+      E.Generation = File->Generation;
+    Total += E.Size;
+    Entries.push_back(std::move(E));
+  }
+
+  uint32_t Removed = 0;
+  for (auto &E : Entries) {
+    if (!E.Corrupt)
+      continue;
+    Slots.erase(E.Ref);
+    Total -= E.Size;
+    E.Size = 0;
+    ++Removed;
+  }
+  if (Total <= MaxBytes)
+    return Removed;
+
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) {
+              if (A.Generation != B.Generation)
+                return A.Generation < B.Generation;
+              return A.Size > B.Size;
+            });
+  for (const Entry &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    if (E.Corrupt || E.Size == 0)
+      continue;
+    Slots.erase(E.Ref);
+    Total -= E.Size;
+    ++Removed;
+  }
+  return Removed;
+}

@@ -1,0 +1,64 @@
+//===- persist/MemoryStore.h - In-memory store backend ----------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-memory CacheStore for tests and benchmarks: slots are
+/// serialized cache images in a mutex-guarded map, so the full
+/// persistence protocol — including transactional publish with
+/// generation-conflict merging — can be exercised without touching the
+/// host filesystem. Storing the *serialized* bytes (not CacheFile
+/// objects) keeps the backend honest: every open round-trips through
+/// the same format and CRC checks as the directory store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_PERSIST_MEMORYSTORE_H
+#define PCC_PERSIST_MEMORYSTORE_H
+
+#include "persist/CacheStore.h"
+
+#include <map>
+#include <mutex>
+
+namespace pcc {
+namespace persist {
+
+/// Map-backed store of serialized cache images. Thread-safe; a single
+/// mutex stands in for the directory store's file locks.
+class MemoryStore : public CacheStore {
+public:
+  MemoryStore();
+
+  const std::string &location() const override { return Location; }
+  std::string refFor(uint64_t LookupKey) const override;
+  bool exists(uint64_t LookupKey) const override;
+  ErrorOr<StoredCache> openRef(const std::string &Ref,
+                               CacheFileView::Depth D) override;
+  ErrorOr<CacheFile> loadRef(const std::string &Ref) override;
+  Status put(uint64_t LookupKey, const CacheFile &File) override;
+  Status putRef(const std::string &Ref, const CacheFile &File) override;
+  ErrorOr<PublishResult> publish(uint64_t LookupKey, CacheFile File,
+                                 uint32_t BaseGeneration) override;
+  Status retire(uint64_t LookupKey) override;
+  Status clear() override;
+  ErrorOr<std::vector<std::string>>
+  findCompatible(uint64_t EngineHash, uint64_t ToolHash) override;
+  ErrorOr<StoreStats> stats() override;
+  ErrorOr<uint32_t> shrinkTo(uint64_t MaxBytes) override;
+
+private:
+  std::string Location = "<memory>";
+  mutable std::mutex Mutex;
+  /// Slot ref -> serialized cache image. Ordered so scans are
+  /// deterministic like the directory store's sorted listings.
+  std::map<std::string, std::vector<uint8_t>> Slots;
+};
+
+} // namespace persist
+} // namespace pcc
+
+#endif // PCC_PERSIST_MEMORYSTORE_H

@@ -53,53 +53,38 @@ static void rebaseImmediate(std::vector<uint8_t> &Code, uint32_t InstIndex,
                                  Delta);
 }
 
-ErrorOr<PersistentSession::CacheSource>
+ErrorOr<StoredCache>
 PersistentSession::locateCache(dbi::Engine &Engine, PrimeResult &Result) {
   (void)Engine;
-  auto tryLoad = [&](const std::string &Path,
-                     bool IsOwn) -> ErrorOr<CacheSource> {
-    CacheSource Source;
-    if (isV2CacheFile(Path)) {
-      // Indexed open: header, module table and trace index are
-      // CRC-validated here; trace payloads stay unread until first
-      // execution.
-      auto View =
-          CacheFileView::openFile(Path, CacheFileView::Depth::Index);
-      if (View) {
-        Result.CachePath = Path;
-        LoadedWasOwn = IsOwn;
-        Source.View = View.take();
-        return Source;
-      }
-      if (View.status().code() != ErrorCode::NotFound &&
-          View.status().code() != ErrorCode::IoError)
-        Result.RejectReason = View.status().toString();
-      return Status::error(ErrorCode::NotFound, "no usable cache");
-    }
-    auto File = Db.loadPath(Path);
-    if (File) {
-      Result.CachePath = Path;
+  CacheStore &Store = *Db.backend();
+  auto tryLoad = [&](const std::string &Ref,
+                     bool IsOwn) -> ErrorOr<StoredCache> {
+    // Indexed open for v2 caches (header, module table and trace index
+    // CRC-validated here; trace payloads stay unread until first
+    // execution); eager deserialize for legacy ones. The store picks.
+    auto Cache = Store.openRef(Ref, CacheFileView::Depth::Index);
+    if (Cache) {
+      Result.CachePath = Ref;
       LoadedWasOwn = IsOwn;
-      Source.Eager = File.take();
-      return Source;
+      return Cache;
     }
     // Corrupt or unreadable caches must never break the run: record the
     // reason and fall back to an empty code cache.
-    if (File.status().code() != ErrorCode::NotFound &&
-        File.status().code() != ErrorCode::IoError)
-      Result.RejectReason = File.status().toString();
+    if (Cache.status().code() != ErrorCode::NotFound &&
+        Cache.status().code() != ErrorCode::IoError)
+      Result.RejectReason = Cache.status().toString();
     return Status::error(ErrorCode::NotFound, "no usable cache");
   };
 
   if (!Opts.ExplicitCachePath.empty())
     return tryLoad(Opts.ExplicitCachePath,
-                   Opts.ExplicitCachePath == Db.pathFor(LookupKey));
+                   Opts.ExplicitCachePath == Store.refFor(LookupKey));
 
-  if (Db.exists(LookupKey))
-    return tryLoad(Db.pathFor(LookupKey), /*IsOwn=*/true);
+  if (Store.exists(LookupKey))
+    return tryLoad(Store.refFor(LookupKey), /*IsOwn=*/true);
 
   if (Opts.InterApplication) {
-    auto Candidates = Db.findCompatible(EngineHash, ToolHash);
+    auto Candidates = Store.findCompatible(EngineHash, ToolHash);
     if (Candidates && !Candidates->empty())
       return tryLoad(Candidates->front(), /*IsOwn=*/false);
   }
@@ -129,12 +114,9 @@ ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
   if (!Source)
     return Result; // No cache: start empty, still success.
 
-  uint64_t FileEngineHash = Source->View ? Source->View->engineHash()
-                                         : Source->Eager->EngineHash;
-  uint64_t FileToolHash =
-      Source->View ? Source->View->toolHash() : Source->Eager->ToolHash;
-  bool FilePic = Source->View ? Source->View->positionIndependent()
-                              : Source->Eager->PositionIndependent;
+  uint64_t FileEngineHash = Source->engineHash();
+  uint64_t FileToolHash = Source->toolHash();
+  bool FilePic = Source->positionIndependent();
   if (FileEngineHash != EngineHash) {
     Result.RejectReason = "engine version mismatch";
     return Result;
@@ -493,6 +475,7 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
   File.Generation = LoadedCache   ? LoadedCache->Generation + 1
                     : LoadedView  ? LoadedView->generation() + 1
                                   : 1;
+  File.WriterTag = static_cast<uint16_t>(currentProcessId() & 0xffff);
 
   for (const LoadedModule &Mod : Image.Modules)
     File.Modules.push_back(ModuleKey::compute(Mod));
@@ -680,13 +663,23 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
       if (Exit.LinkedStart != 0 && !AllStarts.count(Exit.LinkedStart))
         Exit.LinkedStart = 0;
 
-  std::vector<uint8_t> Bytes = File.serialize();
+  CacheStore &Store = *Db.backend();
   Engine.stats().PersistCycles +=
       Engine.options().Costs.PersistWriteCyclesPerPage *
-      pagesOf(Bytes.size());
+      pagesOf(File.serializedSize());
   if (!Opts.StoreAsPath.empty())
-    return writeFileAtomic(Opts.StoreAsPath, Bytes);
-  return writeFileAtomic(Db.pathFor(LookupKey), Bytes);
+    return Store.putRef(Opts.StoreAsPath, File);
+  // Transactional publish: BaseGeneration is what this session primed
+  // from its own slot (a donor prime does not claim the slot's
+  // history), so a concurrent finalizer that advanced the slot first is
+  // detected and merged with instead of clobbered.
+  uint32_t BaseGeneration =
+      LoadedWasOwn && HasPrior ? File.Generation - 1 : 0;
+  auto Published =
+      Store.publish(LookupKey, std::move(File), BaseGeneration);
+  if (!Published)
+    return Published.status();
+  return Status::success();
 }
 
 ErrorOr<PersistentRunResult> pcc::persist::runWithPersistence(

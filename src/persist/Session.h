@@ -42,6 +42,7 @@
 #include "dbi/Engine.h"
 #include "persist/CacheDatabase.h"
 #include "persist/CacheFile.h"
+#include "persist/CacheStore.h"
 #include "persist/CacheView.h"
 #include "persist/Key.h"
 
@@ -97,7 +98,10 @@ public:
   ErrorOr<PrimeResult> prime(dbi::Engine &Engine);
 
   /// Writes the persistent cache for \p Engine's application after its
-  /// run. Requires a prior prime() on the same engine.
+  /// run. Requires a prior prime() on the same engine. The write goes
+  /// through the store's transactional publish: when a concurrent
+  /// session finalized the same key since prime(), the two caches are
+  /// merged rather than clobbered.
   Status finalize(dbi::Engine &Engine);
 
   /// Database slot key for this application/engine/tool (valid after
@@ -105,14 +109,7 @@ public:
   uint64_t lookupKey() const { return LookupKey; }
 
 private:
-  /// A located cache: eagerly deserialized (legacy v1) or an indexed
-  /// view whose payloads stay on disk until first execution (v2).
-  struct CacheSource {
-    std::optional<CacheFile> Eager;
-    std::optional<CacheFileView> View;
-  };
-
-  ErrorOr<CacheSource> locateCache(dbi::Engine &Engine,
+  ErrorOr<StoredCache> locateCache(dbi::Engine &Engine,
                                    PrimeResult &Result);
   /// Validates \p Persisted module keys against the loaded image,
   /// filling ModuleValidated/ModuleLoadedNow and the per-module load

@@ -24,6 +24,8 @@ const char *pcc::errorCodeName(ErrorCode Code) {
     return "guest fault";
   case ErrorCode::InvalidArgument:
     return "invalid argument";
+  case ErrorCode::WouldBlock:
+    return "would block";
   }
   return "unknown";
 }

@@ -36,6 +36,7 @@ enum class ErrorCode {
   IoError,         ///< Host filesystem failure.
   GuestFault,      ///< Guest program performed an illegal operation.
   InvalidArgument, ///< Caller passed an out-of-contract value.
+  WouldBlock,      ///< A non-blocking lock acquisition found a holder.
 };
 
 /// Human-readable name of \p Code (for messages and tests).

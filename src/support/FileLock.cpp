@@ -1,0 +1,114 @@
+//===- support/FileLock.cpp -----------------------------------------------===//
+
+#include "support/FileLock.h"
+
+#include <cerrno>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PCC_HAVE_FLOCK 1
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+using namespace pcc;
+
+FileLock &FileLock::operator=(FileLock &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  release();
+  Fd = Other.Fd;
+  Degraded = Other.Degraded;
+  LockPath = std::move(Other.LockPath);
+  Other.Fd = -1;
+  Other.Degraded = false;
+  Other.LockPath.clear();
+  return *this;
+}
+
+void FileLock::release() {
+#if PCC_HAVE_FLOCK
+  if (Fd >= 0) {
+    ::flock(Fd, LOCK_UN);
+    ::close(Fd);
+  }
+#endif
+  Fd = -1;
+  Degraded = false;
+}
+
+#if PCC_HAVE_FLOCK
+
+static ErrorOr<int> lockedFd(const std::string &Path, FileLock::Mode M,
+                             bool Blocking) {
+  int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
+  if (Fd < 0)
+    return Status::error(ErrorCode::IoError,
+                         "cannot open lock file " + Path);
+  int Op = (M == FileLock::Mode::Shared ? LOCK_SH : LOCK_EX) |
+           (Blocking ? 0 : LOCK_NB);
+  while (::flock(Fd, Op) != 0) {
+    if (!Blocking && (errno == EWOULDBLOCK || errno == EAGAIN)) {
+      ::close(Fd);
+      return Status::error(ErrorCode::WouldBlock,
+                           "lock held elsewhere: " + Path);
+    }
+    if (errno == EINTR)
+      continue;
+    ::close(Fd);
+    return Status::error(ErrorCode::IoError, "cannot lock " + Path);
+  }
+  return Fd;
+}
+
+ErrorOr<FileLock> FileLock::acquire(const std::string &Path, Mode M) {
+  auto Fd = lockedFd(Path, M, /*Blocking=*/true);
+  if (!Fd)
+    return Fd.status();
+  FileLock Lock;
+  Lock.LockPath = Path;
+  Lock.Fd = *Fd;
+  return Lock;
+}
+
+ErrorOr<FileLock> FileLock::tryAcquire(const std::string &Path, Mode M) {
+  auto Fd = lockedFd(Path, M, /*Blocking=*/false);
+  if (!Fd)
+    return Fd.status();
+  FileLock Lock;
+  Lock.LockPath = Path;
+  Lock.Fd = *Fd;
+  return Lock;
+}
+
+bool pcc::isFileLockHeld(const std::string &Path) {
+  // Probe with a non-blocking exclusive request on the existing inode;
+  // do not create the file (a pure probe must not leave state behind).
+  int Fd = ::open(Path.c_str(), O_RDWR | O_CLOEXEC);
+  if (Fd < 0)
+    return false;
+  bool Held = false;
+  if (::flock(Fd, LOCK_EX | LOCK_NB) != 0)
+    Held = errno == EWOULDBLOCK || errno == EAGAIN;
+  else
+    ::flock(Fd, LOCK_UN);
+  ::close(Fd);
+  return Held;
+}
+
+#else // !PCC_HAVE_FLOCK
+
+ErrorOr<FileLock> FileLock::acquire(const std::string &Path, Mode) {
+  FileLock Lock;
+  Lock.LockPath = Path;
+  Lock.Degraded = true;
+  return Lock;
+}
+
+ErrorOr<FileLock> FileLock::tryAcquire(const std::string &Path, Mode M) {
+  return acquire(Path, M);
+}
+
+bool pcc::isFileLockHeld(const std::string &) { return false; }
+
+#endif

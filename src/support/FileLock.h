@@ -1,0 +1,81 @@
+//===- support/FileLock.h - Advisory file locking ---------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII advisory file locks (flock) for multi-process coordination on the
+/// persistent cache database. The paper's motivating deployments — a GUI
+/// desktop sharing library caches, an Oracle server with many worker
+/// processes — have concurrent sessions racing on the same cache files;
+/// every mutating store operation brackets itself with these locks.
+///
+/// Locks are advisory: readers never block (scans and priming stay
+/// lock-free; the atomic-rename publish discipline keeps files readable
+/// at every instant), only writers serialize. On platforms without flock
+/// the lock degrades to a successful no-op, preserving the historical
+/// single-process behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_SUPPORT_FILELOCK_H
+#define PCC_SUPPORT_FILELOCK_H
+
+#include "support/Error.h"
+
+#include <string>
+
+namespace pcc {
+
+/// An acquired advisory lock on a lock file. Movable, not copyable;
+/// released on destruction. The lock file itself is created on demand
+/// and intentionally never deleted (deleting a lock file while another
+/// process holds its inode would split future contenders onto a fresh
+/// inode and break mutual exclusion).
+class FileLock {
+public:
+  enum class Mode : uint8_t {
+    Shared,    ///< Held concurrently by many (per-slot writers).
+    Exclusive, ///< Sole holder (store-wide maintenance).
+  };
+
+  FileLock() = default;
+  FileLock(FileLock &&Other) noexcept { *this = std::move(Other); }
+  FileLock &operator=(FileLock &&Other) noexcept;
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+  ~FileLock() { release(); }
+
+  /// Blocking acquire of \p Path in \p M mode, creating the lock file if
+  /// needed.
+  static ErrorOr<FileLock> acquire(const std::string &Path,
+                                   Mode M = Mode::Exclusive);
+
+  /// Non-blocking acquire. A conflicting holder yields
+  /// ErrorCode::WouldBlock.
+  static ErrorOr<FileLock> tryAcquire(const std::string &Path,
+                                      Mode M = Mode::Exclusive);
+
+  bool held() const { return Fd >= 0 || Degraded; }
+  const std::string &path() const { return LockPath; }
+
+  /// Releases early (idempotent).
+  void release();
+
+private:
+  int Fd = -1;          ///< POSIX lock fd; -1 when not held.
+  bool Degraded = false; ///< Held as a no-op (platform without flock).
+  std::string LockPath;
+};
+
+/// Probe: true when some process currently holds a conflicting
+/// (exclusive-vs-anything) lock on \p Path. Used by operator tooling
+/// (`pcc-dbstat --locks`); the answer is inherently racy and only
+/// advisory. A missing lock file reports false.
+bool isFileLockHeld(const std::string &Path);
+
+} // namespace pcc
+
+#endif // PCC_SUPPORT_FILELOCK_H

@@ -5,6 +5,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -138,16 +139,103 @@ ErrorOr<MappedFile> MappedFile::open(const std::string &Path) {
   return Result;
 }
 
+uint32_t pcc::currentProcessId() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<uint32_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+namespace {
+
+/// One-shot injectable crash state (tests only; see header).
+struct CrashInjection {
+  WriteCrashMode Mode = WriteCrashMode::Off;
+  uint32_t Countdown = 0;
+} InjectedCrash;
+
+/// Flushes \p File's contents to stable storage (POSIX only; elsewhere a
+/// successful no-op, matching the platform's weaker guarantees).
+bool syncStream(std::FILE *File) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (std::fflush(File) != 0)
+    return false;
+  return ::fsync(::fileno(File)) == 0;
+#else
+  (void)File;
+  return true;
+#endif
+}
+
+/// Fsyncs the directory containing \p Path so the rename itself is
+/// durable.
+void syncParentDirectory(const std::string &Path) {
+#if defined(__unix__) || defined(__APPLE__)
+  fs::path Parent = fs::path(Path).parent_path();
+  if (Parent.empty())
+    Parent = ".";
+  int Fd = ::open(Parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd >= 0) {
+    (void)::fsync(Fd);
+    ::close(Fd);
+  }
+#else
+  (void)Path;
+#endif
+}
+
+} // namespace
+
+void pcc::injectAtomicWriteFailure(WriteCrashMode Mode,
+                                   uint32_t AfterWrites) {
+  InjectedCrash.Mode = Mode;
+  InjectedCrash.Countdown = AfterWrites;
+}
+
+bool pcc::isAtomicTempName(const std::string &Name) {
+  return Name.find(".tmp.") != std::string::npos;
+}
+
 Status pcc::writeFileAtomic(const std::string &Path,
-                            const std::vector<uint8_t> &Bytes) {
-  std::string TempPath = Path + ".tmp";
+                            const std::vector<uint8_t> &Bytes,
+                            bool SyncToDisk) {
+  // Unique per process and call: two writers of one slot (processes or
+  // threads) must never scribble on each other's temporary.
+  static std::atomic<unsigned> Serial{0};
+  std::string TempPath =
+      Path + formatString(".tmp.%u-%u", currentProcessId(),
+                          Serial.fetch_add(1, std::memory_order_relaxed));
+
+  WriteCrashMode Crash = WriteCrashMode::Off;
+  if (InjectedCrash.Mode != WriteCrashMode::Off) {
+    if (InjectedCrash.Countdown == 0) {
+      Crash = InjectedCrash.Mode;
+      InjectedCrash.Mode = WriteCrashMode::Off;
+    } else {
+      --InjectedCrash.Countdown;
+    }
+  }
+
   std::FILE *File = std::fopen(TempPath.c_str(), "wb");
   if (!File)
     return Status::error(ErrorCode::IoError, "cannot create " + TempPath);
+  size_t ToWrite =
+      Crash != WriteCrashMode::Off ? Bytes.size() / 2 : Bytes.size();
   size_t Written =
-      Bytes.empty() ? 0 : std::fwrite(Bytes.data(), 1, Bytes.size(), File);
+      ToWrite == 0 ? 0 : std::fwrite(Bytes.data(), 1, ToWrite, File);
+  if (Crash == WriteCrashMode::CrashDirty) {
+    // Simulated crash: the writer dies here, after some bytes reached
+    // the temporary and before the rename. The orphan stays on disk,
+    // exactly as a real crash would leave it.
+    std::fclose(File);
+    return Status::error(ErrorCode::IoError,
+                         "injected crash while writing " + TempPath);
+  }
+  bool Synced = !SyncToDisk || syncStream(File);
   int CloseResult = std::fclose(File);
-  if (Written != Bytes.size() || CloseResult != 0) {
+  if (Crash == WriteCrashMode::FailClean || Written != ToWrite ||
+      !Synced || CloseResult != 0) {
     std::remove(TempPath.c_str());
     return Status::error(ErrorCode::IoError, "short write to " + TempPath);
   }
@@ -158,6 +246,8 @@ Status pcc::writeFileAtomic(const std::string &Path,
     return Status::error(ErrorCode::IoError,
                          "cannot rename " + TempPath + " to " + Path);
   }
+  if (SyncToDisk)
+    syncParentDirectory(Path);
   return Status::success();
 }
 

@@ -62,10 +62,38 @@ private:
   std::vector<uint8_t> FallbackCopy;
 };
 
-/// Atomically replaces the file at \p Path with \p Bytes (write to a
-/// temporary sibling, then rename). Parent directories must exist.
+/// Atomically replaces the file at \p Path with \p Bytes: write to a
+/// uniquely named temporary sibling (`<path>.tmp.<pid>-<n>`, so
+/// concurrent writers of one path never collide), then rename over the
+/// target. With \p SyncToDisk the temporary is fsync'd before the rename
+/// and the parent directory after it — the transactional-publish
+/// discipline of the cache store. Parent directories must exist. On any
+/// error the temporary is removed; only a genuine crash can orphan one,
+/// and store maintenance sweeps those.
 Status writeFileAtomic(const std::string &Path,
-                       const std::vector<uint8_t> &Bytes);
+                       const std::vector<uint8_t> &Bytes,
+                       bool SyncToDisk = false);
+
+/// True when \p Name (not a full path) looks like a writeFileAtomic
+/// temporary — what a crashed writer leaves behind.
+bool isAtomicTempName(const std::string &Name);
+
+/// Crash styles injectable into writeFileAtomic (tests only).
+enum class WriteCrashMode : uint8_t {
+  Off,       ///< Normal operation.
+  FailClean, ///< Report IoError after a partial write; temp removed.
+  CrashDirty ///< Simulate dying mid-write: partial temp left behind.
+};
+
+/// Arms a one-shot failure in writeFileAtomic: the next \p AfterWrites
+/// calls succeed, then one call fails in style \p Mode (half of its
+/// bytes written) and the hook disarms. Not thread-safe; tests inject
+/// around single-threaded write paths.
+void injectAtomicWriteFailure(WriteCrashMode Mode,
+                              uint32_t AfterWrites = 0);
+
+/// Identifier of this process (for lock diagnostics and writer tags).
+uint32_t currentProcessId();
 
 /// Creates \p Path and all missing parents.
 Status createDirectories(const std::string &Path);

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "persist/CacheFile.h"
+#include "persist/DirectoryStore.h"
 #include "support/FileSystem.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -37,13 +38,20 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  auto Bytes = readFile(Path);
-  if (!Bytes) {
+  auto OnDisk = fileSize(Path);
+  if (!OnDisk) {
     std::fprintf(stderr, "pcc-cacheinspect: %s\n",
-                 Bytes.status().toString().c_str());
+                 OnDisk.status().toString().c_str());
     return 1;
   }
-  auto File = CacheFile::deserialize(*Bytes);
+  // Eager load through the storage interface: full deserialize with
+  // every CRC checked, same path accumulation uses.
+  std::string PathStr(Path);
+  size_t Slash = PathStr.find_last_of('/');
+  DirectoryStore Store(Slash == std::string::npos
+                           ? std::string(".")
+                           : PathStr.substr(0, Slash));
+  auto File = Store.loadRef(PathStr);
   if (!File) {
     std::fprintf(stderr, "pcc-cacheinspect: %s: %s\n", Path,
                  File.status().toString().c_str());
@@ -53,7 +61,7 @@ int main(int Argc, char **Argv) {
   Status Structural = File->validate();
   std::printf("persistent code cache %s (%s on disk, CRC ok, "
               "structure %s)\n",
-              Path, formatByteSize(Bytes->size()).c_str(),
+              Path, formatByteSize(*OnDisk).c_str(),
               Structural.ok() ? "ok"
                               : Structural.toString().c_str());
   std::printf("  format         v%u (%s)\n", File->SourceFormat,
@@ -68,6 +76,8 @@ int main(int Argc, char **Argv) {
                                         : "absolute");
   std::printf("  generation     %u accumulation(s)\n",
               File->Generation);
+  if (File->WriterTag)
+    std::printf("  last writer    pid tag %u\n", File->WriterTag);
   std::printf("  code pool      %s\n",
               formatByteSize(File->codeBytes()).c_str());
   std::printf("  data structs   %s (%.2fx code)\n",

@@ -10,6 +10,8 @@
 //                                   (least-accumulated first; corrupt
 //                                   files always removed)
 //   pcc-dbstat DIR --clear          delete every cache file
+//   pcc-dbstat DIR --locks          list writer-coordination locks and
+//                                   whether each is currently held
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,26 +33,31 @@ int main(int Argc, char **Argv) {
   bool Clear = false;
   bool Shrink = false;
   bool HeaderOnly = false;
+  bool Locks = false;
   uint64_t MaxBytes = 0;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--clear") == 0)
       Clear = true;
     else if (std::strcmp(Argv[I], "--header-only") == 0)
       HeaderOnly = true;
+    else if (std::strcmp(Argv[I], "--locks") == 0)
+      Locks = true;
     else if (std::strcmp(Argv[I], "--shrink-to") == 0 && I + 1 < Argc) {
       Shrink = true;
       MaxBytes = std::strtoull(Argv[++I], nullptr, 0);
     } else if (std::strcmp(Argv[I], "--help") == 0) {
       std::printf(
           "usage: pcc-dbstat DIR [--header-only | --shrink-to BYTES | "
-          "--clear]\n"
+          "--clear | --locks]\n"
           "  --header-only  per-file listing from v2 headers alone: each\n"
           "                 cache costs one 76-byte read regardless of\n"
           "                 size (legacy v1 files are listed by magic\n"
           "                 only, without header fields)\n"
           "  --shrink-to N  evict caches until the database is <= N "
           "bytes\n"
-          "  --clear        delete every cache file\n");
+          "  --clear        delete every cache file\n"
+          "  --locks        list writer-coordination lock files and\n"
+          "                 whether each is held right now\n");
       return 0;
     } else if (!Dir)
       Dir = Argv[I];
@@ -76,13 +83,13 @@ int main(int Argc, char **Argv) {
     }
     TablePrinter Table("cache files (header-only scan)");
     Table.addRow({"file", "fmt", "engine key", "tool key", "gen",
-                  "modules", "traces", "declared size"});
+                  "writer", "modules", "traces", "declared size"});
     for (const std::string &Name : *Names) {
       if (Name.size() < 4 || Name.substr(Name.size() - 4) != ".pcc")
         continue;
       std::string Path = std::string(Dir) + "/" + Name;
       if (!isV2CacheFile(Path)) {
-        Table.addRow({Name, "v1", "-", "-", "-", "-", "-", "-"});
+        Table.addRow({Name, "v1", "-", "-", "-", "-", "-", "-", "-"});
         continue;
       }
       auto View =
@@ -90,16 +97,32 @@ int main(int Argc, char **Argv) {
       if (!View) {
         Table.addRow({Name, "v2",
                       "corrupt: " + View.status().toString(), "", "", "",
-                      "", ""});
+                      "", "", ""});
         continue;
       }
       Table.addRow({Name, "v2", toHex(View->engineHash(), 16),
                     toHex(View->toolHash(), 16),
                     formatString("%u", View->generation()),
+                    View->writerTag()
+                        ? formatString("pid:%u", View->writerTag())
+                        : std::string("-"),
                     formatString("%u", View->numModules()),
                     formatString("%u", View->numTraces()),
                     formatByteSize(View->declaredFileBytes())});
     }
+    Table.print();
+    return 0;
+  }
+  if (Locks) {
+    auto Infos = Db.backend()->locks();
+    if (Infos.empty()) {
+      std::printf("no lock files in %s\n", Dir);
+      return 0;
+    }
+    TablePrinter Table("writer-coordination locks");
+    Table.addRow({"lock file", "status"});
+    for (const LockInfo &Info : Infos)
+      Table.addRow({Info.Path, Info.Held ? "held" : "free"});
     Table.print();
     return 0;
   }
