@@ -6,14 +6,39 @@
 #   scripts/check.sh --tsan          ThreadSanitizer build (separate
 #                                    build tree; vets the concurrent
 #                                    store publish/lock paths)
+#   scripts/check.sh --faults        fault-tolerance soak: runs the
+#                                    fault_injection_test binary
+#                                    repeatedly under ASan and then
+#                                    TSan (separate build trees)
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   scripts/check.sh --tsan -R CacheStore
+# In --faults mode the first extra argument is the number of soak
+# iterations per sanitizer (default 5).
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD="$ROOT/build"
 EXTRA_CMAKE=""
+
+if [ "${1:-}" = "--faults" ]; then
+  shift
+  ITERS="${1:-5}"
+  [ $# -gt 0 ] && shift
+  for SAN in address thread; do
+    SOAK="$ROOT/build-$SAN"
+    cmake -B "$SOAK" -S "$ROOT" -DPCC_SANITIZE=$SAN
+    cmake --build "$SOAK" -j --target fault_injection_test
+    I=1
+    while [ "$I" -le "$ITERS" ]; do
+      echo "== fault soak ($SAN) iteration $I/$ITERS =="
+      "$SOAK/tests/fault_injection_test"
+      I=$((I + 1))
+    done
+  done
+  echo "fault soak passed: $ITERS iteration(s) each under ASan and TSan"
+  exit 0
+fi
 
 if [ "${1:-}" = "--tsan" ]; then
   shift

@@ -17,6 +17,7 @@
 #define PCC_DBI_STATS_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace pcc {
@@ -62,6 +63,24 @@ struct EngineStats {
                                        ///< at first materialization.
   uint64_t TracesDroppedCorrupt = 0;   ///< Persisted traces whose payload
                                        ///< CRC failed; retranslated.
+  /// @}
+
+  /// \name Fault tolerance
+  /// Persistence is an accelerator: store failures are absorbed here,
+  /// never surfaced as run failures (the paper's Oracle deployment
+  /// cannot afford a worker dying to a full disk).
+  /// @{
+  uint64_t PersistStoreFailures = 0; ///< Failed store operations
+                                     ///< (publish attempts included).
+  uint64_t PersistStoreRetries = 0;  ///< Publish attempts retried after
+                                     ///< a failure, plus lock-contention
+                                     ///< retries the backoff absorbed.
+  uint64_t PersistCandidatesSkippedIo = 0; ///< Candidate caches skipped
+                                           ///< because of I/O errors (as
+                                           ///< opposed to none existing).
+  bool PersistDegraded = false; ///< Session tripped its circuit breaker
+                                ///< and fell back to in-memory-only.
+  std::string PersistDegradeReason; ///< What tripped the breaker.
   /// @}
 
   /// Translation-request timeline (Figure 2(a)).

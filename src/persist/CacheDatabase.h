@@ -108,6 +108,19 @@ public:
     return Store->shrinkTo(MaxBytes);
   }
 
+  /// The database's quarantine: caches pulled out of the candidate set
+  /// because their contents failed validation, kept with the failure
+  /// reason for pcc-dbcheck to report, restore or purge.
+  ErrorOr<std::vector<QuarantineEntry>> quarantined() const {
+    return Store->quarantined();
+  }
+  Status restoreQuarantined(const std::string &Name) const {
+    return Store->restoreQuarantined(Name);
+  }
+  ErrorOr<uint32_t> purgeQuarantine() const {
+    return Store->purgeQuarantine();
+  }
+
 private:
   std::shared_ptr<CacheStore> Store;
 };

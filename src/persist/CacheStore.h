@@ -64,10 +64,27 @@ struct StoredCache {
 struct StoreStats {
   uint32_t CacheFiles = 0;
   uint32_t CorruptFiles = 0;
+  /// Files the scan could not read at all (open/stat failures, as
+  /// opposed to readable-but-corrupt contents).
+  uint32_t UnreadableFiles = 0;
+  /// Entries currently sitting in the quarantine.
+  uint32_t QuarantinedFiles = 0;
   uint64_t DiskBytes = 0;
   uint64_t CodeBytes = 0;
   uint64_t DataBytes = 0;
   uint64_t Traces = 0;
+};
+
+/// One cache sitting in a store's quarantine: pulled out of the
+/// candidate set because its contents failed validation, kept (with the
+/// failure reason) for diagnosis instead of silently skipped or
+/// deleted.
+struct QuarantineEntry {
+  /// The cache's name within the store (e.g. `<hex16>.pcc`).
+  std::string Name;
+  /// Why it was quarantined, as recorded at quarantine time.
+  std::string Reason;
+  uint64_t Bytes = 0;
 };
 
 /// One advisory lock a store uses for writer coordination, with its
@@ -84,6 +101,9 @@ struct PublishResult {
   /// True when a concurrent writer won the slot first and the caller's
   /// cache was merged with the winner's instead of replacing it.
   bool Merged = false;
+  /// Lock-acquisition retries the publish needed (contention that the
+  /// backoff policy absorbed before succeeding).
+  uint32_t LockRetries = 0;
 };
 
 /// Abstract storage backend for persistent caches.
@@ -163,6 +183,35 @@ public:
   /// The store's writer-coordination locks and their current status
   /// (empty for backends that need none).
   virtual std::vector<LockInfo> locks() const { return {}; }
+
+  /// Moves the cache at \p Ref into the store's quarantine, recording
+  /// \p Reason. A quarantined cache is invisible to every scan and open
+  /// until restored; unlike deletion, the evidence survives for
+  /// `pcc-dbcheck` to report or repair.
+  virtual Status quarantineRef(const std::string &Ref,
+                               const std::string &Reason) = 0;
+
+  /// Current quarantine contents, sorted by name.
+  virtual ErrorOr<std::vector<QuarantineEntry>> quarantined() = 0;
+
+  /// Moves the quarantined cache \p Name back into the store. Fails
+  /// with InvalidArgument when the slot is occupied again (a healthy
+  /// replacement was published since).
+  virtual Status restoreQuarantined(const std::string &Name) = 0;
+
+  /// Deletes every quarantined cache. \returns how many were purged.
+  virtual ErrorOr<uint32_t> purgeQuarantine() = 0;
+
+  /// Whether corrupt caches found by opens and scans are moved to the
+  /// quarantine automatically (default) or merely reported. Report-only
+  /// passes (pcc-dbcheck without --repair) turn this off so observing a
+  /// database never mutates it.
+  void setAutoQuarantine(bool Enabled) { AutoQuarantine = Enabled; }
+  bool autoQuarantine() const { return AutoQuarantine; }
+
+protected:
+  /// See setAutoQuarantine().
+  bool AutoQuarantine = true;
 };
 
 /// Merges two caches produced from the same application under the same

@@ -1,0 +1,255 @@
+//===- persist/DbCheck.cpp ------------------------------------------------===//
+
+#include "persist/DbCheck.h"
+
+#include "persist/CacheFile.h"
+#include "persist/CacheView.h"
+#include "persist/DirectoryStore.h"
+#include "support/FileLock.h"
+#include "support/FileSystem.h"
+#include "support/StringUtils.h"
+
+#include <optional>
+#include <set>
+
+using namespace pcc;
+using namespace pcc::persist;
+
+namespace {
+
+bool isCacheFileName(const std::string &Name) {
+  return Name.size() >= 4 && Name.substr(Name.size() - 4) == ".pcc";
+}
+
+/// Checks (and with \p Repair, fixes) one cache file. nullopt when the
+/// file vanished between the listing and the open — a concurrent
+/// retire/quarantine, not a problem.
+std::optional<FileCheckReport> checkFile(DirectoryStore &Store,
+                                         const std::string &Dir,
+                                         const std::string &Name,
+                                         bool Repair) {
+  using FileState = FileCheckReport::FileState;
+  FileCheckReport R;
+  R.Name = Name;
+  std::string Path = Dir + "/" + Name;
+
+  // Shared disposition for contents we cannot (or may not) fix in
+  // place: I/O failures are never repair material, everything else is
+  // quarantined under --repair and merely reported otherwise.
+  auto Condemn = [&](const Status &Why) {
+    R.Detail = Why.toString();
+    if (Why.code() == ErrorCode::IoError)
+      R.State = FileState::Unreadable;
+    else if (Repair && Store.quarantineRef(Path, R.Detail).ok())
+      R.State = FileState::Quarantined;
+    else
+      R.State = FileState::Corrupt;
+  };
+
+  if (!fileExists(Path))
+    return std::nullopt;
+
+  if (isV2CacheFile(Path)) {
+    // Index-deep open validates the header, module table and trace
+    // index CRCs; the payload sweep below covers what every runtime
+    // path defers to first execution.
+    auto View = CacheFileView::openFile(Path, CacheFileView::Depth::Index);
+    if (!View) {
+      if (View.status().code() == ErrorCode::NotFound)
+        return std::nullopt;
+      Condemn(View.status());
+      return R;
+    }
+    CacheFile Out;
+    Out.EngineHash = View->engineHash();
+    Out.ToolHash = View->toolHash();
+    Out.SpecBits = View->specBits();
+    Out.PositionIndependent = View->positionIndependent();
+    Out.Generation = View->generation();
+    Out.WriterTag = View->writerTag();
+    Out.Modules = View->modules();
+    for (uint32_t I = 0; I < View->numTraces(); ++I) {
+      auto Rec = View->record(I); // CRC-checks the code image.
+      if (!Rec) {
+        ++R.TracesDropped;
+        if (R.Detail.empty())
+          R.Detail = formatString("trace %u: %s", I,
+                                  Rec.status().toString().c_str());
+        continue;
+      }
+      Out.Traces.push_back(Rec.take());
+      ++R.TracesKept;
+    }
+    if (R.TracesDropped == 0) {
+      // Structural validation on top of the CRCs: a file whose bytes
+      // are all intact can still carry nonsense (out-of-range exits,
+      // duplicate starts) if its writer was buggy.
+      if (Status V = Out.validate(); !V.ok()) {
+        Condemn(V);
+        return R;
+      }
+      R.State = FileState::Clean;
+      return R;
+    }
+    if (!Repair) {
+      R.State = FileState::Corrupt;
+      return R;
+    }
+    // Salvage: keep the traces whose payloads survived, clear links
+    // into the dropped ones, and re-finalize in place. Identity fields
+    // and the generation carry over so the slot's merge discipline is
+    // undisturbed.
+    std::set<uint32_t> Kept;
+    for (const TraceRecord &T : Out.Traces)
+      Kept.insert(T.GuestStart);
+    for (TraceRecord &T : Out.Traces)
+      for (ExitRecord &E : T.Exits)
+        if (E.LinkedStart != 0 && !Kept.count(E.LinkedStart))
+          E.LinkedStart = 0;
+    if (Status V = Out.validate(); !V.ok()) {
+      Condemn(V); // Damage beyond the payloads: not salvageable.
+      return R;
+    }
+    if (Status W =
+            writeFileAtomic(Path, Out.serialize(), /*SyncToDisk=*/true);
+        !W.ok()) {
+      R.State = FileState::Unreadable;
+      R.Detail = W.toString();
+      return R;
+    }
+    R.State = FileState::Repaired;
+    return R;
+  }
+
+  // Legacy v1: one whole-file CRC means corruption cannot be pinned to
+  // individual traces, so a bad file is quarantine material outright.
+  auto Bytes = readFile(Path);
+  if (!Bytes) {
+    if (Bytes.status().code() == ErrorCode::NotFound)
+      return std::nullopt;
+    Condemn(Bytes.status());
+    return R;
+  }
+  auto File = CacheFile::deserialize(*Bytes);
+  if (!File) {
+    Condemn(File.status());
+    return R;
+  }
+  if (Status V = File->validate(); !V.ok()) {
+    Condemn(V);
+    return R;
+  }
+  R.TracesKept = static_cast<uint32_t>(File->Traces.size());
+  R.State = FileState::Clean;
+  return R;
+}
+
+} // namespace
+
+const char *
+pcc::persist::fileCheckStateName(FileCheckReport::FileState S) {
+  switch (S) {
+  case FileCheckReport::FileState::Clean:
+    return "clean";
+  case FileCheckReport::FileState::Corrupt:
+    return "corrupt";
+  case FileCheckReport::FileState::Unreadable:
+    return "unreadable";
+  case FileCheckReport::FileState::Repaired:
+    return "repaired";
+  case FileCheckReport::FileState::Quarantined:
+    return "quarantined";
+  }
+  return "?";
+}
+
+ErrorOr<DbCheckReport>
+pcc::persist::checkDatabase(const std::string &Dir,
+                            const DbCheckOptions &Opts) {
+  using FileState = FileCheckReport::FileState;
+  DirectoryStore Store(Dir);
+  // Observation must not mutate: the store's open paths auto-quarantine
+  // corrupt files by default, which is exactly wrong for a plain check.
+  // Repair quarantines explicitly, where it can report what it did.
+  Store.setAutoQuarantine(false);
+
+  // Repair quiesces every publisher by taking the store lock
+  // exclusively (publishers hold it shared for their whole critical
+  // section). A plain check takes no locks at all: readers never need
+  // them, and a read-only database must stay untouched.
+  FileLock StoreLock;
+  if (Opts.Repair) {
+    auto Lock = FileLock::acquire(Store.storeLockPath());
+    if (!Lock)
+      return Lock.status();
+    StoreLock = Lock.take();
+  }
+
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return Names.status();
+
+  DbCheckReport Report;
+  for (const std::string &Name : *Names) {
+    if (isAtomicTempName(Name)) {
+      // A crashed writer's temporary: invisible to readers, but dead
+      // weight until maintenance sweeps it.
+      ++Report.TempsFound;
+      if (Opts.Repair && removeFile(Dir + "/" + Name).ok())
+        ++Report.TempsSwept;
+      continue;
+    }
+    if (!isCacheFileName(Name))
+      continue;
+    auto R = checkFile(Store, Dir, Name, Opts.Repair);
+    if (!R)
+      continue; // Vanished mid-scan (concurrent retire).
+    ++Report.FilesScanned;
+    Report.TracesDropped += R->TracesDropped;
+    switch (R->State) {
+    case FileState::Clean:
+      ++Report.FilesClean;
+      break;
+    case FileState::Corrupt:
+      ++Report.FilesCorrupt;
+      break;
+    case FileState::Unreadable:
+      ++Report.FilesUnreadable;
+      break;
+    case FileState::Repaired:
+      ++Report.FilesRepaired;
+      break;
+    case FileState::Quarantined:
+      ++Report.FilesQuarantined;
+      break;
+    }
+    Report.Files.push_back(std::move(*R));
+  }
+
+  for (const LockInfo &Info : Store.locks()) {
+    ++Report.LocksFound;
+    if (Info.Held) {
+      ++Report.LocksHeld;
+      continue;
+    }
+    // Stale per-key lock files can be swept here and only here: with
+    // the store lock held exclusively no publisher holds (or can
+    // acquire) a key lock. The store lock itself is never deleted —
+    // we are holding its inode. The sweep re-checks by acquiring each
+    // candidate non-blocking first; the one non-publish key-lock user
+    // (auto-quarantine's re-validation) also acquires non-blocking and
+    // re-checks the file, so the residual inode-split window is
+    // harmless.
+    std::string Base = Info.Path.substr(Info.Path.rfind('/') + 1);
+    if (!Opts.Repair || Base == "store.lock" || Base.empty() ||
+        Base[0] != 'k')
+      continue;
+    auto Guard = FileLock::tryAcquire(Info.Path);
+    if (Guard && removeFile(Info.Path).ok())
+      ++Report.StaleLocksSwept;
+  }
+
+  if (auto Entries = Store.quarantined())
+    Report.Quarantine = Entries.take();
+  return Report;
+}

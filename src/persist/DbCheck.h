@@ -1,0 +1,109 @@
+//===- persist/DbCheck.h - Offline database fsck/repair ---------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline integrity checking and repair for a directory-backed cache
+/// database — the fsck the paper's Oracle deployment would run between
+/// test batches. A check pass walks every cache file and validates all
+/// of it (header, module table, trace index, and every trace payload
+/// CRC — deeper than any runtime path, which checks payloads lazily),
+/// inventories writer-crash temporaries and lock files, and lists the
+/// quarantine. A repair pass additionally:
+///
+///   * rebuilds partially corrupt v2 caches by dropping the traces
+///     whose payload CRC fails and re-finalizing the survivors (links
+///     into dropped traces are cleared),
+///   * quarantines caches too damaged to salvage,
+///   * sweeps orphaned write temporaries and stale per-key lock files.
+///
+/// Repair runs under the store-wide lock held exclusively, so no live
+/// publisher can race it; a plain check takes no locks at all (readers
+/// never need them) and never mutates the database.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_PERSIST_DBCHECK_H
+#define PCC_PERSIST_DBCHECK_H
+
+#include "persist/CacheStore.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace pcc {
+namespace persist {
+
+struct DbCheckOptions {
+  /// Fix what can be fixed (see file comment) instead of only
+  /// reporting. Mutates the database; requires it to be writable.
+  bool Repair = false;
+};
+
+/// What the check found for (and possibly did to) one cache file.
+struct FileCheckReport {
+  enum class FileState : uint8_t {
+    Clean,       ///< Every CRC checked out.
+    Corrupt,     ///< Validation failed (report-only pass).
+    Unreadable,  ///< I/O error before contents could be judged.
+    Repaired,    ///< Rebuilt with the corrupt traces dropped.
+    Quarantined, ///< Unsalvageable; moved into the quarantine.
+  };
+
+  std::string Name; ///< File name within the database directory.
+  FileState State = FileState::Clean;
+  std::string Detail; ///< First failure observed (empty when clean).
+  uint32_t TracesKept = 0;
+  uint32_t TracesDropped = 0; ///< Payload-CRC failures in this file.
+};
+
+/// Aggregate result of one check/repair pass.
+struct DbCheckReport {
+  std::vector<FileCheckReport> Files;
+  uint32_t FilesScanned = 0;
+  uint32_t FilesClean = 0;
+  uint32_t FilesCorrupt = 0;    ///< Still corrupt (report-only pass).
+  uint32_t FilesUnreadable = 0; ///< I/O errors (never repairable).
+  uint32_t FilesRepaired = 0;
+  uint32_t FilesQuarantined = 0;
+  uint32_t TracesDropped = 0;
+
+  /// Writer-crash temporaries (`*.tmp.<pid>-<n>`) in the directory.
+  uint32_t TempsFound = 0;
+  uint32_t TempsSwept = 0;
+
+  /// Lock-file inventory. Lock files are permanent by design (see
+  /// FileLock.h); "stale" per-key lock files are swept only under the
+  /// exclusive store lock, where no publisher can hold one.
+  uint32_t LocksFound = 0;
+  uint32_t LocksHeld = 0;
+  uint32_t StaleLocksSwept = 0;
+
+  /// Quarantine contents after the pass.
+  std::vector<QuarantineEntry> Quarantine;
+
+  /// True when the database needs no (further) attention: nothing
+  /// corrupt or unreadable remains and no crash temporaries linger.
+  bool clean() const {
+    return FilesCorrupt == 0 && FilesUnreadable == 0 &&
+           TempsFound == TempsSwept;
+  }
+};
+
+/// Runs a check (or, with Opts.Repair, a repair) pass over the
+/// directory-backed database at \p Dir. Errors are returned only for
+/// whole-database failures (unlistable directory, lock acquisition);
+/// per-file problems land in the report.
+ErrorOr<DbCheckReport> checkDatabase(const std::string &Dir,
+                                     const DbCheckOptions &Opts = {});
+
+const char *fileCheckStateName(FileCheckReport::FileState S);
+
+} // namespace persist
+} // namespace pcc
+
+#endif // PCC_PERSIST_DBCHECK_H

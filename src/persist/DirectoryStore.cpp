@@ -4,9 +4,14 @@
 
 #include "support/FileLock.h"
 #include "support/FileSystem.h"
+#include "support/Random.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
 
 using namespace pcc;
 using namespace pcc::persist;
@@ -34,6 +39,10 @@ std::string DirectoryStore::refFor(uint64_t LookupKey) const {
 
 std::string DirectoryStore::lockDir() const { return Dir + "/.locks"; }
 
+std::string DirectoryStore::quarantineDir() const {
+  return Dir + "/.quarantine";
+}
+
 std::string DirectoryStore::storeLockPath() const {
   // Lock files live out of the store directory proper so directory
   // listings see nothing but cache files. Creation failure surfaces as
@@ -59,14 +68,18 @@ ErrorOr<StoredCache> DirectoryStore::openRef(const std::string &Ref,
     // trace index) are CRC-validated here; trace payloads stay unread
     // until first execution.
     auto View = CacheFileView::openFile(Ref, D);
-    if (!View)
+    if (!View) {
+      maybeAutoQuarantine(Ref, View.status());
       return View.status();
+    }
     Cache.View = View.take();
     return Cache;
   }
   auto File = loadRef(Ref); // Legacy fallback: eager deserialize.
-  if (!File)
+  if (!File) {
+    maybeAutoQuarantine(Ref, File.status());
     return File.status();
+  }
   Cache.Eager = File.take();
   return Cache;
 }
@@ -102,23 +115,52 @@ uint32_t DirectoryStore::slotGeneration(const std::string &Ref) const {
   return File ? File->Generation : 0;
 }
 
+ErrorOr<FileLock> DirectoryStore::lockWithRetry(const std::string &Path,
+                                                FileLock::Mode M,
+                                                uint32_t *Retries) {
+  // Per-call jitter stream: process id + a counter decorrelate
+  // publishers that collided once, so they do not collide on every
+  // retry as well.
+  static std::atomic<uint64_t> SeedCounter{0};
+  Rng Jitter((static_cast<uint64_t>(currentProcessId()) << 32) ^
+             SeedCounter.fetch_add(1, std::memory_order_relaxed));
+  uint64_t Delay = Policy.BaseDelayMicros;
+  for (uint32_t Attempt = 1;; ++Attempt) {
+    auto Lock = FileLock::tryAcquire(Path, M);
+    if (Lock.ok() || Lock.status().code() != ErrorCode::WouldBlock)
+      return Lock;
+    if (Attempt >= Policy.MaxAttempts)
+      return Lock; // WouldBlock: contention outlasted the budget.
+    if (Retries)
+      ++*Retries;
+    // Sleep in [Delay/2, Delay], then double toward the cap.
+    uint64_t Sleep = Delay - Jitter.nextBelow(Delay / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::microseconds(Sleep));
+    Delay = std::min<uint64_t>(Delay * 2, Policy.MaxDelayMicros);
+  }
+}
+
 ErrorOr<PublishResult> DirectoryStore::publish(uint64_t LookupKey,
                                                CacheFile File,
                                                uint32_t BaseGeneration) {
+  PublishResult Result;
   // Shared on the store lock: publishers of different keys proceed in
   // parallel, while maintenance (exclusive holder) quiesces them all.
-  auto StoreLock =
-      FileLock::acquire(storeLockPath(), FileLock::Mode::Shared);
+  // Both acquisitions retry with backoff: transient contention (or an
+  // injected timeout) is absorbed here, not surfaced to the session.
+  auto StoreLock = lockWithRetry(storeLockPath(), FileLock::Mode::Shared,
+                                 &Result.LockRetries);
   if (!StoreLock)
     return StoreLock.status();
   // Exclusive on the slot: the generation read, the merge decision and
   // the rename below form one critical section per key.
-  auto KeyLock = FileLock::acquire(keyLockPath(LookupKey));
+  auto KeyLock = lockWithRetry(keyLockPath(LookupKey),
+                               FileLock::Mode::Exclusive,
+                               &Result.LockRetries);
   if (!KeyLock)
     return KeyLock.status();
 
   std::string Ref = refFor(LookupKey);
-  PublishResult Result;
   uint32_t Current = slotGeneration(Ref);
   if (Current != 0 && Current != BaseGeneration) {
     // A concurrent finalizer advanced the slot since the caller primed.
@@ -187,16 +229,22 @@ DirectoryStore::findCompatible(uint64_t EngineHash, uint64_t ToolHash) {
       // bytes, so the scan cost is independent of cache size.
       auto View = CacheFileView::openFile(
           Path, CacheFileView::Depth::HeaderOnly);
-      if (!View)
-        continue; // Unreadable/corrupt caches are not candidates.
+      if (!View) {
+        // Not a candidate — and corrupt contents get pulled aside so
+        // the next scan is not doomed to trip over them again.
+        maybeAutoQuarantine(Path, View.status());
+        continue;
+      }
       if (View->engineHash() == EngineHash &&
           View->toolHash() == ToolHash)
         Matches.push_back(Path);
       continue;
     }
     auto File = loadRef(Path); // Legacy fallback: eager deserialize.
-    if (!File)
-      continue; // Unreadable/corrupt caches are simply not candidates.
+    if (!File) {
+      maybeAutoQuarantine(Path, File.status());
+      continue;
+    }
     if (File->EngineHash == EngineHash && File->ToolHash == ToolHash)
       Matches.push_back(Path);
   }
@@ -216,8 +264,10 @@ ErrorOr<StoreStats> DirectoryStore::stats() {
       // Index-deep open: trace counts and code/data totals come from
       // the trace index; payload bytes are never read.
       auto OnDisk = fileSize(Path);
-      if (!OnDisk)
+      if (!OnDisk) {
+        ++Result.UnreadableFiles;
         continue;
+      }
       ++Result.CacheFiles;
       Result.DiskBytes += *OnDisk;
       auto View =
@@ -232,8 +282,10 @@ ErrorOr<StoreStats> DirectoryStore::stats() {
       continue;
     }
     auto Bytes = readFile(Path);
-    if (!Bytes)
+    if (!Bytes) {
+      ++Result.UnreadableFiles;
       continue;
+    }
     ++Result.CacheFiles;
     Result.DiskBytes += Bytes->size();
     auto File = CacheFile::deserialize(*Bytes);
@@ -245,6 +297,8 @@ ErrorOr<StoreStats> DirectoryStore::stats() {
     Result.DataBytes += File->dataBytes();
     Result.Traces += File->Traces.size();
   }
+  if (auto Entries = quarantined())
+    Result.QuarantinedFiles = static_cast<uint32_t>(Entries->size());
   return Result;
 }
 
@@ -303,11 +357,14 @@ ErrorOr<uint32_t> DirectoryStore::shrinkTo(uint64_t MaxBytes) {
   }
 
   uint32_t Removed = 0;
-  // Corrupt files go unconditionally.
+  // Corrupt files leave the store unconditionally — into the
+  // quarantine (with deletion as fallback), so the evidence survives
+  // for pcc-dbcheck.
   for (auto &E : Entries) {
     if (!E.Corrupt)
       continue;
-    if (removeFile(E.Path).ok()) {
+    if (quarantineRef(E.Path, "failed validation during shrink").ok() ||
+        removeFile(E.Path).ok()) {
       Total -= E.Size;
       E.Size = 0;
       ++Removed;
@@ -335,6 +392,116 @@ ErrorOr<uint32_t> DirectoryStore::shrinkTo(uint64_t MaxBytes) {
     }
   }
   return Removed;
+}
+
+Status DirectoryStore::quarantineRef(const std::string &Ref,
+                                     const std::string &Reason) {
+  if (Ref.size() <= Dir.size() + 1 ||
+      Ref.compare(0, Dir.size() + 1, Dir + "/") != 0)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "ref outside store: " + Ref);
+  std::string Name = Ref.substr(Dir.size() + 1);
+  if (Name.find('/') != std::string::npos)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "ref not a store slot: " + Ref);
+  Status S = createDirectories(quarantineDir());
+  if (!S.ok())
+    return S;
+  S = renameFile(Ref, quarantineDir() + "/" + Name);
+  if (!S.ok())
+    return S;
+  // The reason record is best-effort diagnosis; the move above is what
+  // protects readers.
+  std::vector<uint8_t> ReasonBytes(Reason.begin(), Reason.end());
+  (void)writeFileAtomic(quarantineDir() + "/" + Name + ".reason",
+                        ReasonBytes);
+  return Status::success();
+}
+
+ErrorOr<std::vector<QuarantineEntry>> DirectoryStore::quarantined() {
+  std::vector<QuarantineEntry> Entries;
+  auto Names = listDirectory(quarantineDir());
+  if (!Names)
+    return Entries; // No .quarantine/ yet: nothing was ever bad.
+  for (const std::string &Name : *Names) {
+    if (Name.size() >= 7 && Name.substr(Name.size() - 7) == ".reason")
+      continue;
+    if (isAtomicTempName(Name))
+      continue; // A crashed reason write, not a quarantined cache.
+    QuarantineEntry E;
+    E.Name = Name;
+    if (auto Reason = readFile(quarantineDir() + "/" + Name + ".reason"))
+      E.Reason.assign(Reason->begin(), Reason->end());
+    if (auto Size = fileSize(quarantineDir() + "/" + Name))
+      E.Bytes = *Size;
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}
+
+Status DirectoryStore::restoreQuarantined(const std::string &Name) {
+  std::string From = quarantineDir() + "/" + Name;
+  if (!fileExists(From))
+    return Status::error(ErrorCode::NotFound,
+                         "not in quarantine: " + Name);
+  std::string To = Dir + "/" + Name;
+  if (fileExists(To))
+    return Status::error(ErrorCode::InvalidArgument,
+                         "slot occupied, not restoring over " + To);
+  Status S = renameFile(From, To);
+  if (!S.ok())
+    return S;
+  (void)removeFile(From + ".reason");
+  return Status::success();
+}
+
+ErrorOr<uint32_t> DirectoryStore::purgeQuarantine() {
+  auto Entries = quarantined();
+  if (!Entries)
+    return Entries.status();
+  uint32_t Purged = 0;
+  for (const QuarantineEntry &E : *Entries) {
+    if (!removeFile(quarantineDir() + "/" + E.Name).ok())
+      continue;
+    (void)removeFile(quarantineDir() + "/" + E.Name + ".reason");
+    ++Purged;
+  }
+  return Purged;
+}
+
+void DirectoryStore::maybeAutoQuarantine(const std::string &Ref,
+                                         const Status &Failure) {
+  // Only readable-but-invalid contents are quarantine material: an
+  // IoError may be transient, NotFound has nothing to move, and a
+  // version/key mismatch is a perfectly healthy file for some other
+  // engine build.
+  if (!AutoQuarantine || Failure.code() != ErrorCode::InvalidFormat)
+    return;
+  if (Ref.size() <= Dir.size() + 1 ||
+      Ref.compare(0, Dir.size() + 1, Dir + "/") != 0)
+    return;
+  std::string Name = Ref.substr(Dir.size() + 1);
+  if (Name.find('/') != std::string::npos || !isCacheFileName(Name))
+    return;
+  // Freeze the slot while re-checking: publishers hold this lock while
+  // replacing the file, so a just-republished healthy cache is never
+  // swept up. A busy slot is left alone — the next reader retries.
+  uint64_t Key = std::strtoull(Name.c_str(), nullptr, 16);
+  auto KeyLock = FileLock::tryAcquire(keyLockPath(Key));
+  if (!KeyLock)
+    return;
+  bool StillCorrupt = false;
+  if (isV2CacheFile(Ref)) {
+    auto View = CacheFileView::openFile(Ref, CacheFileView::Depth::Index);
+    StillCorrupt =
+        !View && View.status().code() == ErrorCode::InvalidFormat;
+  } else if (auto Bytes = readFile(Ref)) {
+    auto File = CacheFile::deserialize(*Bytes);
+    StillCorrupt =
+        !File && File.status().code() == ErrorCode::InvalidFormat;
+  }
+  if (StillCorrupt)
+    (void)quarantineRef(Ref, Failure.toString());
 }
 
 std::vector<LockInfo> DirectoryStore::locks() const {

@@ -28,6 +28,13 @@
 /// files; they are created on demand and never deleted — see FileLock.h
 /// for the inode-split hazard.
 ///
+/// Fault tolerance: publishers acquire their locks with bounded retry
+/// (exponential backoff + jitter) instead of blocking forever, and
+/// caches whose contents fail validation are moved into a
+/// `.quarantine/` subdirectory — with the failure reason recorded in a
+/// sibling `.reason` file — rather than silently skipped, so
+/// `pcc-dbcheck` can diagnose, restore or purge them later.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PCC_PERSIST_DIRECTORYSTORE_H
@@ -35,8 +42,19 @@
 
 #include "persist/CacheStore.h"
 
+#include "support/FileLock.h"
+
 namespace pcc {
 namespace persist {
+
+/// Bounded-retry policy for publisher lock acquisition. Delays grow
+/// exponentially from Base to Cap with uniform jitter in the upper half
+/// of each step (decorrelating publishers that collided once).
+struct RetryPolicy {
+  uint32_t MaxAttempts = 12;
+  uint32_t BaseDelayMicros = 200;
+  uint32_t MaxDelayMicros = 50000;
+};
 
 /// Directory-backed store of persistent cache files.
 class DirectoryStore : public CacheStore {
@@ -61,12 +79,28 @@ public:
   ErrorOr<StoreStats> stats() override;
   ErrorOr<uint32_t> shrinkTo(uint64_t MaxBytes) override;
   std::vector<LockInfo> locks() const override;
+  Status quarantineRef(const std::string &Ref,
+                       const std::string &Reason) override;
+  ErrorOr<std::vector<QuarantineEntry>> quarantined() override;
+  Status restoreQuarantined(const std::string &Name) override;
+  ErrorOr<uint32_t> purgeQuarantine() override;
+
+  /// Replaces the publisher lock-retry policy (tests tighten it).
+  void setRetryPolicy(const RetryPolicy &P) { Policy = P; }
+  const RetryPolicy &retryPolicy() const { return Policy; }
+
+  /// Quarantine subdirectory path (may not exist yet).
+  std::string quarantineDir() const;
+
+  /// Store-wide lock-file path (creating `.locks/` on first use).
+  /// Maintenance passes (pcc-dbcheck --repair) acquire it exclusively
+  /// to quiesce every publisher.
+  std::string storeLockPath() const;
 
 private:
   /// Lock-file subdirectory, created on first use by the *LockPath
   /// accessors (so read-only stores never grow one).
   std::string lockDir() const;
-  std::string storeLockPath() const;
   std::string keyLockPath(uint64_t LookupKey) const;
   /// Current generation of the slot at \p Ref: 0 when missing or
   /// unreadable (an unreadable slot is overwritten, not merged).
@@ -74,8 +108,19 @@ private:
   /// Deletes temporaries orphaned by crashed writers. Caller must hold
   /// the store-wide lock exclusively.
   void sweepOrphanedTemps();
+  /// Acquires the lock at \p Path with bounded retry on WouldBlock,
+  /// accumulating the retry count into *\p Retries when given.
+  ErrorOr<FileLock> lockWithRetry(const std::string &Path,
+                                  FileLock::Mode M, uint32_t *Retries);
+  /// Best-effort quarantine of a cache that just failed validation.
+  /// Takes the slot's key lock non-blocking and re-validates under it,
+  /// so a concurrently republished healthy file is never swept up;
+  /// skips silently when the slot is busy or AutoQuarantine is off.
+  void maybeAutoQuarantine(const std::string &Ref,
+                           const Status &Failure);
 
   std::string Dir;
+  RetryPolicy Policy;
 };
 
 } // namespace persist

@@ -44,6 +44,20 @@ uint32_t imageGeneration(const std::vector<uint8_t> &Bytes) {
 
 } // namespace
 
+std::string MemoryStore::nameOf(const std::string &Ref) const {
+  size_t Slash = Ref.rfind('/');
+  return Slash == std::string::npos ? Ref : Ref.substr(Slash + 1);
+}
+
+void MemoryStore::quarantineLocked(const std::string &Ref,
+                                   const std::string &Reason) {
+  auto It = Slots.find(Ref);
+  if (It == Slots.end())
+    return;
+  Quarantine[nameOf(Ref)] = {std::move(It->second), Reason};
+  Slots.erase(It);
+}
+
 ErrorOr<StoredCache> MemoryStore::openRef(const std::string &Ref,
                                           CacheFileView::Depth D) {
   std::vector<uint8_t> Bytes;
@@ -54,17 +68,26 @@ ErrorOr<StoredCache> MemoryStore::openRef(const std::string &Ref,
       return Status::error(ErrorCode::NotFound, "no cache at " + Ref);
     Bytes = It->second;
   }
+  auto Reject = [&](const Status &S) {
+    // Same policy as the directory backend: readable-but-invalid
+    // contents move to the quarantine; mismatched versions stay.
+    if (AutoQuarantine && S.code() == ErrorCode::InvalidFormat) {
+      std::lock_guard<std::mutex> Guard(Mutex);
+      quarantineLocked(Ref, S.toString());
+    }
+    return S;
+  };
   StoredCache Cache;
   if (isLegacyImage(Bytes)) {
     auto File = CacheFile::deserialize(Bytes);
     if (!File)
-      return File.status();
+      return Reject(File.status());
     Cache.Eager = File.take();
     return Cache;
   }
   auto View = CacheFileView::open(std::move(Bytes), D);
   if (!View)
-    return View.status();
+    return Reject(View.status());
   Cache.View = View.take();
   return Cache;
 }
@@ -164,7 +187,52 @@ ErrorOr<StoreStats> MemoryStore::stats() {
     Result.DataBytes += File->dataBytes();
     Result.Traces += File->Traces.size();
   }
+  Result.QuarantinedFiles = static_cast<uint32_t>(Quarantine.size());
   return Result;
+}
+
+Status MemoryStore::quarantineRef(const std::string &Ref,
+                                  const std::string &Reason) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  if (Slots.count(Ref) == 0)
+    return Status::error(ErrorCode::NotFound, "no cache at " + Ref);
+  quarantineLocked(Ref, Reason);
+  return Status::success();
+}
+
+ErrorOr<std::vector<QuarantineEntry>> MemoryStore::quarantined() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::vector<QuarantineEntry> Entries;
+  for (const auto &[Name, Image] : Quarantine) {
+    QuarantineEntry E;
+    E.Name = Name;
+    E.Reason = Image.Reason;
+    E.Bytes = Image.Bytes.size();
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}
+
+Status MemoryStore::restoreQuarantined(const std::string &Name) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  auto It = Quarantine.find(Name);
+  if (It == Quarantine.end())
+    return Status::error(ErrorCode::NotFound,
+                         "not in quarantine: " + Name);
+  std::string Ref = Location + "/" + Name;
+  if (Slots.count(Ref) != 0)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "slot occupied, not restoring over " + Ref);
+  Slots[Ref] = std::move(It->second.Bytes);
+  Quarantine.erase(It);
+  return Status::success();
+}
+
+ErrorOr<uint32_t> MemoryStore::purgeQuarantine() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  uint32_t Purged = static_cast<uint32_t>(Quarantine.size());
+  Quarantine.clear();
+  return Purged;
 }
 
 ErrorOr<uint32_t> MemoryStore::shrinkTo(uint64_t MaxBytes) {
@@ -194,7 +262,7 @@ ErrorOr<uint32_t> MemoryStore::shrinkTo(uint64_t MaxBytes) {
   for (auto &E : Entries) {
     if (!E.Corrupt)
       continue;
-    Slots.erase(E.Ref);
+    quarantineLocked(E.Ref, "failed validation during shrink");
     Total -= E.Size;
     E.Size = 0;
     ++Removed;

@@ -49,13 +49,31 @@ public:
   findCompatible(uint64_t EngineHash, uint64_t ToolHash) override;
   ErrorOr<StoreStats> stats() override;
   ErrorOr<uint32_t> shrinkTo(uint64_t MaxBytes) override;
+  Status quarantineRef(const std::string &Ref,
+                       const std::string &Reason) override;
+  ErrorOr<std::vector<QuarantineEntry>> quarantined() override;
+  Status restoreQuarantined(const std::string &Name) override;
+  ErrorOr<uint32_t> purgeQuarantine() override;
 
 private:
+  /// A quarantined image plus the reason it was pulled aside.
+  struct QuarantinedImage {
+    std::vector<uint8_t> Bytes;
+    std::string Reason;
+  };
+
+  /// Ref name within the store (the part after "<memory>/").
+  std::string nameOf(const std::string &Ref) const;
+  /// Locked-context quarantine move (caller holds Mutex).
+  void quarantineLocked(const std::string &Ref, const std::string &Reason);
+
   std::string Location = "<memory>";
   mutable std::mutex Mutex;
   /// Slot ref -> serialized cache image. Ordered so scans are
   /// deterministic like the directory store's sorted listings.
   std::map<std::string, std::vector<uint8_t>> Slots;
+  /// Name -> quarantined image; the in-memory `.quarantine/`.
+  std::map<std::string, QuarantinedImage> Quarantine;
 };
 
 } // namespace persist

@@ -55,7 +55,6 @@ static void rebaseImmediate(std::vector<uint8_t> &Code, uint32_t InstIndex,
 
 ErrorOr<StoredCache>
 PersistentSession::locateCache(dbi::Engine &Engine, PrimeResult &Result) {
-  (void)Engine;
   CacheStore &Store = *Db.backend();
   auto tryLoad = [&](const std::string &Ref,
                      bool IsOwn) -> ErrorOr<StoredCache> {
@@ -65,14 +64,20 @@ PersistentSession::locateCache(dbi::Engine &Engine, PrimeResult &Result) {
     auto Cache = Store.openRef(Ref, CacheFileView::Depth::Index);
     if (Cache) {
       Result.CachePath = Ref;
+      Result.RejectReason.clear();
       LoadedWasOwn = IsOwn;
       return Cache;
     }
     // Corrupt or unreadable caches must never break the run: record the
-    // reason and fall back to an empty code cache.
-    if (Cache.status().code() != ErrorCode::NotFound &&
-        Cache.status().code() != ErrorCode::IoError)
+    // reason and fall back to an empty code cache. An I/O failure is
+    // not the same as no cache existing — count it so operators can
+    // tell a sick disk from a cold database.
+    if (Cache.status().code() == ErrorCode::IoError) {
+      ++Result.CandidatesSkippedIo;
+      ++Engine.stats().PersistCandidatesSkippedIo;
+    } else if (Cache.status().code() != ErrorCode::NotFound) {
       Result.RejectReason = Cache.status().toString();
+    }
     return Status::error(ErrorCode::NotFound, "no usable cache");
   };
 
@@ -80,13 +85,27 @@ PersistentSession::locateCache(dbi::Engine &Engine, PrimeResult &Result) {
     return tryLoad(Opts.ExplicitCachePath,
                    Opts.ExplicitCachePath == Store.refFor(LookupKey));
 
-  if (Store.exists(LookupKey))
-    return tryLoad(Store.refFor(LookupKey), /*IsOwn=*/true);
+  if (Store.exists(LookupKey)) {
+    auto Own = tryLoad(Store.refFor(LookupKey), /*IsOwn=*/true);
+    // An unreadable or rejected own slot still allows the
+    // inter-application fallback below.
+    if (Own || !Opts.InterApplication)
+      return Own;
+  }
 
   if (Opts.InterApplication) {
+    // Try every compatible candidate, not just the first: one
+    // unreadable or freshly corrupted donor must not disqualify the
+    // rest of the database.
     auto Candidates = Store.findCompatible(EngineHash, ToolHash);
-    if (Candidates && !Candidates->empty())
-      return tryLoad(Candidates->front(), /*IsOwn=*/false);
+    if (Candidates)
+      for (const std::string &Ref : *Candidates) {
+        if (Ref == Store.refFor(LookupKey))
+          continue; // Own slot was already tried above.
+        auto Cache = tryLoad(Ref, /*IsOwn=*/false);
+        if (Cache)
+          return Cache;
+      }
   }
   return Status::error(ErrorCode::NotFound, "no usable cache");
 }
@@ -664,21 +683,46 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
         Exit.LinkedStart = 0;
 
   CacheStore &Store = *Db.backend();
-  Engine.stats().PersistCycles +=
+  dbi::EngineStats &Stats = Engine.stats();
+  Stats.PersistCycles +=
       Engine.options().Costs.PersistWriteCyclesPerPage *
       pagesOf(File.serializedSize());
-  if (!Opts.StoreAsPath.empty())
-    return Store.putRef(Opts.StoreAsPath, File);
   // Transactional publish: BaseGeneration is what this session primed
   // from its own slot (a donor prime does not claim the slot's
   // history), so a concurrent finalizer that advanced the slot first is
   // detected and merged with instead of clobbered.
   uint32_t BaseGeneration =
       LoadedWasOwn && HasPrior ? File.Generation - 1 : 0;
-  auto Published =
-      Store.publish(LookupKey, std::move(File), BaseGeneration);
-  if (!Published)
-    return Published.status();
+
+  // Store-write circuit breaker: persistence is an accelerator, so a
+  // failing write is retried up to the threshold and then abandoned —
+  // the run completes correctly either way, with the degradation
+  // recorded for benches and pcc-dbstat (FailFast restores strict
+  // propagation for tests that must observe the raw failure).
+  uint32_t Attempts = std::max(1u, Opts.BreakerThreshold);
+  Status LastError = Status::success();
+  for (uint32_t Attempt = 0; Attempt != Attempts; ++Attempt) {
+    if (Attempt != 0)
+      ++Stats.PersistStoreRetries;
+    if (!Opts.StoreAsPath.empty()) {
+      Status S = Store.putRef(Opts.StoreAsPath, File);
+      if (S.ok())
+        return S;
+      LastError = S;
+    } else {
+      auto Published = Store.publish(LookupKey, File, BaseGeneration);
+      if (Published) {
+        Stats.PersistStoreRetries += Published->LockRetries;
+        return Status::success();
+      }
+      LastError = Published.status();
+    }
+    ++Stats.PersistStoreFailures;
+  }
+  if (Opts.FailFast)
+    return LastError;
+  Stats.PersistDegraded = true;
+  Stats.PersistDegradeReason = LastError.toString();
   return Status::success();
 }
 

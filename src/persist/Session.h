@@ -69,6 +69,14 @@ struct PersistOptions {
   std::string ExplicitCachePath;
   /// Write the cache to this path instead of the database slot.
   std::string StoreAsPath;
+  /// Circuit breaker: consecutive store-write failures finalize()
+  /// absorbs (retrying in between) before giving up on persistence for
+  /// this session. The run itself still succeeds — it just leaves
+  /// nothing behind, recorded in EngineStats::PersistDegraded.
+  uint32_t BreakerThreshold = 3;
+  /// Propagate store-write failures as finalize() errors instead of
+  /// degrading (strict tools and tests that must observe the failure).
+  bool FailFast = false;
 };
 
 /// What prime() did, for reporting and tests.
@@ -82,6 +90,9 @@ struct PrimeResult {
   uint32_t ModulesValidated = 0;
   uint32_t ModulesInvalidated = 0;
   uint32_t LinksRestored = 0;
+  /// Candidate caches that exist but could not be read (I/O errors) —
+  /// distinct from there being no cache at all.
+  uint32_t CandidatesSkippedIo = 0;
 };
 
 /// Brackets one engine run with persistent-cache reuse and generation.

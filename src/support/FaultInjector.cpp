@@ -1,0 +1,182 @@
+//===- support/FaultInjector.cpp ------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+
+using namespace pcc;
+
+namespace {
+
+std::string trimmed(const std::string &Str) {
+  size_t Begin = Str.find_first_not_of(" \t");
+  if (Begin == std::string::npos)
+    return "";
+  size_t End = Str.find_last_not_of(" \t");
+  return Str.substr(Begin, End - Begin + 1);
+}
+
+} // namespace
+
+const char *pcc::faultOpName(FaultOp Op) {
+  switch (Op) {
+  case FaultOp::Read:
+    return "read";
+  case FaultOp::ShortWrite:
+    return "short-write";
+  case FaultOp::TornWrite:
+    return "torn-write";
+  case FaultOp::Enospc:
+    return "enospc";
+  case FaultOp::FsyncFail:
+    return "fsync";
+  case FaultOp::RenameFail:
+    return "rename";
+  case FaultOp::LockTimeout:
+    return "lock";
+  case FaultOp::OpCount:
+    break;
+  }
+  return "?";
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector Singleton;
+  return Singleton;
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  for (Rule &R : Rules)
+    R = Rule();
+  Armed.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::armProbability(FaultOp Op, double P, uint64_t Seed) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Rule &R = Rules[static_cast<size_t>(Op)];
+  R.Kind = RuleKind::Probability;
+  R.P = P;
+  // Diffuse Op into the seed so rules sharing one plan seed draw
+  // independent streams.
+  R.RngState = Seed + 0x100 * (static_cast<uint64_t>(Op) + 1);
+  recountArmed();
+}
+
+void FaultInjector::armCount(FaultOp Op, uint32_t AfterCalls,
+                             uint32_t Times) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Rule &R = Rules[static_cast<size_t>(Op)];
+  R.Kind = RuleKind::Count;
+  R.AfterCalls = AfterCalls;
+  R.Times = Times;
+  recountArmed();
+}
+
+void FaultInjector::disarm(FaultOp Op) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Rules[static_cast<size_t>(Op)].Kind = RuleKind::Off;
+  recountArmed();
+}
+
+bool FaultInjector::shouldFail(FaultOp Op) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Rule &R = Rules[static_cast<size_t>(Op)];
+  bool Fail = false;
+  switch (R.Kind) {
+  case RuleKind::Off:
+    break;
+  case RuleKind::Count:
+    if (R.AfterCalls > 0) {
+      --R.AfterCalls;
+    } else {
+      Fail = true;
+      if (--R.Times == 0) {
+        R.Kind = RuleKind::Off;
+        recountArmed();
+      }
+    }
+    break;
+  case RuleKind::Probability: {
+    Rng Generator(R.RngState);
+    Fail = Generator.nextBool(R.P);
+    R.RngState = Generator.next();
+    break;
+  }
+  }
+  if (Fail)
+    ++R.Injected;
+  return Fail;
+}
+
+uint64_t FaultInjector::injectedCount(FaultOp Op) const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Rules[static_cast<size_t>(Op)].Injected;
+}
+
+uint64_t FaultInjector::totalInjected() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  uint64_t Total = 0;
+  for (const Rule &R : Rules)
+    Total += R.Injected;
+  return Total;
+}
+
+void FaultInjector::recountArmed() {
+  uint32_t Count = 0;
+  for (const Rule &R : Rules)
+    if (R.Kind != RuleKind::Off)
+      ++Count;
+  Armed.store(Count, std::memory_order_relaxed);
+}
+
+Status FaultInjector::configureFromPlan(const std::string &Plan) {
+  uint64_t Seed = 1;
+  for (const std::string &Item : splitString(Plan, ',')) {
+    std::string Trimmed = trimmed(Item);
+    if (Trimmed.empty())
+      continue;
+    size_t Colon = Trimmed.find(':');
+    if (Colon == std::string::npos || Colon == 0 ||
+        Colon + 1 == Trimmed.size())
+      return Status::error(ErrorCode::InvalidArgument,
+                           "fault plan item needs op:value: '" + Trimmed +
+                               "'");
+    std::string Name = Trimmed.substr(0, Colon);
+    std::string Value = Trimmed.substr(Colon + 1);
+    if (Name == "seed") {
+      char *End = nullptr;
+      Seed = std::strtoull(Value.c_str(), &End, 10);
+      if (End == Value.c_str() || *End != '\0')
+        return Status::error(ErrorCode::InvalidArgument,
+                             "bad fault plan seed: '" + Value + "'");
+      continue;
+    }
+    FaultOp Op = FaultOp::OpCount;
+    for (size_t I = 0; I != static_cast<size_t>(FaultOp::OpCount); ++I)
+      if (Name == faultOpName(static_cast<FaultOp>(I)))
+        Op = static_cast<FaultOp>(I);
+    if (Op == FaultOp::OpCount)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "unknown fault plan op: '" + Name + "'");
+    if (!Value.empty() && Value[0] == '@') {
+      char *End = nullptr;
+      unsigned long After = std::strtoul(Value.c_str() + 1, &End, 10);
+      if (End == Value.c_str() + 1 || *End != '\0')
+        return Status::error(ErrorCode::InvalidArgument,
+                             "bad fault plan count: '" + Value + "'");
+      armCount(Op, static_cast<uint32_t>(After));
+      continue;
+    }
+    char *End = nullptr;
+    double P = std::strtod(Value.c_str(), &End);
+    if (End == Value.c_str() || *End != '\0' || P < 0 || P > 1)
+      return Status::error(ErrorCode::InvalidArgument,
+                           "bad fault plan probability: '" + Value + "'");
+    armProbability(Op, P, Seed);
+  }
+  return Status::success();
+}

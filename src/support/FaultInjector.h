@@ -1,0 +1,151 @@
+//===- support/FaultInjector.h - Host-failure injection ---------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One configurable facility for provoking host-filesystem failures
+/// underneath FileSystem and FileLock. The paper's headline deployment
+/// (Section 5: an Oracle middle tier with many worker processes sharing
+/// one cache database) demands that a disk-full, a torn file or a
+/// contended lock never take down the *application* — persistence is an
+/// accelerator, and the worst acceptable outcome is falling back to
+/// baseline translation. Proving that requires provoking those failures
+/// on demand: tests, benches and `pccrun --fault-plan` all arm this
+/// injector instead of growing ad-hoc hooks.
+///
+/// Faults are keyed by operation (FaultOp). Each operation can be armed
+/// two ways:
+///
+///   * count-based  — the next \c AfterCalls calls pass, then \c Times
+///     calls fail, then the rule disarms (deterministic one-shots for
+///     unit tests);
+///   * probability  — every call fails independently with probability
+///     \c P, drawn from a seeded deterministic Rng (soak storms).
+///
+/// The injector is process-global (it must see every filesystem call,
+/// including ones deep inside the store) and thread-safe (fault storms
+/// run under TSan). Forked children inherit the armed plan — exactly
+/// what a multi-process publish storm wants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_SUPPORT_FAULTINJECTOR_H
+#define PCC_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace pcc {
+
+/// Injectable host operations. Write-path faults differ in what they
+/// leave behind: ShortWrite/Enospc/FsyncFail/RenameFail are *clean*
+/// failures (the temporary is removed, the slot untouched); TornWrite
+/// simulates a writer dying mid-write, orphaning a partial temporary.
+enum class FaultOp : uint8_t {
+  Read,        ///< EIO from readFile/readFileRange/mmap.
+  ShortWrite,  ///< fwrite stops halfway; clean IoError.
+  TornWrite,   ///< Writer "crashes": partial temp left on disk.
+  Enospc,      ///< No space left on device; clean IoError.
+  FsyncFail,   ///< fsync of the temporary fails; clean IoError.
+  RenameFail,  ///< rename(temp, slot) fails; clean IoError.
+  LockTimeout, ///< Lock acquisition reports WouldBlock.
+  OpCount      ///< Number of operations (array bound).
+};
+
+/// Printable name of \p Op ("read", "enospc", ...), as used in fault
+/// plans.
+const char *faultOpName(FaultOp Op);
+
+/// Process-global fault-injection facility. All methods are
+/// thread-safe.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Disarms every rule and zeroes the injection counters.
+  void reset();
+
+  /// Arms \p Op to fail each call independently with probability \p P,
+  /// drawn from a deterministic generator seeded with \p Seed.
+  void armProbability(FaultOp Op, double P, uint64_t Seed = 1);
+
+  /// Arms \p Op to pass \p AfterCalls calls, fail the next \p Times
+  /// calls, then disarm.
+  void armCount(FaultOp Op, uint32_t AfterCalls = 0, uint32_t Times = 1);
+
+  /// Disarms \p Op only.
+  void disarm(FaultOp Op);
+
+  /// Decides whether the current call to \p Op fails, advancing the
+  /// rule's state. Hot paths call this through the inline enabled()
+  /// guard, so an unarmed injector costs one relaxed atomic load.
+  bool shouldFail(FaultOp Op);
+
+  /// Number of faults injected for \p Op since the last reset().
+  uint64_t injectedCount(FaultOp Op) const;
+
+  /// Total faults injected across all operations since last reset().
+  uint64_t totalInjected() const;
+
+  /// True when any rule is armed.
+  bool enabled() const {
+    return Armed.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Arms the injector from a fault-plan string:
+  ///
+  ///   plan  := item (',' item)*
+  ///   item  := op ':' value | "seed" ':' integer
+  ///   op    := read | short-write | torn-write | enospc | fsync
+  ///          | rename | lock
+  ///   value := probability in [0,1] (e.g. "0.1")
+  ///          | '@' N  — one-shot: pass N calls, then fail once
+  ///
+  /// e.g. "enospc:0.1,fsync:0.1,lock:0.25,seed:42". Items apply in
+  /// order; "seed" affects subsequently listed probability items.
+  /// Returns InvalidArgument (with the offending item) on a malformed
+  /// plan, leaving already-parsed items armed.
+  Status configureFromPlan(const std::string &Plan);
+
+private:
+  FaultInjector() = default;
+
+  enum class RuleKind : uint8_t { Off, Count, Probability };
+  struct Rule {
+    RuleKind Kind = RuleKind::Off;
+    uint32_t AfterCalls = 0; ///< Count: calls to pass before failing.
+    uint32_t Times = 0;      ///< Count: consecutive failures remaining.
+    double P = 0;            ///< Probability of failure per call.
+    uint64_t RngState = 0;   ///< Per-rule SplitMix64 state.
+    uint64_t Injected = 0;   ///< Faults injected since reset().
+  };
+
+  void recountArmed(); ///< Recomputes Armed under Mutex.
+
+  mutable std::mutex Mutex;
+  Rule Rules[static_cast<size_t>(FaultOp::OpCount)];
+  /// Number of armed rules, readable without the mutex so unarmed
+  /// operation costs one relaxed load on every filesystem call.
+  std::atomic<uint32_t> Armed{0};
+};
+
+/// RAII guard for tests: resets the global injector on construction and
+/// destruction, so no armed rule leaks across test boundaries.
+class FaultScope {
+public:
+  FaultScope() { FaultInjector::instance().reset(); }
+  ~FaultScope() { FaultInjector::instance().reset(); }
+  FaultScope(const FaultScope &) = delete;
+  FaultScope &operator=(const FaultScope &) = delete;
+};
+
+} // namespace pcc
+
+#endif // PCC_SUPPORT_FAULTINJECTOR_H

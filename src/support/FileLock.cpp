@@ -2,6 +2,8 @@
 
 #include "support/FileLock.h"
 
+#include "support/FaultInjector.h"
+
 #include <cerrno>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -41,6 +43,12 @@ void FileLock::release() {
 
 static ErrorOr<int> lockedFd(const std::string &Path, FileLock::Mode M,
                              bool Blocking) {
+  // Injected contention: report the lock as held elsewhere. Blocking
+  // callers see it too — a simulated timeout, not an infinite wait.
+  FaultInjector &Injector = FaultInjector::instance();
+  if (Injector.enabled() && Injector.shouldFail(FaultOp::LockTimeout))
+    return Status::error(ErrorCode::WouldBlock,
+                         "(injected) lock timeout: " + Path);
   int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0666);
   if (Fd < 0)
     return Status::error(ErrorCode::IoError,

@@ -2,6 +2,7 @@
 
 #include "support/FileSystem.h"
 
+#include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -23,6 +24,10 @@ using namespace pcc;
 namespace fs = std::filesystem;
 
 ErrorOr<std::vector<uint8_t>> pcc::readFile(const std::string &Path) {
+  FaultInjector &Injector = FaultInjector::instance();
+  if (Injector.enabled() && Injector.shouldFail(FaultOp::Read))
+    return Status::error(ErrorCode::IoError,
+                         "(injected) read error from " + Path);
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
     return Status::error(ErrorCode::IoError, "cannot open " + Path);
@@ -54,6 +59,10 @@ ErrorOr<uint64_t> pcc::fileSize(const std::string &Path) {
 ErrorOr<std::vector<uint8_t>> pcc::readFileRange(const std::string &Path,
                                                  uint64_t Offset,
                                                  size_t MaxBytes) {
+  FaultInjector &Injector = FaultInjector::instance();
+  if (Injector.enabled() && Injector.shouldFail(FaultOp::Read))
+    return Status::error(ErrorCode::IoError,
+                         "(injected) read error from " + Path);
   std::FILE *File = std::fopen(Path.c_str(), "rb");
   if (!File)
     return Status::error(ErrorCode::IoError, "cannot open " + Path);
@@ -105,6 +114,10 @@ MappedFile::~MappedFile() {
 }
 
 ErrorOr<MappedFile> MappedFile::open(const std::string &Path) {
+  FaultInjector &Injector = FaultInjector::instance();
+  if (Injector.enabled() && Injector.shouldFail(FaultOp::Read))
+    return Status::error(ErrorCode::IoError,
+                         "(injected) cannot map " + Path);
   MappedFile Result;
 #if PCC_HAVE_MMAP
   int Fd = ::open(Path.c_str(), O_RDONLY);
@@ -149,11 +162,12 @@ uint32_t pcc::currentProcessId() {
 
 namespace {
 
-/// One-shot injectable crash state (tests only; see header).
-struct CrashInjection {
-  WriteCrashMode Mode = WriteCrashMode::Off;
-  uint32_t Countdown = 0;
-} InjectedCrash;
+/// True when the fault injector wants this call to \p Op fail. The
+/// enabled() fast path keeps unarmed operation to one relaxed load.
+bool injectFault(FaultOp Op) {
+  FaultInjector &Injector = FaultInjector::instance();
+  return Injector.enabled() && Injector.shouldFail(Op);
+}
 
 /// Flushes \p File's contents to stable storage (POSIX only; elsewhere a
 /// successful no-op, matching the platform's weaker guarantees).
@@ -187,12 +201,6 @@ void syncParentDirectory(const std::string &Path) {
 
 } // namespace
 
-void pcc::injectAtomicWriteFailure(WriteCrashMode Mode,
-                                   uint32_t AfterWrites) {
-  InjectedCrash.Mode = Mode;
-  InjectedCrash.Countdown = AfterWrites;
-}
-
 bool pcc::isAtomicTempName(const std::string &Name) {
   return Name.find(".tmp.") != std::string::npos;
 }
@@ -207,37 +215,40 @@ Status pcc::writeFileAtomic(const std::string &Path,
       Path + formatString(".tmp.%u-%u", currentProcessId(),
                           Serial.fetch_add(1, std::memory_order_relaxed));
 
-  WriteCrashMode Crash = WriteCrashMode::Off;
-  if (InjectedCrash.Mode != WriteCrashMode::Off) {
-    if (InjectedCrash.Countdown == 0) {
-      Crash = InjectedCrash.Mode;
-      InjectedCrash.Mode = WriteCrashMode::Off;
-    } else {
-      --InjectedCrash.Countdown;
-    }
-  }
+  if (injectFault(FaultOp::Enospc))
+    // A full disk fails at open/write time; no temporary survives.
+    return Status::error(ErrorCode::IoError,
+                         "(injected) no space left writing " + TempPath);
+
+  bool ShortWrite = injectFault(FaultOp::ShortWrite);
+  bool TornWrite = !ShortWrite && injectFault(FaultOp::TornWrite);
 
   std::FILE *File = std::fopen(TempPath.c_str(), "wb");
   if (!File)
     return Status::error(ErrorCode::IoError, "cannot create " + TempPath);
   size_t ToWrite =
-      Crash != WriteCrashMode::Off ? Bytes.size() / 2 : Bytes.size();
+      ShortWrite || TornWrite ? Bytes.size() / 2 : Bytes.size();
   size_t Written =
       ToWrite == 0 ? 0 : std::fwrite(Bytes.data(), 1, ToWrite, File);
-  if (Crash == WriteCrashMode::CrashDirty) {
+  if (TornWrite) {
     // Simulated crash: the writer dies here, after some bytes reached
     // the temporary and before the rename. The orphan stays on disk,
     // exactly as a real crash would leave it.
     std::fclose(File);
     return Status::error(ErrorCode::IoError,
-                         "injected crash while writing " + TempPath);
+                         "(injected) crash while writing " + TempPath);
   }
-  bool Synced = !SyncToDisk || syncStream(File);
+  bool Synced =
+      !SyncToDisk || (!injectFault(FaultOp::FsyncFail) && syncStream(File));
   int CloseResult = std::fclose(File);
-  if (Crash == WriteCrashMode::FailClean || Written != ToWrite ||
-      !Synced || CloseResult != 0) {
+  if (ShortWrite || Written != ToWrite || !Synced || CloseResult != 0) {
     std::remove(TempPath.c_str());
     return Status::error(ErrorCode::IoError, "short write to " + TempPath);
+  }
+  if (injectFault(FaultOp::RenameFail)) {
+    std::remove(TempPath.c_str());
+    return Status::error(ErrorCode::IoError,
+                         "(injected) cannot rename " + TempPath);
   }
   std::error_code Ec;
   fs::rename(TempPath, Path, Ec);
@@ -269,6 +280,15 @@ Status pcc::removeFile(const std::string &Path) {
   fs::remove(Path, Ec);
   if (Ec)
     return Status::error(ErrorCode::IoError, "cannot remove " + Path);
+  return Status::success();
+}
+
+Status pcc::renameFile(const std::string &From, const std::string &To) {
+  std::error_code Ec;
+  fs::rename(From, To, Ec);
+  if (Ec)
+    return Status::error(ErrorCode::IoError,
+                         "cannot rename " + From + " to " + To);
   return Status::success();
 }
 

@@ -78,20 +78,6 @@ Status writeFileAtomic(const std::string &Path,
 /// temporary — what a crashed writer leaves behind.
 bool isAtomicTempName(const std::string &Name);
 
-/// Crash styles injectable into writeFileAtomic (tests only).
-enum class WriteCrashMode : uint8_t {
-  Off,       ///< Normal operation.
-  FailClean, ///< Report IoError after a partial write; temp removed.
-  CrashDirty ///< Simulate dying mid-write: partial temp left behind.
-};
-
-/// Arms a one-shot failure in writeFileAtomic: the next \p AfterWrites
-/// calls succeed, then one call fails in style \p Mode (half of its
-/// bytes written) and the hook disarms. Not thread-safe; tests inject
-/// around single-threaded write paths.
-void injectAtomicWriteFailure(WriteCrashMode Mode,
-                              uint32_t AfterWrites = 0);
-
 /// Identifier of this process (for lock diagnostics and writer tags).
 uint32_t currentProcessId();
 
@@ -103,6 +89,10 @@ bool fileExists(const std::string &Path);
 
 /// Deletes the file at \p Path if it exists (missing file is success).
 Status removeFile(const std::string &Path);
+
+/// Atomically renames \p From to \p To (same filesystem), replacing any
+/// existing file at \p To.
+Status renameFile(const std::string &From, const std::string &To);
 
 /// Lists regular files directly inside \p Dir (names only, sorted).
 ErrorOr<std::vector<std::string>> listDirectory(const std::string &Dir);

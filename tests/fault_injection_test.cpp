@@ -1,0 +1,711 @@
+//===- tests/fault_injection_test.cpp - fault tolerance, end to end -------===//
+//
+// The robustness suite: everything that must keep working when the host
+// filesystem misbehaves. Injector semantics, per-operation write-path
+// failure modes, publisher lock retry, the quarantine lifecycle, the
+// session circuit breaker, degraded end-to-end runs (unwritable and
+// all-corrupt databases), pcc-dbcheck's check/repair passes, and a
+// multi-process publish storm under a probabilistic fault plan.
+//
+// Built as its own CTest executable (fault_injection_test) so the soak
+// modes of scripts/check.sh can run exactly this binary under ASan and
+// TSan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/CacheDatabase.h"
+#include "persist/DbCheck.h"
+#include "persist/DirectoryStore.h"
+#include "persist/MemoryStore.h"
+#include "persist/Session.h"
+#include "support/FaultInjector.h"
+#include "support/FileLock.h"
+#include "support/FileSystem.h"
+
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PCC_TEST_HAVE_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+using namespace pcc;
+using namespace pcc::persist;
+using tests::makeTinyWorkload;
+using tests::TempDir;
+using tests::TinyWorkload;
+
+namespace {
+
+/// A valid single-module cache whose traces start at the given guest
+/// addresses.
+CacheFile makeFileWithStarts(std::initializer_list<uint32_t> Starts,
+                             uint32_t Generation = 1) {
+  CacheFile File;
+  File.EngineHash = dbi::engineVersionHash();
+  File.ToolHash = noToolHash();
+  File.Generation = Generation;
+  ModuleKey Key;
+  Key.Path = "/bin/x";
+  Key.Base = 0x400000;
+  Key.Size = 0x10000;
+  Key.FullHash = 0x1111;
+  File.Modules.push_back(Key);
+  for (uint32_t Start : Starts) {
+    TraceRecord Trace;
+    Trace.GuestStart = Start;
+    Trace.GuestInstCount = 4;
+    Trace.Code.assign(64, static_cast<uint8_t>(Start & 0xff));
+    File.Traces.push_back(std::move(Trace));
+  }
+  return File;
+}
+
+/// Flips one byte at \p Offset from the end of the file (negative
+/// indexing into the payload/header without knowing the exact layout).
+void flipByteFromEnd(const std::string &Path, size_t Offset) {
+  auto Bytes = readFile(Path);
+  ASSERT_TRUE(Bytes.ok());
+  ASSERT_GT(Bytes->size(), Offset);
+  (*Bytes)[Bytes->size() - 1 - Offset] ^= 0xff;
+  ASSERT_TRUE(writeFileAtomic(Path, *Bytes).ok());
+}
+
+/// Flips one byte at absolute \p Offset (header corruption).
+void flipByteAt(const std::string &Path, size_t Offset) {
+  auto Bytes = readFile(Path);
+  ASSERT_TRUE(Bytes.ok());
+  ASSERT_GT(Bytes->size(), Offset);
+  (*Bytes)[Offset] ^= 0xff;
+  ASSERT_TRUE(writeFileAtomic(Path, *Bytes).ok());
+}
+
+/// Path of the single .pcc file in \p Dir.
+std::string soleCachePath(const std::string &Dir) {
+  auto Names = listDirectory(Dir);
+  EXPECT_TRUE(Names.ok());
+  std::string Found;
+  if (Names)
+    for (const std::string &Name : *Names)
+      if (Name.size() > 4 && Name.substr(Name.size() - 4) == ".pcc")
+        Found = Dir + "/" + Name;
+  EXPECT_FALSE(Found.empty());
+  return Found;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Injector semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectorUnit, CountRulePassesThenFailsThenDisarms) {
+  FaultScope Scope;
+  FaultInjector &I = FaultInjector::instance();
+  I.armCount(FaultOp::Read, /*AfterCalls=*/2, /*Times=*/2);
+  EXPECT_TRUE(I.enabled());
+  EXPECT_FALSE(I.shouldFail(FaultOp::Read));
+  EXPECT_FALSE(I.shouldFail(FaultOp::Read));
+  EXPECT_TRUE(I.shouldFail(FaultOp::Read));
+  EXPECT_TRUE(I.shouldFail(FaultOp::Read));
+  EXPECT_FALSE(I.shouldFail(FaultOp::Read)); // Rule disarmed itself.
+  EXPECT_FALSE(I.enabled());
+  EXPECT_EQ(I.injectedCount(FaultOp::Read), 2u);
+  EXPECT_EQ(I.totalInjected(), 2u);
+}
+
+TEST(FaultInjectorUnit, ProbabilityStreamIsDeterministicPerSeed) {
+  FaultScope Scope;
+  FaultInjector &I = FaultInjector::instance();
+  auto draw = [&](uint64_t Seed) {
+    I.reset();
+    I.armProbability(FaultOp::Enospc, 0.5, Seed);
+    std::vector<bool> Draws;
+    for (int N = 0; N != 64; ++N)
+      Draws.push_back(I.shouldFail(FaultOp::Enospc));
+    return Draws;
+  };
+  auto A = draw(99), B = draw(99), C = draw(100);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C); // 2^-64 flake odds: different seed, different stream.
+
+  // Degenerate probabilities are exact, not approximate.
+  I.reset();
+  I.armProbability(FaultOp::Read, 0.0);
+  I.armProbability(FaultOp::FsyncFail, 1.0);
+  for (int N = 0; N != 32; ++N) {
+    EXPECT_FALSE(I.shouldFail(FaultOp::Read));
+    EXPECT_TRUE(I.shouldFail(FaultOp::FsyncFail));
+  }
+}
+
+TEST(FaultInjectorUnit, PlanParsingArmsRulesAndRejectsGarbage) {
+  FaultScope Scope;
+  FaultInjector &I = FaultInjector::instance();
+  ASSERT_TRUE(
+      I.configureFromPlan("seed:7, enospc:0.25, lock:@3").ok());
+  EXPECT_TRUE(I.enabled());
+  // "@3": pass three acquisitions, fail the fourth, disarm.
+  EXPECT_FALSE(I.shouldFail(FaultOp::LockTimeout));
+  EXPECT_FALSE(I.shouldFail(FaultOp::LockTimeout));
+  EXPECT_FALSE(I.shouldFail(FaultOp::LockTimeout));
+  EXPECT_TRUE(I.shouldFail(FaultOp::LockTimeout));
+  EXPECT_FALSE(I.shouldFail(FaultOp::LockTimeout));
+
+  EXPECT_EQ(I.configureFromPlan("bogus:0.5").code(),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(I.configureFromPlan("enospc:1.5").code(),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(I.configureFromPlan("enospc").code(),
+            ErrorCode::InvalidArgument);
+  EXPECT_EQ(I.configureFromPlan("seed:x").code(),
+            ErrorCode::InvalidArgument);
+  EXPECT_TRUE(I.configureFromPlan("").ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Write-path failure modes, one operation at a time.
+//===----------------------------------------------------------------------===//
+
+class AtomicWriteFaults : public ::testing::Test {
+protected:
+  bool dirHasTemp() {
+    auto Names = listDirectory(Dir.path());
+    EXPECT_TRUE(Names.ok());
+    for (const std::string &Name : *Names)
+      if (isAtomicTempName(Name))
+        return true;
+    return false;
+  }
+  TempDir Dir;
+  FaultScope Scope;
+  std::vector<uint8_t> Payload = std::vector<uint8_t>(256, 0xAB);
+};
+
+TEST_F(AtomicWriteFaults, EnospcFailsCleanlyBeforeTheTempExists) {
+  FaultInjector::instance().armCount(FaultOp::Enospc);
+  Status S = writeFileAtomic(Dir.path() + "/x", Payload);
+  EXPECT_EQ(S.code(), ErrorCode::IoError);
+  EXPECT_FALSE(fileExists(Dir.path() + "/x"));
+  EXPECT_FALSE(dirHasTemp());
+}
+
+TEST_F(AtomicWriteFaults, ShortWriteFailsCleanlyAndRemovesTheTemp) {
+  FaultInjector::instance().armCount(FaultOp::ShortWrite);
+  Status S = writeFileAtomic(Dir.path() + "/x", Payload);
+  EXPECT_EQ(S.code(), ErrorCode::IoError);
+  EXPECT_FALSE(fileExists(Dir.path() + "/x"));
+  EXPECT_FALSE(dirHasTemp());
+}
+
+TEST_F(AtomicWriteFaults, TornWriteOrphansAPartialTemp) {
+  FaultInjector::instance().armCount(FaultOp::TornWrite);
+  Status S = writeFileAtomic(Dir.path() + "/x", Payload);
+  EXPECT_EQ(S.code(), ErrorCode::IoError);
+  EXPECT_FALSE(fileExists(Dir.path() + "/x")); // Slot never touched...
+  EXPECT_TRUE(dirHasTemp());                   // ...but debris remains.
+}
+
+TEST_F(AtomicWriteFaults, FsyncFailureOnlyMattersWhenSyncRequested) {
+  FaultInjector::instance().armCount(FaultOp::FsyncFail, 0, /*Times=*/2);
+  Status Synced =
+      writeFileAtomic(Dir.path() + "/x", Payload, /*SyncToDisk=*/true);
+  EXPECT_EQ(Synced.code(), ErrorCode::IoError);
+  EXPECT_FALSE(dirHasTemp());
+  // Without SyncToDisk nothing calls fsync, so the armed rule is never
+  // even consulted and the write lands.
+  Status Unsynced = writeFileAtomic(Dir.path() + "/y", Payload);
+  EXPECT_TRUE(Unsynced.ok());
+  EXPECT_TRUE(fileExists(Dir.path() + "/y"));
+}
+
+TEST_F(AtomicWriteFaults, RenameFailureRemovesTheTemp) {
+  FaultInjector::instance().armCount(FaultOp::RenameFail);
+  Status S = writeFileAtomic(Dir.path() + "/x", Payload);
+  EXPECT_EQ(S.code(), ErrorCode::IoError);
+  EXPECT_FALSE(fileExists(Dir.path() + "/x"));
+  EXPECT_FALSE(dirHasTemp());
+}
+
+TEST_F(AtomicWriteFaults, ReadFaultsSurfaceAsIoError) {
+  ASSERT_TRUE(writeFileAtomic(Dir.path() + "/x", Payload).ok());
+  FaultInjector::instance().armCount(FaultOp::Read, 0, /*Times=*/3);
+  EXPECT_EQ(readFile(Dir.path() + "/x").status().code(),
+            ErrorCode::IoError);
+  EXPECT_EQ(readFileRange(Dir.path() + "/x", 0, 16).status().code(),
+            ErrorCode::IoError);
+  EXPECT_EQ(MappedFile::open(Dir.path() + "/x").status().code(),
+            ErrorCode::IoError);
+  auto Clean = readFile(Dir.path() + "/x");
+  ASSERT_TRUE(Clean.ok());
+  EXPECT_EQ(*Clean, Payload);
+}
+
+//===----------------------------------------------------------------------===//
+// Publisher lock retry.
+//===----------------------------------------------------------------------===//
+
+TEST(LockRetry, PublishAbsorbsTransientLockTimeouts) {
+  TempDir Dir;
+  FaultScope Scope;
+  DirectoryStore Store(Dir.path());
+  RetryPolicy Tight;
+  Tight.BaseDelayMicros = 50;
+  Tight.MaxDelayMicros = 200;
+  Store.setRetryPolicy(Tight);
+
+  // The first three acquisition attempts time out; backoff retries past
+  // them and the publish lands.
+  FaultInjector::instance().armCount(FaultOp::LockTimeout, 0,
+                                     /*Times=*/3);
+  auto R = Store.publish(7, makeFileWithStarts({0x400000}), 0);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_GE(R->LockRetries, 3u);
+  EXPECT_TRUE(Store.exists(7));
+}
+
+TEST(LockRetry, PublishGivesUpWhenContentionOutlastsTheBudget) {
+  TempDir Dir;
+  FaultScope Scope;
+  DirectoryStore Store(Dir.path());
+  RetryPolicy Tight;
+  Tight.MaxAttempts = 4;
+  Tight.BaseDelayMicros = 50;
+  Tight.MaxDelayMicros = 200;
+  Store.setRetryPolicy(Tight);
+
+  FaultInjector::instance().armCount(FaultOp::LockTimeout, 0,
+                                     /*Times=*/1000);
+  auto R = Store.publish(7, makeFileWithStarts({0x400000}), 0);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::WouldBlock);
+  EXPECT_FALSE(Store.exists(7));
+}
+
+//===----------------------------------------------------------------------===//
+// Quarantine lifecycle.
+//===----------------------------------------------------------------------===//
+
+TEST(Quarantine, CorruptOpenAutoQuarantinesWithReason) {
+  TempDir Dir;
+  DirectoryStore Store(Dir.path());
+  ASSERT_TRUE(Store.put(3, makeFileWithStarts({0x400000})).ok());
+  std::string Ref = Store.refFor(3);
+  flipByteAt(Ref, 10); // Header byte: CRC mismatch, InvalidFormat.
+
+  auto Opened = Store.openRef(Ref, CacheFileView::Depth::Index);
+  ASSERT_FALSE(Opened.ok());
+  EXPECT_EQ(Opened.status().code(), ErrorCode::InvalidFormat);
+  EXPECT_FALSE(Store.exists(3)); // Pulled aside, not left in place.
+
+  auto Entries = Store.quarantined();
+  ASSERT_TRUE(Entries.ok());
+  ASSERT_EQ(Entries->size(), 1u);
+  EXPECT_EQ(Entries->front().Name, Ref.substr(Dir.path().size() + 1));
+  EXPECT_FALSE(Entries->front().Reason.empty());
+  EXPECT_NE(Entries->front().Bytes, 0u);
+}
+
+TEST(Quarantine, ReportOnlyModeLeavesTheCorpseInPlace) {
+  TempDir Dir;
+  DirectoryStore Store(Dir.path());
+  Store.setAutoQuarantine(false);
+  ASSERT_TRUE(Store.put(3, makeFileWithStarts({0x400000})).ok());
+  flipByteAt(Store.refFor(3), 10);
+
+  auto Opened = Store.openRef(Store.refFor(3),
+                              CacheFileView::Depth::Index);
+  EXPECT_EQ(Opened.status().code(), ErrorCode::InvalidFormat);
+  EXPECT_TRUE(fileExists(Store.refFor(3)));
+  auto Entries = Store.quarantined();
+  ASSERT_TRUE(Entries.ok());
+  EXPECT_TRUE(Entries->empty());
+}
+
+TEST(Quarantine, VersionMismatchIsNotQuarantineMaterial) {
+  // A cache for some other engine build is healthy, just not ours:
+  // scans skip it but must never pull it aside.
+  TempDir Dir;
+  DirectoryStore Store(Dir.path());
+  CacheFile Alien = makeFileWithStarts({0x400000});
+  Alien.EngineHash ^= 0xDEAD;
+  ASSERT_TRUE(Store.put(4, Alien).ok());
+
+  auto Matches =
+      Store.findCompatible(dbi::engineVersionHash(), noToolHash());
+  ASSERT_TRUE(Matches.ok());
+  EXPECT_TRUE(Matches->empty());
+  EXPECT_TRUE(Store.exists(4));
+  auto Entries = Store.quarantined();
+  ASSERT_TRUE(Entries.ok());
+  EXPECT_TRUE(Entries->empty());
+}
+
+TEST(Quarantine, RestoreAndPurgeRoundTrip) {
+  TempDir Dir;
+  DirectoryStore Store(Dir.path());
+  ASSERT_TRUE(Store.put(3, makeFileWithStarts({0x400000})).ok());
+  std::string Name = Store.refFor(3).substr(Dir.path().size() + 1);
+  ASSERT_TRUE(Store.quarantineRef(Store.refFor(3), "testing").ok());
+  EXPECT_FALSE(Store.exists(3));
+
+  // Occupied slot blocks restore (a healthy replacement arrived).
+  ASSERT_TRUE(Store.put(3, makeFileWithStarts({0x400040})).ok());
+  EXPECT_EQ(Store.restoreQuarantined(Name).code(),
+            ErrorCode::InvalidArgument);
+
+  ASSERT_TRUE(Store.retire(3).ok());
+  ASSERT_TRUE(Store.restoreQuarantined(Name).ok());
+  EXPECT_TRUE(Store.exists(3));
+  EXPECT_EQ(Store.restoreQuarantined(Name).code(), ErrorCode::NotFound);
+
+  ASSERT_TRUE(Store.quarantineRef(Store.refFor(3), "again").ok());
+  auto Purged = Store.purgeQuarantine();
+  ASSERT_TRUE(Purged.ok());
+  EXPECT_EQ(*Purged, 1u);
+  auto Entries = Store.quarantined();
+  ASSERT_TRUE(Entries.ok());
+  EXPECT_TRUE(Entries->empty());
+}
+
+TEST(Quarantine, MemoryStoreSupportsTheSameLifecycle) {
+  MemoryStore Store;
+  ASSERT_TRUE(Store.put(3, makeFileWithStarts({0x400000})).ok());
+  ASSERT_TRUE(Store.quarantineRef(Store.refFor(3), "testing").ok());
+  EXPECT_FALSE(Store.exists(3));
+  auto Entries = Store.quarantined();
+  ASSERT_TRUE(Entries.ok());
+  ASSERT_EQ(Entries->size(), 1u);
+  EXPECT_EQ(Entries->front().Reason, "testing");
+
+  std::string Name = Entries->front().Name;
+  ASSERT_TRUE(Store.restoreQuarantined(Name).ok());
+  EXPECT_TRUE(Store.exists(3));
+  auto Stats = Store.stats();
+  ASSERT_TRUE(Stats.ok());
+  EXPECT_EQ(Stats->QuarantinedFiles, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Session circuit breaker and degraded end-to-end runs.
+//===----------------------------------------------------------------------===//
+
+TEST(CircuitBreaker, EnospcDegradesTheRunNotTheGuest) {
+  TinyWorkload W = makeTinyWorkload(3, 0);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  auto Input = W.allSlotsInput(2);
+
+  auto Reference = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(Reference.ok());
+  ASSERT_TRUE(Db.clear().ok());
+
+  FaultScope Scope;
+  FaultInjector::instance().armProbability(FaultOp::Enospc, 1.0);
+  auto R = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_TRUE(R->Stats.PersistDegraded);
+  EXPECT_FALSE(R->Stats.PersistDegradeReason.empty());
+  EXPECT_NE(R->Stats.PersistStoreFailures, 0u);
+  EXPECT_TRUE(Reference->Run.observablyEquals(R->Run));
+  FaultInjector::instance().reset();
+
+  // Nothing was persisted; the next run starts cold but healthy.
+  auto After = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(After.ok());
+  EXPECT_FALSE(After->Prime.CacheFound);
+  EXPECT_FALSE(After->Stats.PersistDegraded);
+}
+
+TEST(CircuitBreaker, FailFastSurfacesTheStoreError) {
+  TinyWorkload W = makeTinyWorkload(2, 0);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  FaultScope Scope;
+  FaultInjector::instance().armProbability(FaultOp::Enospc, 1.0);
+  PersistOptions Opts;
+  Opts.FailFast = true;
+  auto R = workloads::runPersistent(W.Registry, W.App,
+                                    W.allSlotsInput(1), Db, Opts);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::IoError);
+}
+
+TEST(DegradedRuns, UnwritableDatabasePathStillRunsCorrectly) {
+  // The database path sits under a regular file, so nothing about it is
+  // creatable or writable — the strongest form of a read-only database
+  // (works even when tests run as root, where chmod 0500 would not
+  // bite).
+  TinyWorkload W = makeTinyWorkload(3, 0);
+  TempDir Dir;
+  ASSERT_TRUE(
+      writeFileAtomic(Dir.path() + "/blocker", {1, 2, 3}).ok());
+  std::string Broken = Dir.path() + "/blocker/db";
+
+  CacheDatabase Good(Dir.path() + "/good");
+  auto Input = W.allSlotsInput(2);
+  auto Reference =
+      workloads::runPersistent(W.Registry, W.App, Input, Good);
+  ASSERT_TRUE(Reference.ok());
+
+  CacheDatabase Db(Broken);
+  auto R = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_FALSE(R->Prime.CacheFound);
+  EXPECT_TRUE(R->Stats.PersistDegraded);
+  EXPECT_TRUE(Reference->Run.observablyEquals(R->Run));
+}
+
+TEST(DegradedRuns, ReadFaultsAreCountedAsSkippedCandidates) {
+  TinyWorkload W = makeTinyWorkload(3, 0);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  auto Input = W.allSlotsInput(2);
+  ASSERT_TRUE(
+      workloads::runPersistent(W.Registry, W.App, Input, Db).ok());
+
+  FaultScope Scope;
+  FaultInjector::instance().armProbability(FaultOp::Read, 1.0);
+  auto R = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_FALSE(R->Prime.CacheFound);
+  EXPECT_NE(R->Prime.CandidatesSkippedIo, 0u);
+  EXPECT_NE(R->Stats.PersistCandidatesSkippedIo, 0u);
+  // An unreadable candidate is not a corrupt one: nothing quarantined.
+  FaultInjector::instance().reset();
+  auto Entries = Db.quarantined();
+  ASSERT_TRUE(Entries.ok());
+  EXPECT_TRUE(Entries->empty());
+}
+
+TEST(DegradedRuns, AllQuarantinedDatabaseRunsColdAndRecovers) {
+  TinyWorkload W = makeTinyWorkload(3, 0);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  auto Input = W.allSlotsInput(2);
+  auto Cold = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(Cold.ok());
+
+  // Corrupt the only cache on disk. The next run's open fails, the
+  // corpse moves to the quarantine, the run proceeds cold and writes a
+  // healthy replacement.
+  flipByteAt(soleCachePath(Dir.path()), 10);
+  auto R = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_FALSE(R->Prime.CacheFound);
+  EXPECT_FALSE(R->Stats.PersistDegraded);
+  EXPECT_TRUE(Cold->Run.observablyEquals(R->Run));
+
+  auto Entries = Db.quarantined();
+  ASSERT_TRUE(Entries.ok());
+  EXPECT_EQ(Entries->size(), 1u);
+  auto Warm = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(Warm.ok());
+  EXPECT_TRUE(Warm->Prime.CacheFound);
+  EXPECT_EQ(Warm->Stats.TracesCompiled, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// pcc-dbcheck's engine: checkDatabase.
+//===----------------------------------------------------------------------===//
+
+TEST(DbCheck, CleanDatabaseReportsClean) {
+  TinyWorkload W = makeTinyWorkload(3, 0);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  ASSERT_TRUE(
+      workloads::runPersistent(W.Registry, W.App, W.allSlotsInput(2), Db)
+          .ok());
+  auto Report = checkDatabase(Dir.path());
+  ASSERT_TRUE(Report.ok()) << Report.status().toString();
+  EXPECT_TRUE(Report->clean());
+  EXPECT_EQ(Report->FilesScanned, 1u);
+  EXPECT_EQ(Report->FilesClean, 1u);
+  EXPECT_EQ(Report->TracesDropped, 0u);
+}
+
+TEST(DbCheck, ReportPassNeverMutates) {
+  TinyWorkload W = makeTinyWorkload(3, 0);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  ASSERT_TRUE(
+      workloads::runPersistent(W.Registry, W.App, W.allSlotsInput(2), Db)
+          .ok());
+  std::string Path = soleCachePath(Dir.path());
+  flipByteFromEnd(Path, 2); // Payload byte of the last trace.
+  auto Before = readFile(Path);
+  ASSERT_TRUE(Before.ok());
+
+  auto Report = checkDatabase(Dir.path());
+  ASSERT_TRUE(Report.ok());
+  EXPECT_FALSE(Report->clean());
+  EXPECT_EQ(Report->FilesCorrupt, 1u);
+  EXPECT_NE(Report->TracesDropped, 0u);
+
+  // Bytes untouched, nothing quarantined: observing is free of side
+  // effects.
+  auto After = readFile(Path);
+  ASSERT_TRUE(After.ok());
+  EXPECT_EQ(*Before, *After);
+  auto Entries = Db.quarantined();
+  ASSERT_TRUE(Entries.ok());
+  EXPECT_TRUE(Entries->empty());
+}
+
+TEST(DbCheck, RepairSalvagesTheSurvivingTraces) {
+  TinyWorkload W = makeTinyWorkload(4, 0);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  auto Input = W.allSlotsInput(2);
+  auto Cold = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(Cold.ok());
+  uint64_t TotalTraces = Cold->Stats.TracesCompiled;
+  ASSERT_GT(TotalTraces, 1u);
+
+  flipByteFromEnd(soleCachePath(Dir.path()), 2);
+  DbCheckOptions Opts;
+  Opts.Repair = true;
+  auto Report = checkDatabase(Dir.path(), Opts);
+  ASSERT_TRUE(Report.ok()) << Report.status().toString();
+  EXPECT_TRUE(Report->clean());
+  EXPECT_EQ(Report->FilesRepaired, 1u);
+  EXPECT_EQ(Report->TracesDropped, 1u);
+  ASSERT_EQ(Report->Files.size(), 1u);
+  EXPECT_EQ(Report->Files[0].TracesKept,
+            static_cast<uint32_t>(TotalTraces - 1));
+
+  // A second pass finds nothing left to do...
+  auto Again = checkDatabase(Dir.path());
+  ASSERT_TRUE(Again.ok());
+  EXPECT_TRUE(Again->clean());
+  EXPECT_EQ(Again->FilesClean, 1u);
+
+  // ...and the repaired cache still primes: only the dropped trace is
+  // retranslated, and the guest behaves identically.
+  auto Warm = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(Warm.ok());
+  EXPECT_TRUE(Warm->Prime.CacheFound);
+  EXPECT_EQ(Warm->Stats.TracesCompiled, 1u);
+  EXPECT_TRUE(Cold->Run.observablyEquals(Warm->Run));
+}
+
+TEST(DbCheck, RepairQuarantinesTheUnsalvageable) {
+  TinyWorkload W = makeTinyWorkload(3, 0);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  ASSERT_TRUE(
+      workloads::runPersistent(W.Registry, W.App, W.allSlotsInput(2), Db)
+          .ok());
+  flipByteAt(soleCachePath(Dir.path()), 10); // Header: unsalvageable.
+
+  DbCheckOptions Opts;
+  Opts.Repair = true;
+  auto Report = checkDatabase(Dir.path(), Opts);
+  ASSERT_TRUE(Report.ok());
+  EXPECT_TRUE(Report->clean());
+  EXPECT_EQ(Report->FilesQuarantined, 1u);
+  ASSERT_EQ(Report->Quarantine.size(), 1u);
+  EXPECT_FALSE(Report->Quarantine[0].Reason.empty());
+}
+
+TEST(DbCheck, RepairSweepsTempsAndStaleLocksButNeverStoreLock) {
+  TempDir Dir;
+  DirectoryStore Store(Dir.path());
+  ASSERT_TRUE(Store.publish(7, makeFileWithStarts({0x400000}), 0).ok());
+  // Fake a crashed writer's temporary and note the lock files publish
+  // left behind (store.lock + k<hex>.lock, both free now).
+  ASSERT_TRUE(writeFileAtomic(Dir.path() + "/junk", {1, 2, 3}).ok());
+  ASSERT_TRUE(renameFile(Dir.path() + "/junk",
+                         Dir.path() + "/x.pcc.tmp.999-1")
+                  .ok());
+  ASSERT_EQ(Store.locks().size(), 2u);
+
+  auto Observe = checkDatabase(Dir.path());
+  ASSERT_TRUE(Observe.ok());
+  EXPECT_FALSE(Observe->clean()); // The orphan temp is debris.
+  EXPECT_EQ(Observe->TempsFound, 1u);
+  EXPECT_EQ(Observe->TempsSwept, 0u);
+
+  DbCheckOptions Opts;
+  Opts.Repair = true;
+  auto Report = checkDatabase(Dir.path(), Opts);
+  ASSERT_TRUE(Report.ok());
+  EXPECT_TRUE(Report->clean());
+  EXPECT_EQ(Report->TempsSwept, 1u);
+  EXPECT_EQ(Report->StaleLocksSwept, 1u); // The key lock only.
+  EXPECT_TRUE(fileExists(Dir.path() + "/.locks/store.lock"));
+  EXPECT_TRUE(Store.exists(7)); // The healthy cache is untouched.
+}
+
+//===----------------------------------------------------------------------===//
+// The storm: concurrent publishers under a probabilistic fault plan.
+//===----------------------------------------------------------------------===//
+
+#if PCC_TEST_HAVE_FORK
+TEST(FaultStorm, ConcurrentPublishersSurviveInjectedFaults) {
+  // Four processes hammer one database while every store write risks
+  // ENOSPC and a failed fsync, and every lock acquisition risks a
+  // timeout (all at >= 10% probability). Required outcome: every run
+  // completes correctly (degrading at worst), and the database left
+  // behind is clean — no partial files, nothing corrupt.
+  TinyWorkload W = makeTinyWorkload(8, 0);
+  TempDir Dir;
+  std::vector<std::vector<uint8_t>> Inputs;
+  for (uint32_t Child = 0; Child != 4; ++Child)
+    Inputs.push_back(W.input({{2 * Child, 2}, {2 * Child + 1, 2}}));
+
+  std::vector<pid_t> Children;
+  for (const auto &Input : Inputs) {
+    pid_t Pid = fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      // Arm in the child only: each gets its own deterministic stream,
+      // decorrelated by pid.
+      Status Armed = FaultInjector::instance().configureFromPlan(
+          "seed:" + std::to_string(getpid()) +
+          ",enospc:0.1,fsync:0.1,lock:0.25");
+      if (!Armed.ok())
+        _exit(2);
+      CacheDatabase Db(Dir.path());
+      auto R = workloads::runPersistent(W.Registry, W.App, Input, Db);
+      _exit(R.ok() ? 0 : 1);
+    }
+    Children.push_back(Pid);
+  }
+  for (pid_t Pid : Children) {
+    int WStatus = 0;
+    ASSERT_EQ(waitpid(Pid, &WStatus, 0), Pid);
+    ASSERT_TRUE(WIFEXITED(WStatus));
+    EXPECT_EQ(WEXITSTATUS(WStatus), 0);
+  }
+
+  // The parent never armed anything; the database must check out clean
+  // even before repair.
+  auto Report = checkDatabase(Dir.path());
+  ASSERT_TRUE(Report.ok()) << Report.status().toString();
+  EXPECT_TRUE(Report->clean());
+  EXPECT_EQ(Report->FilesCorrupt, 0u);
+  EXPECT_EQ(Report->FilesUnreadable, 0u);
+  EXPECT_EQ(Report->TempsFound, 0u);
+  EXPECT_TRUE(Report->Quarantine.empty());
+
+  // Whatever subset of publishes survived the faults, the survivors
+  // must be fully usable: a replay of each input compiles at most what
+  // its publisher failed to persist, and never misbehaves.
+  CacheDatabase Db(Dir.path());
+  for (const auto &Input : Inputs) {
+    auto Replay = workloads::runPersistent(W.Registry, W.App, Input, Db);
+    ASSERT_TRUE(Replay.ok()) << Replay.status().toString();
+  }
+  auto Final = checkDatabase(Dir.path());
+  ASSERT_TRUE(Final.ok());
+  EXPECT_TRUE(Final->clean());
+}
+#endif // PCC_TEST_HAVE_FORK

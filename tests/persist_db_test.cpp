@@ -136,23 +136,31 @@ TEST(Database, ScansSurviveTruncatedV2Header) {
   Bytes->resize(40); // Valid v2 magic, header cut short.
   ASSERT_TRUE(writeFileAtomic(Db.pathFor(2), *Bytes).ok());
 
-  // The compatibility scan skips the stub without failing.
+  // The compatibility scan skips the stub without failing — and pulls
+  // it into the quarantine (with the reason recorded) so later scans
+  // don't trip over it again.
   auto Matches =
       Db.findCompatible(dbi::engineVersionHash(), noToolHash());
   ASSERT_TRUE(Matches.ok());
   ASSERT_EQ(Matches->size(), 1u);
   EXPECT_EQ((*Matches)[0], Db.pathFor(1));
+  EXPECT_FALSE(Db.exists(2));
 
   auto Stats = Db.stats();
   ASSERT_TRUE(Stats.ok());
-  EXPECT_EQ(Stats->CacheFiles, 2u);
-  EXPECT_EQ(Stats->CorruptFiles, 1u);
+  EXPECT_EQ(Stats->CacheFiles, 1u);
+  EXPECT_EQ(Stats->CorruptFiles, 0u);
+  EXPECT_EQ(Stats->QuarantinedFiles, 1u);
+
+  auto Quarantined = Db.quarantined();
+  ASSERT_TRUE(Quarantined.ok());
+  ASSERT_EQ(Quarantined->size(), 1u);
+  EXPECT_FALSE((*Quarantined)[0].Reason.empty());
 
   auto Removed = Db.shrinkTo(1ull << 30);
   ASSERT_TRUE(Removed.ok());
-  EXPECT_EQ(*Removed, 1u);
+  EXPECT_EQ(*Removed, 0u);
   EXPECT_TRUE(Db.exists(1));
-  EXPECT_FALSE(Db.exists(2));
 }
 
 TEST(Database, ScansSurviveBadIndexCrc) {

@@ -1,0 +1,171 @@
+//===- tools/pcc-dbcheck.cpp - cache database fsck/repair ------------------===//
+//
+// Offline integrity checker and repair tool for a persistent cache
+// database directory.
+//
+//   pcc-dbcheck DIR                    check every cache file (header,
+//                                      module table, trace index, and
+//                                      every trace payload CRC), report
+//                                      crash temporaries, lock files and
+//                                      the quarantine; mutates nothing
+//   pcc-dbcheck DIR --repair           additionally rebuild salvageable
+//                                      caches (dropping corrupt traces),
+//                                      quarantine unsalvageable ones and
+//                                      sweep temporaries / stale locks
+//   pcc-dbcheck DIR --quarantine       list quarantined caches
+//   pcc-dbcheck DIR --restore NAME     move a quarantined cache back
+//   pcc-dbcheck DIR --purge-quarantine delete every quarantined cache
+//
+// Exit status: 0 when the database is (now) clean, 1 when problems were
+// found (or remain after repair), 2 on usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/CacheDatabase.h"
+#include "persist/DbCheck.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace pcc;
+using namespace pcc::persist;
+
+static int listQuarantine(const CacheDatabase &Db) {
+  auto Entries = Db.quarantined();
+  if (!Entries) {
+    std::fprintf(stderr, "pcc-dbcheck: %s\n",
+                 Entries.status().toString().c_str());
+    return 1;
+  }
+  if (Entries->empty()) {
+    std::printf("quarantine is empty\n");
+    return 0;
+  }
+  TablePrinter Table("quarantined caches");
+  Table.addRow({"file", "size", "reason"});
+  for (const QuarantineEntry &E : *Entries)
+    Table.addRow({E.Name, formatByteSize(E.Bytes),
+                  E.Reason.empty() ? "-" : E.Reason});
+  Table.print();
+  return 0;
+}
+
+int main(int Argc, char **Argv) {
+  const char *Dir = nullptr;
+  const char *Restore = nullptr;
+  bool Repair = false;
+  bool Quarantine = false;
+  bool Purge = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--repair") == 0)
+      Repair = true;
+    else if (std::strcmp(Argv[I], "--quarantine") == 0)
+      Quarantine = true;
+    else if (std::strcmp(Argv[I], "--purge-quarantine") == 0)
+      Purge = true;
+    else if (std::strcmp(Argv[I], "--restore") == 0 && I + 1 < Argc)
+      Restore = Argv[++I];
+    else if (std::strcmp(Argv[I], "--help") == 0) {
+      std::printf(
+          "usage: pcc-dbcheck DIR [--repair | --quarantine | "
+          "--restore NAME | --purge-quarantine]\n"
+          "  (no flag)          full check: every header, index and\n"
+          "                     trace-payload CRC; never mutates\n"
+          "  --repair           rebuild salvageable caches (dropping\n"
+          "                     corrupt traces), quarantine the rest,\n"
+          "                     sweep crash temporaries and stale locks\n"
+          "  --quarantine       list quarantined caches with reasons\n"
+          "  --restore NAME     move a quarantined cache back in place\n"
+          "  --purge-quarantine delete every quarantined cache\n"
+          "exit status: 0 clean, 1 problems found/remaining, 2 usage\n");
+      return 0;
+    } else if (!Dir)
+      Dir = Argv[I];
+    else {
+      std::fprintf(stderr, "pcc-dbcheck: unexpected argument %s\n",
+                   Argv[I]);
+      return 2;
+    }
+  }
+  if (!Dir) {
+    std::fprintf(stderr,
+                 "usage: pcc-dbcheck DIR [--repair | --quarantine | "
+                 "--restore NAME | --purge-quarantine]\n");
+    return 2;
+  }
+
+  CacheDatabase Db(Dir);
+  if (Quarantine)
+    return listQuarantine(Db);
+  if (Restore) {
+    Status S = Db.restoreQuarantined(Restore);
+    if (!S.ok()) {
+      std::fprintf(stderr, "pcc-dbcheck: %s\n", S.toString().c_str());
+      return 1;
+    }
+    std::printf("restored %s\n", Restore);
+    return 0;
+  }
+  if (Purge) {
+    auto Purged = Db.purgeQuarantine();
+    if (!Purged) {
+      std::fprintf(stderr, "pcc-dbcheck: %s\n",
+                   Purged.status().toString().c_str());
+      return 1;
+    }
+    std::printf("purged %u quarantined cache(s)\n", *Purged);
+    return 0;
+  }
+
+  DbCheckOptions Opts;
+  Opts.Repair = Repair;
+  auto Report = checkDatabase(Dir, Opts);
+  if (!Report) {
+    std::fprintf(stderr, "pcc-dbcheck: %s\n",
+                 Report.status().toString().c_str());
+    return 1;
+  }
+
+  std::printf("%s of cache database %s\n",
+              Repair ? "repair" : "check", Dir);
+  for (const FileCheckReport &F : Report->Files) {
+    if (F.State == FileCheckReport::FileState::Clean)
+      continue;
+    std::printf("  %-11s %s%s%s\n", fileCheckStateName(F.State),
+                F.Name.c_str(), F.Detail.empty() ? "" : ": ",
+                F.Detail.c_str());
+    if (F.TracesDropped != 0)
+      std::printf("              %u trace(s) dropped, %u kept\n",
+                  F.TracesDropped, F.TracesKept);
+  }
+  std::printf("  cache files  %u scanned, %u clean", Report->FilesScanned,
+              Report->FilesClean);
+  if (Report->FilesRepaired)
+    std::printf(", %u repaired", Report->FilesRepaired);
+  if (Report->FilesQuarantined)
+    std::printf(", %u quarantined", Report->FilesQuarantined);
+  if (Report->FilesCorrupt)
+    std::printf(", %u corrupt", Report->FilesCorrupt);
+  if (Report->FilesUnreadable)
+    std::printf(", %u unreadable", Report->FilesUnreadable);
+  std::printf("\n");
+  if (Report->TracesDropped)
+    std::printf("  traces       %u corrupt payload(s) dropped\n",
+                Report->TracesDropped);
+  if (Report->TempsFound)
+    std::printf("  temporaries  %u found, %u swept\n", Report->TempsFound,
+                Report->TempsSwept);
+  if (Report->LocksFound)
+    std::printf("  lock files   %u (%u held, %u stale swept)\n",
+                Report->LocksFound, Report->LocksHeld,
+                Report->StaleLocksSwept);
+  if (!Report->Quarantine.empty())
+    std::printf("  quarantine   %u entr%s (--quarantine to list)\n",
+                (unsigned)Report->Quarantine.size(),
+                Report->Quarantine.size() == 1 ? "y" : "ies");
+  std::printf("  database is %s\n",
+              Report->clean() ? "clean" : "NOT clean");
+  return Report->clean() ? 0 : 1;
+}

@@ -154,6 +154,11 @@ int main(int Argc, char **Argv) {
   std::printf("cache database %s\n", Dir);
   std::printf("  cache files   %u (%u corrupt)\n", Stats->CacheFiles,
               Stats->CorruptFiles);
+  if (Stats->UnreadableFiles != 0)
+    std::printf("  unreadable    %u\n", Stats->UnreadableFiles);
+  if (Stats->QuarantinedFiles != 0)
+    std::printf("  quarantined   %u (pcc-dbcheck --quarantine to list)\n",
+                Stats->QuarantinedFiles);
   std::printf("  on disk       %s\n",
               formatByteSize(Stats->DiskBytes).c_str());
   std::printf("  traces        %llu\n",

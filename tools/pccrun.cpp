@@ -18,11 +18,17 @@
 //     --aslr SEED          randomized library bases
 //     --stats              print the engine cycle breakdown
 //     --disasm             print the app module and exit
+//     --fault-plan PLAN    arm the fault injector for the run (see
+//                          support/FaultInjector.h for the grammar,
+//                          e.g. "enospc:0.1,fsync:0.1,lock:0.25");
+//                          armed after guest modules are loaded, so
+//                          only cache-database I/O is subjected
 //
 //===----------------------------------------------------------------------===//
 
 #include "binary/Assembler.h"
 #include "persist/Session.h"
+#include "support/FaultInjector.h"
 #include "support/FileSystem.h"
 #include "support/StringUtils.h"
 #include "workloads/Codegen.h"
@@ -44,7 +50,8 @@ int usage(int Code) {
       "usage: pccrun [options] app.mod\n"
       "  --lib FILE   --mode native|engine|persist   --tool NAME\n"
       "  --db DIR     --work S:I,S:I   --inter-app   --pic\n"
-      "  --read-only  --aslr SEED      --stats       --disasm\n");
+      "  --read-only  --aslr SEED      --stats       --disasm\n"
+      "  --fault-plan PLAN  (e.g. enospc:0.1,fsync:0.1,lock:0.25)\n");
   return Code;
 }
 
@@ -113,6 +120,7 @@ int main(int Argc, char **Argv) {
   std::string ToolName = "none";
   std::string DbDir = "pcc-cache";
   std::string WorkSpec;
+  std::string FaultPlan;
   bool InterApp = false, Pic = false, ReadOnly = false;
   bool Stats = false, Disasm = false;
   uint64_t AslrSeed = 0;
@@ -148,6 +156,11 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--work") {
       if (const char *V = next())
         WorkSpec = V;
+      else
+        return usage(2);
+    } else if (Arg == "--fault-plan") {
+      if (const char *V = next())
+        FaultPlan = V;
       else
         return usage(2);
     } else if (Arg == "--aslr") {
@@ -227,6 +240,17 @@ int main(int Argc, char **Argv) {
                                   ? loader::BasePolicy::Randomized
                                   : loader::BasePolicy::Fixed;
 
+  // Arm the fault injector only now, with every guest module already
+  // read from disk: the plan exercises the cache database's I/O, not
+  // the driver's own module loading.
+  if (!FaultPlan.empty()) {
+    Status S = FaultInjector::instance().configureFromPlan(FaultPlan);
+    if (!S.ok()) {
+      std::fprintf(stderr, "pccrun: %s\n", S.toString().c_str());
+      return 2;
+    }
+  }
+
   vm::RunResult Run;
   dbi::EngineStats EngineStats;
   bool HaveStats = false;
@@ -276,12 +300,28 @@ int main(int Argc, char **Argv) {
                                    R->Prime.ModulesInvalidated)
                           .c_str()
                     : "");
+    if (R->Prime.CandidatesSkippedIo != 0)
+      std::printf("persistent cache: %u candidate(s) skipped on I/O "
+                  "errors\n",
+                  R->Prime.CandidatesSkippedIo);
+    if (R->Stats.PersistStoreRetries != 0)
+      std::printf("persistence: %llu store retr%s absorbed\n",
+                  (unsigned long long)R->Stats.PersistStoreRetries,
+                  R->Stats.PersistStoreRetries == 1 ? "y" : "ies");
+    if (R->Stats.PersistDegraded)
+      std::printf("persistence degraded to in-memory only: %s\n",
+                  R->Stats.PersistDegradeReason.c_str());
     Run = R->Run;
     EngineStats = R->Stats;
     HaveStats = true;
   } else {
     return usage(2);
   }
+
+  if (!FaultPlan.empty())
+    std::printf("fault plan: %llu fault(s) injected\n",
+                (unsigned long long)
+                    FaultInjector::instance().totalInjected());
 
   if (!Run.Output.empty())
     std::printf("guest output: %s\n", Run.Output.c_str());
