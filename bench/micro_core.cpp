@@ -15,11 +15,16 @@
 #include "persist/CacheDatabase.h"
 #include "persist/CacheFile.h"
 #include "persist/Key.h"
+#include "persist/Session.h"
 #include "support/Hashing.h"
+#include "support/ThreadPool.h"
 #include "workloads/Codegen.h"
 #include "workloads/Runner.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
 
 using namespace pcc;
 
@@ -204,6 +209,27 @@ void BM_DatabaseEagerScan(benchmark::State &State) {
 }
 BENCHMARK(BM_DatabaseEagerScan);
 
+/// Records the wall-clock instant the first translated basic block
+/// executes. Keyed into the cache like any tool, so fixtures that prime
+/// under it must also have cold-populated under it.
+struct FirstBlockTimerTool : dbi::Tool {
+  std::chrono::steady_clock::time_point FirstBlock;
+  bool Seen = false;
+
+  std::string name() const override { return "first-block-timer"; }
+  dbi::InstrumentationSpec spec() const override {
+    dbi::InstrumentationSpec Spec;
+    Spec.BasicBlocks = true;
+    return Spec;
+  }
+  void onBasicBlock(uint32_t, uint32_t) override {
+    if (!Seen) {
+      Seen = true;
+      FirstBlock = std::chrono::steady_clock::now();
+    }
+  }
+};
+
 /// A large persisted application whose warm runs touch only a couple of
 /// regions: measures prime + partial execution, where lazy validation
 /// means only the executed traces' payloads are CRC-checked and decoded.
@@ -212,6 +238,7 @@ struct PrimeFixture {
   std::shared_ptr<binary::Module> App;
   bench::ScratchDir Dir{"pcc-bench-prime"};
   persist::CacheDatabase Db{Dir.path()};
+  std::vector<uint8_t> FullInput;
   std::vector<uint8_t> WarmInput;
 
   PrimeFixture() {
@@ -231,8 +258,8 @@ struct PrimeFixture {
     std::vector<workloads::WorkItem> All;
     for (uint32_t I = 0; I != 208; ++I)
       All.push_back(workloads::WorkItem{I, 1});
-    bench::mustOk(workloads::runPersistent(
-                      Registry, App, workloads::encodeWorkload(All), Db),
+    FullInput = workloads::encodeWorkload(All);
+    bench::mustOk(workloads::runPersistent(Registry, App, FullInput, Db),
                   "cold run populating the prime-bench cache");
     std::vector<workloads::WorkItem> Few;
     for (uint32_t I = 0; I != 2; ++I)
@@ -241,8 +268,13 @@ struct PrimeFixture {
   }
 };
 
-void BM_PrimeCold(benchmark::State &State) {
+PrimeFixture &primeFixture() {
   static PrimeFixture F;
+  return F;
+}
+
+void BM_PrimeCold(benchmark::State &State) {
+  PrimeFixture &F = primeFixture();
   persist::PersistOptions ReadOnly;
   ReadOnly.WriteBack = false;
   uint64_t Installed = 0;
@@ -261,6 +293,129 @@ void BM_PrimeCold(benchmark::State &State) {
       (unsigned long long)Installed, (unsigned long long)Materialized));
 }
 BENCHMARK(BM_PrimeCold);
+
+/// Fixture for the prime/execution overlap benchmark: the same scale of
+/// application as PrimeFixture, but traced with MaxTraceInsts = 64.
+/// Longer traces shift prime()'s cost balance away from trace install
+/// (a per-trace constant) toward payload validation (CRC + decode,
+/// proportional to instructions) — which is exactly the work the async
+/// pipeline moves off the critical path. Cold-populated under
+/// FirstBlockTimerTool, since the tool identity keys the cache and the
+/// benchmark always runs under the timer.
+struct OverlapFixture {
+  loader::ModuleRegistry Registry;
+  std::shared_ptr<binary::Module> App;
+  bench::ScratchDir Dir{"pcc-bench-overlap"};
+  persist::CacheDatabase Db{Dir.path()};
+  dbi::EngineOptions EngineOpts;
+  std::vector<uint8_t> WarmInput;
+
+  OverlapFixture() {
+    EngineOpts.MaxTraceInsts = 128;
+    workloads::AppDef Def;
+    Def.Name = "overlap";
+    Def.Path = "/bin/overlap";
+    for (uint32_t I = 0; I != 208; ++I) {
+      workloads::RegionDef Region;
+      Region.Name = "o" + std::to_string(I);
+      Region.Blocks = 32;
+      Region.InstsPerBlock = 16;
+      Region.Seed = I + 301;
+      Def.Slots.push_back(
+          workloads::FunctionSlot::local(std::move(Region)));
+    }
+    App = workloads::buildExecutable(Def);
+    std::vector<workloads::WorkItem> All;
+    for (uint32_t I = 0; I != 208; ++I)
+      All.push_back(workloads::WorkItem{I, 1});
+    FirstBlockTimerTool Timer;
+    bench::mustOk(workloads::runPersistent(
+                      Registry, App, workloads::encodeWorkload(All), Db,
+                      persist::PersistOptions(), &Timer, EngineOpts),
+                  "cold run populating the overlap-bench cache");
+    std::vector<workloads::WorkItem> Few;
+    for (uint32_t I = 0; I != 2; ++I)
+      Few.push_back(workloads::WorkItem{I, 1});
+    WarmInput = workloads::encodeWorkload(Few);
+  }
+};
+
+OverlapFixture &overlapFixture() {
+  static OverlapFixture F;
+  return F;
+}
+
+/// Time-to-first-trace-execution on a warm cache: from run start until
+/// the first translated basic block executes. Arg 0 is the fully
+/// synchronous baseline (EagerValidate: every payload CRC-checked,
+/// decoded and materialized before prime() returns); Arg N > 0 primes
+/// asynchronously with N background workers, so execution starts while
+/// payload validation is still in flight.
+void BM_PrimeAsyncOverlap(benchmark::State &State) {
+  OverlapFixture &F = overlapFixture();
+  const bool Async = State.range(0) != 0;
+  std::unique_ptr<support::ThreadPool> Pool;
+  persist::PersistOptions Opts;
+  Opts.WriteBack = false;
+  if (Async) {
+    Pool = std::make_unique<support::ThreadPool>(
+        static_cast<size_t>(State.range(0)), /*Background=*/true);
+    Opts.Pool = Pool.get();
+  } else {
+    Opts.EagerValidate = true;
+  }
+  for (auto _ : State) {
+    FirstBlockTimerTool Timer;
+    auto Start = std::chrono::steady_clock::now();
+    auto R = workloads::runPersistent(F.Registry, F.App, F.WarmInput,
+                                      F.Db, Opts, &Timer, F.EngineOpts);
+    if (!R || !R->Prime.CacheFound || !Timer.Seen)
+      std::abort();
+    State.SetIterationTime(
+        std::chrono::duration<double>(Timer.FirstBlock - Start).count());
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel(Async ? "async prime"
+                       : "synchronous eager-validate prime");
+}
+BENCHMARK(BM_PrimeAsyncOverlap)->Arg(0)->Arg(1)->Arg(2)->UseManualTime();
+
+/// finalize() critical-path latency after a full run. Arg 0 serializes,
+/// CRCs and publishes inline; Arg 1 snapshots the resident traces and
+/// hands the publish to the worker pool, so only the snapshot remains on
+/// the critical path (wait() — the durability barrier — is excluded from
+/// the timed region, as an engine would overlap it with teardown).
+void BM_FinalizeBackground(benchmark::State &State) {
+  PrimeFixture &F = primeFixture();
+  const bool Background = State.range(0) != 0;
+  std::unique_ptr<support::ThreadPool> Pool;
+  persist::PersistOptions Opts;
+  if (Background) {
+    Pool = std::make_unique<support::ThreadPool>(4, /*Background=*/true);
+    Opts.Pool = Pool.get();
+  }
+  for (auto _ : State) {
+    vm::Machine M = bench::mustOk(
+        workloads::makeMachine(F.Registry, F.App, F.FullInput),
+        "machine for the finalize bench");
+    dbi::Engine Engine(M, nullptr);
+    persist::PersistentSession Session(F.Db, Opts);
+    bench::mustOk(Session.prime(Engine), "prime for the finalize bench");
+    benchmark::DoNotOptimize(Engine.run());
+    auto Start = std::chrono::steady_clock::now();
+    Status Finalized = Session.finalize(Engine);
+    auto End = std::chrono::steady_clock::now();
+    if (!Finalized.ok())
+      std::abort();
+    State.SetIterationTime(
+        std::chrono::duration<double>(End - Start).count());
+    if (!Session.wait(&Engine.stats()).ok())
+      std::abort();
+  }
+  State.SetLabel(Background ? "background publish, 4 workers"
+                            : "inline publish");
+}
+BENCHMARK(BM_FinalizeBackground)->Arg(0)->Arg(1)->UseManualTime();
 
 void BM_EngineThroughput(benchmark::State &State) {
   Fixture &F = fixture();

@@ -7,7 +7,8 @@
 #                                    build tree; vets the concurrent
 #                                    store publish/lock paths)
 #   scripts/check.sh --faults        fault-tolerance soak: runs the
-#                                    fault_injection_test binary
+#                                    fault_injection_test and
+#                                    parallel_pipeline_test binaries
 #                                    repeatedly under ASan and then
 #                                    TSan (separate build trees)
 #
@@ -28,11 +29,13 @@ if [ "${1:-}" = "--faults" ]; then
   for SAN in address thread; do
     SOAK="$ROOT/build-$SAN"
     cmake -B "$SOAK" -S "$ROOT" -DPCC_SANITIZE=$SAN
-    cmake --build "$SOAK" -j --target fault_injection_test
+    cmake --build "$SOAK" -j --target fault_injection_test \
+      --target parallel_pipeline_test
     I=1
     while [ "$I" -le "$ITERS" ]; do
       echo "== fault soak ($SAN) iteration $I/$ITERS =="
       "$SOAK/tests/fault_injection_test"
+      "$SOAK/tests/parallel_pipeline_test"
       I=$((I + 1))
     done
   done

@@ -62,6 +62,11 @@ CodeCache::addTrace(std::unique_ptr<TranslatedTrace> T) {
   return Raw;
 }
 
+void CodeCache::reserveTraces(size_t N) {
+  TranslationMap.reserve(TranslationMap.size() + N);
+  Traces.reserve(Traces.size() + N);
+}
+
 Status CodeCache::installPersistedPool(std::vector<uint8_t> PoolBytes) {
   if (!Traces.empty() || !CodePool.empty())
     return Status::error(ErrorCode::InvalidArgument,

@@ -184,6 +184,11 @@ public:
   /// guest address must not already exist.
   ErrorOr<TranslatedTrace *> addTrace(std::unique_ptr<TranslatedTrace> T);
 
+  /// Pre-sizes the translation map and trace list for \p N upcoming
+  /// addTrace() calls (bulk install at prime: avoids rehashing on the
+  /// run's critical path).
+  void reserveTraces(size_t N);
+
   /// Replaces the code pool with the memory-mapped contents of a
   /// persistent cache; only valid on an empty cache. Subsequent
   /// allocateCode() calls append after the mapped image.

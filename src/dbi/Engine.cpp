@@ -7,6 +7,7 @@
 #include "vm/Threads.h"
 
 #include <cassert>
+#include <type_traits>
 
 using namespace pcc;
 using namespace pcc::dbi;
@@ -59,9 +60,61 @@ Status Engine::ensureMaterialized(TranslatedTrace *T) {
     // Deferred per-trace validation (cache format v2): prime() checked
     // only the header, module table and trace index, so the payload CRC
     // runs here, on first execution — over the raw stored bytes, before
-    // any position-independent rebase touches them.
+    // any position-independent rebase touches them. With an install
+    // queue the host-side CRC + decode may already have happened on a
+    // worker (over the same stored bytes); the modeled charges below
+    // are made here either way, so the cost model cannot observe the
+    // worker count.
+    std::optional<ReadyTrace> Ready;
+    if (InstallQ) {
+      auto It = Prevalidated.find(T->guestStart());
+      if (It != Prevalidated.end()) {
+        Ready = std::move(It->second);
+        Prevalidated.erase(It);
+      } else {
+        // Unclaimed jobs are withdrawn (we validate inline); in-flight
+        // jobs are waited for so the work happens exactly once. The
+        // chunk-mates that arrive alongside the requested trace are
+        // stashed for their own first executions.
+        for (ReadyTrace &R : InstallQ->takeFor(T->guestStart())) {
+          if (R.GuestStart == T->guestStart())
+            Ready = std::move(R);
+          else
+            Prevalidated.emplace(R.GuestStart, std::move(R));
+        }
+      }
+    }
     Stats.PersistCycles += Opts.Costs.PersistTraceCrcCycles;
     ++Stats.TracePayloadsValidated;
+    if (Ready) {
+      if (!Ready->CrcOk)
+        return Status::error(ErrorCode::InvalidFormat,
+                             "persisted trace payload checksum mismatch");
+      // The worker rebased the decoded body; the pool copy still holds
+      // the raw stored bytes and finalize() harvests code from the
+      // pool, so it must be rebased here exactly as the inline path
+      // does.
+      if (P->RebaseDelta != 0) {
+        uint8_t *Image = Cache.mutableCodeAt(T->poolOffset());
+        for (uint32_t I = 0; I != T->guestInstCount(); ++I) {
+          uint32_t Byte = I / 8;
+          if (Byte < P->RelocMask.size() &&
+              (P->RelocMask[Byte] >> (I % 8)) & 1)
+            rebaseTranslatedImmediate(Image, T->poolBytes(), I,
+                                      P->RebaseDelta);
+        }
+      }
+      T->clearPersistedPayload();
+      if (!Ready->DecodeError.ok())
+        return Ready->DecodeError;
+      T->materialize(std::move(Ready->Body));
+      uint32_t NewPages =
+          Cache.touchPages(T->poolOffset(), T->poolBytes());
+      Stats.PersistCycles += Opts.Costs.PersistTraceMaterializeCycles +
+                             NewPages * Opts.Costs.PersistPageTouchCycles;
+      ++Stats.TracesReused;
+      return Status::success();
+    }
     const uint8_t *Raw = Cache.codeAt(T->poolOffset());
     if (crc32(Raw, T->poolBytes()) != P->ExpectedCodeCrc)
       return Status::error(ErrorCode::InvalidFormat,
@@ -89,6 +142,34 @@ Status Engine::ensureMaterialized(TranslatedTrace *T) {
                          NewPages * Opts.Costs.PersistPageTouchCycles;
   ++Stats.TracesReused;
   return Status::success();
+}
+
+void Engine::drainInstallQueue() {
+  for (ReadyTrace &R : InstallQ->drainReady()) {
+    uint32_t Start = R.GuestStart;
+    Prevalidated.emplace(Start, std::move(R));
+  }
+}
+
+void Engine::prevalidatePersistedTraces() {
+  // Snapshot the starts first: dropping a corrupt trace mutates the
+  // trace list mid-iteration otherwise.
+  std::vector<uint32_t> Starts;
+  Starts.reserve(Cache.traces().size());
+  for (const auto &T : Cache.traces())
+    if (T->isFromPersistentCache() && !T->isMaterialized())
+      Starts.push_back(T->guestStart());
+  for (uint32_t Start : Starts) {
+    TranslatedTrace *T = Cache.lookup(Start);
+    if (!T || T->isMaterialized())
+      continue;
+    if (ensureMaterialized(T).ok())
+      continue;
+    // Same disposition as a first-execution failure: drop just this
+    // trace; the dispatcher retranslates it if the run ever needs it.
+    Cache.removeTracesInRange(Start, 1);
+    ++Stats.TracesDroppedCorrupt;
+  }
 }
 
 namespace {
@@ -138,6 +219,12 @@ vm::RunResult Engine::run() {
     }
 
     if (!Current) {
+      // Dispatcher boundary: collect payloads the async-prime workers
+      // finished since the last exit from the code cache. Host-side
+      // bookkeeping only — no modeled charge, no translation-map
+      // change, so the cost model is blind to it.
+      if (InstallQ)
+        drainInstallQueue();
       // Dispatcher: context switch out of the code cache plus
       // translation-map lookup; compile on a miss.
       Stats.DispatchCycles += Costs.DispatchCycles;
@@ -183,75 +270,113 @@ vm::RunResult Engine::run() {
     TranslatedTrace *Next = nullptr;
     vm::CpuState &Cpu = Threads.current().Cpu;
 
-    for (uint32_t Index = 0; Index != Body.size(); ++Index) {
-      const Instruction &Inst = Body[Index];
-      const uint32_t InstPc =
-          TraceStart + Index * isa::InstructionSize;
+    // The trace body loop, stamped out twice: instrumented and not.
+    // The null-tool baseline must not pay the three Spec branches per
+    // guest instruction, so the tool dispatch is decided once per
+    // trace and `if constexpr` deletes the checks from the fast copy.
+    auto runBody = [&](auto WithToolTag) {
+      constexpr bool WithTool = decltype(WithToolTag)::value;
+      for (uint32_t Index = 0; Index != Body.size(); ++Index) {
+        const Instruction &Inst = Body[Index];
+        const uint32_t InstPc =
+            TraceStart + Index * isa::InstructionSize;
 
-      // Analysis callbacks compiled in by the tool.
-      if (Spec.BasicBlocks && Index == 0) {
-        ClientTool->onBasicBlock(InstPc, basicBlockSize(Body, 0));
-        Stats.ToolCycles += Costs.AnalysisCyclesPerBlockCall;
-      }
-      if (Spec.Instructions) {
-        ClientTool->onInstruction(InstPc);
-        Stats.ToolCycles += Costs.AnalysisCyclesPerInstCall;
-      }
-      if (Spec.MemoryAccesses && isa::isMemoryAccess(Inst.Op)) {
-        uint32_t EffectiveAddr = Cpu.Regs[Inst.Rs1] + Inst.Imm;
-        ClientTool->onMemoryAccess(InstPc, EffectiveAddr,
-                                   Inst.Op == Opcode::St);
-        Stats.ToolCycles += Costs.AnalysisCyclesPerMemoryCall;
-      }
+        if constexpr (WithTool) {
+          // Analysis callbacks compiled in by the tool.
+          if (Spec.BasicBlocks && Index == 0) {
+            ClientTool->onBasicBlock(InstPc, basicBlockSize(Body, 0));
+            Stats.ToolCycles += Costs.AnalysisCyclesPerBlockCall;
+          }
+          if (Spec.Instructions) {
+            ClientTool->onInstruction(InstPc);
+            Stats.ToolCycles += Costs.AnalysisCyclesPerInstCall;
+          }
+          if (Spec.MemoryAccesses && isa::isMemoryAccess(Inst.Op)) {
+            uint32_t EffectiveAddr = Cpu.Regs[Inst.Rs1] + Inst.Imm;
+            ClientTool->onMemoryAccess(InstPc, EffectiveAddr,
+                                       Inst.Op == Opcode::St);
+            Stats.ToolCycles += Costs.AnalysisCyclesPerMemoryCall;
+          }
+        }
 
-      auto Step = vm::executeInstruction(Inst, InstPc, Cpu, Space, Env);
-      if (!Step) {
-        Result.Error = Step.status();
-        Done = true;
-        break;
-      }
-      ++Stats.GuestInstsExecuted;
-
-      if (Step->Kind == vm::StepKind::Halted) {
-        Done = true;
-        break;
-      }
-
-      if (Step->Kind == vm::StepKind::Syscall) {
-        // Control leaves the code cache for the emulation unit; the
-        // syscall exit is never linked. This is also the cooperative
-        // thread-switch point — the same point the interpreter
-        // switches at, so interleavings match across engines.
-        Stats.EmulationCycles += Costs.SyscallEmulationCycles;
-        auto Alive = Threads.afterSyscall(Env, Space, Step->NextPc);
-        if (!Alive) {
-          Result.Error = Alive.status();
+        auto Step =
+            vm::executeInstruction(Inst, InstPc, Cpu, Space, Env);
+        if (!Step) {
+          Result.Error = Step.status();
           Done = true;
           break;
         }
-        if (!*Alive) {
-          Done = true; // Every thread exited: program ends, code 0.
+        ++Stats.GuestInstsExecuted;
+
+        if (Step->Kind == vm::StepKind::Halted) {
+          Done = true;
           break;
         }
-        Pc = Threads.current().Cpu.Pc;
-        break;
-      }
 
-      if (Step->Kind == vm::StepKind::Sequential) {
-        if (isa::isConditionalBranch(Inst.Op) && Spec.BasicBlocks &&
-            Index + 1 != Body.size()) {
-          // Fell through into the next basic block of this trace.
-          uint32_t NextBlockPc = InstPc + isa::InstructionSize;
-          ClientTool->onBasicBlock(NextBlockPc,
-                                   basicBlockSize(Body, Index + 1));
-          Stats.ToolCycles += Costs.AnalysisCyclesPerBlockCall;
+        if (Step->Kind == vm::StepKind::Syscall) {
+          // Control leaves the code cache for the emulation unit; the
+          // syscall exit is never linked. This is also the cooperative
+          // thread-switch point — the same point the interpreter
+          // switches at, so interleavings match across engines.
+          Stats.EmulationCycles += Costs.SyscallEmulationCycles;
+          auto Alive = Threads.afterSyscall(Env, Space, Step->NextPc);
+          if (!Alive) {
+            Result.Error = Alive.status();
+            Done = true;
+            break;
+          }
+          if (!*Alive) {
+            Done = true; // Every thread exited: program ends, code 0.
+            break;
+          }
+          Pc = Threads.current().Cpu.Pc;
+          break;
         }
-        if (Index + 1 != Body.size())
-          continue;
-        // Instruction-limit cutoff: fall-through exit.
-        TraceExit *Exit = &Current->finalExit();
-        assert(Exit->Kind == ExitKind::FallThrough &&
-               "missing fall-through exit");
+
+        if (Step->Kind == vm::StepKind::Sequential) {
+          if constexpr (WithTool) {
+            if (isa::isConditionalBranch(Inst.Op) && Spec.BasicBlocks &&
+                Index + 1 != Body.size()) {
+              // Fell through into the next basic block of this trace.
+              uint32_t NextBlockPc = InstPc + isa::InstructionSize;
+              ClientTool->onBasicBlock(NextBlockPc,
+                                       basicBlockSize(Body, Index + 1));
+              Stats.ToolCycles += Costs.AnalysisCyclesPerBlockCall;
+            }
+          }
+          if (Index + 1 != Body.size())
+            continue;
+          // Instruction-limit cutoff: fall-through exit.
+          TraceExit *Exit = &Current->finalExit();
+          assert(Exit->Kind == ExitKind::FallThrough &&
+                 "missing fall-through exit");
+          if (Exit->Link) {
+            Next = Exit->Link;
+            break;
+          }
+          Pc = Exit->Target;
+          Pending = PendingLink{
+              Current,
+              static_cast<uint32_t>(Exit - Current->exits().data()),
+              Cache.modificationGeneration()};
+          break;
+        }
+
+        assert(Step->Kind == vm::StepKind::Control);
+        TraceExit *Exit = isa::isConditionalBranch(Inst.Op)
+                              ? Current->findBranchExit(Index)
+                              : &Current->finalExit();
+        assert(Exit && "control transfer without an exit record");
+        if (Exit->Kind == ExitKind::Indirect) {
+          // Inline indirect-target lookup; a hit stays in the cache, a
+          // miss surfaces through the dispatcher.
+          Stats.IndirectCycles += Costs.IndirectLookupCycles;
+          Pc = Step->NextPc;
+          Next = Cache.lookup(Pc);
+          break;
+        }
+        assert(isLinkableExit(Exit->Kind) && "unexpected exit kind");
+        assert(Exit->Target == Step->NextPc && "exit target mismatch");
         if (Exit->Link) {
           Next = Exit->Link;
           break;
@@ -263,33 +388,11 @@ vm::RunResult Engine::run() {
             Cache.modificationGeneration()};
         break;
       }
-
-      assert(Step->Kind == vm::StepKind::Control);
-      TraceExit *Exit = isa::isConditionalBranch(Inst.Op)
-                            ? Current->findBranchExit(Index)
-                            : &Current->finalExit();
-      assert(Exit && "control transfer without an exit record");
-      if (Exit->Kind == ExitKind::Indirect) {
-        // Inline indirect-target lookup; a hit stays in the cache, a
-        // miss surfaces through the dispatcher.
-        Stats.IndirectCycles += Costs.IndirectLookupCycles;
-        Pc = Step->NextPc;
-        Next = Cache.lookup(Pc);
-        break;
-      }
-      assert(isLinkableExit(Exit->Kind) && "unexpected exit kind");
-      assert(Exit->Target == Step->NextPc && "exit target mismatch");
-      if (Exit->Link) {
-        Next = Exit->Link;
-        break;
-      }
-      Pc = Exit->Target;
-      Pending = PendingLink{
-          Current,
-          static_cast<uint32_t>(Exit - Current->exits().data()),
-          Cache.modificationGeneration()};
-      break;
-    }
+    };
+    if (Spec.BasicBlocks || Spec.Instructions || Spec.MemoryAccesses)
+      runBody(std::true_type{});
+    else
+      runBody(std::false_type{});
 
     Current = Next;
   }

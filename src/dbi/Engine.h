@@ -24,11 +24,13 @@
 #include "dbi/CodeCache.h"
 #include "dbi/Compiler.h"
 #include "dbi/CostModel.h"
+#include "dbi/InstallQueue.h"
 #include "dbi/Stats.h"
 #include "dbi/Tool.h"
 #include "vm/Machine.h"
 
 #include <memory>
+#include <unordered_map>
 
 namespace pcc {
 namespace dbi {
@@ -94,14 +96,34 @@ public:
     return ClientTool ? ClientTool->spec() : InstrumentationSpec();
   }
 
+  /// Attaches the async-prime install queue: worker threads publish
+  /// CRC-validated, pre-decoded persisted payloads there and run()
+  /// drains them at dispatcher boundaries. Results are bit-identical
+  /// with and without a queue — the background work is host-side only
+  /// and every modeled cycle is still charged here at first execution.
+  void setInstallQueue(std::shared_ptr<TraceInstallQueue> Q) {
+    InstallQ = std::move(Q);
+  }
+
+  /// Validates and materializes every still-pending persisted trace on
+  /// the calling thread (corrupt ones are dropped for retranslation,
+  /// exactly as at first execution). This is the fully synchronous
+  /// prime the async pipeline is measured against; demand-paged costs
+  /// are charged as if every trace had been executed once.
+  void prevalidatePersistedTraces();
+
 private:
   /// Dispatcher slow path: translation-map lookup, compiling on a miss,
   /// flushing and retrying when a pool fills.
   ErrorOr<TranslatedTrace *> lookupOrCompile(uint32_t Pc);
 
   /// Decodes a persisted trace's body on first execution, charging
-  /// demand-paging costs.
+  /// demand-paging costs. Consumes a background-validated body when
+  /// one is available; otherwise does the work inline.
   Status ensureMaterialized(TranslatedTrace *T);
+
+  /// Moves every published install-queue result into Prevalidated.
+  void drainInstallQueue();
 
   vm::Machine &M;
   Tool *ClientTool;
@@ -110,6 +132,12 @@ private:
   Compiler TheCompiler;
   EngineStats Stats;
   bool HasRun = false;
+  /// Async-prime plumbing (null when priming is synchronous).
+  std::shared_ptr<TraceInstallQueue> InstallQ;
+  /// Drained-but-not-yet-consumed worker results, by guest start. An
+  /// entry whose trace was flushed before first execution simply goes
+  /// unused; the dispatcher recompiles that PC as on a cold run.
+  std::unordered_map<uint32_t, ReadyTrace> Prevalidated;
 };
 
 } // namespace dbi

@@ -31,6 +31,10 @@ ErrorOr<Trace> pcc::dbi::selectTrace(const loader::AddressSpace &Space,
   assert(MaxInsts > 0 && "trace limit must be positive");
   Trace Result;
   Result.StartAddr = StartAddr;
+  // MaxInsts bounds the body exactly; exits are one per conditional
+  // branch plus the terminator, so the same bound covers them too.
+  Result.Insts.reserve(MaxInsts);
+  Result.Exits.reserve(MaxInsts);
 
   uint32_t Pc = StartAddr;
   for (uint32_t Count = 0; Count != MaxInsts; ++Count) {

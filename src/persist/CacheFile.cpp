@@ -7,6 +7,7 @@
 #include "support/Hashing.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 using namespace pcc;
@@ -218,11 +219,17 @@ ErrorOr<CacheFile> deserializeLegacy(const std::vector<uint8_t> &Bytes) {
   File.PositionIndependent = Reader.readU8() != 0;
   File.Generation = Reader.readU32();
 
+  // Reservations are capped by the bytes actually present so a
+  // corrupted count cannot demand an absurd allocation (each record
+  // consumes at least one byte of payload).
   uint32_t NumModules = Reader.readU32();
+  File.Modules.reserve(
+      std::min<size_t>(NumModules, Reader.remaining()));
   for (uint32_t I = 0; I != NumModules && !Reader.failed(); ++I)
     File.Modules.push_back(ModuleKey::deserialize(Reader));
 
   uint32_t NumTraces = Reader.readU32();
+  File.Traces.reserve(std::min<size_t>(NumTraces, Reader.remaining()));
   for (uint32_t I = 0; I != NumTraces && !Reader.failed(); ++I) {
     TraceRecord Trace;
     Trace.GuestStart = Reader.readU32();
@@ -230,6 +237,7 @@ ErrorOr<CacheFile> deserializeLegacy(const std::vector<uint8_t> &Bytes) {
     Trace.GuestInstCount = Reader.readU32();
     Trace.Code = Reader.readBlob();
     uint32_t NumExits = Reader.readU32();
+    Trace.Exits.reserve(std::min<size_t>(NumExits, Reader.remaining()));
     for (uint32_t E = 0; E != NumExits && !Reader.failed(); ++E) {
       ExitRecord Exit;
       Exit.Kind = Reader.readU8();

@@ -35,6 +35,11 @@
 #include <vector>
 
 namespace pcc {
+
+namespace support {
+class ThreadPool;
+}
+
 namespace persist {
 
 /// A located cache, uniform over the eagerly deserialized legacy (v1)
@@ -209,9 +214,19 @@ public:
   void setAutoQuarantine(bool Enabled) { AutoQuarantine = Enabled; }
   bool autoQuarantine() const { return AutoQuarantine; }
 
+  /// Worker pool for whole-store scans (findCompatible, stats):
+  /// backends whose scans do per-file I/O fan the files across the pool
+  /// when one is set. Results are identical with and without a pool —
+  /// parallel scans collect into per-file slots and aggregate in
+  /// listing order. The pool must outlive the store's use of it.
+  void setScanPool(support::ThreadPool *Pool) { ScanPool = Pool; }
+  support::ThreadPool *scanPool() const { return ScanPool; }
+
 protected:
   /// See setAutoQuarantine().
   bool AutoQuarantine = true;
+  /// See setScanPool().
+  support::ThreadPool *ScanPool = nullptr;
 };
 
 /// Merges two caches produced from the same application under the same

@@ -190,6 +190,7 @@ pcc::persist::checkDatabase(const std::string &Dir,
     return Names.status();
 
   DbCheckReport Report;
+  std::vector<std::string> CacheNames;
   for (const std::string &Name : *Names) {
     if (isAtomicTempName(Name)) {
       // A crashed writer's temporary: invisible to readers, but dead
@@ -199,9 +200,25 @@ pcc::persist::checkDatabase(const std::string &Dir,
         ++Report.TempsSwept;
       continue;
     }
-    if (!isCacheFileName(Name))
-      continue;
-    auto R = checkFile(Store, Dir, Name, Opts.Repair);
+    if (isCacheFileName(Name))
+      CacheNames.push_back(Name);
+  }
+
+  // Files are checked (and under Repair, rewritten/quarantined)
+  // independently, so the per-file pass fans across the pool; the
+  // per-slot results are aggregated in listing order below, keeping the
+  // report byte-identical for any worker count.
+  std::vector<std::optional<FileCheckReport>> Checked(CacheNames.size());
+  auto CheckOne = [&](size_t I) {
+    Checked[I] = checkFile(Store, Dir, CacheNames[I], Opts.Repair);
+  };
+  if (Opts.Pool && Opts.Pool->workerCount() > 0)
+    Opts.Pool->parallelFor(CacheNames.size(), CheckOne);
+  else
+    for (size_t I = 0; I < CacheNames.size(); ++I)
+      CheckOne(I);
+
+  for (std::optional<FileCheckReport> &R : Checked) {
     if (!R)
       continue; // Vanished mid-scan (concurrent retire).
     ++Report.FilesScanned;

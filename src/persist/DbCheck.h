@@ -31,6 +31,7 @@
 
 #include "persist/CacheStore.h"
 #include "support/Error.h"
+#include "support/ThreadPool.h"
 
 #include <string>
 #include <vector>
@@ -42,6 +43,12 @@ struct DbCheckOptions {
   /// Fix what can be fixed (see file comment) instead of only
   /// reporting. Mutates the database; requires it to be writable.
   bool Repair = false;
+  /// Worker pool to fan the per-file checks across (null: serial).
+  /// Each file is checked — and under Repair, rewritten or quarantined
+  /// — independently; reports land in per-file slots and are
+  /// aggregated in listing order, so the DbCheckReport is identical
+  /// for any worker count.
+  support::ThreadPool *Pool = nullptr;
 };
 
 /// What the check found for (and possibly did to) one cache file.

@@ -6,6 +6,7 @@
 #include "support/FileSystem.h"
 #include "support/Random.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <atomic>
@@ -219,11 +220,17 @@ DirectoryStore::findCompatible(uint64_t EngineHash, uint64_t ToolHash) {
   auto Names = listDirectory(Dir);
   if (!Names)
     return Names.status();
-  std::vector<std::string> Matches;
-  for (const std::string &Name : *Names) {
-    if (!isCacheFileName(Name))
-      continue;
-    std::string Path = Dir + "/" + Name;
+  std::vector<std::string> Candidates;
+  for (const std::string &Name : *Names)
+    if (isCacheFileName(Name))
+      Candidates.push_back(Dir + "/" + Name);
+  // Per-file probes are independent (each touches only its own file and
+  // at worst its own quarantine rename), so a scan pool fans them out;
+  // one match flag per candidate keeps the result in listing order
+  // either way.
+  std::vector<uint8_t> IsMatch(Candidates.size(), 0);
+  auto Probe = [&](size_t I) {
+    const std::string &Path = Candidates[I];
     if (isV2CacheFile(Path)) {
       // Header-only open: the compatibility hashes live in the first 76
       // bytes, so the scan cost is independent of cache size.
@@ -233,21 +240,30 @@ DirectoryStore::findCompatible(uint64_t EngineHash, uint64_t ToolHash) {
         // Not a candidate — and corrupt contents get pulled aside so
         // the next scan is not doomed to trip over them again.
         maybeAutoQuarantine(Path, View.status());
-        continue;
+        return;
       }
       if (View->engineHash() == EngineHash &&
           View->toolHash() == ToolHash)
-        Matches.push_back(Path);
-      continue;
+        IsMatch[I] = 1;
+      return;
     }
     auto File = loadRef(Path); // Legacy fallback: eager deserialize.
     if (!File) {
       maybeAutoQuarantine(Path, File.status());
-      continue;
+      return;
     }
     if (File->EngineHash == EngineHash && File->ToolHash == ToolHash)
-      Matches.push_back(Path);
-  }
+      IsMatch[I] = 1;
+  };
+  if (ScanPool && ScanPool->workerCount() > 0)
+    ScanPool->parallelFor(Candidates.size(), Probe);
+  else
+    for (size_t I = 0; I < Candidates.size(); ++I)
+      Probe(I);
+  std::vector<std::string> Matches;
+  for (size_t I = 0; I < Candidates.size(); ++I)
+    if (IsMatch[I])
+      Matches.push_back(std::move(Candidates[I]));
   return Matches;
 }
 
@@ -255,47 +271,67 @@ ErrorOr<StoreStats> DirectoryStore::stats() {
   auto Names = listDirectory(Dir);
   if (!Names)
     return Names.status();
-  StoreStats Result;
-  for (const std::string &Name : *Names) {
-    if (!isCacheFileName(Name))
-      continue;
-    std::string Path = Dir + "/" + Name;
+  std::vector<std::string> Paths;
+  for (const std::string &Name : *Names)
+    if (isCacheFileName(Name))
+      Paths.push_back(Dir + "/" + Name);
+  // One partial per file; summed in listing order below so the totals
+  // are identical whether or not a scan pool fans the files out.
+  std::vector<StoreStats> Partials(Paths.size());
+  auto ScanOne = [&](size_t I) {
+    const std::string &Path = Paths[I];
+    StoreStats &Part = Partials[I];
     if (isV2CacheFile(Path)) {
       // Index-deep open: trace counts and code/data totals come from
       // the trace index; payload bytes are never read.
       auto OnDisk = fileSize(Path);
       if (!OnDisk) {
-        ++Result.UnreadableFiles;
-        continue;
+        ++Part.UnreadableFiles;
+        return;
       }
-      ++Result.CacheFiles;
-      Result.DiskBytes += *OnDisk;
+      ++Part.CacheFiles;
+      Part.DiskBytes += *OnDisk;
       auto View =
           CacheFileView::openFile(Path, CacheFileView::Depth::Index);
       if (!View) {
-        ++Result.CorruptFiles;
-        continue;
+        ++Part.CorruptFiles;
+        return;
       }
-      Result.CodeBytes += View->codeBytes();
-      Result.DataBytes += View->dataBytes();
-      Result.Traces += View->numTraces();
-      continue;
+      Part.CodeBytes += View->codeBytes();
+      Part.DataBytes += View->dataBytes();
+      Part.Traces += View->numTraces();
+      return;
     }
     auto Bytes = readFile(Path);
     if (!Bytes) {
-      ++Result.UnreadableFiles;
-      continue;
+      ++Part.UnreadableFiles;
+      return;
     }
-    ++Result.CacheFiles;
-    Result.DiskBytes += Bytes->size();
+    ++Part.CacheFiles;
+    Part.DiskBytes += Bytes->size();
     auto File = CacheFile::deserialize(*Bytes);
     if (!File) {
-      ++Result.CorruptFiles;
-      continue;
+      ++Part.CorruptFiles;
+      return;
     }
-    Result.CodeBytes += File->codeBytes();
-    Result.DataBytes += File->dataBytes();
-    Result.Traces += File->Traces.size();
+    Part.CodeBytes += File->codeBytes();
+    Part.DataBytes += File->dataBytes();
+    Part.Traces += File->Traces.size();
+  };
+  if (ScanPool && ScanPool->workerCount() > 0)
+    ScanPool->parallelFor(Paths.size(), ScanOne);
+  else
+    for (size_t I = 0; I < Paths.size(); ++I)
+      ScanOne(I);
+  StoreStats Result;
+  for (const StoreStats &Part : Partials) {
+    Result.CacheFiles += Part.CacheFiles;
+    Result.CorruptFiles += Part.CorruptFiles;
+    Result.UnreadableFiles += Part.UnreadableFiles;
+    Result.DiskBytes += Part.DiskBytes;
+    Result.CodeBytes += Part.CodeBytes;
+    Result.DataBytes += Part.DataBytes;
+    Result.Traces += Part.Traces;
   }
   if (auto Entries = quarantined())
     Result.QuarantinedFiles = static_cast<uint32_t>(Entries->size());

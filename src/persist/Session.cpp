@@ -5,7 +5,9 @@
 #include "support/FileSystem.h"
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -157,13 +159,98 @@ ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
     if (!S.ok())
       return S;
     LoadedView = std::move(Source->View);
+    // The deferred payload jobs reference LoadedView's bytes, so they
+    // can only be handed out now that the session owns the view.
+    if (!AsyncJobs.empty())
+      startAsyncPrime(Engine, Result);
   } else {
     Status S = installCache(Engine, *Source->Eager, Result);
     if (!S.ok())
       return S;
     LoadedCache = std::move(Source->Eager);
   }
+  if (Opts.EagerValidate)
+    Engine.prevalidatePersistedTraces();
   return Result;
+}
+
+/// One payload validated exactly as the engine's inline
+/// first-execution path does it: CRC over the raw stored bytes,
+/// decode, then rebase the decoded immediates. (The inline path
+/// rebases the pool bytes before decoding; adding the delta to the
+/// decoded little-endian immediate is the same mod-2^32 arithmetic.)
+dbi::ReadyTrace
+PersistentSession::validatePayload(const CacheFileView &View,
+                                   const AsyncPayloadJob &JD) {
+  dbi::ReadyTrace R;
+  R.GuestStart = JD.GuestStart;
+  const uint8_t *Code = View.codeBytesOf(JD.TraceIndex);
+  R.CrcOk = crc32(Code, JD.CodeSize) == JD.ExpectedCrc;
+  if (!R.CrcOk)
+    return R;
+  auto Body = isa::decodeAll(Code + dbi::TracePrologueBytes,
+                             JD.GuestInstCount);
+  if (!Body) {
+    R.DecodeError = Body.status();
+    return R;
+  }
+  R.Body = Body.take();
+  if (JD.RebaseDelta != 0)
+    for (uint32_t I = 0; I != JD.GuestInstCount; ++I)
+      if (JD.RelocMask.size() > I / 8 &&
+          (JD.RelocMask[I / 8] >> (I % 8)) & 1)
+        R.Body[I].Imm = static_cast<uint32_t>(
+            R.Body[I].Imm + static_cast<uint64_t>(JD.RebaseDelta));
+  return R;
+}
+
+namespace {
+
+/// Traces per install-queue job. Batching keeps the producer loop —
+/// which runs on the engine thread inside prime() — and the queue's
+/// per-boundary bookkeeping off the run's critical path; a chunk is
+/// still small enough that waiting out an in-flight job or losing a
+/// withdrawn chunk's background work is negligible.
+constexpr size_t PayloadChunkTraces = 64;
+
+} // namespace
+
+void PersistentSession::startAsyncPrime(dbi::Engine &Engine,
+                                        PrimeResult &Result) {
+  Queue = std::make_shared<dbi::TraceInstallQueue>();
+  // The jobs read only view bytes and their own descriptors — never
+  // engine memory — so a mid-run flush or eviction cannot race them.
+  // The view is guaranteed alive until wait()/destruction quiesces the
+  // queue.
+  const CacheFileView *View = &*LoadedView;
+  for (size_t Begin = 0; Begin < AsyncJobs.size();
+       Begin += PayloadChunkTraces) {
+    size_t End = std::min(Begin + PayloadChunkTraces, AsyncJobs.size());
+    auto Batch = std::make_shared<std::vector<AsyncPayloadJob>>(
+        std::make_move_iterator(AsyncJobs.begin() + Begin),
+        std::make_move_iterator(AsyncJobs.begin() + End));
+    std::vector<uint32_t> Starts;
+    Starts.reserve(Batch->size());
+    for (const AsyncPayloadJob &JD : *Batch)
+      Starts.push_back(JD.GuestStart);
+    Queue->addJob(std::move(Starts),
+                  [View, Batch]() -> std::vector<dbi::ReadyTrace> {
+                    std::vector<dbi::ReadyTrace> Out;
+                    Out.reserve(Batch->size());
+                    for (const AsyncPayloadJob &JD : *Batch)
+                      Out.push_back(validatePayload(*View, JD));
+                    return Out;
+                  });
+  }
+  AsyncJobs.clear();
+  Result.PayloadJobsQueued = static_cast<uint32_t>(Queue->jobCount());
+  Engine.setInstallQueue(Queue);
+  auto Q = Queue;
+  for (size_t W = 0; W != Opts.Pool->workerCount(); ++W)
+    Opts.Pool->submit([Q] {
+      while (Q->runNextJob()) {
+      }
+    });
 }
 
 void PersistentSession::validateModules(
@@ -224,6 +311,11 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
   std::vector<PendingInstall> Installs;
   std::vector<uint8_t> Pool;
   std::unordered_set<uint32_t> SeenStarts;
+  Installs.reserve(File.Traces.size());
+  size_t TotalCode = 0;
+  for (const TraceRecord &Rec : File.Traces)
+    TotalCode += Rec.Code.size();
+  Pool.reserve(TotalCode);
 
   for (const TraceRecord &Rec : File.Traces) {
     if (!ModuleValidated[Rec.ModuleIndex]) {
@@ -297,6 +389,9 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
   std::unordered_map<uint32_t, TranslatedTrace *> ByStart;
   std::vector<std::pair<TranslatedTrace *, std::vector<uint32_t>>>
       LinkWork;
+  ByStart.reserve(Installs.size());
+  LinkWork.reserve(Installs.size());
+  Cache.reserveTraces(Installs.size());
   for (PendingInstall &Install : Installs) {
     auto T = std::make_unique<TranslatedTrace>(
         Install.NewStart, Install.GuestInstCount, Install.PoolOffset,
@@ -353,6 +448,7 @@ Status PersistentSession::installView(dbi::Engine &Engine,
     uint32_t GuestInstCount = 0;
     uint32_t PoolOffset = 0;
     uint32_t PoolBytes = 0;
+    uint32_t TraceIndex = 0;
     std::vector<dbi::TraceExit> Exits;
     std::vector<uint32_t> LinkedStarts;
     std::unique_ptr<dbi::PersistedPayload> Payload;
@@ -360,6 +456,14 @@ Status PersistentSession::installView(dbi::Engine &Engine,
   std::vector<PendingInstall> Installs;
   std::vector<uint8_t> Pool;
   std::unordered_set<uint32_t> SeenStarts;
+  // Exact-fit reservations: the pool is at most the file's whole code
+  // section and there are at most numTraces installs, so the prime hot
+  // path never reallocates mid-copy.
+  Installs.reserve(View.numTraces());
+  Pool.reserve(View.codeBytes());
+  SeenStarts.reserve(View.numTraces());
+  const bool AsyncPrime =
+      Opts.Pool && Opts.Pool->workerCount() > 0 && !Opts.EagerValidate;
 
   for (uint32_t TraceI = 0; TraceI != View.numTraces(); ++TraceI) {
     const TraceIndexEntry &E = View.entry(TraceI);
@@ -415,6 +519,7 @@ Status PersistentSession::installView(dbi::Engine &Engine,
       Payload->RelocMask = View.readRelocMask(TraceI);
     Payload->SourceTraceIndex = TraceI;
     Install.Payload = std::move(Payload);
+    Install.TraceIndex = TraceI;
 
     Install.PoolOffset = static_cast<uint32_t>(Pool.size());
     Install.PoolBytes = E.CodeSize;
@@ -439,7 +544,22 @@ Status PersistentSession::installView(dbi::Engine &Engine,
   std::unordered_map<uint32_t, TranslatedTrace *> ByStart;
   std::vector<std::pair<TranslatedTrace *, std::vector<uint32_t>>>
       LinkWork;
+  ByStart.reserve(Installs.size());
+  LinkWork.reserve(Installs.size());
+  Cache.reserveTraces(Installs.size());
+  if (AsyncPrime)
+    AsyncJobs.reserve(Installs.size());
   for (PendingInstall &Install : Installs) {
+    AsyncPayloadJob Job;
+    if (AsyncPrime) {
+      Job.GuestStart = Install.NewStart;
+      Job.TraceIndex = Install.TraceIndex;
+      Job.GuestInstCount = Install.GuestInstCount;
+      Job.CodeSize = Install.PoolBytes;
+      Job.ExpectedCrc = Install.Payload->ExpectedCodeCrc;
+      Job.RebaseDelta = Install.Payload->RebaseDelta;
+      Job.RelocMask = Install.Payload->RelocMask;
+    }
     auto T = std::make_unique<TranslatedTrace>(
         Install.NewStart, Install.GuestInstCount, Install.PoolOffset,
         Install.PoolBytes, std::move(Install.Exits),
@@ -451,6 +571,8 @@ Status PersistentSession::installView(dbi::Engine &Engine,
       ++Result.TracesSkipped;
       continue;
     }
+    if (AsyncPrime)
+      AsyncJobs.push_back(std::move(Job));
     ByStart.emplace(Install.NewStart, *Added);
     LinkWork.emplace_back(*Added, std::move(Install.LinkedStarts));
     ++Result.TracesInstalled;
@@ -478,10 +600,67 @@ Status PersistentSession::installView(dbi::Engine &Engine,
   return Status::success();
 }
 
+namespace {
+
+/// What one circuit-breaker publish pass did, accumulated off to the
+/// side so the same code runs inline or on a pool worker; the caller
+/// (finalize() or wait()) merges it into EngineStats, keeping the
+/// recorded values bit-identical either way.
+struct PublishOutcome {
+  bool Succeeded = false;
+  Status LastError = Status::success();
+  uint64_t StoreFailures = 0;
+  uint64_t StoreRetries = 0;
+};
+
+/// Store-write circuit breaker: persistence is an accelerator, so a
+/// failing write is retried up to the threshold and then abandoned —
+/// the run completes correctly either way. Pure store-side work; no
+/// engine or session state is touched, which is what makes it safe to
+/// run on a pool worker after finalize() has returned.
+PublishOutcome publishWithBreaker(CacheStore &Store,
+                                  const std::string &StoreAsPath,
+                                  uint64_t LookupKey,
+                                  uint32_t BaseGeneration,
+                                  uint32_t Attempts, CacheFile File) {
+  PublishOutcome Out;
+  for (uint32_t Attempt = 0; Attempt != Attempts; ++Attempt) {
+    if (Attempt != 0)
+      ++Out.StoreRetries;
+    if (!StoreAsPath.empty()) {
+      Status S = Store.putRef(StoreAsPath, File);
+      if (S.ok()) {
+        Out.Succeeded = true;
+        return Out;
+      }
+      Out.LastError = S;
+    } else {
+      auto Published = Store.publish(LookupKey, File, BaseGeneration);
+      if (Published) {
+        Out.StoreRetries += Published->LockRetries;
+        Out.Succeeded = true;
+        return Out;
+      }
+      Out.LastError = Published.status();
+    }
+    ++Out.StoreFailures;
+  }
+  return Out;
+}
+
+} // namespace
+
 Status PersistentSession::finalize(dbi::Engine &Engine) {
   assert(Primed && "finalize() requires a prior prime()");
   if (!Opts.WriteBack)
     return Status::success();
+
+  // The prime pipeline is over: withdraw payload jobs no one will
+  // consume so the workers free up for the publish below. In-flight
+  // jobs are left to finish (they read only view bytes, which stay
+  // alive until wait()/destruction).
+  if (Queue)
+    Queue->cancelPending();
 
   const loader::LoadedImage &Image = Engine.machine().image();
   const dbi::CodeCache &Cache = Engine.cache();
@@ -496,8 +675,12 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
                                   : 1;
   File.WriterTag = static_cast<uint16_t>(currentProcessId() & 0xffff);
 
+  File.Modules.reserve(Image.Modules.size());
   for (const LoadedModule &Mod : Image.Modules)
     File.Modules.push_back(ModuleKey::compute(Mod));
+  // Resident traces bound the snapshot (accumulation can push past
+  // this, but the resident copy loop is the hot part).
+  File.Traces.reserve(Cache.traces().size());
 
   // Per-module set of text-relocated instruction indices, for the PIC
   // relocation masks.
@@ -694,35 +877,82 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
   uint32_t BaseGeneration =
       LoadedWasOwn && HasPrior ? File.Generation - 1 : 0;
 
-  // Store-write circuit breaker: persistence is an accelerator, so a
-  // failing write is retried up to the threshold and then abandoned —
-  // the run completes correctly either way, with the degradation
-  // recorded for benches and pcc-dbstat (FailFast restores strict
-  // propagation for tests that must observe the raw failure).
   uint32_t Attempts = std::max(1u, Opts.BreakerThreshold);
-  Status LastError = Status::success();
-  for (uint32_t Attempt = 0; Attempt != Attempts; ++Attempt) {
-    if (Attempt != 0)
-      ++Stats.PersistStoreRetries;
-    if (!Opts.StoreAsPath.empty()) {
-      Status S = Store.putRef(Opts.StoreAsPath, File);
-      if (S.ok())
-        return S;
-      LastError = S;
-    } else {
-      auto Published = Store.publish(LookupKey, File, BaseGeneration);
-      if (Published) {
-        Stats.PersistStoreRetries += Published->LockRetries;
-        return Status::success();
+
+  if (Opts.Pool && Opts.Pool->workerCount() > 0) {
+    // Background finalize: the snapshot above (and every modeled
+    // charge) happened synchronously; only the serialize + store
+    // publish — pure host-side I/O — moves off the critical path.
+    // The breaker/degrade/FailFast outcome is delivered by wait().
+    Fin = std::make_shared<FinalizeState>();
+    auto FinPtr = Fin;
+    std::shared_ptr<CacheStore> StorePtr = Db.backend();
+    auto FilePtr = std::make_shared<CacheFile>(std::move(File));
+    Opts.Pool->submit([FinPtr, StorePtr, FilePtr,
+                       StoreAsPath = Opts.StoreAsPath,
+                       Key = LookupKey, BaseGeneration, Attempts] {
+      PublishOutcome Out =
+          publishWithBreaker(*StorePtr, StoreAsPath, Key,
+                             BaseGeneration, Attempts,
+                             std::move(*FilePtr));
+      {
+        std::unique_lock<std::mutex> Lock(FinPtr->Mutex);
+        FinPtr->Succeeded = Out.Succeeded;
+        FinPtr->LastError = Out.LastError;
+        FinPtr->StoreFailures = Out.StoreFailures;
+        FinPtr->StoreRetries = Out.StoreRetries;
+        FinPtr->Done = true;
       }
-      LastError = Published.status();
-    }
-    ++Stats.PersistStoreFailures;
+      FinPtr->Completed.notify_all();
+    });
+    return Status::success();
   }
+
+  PublishOutcome Out =
+      publishWithBreaker(Store, Opts.StoreAsPath, LookupKey,
+                         BaseGeneration, Attempts, std::move(File));
+  Stats.PersistStoreRetries += Out.StoreRetries;
+  Stats.PersistStoreFailures += Out.StoreFailures;
+  if (Out.Succeeded)
+    return Status::success();
   if (Opts.FailFast)
-    return LastError;
+    return Out.LastError;
   Stats.PersistDegraded = true;
-  Stats.PersistDegradeReason = LastError.toString();
+  Stats.PersistDegradeReason = Out.LastError.toString();
+  return Status::success();
+}
+
+Status PersistentSession::wait(dbi::EngineStats *Stats) {
+  if (Queue) {
+    // Jobs the run never consumed are dead weight; in-flight ones must
+    // finish before the cache-file view they read can be released.
+    Queue->cancelPending();
+    Queue->waitInFlight();
+  }
+  if (!Fin)
+    return Status::success();
+  PublishOutcome Out;
+  {
+    std::unique_lock<std::mutex> Lock(Fin->Mutex);
+    Fin->Completed.wait(Lock, [&] { return Fin->Done; });
+    Out.Succeeded = Fin->Succeeded;
+    Out.LastError = Fin->LastError;
+    Out.StoreFailures = Fin->StoreFailures;
+    Out.StoreRetries = Fin->StoreRetries;
+  }
+  Fin.reset();
+  if (Stats) {
+    Stats->PersistStoreRetries += Out.StoreRetries;
+    Stats->PersistStoreFailures += Out.StoreFailures;
+  }
+  if (Out.Succeeded)
+    return Status::success();
+  if (Opts.FailFast)
+    return Out.LastError;
+  if (Stats) {
+    Stats->PersistDegraded = true;
+    Stats->PersistDegradeReason = Out.LastError.toString();
+  }
   return Status::success();
 }
 
@@ -742,6 +972,13 @@ ErrorOr<PersistentRunResult> pcc::persist::runWithPersistence(
   Status Finalized = Session.finalize(Engine);
   if (!Finalized.ok())
     return Finalized;
+  // Durability barrier: with a worker pool the publish is still in
+  // flight — wait for it and fold its outcome (retries, failures,
+  // degradation) into the stats exactly where the synchronous path
+  // records them.
+  Status Waited = Session.wait(&Engine.stats());
+  if (!Waited.ok())
+    return Waited;
   Result.Stats = Engine.stats();
   // Include the cache write-back charged by finalize().
   Result.Run.Cycles = Result.Stats.totalCycles();

@@ -45,7 +45,11 @@
 #include "persist/CacheStore.h"
 #include "persist/CacheView.h"
 #include "persist/Key.h"
+#include "support/ThreadPool.h"
 
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,7 +80,24 @@ struct PersistOptions {
   uint32_t BreakerThreshold = 3;
   /// Propagate store-write failures as finalize() errors instead of
   /// degrading (strict tools and tests that must observe the failure).
+  /// With a worker pool the failure surfaces from wait() instead —
+  /// finalize() has already returned by the time the publish runs.
   bool FailFast = false;
+  /// Worker pool shared across the persistence pipeline (null: fully
+  /// synchronous, today's behaviour). With workers, prime() returns
+  /// after the header/index scan and trace installation while payload
+  /// CRC + decode run in the background, and finalize() publishes off
+  /// the critical path. Guest-visible results and EngineStats are
+  /// bit-identical for any worker count. The pool must outlive the
+  /// session.
+  support::ThreadPool *Pool = nullptr;
+  /// Validate, decode and materialize every installed payload before
+  /// prime() returns — the fully synchronous baseline the async
+  /// pipeline is benchmarked against (BM_PrimeAsyncOverlap). Modeled
+  /// demand-paging costs are charged as if each trace had executed
+  /// once, so this mode is for latency measurement, not stats
+  /// comparison.
+  bool EagerValidate = false;
 };
 
 /// What prime() did, for reporting and tests.
@@ -93,6 +114,9 @@ struct PrimeResult {
   /// Candidate caches that exist but could not be read (I/O errors) —
   /// distinct from there being no cache at all.
   uint32_t CandidatesSkippedIo = 0;
+  /// Payload-validation jobs handed to the worker pool (0 when priming
+  /// synchronously).
+  uint32_t PayloadJobsQueued = 0;
 };
 
 /// Brackets one engine run with persistent-cache reuse and generation.
@@ -101,6 +125,14 @@ public:
   PersistentSession(const CacheDatabase &Db,
                     PersistOptions Opts = PersistOptions())
       : Db(Db), Opts(std::move(Opts)) {}
+
+  /// Quiesces the async pipeline: outstanding payload jobs are
+  /// cancelled/drained and a background finalize is waited for (its
+  /// outcome is discarded; call wait() first when it matters).
+  ~PersistentSession() { (void)wait(nullptr); }
+
+  PersistentSession(const PersistentSession &) = delete;
+  PersistentSession &operator=(const PersistentSession &) = delete;
 
   /// Locates, validates and installs a persistent cache into \p Engine's
   /// code cache. Must be called before Engine::run(), on an engine whose
@@ -114,6 +146,16 @@ public:
   /// session finalized the same key since prime(), the two caches are
   /// merged rather than clobbered.
   Status finalize(dbi::Engine &Engine);
+
+  /// Durability barrier for the async pipeline: cancels payload jobs
+  /// no one will consume anymore, waits for in-flight ones (they read
+  /// the session-owned cache view), and blocks until a background
+  /// finalize publish completes. The publish outcome — store failure
+  /// and retry counts, circuit-breaker degradation — is merged into
+  /// *\p Stats when given, exactly as the synchronous path records it;
+  /// the returned Status is the FailFast error when one applies.
+  /// Idempotent; a no-op for synchronous sessions.
+  Status wait(dbi::EngineStats *Stats);
 
   /// Database slot key for this application/engine/tool (valid after
   /// prime()).
@@ -137,8 +179,43 @@ private:
   Status installView(dbi::Engine &Engine, const CacheFileView &View,
                      PrimeResult &Result);
 
+  /// Hands the deferred payload jobs recorded by installView() to the
+  /// worker pool and attaches the install queue to \p Engine.
+  void startAsyncPrime(dbi::Engine &Engine, PrimeResult &Result);
+
   const CacheDatabase &Db;
   PersistOptions Opts;
+
+  /// One deferred payload-validation job, recorded at install time and
+  /// turned into a queue job once LoadedView owns the file bytes.
+  struct AsyncPayloadJob {
+    uint32_t GuestStart = 0;   ///< Rebased start (the install key).
+    uint32_t TraceIndex = 0;   ///< Index into the source trace index.
+    uint32_t GuestInstCount = 0;
+    uint32_t CodeSize = 0;
+    uint32_t ExpectedCrc = 0;
+    int64_t RebaseDelta = 0;
+    std::vector<uint8_t> RelocMask;
+  };
+  std::vector<AsyncPayloadJob> AsyncJobs;
+  /// One payload validated exactly as the engine's inline
+  /// first-execution path does it (worker-side host work only).
+  static dbi::ReadyTrace validatePayload(const CacheFileView &View,
+                                         const AsyncPayloadJob &JD);
+  /// Shared with the engine (consumer) and the pool workers.
+  std::shared_ptr<dbi::TraceInstallQueue> Queue;
+
+  /// Outcome slot for a background finalize publish.
+  struct FinalizeState {
+    std::mutex Mutex;
+    std::condition_variable Completed;
+    bool Done = false;
+    bool Succeeded = false;
+    Status LastError = Status::success();
+    uint64_t StoreFailures = 0;
+    uint64_t StoreRetries = 0;
+  };
+  std::shared_ptr<FinalizeState> Fin;
 
   /// State carried from prime() to finalize(). At most one of
   /// LoadedCache (v1) and LoadedView (v2) is engaged.

@@ -15,6 +15,9 @@
 //   pcc-dbcheck DIR --quarantine       list quarantined caches
 //   pcc-dbcheck DIR --restore NAME     move a quarantined cache back
 //   pcc-dbcheck DIR --purge-quarantine delete every quarantined cache
+//   pcc-dbcheck DIR --jobs N           check (or repair) N cache files
+//                                      in parallel; the report is
+//                                      identical for any N
 //
 // Exit status: 0 when the database is (now) clean, 1 when problems were
 // found (or remain after repair), 2 on usage errors.
@@ -25,9 +28,12 @@
 #include "persist/DbCheck.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 
 using namespace pcc;
 using namespace pcc::persist;
@@ -58,6 +64,7 @@ int main(int Argc, char **Argv) {
   bool Repair = false;
   bool Quarantine = false;
   bool Purge = false;
+  unsigned Jobs = 1;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--repair") == 0)
       Repair = true;
@@ -67,10 +74,12 @@ int main(int Argc, char **Argv) {
       Purge = true;
     else if (std::strcmp(Argv[I], "--restore") == 0 && I + 1 < Argc)
       Restore = Argv[++I];
+    else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 0));
     else if (std::strcmp(Argv[I], "--help") == 0) {
       std::printf(
           "usage: pcc-dbcheck DIR [--repair | --quarantine | "
-          "--restore NAME | --purge-quarantine]\n"
+          "--restore NAME | --purge-quarantine] [--jobs N]\n"
           "  (no flag)          full check: every header, index and\n"
           "                     trace-payload CRC; never mutates\n"
           "  --repair           rebuild salvageable caches (dropping\n"
@@ -79,6 +88,8 @@ int main(int Argc, char **Argv) {
           "  --quarantine       list quarantined caches with reasons\n"
           "  --restore NAME     move a quarantined cache back in place\n"
           "  --purge-quarantine delete every quarantined cache\n"
+          "  --jobs N           check N cache files in parallel (the\n"
+          "                     report is identical for any N)\n"
           "exit status: 0 clean, 1 problems found/remaining, 2 usage\n");
       return 0;
     } else if (!Dir)
@@ -92,7 +103,7 @@ int main(int Argc, char **Argv) {
   if (!Dir) {
     std::fprintf(stderr,
                  "usage: pcc-dbcheck DIR [--repair | --quarantine | "
-                 "--restore NAME | --purge-quarantine]\n");
+                 "--restore NAME | --purge-quarantine] [--jobs N]\n");
     return 2;
   }
 
@@ -121,6 +132,11 @@ int main(int Argc, char **Argv) {
 
   DbCheckOptions Opts;
   Opts.Repair = Repair;
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (Jobs > 1) {
+    Pool = std::make_unique<support::ThreadPool>(Jobs);
+    Opts.Pool = Pool.get();
+  }
   auto Report = checkDatabase(Dir, Opts);
   if (!Report) {
     std::fprintf(stderr, "pcc-dbcheck: %s\n",

@@ -12,6 +12,11 @@
 //   pcc-dbstat DIR --clear          delete every cache file
 //   pcc-dbstat DIR --locks          list writer-coordination locks and
 //                                   whether each is currently held
+//   pcc-dbstat DIR --jobs N         scan N cache files in parallel
+//                                   (statistics and --header-only
+//                                   rows are identical for any N; the
+//                                   per-file scan-time column shows
+//                                   what each open cost)
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,10 +25,15 @@
 #include "support/FileSystem.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 using namespace pcc;
 using namespace pcc::persist;
@@ -35,6 +45,7 @@ int main(int Argc, char **Argv) {
   bool HeaderOnly = false;
   bool Locks = false;
   uint64_t MaxBytes = 0;
+  unsigned Jobs = 1;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--clear") == 0)
       Clear = true;
@@ -45,19 +56,25 @@ int main(int Argc, char **Argv) {
     else if (std::strcmp(Argv[I], "--shrink-to") == 0 && I + 1 < Argc) {
       Shrink = true;
       MaxBytes = std::strtoull(Argv[++I], nullptr, 0);
-    } else if (std::strcmp(Argv[I], "--help") == 0) {
+    } else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 0));
+    else if (std::strcmp(Argv[I], "--help") == 0) {
       std::printf(
           "usage: pcc-dbstat DIR [--header-only | --shrink-to BYTES | "
-          "--clear | --locks]\n"
+          "--clear | --locks] [--jobs N]\n"
           "  --header-only  per-file listing from v2 headers alone: each\n"
           "                 cache costs one 76-byte read regardless of\n"
           "                 size (legacy v1 files are listed by magic\n"
-          "                 only, without header fields)\n"
+          "                 only, without header fields); the scan\n"
+          "                 column shows each file's open cost\n"
           "  --shrink-to N  evict caches until the database is <= N "
           "bytes\n"
           "  --clear        delete every cache file\n"
           "  --locks        list writer-coordination lock files and\n"
-          "                 whether each is held right now\n");
+          "                 whether each is held right now\n"
+          "  --jobs N       scan N files in parallel (stats and\n"
+          "                 --header-only; output is identical for "
+          "any N)\n");
       return 0;
     } else if (!Dir)
       Dir = Argv[I];
@@ -74,6 +91,9 @@ int main(int Argc, char **Argv) {
   }
 
   CacheDatabase Db(Dir);
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<support::ThreadPool>(Jobs);
   if (HeaderOnly) {
     auto Names = listDirectory(Dir);
     if (!Names) {
@@ -81,35 +101,64 @@ int main(int Argc, char **Argv) {
                    Names.status().toString().c_str());
       return 1;
     }
-    TablePrinter Table("cache files (header-only scan)");
-    Table.addRow({"file", "fmt", "engine key", "tool key", "gen",
-                  "writer", "modules", "traces", "declared size"});
-    for (const std::string &Name : *Names) {
-      if (Name.size() < 4 || Name.substr(Name.size() - 4) != ".pcc")
-        continue;
+    std::vector<std::string> CacheNames;
+    for (const std::string &Name : *Names)
+      if (Name.size() >= 4 && Name.substr(Name.size() - 4) == ".pcc")
+        CacheNames.push_back(Name);
+    // One row slot per file: scans fan across the pool but the table
+    // stays in listing order. The scan column is each file's own open
+    // cost, so it is meaningful under any job count.
+    std::vector<std::vector<std::string>> Rows(CacheNames.size());
+    auto ScanOne = [&](size_t I) {
+      const std::string &Name = CacheNames[I];
       std::string Path = std::string(Dir) + "/" + Name;
+      auto Begin = std::chrono::steady_clock::now();
+      auto ElapsedMicros = [&]() {
+        return formatString(
+            "%lld us",
+            (long long)std::chrono::duration_cast<
+                std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - Begin)
+                .count());
+      };
       if (!isV2CacheFile(Path)) {
-        Table.addRow({Name, "v1", "-", "-", "-", "-", "-", "-", "-"});
-        continue;
+        Rows[I] = {Name, "v1", "-", "-", "-",
+                   "-",  "-",  "-", "-", ElapsedMicros()};
+        return;
       }
       auto View =
           CacheFileView::openFile(Path, CacheFileView::Depth::HeaderOnly);
       if (!View) {
-        Table.addRow({Name, "v2",
-                      "corrupt: " + View.status().toString(), "", "", "",
-                      "", "", ""});
-        continue;
+        Rows[I] = {Name, "v2", "corrupt: " + View.status().toString(),
+                   "",   "",   "",
+                   "",   "",   "",
+                   ElapsedMicros()};
+        return;
       }
-      Table.addRow({Name, "v2", toHex(View->engineHash(), 16),
-                    toHex(View->toolHash(), 16),
-                    formatString("%u", View->generation()),
-                    View->writerTag()
-                        ? formatString("pid:%u", View->writerTag())
-                        : std::string("-"),
-                    formatString("%u", View->numModules()),
-                    formatString("%u", View->numTraces()),
-                    formatByteSize(View->declaredFileBytes())});
-    }
+      Rows[I] = {Name,
+                 "v2",
+                 toHex(View->engineHash(), 16),
+                 toHex(View->toolHash(), 16),
+                 formatString("%u", View->generation()),
+                 View->writerTag()
+                     ? formatString("pid:%u", View->writerTag())
+                     : std::string("-"),
+                 formatString("%u", View->numModules()),
+                 formatString("%u", View->numTraces()),
+                 formatByteSize(View->declaredFileBytes()),
+                 ElapsedMicros()};
+    };
+    if (Pool)
+      Pool->parallelFor(CacheNames.size(), ScanOne);
+    else
+      for (size_t I = 0; I < CacheNames.size(); ++I)
+        ScanOne(I);
+    TablePrinter Table("cache files (header-only scan)");
+    Table.addRow({"file", "fmt", "engine key", "tool key", "gen",
+                  "writer", "modules", "traces", "declared size",
+                  "scan"});
+    for (std::vector<std::string> &Row : Rows)
+      Table.addRow(std::move(Row));
     Table.print();
     return 0;
   }
@@ -145,6 +194,8 @@ int main(int Argc, char **Argv) {
     std::printf("evicted %u cache file(s)\n", *Removed);
   }
 
+  if (Pool)
+    Db.backend()->setScanPool(Pool.get());
   auto Stats = Db.stats();
   if (!Stats) {
     std::fprintf(stderr, "pcc-dbstat: %s\n",

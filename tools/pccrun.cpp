@@ -23,6 +23,12 @@
 //                          e.g. "enospc:0.1,fsync:0.1,lock:0.25");
 //                          armed after guest modules are loaded, so
 //                          only cache-database I/O is subjected
+//     --jobs N             worker threads for the persistence pipeline
+//                          (persist mode): async payload validation at
+//                          prime and a background cache publish at
+//                          finalize. N <= 1 keeps everything on the
+//                          main thread; results are identical either
+//                          way
 //
 //===----------------------------------------------------------------------===//
 
@@ -31,12 +37,14 @@
 #include "support/FaultInjector.h"
 #include "support/FileSystem.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include "workloads/Codegen.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,7 +59,9 @@ int usage(int Code) {
       "  --lib FILE   --mode native|engine|persist   --tool NAME\n"
       "  --db DIR     --work S:I,S:I   --inter-app   --pic\n"
       "  --read-only  --aslr SEED      --stats       --disasm\n"
-      "  --fault-plan PLAN  (e.g. enospc:0.1,fsync:0.1,lock:0.25)\n");
+      "  --fault-plan PLAN  (e.g. enospc:0.1,fsync:0.1,lock:0.25)\n"
+      "  --jobs N     persistence pipeline worker threads (persist "
+      "mode)\n");
   return Code;
 }
 
@@ -125,6 +135,7 @@ int main(int Argc, char **Argv) {
   bool Stats = false, Disasm = false;
   uint64_t AslrSeed = 0;
   bool Randomized = false;
+  unsigned Jobs = 1;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -161,6 +172,11 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--fault-plan") {
       if (const char *V = next())
         FaultPlan = V;
+      else
+        return usage(2);
+    } else if (Arg == "--jobs") {
+      if (const char *V = next())
+        Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
       else
         return usage(2);
     } else if (Arg == "--aslr") {
@@ -282,6 +298,17 @@ int main(int Argc, char **Argv) {
     Opts.InterApplication = InterApp;
     Opts.PositionIndependent = Pic;
     Opts.WriteBack = !ReadOnly;
+    // The pool outlives the run: runPersistent's session waits for the
+    // background publish and any in-flight payload jobs before it
+    // returns, so destruction order here is safe. Background priority:
+    // the pipeline exists to hide latency, never to compete with the
+    // engine thread for the CPU.
+    std::unique_ptr<support::ThreadPool> Pool;
+    if (Jobs > 1) {
+      Pool = std::make_unique<support::ThreadPool>(Jobs,
+                                                   /*Background=*/true);
+      Opts.Pool = Pool.get();
+    }
     auto R = workloads::runPersistent(Registry, *App, Input, Db, Opts,
                                       Tool.get(), dbi::EngineOptions(),
                                       Policy, AslrSeed);
@@ -290,6 +317,10 @@ int main(int Argc, char **Argv) {
                    R.status().toString().c_str());
       return 1;
     }
+    if (Jobs > 1)
+      std::printf("persistence pipeline: %u worker(s), %u payload "
+                  "job(s) queued at prime\n",
+                  Jobs, R->Prime.PayloadJobsQueued);
     std::printf("persistent cache: %s%s\n",
                 R->Prime.CacheFound ? "found " : "not found",
                 R->Prime.CacheFound
