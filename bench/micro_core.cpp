@@ -14,8 +14,10 @@
 #include "dbi/Engine.h"
 #include "persist/CacheDatabase.h"
 #include "persist/CacheFile.h"
+#include "persist/DbCheck.h"
 #include "persist/Key.h"
 #include "persist/Session.h"
+#include "support/FileSystem.h"
 #include "support/Hashing.h"
 #include "support/ThreadPool.h"
 #include "workloads/Codegen.h"
@@ -434,6 +436,106 @@ void BM_EngineThroughput(benchmark::State &State) {
   State.SetLabel("guest insts/s");
 }
 BENCHMARK(BM_EngineThroughput);
+
+/// A persisted database plus the serialized guest module that resolves
+/// it, for the deep semantic-verification benchmark.
+struct DeepVerifyFixture {
+  loader::ModuleRegistry Registry;
+  std::shared_ptr<binary::Module> App;
+  bench::ScratchDir Dir{"pcc-bench-deep"};
+  bench::ScratchDir ModDir{"pcc-bench-deep-mod"};
+  persist::CacheDatabase Db{Dir.path()};
+
+  DeepVerifyFixture() {
+    workloads::AppDef Def;
+    Def.Name = "deep";
+    Def.Path = "/bin/deep";
+    for (uint32_t I = 0; I != 32; ++I) {
+      workloads::RegionDef Region;
+      Region.Name = "d" + std::to_string(I);
+      Region.Blocks = 16;
+      Region.InstsPerBlock = 12;
+      Region.Seed = I + 501;
+      Def.Slots.push_back(
+          workloads::FunctionSlot::local(std::move(Region)));
+    }
+    App = workloads::buildExecutable(Def);
+    std::vector<workloads::WorkItem> All;
+    for (uint32_t I = 0; I != 32; ++I)
+      All.push_back(workloads::WorkItem{I, 1});
+    bench::mustOk(workloads::runPersistent(
+                      Registry, App, workloads::encodeWorkload(All), Db),
+                  "cold run populating the deep-verify cache");
+    if (!writeFileAtomic(ModDir.path() + "/app.mod", App->serialize())
+             .ok())
+      std::abort();
+  }
+};
+
+DeepVerifyFixture &deepVerifyFixture() {
+  static DeepVerifyFixture F;
+  return F;
+}
+
+/// pcc-dbcheck --deep over a persisted database: CRC pass plus a
+/// symbolic equivalence proof of every trace against its module's guest
+/// code. Arg is the worker count — 1 checks serially, N fans the
+/// per-file passes across a thread pool.
+void BM_DeepVerify(benchmark::State &State) {
+  DeepVerifyFixture &F = deepVerifyFixture();
+  const auto Jobs = static_cast<size_t>(State.range(0));
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<support::ThreadPool>(Jobs);
+  persist::DbCheckOptions Opts;
+  Opts.Deep = true;
+  Opts.Pool = Pool.get();
+  Opts.ModulePaths.push_back(F.ModDir.path() + "/app.mod");
+  uint64_t Verified = 0;
+  for (auto _ : State) {
+    auto Report = persist::checkDatabase(F.Dir.path(), Opts);
+    if (!Report || Report->TracesMismatched != 0 ||
+        Report->TracesVerified == 0)
+      std::abort();
+    Verified += Report->TracesVerified;
+    benchmark::DoNotOptimize(Report);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Verified));
+  State.SetLabel("traces proved");
+}
+BENCHMARK(BM_DeepVerify)->Arg(1)->Arg(4);
+
+/// Engine run with the dead-def elision pass off (Arg 0) and on
+/// (Arg 1). The pass costs liveness plus a validator proof per
+/// compiled trace, so the delta is the compile-time price of the
+/// optimization; guest-visible results and architectural statistics
+/// are identical either way.
+void BM_FlagElision(benchmark::State &State) {
+  Fixture &F = fixture();
+  dbi::EngineOptions Opts;
+  Opts.OptimizeFlags = State.range(0) != 0;
+  std::vector<workloads::WorkItem> Items;
+  for (uint32_t I = 0; I != 16; ++I)
+    Items.push_back(workloads::WorkItem{I, 50});
+  auto Input = workloads::encodeWorkload(Items);
+  uint64_t Proved = 0;
+  uint64_t Elided = 0;
+  for (auto _ : State) {
+    auto R = workloads::runUnderEngine(F.Registry, F.App, Input,
+                                       nullptr, Opts);
+    if (!R || R->Stats.VerifyFailures != 0)
+      std::abort();
+    Proved += R->Stats.TracesVerified;
+    Elided += R->Stats.FlagsElided;
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel(Opts.OptimizeFlags
+                     ? formatString("%llu traces proved, %llu defs elided",
+                                    (unsigned long long)Proved,
+                                    (unsigned long long)Elided)
+                     : "elision off");
+}
+BENCHMARK(BM_FlagElision)->Arg(0)->Arg(1);
 
 } // namespace
 

@@ -11,6 +11,11 @@
 #                                    parallel_pipeline_test binaries
 #                                    repeatedly under ASan and then
 #                                    TSan (separate build trees)
+#   scripts/check.sh --tidy          clang-tidy over src/ with the
+#                                    repo .clang-tidy (bugprone-*,
+#                                    concurrency-*, performance-*);
+#                                    skips gracefully when clang-tidy
+#                                    is not installed
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   scripts/check.sh --tsan -R CacheStore
@@ -40,6 +45,22 @@ if [ "${1:-}" = "--faults" ]; then
     done
   done
   echo "fault soak passed: $ITERS iteration(s) each under ASan and TSan"
+  exit 0
+fi
+
+if [ "${1:-}" = "--tidy" ]; then
+  shift
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "check.sh --tidy: clang-tidy not installed; skipping" >&2
+    exit 0
+  fi
+  TIDY_BUILD="$ROOT/build-tidy"
+  cmake -B "$TIDY_BUILD" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  # Every translation unit in src/; tests and tools are gated by the
+  # normal build + ctest tier instead.
+  find "$ROOT/src" -name '*.cpp' -print | sort |
+    xargs clang-tidy -p "$TIDY_BUILD" "$@"
+  echo "clang-tidy clean"
   exit 0
 fi
 

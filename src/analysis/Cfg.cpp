@@ -1,0 +1,259 @@
+//===- analysis/Cfg.cpp ---------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace pcc;
+using namespace pcc::analysis;
+using isa::Instruction;
+using isa::InstructionSize;
+using isa::Opcode;
+
+int Cfg::blockStartingAt(uint32_t Addr) const {
+  auto It = std::lower_bound(Blocks.begin(), Blocks.end(), Addr,
+                             [](const CfgBlock &B, uint32_t A) {
+                               return B.Start < A;
+                             });
+  if (It == Blocks.end() || It->Start != Addr)
+    return -1;
+  return static_cast<int>(It - Blocks.begin());
+}
+
+int Cfg::blockContaining(uint32_t Addr) const {
+  auto It = std::upper_bound(Blocks.begin(), Blocks.end(), Addr,
+                             [](uint32_t A, const CfgBlock &B) {
+                               return A < B.Start;
+                             });
+  if (It == Blocks.begin())
+    return -1;
+  --It;
+  if (Addr - It->Start < It->InstCount * InstructionSize)
+    return static_cast<int>(It - Blocks.begin());
+  return -1;
+}
+
+namespace {
+
+/// Where control can go after the instruction at \p Index.
+struct Flow {
+  /// Fall-through to Index + 1 (sequential or untaken branch or the
+  /// resumption after a syscall).
+  bool FallsThrough = false;
+  /// Absolute target of a direct transfer (taken branch, Jmp, Call).
+  std::optional<uint32_t> Target = std::nullopt;
+  /// Jr/Callr/Ret: target unknowable statically.
+  bool Indirect = false;
+  /// Ends the containing basic block.
+  bool EndsBlock = false;
+};
+
+Flow flowOf(const Instruction &Inst) {
+  Flow F;
+  switch (Inst.Op) {
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+    F.FallsThrough = true;
+    F.Target = Inst.Imm;
+    F.EndsBlock = true;
+    break;
+  case Opcode::Jmp:
+    F.Target = Inst.Imm;
+    F.EndsBlock = true;
+    break;
+  case Opcode::Call:
+    // The callee may return: the return point is discoverable code
+    // even though this instruction never falls through itself.
+    F.FallsThrough = true;
+    F.Target = Inst.Imm;
+    F.EndsBlock = true;
+    break;
+  case Opcode::Callr:
+    F.FallsThrough = true;
+    F.Indirect = true;
+    F.EndsBlock = true;
+    break;
+  case Opcode::Jr:
+  case Opcode::Ret:
+    F.Indirect = true;
+    F.EndsBlock = true;
+    break;
+  case Opcode::Halt:
+    F.EndsBlock = true;
+    break;
+  case Opcode::Sys:
+    // Execution resumes at the fall-through after emulation, but the
+    // transfer leaves the translated region (thread switch point).
+    F.FallsThrough = true;
+    F.EndsBlock = true;
+    break;
+  default:
+    F.FallsThrough = true;
+    break;
+  }
+  return F;
+}
+
+} // namespace
+
+Cfg pcc::analysis::buildCfg(std::vector<Instruction> Insts, uint32_t Base,
+                            const std::vector<uint32_t> &RootAddrs,
+                            const CfgOptions &Opts) {
+  Cfg G;
+  G.Insts = std::move(Insts);
+  G.Base = Base;
+  const uint32_t N = static_cast<uint32_t>(G.Insts.size());
+
+  auto IndexOf = [&](uint32_t Addr) -> std::optional<uint32_t> {
+    if (Addr < Base || (Addr - Base) % InstructionSize != 0)
+      return std::nullopt;
+    uint32_t Index = (Addr - Base) / InstructionSize;
+    if (Index >= N)
+      return std::nullopt;
+    return Index;
+  };
+
+  // Pass 1: worklist reachability from the roots, collecting leaders
+  // (block entry instructions). A direct target inside the region is a
+  // leader — and in trace mode additionally an *external* edge, so it
+  // is not followed.
+  std::vector<bool> Reachable(N, false);
+  std::set<uint32_t> Leaders;
+  std::vector<uint32_t> Work;
+  std::vector<uint32_t> RootIndices;
+  for (uint32_t Addr : RootAddrs) {
+    auto Index = IndexOf(Addr);
+    if (!Index)
+      continue;
+    RootIndices.push_back(*Index);
+    if (Leaders.insert(*Index).second)
+      Work.push_back(*Index);
+  }
+
+  while (!Work.empty()) {
+    uint32_t I = Work.back();
+    Work.pop_back();
+    // Walk the straight-line run from this leader. An
+    // already-reachable instruction means the rest of the run (and its
+    // outgoing targets) were covered by an earlier walk.
+    for (; I < N && !Reachable[I]; ++I) {
+      Reachable[I] = true;
+      Flow F = flowOf(G.Insts[I]);
+      if (F.Target && !Opts.BranchTargetsExternal) {
+        if (auto T = IndexOf(*F.Target))
+          if (Leaders.insert(*T).second)
+            Work.push_back(*T);
+      }
+      if (F.EndsBlock) {
+        if (F.FallsThrough && I + 1 < N &&
+            Leaders.insert(I + 1).second)
+          Work.push_back(I + 1);
+        break;
+      }
+    }
+  }
+
+  // Pass 2: carve blocks out of the reachable instructions. A block
+  // runs from its leader to the next leader, a block-ending
+  // instruction, or the end of the reachable run.
+  std::map<uint32_t, uint32_t> BlockOfLeader; // leader index -> block id
+  for (uint32_t L : Leaders) {
+    if (L >= N || !Reachable[L])
+      continue;
+    CfgBlock B;
+    B.Start = G.addrOf(L);
+    B.FirstInst = L;
+    uint32_t I = L;
+    for (; I < N && Reachable[I]; ++I) {
+      if (I != L && Leaders.count(I))
+        break; // next block starts here
+      if (flowOf(G.Insts[I]).EndsBlock) {
+        ++I;
+        break;
+      }
+    }
+    B.InstCount = I - L;
+    if (B.InstCount == 0)
+      continue;
+    BlockOfLeader[L] = static_cast<uint32_t>(G.Blocks.size());
+    G.Blocks.push_back(std::move(B));
+  }
+
+  // Pass 3: edges. Succs from the last instruction's flow; preds are
+  // the reverse. External targets (outside the region, or any direct
+  // target in trace mode) and indirect transfers mark the block.
+  for (uint32_t BI = 0; BI != G.Blocks.size(); ++BI) {
+    CfgBlock &B = G.Blocks[BI];
+    uint32_t Last = B.lastInst();
+    Flow F = flowOf(G.Insts[Last]);
+    std::set<uint32_t> Succ;
+
+    if (F.Indirect) {
+      B.EndsInIndirect = true;
+      B.HasExternalSucc = true;
+      G.IndirectSources.push_back(Last);
+    }
+    if (F.Target) {
+      auto T = IndexOf(*F.Target);
+      if (Opts.BranchTargetsExternal || !T)
+        B.HasExternalSucc = true;
+      else if (auto It = BlockOfLeader.find(*T);
+               It != BlockOfLeader.end())
+        Succ.insert(It->second);
+      else
+        B.HasExternalSucc = true; // target not reachable as a block
+    }
+    bool Falls = F.EndsBlock ? F.FallsThrough
+                             : true; // block split by a leader
+    if (Falls) {
+      uint32_t NextIndex = Last + 1;
+      if (NextIndex < N) {
+        if (auto It = BlockOfLeader.find(NextIndex);
+            It != BlockOfLeader.end())
+          Succ.insert(It->second);
+        else
+          B.HasExternalSucc = true;
+      } else {
+        B.HasExternalSucc = true; // falls off the analyzed region
+      }
+    }
+    if (G.Insts[Last].Op == Opcode::Sys)
+      B.HasExternalSucc = true; // emulation unit observes all state
+
+    B.Succs.assign(Succ.begin(), Succ.end());
+    for (uint32_t S : Succ)
+      G.Blocks[S].Preds.push_back(BI);
+  }
+  for (CfgBlock &B : G.Blocks) {
+    std::sort(B.Preds.begin(), B.Preds.end());
+    B.Preds.erase(std::unique(B.Preds.begin(), B.Preds.end()),
+                  B.Preds.end());
+  }
+
+  // Root block ids, deduplicated in first-seen order.
+  std::set<uint32_t> SeenRoot;
+  for (uint32_t R : RootIndices)
+    if (auto It = BlockOfLeader.find(R); It != BlockOfLeader.end())
+      if (SeenRoot.insert(It->second).second)
+        G.Roots.push_back(It->second);
+
+  std::sort(G.IndirectSources.begin(), G.IndirectSources.end());
+  G.IndirectSources.erase(std::unique(G.IndirectSources.begin(),
+                                      G.IndirectSources.end()),
+                          G.IndirectSources.end());
+  return G;
+}
+
+Cfg pcc::analysis::buildCfgFromBytes(const uint8_t *Bytes, size_t NumBytes,
+                                     uint32_t Base,
+                                     const std::vector<uint32_t> &RootAddrs,
+                                     const CfgOptions &Opts) {
+  isa::DecodeResult Decoded = isa::decodeBuffer(Bytes, NumBytes);
+  Cfg G = buildCfg(std::move(Decoded.Insts), Base, RootAddrs, Opts);
+  G.Fault = std::move(Decoded.Error);
+  return G;
+}

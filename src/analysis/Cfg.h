@@ -1,0 +1,144 @@
+//===- analysis/Cfg.h - Guest control-flow graph ----------------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow-graph reconstruction over guest code: basic-block
+/// discovery by worklist from a set of entry points (module entry
+/// points, exported symbols, persisted trace starts), successor and
+/// predecessor edges, and summaries of the indirect control transfers
+/// whose targets static analysis cannot resolve (Jr/Callr/Ret — every
+/// one is a conservative "control may go anywhere" edge).
+///
+/// The builder never asserts on bad input: raw bytes decode through
+/// isa::decodeBuffer, and a decode fault truncates the analyzed region
+/// at the fault (recorded in Cfg::decodeFault()) so corrupt modules are
+/// reported, not fatal.
+///
+/// Trace mode (CfgOptions::BranchTargetsExternal) models the DBI trace
+/// discipline: translated traces are entered only at their head, so a
+/// taken branch or terminator always leaves the analyzed region through
+/// the dispatcher even when its target lies inside the region. The
+/// dataflow boundary then treats every such edge as "all state
+/// observable", which is what makes the liveness-driven elision in
+/// dbi::Compiler sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_ANALYSIS_CFG_H
+#define PCC_ANALYSIS_CFG_H
+
+#include "isa/Instruction.h"
+#include "support/Error.h"
+
+#include <optional>
+#include <vector>
+
+namespace pcc {
+namespace analysis {
+
+/// CFG construction policy.
+struct CfgOptions {
+  /// Treat every control-transfer *target* edge (taken branches, Jmp,
+  /// Call) as leaving the analyzed region, even when the target address
+  /// falls inside it. Fall-through edges stay internal. This is the
+  /// trace model; module-level CFGs leave it off.
+  bool BranchTargetsExternal = false;
+};
+
+/// One basic block: a maximal single-entry straight-line run of
+/// instructions.
+struct CfgBlock {
+  /// Guest address of the first instruction.
+  uint32_t Start = 0;
+  /// Index of the first instruction in Cfg::instructions().
+  uint32_t FirstInst = 0;
+  uint32_t InstCount = 0;
+  /// Successor / predecessor block indices (deduplicated, ascending).
+  std::vector<uint32_t> Succs;
+  std::vector<uint32_t> Preds;
+  /// Control can leave the analyzed region from this block's end: an
+  /// indirect transfer, a target outside the region (or any target in
+  /// trace mode), a syscall thread switch, or falling off the region.
+  bool HasExternalSucc = false;
+  /// The block ends in Jr/Callr/Ret.
+  bool EndsInIndirect = false;
+
+  uint32_t lastInst() const { return FirstInst + InstCount - 1; }
+};
+
+/// A reconstructed control-flow graph over one contiguous code region.
+class Cfg {
+public:
+  /// The decoded region (instruction i sits at base() + i * 8).
+  const std::vector<isa::Instruction> &instructions() const {
+    return Insts;
+  }
+  uint32_t base() const { return Base; }
+  uint32_t addrOf(uint32_t InstIndex) const {
+    return Base + InstIndex * isa::InstructionSize;
+  }
+
+  /// Blocks in ascending start-address order. Instructions not reachable
+  /// from any root belong to no block.
+  const std::vector<CfgBlock> &blocks() const { return Blocks; }
+
+  /// Block indices of the entry points the discovery started from.
+  const std::vector<uint32_t> &roots() const { return Roots; }
+
+  /// Indirect-transfer summary: instruction indices of every reachable
+  /// Jr/Callr/Ret. Their targets are unknowable statically; each is an
+  /// external edge.
+  const std::vector<uint32_t> &indirectSources() const {
+    return IndirectSources;
+  }
+
+  /// First decode fault hit when the region was built from raw bytes;
+  /// the region was truncated there. Absent for clean input.
+  const std::optional<isa::DecodeError> &decodeFault() const {
+    return Fault;
+  }
+
+  /// Index of the block starting exactly at \p Addr, or -1.
+  int blockStartingAt(uint32_t Addr) const;
+
+  /// Index of the block containing \p Addr, or -1.
+  int blockContaining(uint32_t Addr) const;
+
+private:
+  friend Cfg buildCfg(std::vector<isa::Instruction> Insts, uint32_t Base,
+                      const std::vector<uint32_t> &RootAddrs,
+                      const CfgOptions &Opts);
+  friend Cfg buildCfgFromBytes(const uint8_t *Bytes, size_t NumBytes,
+                               uint32_t Base,
+                               const std::vector<uint32_t> &RootAddrs,
+                               const CfgOptions &Opts);
+
+  std::vector<isa::Instruction> Insts;
+  uint32_t Base = 0;
+  std::vector<CfgBlock> Blocks;
+  std::vector<uint32_t> Roots;
+  std::vector<uint32_t> IndirectSources;
+  std::optional<isa::DecodeError> Fault;
+};
+
+/// Builds the CFG of \p Insts (loaded at \p Base) reachable from
+/// \p RootAddrs. Roots outside the region or misaligned are ignored.
+Cfg buildCfg(std::vector<isa::Instruction> Insts, uint32_t Base,
+             const std::vector<uint32_t> &RootAddrs,
+             const CfgOptions &Opts = {});
+
+/// Builds the CFG from raw encoded bytes; a decode fault truncates the
+/// region (see Cfg::decodeFault()) instead of failing the build.
+Cfg buildCfgFromBytes(const uint8_t *Bytes, size_t NumBytes,
+                      uint32_t Base,
+                      const std::vector<uint32_t> &RootAddrs,
+                      const CfgOptions &Opts = {});
+
+} // namespace analysis
+} // namespace pcc
+
+#endif // PCC_ANALYSIS_CFG_H

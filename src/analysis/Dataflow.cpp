@@ -1,0 +1,238 @@
+//===- analysis/Dataflow.cpp ----------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include <cassert>
+
+using namespace pcc;
+using namespace pcc::analysis;
+using isa::Instruction;
+using isa::Opcode;
+
+RegSet pcc::analysis::instUses(const Instruction &Inst) {
+  auto Bit = [](unsigned Reg) { return RegSet(1) << Reg; };
+  switch (Inst.Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::Ldi:
+  case Opcode::Jmp:
+    return 0;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Divu:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Sltu:
+  case Opcode::Seq:
+    return Bit(Inst.Rs1) | Bit(Inst.Rs2);
+  case Opcode::Addi:
+  case Opcode::Muli:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Shli:
+  case Opcode::Shri:
+  case Opcode::Sltiu:
+  case Opcode::Ld:
+    return Bit(Inst.Rs1);
+  case Opcode::St:
+    return Bit(Inst.Rs1) | Bit(Inst.Rs2);
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Bltu:
+  case Opcode::Bgeu:
+    return Bit(Inst.Rs1) | Bit(Inst.Rs2);
+  case Opcode::Jr:
+    return Bit(Inst.Rs1);
+  case Opcode::Call:
+    return Bit(isa::StackPointerReg);
+  case Opcode::Callr:
+    return Bit(Inst.Rs1) | Bit(isa::StackPointerReg);
+  case Opcode::Ret:
+    return Bit(isa::StackPointerReg);
+  case Opcode::Sys:
+    // The emulation unit (and a spawned thread's initial state) may
+    // read any register.
+    return AllRegs;
+  case Opcode::NumOpcodes:
+    break;
+  }
+  return AllRegs; // unreachable; stay conservative
+}
+
+int pcc::analysis::instDef(const Instruction &Inst) {
+  switch (Inst.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Divu:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Sltu:
+  case Opcode::Seq:
+  case Opcode::Addi:
+  case Opcode::Muli:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Shli:
+  case Opcode::Shri:
+  case Opcode::Sltiu:
+  case Opcode::Ldi:
+  case Opcode::Ld:
+    return Inst.Rd;
+  case Opcode::Call:
+  case Opcode::Callr:
+  case Opcode::Ret:
+    return static_cast<int>(isa::StackPointerReg);
+  default:
+    return -1;
+  }
+}
+
+bool pcc::analysis::isPureDef(const Instruction &Inst) {
+  switch (Inst.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Divu:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Sltu:
+  case Opcode::Seq:
+  case Opcode::Addi:
+  case Opcode::Muli:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Shli:
+  case Opcode::Shri:
+  case Opcode::Sltiu:
+  case Opcode::Ldi:
+    return true;
+  default:
+    return false;
+  }
+}
+
+RegSet LivenessResult::liveBefore(const Cfg &G, uint32_t Block,
+                                  uint32_t InstIndex) const {
+  const CfgBlock &B = G.blocks()[Block];
+  assert(InstIndex >= B.FirstInst && InstIndex <= B.lastInst() &&
+         "instruction outside block");
+  RegSet Live = LiveOut[Block];
+  for (uint32_t I = B.lastInst();; --I) {
+    const Instruction &Inst = G.instructions()[I];
+    if (int Def = instDef(Inst); Def >= 0)
+      Live &= ~(RegSet(1) << Def);
+    Live |= instUses(Inst);
+    if (I == InstIndex)
+      break;
+    assert(I != 0 && "walked past block start");
+  }
+  return Live;
+}
+
+LivenessResult pcc::analysis::solveLiveness(const Cfg &G) {
+  DataflowProblem<RegSet> P;
+  P.Dir = Direction::Backward;
+  P.Init = 0;
+  P.Boundary = AllRegs;
+  P.Meet = [](const RegSet &A, const RegSet &B) { return A | B; };
+  P.Transfer = [](const Cfg &Graph, uint32_t Block, const RegSet &Out) {
+    const CfgBlock &B = Graph.blocks()[Block];
+    RegSet Live = Out;
+    for (uint32_t I = B.lastInst() + 1; I-- != B.FirstInst;) {
+      const Instruction &Inst = Graph.instructions()[I];
+      if (int Def = instDef(Inst); Def >= 0)
+        Live &= ~(RegSet(1) << Def);
+      Live |= instUses(Inst);
+    }
+    return Live;
+  };
+  auto S = solveDataflow(G, P);
+  return LivenessResult{std::move(S.In), std::move(S.Out)};
+}
+
+ReachingDefsResult pcc::analysis::solveReachingDefs(const Cfg &G) {
+  ReachingDefsResult R;
+  // Number the definition sites and group them by register for the
+  // kill sets.
+  std::vector<int> DefIdOf(G.instructions().size(), -1);
+  std::vector<std::vector<uint32_t>> DefsOfReg(isa::NumRegisters);
+  for (const CfgBlock &B : G.blocks())
+    for (uint32_t I = B.FirstInst; I <= B.lastInst(); ++I)
+      if (int Reg = instDef(G.instructions()[I]); Reg >= 0) {
+        DefIdOf[I] = static_cast<int>(R.DefSites.size());
+        DefsOfReg[Reg].push_back(
+            static_cast<uint32_t>(R.DefSites.size()));
+        R.DefSites.push_back(I);
+      }
+  const size_t Words = (R.DefSites.size() + 63) / 64;
+
+  using Bits = std::vector<uint64_t>;
+  DataflowProblem<Bits> P;
+  P.Dir = Direction::Forward;
+  P.Init = Bits(Words, 0);
+  P.Boundary = Bits(Words, 0); // nothing defined before the region
+  P.Meet = [](const Bits &A, const Bits &B) {
+    Bits M = A;
+    for (size_t I = 0; I != M.size(); ++I)
+      M[I] |= B[I];
+    return M;
+  };
+  P.Transfer = [&](const Cfg &Graph, uint32_t Block, const Bits &In) {
+    const CfgBlock &B = Graph.blocks()[Block];
+    Bits Val = In;
+    for (uint32_t I = B.FirstInst; I <= B.lastInst(); ++I) {
+      int Reg = instDef(Graph.instructions()[I]);
+      if (Reg < 0)
+        continue;
+      for (uint32_t Dead : DefsOfReg[Reg])
+        Val[Dead / 64] &= ~(uint64_t(1) << (Dead % 64));
+      uint32_t Id = static_cast<uint32_t>(DefIdOf[I]);
+      Val[Id / 64] |= uint64_t(1) << (Id % 64);
+    }
+    return Val;
+  };
+  auto S = solveDataflow(G, P);
+  R.In = std::move(S.In);
+  R.Out = std::move(S.Out);
+  return R;
+}
+
+std::vector<bool> pcc::analysis::findDeadTraceDefs(
+    const std::vector<Instruction> &Body, uint32_t StartAddr) {
+  std::vector<bool> Dead(Body.size(), false);
+  if (Body.empty())
+    return Dead;
+  CfgOptions Opts;
+  Opts.BranchTargetsExternal = true; // the trace model
+  Cfg G = buildCfg(Body, StartAddr, {StartAddr}, Opts);
+  LivenessResult L = solveLiveness(G);
+  for (uint32_t BI = 0; BI != G.blocks().size(); ++BI) {
+    const CfgBlock &B = G.blocks()[BI];
+    RegSet Live = L.LiveOut[BI];
+    for (uint32_t I = B.lastInst() + 1; I-- != B.FirstInst;) {
+      const Instruction &Inst = Body[I];
+      int Def = instDef(Inst);
+      if (Def >= 0 && isPureDef(Inst) &&
+          (Live & (RegSet(1) << Def)) == 0)
+        Dead[I] = true;
+      if (Def >= 0)
+        Live &= ~(RegSet(1) << Def);
+      Live |= instUses(Inst);
+    }
+  }
+  return Dead;
+}

@@ -1,0 +1,201 @@
+//===- analysis/Dataflow.h - Worklist dataflow framework --------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An iterative (worklist) dataflow framework over analysis::Cfg plus
+/// the two instances the rest of the system uses: liveness of guest
+/// registers (backward, may) and reaching definitions (forward, may).
+///
+/// Every edge that leaves the analyzed region — indirect transfers,
+/// out-of-region targets, syscalls, and (in trace mode) every taken
+/// branch — meets the problem's Boundary value. For liveness the
+/// boundary is "all registers live": whatever executes after the region
+/// may read anything, which is exactly the conservatism the
+/// liveness-driven elision pass in dbi::Compiler needs to stay sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_ANALYSIS_DATAFLOW_H
+#define PCC_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pcc {
+namespace analysis {
+
+/// \name Per-instruction register effects
+/// @{
+
+/// A set of guest registers, bit i = register i.
+using RegSet = uint32_t;
+
+/// All NumRegisters registers.
+inline constexpr RegSet AllRegs =
+    (1u << isa::NumRegisters) - 1;
+
+/// Registers the instruction reads (including the implicit stack
+/// pointer of Call/Callr/Ret, and everything for Sys — the emulation
+/// unit may inspect any register).
+RegSet instUses(const isa::Instruction &Inst);
+
+/// The register the instruction writes, or -1. Call/Callr/Ret update
+/// the stack pointer; Sys conservatively defines nothing (its clobbers
+/// are modeled as uses by the boundary instead).
+int instDef(const isa::Instruction &Inst);
+
+/// True for instructions whose only effect is writing instDef(): ALU
+/// ops and immediate loads. Ld is excluded — it can fault, which is a
+/// guest-visible effect even when the loaded value is dead.
+bool isPureDef(const isa::Instruction &Inst);
+
+/// @}
+
+/// Direction of a dataflow problem.
+enum class Direction : uint8_t { Forward, Backward };
+
+/// An iterative dataflow problem over the blocks of a Cfg. D is the
+/// domain value (a value type with operator==).
+template <typename D> struct DataflowProblem {
+  Direction Dir = Direction::Forward;
+  /// Initial interior value (the meet identity / optimistic value).
+  D Init{};
+  /// Value met in from outside the region: at root blocks (forward)
+  /// or across external-successor edges (backward).
+  D Boundary{};
+  /// Meet of two values (must be monotone, e.g. set union).
+  std::function<D(const D &, const D &)> Meet;
+  /// Transfer across block \p Block given the value at its input side.
+  std::function<D(const Cfg &G, uint32_t Block, const D &)> Transfer;
+};
+
+/// Per-block fixpoint: In/Out in the conventional orientation (In is
+/// the value before the block's first instruction, Out after its last,
+/// for both directions).
+template <typename D> struct DataflowSolution {
+  std::vector<D> In, Out;
+};
+
+/// Runs \p P to fixpoint over \p G with a worklist. Unreachable blocks
+/// do not exist in a Cfg; blocks with no predecessors (forward) or no
+/// successors and no external edge (backward) keep Init on their meet
+/// side.
+template <typename D>
+DataflowSolution<D> solveDataflow(const Cfg &G,
+                                  const DataflowProblem<D> &P) {
+  const auto &Blocks = G.blocks();
+  const size_t N = Blocks.size();
+  DataflowSolution<D> S;
+  S.In.assign(N, P.Init);
+  S.Out.assign(N, P.Init);
+
+  std::vector<bool> IsRoot(N, false);
+  for (uint32_t R : G.roots())
+    IsRoot[R] = true;
+
+  std::vector<bool> Queued(N, true);
+  std::vector<uint32_t> Work;
+  Work.reserve(N);
+  for (uint32_t I = 0; I != N; ++I)
+    Work.push_back(static_cast<uint32_t>(N - 1 - I));
+
+  while (!Work.empty()) {
+    uint32_t B = Work.back();
+    Work.pop_back();
+    Queued[B] = false;
+
+    if (P.Dir == Direction::Forward) {
+      D NewIn = IsRoot[B] ? P.Boundary : P.Init;
+      for (uint32_t Pred : Blocks[B].Preds)
+        NewIn = P.Meet(NewIn, S.Out[Pred]);
+      S.In[B] = std::move(NewIn);
+      D NewOut = P.Transfer(G, B, S.In[B]);
+      if (!(NewOut == S.Out[B])) {
+        S.Out[B] = std::move(NewOut);
+        for (uint32_t Succ : Blocks[B].Succs)
+          if (!Queued[Succ]) {
+            Queued[Succ] = true;
+            Work.push_back(Succ);
+          }
+      }
+    } else {
+      D NewOut = Blocks[B].HasExternalSucc ? P.Boundary : P.Init;
+      for (uint32_t Succ : Blocks[B].Succs)
+        NewOut = P.Meet(NewOut, S.In[Succ]);
+      S.Out[B] = std::move(NewOut);
+      D NewIn = P.Transfer(G, B, S.Out[B]);
+      if (!(NewIn == S.In[B])) {
+        S.In[B] = std::move(NewIn);
+        for (uint32_t Pred : Blocks[B].Preds)
+          if (!Queued[Pred]) {
+            Queued[Pred] = true;
+            Work.push_back(Pred);
+          }
+      }
+    }
+  }
+  return S;
+}
+
+/// \name Liveness (backward, may)
+/// @{
+
+struct LivenessResult {
+  /// Registers live at block entry / exit, per block.
+  std::vector<RegSet> LiveIn, LiveOut;
+
+  /// Registers live immediately *before* instruction \p InstIndex of
+  /// block \p Block executes (recomputed by a backward walk from
+  /// LiveOut).
+  RegSet liveBefore(const Cfg &G, uint32_t Block,
+                    uint32_t InstIndex) const;
+};
+
+LivenessResult solveLiveness(const Cfg &G);
+
+/// @}
+
+/// \name Reaching definitions (forward, may)
+/// @{
+
+struct ReachingDefsResult {
+  /// Definition sites: instruction index of each def, in instruction
+  /// order. Def id d is DefSites[d].
+  std::vector<uint32_t> DefSites;
+  /// Def-id bitsets (one uint64_t word per 64 defs) at block entry and
+  /// exit.
+  std::vector<std::vector<uint64_t>> In, Out;
+
+  bool reachesEntry(uint32_t DefId, uint32_t Block) const {
+    return (In[Block][DefId / 64] >> (DefId % 64)) & 1;
+  }
+  bool reachesExit(uint32_t DefId, uint32_t Block) const {
+    return (Out[Block][DefId / 64] >> (DefId % 64)) & 1;
+  }
+};
+
+ReachingDefsResult solveReachingDefs(const Cfg &G);
+
+/// @}
+
+/// Dead pure defs of a DBI trace body: instructions whose destination
+/// register is overwritten before control can leave the trace (every
+/// exit point conservatively treats all registers as live, so only
+/// defs shadowed within the trace qualify). The result is what the
+/// Compiler's --opt-flags pass may replace with Nop; the translation
+/// validator accepts exactly these substitutions.
+std::vector<bool>
+findDeadTraceDefs(const std::vector<isa::Instruction> &Body,
+                  uint32_t StartAddr);
+
+} // namespace analysis
+} // namespace pcc
+
+#endif // PCC_ANALYSIS_DATAFLOW_H

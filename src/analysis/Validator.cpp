@@ -1,0 +1,334 @@
+//===- analysis/Validator.cpp ---------------------------------------------===//
+
+#include "analysis/Validator.h"
+
+#include "support/StringUtils.h"
+
+#include <array>
+#include <map>
+#include <tuple>
+
+using namespace pcc;
+using namespace pcc::analysis;
+using isa::Instruction;
+using isa::InstructionSize;
+using isa::Opcode;
+
+namespace {
+
+/// Hash-consed symbolic expressions. Both executions intern into one
+/// pool, so structural equality is id equality.
+class ExprPool {
+public:
+  enum class Kind : uint8_t { Init, Const, Bin, Load };
+
+  uint32_t init(unsigned Reg) {
+    return intern(Kind::Init, 0, 0, 0, Reg);
+  }
+  uint32_t konst(uint32_t Value) {
+    return intern(Kind::Const, 0, 0, 0, Value);
+  }
+  uint32_t bin(Opcode Op, uint32_t A, uint32_t B) {
+    return intern(Kind::Bin, static_cast<uint8_t>(Op), A, B, 0);
+  }
+  /// A memory read of \p Addr observing the first \p Version stores.
+  uint32_t load(uint32_t Addr, uint32_t Version) {
+    return intern(Kind::Load, 0, Addr, 0, Version);
+  }
+
+private:
+  using Key = std::tuple<uint8_t, uint8_t, uint32_t, uint32_t, uint32_t>;
+  std::map<Key, uint32_t> Interned;
+
+  uint32_t intern(Kind K, uint8_t Op, uint32_t A, uint32_t B,
+                  uint32_t Aux) {
+    Key Id{static_cast<uint8_t>(K), Op, A, B, Aux};
+    auto [It, Inserted] =
+        Interned.emplace(Id, static_cast<uint32_t>(Interned.size()));
+    return It->second;
+  }
+};
+
+constexpr uint32_t NoExpr = ~0u;
+
+/// One point where control can leave the trace, with the symbolic
+/// machine state observable there.
+struct SymExit {
+  enum class Kind : uint8_t {
+    Branch,      ///< Conditional branch taken.
+    Direct,      ///< Jmp/Call.
+    Indirect,    ///< Jr/Callr/Ret.
+    Syscall,     ///< Sys (control leaves to the emulation unit).
+    Halt,        ///< Halt.
+    FallThrough, ///< Ran off the end of the body.
+  };
+
+  Kind K = Kind::Halt;
+  uint32_t InstIndex = 0;
+  uint32_t Cond = NoExpr;   ///< Branch condition expression.
+  uint32_t Target = NoExpr; ///< Exit target expression.
+  uint32_t SysNumber = 0;
+  std::array<uint32_t, isa::NumRegisters> Regs{};
+  uint32_t NumStores = 0; ///< Stores performed before this exit.
+  uint32_t NumLoads = 0;  ///< Loads performed before this exit.
+};
+
+const char *exitKindName(SymExit::Kind K) {
+  switch (K) {
+  case SymExit::Kind::Branch:
+    return "branch";
+  case SymExit::Kind::Direct:
+    return "direct";
+  case SymExit::Kind::Indirect:
+    return "indirect";
+  case SymExit::Kind::Syscall:
+    return "syscall";
+  case SymExit::Kind::Halt:
+    return "halt";
+  case SymExit::Kind::FallThrough:
+    return "fall-through";
+  }
+  return "?";
+}
+
+/// The observable effects of one symbolic execution.
+struct SymTrace {
+  std::vector<SymExit> Exits;
+  /// All stores in program order: (address expr, value expr).
+  std::vector<std::pair<uint32_t, uint32_t>> Stores;
+  /// All load addresses in program order (loads can fault).
+  std::vector<uint32_t> LoadAddrs;
+};
+
+/// Symbolically executes \p Body following vm::executeInstruction's
+/// semantics exactly (operands read before any write; Call pushes the
+/// return address below the old stack pointer; Ret pops).
+SymTrace symExecute(ExprPool &Pool, uint32_t GuestStart,
+                    const std::vector<Instruction> &Body) {
+  SymTrace T;
+  std::array<uint32_t, isa::NumRegisters> Regs;
+  for (unsigned R = 0; R != isa::NumRegisters; ++R)
+    Regs[R] = Pool.init(R);
+
+  auto Snapshot = [&](SymExit E) {
+    E.Regs = Regs;
+    E.NumStores = static_cast<uint32_t>(T.Stores.size());
+    E.NumLoads = static_cast<uint32_t>(T.LoadAddrs.size());
+    T.Exits.push_back(E);
+  };
+  auto Version = [&] {
+    return static_cast<uint32_t>(T.Stores.size());
+  };
+
+  for (uint32_t I = 0; I != Body.size(); ++I) {
+    const Instruction &Inst = Body[I];
+    const uint32_t InstPc = GuestStart + I * InstructionSize;
+    const uint32_t FallPc = InstPc + InstructionSize;
+    const uint32_t A = Regs[Inst.Rs1];
+    const uint32_t B = Regs[Inst.Rs2];
+    const unsigned Sp = isa::StackPointerReg;
+
+    switch (Inst.Op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::Halt:
+      Snapshot(SymExit{SymExit::Kind::Halt, I, NoExpr, NoExpr, 0});
+      return T;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Divu:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::Sltu:
+    case Opcode::Seq:
+      Regs[Inst.Rd] = Pool.bin(Inst.Op, A, B);
+      break;
+    case Opcode::Addi:
+    case Opcode::Muli:
+    case Opcode::Andi:
+    case Opcode::Ori:
+    case Opcode::Xori:
+    case Opcode::Shli:
+    case Opcode::Shri:
+    case Opcode::Sltiu:
+      Regs[Inst.Rd] = Pool.bin(Inst.Op, A, Pool.konst(Inst.Imm));
+      break;
+    case Opcode::Ldi:
+      Regs[Inst.Rd] = Pool.konst(Inst.Imm);
+      break;
+    case Opcode::Ld: {
+      uint32_t Addr = Pool.bin(Opcode::Add, A, Pool.konst(Inst.Imm));
+      T.LoadAddrs.push_back(Addr);
+      Regs[Inst.Rd] = Pool.load(Addr, Version());
+      break;
+    }
+    case Opcode::St: {
+      uint32_t Addr = Pool.bin(Opcode::Add, A, Pool.konst(Inst.Imm));
+      T.Stores.emplace_back(Addr, B);
+      break;
+    }
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Bltu:
+    case Opcode::Bgeu:
+      Snapshot(SymExit{SymExit::Kind::Branch, I,
+                       Pool.bin(Inst.Op, A, B), Pool.konst(Inst.Imm),
+                       0});
+      break; // fall through to the next instruction (untaken path)
+    case Opcode::Jmp:
+      Snapshot(SymExit{SymExit::Kind::Direct, I, NoExpr,
+                       Pool.konst(Inst.Imm), 0});
+      return T;
+    case Opcode::Call:
+    case Opcode::Callr: {
+      uint32_t NewSp =
+          Pool.bin(Opcode::Add, Regs[Sp],
+                   Pool.konst(static_cast<uint32_t>(-4)));
+      T.Stores.emplace_back(NewSp, Pool.konst(FallPc));
+      Regs[Sp] = NewSp;
+      if (Inst.Op == Opcode::Call)
+        Snapshot(SymExit{SymExit::Kind::Direct, I, NoExpr,
+                         Pool.konst(Inst.Imm), 0});
+      else
+        Snapshot(SymExit{SymExit::Kind::Indirect, I, NoExpr, A, 0});
+      return T;
+    }
+    case Opcode::Jr:
+      Snapshot(SymExit{SymExit::Kind::Indirect, I, NoExpr, A, 0});
+      return T;
+    case Opcode::Ret: {
+      uint32_t Addr = Regs[Sp];
+      T.LoadAddrs.push_back(Addr);
+      uint32_t Return = Pool.load(Addr, Version());
+      Regs[Sp] =
+          Pool.bin(Opcode::Add, Addr, Pool.konst(4));
+      Snapshot(
+          SymExit{SymExit::Kind::Indirect, I, NoExpr, Return, 0});
+      return T;
+    }
+    case Opcode::Sys:
+      Snapshot(SymExit{SymExit::Kind::Syscall, I, NoExpr,
+                       Pool.konst(FallPc), Inst.Imm});
+      return T;
+    case Opcode::NumOpcodes:
+      break;
+    }
+  }
+
+  if (!Body.empty()) {
+    uint32_t EndPc = GuestStart +
+                     static_cast<uint32_t>(Body.size()) * InstructionSize;
+    Snapshot(SymExit{SymExit::Kind::FallThrough,
+                     static_cast<uint32_t>(Body.size()) - 1, NoExpr,
+                     Pool.konst(EndPc), 0});
+  }
+  return T;
+}
+
+ValidationResult mismatch(uint32_t InstIndex, uint32_t ExitIndex,
+                          std::string What) {
+  ValidationResult R;
+  R.Equivalent = false;
+  R.Mismatch = TraceMismatch{InstIndex, ExitIndex, std::move(What)};
+  return R;
+}
+
+} // namespace
+
+std::string ValidationResult::message() const {
+  if (Equivalent)
+    return "equivalent";
+  return formatString("mismatch at instruction %u%s: %s",
+                      Mismatch->InstIndex,
+                      Mismatch->ExitIndex == ~0u
+                          ? ""
+                          : formatString(" (exit %u)",
+                                         Mismatch->ExitIndex)
+                                .c_str(),
+                      Mismatch->What.c_str());
+}
+
+ValidationResult pcc::analysis::validateTranslation(
+    uint32_t GuestStart, const std::vector<Instruction> &Source,
+    const std::vector<Instruction> &Translated) {
+  if (Source.size() != Translated.size())
+    return mismatch(
+        static_cast<uint32_t>(
+            std::min(Source.size(), Translated.size())),
+        ~0u,
+        formatString("body length differs: source %zu, translated %zu",
+                     Source.size(), Translated.size()));
+
+  ExprPool Pool;
+  SymTrace S = symExecute(Pool, GuestStart, Source);
+  SymTrace T = symExecute(Pool, GuestStart, Translated);
+
+  if (S.Exits.size() != T.Exits.size())
+    return mismatch(
+        0, static_cast<uint32_t>(
+               std::min(S.Exits.size(), T.Exits.size())),
+        formatString("exit count differs: source %zu, translated %zu",
+                     S.Exits.size(), T.Exits.size()));
+
+  for (uint32_t E = 0; E != S.Exits.size(); ++E) {
+    const SymExit &A = S.Exits[E];
+    const SymExit &B = T.Exits[E];
+    if (A.InstIndex != B.InstIndex)
+      return mismatch(A.InstIndex, E,
+                      formatString("exit position differs: source "
+                                   "instruction %u, translated %u",
+                                   A.InstIndex, B.InstIndex));
+    if (A.K != B.K)
+      return mismatch(A.InstIndex, E,
+                      formatString("exit kind differs: source %s, "
+                                   "translated %s",
+                                   exitKindName(A.K),
+                                   exitKindName(B.K)));
+    if (A.Cond != B.Cond)
+      return mismatch(A.InstIndex, E, "branch condition differs");
+    if (A.Target != B.Target)
+      return mismatch(A.InstIndex, E, "exit target differs");
+    if (A.SysNumber != B.SysNumber)
+      return mismatch(A.InstIndex, E,
+                      formatString("syscall number differs: source "
+                                   "%u, translated %u",
+                                   A.SysNumber, B.SysNumber));
+    if (A.NumStores != B.NumStores)
+      return mismatch(A.InstIndex, E,
+                      formatString("memory-write count differs: "
+                                   "source %u, translated %u",
+                                   A.NumStores, B.NumStores));
+    if (A.NumLoads != B.NumLoads)
+      return mismatch(A.InstIndex, E,
+                      formatString("memory-read count differs: "
+                                   "source %u, translated %u",
+                                   A.NumLoads, B.NumLoads));
+    for (unsigned R = 0; R != isa::NumRegisters; ++R)
+      if (A.Regs[R] != B.Regs[R])
+        return mismatch(A.InstIndex, E,
+                        formatString("register r%u differs", R));
+  }
+
+  if (S.Stores.size() != T.Stores.size())
+    return mismatch(0, ~0u, "memory-write count differs");
+  for (uint32_t I = 0; I != S.Stores.size(); ++I) {
+    if (S.Stores[I].first != T.Stores[I].first)
+      return mismatch(0, ~0u,
+                      formatString("store %u address differs", I));
+    if (S.Stores[I].second != T.Stores[I].second)
+      return mismatch(0, ~0u,
+                      formatString("store %u value differs", I));
+  }
+  if (S.LoadAddrs.size() != T.LoadAddrs.size())
+    return mismatch(0, ~0u, "memory-read count differs");
+  for (uint32_t I = 0; I != S.LoadAddrs.size(); ++I)
+    if (S.LoadAddrs[I] != T.LoadAddrs[I])
+      return mismatch(0, ~0u,
+                      formatString("load %u address differs", I));
+
+  return ValidationResult{};
+}

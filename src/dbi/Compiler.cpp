@@ -2,6 +2,9 @@
 
 #include "dbi/Compiler.h"
 
+#include "analysis/Dataflow.h"
+#include "analysis/Validator.h"
+
 using namespace pcc;
 using namespace pcc::dbi;
 
@@ -36,11 +39,42 @@ ErrorOr<TranslatedTrace *> Compiler::compile(uint32_t StartAddr,
   if (!Offset)
     return Offset.status();
 
+  // Dead-def elision (--opt-flags): pure defs that cannot reach any
+  // trace exit become Nops, in both the emitted image and the resident
+  // body so the two never diverge. Instruction count, exit structure
+  // and per-instruction PCs are all preserved — only the spelling of
+  // provably unobservable computations changes — and the translation
+  // validator must agree before the elided form is accepted.
+  std::vector<isa::Instruction> Body = T.Insts;
+  uint32_t Elided = 0;
+  if (OptFlags) {
+    std::vector<bool> Dead =
+        analysis::findDeadTraceDefs(T.Insts, T.StartAddr);
+    for (uint32_t I = 0; I != Body.size(); ++I)
+      if (Dead[I]) {
+        Body[I] = isa::Instruction{};
+        ++Elided;
+      }
+    if (Elided != 0) {
+      auto Check =
+          analysis::validateTranslation(T.StartAddr, T.Insts, Body);
+      if (Check.Equivalent) {
+        ++Stats.TracesVerified;
+        Stats.FlagsElided += Elided;
+      } else {
+        // Never emit an elision the validator cannot prove.
+        ++Stats.VerifyFailures;
+        Body = T.Insts;
+        Elided = 0;
+      }
+    }
+  }
+
   // Emit the translated image: zeroed prologue, the re-encoded guest
   // instructions, then zeroed stubs. The encoded instruction bytes are
   // what a persistent cache stores and later re-decodes.
   std::vector<uint8_t> Image(PoolBytes, 0);
-  std::vector<uint8_t> Encoded = isa::encodeAll(T.Insts);
+  std::vector<uint8_t> Encoded = isa::encodeAll(Body);
   std::copy(Encoded.begin(), Encoded.end(),
             Image.begin() + TracePrologueBytes);
   Cache.writeCode(*Offset, Image);
@@ -54,7 +88,7 @@ ErrorOr<TranslatedTrace *> Compiler::compile(uint32_t StartAddr,
   auto NewTrace = std::make_unique<TranslatedTrace>(
       T.StartAddr, T.numInsts(), *Offset, PoolBytes, std::move(Exits),
       /*FromPersistentCache=*/false);
-  NewTrace->materialize(T.Insts);
+  NewTrace->materialize(std::move(Body));
 
   auto Added = Cache.addTrace(std::move(NewTrace));
   if (!Added)

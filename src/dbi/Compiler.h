@@ -48,11 +48,16 @@ void rebaseTranslatedImmediate(uint8_t *TraceImage, size_t ImageBytes,
 /// Compiles traces on behalf of one engine run.
 class Compiler {
 public:
+  /// \p OptFlags enables the liveness-driven dead-def elision pass
+  /// (EngineOptions::OptimizeFlags): pure defs proved dead at every
+  /// trace exit are replaced with Nop in the emitted image, and every
+  /// touched trace must pass analysis::validateTranslation against the
+  /// unmodified selection or the elision is discarded.
   Compiler(const loader::AddressSpace &Space, CodeCache &Cache,
            const CostModel &Costs, InstrumentationSpec Spec,
-           uint32_t MaxTraceInsts)
+           uint32_t MaxTraceInsts, bool OptFlags = false)
       : Space(Space), Cache(Cache), Costs(Costs), Spec(Spec),
-        MaxTraceInsts(MaxTraceInsts) {}
+        MaxTraceInsts(MaxTraceInsts), OptFlags(OptFlags) {}
 
   /// Translates the code starting at \p StartAddr into a new resident
   /// trace, charging compile cycles into \p Stats. Fails with
@@ -75,6 +80,7 @@ private:
   const CostModel &Costs;
   InstrumentationSpec Spec;
   uint32_t MaxTraceInsts;
+  bool OptFlags;
 };
 
 } // namespace dbi

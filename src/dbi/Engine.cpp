@@ -24,7 +24,7 @@ Engine::Engine(vm::Machine &M, Tool *ClientTool, EngineOptions Opts)
     : M(M), ClientTool(ClientTool), Opts(Opts),
       Cache(Opts.CodePoolBytes, Opts.DataPoolBytes),
       TheCompiler(M.space(), Cache, this->Opts.Costs, spec(),
-                  this->Opts.MaxTraceInsts) {}
+                  this->Opts.MaxTraceInsts, this->Opts.OptimizeFlags) {}
 
 ErrorOr<TranslatedTrace *> Engine::lookupOrCompile(uint32_t Pc) {
   if (TranslatedTrace *T = Cache.lookup(Pc))
@@ -107,6 +107,15 @@ Status Engine::ensureMaterialized(TranslatedTrace *T) {
       T->clearPersistedPayload();
       if (!Ready->DecodeError.ok())
         return Ready->DecodeError;
+      if (ValidateMaterialize) {
+        Status Verdict =
+            ValidateMaterialize(T->guestStart(), Ready->Body);
+        if (!Verdict.ok()) {
+          ++Stats.VerifyFailures;
+          return Verdict;
+        }
+        ++Stats.TracesVerified;
+      }
       T->materialize(std::move(Ready->Body));
       uint32_t NewPages =
           Cache.touchPages(T->poolOffset(), T->poolBytes());
@@ -136,7 +145,20 @@ Status Engine::ensureMaterialized(TranslatedTrace *T) {
       T->guestInstCount());
   if (!Body)
     return Body.status();
-  T->materialize(Body.take());
+  std::vector<Instruction> Decoded = Body.take();
+  if (ValidateMaterialize) {
+    // Deep semantic verification: the decoded (rebased) body must be
+    // effect-equivalent to the guest instructions it claims to
+    // translate. Runs before materialize so a rejected trace follows
+    // the same drop-and-retranslate path as a CRC mismatch.
+    Status Verdict = ValidateMaterialize(T->guestStart(), Decoded);
+    if (!Verdict.ok()) {
+      ++Stats.VerifyFailures;
+      return Verdict;
+    }
+    ++Stats.TracesVerified;
+  }
+  T->materialize(std::move(Decoded));
   uint32_t NewPages = Cache.touchPages(T->poolOffset(), T->poolBytes());
   Stats.PersistCycles += Opts.Costs.PersistTraceMaterializeCycles +
                          NewPages * Opts.Costs.PersistPageTouchCycles;

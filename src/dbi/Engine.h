@@ -29,6 +29,7 @@
 #include "dbi/Tool.h"
 #include "vm/Machine.h"
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -63,6 +64,13 @@ struct EngineOptions {
   bool IntermixPools = false;
   /// Reaction to a full pool.
   EvictionPolicy Eviction = EvictionPolicy::FlushAll;
+  /// Liveness-driven dead-def elision in the compilation unit: defs
+  /// that cannot be observed at any trace exit are replaced with Nop in
+  /// the translated image. Every elided trace is proved
+  /// effect-equivalent to its source by analysis::validateTranslation;
+  /// on a validator rejection the unelided translation is kept.
+  /// Architectural results are identical either way.
+  bool OptimizeFlags = false;
   CostModel Costs;
   vm::RunLimits Limits;
 };
@@ -105,6 +113,20 @@ public:
     InstallQ = std::move(Q);
   }
 
+  /// Deep-verification hook run when a persisted trace's body is
+  /// decoded (at first execution or during a synchronous/async prime),
+  /// before the trace becomes executable. Receives the trace's guest
+  /// start address and its decoded (rebased) body; a non-success
+  /// Status rejects the trace, which is then dropped and retranslated
+  /// from guest memory exactly like a payload CRC failure. Installed
+  /// by persist::Session when PersistOptions::ValidateSemantic is set;
+  /// the engine itself stays persistence-agnostic.
+  using MaterializeValidator = std::function<Status(
+      uint32_t GuestStart, const std::vector<isa::Instruction> &Body)>;
+  void setMaterializeValidator(MaterializeValidator V) {
+    ValidateMaterialize = std::move(V);
+  }
+
   /// Validates and materializes every still-pending persisted trace on
   /// the calling thread (corrupt ones are dropped for retranslation,
   /// exactly as at first execution). This is the fully synchronous
@@ -134,6 +156,8 @@ private:
   bool HasRun = false;
   /// Async-prime plumbing (null when priming is synchronous).
   std::shared_ptr<TraceInstallQueue> InstallQ;
+  /// Semantic-verification hook for persisted bodies (null = off).
+  MaterializeValidator ValidateMaterialize;
   /// Drained-but-not-yet-consumed worker results, by guest start. An
   /// entry whose trace was flushed before first execution simply goes
   /// unused; the dispatcher recompiles that PC as on a cold run.

@@ -63,6 +63,11 @@ struct EngineStats {
                                        ///< at first materialization.
   uint64_t TracesDroppedCorrupt = 0;   ///< Persisted traces whose payload
                                        ///< CRC failed; retranslated.
+  uint64_t TracesVerified = 0;    ///< Traces the translation validator
+                                  ///< proved effect-equivalent.
+  uint64_t VerifyFailures = 0;    ///< Traces the validator rejected.
+  uint64_t FlagsElided = 0;       ///< Dead pure defs replaced with Nop
+                                  ///< by the --opt-flags pass.
   /// @}
 
   /// \name Fault tolerance

@@ -231,6 +231,37 @@ Instruction pcc::isa::makeSys(uint32_t Number) {
   return Inst;
 }
 
+std::string DecodeError::toString() const {
+  return formatString("instruction %zu (byte offset %zu): %s", InstIndex,
+                      ByteOffset, Reason.c_str());
+}
+
+Status DecodeError::toStatus() const {
+  return Status::error(ErrorCode::InvalidFormat, toString());
+}
+
+DecodeResult pcc::isa::decodeBuffer(const uint8_t *Bytes,
+                                    size_t NumBytes) {
+  DecodeResult Result;
+  size_t Count = NumBytes / InstructionSize;
+  Result.Insts.reserve(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    auto Inst = Instruction::decode(Bytes + I * InstructionSize);
+    if (!Inst) {
+      Result.Error = DecodeError{I * InstructionSize, I,
+                                 Inst.status().message()};
+      return Result;
+    }
+    Result.Insts.push_back(*Inst);
+  }
+  if (NumBytes % InstructionSize != 0)
+    Result.Error = DecodeError{
+        Count * InstructionSize, Count,
+        formatString("truncated instruction: %zu trailing byte(s)",
+                     NumBytes % InstructionSize)};
+  return Result;
+}
+
 ErrorOr<std::vector<Instruction>> pcc::isa::decodeAll(const uint8_t *Bytes,
                                                       size_t Count) {
   std::vector<Instruction> Insts;
@@ -238,7 +269,9 @@ ErrorOr<std::vector<Instruction>> pcc::isa::decodeAll(const uint8_t *Bytes,
   for (size_t I = 0; I != Count; ++I) {
     auto Inst = Instruction::decode(Bytes + I * InstructionSize);
     if (!Inst)
-      return Inst.status();
+      return DecodeError{I * InstructionSize, I,
+                         Inst.status().message()}
+          .toStatus();
     Insts.push_back(*Inst);
   }
   return Insts;

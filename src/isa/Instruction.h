@@ -27,6 +27,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -84,7 +85,43 @@ Instruction makeRet();
 Instruction makeSys(uint32_t Number);
 /// @}
 
-/// Decodes \p Count instructions starting at \p Bytes.
+/// A decode failure located within a byte buffer: which instruction
+/// slot could not be decoded and why. Consumers that scan untrusted
+/// bytes (the CFG builder, `pcc-dbcheck --deep`) report this instead of
+/// aborting on truncated or garbage input.
+struct DecodeError {
+  /// Byte offset of the faulting instruction's first byte.
+  size_t ByteOffset = 0;
+  /// Instruction slot (ByteOffset / InstructionSize).
+  size_t InstIndex = 0;
+  /// Underlying cause (InvalidFormat: bad opcode/register fields, or a
+  /// trailing partial instruction).
+  std::string Reason;
+
+  /// Renders "instruction 3 (byte offset 24): ...".
+  std::string toString() const;
+  /// The error as a Status (always InvalidFormat).
+  Status toStatus() const;
+};
+
+/// The decoded prefix of a byte buffer plus why decoding stopped early,
+/// if it did.
+struct DecodeResult {
+  std::vector<Instruction> Insts; ///< Longest valid prefix.
+  std::optional<DecodeError> Error;
+
+  bool complete() const { return !Error.has_value(); }
+};
+
+/// Length-aware decoding: decodes the longest valid instruction prefix
+/// of [\p Bytes, \p Bytes + \p NumBytes), never reading past the end of
+/// the buffer. A trailing partial instruction or an invalid encoding
+/// stops decoding with a located DecodeError rather than over-reading
+/// or asserting.
+DecodeResult decodeBuffer(const uint8_t *Bytes, size_t NumBytes);
+
+/// Decodes \p Count instructions starting at \p Bytes. The error of a
+/// failed decode carries the instruction index and byte offset.
 ErrorOr<std::vector<Instruction>> decodeAll(const uint8_t *Bytes,
                                             size_t Count);
 

@@ -8,6 +8,51 @@
 using namespace pcc;
 using namespace pcc::persist;
 
+const char *
+pcc::persist::quarantineReasonCodeName(QuarantineReasonCode Code) {
+  switch (Code) {
+  case QuarantineReasonCode::Unknown:
+    return "unknown";
+  case QuarantineReasonCode::InvalidFormat:
+    return "invalid-format";
+  case QuarantineReasonCode::VersionMismatch:
+    return "version-mismatch";
+  case QuarantineReasonCode::StructuralInvalid:
+    return "structural-invalid";
+  case QuarantineReasonCode::SemanticMismatch:
+    return "semantic-mismatch";
+  }
+  return "unknown";
+}
+
+std::string
+pcc::persist::encodeQuarantineReason(QuarantineReasonCode Code,
+                                     const std::string &Detail) {
+  return std::string(quarantineReasonCodeName(Code)) + ": " + Detail;
+}
+
+QuarantineReasonCode
+pcc::persist::parseQuarantineReason(const std::string &Stored,
+                                    std::string *Detail) {
+  static constexpr QuarantineReasonCode Codes[] = {
+      QuarantineReasonCode::InvalidFormat,
+      QuarantineReasonCode::VersionMismatch,
+      QuarantineReasonCode::StructuralInvalid,
+      QuarantineReasonCode::SemanticMismatch,
+  };
+  for (QuarantineReasonCode Code : Codes) {
+    std::string Prefix = std::string(quarantineReasonCodeName(Code)) + ": ";
+    if (Stored.compare(0, Prefix.size(), Prefix) == 0) {
+      if (Detail)
+        *Detail = Stored.substr(Prefix.size());
+      return Code;
+    }
+  }
+  if (Detail)
+    *Detail = Stored;
+  return QuarantineReasonCode::Unknown;
+}
+
 ErrorOr<StoredCache> CacheStore::openKey(uint64_t LookupKey,
                                          CacheFileView::Depth D) {
   if (!exists(LookupKey))

@@ -80,6 +80,39 @@ struct StoreStats {
   uint64_t Traces = 0;
 };
 
+/// Machine-readable classification of why a cache was quarantined,
+/// recorded alongside the free-form reason so `pcc-dbcheck` and
+/// `pcc-dbstat` can distinguish a structurally broken file from one
+/// that is well-formed but semantically wrong.
+enum class QuarantineReasonCode : uint8_t {
+  /// Legacy entry or reason written outside the encoding below.
+  Unknown,
+  /// Unparseable bytes / checksum mismatch (ErrorCode::InvalidFormat).
+  InvalidFormat,
+  /// Engine or format version the reader refuses.
+  VersionMismatch,
+  /// Parsed, but the cross-record invariants do not hold.
+  StructuralInvalid,
+  /// Deep verification: a persisted trace is not effect-equivalent to
+  /// the guest code it claims to translate.
+  SemanticMismatch,
+};
+
+/// Short stable name ("semantic-mismatch") for display and encoding.
+const char *quarantineReasonCodeName(QuarantineReasonCode Code);
+
+/// Renders \p Code plus the free-form \p Detail as the string stored in
+/// a quarantine record: "<code-name>: <detail>". Older readers see a
+/// plain reason string; parseQuarantineReason() recovers the code.
+std::string encodeQuarantineReason(QuarantineReasonCode Code,
+                                   const std::string &Detail);
+
+/// Splits a stored reason string into its code and detail. Reasons
+/// written before the encoding existed (or by hand) come back as
+/// {Unknown, <whole string>}.
+QuarantineReasonCode parseQuarantineReason(const std::string &Stored,
+                                           std::string *Detail = nullptr);
+
 /// One cache sitting in a store's quarantine: pulled out of the
 /// candidate set because its contents failed validation, kept (with the
 /// failure reason) for diagnosis instead of silently skipped or
@@ -87,8 +120,11 @@ struct StoreStats {
 struct QuarantineEntry {
   /// The cache's name within the store (e.g. `<hex16>.pcc`).
   std::string Name;
-  /// Why it was quarantined, as recorded at quarantine time.
+  /// Why it was quarantined, as recorded at quarantine time (the
+  /// detail part; the code prefix is parsed off into Code).
   std::string Reason;
+  /// Parsed classification of Reason.
+  QuarantineReasonCode Code = QuarantineReasonCode::Unknown;
   uint64_t Bytes = 0;
 };
 

@@ -2,15 +2,20 @@
 
 #include "persist/DbCheck.h"
 
+#include "analysis/Validator.h"
+#include "binary/Module.h"
+#include "dbi/Compiler.h"
 #include "persist/CacheFile.h"
 #include "persist/CacheView.h"
 #include "persist/DirectoryStore.h"
+#include "persist/Key.h"
 #include "support/FileLock.h"
 #include "support/FileSystem.h"
 #include "support/StringUtils.h"
 
 #include <optional>
 #include <set>
+#include <unordered_map>
 
 using namespace pcc;
 using namespace pcc::persist;
@@ -21,13 +26,126 @@ bool isCacheFileName(const std::string &Name) {
   return Name.size() >= 4 && Name.substr(Name.size() - 4) == ".pcc";
 }
 
+/// The guest modules a --deep pass resolves cache ModuleKeys against,
+/// loaded once and shared read-only by every per-file worker.
+struct DeepContext {
+  std::unordered_map<std::string, std::shared_ptr<const binary::Module>>
+      ByPath;
+};
+
+/// Classification a store Status maps to when it sends a file to the
+/// quarantine.
+QuarantineReasonCode reasonCodeFor(const Status &S) {
+  switch (S.code()) {
+  case ErrorCode::InvalidFormat:
+    return QuarantineReasonCode::InvalidFormat;
+  case ErrorCode::VersionMismatch:
+    return QuarantineReasonCode::VersionMismatch;
+  default:
+    return QuarantineReasonCode::Unknown;
+  }
+}
+
+/// Deep semantic sweep over one (CRC-intact) cache file: every trace is
+/// symbolically validated against the guest instructions its module
+/// supplies. Fills the TracesVerified/Mismatched/Unverifiable counters
+/// and returns the first mismatch description (empty when none).
+std::string deepCheckFile(const CacheFile &File, const DeepContext &Deep,
+                          FileCheckReport &R) {
+  const size_t NumMods = File.Modules.size();
+  // Per-module relocated guest text, resolved lazily: a module whose
+  // key no longer matches its on-disk image produces unverifiable
+  // traces, never false mismatches.
+  std::vector<std::optional<std::vector<isa::Instruction>>> Text(NumMods);
+  std::vector<bool> Resolved(NumMods, false);
+  auto textOf =
+      [&](uint32_t M) -> const std::vector<isa::Instruction> * {
+    if (!Resolved[M]) {
+      Resolved[M] = true;
+      const ModuleKey &K = File.Modules[M];
+      auto It = Deep.ByPath.find(K.Path);
+      if (It != Deep.ByPath.end()) {
+        loader::LoadedModule Mapped{It->second, K.Base, K.Size};
+        ModuleKey Now = ModuleKey::compute(Mapped);
+        bool Match = File.PositionIndependent
+                         ? Now.matchesIgnoringBase(K)
+                         : Now.matches(K);
+        if (Match) {
+          // The recorded base frames both the persisted GuestStarts
+          // and the stored immediates, so the source text is rebased
+          // into that same frame.
+          std::vector<isa::Instruction> Insts =
+              It->second->instructions();
+          for (uint32_t Idx : It->second->textRelocations())
+            if (Idx < Insts.size())
+              Insts[Idx].Imm += K.Base;
+          Text[M] = std::move(Insts);
+        }
+      }
+    }
+    return Text[M] ? &*Text[M] : nullptr;
+  };
+
+  std::string FirstMismatch;
+  for (const TraceRecord &Rec : File.Traces) {
+    auto Flag = [&](const std::string &What) {
+      ++R.TracesMismatched;
+      if (FirstMismatch.empty())
+        FirstMismatch = formatString("trace @%08x: %s", Rec.GuestStart,
+                                     What.c_str());
+    };
+    const std::vector<isa::Instruction> *Insts =
+        Rec.ModuleIndex < NumMods ? textOf(Rec.ModuleIndex) : nullptr;
+    if (!Insts) {
+      ++R.TracesUnverifiable;
+      continue;
+    }
+    const uint32_t Base = File.Modules[Rec.ModuleIndex].Base;
+    if (Rec.GuestStart < Base ||
+        (Rec.GuestStart - Base) % isa::InstructionSize != 0) {
+      Flag("start address outside module text");
+      continue;
+    }
+    uint32_t First = (Rec.GuestStart - Base) / isa::InstructionSize;
+    if (First + Rec.GuestInstCount > Insts->size()) {
+      Flag("body extends past module text");
+      continue;
+    }
+    if (Rec.Code.size() < dbi::TracePrologueBytes +
+                              static_cast<size_t>(Rec.GuestInstCount) *
+                                  isa::InstructionSize) {
+      Flag("code image smaller than its instruction count");
+      continue;
+    }
+    auto Translated =
+        isa::decodeAll(Rec.Code.data() + dbi::TracePrologueBytes,
+                       Rec.GuestInstCount);
+    if (!Translated) {
+      Flag(Translated.status().message());
+      continue;
+    }
+    std::vector<isa::Instruction> Source(
+        Insts->begin() + First,
+        Insts->begin() + First + Rec.GuestInstCount);
+    auto Check = analysis::validateTranslation(Rec.GuestStart, Source,
+                                               *Translated);
+    if (!Check.Equivalent) {
+      Flag(Check.message());
+      continue;
+    }
+    ++R.TracesVerified;
+  }
+  return FirstMismatch;
+}
+
 /// Checks (and with \p Repair, fixes) one cache file. nullopt when the
 /// file vanished between the listing and the open — a concurrent
 /// retire/quarantine, not a problem.
 std::optional<FileCheckReport> checkFile(DirectoryStore &Store,
                                          const std::string &Dir,
                                          const std::string &Name,
-                                         bool Repair) {
+                                         bool Repair,
+                                         const DeepContext *Deep) {
   using FileState = FileCheckReport::FileState;
   FileCheckReport R;
   R.Name = Name;
@@ -35,12 +153,40 @@ std::optional<FileCheckReport> checkFile(DirectoryStore &Store,
 
   // Shared disposition for contents we cannot (or may not) fix in
   // place: I/O failures are never repair material, everything else is
-  // quarantined under --repair and merely reported otherwise.
-  auto Condemn = [&](const Status &Why) {
+  // quarantined under --repair (with \p Code recorded machine-readably)
+  // and merely reported otherwise.
+  auto Condemn = [&](const Status &Why, QuarantineReasonCode Code) {
     R.Detail = Why.toString();
     if (Why.code() == ErrorCode::IoError)
       R.State = FileState::Unreadable;
-    else if (Repair && Store.quarantineRef(Path, R.Detail).ok())
+    else if (Repair &&
+             Store
+                 .quarantineRef(Path,
+                                encodeQuarantineReason(Code, R.Detail))
+                 .ok())
+      R.State = FileState::Quarantined;
+    else
+      R.State = FileState::Corrupt;
+  };
+
+  // Deep semantic sweep, shared by the v1 and v2 clean paths. Returns
+  // the final file state: a mismatch makes the file corrupt (or
+  // quarantined under Repair — semantically wrong code must leave the
+  // candidate set even though every checksum is fine).
+  auto DeepVerdict = [&](const CacheFile &File) {
+    std::string Mismatch = deepCheckFile(File, *Deep, R);
+    if (R.TracesMismatched == 0) {
+      R.State = FileState::Clean;
+      return;
+    }
+    R.Detail = Mismatch;
+    if (Repair &&
+        Store
+            .quarantineRef(
+                Path, encodeQuarantineReason(
+                          QuarantineReasonCode::SemanticMismatch,
+                          Mismatch))
+            .ok())
       R.State = FileState::Quarantined;
     else
       R.State = FileState::Corrupt;
@@ -57,7 +203,7 @@ std::optional<FileCheckReport> checkFile(DirectoryStore &Store,
     if (!View) {
       if (View.status().code() == ErrorCode::NotFound)
         return std::nullopt;
-      Condemn(View.status());
+      Condemn(View.status(), reasonCodeFor(View.status()));
       return R;
     }
     CacheFile Out;
@@ -85,7 +231,11 @@ std::optional<FileCheckReport> checkFile(DirectoryStore &Store,
       // are all intact can still carry nonsense (out-of-range exits,
       // duplicate starts) if its writer was buggy.
       if (Status V = Out.validate(); !V.ok()) {
-        Condemn(V);
+        Condemn(V, QuarantineReasonCode::StructuralInvalid);
+        return R;
+      }
+      if (Deep) {
+        DeepVerdict(Out);
         return R;
       }
       R.State = FileState::Clean;
@@ -107,7 +257,8 @@ std::optional<FileCheckReport> checkFile(DirectoryStore &Store,
         if (E.LinkedStart != 0 && !Kept.count(E.LinkedStart))
           E.LinkedStart = 0;
     if (Status V = Out.validate(); !V.ok()) {
-      Condemn(V); // Damage beyond the payloads: not salvageable.
+      // Damage beyond the payloads: not salvageable.
+      Condemn(V, QuarantineReasonCode::StructuralInvalid);
       return R;
     }
     if (Status W =
@@ -127,19 +278,23 @@ std::optional<FileCheckReport> checkFile(DirectoryStore &Store,
   if (!Bytes) {
     if (Bytes.status().code() == ErrorCode::NotFound)
       return std::nullopt;
-    Condemn(Bytes.status());
+    Condemn(Bytes.status(), reasonCodeFor(Bytes.status()));
     return R;
   }
   auto File = CacheFile::deserialize(*Bytes);
   if (!File) {
-    Condemn(File.status());
+    Condemn(File.status(), reasonCodeFor(File.status()));
     return R;
   }
   if (Status V = File->validate(); !V.ok()) {
-    Condemn(V);
+    Condemn(V, QuarantineReasonCode::StructuralInvalid);
     return R;
   }
   R.TracesKept = static_cast<uint32_t>(File->Traces.size());
+  if (Deep) {
+    DeepVerdict(*File);
+    return R;
+  }
   R.State = FileState::Clean;
   return R;
 }
@@ -185,6 +340,27 @@ pcc::persist::checkDatabase(const std::string &Dir,
     StoreLock = Lock.take();
   }
 
+  // --deep needs the guest modules; load them once up front. A module
+  // file the operator explicitly named but we cannot read or parse is
+  // a whole-pass error, not a per-file one.
+  DeepContext Deep;
+  if (Opts.Deep) {
+    for (const std::string &ModPath : Opts.ModulePaths) {
+      auto Bytes = readFile(ModPath);
+      if (!Bytes)
+        return Status::error(ErrorCode::IoError,
+                             "cannot read module file " + ModPath);
+      auto Mod = binary::Module::deserialize(*Bytes);
+      if (!Mod)
+        return Status::error(ErrorCode::InvalidFormat,
+                             "cannot parse module file " + ModPath +
+                                 ": " + Mod.status().message());
+      auto Shared =
+          std::make_shared<const binary::Module>(Mod.take());
+      Deep.ByPath[Shared->path()] = Shared;
+    }
+  }
+
   auto Names = listDirectory(Dir);
   if (!Names)
     return Names.status();
@@ -210,7 +386,8 @@ pcc::persist::checkDatabase(const std::string &Dir,
   // report byte-identical for any worker count.
   std::vector<std::optional<FileCheckReport>> Checked(CacheNames.size());
   auto CheckOne = [&](size_t I) {
-    Checked[I] = checkFile(Store, Dir, CacheNames[I], Opts.Repair);
+    Checked[I] = checkFile(Store, Dir, CacheNames[I], Opts.Repair,
+                           Opts.Deep ? &Deep : nullptr);
   };
   if (Opts.Pool && Opts.Pool->workerCount() > 0)
     Opts.Pool->parallelFor(CacheNames.size(), CheckOne);
@@ -223,6 +400,9 @@ pcc::persist::checkDatabase(const std::string &Dir,
       continue; // Vanished mid-scan (concurrent retire).
     ++Report.FilesScanned;
     Report.TracesDropped += R->TracesDropped;
+    Report.TracesVerified += R->TracesVerified;
+    Report.TracesMismatched += R->TracesMismatched;
+    Report.TracesUnverifiable += R->TracesUnverifiable;
     switch (R->State) {
     case FileState::Clean:
       ++Report.FilesClean;

@@ -49,6 +49,19 @@ struct DbCheckOptions {
   /// aggregated in listing order, so the DbCheckReport is identical
   /// for any worker count.
   support::ThreadPool *Pool = nullptr;
+  /// Deep semantic verification: after the CRC pass, every intact
+  /// trace is symbolically revalidated against its module's guest code
+  /// (analysis::validateTranslation) — catching miscompiles and
+  /// tampered payloads whose checksums are perfectly fine. Needs the
+  /// guest modules, supplied via ModulePaths. Traces whose module is
+  /// not supplied (or no longer matches its recorded key) are counted
+  /// unverifiable, not failed. A file with mismatches is corrupt;
+  /// under Repair it is quarantined with
+  /// QuarantineReasonCode::SemanticMismatch.
+  bool Deep = false;
+  /// Serialized binary::Module files resolving the cache module keys
+  /// for --deep, matched by recorded module path.
+  std::vector<std::string> ModulePaths;
 };
 
 /// What the check found for (and possibly did to) one cache file.
@@ -66,6 +79,12 @@ struct FileCheckReport {
   std::string Detail; ///< First failure observed (empty when clean).
   uint32_t TracesKept = 0;
   uint32_t TracesDropped = 0; ///< Payload-CRC failures in this file.
+  /// \name Deep-verification results (--deep passes only)
+  /// @{
+  uint32_t TracesVerified = 0;     ///< Proved effect-equivalent.
+  uint32_t TracesMismatched = 0;   ///< Failed semantic validation.
+  uint32_t TracesUnverifiable = 0; ///< Module missing or key changed.
+  /// @}
 };
 
 /// Aggregate result of one check/repair pass.
@@ -78,6 +97,10 @@ struct DbCheckReport {
   uint32_t FilesRepaired = 0;
   uint32_t FilesQuarantined = 0;
   uint32_t TracesDropped = 0;
+  /// Deep-verification aggregates (zero unless Opts.Deep).
+  uint32_t TracesVerified = 0;
+  uint32_t TracesMismatched = 0;
+  uint32_t TracesUnverifiable = 0;
 
   /// Writer-crash temporaries (`*.tmp.<pid>-<n>`) in the directory.
   uint32_t TempsFound = 0;
@@ -97,7 +120,7 @@ struct DbCheckReport {
   /// corrupt or unreadable remains and no crash temporaries linger.
   bool clean() const {
     return FilesCorrupt == 0 && FilesUnreadable == 0 &&
-           TempsFound == TempsSwept;
+           TracesMismatched == 0 && TempsFound == TempsSwept;
   }
 };
 

@@ -399,7 +399,11 @@ ErrorOr<uint32_t> DirectoryStore::shrinkTo(uint64_t MaxBytes) {
   for (auto &E : Entries) {
     if (!E.Corrupt)
       continue;
-    if (quarantineRef(E.Path, "failed validation during shrink").ok() ||
+    if (quarantineRef(E.Path,
+                      encodeQuarantineReason(
+                          QuarantineReasonCode::InvalidFormat,
+                          "failed validation during shrink"))
+            .ok() ||
         removeFile(E.Path).ok()) {
       Total -= E.Size;
       E.Size = 0;
@@ -466,8 +470,10 @@ ErrorOr<std::vector<QuarantineEntry>> DirectoryStore::quarantined() {
       continue; // A crashed reason write, not a quarantined cache.
     QuarantineEntry E;
     E.Name = Name;
-    if (auto Reason = readFile(quarantineDir() + "/" + Name + ".reason"))
-      E.Reason.assign(Reason->begin(), Reason->end());
+    if (auto Reason = readFile(quarantineDir() + "/" + Name + ".reason")) {
+      std::string Stored(Reason->begin(), Reason->end());
+      E.Code = parseQuarantineReason(Stored, &E.Reason);
+    }
     if (auto Size = fileSize(quarantineDir() + "/" + Name))
       E.Bytes = *Size;
     Entries.push_back(std::move(E));
@@ -537,7 +543,10 @@ void DirectoryStore::maybeAutoQuarantine(const std::string &Ref,
         !File && File.status().code() == ErrorCode::InvalidFormat;
   }
   if (StillCorrupt)
-    (void)quarantineRef(Ref, Failure.toString());
+    (void)quarantineRef(Ref,
+                        encodeQuarantineReason(
+                            QuarantineReasonCode::InvalidFormat,
+                            Failure.message()));
 }
 
 std::vector<LockInfo> DirectoryStore::locks() const {

@@ -73,7 +73,10 @@ ErrorOr<StoredCache> MemoryStore::openRef(const std::string &Ref,
     // contents move to the quarantine; mismatched versions stay.
     if (AutoQuarantine && S.code() == ErrorCode::InvalidFormat) {
       std::lock_guard<std::mutex> Guard(Mutex);
-      quarantineLocked(Ref, S.toString());
+      quarantineLocked(Ref,
+                       encodeQuarantineReason(
+                           QuarantineReasonCode::InvalidFormat,
+                           S.message()));
     }
     return S;
   };
@@ -206,7 +209,7 @@ ErrorOr<std::vector<QuarantineEntry>> MemoryStore::quarantined() {
   for (const auto &[Name, Image] : Quarantine) {
     QuarantineEntry E;
     E.Name = Name;
-    E.Reason = Image.Reason;
+    E.Code = parseQuarantineReason(Image.Reason, &E.Reason);
     E.Bytes = Image.Bytes.size();
     Entries.push_back(std::move(E));
   }
@@ -262,7 +265,10 @@ ErrorOr<uint32_t> MemoryStore::shrinkTo(uint64_t MaxBytes) {
   for (auto &E : Entries) {
     if (!E.Corrupt)
       continue;
-    quarantineLocked(E.Ref, "failed validation during shrink");
+    quarantineLocked(E.Ref,
+                     encodeQuarantineReason(
+                         QuarantineReasonCode::InvalidFormat,
+                         "failed validation during shrink"));
     Total -= E.Size;
     E.Size = 0;
     ++Removed;

@@ -2,6 +2,7 @@
 
 #include "persist/Session.h"
 
+#include "analysis/Validator.h"
 #include "support/FileSystem.h"
 #include "support/Hashing.h"
 
@@ -53,6 +54,28 @@ static void rebaseImmediate(std::vector<uint8_t> &Code, uint32_t InstIndex,
                             int64_t Delta) {
   dbi::rebaseTranslatedImmediate(Code.data(), Code.size(), InstIndex,
                                  Delta);
+}
+
+/// Reads and decodes \p Count guest instructions starting at \p Start
+/// from the live address space — the source side of a deep semantic
+/// verification.
+static ErrorOr<std::vector<isa::Instruction>>
+fetchGuestSource(const loader::AddressSpace &Space, uint32_t Start,
+                 uint32_t Count) {
+  std::vector<isa::Instruction> Out;
+  Out.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    uint8_t Bytes[isa::InstructionSize];
+    Status S = Space.fetchInstructionBytes(
+        Start + I * isa::InstructionSize, Bytes);
+    if (!S.ok())
+      return S;
+    auto Inst = isa::Instruction::decode(Bytes);
+    if (!Inst)
+      return Inst.status();
+    Out.push_back(*Inst);
+  }
+  return Out;
 }
 
 ErrorOr<StoredCache>
@@ -168,6 +191,42 @@ ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
     if (!S.ok())
       return S;
     LoadedCache = std::move(Source->Eager);
+  }
+  if (Opts.ValidateSemantic) {
+    // Deep verification at materialization: whenever a primed trace's
+    // body is decoded (first execution, prevalidation, or a background
+    // worker's result being consumed), it must prove effect-equivalent
+    // to the guest instructions at its start address. A mismatch drops
+    // the trace for retranslation — and, once per session, quarantines
+    // the source cache so later runs stop re-priming a miscompiled
+    // database.
+    std::shared_ptr<CacheStore> StorePtr = Db.backend();
+    auto AlreadyQuarantined = std::make_shared<bool>(false);
+    std::string Ref = Result.CachePath;
+    loader::AddressSpace &Space = Engine.machine().space();
+    Engine.setMaterializeValidator(
+        [&Space, StorePtr, AlreadyQuarantined,
+         Ref](uint32_t GuestStart,
+              const std::vector<isa::Instruction> &Body) -> Status {
+          auto Source = fetchGuestSource(
+              Space, GuestStart, static_cast<uint32_t>(Body.size()));
+          if (!Source)
+            return Source.status();
+          auto Check =
+              analysis::validateTranslation(GuestStart, *Source, Body);
+          if (Check.Equivalent)
+            return Status::success();
+          if (!*AlreadyQuarantined && !Ref.empty()) {
+            *AlreadyQuarantined = true;
+            (void)StorePtr->quarantineRef(
+                Ref, encodeQuarantineReason(
+                         QuarantineReasonCode::SemanticMismatch,
+                         Check.message()));
+          }
+          return Status::error(ErrorCode::InvalidFormat,
+                               "translation validation failed: " +
+                                   Check.message());
+        });
   }
   if (Opts.EagerValidate)
     Engine.prevalidatePersistedTraces();
@@ -699,6 +758,34 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
     return -1;
   };
 
+  // Deep verification at write-back (Opts.ValidateSemantic): never
+  // sign a trace whose code image is no longer effect-equivalent to
+  // the guest code it claims to translate — in-pool corruption would
+  // otherwise be re-published under a fresh checksum. A mismatch skips
+  // just that trace.
+  const loader::AddressSpace &Space = Engine.machine().space();
+  auto semanticallyValid = [&](const TraceRecord &Rec) -> bool {
+    if (!Opts.ValidateSemantic)
+      return true;
+    auto Translated =
+        isa::decodeAll(Rec.Code.data() + dbi::TracePrologueBytes,
+                       Rec.GuestInstCount);
+    auto Source =
+        Translated ? fetchGuestSource(Space, Rec.GuestStart,
+                                      Rec.GuestInstCount)
+                   : ErrorOr<std::vector<isa::Instruction>>(
+                         Translated.status());
+    if (!Translated || !Source ||
+        !analysis::validateTranslation(Rec.GuestStart, *Source,
+                                       *Translated)
+             .Equivalent) {
+      ++Engine.stats().VerifyFailures;
+      return false;
+    }
+    ++Engine.stats().TracesVerified;
+    return true;
+  };
+
   for (const auto &T : Cache.traces()) {
     int ModIndex = moduleIndexFor(T->guestStart());
     if (ModIndex < 0)
@@ -729,6 +816,8 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
             rebaseImmediate(Rec.Code, I, P->RebaseDelta);
       if (Opts.PositionIndependent)
         Rec.RelocMask = P->RelocMask;
+      if (!semanticallyValid(Rec))
+        continue;
       File.Traces.push_back(std::move(Rec));
       continue;
     }
@@ -753,6 +842,8 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
           Rec.setRelocBit(I);
       }
     }
+    if (!semanticallyValid(Rec))
+      continue;
     File.Traces.push_back(std::move(Rec));
   }
 

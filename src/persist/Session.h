@@ -98,6 +98,15 @@ struct PersistOptions {
   /// once, so this mode is for latency measurement, not stats
   /// comparison.
   bool EagerValidate = false;
+  /// Deep semantic verification (analysis::validateTranslation): every
+  /// primed trace must prove effect-equivalent to the guest code it
+  /// claims to translate when its body is first decoded, and finalize()
+  /// re-proves every trace it writes back. A primed trace that fails is
+  /// dropped for retranslation and its source cache is quarantined with
+  /// QuarantineReasonCode::SemanticMismatch; a finalize-time failure
+  /// skips just that trace. Verified/failed counts land in
+  /// EngineStats::TracesVerified / VerifyFailures.
+  bool ValidateSemantic = false;
 };
 
 /// What prime() did, for reporting and tests.

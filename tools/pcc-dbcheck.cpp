@@ -18,6 +18,14 @@
 //   pcc-dbcheck DIR --jobs N           check (or repair) N cache files
 //                                      in parallel; the report is
 //                                      identical for any N
+//   pcc-dbcheck DIR --deep \
+//       --module FILE | --modules MDIR deep semantic verification: every
+//                                      CRC-intact trace is symbolically
+//                                      revalidated against its module's
+//                                      guest code; mismatched caches are
+//                                      corrupt (quarantined under
+//                                      --repair with reason code
+//                                      semantic-mismatch)
 //
 // Exit status: 0 when the database is (now) clean, 1 when problems were
 // found (or remain after repair), 2 on usage errors.
@@ -26,6 +34,7 @@
 
 #include "persist/CacheDatabase.h"
 #include "persist/DbCheck.h"
+#include "support/FileSystem.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
@@ -34,6 +43,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 using namespace pcc;
 using namespace pcc::persist;
@@ -50,9 +61,10 @@ static int listQuarantine(const CacheDatabase &Db) {
     return 0;
   }
   TablePrinter Table("quarantined caches");
-  Table.addRow({"file", "size", "reason"});
+  Table.addRow({"file", "size", "code", "reason"});
   for (const QuarantineEntry &E : *Entries)
     Table.addRow({E.Name, formatByteSize(E.Bytes),
+                  quarantineReasonCodeName(E.Code),
                   E.Reason.empty() ? "-" : E.Reason});
   Table.print();
   return 0;
@@ -64,7 +76,10 @@ int main(int Argc, char **Argv) {
   bool Repair = false;
   bool Quarantine = false;
   bool Purge = false;
+  bool Deep = false;
   unsigned Jobs = 1;
+  std::vector<std::string> ModulePaths;
+  std::vector<std::string> ModuleDirs;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--repair") == 0)
       Repair = true;
@@ -76,6 +91,12 @@ int main(int Argc, char **Argv) {
       Restore = Argv[++I];
     else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
       Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 0));
+    else if (std::strcmp(Argv[I], "--deep") == 0)
+      Deep = true;
+    else if (std::strcmp(Argv[I], "--module") == 0 && I + 1 < Argc)
+      ModulePaths.push_back(Argv[++I]);
+    else if (std::strcmp(Argv[I], "--modules") == 0 && I + 1 < Argc)
+      ModuleDirs.push_back(Argv[++I]);
     else if (std::strcmp(Argv[I], "--help") == 0) {
       std::printf(
           "usage: pcc-dbcheck DIR [--repair | --quarantine | "
@@ -90,6 +111,12 @@ int main(int Argc, char **Argv) {
           "  --purge-quarantine delete every quarantined cache\n"
           "  --jobs N           check N cache files in parallel (the\n"
           "                     report is identical for any N)\n"
+          "  --deep             semantic verification: prove every\n"
+          "                     CRC-intact trace effect-equivalent to\n"
+          "                     its module's guest code (needs --module\n"
+          "                     or --modules)\n"
+          "  --module FILE      serialized guest module for --deep\n"
+          "  --modules MDIR     directory of .mod module files\n"
           "exit status: 0 clean, 1 problems found/remaining, 2 usage\n");
       return 0;
     } else if (!Dir)
@@ -132,6 +159,28 @@ int main(int Argc, char **Argv) {
 
   DbCheckOptions Opts;
   Opts.Repair = Repair;
+  if (Deep) {
+    Opts.Deep = true;
+    for (const std::string &MDir : ModuleDirs) {
+      auto Names = listDirectory(MDir);
+      if (!Names) {
+        std::fprintf(stderr, "pcc-dbcheck: cannot list %s: %s\n",
+                     MDir.c_str(), Names.status().toString().c_str());
+        return 2;
+      }
+      for (const std::string &Name : *Names)
+        if (Name.size() >= 4 &&
+            Name.substr(Name.size() - 4) == ".mod")
+          ModulePaths.push_back(MDir + "/" + Name);
+    }
+    if (ModulePaths.empty()) {
+      std::fprintf(stderr,
+                   "pcc-dbcheck: --deep needs at least one --module "
+                   "FILE or --modules MDIR with .mod files\n");
+      return 2;
+    }
+    Opts.ModulePaths = ModulePaths;
+  }
   std::unique_ptr<support::ThreadPool> Pool;
   if (Jobs > 1) {
     Pool = std::make_unique<support::ThreadPool>(Jobs);
@@ -170,6 +219,11 @@ int main(int Argc, char **Argv) {
   if (Report->TracesDropped)
     std::printf("  traces       %u corrupt payload(s) dropped\n",
                 Report->TracesDropped);
+  if (Deep)
+    std::printf("  deep verify  %u trace(s) proved equivalent, "
+                "%u mismatched, %u unverifiable\n",
+                Report->TracesVerified, Report->TracesMismatched,
+                Report->TracesUnverifiable);
   if (Report->TempsFound)
     std::printf("  temporaries  %u found, %u swept\n", Report->TempsFound,
                 Report->TempsSwept);

@@ -207,9 +207,25 @@ int main(int Argc, char **Argv) {
               Stats->CorruptFiles);
   if (Stats->UnreadableFiles != 0)
     std::printf("  unreadable    %u\n", Stats->UnreadableFiles);
-  if (Stats->QuarantinedFiles != 0)
+  if (Stats->QuarantinedFiles != 0) {
     std::printf("  quarantined   %u (pcc-dbcheck --quarantine to list)\n",
                 Stats->QuarantinedFiles);
+    // Break the quarantine down by machine-readable reason code, so a
+    // semantic-mismatch epidemic is visible at a glance.
+    uint32_t ByCode[5] = {};
+    if (auto Entries = Db.quarantined()) {
+      for (const QuarantineEntry &E : *Entries)
+        ByCode[static_cast<uint8_t>(E.Code) < 5
+                   ? static_cast<uint8_t>(E.Code)
+                   : 0]++;
+      for (uint8_t C = 0; C < 5; ++C)
+        if (ByCode[C] != 0)
+          std::printf("    %-18s %u\n",
+                      quarantineReasonCodeName(
+                          static_cast<QuarantineReasonCode>(C)),
+                      ByCode[C]);
+    }
+  }
   std::printf("  on disk       %s\n",
               formatByteSize(Stats->DiskBytes).c_str());
   std::printf("  traces        %llu\n",

@@ -15,6 +15,14 @@
 //     --inter-app          allow priming from another app's cache
 //     --pic                position-independent translations
 //     --read-only          do not write the cache back
+//     --opt-flags          liveness-driven dead-flag-def elision; each
+//                          touched trace is proved effect-equivalent by
+//                          the translation validator before the
+//                          optimized body is accepted
+//     --validate           deep semantic verification (persist mode):
+//                          primed traces are revalidated against the
+//                          guest code at first decode and finalize
+//                          re-proves every trace it writes back
 //     --aslr SEED          randomized library bases
 //     --stats              print the engine cycle breakdown
 //     --disasm             print the app module and exit
@@ -59,6 +67,8 @@ int usage(int Code) {
       "  --lib FILE   --mode native|engine|persist   --tool NAME\n"
       "  --db DIR     --work S:I,S:I   --inter-app   --pic\n"
       "  --read-only  --aslr SEED      --stats       --disasm\n"
+      "  --opt-flags  validated dead-flag-def elision\n"
+      "  --validate   deep semantic trace verification (persist)\n"
       "  --fault-plan PLAN  (e.g. enospc:0.1,fsync:0.1,lock:0.25)\n"
       "  --jobs N     persistence pipeline worker threads (persist "
       "mode)\n");
@@ -119,6 +129,13 @@ void printStats(const dbi::EngineStats &S) {
               (unsigned long long)S.TraceExecutions,
               (unsigned long long)S.LinksCreated,
               (unsigned long long)S.CacheFlushes);
+  if (S.TracesVerified != 0 || S.VerifyFailures != 0 ||
+      S.FlagsElided != 0)
+    std::printf("  validation: %llu traces proved equivalent, %llu "
+                "rejected, %llu dead defs elided\n",
+                (unsigned long long)S.TracesVerified,
+                (unsigned long long)S.VerifyFailures,
+                (unsigned long long)S.FlagsElided);
 }
 
 } // namespace
@@ -133,6 +150,7 @@ int main(int Argc, char **Argv) {
   std::string FaultPlan;
   bool InterApp = false, Pic = false, ReadOnly = false;
   bool Stats = false, Disasm = false;
+  bool OptFlags = false, Validate = false;
   uint64_t AslrSeed = 0;
   bool Randomized = false;
   unsigned Jobs = 1;
@@ -191,6 +209,10 @@ int main(int Argc, char **Argv) {
       Pic = true;
     else if (Arg == "--read-only")
       ReadOnly = true;
+    else if (Arg == "--opt-flags")
+      OptFlags = true;
+    else if (Arg == "--validate")
+      Validate = true;
     else if (Arg == "--stats")
       Stats = true;
     else if (Arg == "--disasm")
@@ -271,6 +293,9 @@ int main(int Argc, char **Argv) {
   dbi::EngineStats EngineStats;
   bool HaveStats = false;
 
+  dbi::EngineOptions EngineOpts;
+  EngineOpts.OptimizeFlags = OptFlags;
+
   if (Mode == "native") {
     auto R = workloads::runNative(Registry, *App, Input);
     if (!R) {
@@ -281,8 +306,7 @@ int main(int Argc, char **Argv) {
     Run = R.take();
   } else if (Mode == "engine") {
     auto R = workloads::runUnderEngine(Registry, *App, Input,
-                                       Tool.get(),
-                                       dbi::EngineOptions(), Policy,
+                                       Tool.get(), EngineOpts, Policy,
                                        AslrSeed);
     if (!R) {
       std::fprintf(stderr, "pccrun: %s\n",
@@ -298,6 +322,7 @@ int main(int Argc, char **Argv) {
     Opts.InterApplication = InterApp;
     Opts.PositionIndependent = Pic;
     Opts.WriteBack = !ReadOnly;
+    Opts.ValidateSemantic = Validate;
     // The pool outlives the run: runPersistent's session waits for the
     // background publish and any in-flight payload jobs before it
     // returns, so destruction order here is safe. Background priority:
@@ -310,8 +335,8 @@ int main(int Argc, char **Argv) {
       Opts.Pool = Pool.get();
     }
     auto R = workloads::runPersistent(Registry, *App, Input, Db, Opts,
-                                      Tool.get(), dbi::EngineOptions(),
-                                      Policy, AslrSeed);
+                                      Tool.get(), EngineOpts, Policy,
+                                      AslrSeed);
     if (!R) {
       std::fprintf(stderr, "pccrun: %s\n",
                    R.status().toString().c_str());
