@@ -279,22 +279,120 @@ void BM_PrimeCold(benchmark::State &State) {
   PrimeFixture &F = primeFixture();
   persist::PersistOptions ReadOnly;
   ReadOnly.WriteBack = false;
+  // A residency map observes which payload pages the partial run
+  // actually faults in: lazy validation means only the executed traces'
+  // pages are touched, and that count is the modeled I/O bill of
+  // getting to the first N traces (the paper's "disk I/O occurs based
+  // on the access pattern of the executing code").
+  persist::SharedResidencyMap Touched;
+  ReadOnly.SharedResidency = &Touched;
   uint64_t Installed = 0;
   uint64_t Materialized = 0;
+  uint64_t PagesTouched = 0;
   for (auto _ : State) {
+    Touched.clear(); // Fresh process model each iteration.
     auto R = workloads::runPersistent(F.Registry, F.App, F.WarmInput,
                                       F.Db, ReadOnly);
     if (R) {
       Installed = R->Prime.TracesInstalled;
       Materialized = R->Stats.TracePayloadsValidated;
+      PagesTouched = Touched.residentPages();
     }
     benchmark::DoNotOptimize(R);
   }
   State.SetLabel(formatString(
-      "%llu traces primed, %llu payloads validated",
-      (unsigned long long)Installed, (unsigned long long)Materialized));
+      "%llu traces primed, %llu payloads validated, "
+      "%llu pages touched to first %llu traces",
+      (unsigned long long)Installed, (unsigned long long)Materialized,
+      (unsigned long long)PagesTouched,
+      (unsigned long long)Materialized));
 }
 BENCHMARK(BM_PrimeCold);
+
+/// Fixture for the execute-in-place prime benchmark: the PrimeFixture
+/// application persisted twice — once as a materializing v2 cache and
+/// once as an XIP v3 generation — so the two warm-prime mechanisms are
+/// measured over identical trace populations.
+struct XipPrimeFixture {
+  loader::ModuleRegistry Registry;
+  std::shared_ptr<binary::Module> App;
+  bench::ScratchDir MatDir{"pcc-bench-xip-mat"};
+  bench::ScratchDir XipDir{"pcc-bench-xip"};
+  persist::CacheDatabase MatDb{MatDir.path()};
+  persist::CacheDatabase XipDb{XipDir.path()};
+  std::vector<uint8_t> WarmInput;
+
+  XipPrimeFixture() {
+    workloads::AppDef Def;
+    Def.Name = "xip";
+    Def.Path = "/bin/xip";
+    for (uint32_t I = 0; I != 208; ++I) {
+      workloads::RegionDef Region;
+      Region.Name = "x" + std::to_string(I);
+      Region.Blocks = 32;
+      Region.InstsPerBlock = 10;
+      Region.Seed = I + 701;
+      Def.Slots.push_back(
+          workloads::FunctionSlot::local(std::move(Region)));
+    }
+    App = workloads::buildExecutable(Def);
+    std::vector<workloads::WorkItem> All;
+    for (uint32_t I = 0; I != 208; ++I)
+      All.push_back(workloads::WorkItem{I, 1});
+    auto Input = workloads::encodeWorkload(All);
+    persist::PersistOptions Mat;
+    Mat.PositionIndependent = true;
+    bench::mustOk(
+        workloads::runPersistent(Registry, App, Input, MatDb, Mat),
+        "cold run populating the materializing xip-bench cache");
+    persist::PersistOptions Xip = Mat;
+    Xip.ExecuteInPlace = true;
+    bench::mustOk(
+        workloads::runPersistent(Registry, App, Input, XipDb, Xip),
+        "cold run populating the xip-bench cache");
+    std::vector<workloads::WorkItem> Few;
+    for (uint32_t I = 0; I != 2; ++I)
+      Few.push_back(workloads::WorkItem{I, 1});
+    WarmInput = workloads::encodeWorkload(Few);
+  }
+};
+
+XipPrimeFixture &xipPrimeFixture() {
+  static XipPrimeFixture F;
+  return F;
+}
+
+/// Warm prime + partial run over the same trace population, Arg 0 via
+/// the materializing path (every installed trace's payload copied into
+/// the private code pool) and Arg 1 execute-in-place (the payload
+/// section borrowed as mapped executable bodies — zero per-trace
+/// decode/copy charges at prime). The label reports the copy bill.
+void BM_XipPrime(benchmark::State &State) {
+  XipPrimeFixture &F = xipPrimeFixture();
+  const bool Xip = State.range(0) != 0;
+  persist::PersistOptions Opts;
+  Opts.PositionIndependent = true;
+  Opts.ExecuteInPlace = Xip;
+  Opts.WriteBack = false;
+  uint64_t Installed = 0;
+  uint64_t BytesCopied = 0;
+  for (auto _ : State) {
+    auto R = workloads::runPersistent(F.Registry, F.App, F.WarmInput,
+                                      Xip ? F.XipDb : F.MatDb, Opts);
+    if (!R || !R->Prime.CacheFound || R->Prime.XipInstalled != Xip)
+      std::abort();
+    Installed = R->Prime.TracesInstalled;
+    BytesCopied = R->Prime.PayloadBytesCopied;
+    benchmark::DoNotOptimize(R);
+  }
+  if (Xip && BytesCopied != 0)
+    std::abort();
+  State.SetLabel(formatString(
+      "%s, %llu traces primed, %llu payload bytes copied",
+      Xip ? "execute-in-place" : "materializing",
+      (unsigned long long)Installed, (unsigned long long)BytesCopied));
+}
+BENCHMARK(BM_XipPrime)->Arg(0)->Arg(1);
 
 /// Fixture for the prime/execution overlap benchmark: the same scale of
 /// application as PrimeFixture, but traced with MaxTraceInsts = 64.

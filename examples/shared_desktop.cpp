@@ -8,12 +8,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dbi/CostModel.h"
+#include "persist/Residency.h"
 #include "persist/Session.h"
 #include "support/FileSystem.h"
 #include "workloads/Gui.h"
 #include "workloads/Runner.h"
 
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #define PCC_HAVE_FORK 1
@@ -118,6 +122,92 @@ int main() {
                 StormStats->CacheFiles, StormStats->CorruptFiles,
                 (unsigned long long)StormStats->Traces);
 #endif
+
+  // Execute-in-place login storm. First migrate every app's cache to an
+  // XIP (v3) generation — one run per app, finalized position-
+  // independent with a page-aligned payload — then launch 120 simulated
+  // desktop processes at once, every one priming by mmap instead of
+  // decode+copy. The shared residency map models the OS page cache:
+  // only the first toucher of each payload page pays demand-paged I/O,
+  // everyone else takes a soft fault on the one physical copy.
+  std::printf("\nxip login storm: migrating caches to execute-in-place "
+              "(v3)...\n");
+  persist::PersistOptions XipOpts = Opts;
+  XipOpts.PositionIndependent = true;
+  XipOpts.ExecuteInPlace = true;
+  for (const workloads::GuiApp &App : Suite.Apps) {
+    auto R = workloads::runPersistent(Suite.Registry, App.App,
+                                      App.StartupInput, Db, XipOpts);
+    if (!R)
+      return 1;
+  }
+
+  const unsigned NumProcesses = 120;
+  std::printf("  %u concurrent simulated processes, one shared page "
+              "cache...\n",
+              NumProcesses);
+  persist::SharedResidencyMap PageCache;
+  persist::PersistOptions StormOpts = XipOpts;
+  StormOpts.WriteBack = false; // Readers: the generation stays stable.
+  StormOpts.SharedResidency = &PageCache;
+
+  struct ProcessResult {
+    bool Ok = false;
+    bool Xip = false;
+    uint64_t SharedHits = 0;
+    uint64_t PersistCycles = 0;
+  };
+  std::vector<ProcessResult> Results(NumProcesses);
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumProcesses);
+  for (unsigned P = 0; P != NumProcesses; ++P)
+    Threads.emplace_back([&, P] {
+      const workloads::GuiApp &App = Suite.Apps[P % Suite.Apps.size()];
+      auto R = workloads::runPersistent(Suite.Registry, App.App,
+                                        App.StartupInput, Db, StormOpts);
+      if (!R)
+        return;
+      Results[P] = {true, R->Prime.XipInstalled,
+                    R->Stats.PersistSharedPageHits,
+                    R->Stats.PersistCycles};
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  unsigned Ran = 0, Inplace = 0;
+  uint64_t SharedHits = 0;
+  for (const ProcessResult &R : Results) {
+    Ran += R.Ok;
+    Inplace += R.Xip;
+    SharedHits += R.SharedHits;
+  }
+  const uint64_t PhysicalPages = PageCache.residentPages();
+  const uint64_t VirtualTouches = SharedHits + PhysicalPages;
+  const dbi::CostModel Costs;
+  const uint64_t SavedCycles =
+      SharedHits * (Costs.PersistPageTouchCycles -
+                    Costs.SharedPageTouchCycles);
+  const uint64_t UnsharedBill =
+      VirtualTouches * Costs.PersistPageTouchCycles;
+  std::printf("  sessions       %u/%u ran, %u primed execute-in-place "
+              "(0 payload bytes copied)\n",
+              Ran, NumProcesses, Inplace);
+  std::printf("  page touches   %llu across all processes\n",
+              (unsigned long long)VirtualTouches);
+  std::printf("  physical pages %llu — one shared copy per library "
+              "cache page\n",
+              (unsigned long long)PhysicalPages);
+  std::printf("  soft faults    %llu (later processes reusing resident "
+              "pages)\n",
+              (unsigned long long)SharedHits);
+  std::printf("  modeled I/O savings: %llu Kc of %llu Kc demand-paging "
+              "bill (%.1f%%)\n",
+              (unsigned long long)(SavedCycles / 1000),
+              (unsigned long long)(UnsharedBill / 1000),
+              UnsharedBill
+                  ? 100.0 * static_cast<double>(SavedCycles) /
+                        static_cast<double>(UnsharedBill)
+                  : 0.0);
 
   (void)removeRecursively(*Dir);
   return 0;

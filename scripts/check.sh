@@ -16,11 +16,19 @@
 #                                    concurrency-*, performance-*);
 #                                    skips gracefully when clang-tidy
 #                                    is not installed
+#   scripts/check.sh --xip           execute-in-place soak: runs the
+#                                    xip_test and fault_injection_test
+#                                    binaries plus the shared_desktop
+#                                    login-storm demo repeatedly under
+#                                    ASan and then TSan (the mapped-
+#                                    payload lifetime and concurrent
+#                                    sharing paths are exactly what
+#                                    those sanitizers catch)
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   scripts/check.sh --tsan -R CacheStore
-# In --faults mode the first extra argument is the number of soak
-# iterations per sanitizer (default 5).
+# In --faults and --xip modes the first extra argument is the number of
+# soak iterations per sanitizer (default 5, 2 for --xip).
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -45,6 +53,28 @@ if [ "${1:-}" = "--faults" ]; then
     done
   done
   echo "fault soak passed: $ITERS iteration(s) each under ASan and TSan"
+  exit 0
+fi
+
+if [ "${1:-}" = "--xip" ]; then
+  shift
+  ITERS="${1:-2}"
+  [ $# -gt 0 ] && shift
+  for SAN in address thread; do
+    SOAK="$ROOT/build-$SAN"
+    cmake -B "$SOAK" -S "$ROOT" -DPCC_SANITIZE=$SAN
+    cmake --build "$SOAK" -j --target xip_test \
+      --target fault_injection_test --target shared_desktop
+    I=1
+    while [ "$I" -le "$ITERS" ]; do
+      echo "== xip soak ($SAN) iteration $I/$ITERS =="
+      "$SOAK/tests/xip_test"
+      "$SOAK/tests/fault_injection_test"
+      "$SOAK/examples/shared_desktop"
+      I=$((I + 1))
+    done
+  done
+  echo "xip soak passed: $ITERS iteration(s) each under ASan and TSan"
   exit 0
 fi
 

@@ -23,30 +23,40 @@ TranslatedTrace *CodeCache::lookup(uint32_t GuestAddr) const {
 }
 
 ErrorOr<uint32_t> CodeCache::allocateCode(uint32_t NumBytes) {
-  if (CodePool.size() + NumBytes > CodePoolCapacity)
+  if (BorrowedSize + CodePool.size() + NumBytes > CodePoolCapacity)
     return Status::error(ErrorCode::OutOfMemory, "code pool exhausted");
-  uint32_t Offset = static_cast<uint32_t>(CodePool.size());
+  uint32_t Offset =
+      static_cast<uint32_t>(BorrowedSize + CodePool.size());
   CodePool.resize(CodePool.size() + NumBytes);
   return Offset;
 }
 
 void CodeCache::writeCode(uint32_t Offset,
                           const std::vector<uint8_t> &Bytes) {
-  assert(Offset + Bytes.size() <= CodePool.size() &&
+  assert(Offset >= BorrowedSize && "code write into borrowed mapping");
+  assert(Offset - BorrowedSize + Bytes.size() <= CodePool.size() &&
          "code write outside allocation");
-  std::copy(Bytes.begin(), Bytes.end(), CodePool.begin() + Offset);
+  std::copy(Bytes.begin(), Bytes.end(),
+            CodePool.begin() + (Offset - BorrowedSize));
   // Freshly written pages are resident by construction.
   touchPages(Offset, static_cast<uint32_t>(Bytes.size()));
 }
 
 const uint8_t *CodeCache::codeAt(uint32_t Offset) const {
-  assert(Offset <= CodePool.size() && "offset outside code pool");
-  return CodePool.data() + Offset;
+  if (Offset < BorrowedSize)
+    return Borrowed + Offset;
+  assert(Offset - BorrowedSize <= CodePool.size() &&
+         "offset outside code pool");
+  return CodePool.data() + (Offset - BorrowedSize);
 }
 
 uint8_t *CodeCache::mutableCodeAt(uint32_t Offset) {
-  assert(Offset <= CodePool.size() && "offset outside code pool");
-  return CodePool.data() + Offset;
+  // Borrowed pages are shared with other processes and must stay clean;
+  // rebasing and link patching are only legal in owned storage.
+  assert(Offset >= BorrowedSize && "mutating borrowed (shared) code");
+  assert(Offset - BorrowedSize <= CodePool.size() &&
+         "offset outside code pool");
+  return CodePool.data() + (Offset - BorrowedSize);
 }
 
 ErrorOr<TranslatedTrace *>
@@ -68,7 +78,7 @@ void CodeCache::reserveTraces(size_t N) {
 }
 
 Status CodeCache::installPersistedPool(std::vector<uint8_t> PoolBytes) {
-  if (!Traces.empty() || !CodePool.empty())
+  if (!Traces.empty() || !CodePool.empty() || BorrowedSize != 0)
     return Status::error(ErrorCode::InvalidArgument,
                          "cache not empty at persistent-pool install");
   if (PoolBytes.size() > CodePoolCapacity)
@@ -77,6 +87,23 @@ Status CodeCache::installPersistedPool(std::vector<uint8_t> PoolBytes) {
   CodePool = std::move(PoolBytes);
   // Mapped, not resident: pages fault in on first touch.
   ResidentPages.assign((CodePool.size() + PageSize - 1) / PageSize, false);
+  return Status::success();
+}
+
+Status CodeCache::installBorrowedPool(const uint8_t *Data, size_t Size,
+                                      std::shared_ptr<const void> Keepalive) {
+  if (!Traces.empty() || !CodePool.empty() || BorrowedSize != 0)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "cache not empty at borrowed-pool install");
+  if (Size > CodePoolCapacity)
+    return Status::error(ErrorCode::OutOfMemory,
+                         "borrowed pool exceeds code pool capacity");
+  Borrowed = Data;
+  BorrowedSize = Size;
+  BorrowedKeepalive = std::move(Keepalive);
+  // Same demand-paging model as an owned persisted pool: mapped, not
+  // resident; pages fault in on first touch.
+  ResidentPages.assign((Size + PageSize - 1) / PageSize, false);
   return Status::success();
 }
 
@@ -133,6 +160,10 @@ void CodeCache::flush() {
   Traces.clear();
   TranslationMap.clear();
   CodePool.clear();
+  // A borrowed pool is unmapped (keepalive released), never freed.
+  Borrowed = nullptr;
+  BorrowedSize = 0;
+  BorrowedKeepalive.reset();
   ResidentPages.clear();
   DataPoolUsed = 0;
   ++ModificationGeneration;
@@ -155,16 +186,26 @@ uint32_t CodeCache::evictOldest(double Fraction) {
   Traces.erase(Traces.begin(), Traces.begin() + ToEvict);
 
   // Compact the code pool around the survivors so the reclaimed bytes
-  // are actually reusable (linear pools do not free holes).
+  // are actually reusable (linear pools do not free holes). Survivors
+  // whose storage was a borrowed mapping are copied into owned memory
+  // first — their bodies are disowned and their pending payloads drop
+  // the XIP flag — because the mapping itself is released (unmapped,
+  // not freed) at the end.
   std::vector<uint8_t> NewPool;
-  NewPool.reserve(CodePool.size());
+  NewPool.reserve(BorrowedSize + CodePool.size());
   for (auto &T : Traces) {
     uint32_t NewOffset = static_cast<uint32_t>(NewPool.size());
-    const uint8_t *Src = CodePool.data() + T->poolOffset();
+    const uint8_t *Src = codeAt(T->poolOffset());
     NewPool.insert(NewPool.end(), Src, Src + T->poolBytes());
     T->relocateInPool(NewOffset);
+    T->disownBody();
+    if (PersistedPayload *P = T->persistedPayload())
+      P->Xip = false;
   }
   CodePool = std::move(NewPool);
+  Borrowed = nullptr;
+  BorrowedSize = 0;
+  BorrowedKeepalive.reset();
   // Compaction copies everything through memory: all pages resident.
   ResidentPages.assign(
       (CodePool.size() + PageSize - 1) / PageSize, true);
@@ -172,19 +213,22 @@ uint32_t CodeCache::evictOldest(double Fraction) {
   return ToEvict;
 }
 
-uint32_t CodeCache::touchPages(uint32_t Offset, uint32_t Bytes) {
+uint32_t CodeCache::touchPages(uint32_t Offset, uint32_t Bytes,
+                               std::vector<uint32_t> *NewlyTouched) {
   if (Bytes == 0)
     return 0;
   uint32_t First = Offset / PageSize;
   uint32_t Last = (Offset + Bytes - 1) / PageSize;
   if (ResidentPages.size() <= Last)
     ResidentPages.resize(Last + 1, false);
-  uint32_t NewlyTouched = 0;
+  uint32_t Count = 0;
   for (uint32_t Page = First; Page <= Last; ++Page) {
     if (!ResidentPages[Page]) {
       ResidentPages[Page] = true;
-      ++NewlyTouched;
+      ++Count;
+      if (NewlyTouched)
+        NewlyTouched->push_back(Page);
     }
   }
-  return NewlyTouched;
+  return Count;
 }

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -61,6 +62,11 @@ struct PersistedPayload {
   /// Index of this trace in the source cache file's trace index, so
   /// finalize() can harvest unexecuted traces without decoding them.
   uint32_t SourceTraceIndex = 0;
+  /// True when the trace's pool bytes live in a borrowed executable
+  /// mapping: first execution CRC-checks and bounds-scans the mapped
+  /// bytes in place instead of decoding a private copy. Cleared when
+  /// eviction compacts the pool into owned storage.
+  bool Xip = false;
 };
 
 /// A compiled trace resident in the code cache.
@@ -82,10 +88,13 @@ public:
   bool isFromPersistentCache() const { return FromPersistentCache; }
   bool isMaterialized() const { return Materialized; }
 
-  /// Decoded translated body; valid only when materialized.
-  const std::vector<isa::Instruction> &body() const {
+  /// Translated body; valid only when materialized. Owned traces view
+  /// their decoded vector; XIP traces view the borrowed mapping.
+  std::span<const isa::Instruction> body() const {
     assert(Materialized && "trace not materialized");
-    return Body;
+    if (BorrowedBody)
+      return {BorrowedBody, GuestInstCount};
+    return {Body.data(), Body.size()};
   }
 
   /// Installs the decoded body (at compile time, or on demand for
@@ -93,7 +102,29 @@ public:
   void materialize(std::vector<isa::Instruction> DecodedBody) {
     assert(DecodedBody.size() == GuestInstCount && "body size mismatch");
     Body = std::move(DecodedBody);
+    BorrowedBody = nullptr;
     Materialized = true;
+  }
+
+  /// Installs an execute-in-place body: \p InPlaceBody points at
+  /// GuestInstCount instructions inside a borrowed mapping owned by the
+  /// cache. The caller has already CRC-checked and bounds-scanned them.
+  void materializeBorrowed(const isa::Instruction *InPlaceBody) {
+    assert(InPlaceBody && "null in-place body");
+    BorrowedBody = InPlaceBody;
+    Materialized = true;
+  }
+
+  /// True when body() views a borrowed mapping rather than owned memory.
+  bool isBorrowed() const { return BorrowedBody != nullptr; }
+
+  /// Converts a borrowed body into an owned copy (the mapping is about
+  /// to go away, e.g. eviction compaction).
+  void disownBody() {
+    if (!BorrowedBody)
+      return;
+    Body.assign(BorrowedBody, BorrowedBody + GuestInstCount);
+    BorrowedBody = nullptr;
   }
 
   /// Moves the trace's code within the pool (cache compaction).
@@ -130,6 +161,12 @@ public:
   uint64_t executionCount() const { return ExecCount; }
   void countExecution() { ++ExecCount; }
 
+  /// Lifetime execution heat carried in from the persistent cache file
+  /// (0 for freshly compiled traces); finalize adds the current run's
+  /// executions on top, saturating.
+  uint32_t persistedHeat() const { return PersistedHeat; }
+  void setPersistedHeat(uint32_t Heat) { PersistedHeat = Heat; }
+
   /// Bytes of supporting data structures this trace consumes in the data
   /// pool: trace descriptor, exit records, translation-map node, and
   /// per-instruction bookkeeping (liveness, register bindings). The
@@ -149,8 +186,11 @@ private:
   bool Materialized = false;
   std::unique_ptr<PersistedPayload> Pending;
   std::vector<isa::Instruction> Body;
+  /// Non-null when the body executes in place from a borrowed mapping.
+  const isa::Instruction *BorrowedBody = nullptr;
   std::vector<std::pair<TranslatedTrace *, uint32_t>> Incoming;
   uint64_t ExecCount = 0;
+  uint32_t PersistedHeat = 0;
 };
 
 /// The code cache: pools, translation map, and link bookkeeping.
@@ -194,6 +234,20 @@ public:
   /// allocateCode() calls append after the mapped image.
   Status installPersistedPool(std::vector<uint8_t> PoolBytes);
 
+  /// Execute-in-place variant: the pool's first \p Size bytes are a
+  /// *borrowed* read-only mapping (an XIP cache file's payload section)
+  /// kept alive by \p Keepalive; nothing is copied. Only valid on an
+  /// empty cache. Offsets below \p Size resolve into the mapping and
+  /// are never writable (shared pages stay clean); allocateCode()
+  /// appends owned storage after it. flush() and eviction release the
+  /// keepalive — unmap, not free.
+  Status installBorrowedPool(const uint8_t *Data, size_t Size,
+                             std::shared_ptr<const void> Keepalive);
+
+  /// Size of the borrowed mapping prefix (0 when the pool is fully
+  /// owned).
+  uint64_t borrowedCodeBytes() const { return BorrowedSize; }
+
   /// Links \p Exit of \p From to \p To and records the incoming edge.
   void link(TranslatedTrace *From, uint32_t ExitIndex,
             TranslatedTrace *To);
@@ -225,14 +279,18 @@ public:
   /// \name Demand-paging support
   /// Marks the code-pool pages of [Offset, Offset+Bytes) as resident and
   /// returns how many pages were newly touched (persisted pages fault in
-  /// on first touch; freshly written pages are already resident).
+  /// on first touch; freshly written pages are already resident). When
+  /// \p NewlyTouched is non-null, the newly touched page numbers are
+  /// appended to it (shared-residency accounting asks whether another
+  /// process already has each page).
   /// @{
-  uint32_t touchPages(uint32_t Offset, uint32_t Bytes);
+  uint32_t touchPages(uint32_t Offset, uint32_t Bytes,
+                      std::vector<uint32_t> *NewlyTouched = nullptr);
   /// @}
 
   /// \name Accounting
   /// @{
-  uint64_t codeBytesUsed() const { return CodePool.size(); }
+  uint64_t codeBytesUsed() const { return BorrowedSize + CodePool.size(); }
   uint64_t dataBytesUsed() const { return DataPoolUsed; }
   uint64_t codePoolCapacity() const { return CodePoolCapacity; }
   uint64_t dataPoolCapacity() const { return DataPoolCapacity; }
@@ -247,6 +305,12 @@ private:
   uint64_t CodePoolCapacity;
   uint64_t DataPoolCapacity;
   std::vector<uint8_t> CodePool;
+  /// Borrowed read-only pool prefix (XIP): pool offsets below
+  /// BorrowedSize resolve to Borrowed + Offset, offsets at or above it
+  /// to CodePool[Offset - BorrowedSize].
+  const uint8_t *Borrowed = nullptr;
+  size_t BorrowedSize = 0;
+  std::shared_ptr<const void> BorrowedKeepalive;
   uint64_t DataPoolUsed = 0;
   std::vector<std::unique_ptr<TranslatedTrace>> Traces;
   std::unordered_map<uint32_t, TranslatedTrace *> TranslationMap;

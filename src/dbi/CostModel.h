@@ -78,6 +78,12 @@ struct CostModel {
   uint64_t PersistOpenCycles = 60000;
   /// First touch of one 4 KiB page of persisted code (demand paging).
   uint64_t PersistPageTouchCycles = 900;
+  /// First touch of a persisted code page another process already has
+  /// mapped and resident: a soft fault wiring the shared page into this
+  /// process's tables, not disk I/O. The gap between this and
+  /// PersistPageTouchCycles is the modeled per-page win of
+  /// execute-in-place sharing.
+  uint64_t SharedPageTouchCycles = 150;
   /// Materializing one persisted trace's data structures.
   uint64_t PersistTraceMaterializeCycles = 60;
   /// Checksumming one lazily validated trace payload at first execution

@@ -51,12 +51,72 @@ ErrorOr<TranslatedTrace *> Engine::lookupOrCompile(uint32_t Pc) {
   return TheCompiler.compile(Pc, Stats);
 }
 
+void Engine::chargePersistFirstTouch(TranslatedTrace *T) {
+  if (!ProbeResidency) {
+    uint32_t NewPages = Cache.touchPages(T->poolOffset(), T->poolBytes());
+    Stats.PersistCycles += Opts.Costs.PersistTraceMaterializeCycles +
+                           NewPages * Opts.Costs.PersistPageTouchCycles;
+    return;
+  }
+  std::vector<uint32_t> NewPages;
+  Cache.touchPages(T->poolOffset(), T->poolBytes(), &NewPages);
+  Stats.PersistCycles += Opts.Costs.PersistTraceMaterializeCycles;
+  for (uint32_t Page : NewPages) {
+    if (ProbeResidency(Page)) {
+      // Another process already has this page: soft fault, not I/O.
+      Stats.PersistCycles += Opts.Costs.SharedPageTouchCycles;
+      ++Stats.PersistSharedPageHits;
+    } else {
+      Stats.PersistCycles += Opts.Costs.PersistPageTouchCycles;
+    }
+  }
+}
+
 Status Engine::ensureMaterialized(TranslatedTrace *T) {
   if (T->isMaterialized())
     return Status::success();
   assert(T->isFromPersistentCache() &&
          "only persisted traces are unmaterialized");
   if (PersistedPayload *P = T->persistedPayload()) {
+    if (P->Xip) {
+      // Execute-in-place materialization: the pool bytes live in a
+      // borrowed read-only mapping. CRC-check them where they lie,
+      // bounds-scan the instruction fields in place (the executor
+      // indexes the register file unchecked, so a CRC-intact but
+      // malicious body must still be rejected), and point the trace's
+      // body at the mapping — no decode, no copy. The modeled charges
+      // are exactly the materializing path's: per-trace CRC +
+      // materialize + first-touch paging, so EngineStats stay
+      // bit-identical across the two paths.
+      assert(P->RebaseDelta == 0 && "XIP requires an unrelocated load");
+      Stats.PersistCycles += Opts.Costs.PersistTraceCrcCycles;
+      ++Stats.TracePayloadsValidated;
+      const uint8_t *Raw = Cache.codeAt(T->poolOffset());
+      if (crc32(Raw, T->poolBytes()) != P->ExpectedCodeCrc)
+        return Status::error(ErrorCode::InvalidFormat,
+                             "persisted trace payload checksum mismatch");
+      const auto *InPlace =
+          reinterpret_cast<const Instruction *>(Raw + TracePrologueBytes);
+      if (!isa::validInPlace(InPlace, T->guestInstCount()))
+        return Status::error(
+            ErrorCode::InvalidFormat,
+            "persisted trace body fails in-place field validation");
+      if (ValidateMaterialize) {
+        std::vector<Instruction> Copy(InPlace,
+                                      InPlace + T->guestInstCount());
+        Status Verdict = ValidateMaterialize(T->guestStart(), Copy);
+        if (!Verdict.ok()) {
+          ++Stats.VerifyFailures;
+          return Verdict;
+        }
+        ++Stats.TracesVerified;
+      }
+      T->clearPersistedPayload();
+      T->materializeBorrowed(InPlace);
+      chargePersistFirstTouch(T);
+      ++Stats.TracesReused;
+      return Status::success();
+    }
     // Deferred per-trace validation (cache format v2): prime() checked
     // only the header, module table and trace index, so the payload CRC
     // runs here, on first execution — over the raw stored bytes, before
@@ -117,10 +177,7 @@ Status Engine::ensureMaterialized(TranslatedTrace *T) {
         ++Stats.TracesVerified;
       }
       T->materialize(std::move(Ready->Body));
-      uint32_t NewPages =
-          Cache.touchPages(T->poolOffset(), T->poolBytes());
-      Stats.PersistCycles += Opts.Costs.PersistTraceMaterializeCycles +
-                             NewPages * Opts.Costs.PersistPageTouchCycles;
+      chargePersistFirstTouch(T);
       ++Stats.TracesReused;
       return Status::success();
     }
@@ -159,9 +216,7 @@ Status Engine::ensureMaterialized(TranslatedTrace *T) {
     ++Stats.TracesVerified;
   }
   T->materialize(std::move(Decoded));
-  uint32_t NewPages = Cache.touchPages(T->poolOffset(), T->poolBytes());
-  Stats.PersistCycles += Opts.Costs.PersistTraceMaterializeCycles +
-                         NewPages * Opts.Costs.PersistPageTouchCycles;
+  chargePersistFirstTouch(T);
   ++Stats.TracesReused;
   return Status::success();
 }
@@ -198,7 +253,7 @@ namespace {
 
 /// Size in instructions of the basic block starting at \p StartIndex:
 /// through the next conditional branch (inclusive) or the trace end.
-uint32_t basicBlockSize(const std::vector<Instruction> &Body,
+uint32_t basicBlockSize(std::span<const Instruction> Body,
                         uint32_t StartIndex) {
   for (uint32_t I = StartIndex; I != Body.size(); ++I)
     if (isa::isConditionalBranch(Body[I].Op))
@@ -287,7 +342,7 @@ vm::RunResult Engine::run() {
     Current->countExecution();
     ++Stats.TraceExecutions;
 
-    const std::vector<Instruction> &Body = Current->body();
+    const std::span<const Instruction> Body = Current->body();
     const uint32_t TraceStart = Current->guestStart();
     TranslatedTrace *Next = nullptr;
     vm::CpuState &Cpu = Threads.current().Cpu;

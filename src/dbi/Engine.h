@@ -127,6 +127,20 @@ public:
     ValidateMaterialize = std::move(V);
   }
 
+  /// Shared-residency probe for persisted code pages: given a code-pool
+  /// page number, returns true when another process already has that
+  /// page mapped and resident. A newly touched page that probes true is
+  /// charged CostModel::SharedPageTouchCycles (a soft fault wiring in a
+  /// shared page) instead of PersistPageTouchCycles (demand-paged I/O),
+  /// and counts in EngineStats::PersistSharedPageHits. The probe
+  /// applies identically to XIP and materializing primes, so attaching
+  /// it never breaks their stats bit-identity. Null = every first touch
+  /// is I/O (the single-process default).
+  using ResidencyProbe = std::function<bool(uint32_t Page)>;
+  void setResidencyProbe(ResidencyProbe P) {
+    ProbeResidency = std::move(P);
+  }
+
   /// Validates and materializes every still-pending persisted trace on
   /// the calling thread (corrupt ones are dropped for retranslation,
   /// exactly as at first execution). This is the fully synchronous
@@ -141,8 +155,14 @@ private:
 
   /// Decodes a persisted trace's body on first execution, charging
   /// demand-paging costs. Consumes a background-validated body when
-  /// one is available; otherwise does the work inline.
+  /// one is available; otherwise does the work inline. XIP traces are
+  /// CRC-checked and bounds-scanned in place instead of decoded.
   Status ensureMaterialized(TranslatedTrace *T);
+
+  /// Charges the first-execution materialize + page-touch cycles for
+  /// \p T, splitting newly touched pages into shared soft faults and
+  /// demand-paged I/O when a residency probe is attached.
+  void chargePersistFirstTouch(TranslatedTrace *T);
 
   /// Moves every published install-queue result into Prevalidated.
   void drainInstallQueue();
@@ -158,6 +178,8 @@ private:
   std::shared_ptr<TraceInstallQueue> InstallQ;
   /// Semantic-verification hook for persisted bodies (null = off).
   MaterializeValidator ValidateMaterialize;
+  /// Cross-process page-residency probe (null = single process).
+  ResidencyProbe ProbeResidency;
   /// Drained-but-not-yet-consumed worker results, by guest start. An
   /// entry whose trace was flushed before first execution simply goes
   /// unused; the dispatcher recompiles that PC as on a cold run.

@@ -63,6 +63,13 @@ struct EngineStats {
                                        ///< at first materialization.
   uint64_t TracesDroppedCorrupt = 0;   ///< Persisted traces whose payload
                                        ///< CRC failed; retranslated.
+  uint64_t PersistSharedPageHits = 0;  ///< First-touched persisted pages
+                                       ///< already resident in another
+                                       ///< process (soft fault, not I/O).
+                                       ///< 0 unless a shared-residency
+                                       ///< map is attached; attaching one
+                                       ///< affects XIP and materializing
+                                       ///< runs identically.
   uint64_t TracesVerified = 0;    ///< Traces the translation validator
                                   ///< proved effect-equivalent.
   uint64_t VerifyFailures = 0;    ///< Traces the validator rejected.

@@ -231,6 +231,18 @@ Instruction pcc::isa::makeSys(uint32_t Number) {
   return Inst;
 }
 
+bool pcc::isa::validInPlace(const Instruction *Insts, size_t Count) {
+  for (size_t I = 0; I != Count; ++I) {
+    const Instruction &Inst = Insts[I];
+    if (static_cast<uint8_t>(Inst.Op) >=
+            static_cast<uint8_t>(Opcode::NumOpcodes) ||
+        Inst.Rd >= NumRegisters || Inst.Rs1 >= NumRegisters ||
+        Inst.Rs2 >= NumRegisters)
+      return false;
+  }
+  return true;
+}
+
 std::string DecodeError::toString() const {
   return formatString("instruction %zu (byte offset %zu): %s", InstIndex,
                       ByteOffset, Reason.c_str());

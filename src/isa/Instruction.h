@@ -26,9 +26,11 @@
 #include "support/Error.h"
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace pcc {
@@ -63,6 +65,40 @@ struct Instruction {
   /// hasCodeTarget(Op).
   GuestAddr codeTarget() const { return Imm; }
 };
+
+/// The in-memory Instruction layout matches the on-disk 8-byte encoding
+/// field for field, which is what lets execute-in-place consumers
+/// reinterpret mapped payload bytes as Instruction arrays without a
+/// decode+copy step. Pin the layout so a drift breaks the build, not
+/// the cache format.
+static_assert(sizeof(Instruction) == InstructionSize,
+              "Instruction must occupy exactly its encoded size");
+static_assert(std::is_trivially_copyable_v<Instruction>,
+              "Instruction must be bitwise-copyable for XIP mappings");
+static_assert(offsetof(Instruction, Op) == 0 &&
+                  offsetof(Instruction, Rd) == 1 &&
+                  offsetof(Instruction, Rs1) == 2 &&
+                  offsetof(Instruction, Rs2) == 3 &&
+                  offsetof(Instruction, Imm) == 4,
+              "Instruction field order must match the encoding");
+
+/// True when this host can execute mapped instruction bytes in place:
+/// the struct layout equals the encoding (asserted above) and the host
+/// is little-endian like the on-disk Imm field. Big-endian hosts fall
+/// back to the materializing (decode+copy) prime path.
+inline constexpr bool HostExecutesInPlace =
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    true;
+#else
+    false;
+#endif
+
+/// Validates \p Count reinterpret-cast instructions in place: every
+/// opcode below NumOpcodes and every register field below NumRegisters.
+/// The XIP equivalent of decode()'s field checks — the executor indexes
+/// the register file unchecked, so mapped bodies must be scanned before
+/// first execution even when their CRC is intact.
+bool validInPlace(const Instruction *Insts, size_t Count);
 
 /// \name Factory functions
 /// Builders assert register indices in range so malformed programs fail

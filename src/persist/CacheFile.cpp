@@ -42,6 +42,10 @@ size_t moduleKeyBytes(const ModuleKey &Key) {
   return 4 + Key.Path.size() + 4 + 4 + 4 * 8;
 }
 
+size_t alignUp(size_t N, size_t Align) {
+  return (N + Align - 1) / Align * Align;
+}
+
 } // namespace
 
 size_t CacheFile::serializedSize() const {
@@ -56,7 +60,10 @@ size_t CacheFile::serializedSize() const {
     PayloadBytes += Trace.Code.size();
   }
   size_t IndexSize = Traces.size() * v2::IndexEntryBytes + HeapSize;
-  return v2::HeaderBytes + ModuleTableSize + IndexSize + PayloadBytes;
+  size_t PayloadOffset = v2::HeaderBytes + ModuleTableSize + IndexSize;
+  if (ExecuteInPlace)
+    PayloadOffset = alignUp(PayloadOffset, v2::PayloadAlign);
+  return PayloadOffset + PayloadBytes;
 }
 
 std::vector<uint8_t> CacheFile::serialize() const {
@@ -72,27 +79,34 @@ std::vector<uint8_t> CacheFile::serialize() const {
     PayloadBytes += Trace.Code.size();
   }
   size_t IndexSize = Traces.size() * v2::IndexEntryBytes + HeapSize;
-  size_t TotalSize =
-      v2::HeaderBytes + ModuleTableSize + IndexSize + PayloadBytes;
+  uint32_t ModuleTableOffset = static_cast<uint32_t>(v2::HeaderBytes);
+  uint32_t TraceIndexOffset =
+      ModuleTableOffset + static_cast<uint32_t>(ModuleTableSize);
+  // XIP generations page-align the payload so consumers can hand the
+  // mapped region to the engine as executable trace bodies; the gap is
+  // zero padding outside every CRC domain.
+  uint32_t IndexEnd = TraceIndexOffset + static_cast<uint32_t>(IndexSize);
+  uint32_t PayloadOffset =
+      ExecuteInPlace
+          ? static_cast<uint32_t>(alignUp(IndexEnd, v2::PayloadAlign))
+          : IndexEnd;
+  size_t TotalSize = static_cast<size_t>(PayloadOffset) + PayloadBytes;
 
   ByteWriter Writer;
   Writer.reserve(TotalSize);
 
   Writer.writeU32(v2::Magic);
-  Writer.writeU32(v2::Version);
+  Writer.writeU32(ExecuteInPlace ? v2::XipVersion : v2::Version);
   Writer.writeU64(EngineHash);
   Writer.writeU64(ToolHash);
   Writer.writeU8(SpecBits);
-  Writer.writeU8(PositionIndependent ? 1 : 0);
+  Writer.writeU8(static_cast<uint8_t>(
+      (PositionIndependent ? v2::FlagPositionIndependent : 0) |
+      (ExecuteInPlace ? v2::FlagExecuteInPlace : 0)));
   Writer.writeU16(WriterTag); // Former Reserved0: last-writer pid tag.
   Writer.writeU32(Generation);
   Writer.writeU32(static_cast<uint32_t>(Modules.size()));
   Writer.writeU32(static_cast<uint32_t>(Traces.size()));
-  uint32_t ModuleTableOffset = static_cast<uint32_t>(v2::HeaderBytes);
-  uint32_t TraceIndexOffset =
-      ModuleTableOffset + static_cast<uint32_t>(ModuleTableSize);
-  uint32_t PayloadOffset =
-      TraceIndexOffset + static_cast<uint32_t>(IndexSize);
   Writer.writeU32(ModuleTableOffset);
   Writer.writeU32(static_cast<uint32_t>(ModuleTableSize));
   Writer.writeU32(TraceIndexOffset);
@@ -123,7 +137,7 @@ std::vector<uint8_t> CacheFile::serialize() const {
     Writer.writeU32(MetaOffset);
     Writer.writeU32(static_cast<uint32_t>(Trace.Exits.size()));
     Writer.writeU32(static_cast<uint32_t>(Trace.RelocMask.size()));
-    Writer.writeU32(0); // Reserved.
+    Writer.writeU32(Trace.Heat); // Former Reserved word.
     CodeOffset += static_cast<uint32_t>(Trace.Code.size());
     MetaOffset += static_cast<uint32_t>(
         Trace.Exits.size() * v2::ExitRecordBytes + Trace.RelocMask.size());
@@ -137,7 +151,12 @@ std::vector<uint8_t> CacheFile::serialize() const {
     }
     Writer.writeBytes(Trace.RelocMask.data(), Trace.RelocMask.size());
   }
-  assert(Writer.size() == PayloadOffset && "trace index size drifted");
+  assert(Writer.size() == IndexEnd && "trace index size drifted");
+  if (PayloadOffset != IndexEnd) {
+    std::vector<uint8_t> Pad(PayloadOffset - IndexEnd, 0);
+    Writer.writeBytes(Pad.data(), Pad.size());
+  }
+  assert(Writer.size() == PayloadOffset && "payload alignment drifted");
 
   for (const TraceRecord &Trace : Traces)
     Writer.writeBytes(Trace.Code.data(), Trace.Code.size());
@@ -146,6 +165,8 @@ std::vector<uint8_t> CacheFile::serialize() const {
   const uint8_t *Raw = Writer.bytes().data();
   Writer.patchU32(CrcFieldsAt,
                   crc32(Raw + ModuleTableOffset, ModuleTableSize));
+  // The trace-index CRC domain excludes the alignment padding, so it is
+  // identical whether or not the generation is XIP.
   Writer.patchU32(CrcFieldsAt + 4,
                   crc32(Raw + TraceIndexOffset, IndexSize));
   // Header CRC covers everything before itself, section CRCs included.
@@ -276,11 +297,12 @@ ErrorOr<CacheFile> CacheFile::deserialize(
   if (!View)
     return View.status();
   CacheFile File;
-  File.SourceFormat = 2;
+  File.SourceFormat = View->formatVersion();
   File.EngineHash = View->engineHash();
   File.ToolHash = View->toolHash();
   File.SpecBits = View->specBits();
   File.PositionIndependent = View->positionIndependent();
+  File.ExecuteInPlace = View->executeInPlace();
   File.Generation = View->generation();
   File.WriterTag = View->writerTag();
   File.Modules = View->modules();

@@ -56,6 +56,10 @@ struct TraceRecord {
   /// PIC mode only: bit I set when instruction I's immediate holds an
   /// absolute address that must be rebased on relocated reuse.
   std::vector<uint8_t> RelocMask;
+  /// Saturating lifetime execution count, accumulated across the runs
+  /// that contributed this trace (stored in the index's former Reserved
+  /// word, so v2 readers skip it). Groundwork for profile-guided layout.
+  uint32_t Heat = 0;
 
   bool relocBit(uint32_t InstIndex) const {
     uint32_t Byte = InstIndex / 8;
@@ -79,6 +83,10 @@ struct CacheFile {
   uint8_t SpecBits = 0;
   /// True when translations are position independent.
   bool PositionIndependent = false;
+  /// True for an execute-in-place (XIP) generation: serialize() emits
+  /// format v3 with a page-aligned payload section that consumers mmap
+  /// directly as executable trace bodies. Requires PositionIndependent.
+  bool ExecuteInPlace = false;
   /// Executable mappings at creation time; index 0 is the application.
   std::vector<ModuleKey> Modules;
   std::vector<TraceRecord> Traces;
@@ -89,7 +97,8 @@ struct CacheFile {
   /// ignore it). 0 when unknown (legacy files, unset by caller).
   uint16_t WriterTag = 0;
   /// On-disk format the file was deserialized from (1 = legacy eager,
-  /// 2 = indexed). Not serialized; serialize() always emits v2.
+  /// 2 = indexed, 3 = indexed XIP). Not serialized; serialize() emits
+  /// v2, or v3 when ExecuteInPlace is set.
   uint32_t SourceFormat = 2;
 
   /// Total translated-code bytes (the code half of Figure 9).

@@ -35,13 +35,20 @@ Status CacheFileView::parseHeader(const uint8_t *Bytes, size_t Available) {
                            "legacy (v1) cache file");
     return formatError("bad cache magic");
   }
-  if (Reader.readU32() != v2::Version)
+  FormatVersion = Reader.readU32();
+  if (FormatVersion != v2::Version && FormatVersion != v2::XipVersion)
     return Status::error(ErrorCode::VersionMismatch,
                          "unsupported cache format version");
   EngineHash = Reader.readU64();
   ToolHash = Reader.readU64();
   SpecBits = Reader.readU8();
-  PositionIndependent = Reader.readU8() != 0;
+  // Flags byte: bit 0 is PIC (bit-compatible with the former 0/1
+  // PositionIndependent byte), bit 1 marks an XIP generation.
+  uint8_t Flags = Reader.readU8();
+  PositionIndependent = (Flags & v2::FlagPositionIndependent) != 0;
+  Xip = (Flags & v2::FlagExecuteInPlace) != 0;
+  if (Xip != (FormatVersion == v2::XipVersion))
+    return formatError("cache XIP flag inconsistent with version");
   WriterTag = Reader.readU16(); // Former Reserved0: last-writer pid tag.
   Generation = Reader.readU32();
   NumModules = Reader.readU32();
@@ -59,13 +66,24 @@ Status CacheFileView::parseHeader(const uint8_t *Bytes, size_t Available) {
   if (crc32(Bytes, v2::HeaderBytes - 4) != HeaderCrc)
     return formatError("cache header checksum mismatch");
 
-  // Section layout sanity: contiguous, in order, no overflow.
+  // Section layout sanity: contiguous, in order, no overflow. A v3
+  // (XIP) payload may sit past the trace index by less than one page of
+  // zero padding, and must start page-aligned so the mapping is
+  // executable in place.
+  uint64_t IndexEnd =
+      static_cast<uint64_t>(TraceIndexOffset) + TraceIndexSize;
   if (ModuleTableOffset != v2::HeaderBytes ||
       TraceIndexOffset !=
-          static_cast<uint64_t>(ModuleTableOffset) + ModuleTableSize ||
-      PayloadOffset !=
-          static_cast<uint64_t>(TraceIndexOffset) + TraceIndexSize)
+          static_cast<uint64_t>(ModuleTableOffset) + ModuleTableSize)
     return formatError("cache section layout inconsistent");
+  if (Xip) {
+    if (PayloadOffset < IndexEnd ||
+        PayloadOffset - IndexEnd >= v2::PayloadAlign ||
+        PayloadOffset % v2::PayloadAlign != 0)
+      return formatError("XIP payload section not page-aligned");
+  } else if (PayloadOffset != IndexEnd) {
+    return formatError("cache section layout inconsistent");
+  }
   if (static_cast<uint64_t>(NumTraces) * v2::IndexEntryBytes >
       TraceIndexSize)
     return formatError("trace index smaller than its entry count");
@@ -104,7 +122,7 @@ Status CacheFileView::parseSections() {
     E.MetaOffset = IndexReader.readU32();
     E.ExitCount = IndexReader.readU32();
     E.RelocSize = IndexReader.readU32();
-    IndexReader.readU32(); // Reserved.
+    E.Heat = IndexReader.readU32(); // Former Reserved word.
     if (IndexReader.failed())
       return formatError("truncated trace index");
     // Entry bounds: everything an entry points at must land inside its
@@ -222,6 +240,11 @@ const uint8_t *CacheFileView::codeBytesOf(uint32_t I) const {
   return Data + PayloadOffset + Entries[I].CodeOffset;
 }
 
+const uint8_t *CacheFileView::payloadBytes() const {
+  assert(OpenDepth == Depth::Index && "payload needs an index-deep open");
+  return Data + PayloadOffset;
+}
+
 bool CacheFileView::codeCrcOk(uint32_t I) const {
   const TraceIndexEntry &E = Entries[I];
   return crc32(codeBytesOf(I), E.CodeSize) == E.CodeCrc;
@@ -239,6 +262,7 @@ ErrorOr<TraceRecord> CacheFileView::record(uint32_t I) const {
   Rec.Code.assign(Code, Code + E.CodeSize);
   Rec.Exits = readExits(I);
   Rec.RelocMask = readRelocMask(I);
+  Rec.Heat = E.Heat;
   return Rec;
 }
 

@@ -21,22 +21,33 @@
 /// Header layout (all fields little-endian):
 ///
 ///   +0  u32 Magic "PCC2"        +40 u32 ModuleTableOffset (== 76)
-///   +4  u32 Version (== 2)      +44 u32 ModuleTableSize
+///   +4  u32 Version (2 or 3)    +44 u32 ModuleTableSize
 ///   +8  u64 EngineHash          +48 u32 TraceIndexOffset
 ///   +16 u64 ToolHash            +52 u32 TraceIndexSize
 ///   +24 u8  SpecBits            +56 u32 PayloadOffset
-///   +25 u8  PositionIndependent +60 u32 PayloadSize
+///   +25 u8  Flags               +60 u32 PayloadSize
 ///   +26 u16 WriterTag           +64 u32 ModuleTableCrc
 ///   +28 u32 Generation          +68 u32 TraceIndexCrc
 ///   +32 u32 NumModules          +72 u32 HeaderCrc (over bytes [0, 72))
 ///   +36 u32 NumTraces
+///
+/// Flags bit 0 is PositionIndependent (bit-compatible with the former
+/// 0/1 byte); bit 1 marks an execute-in-place (XIP) generation.
+/// Version stays 2 for materializing files and becomes 3 for XIP
+/// files, whose payload section is page-aligned (the gap between the
+/// trace index and the payload is zero padding, < one page) so prime
+/// can hand the mapped payload directly to the engine as executable
+/// trace bodies. Everything else — magic, header size, index entry
+/// size — is unchanged, so v2 readers reject v3 files cleanly on the
+/// version field.
 ///
 /// CRC domains: the header CRC covers the fixed header (including the
 /// two section CRCs); the module-table CRC covers the serialized module
 /// keys; the trace-index CRC covers index entries *and* the metadata
 /// heap — so exits, links and reloc masks are trusted right after
 /// prime-time validation, while each trace's code image carries its own
-/// CRC in the index, checked lazily at first execution.
+/// CRC in the index, checked lazily at first execution. The v3
+/// alignment padding sits outside every CRC domain and must be zero.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,9 +68,17 @@ namespace persist {
 namespace v2 {
 inline constexpr uint32_t Magic = 0x32434350; // "PCC2"
 inline constexpr uint32_t Version = 2;
+/// Format v2.1: same layout with a page-aligned, execute-in-place
+/// payload section. A distinct version number so v2 readers reject it.
+inline constexpr uint32_t XipVersion = 3;
 inline constexpr size_t HeaderBytes = 76;
 inline constexpr size_t IndexEntryBytes = 40;
 inline constexpr size_t ExitRecordBytes = 13;
+/// Header flags byte (offset +25).
+inline constexpr uint8_t FlagPositionIndependent = 1u << 0;
+inline constexpr uint8_t FlagExecuteInPlace = 1u << 1;
+/// XIP payload sections start on this boundary.
+inline constexpr uint32_t PayloadAlign = 4096;
 } // namespace v2
 
 /// Legacy (v1) on-disk magic, kept for read compatibility.
@@ -84,6 +103,9 @@ struct TraceIndexEntry {
   uint32_t MetaOffset = 0;
   uint32_t ExitCount = 0;
   uint32_t RelocSize = 0;
+  /// Saturating lifetime execution count, accumulated at finalize
+  /// (the former Reserved word; v2 writers emitted 0 there).
+  uint32_t Heat = 0;
 };
 
 /// Read-only view of a v2 cache file. Owns its backing bytes (a loaded
@@ -118,6 +140,9 @@ public:
   uint64_t toolHash() const { return ToolHash; }
   uint8_t specBits() const { return SpecBits; }
   bool positionIndependent() const { return PositionIndependent; }
+  /// True for a v3 execute-in-place generation (page-aligned payload).
+  bool executeInPlace() const { return Xip; }
+  uint32_t formatVersion() const { return FormatVersion; }
   uint32_t generation() const { return Generation; }
   /// Low 16 bits of the last writer's pid (0 when untagged).
   uint16_t writerTag() const { return WriterTag; }
@@ -127,6 +152,9 @@ public:
   uint64_t declaredFileBytes() const {
     return static_cast<uint64_t>(PayloadOffset) + PayloadSize;
   }
+  /// Payload section placement (header fields; valid at any depth).
+  uint32_t payloadOffset() const { return PayloadOffset; }
+  uint32_t payloadSize() const { return PayloadSize; }
   /// @}
 
   /// \name Index accessors (Depth::Index only)
@@ -140,6 +168,9 @@ public:
   std::vector<uint8_t> readRelocMask(uint32_t I) const;
   /// Raw (stored, never rebased) code image of trace \p I.
   const uint8_t *codeBytesOf(uint32_t I) const;
+  /// Base of the whole payload section (Depth::Index only). For XIP
+  /// files this is the page-aligned region prime borrows wholesale.
+  const uint8_t *payloadBytes() const;
   /// Checks trace \p I's code image against its indexed CRC.
   bool codeCrcOk(uint32_t I) const;
 
@@ -166,6 +197,8 @@ private:
   uint64_t ToolHash = 0;
   uint8_t SpecBits = 0;
   bool PositionIndependent = false;
+  bool Xip = false;
+  uint32_t FormatVersion = 0;
   uint16_t WriterTag = 0;
   uint32_t Generation = 0;
   uint32_t NumModules = 0;

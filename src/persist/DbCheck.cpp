@@ -211,6 +211,11 @@ std::optional<FileCheckReport> checkFile(DirectoryStore &Store,
     Out.ToolHash = View->toolHash();
     Out.SpecBits = View->specBits();
     Out.PositionIndependent = View->positionIndependent();
+    // A salvage rewrite must not silently downgrade an XIP (v3) file
+    // to a materializing one: consumers mmap its payload in place and
+    // the repaired file must stay page-aligned and flagged.
+    Out.ExecuteInPlace = View->executeInPlace();
+    R.Xip = View->executeInPlace();
     Out.Generation = View->generation();
     Out.WriterTag = View->writerTag();
     Out.Modules = View->modules();
@@ -399,6 +404,8 @@ pcc::persist::checkDatabase(const std::string &Dir,
     if (!R)
       continue; // Vanished mid-scan (concurrent retire).
     ++Report.FilesScanned;
+    if (R->Xip)
+      ++Report.FilesXip;
     Report.TracesDropped += R->TracesDropped;
     Report.TracesVerified += R->TracesVerified;
     Report.TracesMismatched += R->TracesMismatched;

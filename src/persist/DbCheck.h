@@ -77,6 +77,10 @@ struct FileCheckReport {
   std::string Name; ///< File name within the database directory.
   FileState State = FileState::Clean;
   std::string Detail; ///< First failure observed (empty when clean).
+  /// Execute-in-place (format v3) file: its payload section is
+  /// page-aligned and consumers mmap it directly as executable trace
+  /// bodies. A repair rewrite preserves the XIP generation.
+  bool Xip = false;
   uint32_t TracesKept = 0;
   uint32_t TracesDropped = 0; ///< Payload-CRC failures in this file.
   /// \name Deep-verification results (--deep passes only)
@@ -96,6 +100,7 @@ struct DbCheckReport {
   uint32_t FilesUnreadable = 0; ///< I/O errors (never repairable).
   uint32_t FilesRepaired = 0;
   uint32_t FilesQuarantined = 0;
+  uint32_t FilesXip = 0; ///< Execute-in-place (v3) files scanned.
   uint32_t TracesDropped = 0;
   /// Deep-verification aggregates (zero unless Opts.Deep).
   uint32_t TracesVerified = 0;

@@ -1,0 +1,80 @@
+//===- persist/Residency.h - Cross-process page residency -------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models the operating system's page cache for shared cache-file
+/// payloads: when many processes map the same persistent cache, only
+/// the first toucher of each code page pays demand-paging I/O — every
+/// later process takes a soft fault that wires the already-resident
+/// physical page into its own tables. The map is keyed by
+/// (payload identity, page number) and is shared by all simulated
+/// processes of a scenario; PersistOptions::SharedResidency attaches it
+/// to a session, which wires an Engine residency probe so CostModel
+/// charges SharedPageTouchCycles instead of PersistPageTouchCycles for
+/// pages another process already faulted in.
+///
+/// The map affects only the charge per newly touched page; which pages
+/// are touched, and when, is unchanged — so XIP and materializing runs
+/// stay bit-identical to each other under the same map history.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_PERSIST_RESIDENCY_H
+#define PCC_PERSIST_RESIDENCY_H
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+
+namespace pcc {
+namespace persist {
+
+/// One shared physical copy of each mapped cache payload, tracked page
+/// by page across simulated processes. Thread-safe: the login-storm
+/// scenarios touch it from concurrently finalizing sessions.
+class SharedResidencyMap {
+public:
+  /// Marks page \p Page of payload \p PayloadId resident and returns
+  /// true when it already was (another process got there first).
+  bool touch(uint64_t PayloadId, uint32_t Page) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return !Resident.insert(key(PayloadId, Page)).second;
+  }
+
+  /// True when the page is resident without marking it (probe only).
+  bool resident(uint64_t PayloadId, uint32_t Page) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Resident.count(key(PayloadId, Page)) != 0;
+  }
+
+  /// Number of distinct (payload, page) pairs resident — the modeled
+  /// physical page footprint shared by every process.
+  size_t residentPages() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Resident.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Resident.clear();
+  }
+
+private:
+  static uint64_t key(uint64_t PayloadId, uint32_t Page) {
+    // Payload ids are hashes; mixing the page into the low bits keeps
+    // distinct payloads' pages distinct.
+    return PayloadId * 1000003u + Page;
+  }
+
+  mutable std::mutex Mutex;
+  std::unordered_set<uint64_t> Resident;
+};
+
+} // namespace persist
+} // namespace pcc
+
+#endif // PCC_PERSIST_RESIDENCY_H

@@ -48,6 +48,14 @@ static uint64_t pagesOf(uint64_t Bytes) {
   return (Bytes + binary::PageSize - 1) / binary::PageSize;
 }
 
+/// Lifetime heat written back for a trace: persisted-in heat plus this
+/// run's executions, saturating at the 32-bit index field.
+static uint32_t accumulatedHeat(uint32_t Prior, uint64_t Executions) {
+  uint64_t Sum = Prior + Executions;
+  return Sum > 0xffffffffull ? 0xffffffffu
+                             : static_cast<uint32_t>(Sum);
+}
+
 /// Adds \p Delta to the 32-bit immediate of the encoded instruction at
 /// index \p InstIndex inside a translated code image.
 static void rebaseImmediate(std::vector<uint8_t> &Code, uint32_t InstIndex,
@@ -178,12 +186,16 @@ ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
   Engine.stats().PersistCycles += Costs.PersistOpenCycles;
 
   if (Source->View) {
-    Status S = installView(Engine, *Source->View, Result);
+    // The session owns the view before installing: an XIP install hands
+    // it to the code cache as the keepalive of the borrowed payload
+    // mapping, and async payload jobs read its bytes from pool workers.
+    LoadedView =
+        std::make_shared<CacheFileView>(std::move(*Source->View));
+    Status S = installView(Engine, *LoadedView, Result);
     if (!S.ok())
       return S;
-    LoadedView = std::move(Source->View);
-    // The deferred payload jobs reference LoadedView's bytes, so they
-    // can only be handed out now that the session owns the view.
+    // Under XIP there is no decode work to offload; AsyncJobs stays
+    // empty and the queue is never created.
     if (!AsyncJobs.empty())
       startAsyncPrime(Engine, Result);
   } else {
@@ -191,6 +203,21 @@ ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
     if (!S.ok())
       return S;
     LoadedCache = std::move(Source->Eager);
+  }
+  if (Opts.SharedResidency && Result.TracesInstalled != 0) {
+    // One shared physical copy per (cache file, generation): every
+    // simulated process priming the same payload probes and populates
+    // the same residency entries. touch() marks the page and reports
+    // whether another process got there first — exactly the soft-fault
+    // condition the cost model wants. The probe is attached on both the
+    // XIP and materializing paths, so their stats stay bit-identical.
+    uint32_t Gen =
+        LoadedView ? LoadedView->generation() : LoadedCache->Generation;
+    uint64_t PayloadId = fnv1a64U64(Gen, fnv1a64(Result.CachePath));
+    SharedResidencyMap *Map = Opts.SharedResidency;
+    Engine.setResidencyProbe([Map, PayloadId](uint32_t Page) {
+      return Map->touch(PayloadId, Page);
+    });
   }
   if (Opts.ValidateSemantic) {
     // Deep verification at materialization: whenever a primed trace's
@@ -364,6 +391,7 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
     uint32_t GuestInstCount = 0;
     uint32_t PoolOffset = 0;
     uint32_t PoolBytes = 0;
+    uint32_t Heat = 0;
     std::vector<dbi::TraceExit> Exits;
     std::vector<uint32_t> LinkedStarts;
   };
@@ -405,6 +433,7 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
     PendingInstall Install;
     Install.NewStart = NewStart;
     Install.GuestInstCount = Rec.GuestInstCount;
+    Install.Heat = Rec.Heat;
     bool BadExit = false;
     for (const ExitRecord &Exit : Rec.Exits) {
       if (Exit.Kind > static_cast<uint8_t>(ExitKind::Halt)) {
@@ -428,6 +457,7 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
     Install.PoolOffset = static_cast<uint32_t>(Pool.size());
     Install.PoolBytes = static_cast<uint32_t>(Code.size());
     Pool.insert(Pool.end(), Code.begin(), Code.end());
+    Result.PayloadBytesCopied += Code.size();
     SeenStarts.insert(NewStart);
     Installs.push_back(std::move(Install));
   }
@@ -456,6 +486,7 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
         Install.NewStart, Install.GuestInstCount, Install.PoolOffset,
         Install.PoolBytes, std::move(Install.Exits),
         /*FromPersistentCache=*/true);
+    T->setPersistedHeat(Install.Heat);
     auto Added = Cache.addTrace(std::move(T));
     if (!Added) {
       // Data pool exhausted: remaining traces fall back to translation.
@@ -489,6 +520,149 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
   return Status::success();
 }
 
+ErrorOr<bool> PersistentSession::installViewXip(
+    dbi::Engine &Engine, const CacheFileView &View, PrimeResult &Result,
+    const std::vector<int64_t> &Delta,
+    const std::vector<std::pair<uint32_t, uint32_t>> &Region) {
+  // Whole-file gate. XIP executes the mapped payload bytes as-is, so it
+  // is only sound when nothing about this run wants to transform or
+  // re-decode them: the file must have been written page-aligned and
+  // relocation-free (v3), the host's in-memory instruction layout must
+  // equal the encoding, no validation mode may demand decoded private
+  // bodies, and every module must have validated at an unchanged base.
+  // Any disqualifier falls back to the materializing install, whose
+  // modeled charges are bit-identical.
+  if (!View.executeInPlace() || !isa::HostExecutesInPlace ||
+      Opts.ValidateSemantic || Opts.EagerValidate || !LoadedView)
+    return false;
+  for (size_t I = 0; I != Delta.size(); ++I)
+    if (ModuleValidated[I] && Delta[I] != 0)
+      return false; // Rebase would dirty shared pages.
+  if (View.payloadSize() > Engine.options().CodePoolBytes)
+    return false; // Materializing path reports the capacity rejection.
+
+  // Every trace must be usable: the borrowed pool is the whole payload
+  // section and each trace sits at its file code offset, which matches
+  // the materializing path's packed pool offsets only when no entry is
+  // skipped — the invariant behind the two paths' identical page-touch
+  // sequences (and thus identical stats).
+  struct PendingInstall {
+    uint32_t Start = 0;
+    uint32_t GuestInstCount = 0;
+    uint32_t PoolOffset = 0;
+    uint32_t PoolBytes = 0;
+    uint32_t TraceIndex = 0;
+    uint32_t Heat = 0;
+    std::vector<dbi::TraceExit> Exits;
+    std::vector<uint32_t> LinkedStarts;
+  };
+  std::vector<PendingInstall> Installs;
+  std::unordered_set<uint32_t> SeenStarts;
+  Installs.reserve(View.numTraces());
+  SeenStarts.reserve(View.numTraces());
+  for (uint32_t TraceI = 0; TraceI != View.numTraces(); ++TraceI) {
+    const TraceIndexEntry &E = View.entry(TraceI);
+    if (!ModuleValidated[E.ModuleIndex])
+      return false;
+    const auto [RegionBase, RegionSize] = Region[E.ModuleIndex];
+    const size_t MinCodeBytes =
+        dbi::TracePrologueBytes +
+        static_cast<size_t>(E.GuestInstCount) * isa::InstructionSize;
+    bool Usable = E.GuestStart >= RegionBase &&
+                  E.GuestStart - RegionBase < RegionSize &&
+                  E.CodeSize >= MinCodeBytes &&
+                  static_cast<uint64_t>(E.CodeOffset) + E.CodeSize <=
+                      View.payloadSize() &&
+                  !SeenStarts.count(E.GuestStart);
+    if (!Usable)
+      return false;
+
+    PendingInstall Install;
+    Install.Start = E.GuestStart;
+    Install.GuestInstCount = E.GuestInstCount;
+    Install.PoolOffset = E.CodeOffset;
+    Install.PoolBytes = E.CodeSize;
+    Install.TraceIndex = TraceI;
+    Install.Heat = E.Heat;
+    for (const ExitRecord &Exit : View.readExits(TraceI)) {
+      if (Exit.Kind > static_cast<uint8_t>(ExitKind::Halt))
+        return false;
+      Install.Exits.push_back(dbi::TraceExit{
+          static_cast<ExitKind>(Exit.Kind), Exit.InstIndex, Exit.Target,
+          nullptr});
+      Install.LinkedStarts.push_back(Exit.LinkedStart);
+    }
+    SeenStarts.insert(E.GuestStart);
+    Installs.push_back(std::move(Install));
+  }
+
+  // Borrow the mapped payload wholesale: zero bytes copied, zero decode
+  // jobs queued. The view (keepalive) stays alive until the cache
+  // unmaps it — flush/eviction release, never free.
+  dbi::CodeCache &Cache = Engine.cache();
+  Status S = Cache.installBorrowedPool(
+      View.payloadBytes(), View.payloadSize(),
+      std::shared_ptr<const void>(LoadedView));
+  if (!S.ok())
+    return S;
+
+  std::unordered_map<uint32_t, TranslatedTrace *> ByStart;
+  std::vector<std::pair<TranslatedTrace *, std::vector<uint32_t>>>
+      LinkWork;
+  ByStart.reserve(Installs.size());
+  LinkWork.reserve(Installs.size());
+  Cache.reserveTraces(Installs.size());
+  for (PendingInstall &Install : Installs) {
+    auto Payload = std::make_unique<dbi::PersistedPayload>();
+    Payload->ExpectedCodeCrc = View.entry(Install.TraceIndex).CodeCrc;
+    Payload->RebaseDelta = 0;
+    // Execution never rebases (delta zero), but finalize() re-emits an
+    // unexecuted trace's reloc mask with the record it carries forward.
+    if (Opts.PositionIndependent)
+      Payload->RelocMask = View.readRelocMask(Install.TraceIndex);
+    Payload->SourceTraceIndex = Install.TraceIndex;
+    Payload->Xip = true;
+    auto T = std::make_unique<TranslatedTrace>(
+        Install.Start, Install.GuestInstCount, Install.PoolOffset,
+        Install.PoolBytes, std::move(Install.Exits),
+        /*FromPersistentCache=*/true);
+    T->setPersistedPayload(std::move(Payload));
+    T->setPersistedHeat(Install.Heat);
+    auto Added = Cache.addTrace(std::move(T));
+    if (!Added) {
+      // Data pool exhausted: remaining traces fall back to translation
+      // (the materializing path hits the identical limit at the
+      // identical trace, so parity holds).
+      ++Result.TracesSkipped;
+      continue;
+    }
+    ByStart.emplace(Install.Start, *Added);
+    LinkWork.emplace_back(*Added, std::move(Install.LinkedStarts));
+    ++Result.TracesInstalled;
+  }
+  Engine.stats().TracesLoadedFromCache += Result.TracesInstalled;
+
+  if (Engine.options().EnableLinking) {
+    for (auto &[T, LinkedStarts] : LinkWork) {
+      for (uint32_t I = 0; I != LinkedStarts.size(); ++I) {
+        uint32_t Target = LinkedStarts[I];
+        if (Target == 0)
+          continue;
+        const dbi::TraceExit &Exit = T->exits()[I];
+        if (!dbi::isLinkableExit(Exit.Kind) || Exit.Target != Target)
+          continue;
+        auto It = ByStart.find(Target);
+        if (It == ByStart.end())
+          continue;
+        Cache.link(T, I, It->second);
+        ++Result.LinksRestored;
+      }
+    }
+  }
+  Result.XipInstalled = true;
+  return true;
+}
+
 Status PersistentSession::installView(dbi::Engine &Engine,
                                       const CacheFileView &View,
                                       PrimeResult &Result) {
@@ -497,6 +671,14 @@ Status PersistentSession::installView(dbi::Engine &Engine,
   std::vector<int64_t> Delta;
   std::vector<std::pair<uint32_t, uint32_t>> Region;
   validateModules(Engine, View.modules(), Result, Delta, Region);
+
+  // Execute-in-place fast path: borrow the file's mapped payload as the
+  // executable pool instead of copying and decoding it.
+  auto Xip = installViewXip(Engine, View, Result, Delta, Region);
+  if (!Xip)
+    return Xip.status();
+  if (*Xip)
+    return Status::success();
 
   // Build the mapped pool image from usable index entries. Code bytes
   // are copied *raw* — no rebase — because each trace's CRC must run
@@ -508,6 +690,7 @@ Status PersistentSession::installView(dbi::Engine &Engine,
     uint32_t PoolOffset = 0;
     uint32_t PoolBytes = 0;
     uint32_t TraceIndex = 0;
+    uint32_t Heat = 0;
     std::vector<dbi::TraceExit> Exits;
     std::vector<uint32_t> LinkedStarts;
     std::unique_ptr<dbi::PersistedPayload> Payload;
@@ -579,11 +762,13 @@ Status PersistentSession::installView(dbi::Engine &Engine,
     Payload->SourceTraceIndex = TraceI;
     Install.Payload = std::move(Payload);
     Install.TraceIndex = TraceI;
+    Install.Heat = E.Heat;
 
     Install.PoolOffset = static_cast<uint32_t>(Pool.size());
     Install.PoolBytes = E.CodeSize;
     const uint8_t *Code = View.codeBytesOf(TraceI);
     Pool.insert(Pool.end(), Code, Code + E.CodeSize);
+    Result.PayloadBytesCopied += E.CodeSize;
     SeenStarts.insert(NewStart);
     Installs.push_back(std::move(Install));
   }
@@ -624,6 +809,7 @@ Status PersistentSession::installView(dbi::Engine &Engine,
         Install.PoolBytes, std::move(Install.Exits),
         /*FromPersistentCache=*/true);
     T->setPersistedPayload(std::move(Install.Payload));
+    T->setPersistedHeat(Install.Heat);
     auto Added = Cache.addTrace(std::move(T));
     if (!Added) {
       // Data pool exhausted: remaining traces fall back to translation.
@@ -729,6 +915,10 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
   File.ToolHash = ToolHash;
   File.SpecBits = specBitsOf(Engine.spec());
   File.PositionIndependent = Opts.PositionIndependent;
+  // XIP generations are only written for position-independent sessions:
+  // relocation-free bodies are what make the shared payload pages
+  // executable as-is by every later mapping at an unchanged base.
+  File.ExecuteInPlace = Opts.ExecuteInPlace && Opts.PositionIndependent;
   File.Generation = LoadedCache   ? LoadedCache->Generation + 1
                     : LoadedView  ? LoadedView->generation() + 1
                                   : 1;
@@ -794,6 +984,9 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
     Rec.GuestStart = T->guestStart();
     Rec.ModuleIndex = static_cast<uint32_t>(ModIndex);
     Rec.GuestInstCount = T->guestInstCount();
+    // Heat accumulates across the runs that carried this trace: what
+    // the cache file brought in plus this run's executions.
+    Rec.Heat = accumulatedHeat(T->persistedHeat(), T->executionCount());
     const uint8_t *Code = Cache.codeAt(T->poolOffset());
     Rec.Code.assign(Code, Code + T->poolBytes());
     for (const dbi::TraceExit &Exit : T->exits())
@@ -825,10 +1018,13 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
     if (Opts.PositionIndependent) {
       // Mark every address-bearing immediate: branch/call targets plus
       // the module's own text relocations (address materialization).
-      auto Body = T->isMaterialized()
-                      ? ErrorOr<std::vector<isa::Instruction>>(T->body())
-                      : isa::decodeAll(Code + dbi::TracePrologueBytes,
-                                       T->guestInstCount());
+      auto Body =
+          T->isMaterialized()
+              ? ErrorOr<std::vector<isa::Instruction>>(
+                    std::vector<isa::Instruction>(T->body().begin(),
+                                                  T->body().end()))
+              : isa::decodeAll(Code + dbi::TracePrologueBytes,
+                               T->guestInstCount());
       if (!Body)
         return Body.status();
       const LoadedModule &Mod = Image.Modules[ModIndex];
@@ -850,7 +1046,7 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
   // Prior-cache accessors, uniform over the eagerly loaded v1 file and
   // the indexed v2 view. v2 record extraction CRC-checks the payload;
   // failures drop only that trace from the carry-through.
-  const bool HasPrior = LoadedCache.has_value() || LoadedView.has_value();
+  const bool HasPrior = LoadedCache.has_value() || LoadedView != nullptr;
   size_t PriorModules = LoadedCache  ? LoadedCache->Modules.size()
                         : LoadedView ? LoadedView->numModules()
                                      : 0;

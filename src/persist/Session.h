@@ -45,6 +45,7 @@
 #include "persist/CacheStore.h"
 #include "persist/CacheView.h"
 #include "persist/Key.h"
+#include "persist/Residency.h"
 #include "support/ThreadPool.h"
 
 #include <condition_variable>
@@ -68,6 +69,23 @@ struct PersistOptions {
   bool WriteBack = true;
   /// Generate/consume position-independent translations (extension).
   bool PositionIndependent = false;
+  /// Write an execute-in-place (XIP) generation at finalize: format v3
+  /// with a page-aligned payload that later runs mmap directly as
+  /// executable trace bodies instead of decoding private copies.
+  /// Requires PositionIndependent (relocation-free bodies are what make
+  /// the shared pages reusable as-is). Consuming an XIP cache needs no
+  /// option — prime() engages the in-place path automatically whenever
+  /// the file, host and session qualify, and falls back to the
+  /// materializing path (bit-identical stats) otherwise.
+  bool ExecuteInPlace = false;
+  /// Cross-process page-residency model shared by every simulated
+  /// process of a scenario (null: single process, every first touch is
+  /// demand-paged I/O). When set, prime() attaches an engine residency
+  /// probe keyed by (cache path, generation): the first toucher of each
+  /// payload page pays PersistPageTouchCycles, later processes pay
+  /// SharedPageTouchCycles — one shared physical copy per library
+  /// cache. The map must outlive the session.
+  SharedResidencyMap *SharedResidency = nullptr;
   /// Donor cache file to prime from, overriding key lookup (cross-input
   /// and inter-application experiments pick donors explicitly).
   std::string ExplicitCachePath;
@@ -126,6 +144,13 @@ struct PrimeResult {
   /// Payload-validation jobs handed to the worker pool (0 when priming
   /// synchronously).
   uint32_t PayloadJobsQueued = 0;
+  /// True when the cache payload was installed execute-in-place: the
+  /// code pool borrows the file's mapped payload section and prime()
+  /// copied zero payload bytes.
+  bool XipInstalled = false;
+  /// Payload bytes the install path copied into the private code pool
+  /// (0 under XIP — that is the point).
+  uint64_t PayloadBytesCopied = 0;
 };
 
 /// Brackets one engine run with persistent-cache reuse and generation.
@@ -187,6 +212,18 @@ private:
   /// PIC rebase) deferred to Engine::ensureMaterialized().
   Status installView(dbi::Engine &Engine, const CacheFileView &View,
                      PrimeResult &Result);
+  /// v3 execute-in-place install: the code cache borrows the view's
+  /// page-aligned payload section (kept alive by LoadedView) and every
+  /// trace is installed at its file code offset — zero payload bytes
+  /// copied, zero decode work queued. Returns false without touching
+  /// the engine when the file/session/host combination does not
+  /// qualify (any rebase delta, any unusable trace, validation modes,
+  /// big-endian host); the caller then falls back to the materializing
+  /// install, whose modeled stats are bit-identical.
+  ErrorOr<bool>
+  installViewXip(dbi::Engine &Engine, const CacheFileView &View,
+                 PrimeResult &Result, const std::vector<int64_t> &Delta,
+                 const std::vector<std::pair<uint32_t, uint32_t>> &Region);
 
   /// Hands the deferred payload jobs recorded by installView() to the
   /// worker pool and attaches the install queue to \p Engine.
@@ -227,9 +264,11 @@ private:
   std::shared_ptr<FinalizeState> Fin;
 
   /// State carried from prime() to finalize(). At most one of
-  /// LoadedCache (v1) and LoadedView (v2) is engaged.
+  /// LoadedCache (v1) and LoadedView (v2) is engaged. The view is
+  /// shared because an XIP install hands it to the code cache as the
+  /// keepalive of the borrowed payload mapping.
   std::optional<CacheFile> LoadedCache;
-  std::optional<CacheFileView> LoadedView;
+  std::shared_ptr<CacheFileView> LoadedView;
   std::vector<bool> ModuleValidated; ///< Per LoadedCache module.
   std::vector<bool> ModuleLoadedNow; ///< Per LoadedCache module.
   bool LoadedWasOwn = false; ///< Cache came from this app's own slot.

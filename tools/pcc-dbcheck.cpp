@@ -216,6 +216,10 @@ int main(int Argc, char **Argv) {
   if (Report->FilesUnreadable)
     std::printf(", %u unreadable", Report->FilesUnreadable);
   std::printf("\n");
+  if (Report->FilesXip)
+    std::printf("  xip files    %u execute-in-place (v3, page-aligned "
+                "payload)\n",
+                Report->FilesXip);
   if (Report->TracesDropped)
     std::printf("  traces       %u corrupt payload(s) dropped\n",
                 Report->TracesDropped);

@@ -62,11 +62,13 @@ int main(int Argc, char **Argv) {
       std::printf(
           "usage: pcc-dbstat DIR [--header-only | --shrink-to BYTES | "
           "--clear | --locks] [--jobs N]\n"
-          "  --header-only  per-file listing from v2 headers alone: each\n"
-          "                 cache costs one 76-byte read regardless of\n"
-          "                 size (legacy v1 files are listed by magic\n"
-          "                 only, without header fields); the scan\n"
-          "                 column shows each file's open cost\n"
+          "  --header-only  per-file listing from v2/v3 headers alone:\n"
+          "                 each cache costs one 76-byte read regardless\n"
+          "                 of size (legacy v1 files are listed by magic\n"
+          "                 only, without header fields); shows the\n"
+          "                 payload mode (xip/mat), payload page count\n"
+          "                 and alignment, and each file's open cost in\n"
+          "                 the scan column\n"
           "  --shrink-to N  evict caches until the database is <= N "
           "bytes\n"
           "  --clear        delete every cache file\n"
@@ -122,8 +124,8 @@ int main(int Argc, char **Argv) {
                 .count());
       };
       if (!isV2CacheFile(Path)) {
-        Rows[I] = {Name, "v1", "-", "-", "-",
-                   "-",  "-",  "-", "-", ElapsedMicros()};
+        Rows[I] = {Name, "v1", "-", "-", "-", "-", "-",
+                   "-",  "-",  "-", "-", "-", ElapsedMicros()};
         return;
       }
       auto View =
@@ -132,11 +134,19 @@ int main(int Argc, char **Argv) {
         Rows[I] = {Name, "v2", "corrupt: " + View.status().toString(),
                    "",   "",   "",
                    "",   "",   "",
+                   "",   "",   "",
                    ElapsedMicros()};
         return;
       }
+      // Payload placement, from the header alone: the page count is
+      // what a consumer maps (and under XIP, shares); the align column
+      // verifies the v3 on-disk invariant that the payload section
+      // starts on a page boundary.
+      uint32_t PayloadPages =
+          (View->payloadSize() + v2::PayloadAlign - 1) / v2::PayloadAlign;
+      bool Aligned = View->payloadOffset() % v2::PayloadAlign == 0;
       Rows[I] = {Name,
-                 "v2",
+                 View->formatVersion() == v2::XipVersion ? "v3" : "v2",
                  toHex(View->engineHash(), 16),
                  toHex(View->toolHash(), 16),
                  formatString("%u", View->generation()),
@@ -145,6 +155,11 @@ int main(int Argc, char **Argv) {
                      : std::string("-"),
                  formatString("%u", View->numModules()),
                  formatString("%u", View->numTraces()),
+                 View->executeInPlace() ? "xip" : "mat",
+                 formatString("%u", PayloadPages),
+                 Aligned ? "page"
+                         : formatString("+%u", View->payloadOffset() %
+                                                   v2::PayloadAlign),
                  formatByteSize(View->declaredFileBytes()),
                  ElapsedMicros()};
     };
@@ -155,8 +170,8 @@ int main(int Argc, char **Argv) {
         ScanOne(I);
     TablePrinter Table("cache files (header-only scan)");
     Table.addRow({"file", "fmt", "engine key", "tool key", "gen",
-                  "writer", "modules", "traces", "declared size",
-                  "scan"});
+                  "writer", "modules", "traces", "mode", "pl pages",
+                  "pl align", "declared size", "scan"});
     for (std::vector<std::string> &Row : Rows)
       Table.addRow(std::move(Row));
     Table.print();

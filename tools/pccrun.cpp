@@ -14,6 +14,14 @@
 //     --work S:I[,S:I...]  work-list input: run slot S for I iterations
 //     --inter-app          allow priming from another app's cache
 //     --pic                position-independent translations
+//     --xip                write execute-in-place (format v3)
+//                          generations: page-aligned payloads later
+//                          runs mmap directly as executable trace
+//                          bodies instead of copying and decoding
+//                          them. Implies --pic. Consuming an XIP
+//                          cache needs no flag — prime engages the
+//                          in-place path automatically when the file
+//                          qualifies
 //     --read-only          do not write the cache back
 //     --opt-flags          liveness-driven dead-flag-def elision; each
 //                          touched trace is proved effect-equivalent by
@@ -66,6 +74,8 @@ int usage(int Code) {
       "usage: pccrun [options] app.mod\n"
       "  --lib FILE   --mode native|engine|persist   --tool NAME\n"
       "  --db DIR     --work S:I,S:I   --inter-app   --pic\n"
+      "  --xip        write execute-in-place (v3) generations; "
+      "implies --pic\n"
       "  --read-only  --aslr SEED      --stats       --disasm\n"
       "  --opt-flags  validated dead-flag-def elision\n"
       "  --validate   deep semantic trace verification (persist)\n"
@@ -148,7 +158,7 @@ int main(int Argc, char **Argv) {
   std::string DbDir = "pcc-cache";
   std::string WorkSpec;
   std::string FaultPlan;
-  bool InterApp = false, Pic = false, ReadOnly = false;
+  bool InterApp = false, Pic = false, Xip = false, ReadOnly = false;
   bool Stats = false, Disasm = false;
   bool OptFlags = false, Validate = false;
   uint64_t AslrSeed = 0;
@@ -207,6 +217,8 @@ int main(int Argc, char **Argv) {
       InterApp = true;
     else if (Arg == "--pic")
       Pic = true;
+    else if (Arg == "--xip")
+      Xip = Pic = true; // XIP generations are position independent.
     else if (Arg == "--read-only")
       ReadOnly = true;
     else if (Arg == "--opt-flags")
@@ -321,6 +333,7 @@ int main(int Argc, char **Argv) {
     persist::PersistOptions Opts;
     Opts.InterApplication = InterApp;
     Opts.PositionIndependent = Pic;
+    Opts.ExecuteInPlace = Xip;
     Opts.WriteBack = !ReadOnly;
     Opts.ValidateSemantic = Validate;
     // The pool outlives the run: runPersistent's session waits for the
@@ -356,6 +369,12 @@ int main(int Argc, char **Argv) {
                                    R->Prime.ModulesInvalidated)
                           .c_str()
                     : "");
+    if (R->Prime.CacheFound)
+      std::printf("persistent cache: %s (%llu payload bytes copied)\n",
+                  R->Prime.XipInstalled
+                      ? "primed execute-in-place from the mapped payload"
+                      : "primed by materializing payload copies",
+                  (unsigned long long)R->Prime.PayloadBytesCopied);
     if (R->Prime.CandidatesSkippedIo != 0)
       std::printf("persistent cache: %u candidate(s) skipped on I/O "
                   "errors\n",
