@@ -16,11 +16,14 @@
 #include "persist/CacheFile.h"
 #include "persist/DbCheck.h"
 #include "persist/Key.h"
+#include "persist/MemoryStore.h"
 #include "persist/Session.h"
+#include "persist/TieredStore.h"
 #include "support/FileSystem.h"
 #include "support/Hashing.h"
 #include "support/ThreadPool.h"
 #include "workloads/Codegen.h"
+#include "workloads/Fleet.h"
 #include "workloads/Runner.h"
 
 #include <benchmark/benchmark.h>
@@ -516,6 +519,63 @@ void BM_FinalizeBackground(benchmark::State &State) {
                             : "inline publish");
 }
 BENCHMARK(BM_FinalizeBackground)->Arg(0)->Arg(1)->UseManualTime();
+
+/// Host-side cost of one cache open through the tiered store. Arg 0 is
+/// an L1 hit, Arg 1 forces a read-through fetch from L2 on every open
+/// (the L1 copy is retired first, so the fill + quota path runs each
+/// iteration), Arg 2 is a miss in both tiers. The modeled remote cycles
+/// are a guest-side charge; this measures what the *simulator* pays.
+void BM_TieredLoad(benchmark::State &State) {
+  auto L1 = std::make_shared<persist::MemoryStore>("<l1>");
+  auto L2 = std::make_shared<persist::MemoryStore>("<remote>");
+  persist::TieredStore Store(L1, L2);
+  if (!Store.put(1, makeCacheFile(256)).ok())
+    std::abort();
+  const int Mode = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    if (Mode == 1 && !L1->retire(1).ok())
+      std::abort();
+    uint64_t Key = Mode == 2 ? 999 : 1;
+    auto R = Store.openKey(Key, persist::CacheFileView::Depth::Index);
+    if ((Mode == 2) == R.ok())
+      std::abort();
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel(Mode == 0   ? "L1 hit"
+                 : Mode == 1 ? "L2 read-through fetch"
+                             : "miss in both tiers");
+}
+BENCHMARK(BM_TieredLoad)->Arg(0)->Arg(1)->Arg(2);
+
+/// End-to-end host cost of one small fleet simulation (64 machines x 3
+/// rounds), Arg 0 without and Arg 1 with the shared L2. The label
+/// carries the cumulative hit rate, so the run doubles as a smoke check
+/// that the tiered fleet actually converges.
+void BM_FleetConvergence(benchmark::State &State) {
+  workloads::FleetOptions Opts;
+  Opts.Machines = 64;
+  Opts.Rounds = 3;
+  Opts.Libraries = 4;
+  Opts.RegionsPerLibrary = 6;
+  Opts.WithL2 = State.range(0) != 0;
+  uint64_t Hits = 0, Runs = 0;
+  for (auto _ : State) {
+    auto R = workloads::runFleet(Opts);
+    if (!R || (Opts.WithL2 && !R->MonotoneConvergence))
+      std::abort();
+    Hits += R->TotalHits;
+    Runs += R->TotalRuns;
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel(formatString(
+      "%s, cumulative hit rate %.1f%%",
+      Opts.WithL2 ? "shared L2" : "no L2",
+      Runs ? 100.0 * double(Hits) / double(Runs) : 0.0));
+}
+BENCHMARK(BM_FleetConvergence)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EngineThroughput(benchmark::State &State) {
   Fixture &F = fixture();

@@ -24,11 +24,19 @@
 #                                    payload lifetime and concurrent
 #                                    sharing paths are exactly what
 #                                    those sanitizers catch)
+#   scripts/check.sh --fleet         fleet smoke: a small pcc-fleetsim
+#                                    run under ASan with --verify (the
+#                                    tiered run must converge and beat
+#                                    the no-L2 baseline), plus the
+#                                    tiered-store slice of the test
+#                                    suite
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   scripts/check.sh --tsan -R CacheStore
 # In --faults and --xip modes the first extra argument is the number of
-# soak iterations per sanitizer (default 5, 2 for --xip).
+# soak iterations per sanitizer (default 5, 2 for --xip); in --fleet
+# mode it is the simulated machine count (default 96) and the rest goes
+# to pcc-fleetsim.
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -75,6 +83,20 @@ if [ "${1:-}" = "--xip" ]; then
     done
   done
   echo "xip soak passed: $ITERS iteration(s) each under ASan and TSan"
+  exit 0
+fi
+
+if [ "${1:-}" = "--fleet" ]; then
+  shift
+  MACHINES="${1:-96}"
+  [ $# -gt 0 ] && shift
+  SOAK="$ROOT/build-address"
+  cmake -B "$SOAK" -S "$ROOT" -DPCC_SANITIZE=address
+  cmake --build "$SOAK" -j --target pcc-fleetsim --target pcc_tests
+  echo "== fleet smoke: $MACHINES machines under ASan =="
+  "$SOAK/tools/pcc-fleetsim" --machines "$MACHINES" --rounds 3 --verify "$@"
+  "$SOAK/tests/pcc_tests" --gtest_filter='*Tiered*:Backends/*'
+  echo "fleet smoke passed: $MACHINES machines, tiered suite clean"
   exit 0
 fi
 

@@ -91,6 +91,14 @@ struct CostModel {
   uint64_t PersistTraceCrcCycles = 150;
   /// Writing the persistent cache at exit, per 4 KiB page written.
   uint64_t PersistWriteCyclesPerPage = 600;
+  /// Fetching a cache from a remote (L2) store tier: fixed request
+  /// latency — a round trip to a fleet-shared cache service, several
+  /// orders above a local open but far below retranslating a warm
+  /// working set.
+  uint64_t RemoteFetchLatencyCycles = 400000;
+  /// Remote-fetch transfer cost per 4 KiB page of cache file pulled
+  /// over the link (the bandwidth term next to the latency term above).
+  uint64_t RemoteFetchCyclesPerPage = 2000;
   /// @}
 
   /// Locality penalty on translated-code execution when code and data

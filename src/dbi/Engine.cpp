@@ -341,6 +341,12 @@ vm::RunResult Engine::run() {
     }
     Current->countExecution();
     ++Stats.TraceExecutions;
+    if (Stats.TraceExecutions == 1)
+      // Time-to-first-trace: every modeled cycle spent before guest
+      // code first ran — key hashing, cache open, remote fetches,
+      // first compiles/materializations. Guest execution cycles are
+      // still zero here, so totalCycles() is pure startup cost.
+      Stats.FirstTraceReadyCycles = Stats.totalCycles();
 
     const std::span<const Instruction> Body = Current->body();
     const uint32_t TraceStart = Current->guestStart();

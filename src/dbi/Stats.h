@@ -75,6 +75,20 @@ struct EngineStats {
   uint64_t VerifyFailures = 0;    ///< Traces the validator rejected.
   uint64_t FlagsElided = 0;       ///< Dead pure defs replaced with Nop
                                   ///< by the --opt-flags pass.
+  uint64_t PersistL1Hits = 0;     ///< Primes satisfied by the local
+                                  ///< (L1) tier of a tiered store.
+  uint64_t PersistL2Hits = 0;     ///< Primes satisfied by read-through
+                                  ///< from the remote (L2) tier.
+  uint64_t PersistRemoteFetches = 0; ///< Cache files pulled over the
+                                     ///< modeled remote link.
+  uint64_t PersistRemoteBytes = 0;   ///< Bytes those fetches moved.
+  uint64_t FirstTraceReadyCycles = 0; ///< Modeled cycles from engine
+                                      ///< start until the first trace
+                                      ///< began executing (key hashing,
+                                      ///< cache open, remote fetch and
+                                      ///< compile/materialize charges
+                                      ///< included); 0 if no trace ever
+                                      ///< ran.
   /// @}
 
   /// \name Fault tolerance

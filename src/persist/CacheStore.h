@@ -42,12 +42,28 @@ class ThreadPool;
 
 namespace persist {
 
+/// Which tier of a hierarchical store satisfied an open. Flat backends
+/// (DirectoryStore, MemoryStore) leave it None; the TieredStore stamps
+/// L1 (local hit) or L2 (read-through from the remote tier) so the
+/// session can charge modeled remote-fetch cycles and split its hit
+/// statistics.
+enum class CacheTier : uint8_t { None, L1, L2 };
+
 /// A located cache, uniform over the eagerly deserialized legacy (v1)
 /// format and the indexed v2 view whose payloads stay unread until
 /// first execution. Exactly one of the two members is engaged.
 struct StoredCache {
   std::optional<CacheFile> Eager;
   std::optional<CacheFileView> View;
+
+  /// Tier that satisfied the open (None for flat backends).
+  CacheTier Tier = CacheTier::None;
+  /// Bytes pulled over the modeled remote link to satisfy this open
+  /// (0 for local hits).
+  uint64_t RemoteFetchBytes = 0;
+  /// Modeled cycle charge for the remote fetch: request latency plus
+  /// per-page transfer cost (0 for local hits).
+  uint64_t RemoteFetchCycles = 0;
 
   uint64_t engineHash() const {
     return View ? View->engineHash() : Eager->EngineHash;
@@ -212,6 +228,11 @@ public:
   virtual ErrorOr<std::vector<std::string>>
   findCompatible(uint64_t EngineHash, uint64_t ToolHash) = 0;
 
+  /// Refs of every cache slot currently in the store, sorted. Unlike
+  /// findCompatible this is a pure enumeration — no per-file opens —
+  /// so hierarchical stores can reconcile their tiers cheaply.
+  virtual ErrorOr<std::vector<std::string>> listRefs() const = 0;
+
   virtual ErrorOr<StoreStats> stats() = 0;
 
   /// Maintenance: shrinks the store until its total size is at most
@@ -246,8 +267,11 @@ public:
   /// Whether corrupt caches found by opens and scans are moved to the
   /// quarantine automatically (default) or merely reported. Report-only
   /// passes (pcc-dbcheck without --repair) turn this off so observing a
-  /// database never mutates it.
-  void setAutoQuarantine(bool Enabled) { AutoQuarantine = Enabled; }
+  /// database never mutates it. Virtual so hierarchical stores can
+  /// forward the setting to their tiers.
+  virtual void setAutoQuarantine(bool Enabled) {
+    AutoQuarantine = Enabled;
+  }
   bool autoQuarantine() const { return AutoQuarantine; }
 
   /// Worker pool for whole-store scans (findCompatible, stats):
@@ -255,7 +279,10 @@ public:
   /// when one is set. Results are identical with and without a pool —
   /// parallel scans collect into per-file slots and aggregate in
   /// listing order. The pool must outlive the store's use of it.
-  void setScanPool(support::ThreadPool *Pool) { ScanPool = Pool; }
+  /// Virtual so hierarchical stores can forward it to their tiers.
+  virtual void setScanPool(support::ThreadPool *Pool) {
+    ScanPool = Pool;
+  }
   support::ThreadPool *scanPool() const { return ScanPool; }
 
 protected:

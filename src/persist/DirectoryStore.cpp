@@ -267,6 +267,18 @@ DirectoryStore::findCompatible(uint64_t EngineHash, uint64_t ToolHash) {
   return Matches;
 }
 
+ErrorOr<std::vector<std::string>> DirectoryStore::listRefs() const {
+  auto Names = listDirectory(Dir);
+  if (!Names)
+    return Names.status();
+  std::vector<std::string> Refs;
+  for (const std::string &Name : *Names)
+    if (isCacheFileName(Name))
+      Refs.push_back(Dir + "/" + Name);
+  std::sort(Refs.begin(), Refs.end());
+  return Refs;
+}
+
 ErrorOr<StoreStats> DirectoryStore::stats() {
   auto Names = listDirectory(Dir);
   if (!Names)

@@ -76,6 +76,7 @@ public:
   Status clear() override;
   ErrorOr<std::vector<std::string>>
   findCompatible(uint64_t EngineHash, uint64_t ToolHash) override;
+  ErrorOr<std::vector<std::string>> listRefs() const override;
   ErrorOr<StoreStats> stats() override;
   ErrorOr<uint32_t> shrinkTo(uint64_t MaxBytes) override;
   std::vector<LockInfo> locks() const override;

@@ -11,6 +11,9 @@ using namespace pcc::persist;
 
 MemoryStore::MemoryStore() = default;
 
+MemoryStore::MemoryStore(std::string Label)
+    : Location(std::move(Label)) {}
+
 std::string MemoryStore::refFor(uint64_t LookupKey) const {
   return Location + "/" + toHex(LookupKey, 16) + ".pcc";
 }
@@ -173,6 +176,14 @@ MemoryStore::findCompatible(uint64_t EngineHash, uint64_t ToolHash) {
       Matches.push_back(Ref);
   }
   return Matches;
+}
+
+ErrorOr<std::vector<std::string>> MemoryStore::listRefs() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::vector<std::string> Refs;
+  for (const auto &[Ref, Bytes] : Slots)
+    Refs.push_back(Ref);
+  return Refs; // Map order is sorted already.
 }
 
 ErrorOr<StoreStats> MemoryStore::stats() {

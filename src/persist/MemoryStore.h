@@ -32,6 +32,10 @@ namespace persist {
 class MemoryStore : public CacheStore {
 public:
   MemoryStore();
+  /// A store reporting \p Label as its location — distinguishes the
+  /// tiers when several memory backends coexist (e.g. "<remote>" for a
+  /// TieredStore's L2). Refs are "<label>/<hex16>.pcc".
+  explicit MemoryStore(std::string Label);
 
   const std::string &location() const override { return Location; }
   std::string refFor(uint64_t LookupKey) const override;
@@ -47,6 +51,7 @@ public:
   Status clear() override;
   ErrorOr<std::vector<std::string>>
   findCompatible(uint64_t EngineHash, uint64_t ToolHash) override;
+  ErrorOr<std::vector<std::string>> listRefs() const override;
   ErrorOr<StoreStats> stats() override;
   ErrorOr<uint32_t> shrinkTo(uint64_t MaxBytes) override;
   Status quarantineRef(const std::string &Ref,

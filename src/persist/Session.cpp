@@ -184,6 +184,16 @@ ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
 
   Result.CacheFound = true;
   Engine.stats().PersistCycles += Costs.PersistOpenCycles;
+  // Tiered stores stamp which tier satisfied the open; a read-through
+  // hit additionally carries the modeled remote-link charge.
+  if (Source->Tier == CacheTier::L1) {
+    ++Engine.stats().PersistL1Hits;
+  } else if (Source->Tier == CacheTier::L2) {
+    ++Engine.stats().PersistL2Hits;
+    ++Engine.stats().PersistRemoteFetches;
+    Engine.stats().PersistRemoteBytes += Source->RemoteFetchBytes;
+    Engine.stats().PersistCycles += Source->RemoteFetchCycles;
+  }
 
   if (Source->View) {
     // The session owns the view before installing: an XIP install hands

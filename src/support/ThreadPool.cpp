@@ -6,9 +6,13 @@
 #include <memory>
 
 #ifdef __linux__
+#include <cerrno>
 #include <sys/resource.h>
 #include <sys/syscall.h>
 #include <unistd.h>
+#elif defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#include <sched.h>
 #endif
 
 using namespace pcc;
@@ -16,13 +20,30 @@ using namespace pcc::support;
 
 namespace {
 
-/// Drops the calling thread to the lowest scheduling priority.
-/// Raising one's own nice value needs no privilege, and on Linux
-/// setpriority() with a tid affects just this thread.
-void enterBackgroundPriority() {
+/// Drops the calling thread to the lowest scheduling priority. Returns
+/// whether the demotion actually took effect — background mode is a
+/// hint, and a pool whose platform cannot honor it must still run its
+/// tasks at normal priority rather than fail.
+bool enterBackgroundPriority() {
 #ifdef __linux__
-  (void)setpriority(PRIO_PROCESS,
-                    static_cast<id_t>(syscall(SYS_gettid)), 19);
+  // Raising one's own nice value needs no privilege, and on Linux
+  // setpriority() with a tid affects just this thread. setpriority()
+  // can legitimately return -1 as a prior nice value, so success is
+  // errno staying clear, not the return value.
+  errno = 0;
+  if (setpriority(PRIO_PROCESS, static_cast<id_t>(syscall(SYS_gettid)),
+                  19) == -1 &&
+      errno != 0)
+    return false;
+  return true;
+#elif defined(__unix__) || defined(__APPLE__)
+  // Portable POSIX fallback: pin this thread to the bottom of the
+  // default scheduling class.
+  sched_param Param{};
+  Param.sched_priority = sched_get_priority_min(SCHED_OTHER);
+  return pthread_setschedparam(pthread_self(), SCHED_OTHER, &Param) == 0;
+#else
+  return false; // No per-thread priority control on this platform.
 #endif
 }
 
@@ -32,8 +53,8 @@ ThreadPool::ThreadPool(size_t Workers, bool Background) {
   Threads.reserve(Workers);
   for (size_t I = 0; I != Workers; ++I)
     Threads.emplace_back([this, Background] {
-      if (Background)
-        enterBackgroundPriority();
+      if (Background && enterBackgroundPriority())
+        BackgroundWorkers.fetch_add(1, std::memory_order_relaxed);
       workerMain();
     });
 }

@@ -25,6 +25,7 @@
 #ifndef PCC_SUPPORT_THREADPOOL_H
 #define PCC_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -42,13 +43,17 @@ public:
   /// Spawns \p Workers threads. Zero workers is valid: submit() then
   /// runs the task inline on the calling thread.
   ///
-  /// With \p Background set, workers drop to the lowest scheduling
-  /// priority (nice +19 on Linux; no-op elsewhere). The persistence
-  /// pipeline wants this: its tasks are pure latency hiding, so they
-  /// should soak up idle CPU without ever preempting the engine
-  /// thread — which matters most when cores are scarce, exactly when
-  /// preemption would erase the pipeline's benefit. parallelFor's
-  /// calling thread keeps its own priority either way.
+  /// With \p Background set, workers try to drop to the lowest
+  /// scheduling priority (nice +19 on Linux, SCHED_OTHER minimum via
+  /// pthreads elsewhere on POSIX). The demotion is best-effort: where
+  /// the platform refuses — or offers no per-thread priority at all —
+  /// workers run at normal priority and still drain every task; see
+  /// backgroundWorkerCount(). The persistence pipeline wants this:
+  /// its tasks are pure latency hiding, so they should soak up idle
+  /// CPU without ever preempting the engine thread — which matters
+  /// most when cores are scarce, exactly when preemption would erase
+  /// the pipeline's benefit. parallelFor's calling thread keeps its
+  /// own priority either way.
   explicit ThreadPool(size_t Workers, bool Background = false);
 
   /// Drains the queue, joins all workers.
@@ -58,6 +63,13 @@ public:
   ThreadPool &operator=(const ThreadPool &) = delete;
 
   size_t workerCount() const { return Threads.size(); }
+
+  /// Workers whose background-priority demotion actually took effect.
+  /// 0 for non-background pools and on platforms without per-thread
+  /// priority control; such pools still execute tasks normally.
+  size_t backgroundWorkerCount() const {
+    return BackgroundWorkers.load(std::memory_order_relaxed);
+  }
 
   /// Enqueues \p Task. With zero workers, runs it before returning.
   void submit(std::function<void()> Task);
@@ -86,6 +98,7 @@ private:
   std::vector<std::thread> Threads;
   size_t Running = 0; ///< Tasks currently executing on workers.
   bool ShuttingDown = false;
+  std::atomic<size_t> BackgroundWorkers{0}; ///< Demotions that stuck.
 };
 
 } // namespace support

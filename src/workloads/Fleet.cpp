@@ -1,0 +1,264 @@
+//===- workloads/Fleet.cpp ------------------------------------------------===//
+
+#include "workloads/Fleet.h"
+
+#include "persist/MemoryStore.h"
+#include "support/Hashing.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+#include "workloads/Codegen.h"
+#include "workloads/Runner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+using namespace pcc;
+using namespace pcc::workloads;
+
+namespace {
+
+/// One deployable (application, version) binary plus its startup input.
+struct AppVariant {
+  std::shared_ptr<binary::Module> App;
+  std::vector<uint8_t> Input;
+};
+
+/// The fleet's software catalog: shared libraries (identical across
+/// versions) and every app's version lineup.
+struct FleetCatalog {
+  loader::ModuleRegistry Registry;
+  std::vector<std::vector<AppVariant>> Apps; // [app][version]
+};
+
+FleetCatalog buildCatalog(const FleetOptions &Opts) {
+  FleetCatalog Catalog;
+
+  // Shared libraries. Every version of every app links the same library
+  // binaries — a rolling app upgrade does not touch them — so their
+  // translations are the fleet's reusable asset.
+  struct BuiltLib {
+    std::string Name;
+    std::vector<std::string> Symbols;
+  };
+  std::vector<BuiltLib> Libs;
+  for (uint32_t L = 0; L != Opts.Libraries; ++L) {
+    LibraryDef Def;
+    Def.Name = formatString("libfleet%u.so", L);
+    Def.Path = "/usr/lib/" + Def.Name;
+    BuiltLib Built;
+    Built.Name = Def.Name;
+    for (uint32_t R = 0; R != Opts.RegionsPerLibrary; ++R) {
+      RegionDef Region;
+      Region.Name = formatString("fn%u_%u", L, R);
+      Region.Blocks = 8;
+      Region.InstsPerBlock = 12;
+      Region.Seed = fnv1a64U64(L * 97 + R, Opts.Seed);
+      Built.Symbols.push_back(Region.Name);
+      Def.Regions.push_back(std::move(Region));
+    }
+    Catalog.Registry.add(buildLibrary(Def));
+    Libs.push_back(std::move(Built));
+  }
+
+  // Applications: each uses an overlapping subset of roughly half the
+  // libraries (so inter-application donors share real code) plus a
+  // little version-dependent local code — the version bump that changes
+  // the lookup key without touching the libraries.
+  uint32_t LibsPerApp = std::max<uint32_t>(1, (Opts.Libraries + 1) / 2);
+  Catalog.Apps.resize(Opts.Apps);
+  for (uint32_t A = 0; A != Opts.Apps; ++A) {
+    for (uint32_t V = 0; V != Opts.AppVersions; ++V) {
+      AppDef Def;
+      Def.Name = formatString("app%u_v%u", A, V);
+      Def.Path = "/usr/bin/" + Def.Name;
+      uint32_t Slots = 0;
+      for (uint32_t I = 0; I != LibsPerApp; ++I) {
+        const BuiltLib &Lib = Libs[(A + I) % Libs.size()];
+        for (const std::string &Symbol : Lib.Symbols) {
+          Def.Slots.push_back(FunctionSlot::import(Lib.Name, Symbol));
+          ++Slots;
+        }
+      }
+      for (uint32_t I = 0; I != 2; ++I) {
+        RegionDef Region;
+        Region.Name = formatString("app%u", I);
+        Region.Blocks = 8;
+        Region.InstsPerBlock = 12;
+        Region.Seed = fnv1a64U64((uint64_t(A) << 20) | (V << 4) | I,
+                                 fnv1a64("fleet-app"));
+        Def.Slots.push_back(FunctionSlot::local(std::move(Region)));
+        ++Slots;
+      }
+      AppVariant Variant;
+      Variant.App = buildExecutable(Def);
+      // Startup: every slot once (cold), then the entry slot re-runs
+      // warm. Identical shape across versions.
+      std::vector<WorkItem> Items;
+      for (uint32_t S = 0; S != Slots; ++S)
+        Items.push_back(WorkItem{S, 1});
+      Items.push_back(WorkItem{0, 4});
+      Variant.Input = encodeWorkload(Items);
+      Catalog.Registry.add(Variant.App);
+      Catalog.Apps[A].push_back(std::move(Variant));
+    }
+  }
+  return Catalog;
+}
+
+/// Zipf CDF over app popularity ranks.
+std::vector<double> zipfCdf(uint32_t N, double S) {
+  std::vector<double> Cdf(N);
+  double Total = 0;
+  for (uint32_t K = 0; K != N; ++K) {
+    Total += 1.0 / std::pow(double(K + 1), S);
+    Cdf[K] = Total;
+  }
+  for (double &C : Cdf)
+    C /= Total;
+  return Cdf;
+}
+
+uint32_t sampleZipf(const std::vector<double> &Cdf, Rng &R) {
+  double P = R.nextDouble();
+  for (uint32_t K = 0; K != Cdf.size(); ++K)
+    if (P < Cdf[K])
+      return K;
+  return static_cast<uint32_t>(Cdf.size() - 1);
+}
+
+uint64_t percentile(std::vector<uint64_t> &Sorted, uint32_t P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Index = (Sorted.size() - 1) * P / 100;
+  return Sorted[Index];
+}
+
+} // namespace
+
+ErrorOr<FleetReport>
+pcc::workloads::runFleet(const FleetOptions &Opts) {
+  if (Opts.Machines == 0 || Opts.Rounds == 0 || Opts.Apps == 0 ||
+      Opts.AppVersions == 0 || Opts.Libraries == 0)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "fleet simulation requires nonzero shape");
+
+  FleetCatalog Catalog = buildCatalog(Opts);
+  std::vector<double> Cdf = zipfCdf(Opts.Apps, Opts.ZipfS);
+
+  // One private L1 per machine, surviving across rounds; one shared L2
+  // for the whole fleet in tiered mode. TieredStore instances also
+  // persist per machine so their LRU clocks and breakers carry over.
+  auto L2 = std::make_shared<persist::MemoryStore>("<remote>");
+  std::vector<std::shared_ptr<persist::CacheStore>> MachineStores;
+  std::vector<persist::TieredStore *> Tiers; // Borrowed views (tiered).
+  MachineStores.reserve(Opts.Machines);
+  for (uint32_t M = 0; M != Opts.Machines; ++M) {
+    auto L1 = std::make_shared<persist::MemoryStore>(
+        formatString("<l1-%u>", M));
+    if (Opts.WithL2) {
+      auto Tier =
+          std::make_shared<persist::TieredStore>(L1, L2, Opts.Tier);
+      Tiers.push_back(Tier.get());
+      MachineStores.push_back(std::move(Tier));
+    } else {
+      MachineStores.push_back(std::move(L1));
+    }
+  }
+
+  struct RunSample {
+    Status Failure = Status::success();
+    bool Hit = false;
+    uint64_t Ttft = 0;
+    uint64_t L1Hits = 0, L2Hits = 0;
+    uint64_t RemoteFetches = 0, RemoteBytes = 0;
+    uint64_t TracesCompiled = 0;
+  };
+
+  FleetReport Report;
+  uint64_t PublishBytesBefore = 0;
+  double PrevCumulative = 0.0;
+  for (uint32_t Round = 0; Round != Opts.Rounds; ++Round) {
+    std::vector<RunSample> Samples(Opts.Machines);
+    auto RunMachine = [&](size_t M) {
+      RunSample &Sample = Samples[M];
+      // Staggered rollout: each machine is pinned to one version wave.
+      uint32_t Version = static_cast<uint32_t>(
+          fnv1a64U64(M, fnv1a64U64(Opts.Seed, fnv1a64("wave"))) %
+          Opts.AppVersions);
+      Rng R(fnv1a64U64(Round, fnv1a64U64(M, Opts.Seed)));
+      const AppVariant &Variant =
+          Catalog.Apps[sampleZipf(Cdf, R)][Version];
+
+      persist::CacheDatabase Db(MachineStores[M]);
+      persist::PersistOptions Persist;
+      Persist.InterApplication = true; // Donor adoption across versions.
+      auto Result = runPersistent(Catalog.Registry, Variant.App,
+                                  Variant.Input, Db, Persist);
+      if (!Result) {
+        Sample.Failure = Result.status();
+        return;
+      }
+      Sample.Hit = Result->Prime.CacheFound;
+      // Startup is the whole run: the input models everything up to
+      // the ready-for-interaction point, so total modeled cycles are
+      // the machine's time until its first interactive trace.
+      Sample.Ttft = Result->Stats.totalCycles();
+      Sample.L1Hits = Result->Stats.PersistL1Hits;
+      Sample.L2Hits = Result->Stats.PersistL2Hits;
+      Sample.RemoteFetches = Result->Stats.PersistRemoteFetches;
+      Sample.RemoteBytes = Result->Stats.PersistRemoteBytes;
+      Sample.TracesCompiled = Result->Stats.TracesCompiled;
+    };
+    if (Opts.Pool)
+      Opts.Pool->parallelFor(Opts.Machines, RunMachine);
+    else
+      for (uint32_t M = 0; M != Opts.Machines; ++M)
+        RunMachine(M);
+
+    FleetRound Agg;
+    std::vector<uint64_t> Ttfts;
+    Ttfts.reserve(Opts.Machines);
+    for (const RunSample &Sample : Samples) {
+      if (!Sample.Failure.ok())
+        return Sample.Failure;
+      ++Agg.Runs;
+      Agg.CacheHits += Sample.Hit;
+      Agg.L1Hits += Sample.L1Hits;
+      Agg.L2Hits += Sample.L2Hits;
+      Agg.RemoteFetches += Sample.RemoteFetches;
+      Agg.RemoteFetchBytes += Sample.RemoteBytes;
+      Agg.TracesCompiled += Sample.TracesCompiled;
+      Ttfts.push_back(Sample.Ttft);
+    }
+    std::sort(Ttfts.begin(), Ttfts.end());
+    Agg.TtftP50 = percentile(Ttfts, 50);
+    Agg.TtftP99 = percentile(Ttfts, 99);
+    Agg.HitRate = double(Agg.CacheHits) / double(Agg.Runs);
+    Report.TotalRuns += Agg.Runs;
+    Report.TotalHits += Agg.CacheHits;
+    Agg.CumulativeHitRate =
+        double(Report.TotalHits) / double(Report.TotalRuns);
+    if (Agg.CumulativeHitRate + 1e-9 < PrevCumulative)
+      Report.MonotoneConvergence = false;
+    PrevCumulative = Agg.CumulativeHitRate;
+
+    uint64_t PublishBytes = 0;
+    for (persist::TieredStore *Tier : Tiers)
+      PublishBytes += Tier->tieredStats().RemotePublishBytes;
+    Agg.RemotePublishBytes = PublishBytes - PublishBytesBefore;
+    PublishBytesBefore = PublishBytes;
+
+    Report.Rounds.push_back(Agg);
+  }
+
+  if (Opts.WithL2) {
+    if (auto S = L2->stats()) {
+      Report.L2Files = S->CacheFiles;
+      Report.L2Bytes = S->DiskBytes;
+    }
+    for (persist::TieredStore *Tier : Tiers)
+      Report.RemoteFailures += Tier->tieredStats().RemoteFailures;
+  }
+  return Report;
+}

@@ -1,0 +1,113 @@
+//===- workloads/Fleet.h - Fleet-scale cache reuse simulation ---*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulates a fleet of machines sharing one remote (L2) cache tier:
+/// every machine keeps a private L1 store across rounds and, in tiered
+/// mode, reads through / writes through a single shared L2 — the
+/// paper's inter-application database lifted to a population of
+/// desktops. Each round every machine runs one application drawn from a
+/// Zipf popularity distribution; application versions are staggered
+/// across the fleet (a rolling upgrade), so version-skewed machines
+/// exercise the inter-application findCompatible path against caches
+/// the rest of the fleet published.
+///
+/// The simulation reports per-round cache-hit convergence, the modeled
+/// remote-link traffic, and time-to-first-trace percentiles — the
+/// numbers that justify (or refute) a shared tier: translations any one
+/// machine produced should make every other machine's cold start warm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_WORKLOADS_FLEET_H
+#define PCC_WORKLOADS_FLEET_H
+
+#include "persist/TieredStore.h"
+#include "support/ThreadPool.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pcc {
+namespace workloads {
+
+/// Fleet simulation shape and knobs.
+struct FleetOptions {
+  uint32_t Machines = 1000; ///< Simulated machines (private L1 each).
+  uint32_t Rounds = 4;      ///< Runs per machine (one app draw per round).
+  uint32_t Apps = 6;        ///< Distinct applications in the catalog.
+  /// Concurrently deployed versions of each app. Versions differ in
+  /// application-local code only (the lookup key changes, the shared
+  /// libraries do not), so a skewed machine's first run must adopt a
+  /// donor cache via findCompatible to reuse the library translations.
+  uint32_t AppVersions = 3;
+  uint32_t Libraries = 6;   ///< Shared libraries, identical fleet-wide.
+  /// Library size. The defaults make one application's cold translation
+  /// cost several remote fetches — the regime where a shared tier pays
+  /// (GUI startup in the paper is dominated by cold library code).
+  uint32_t RegionsPerLibrary = 20;
+  /// Zipf exponent of app popularity (higher = more skew; the head app
+  /// dominates and converges first).
+  double ZipfS = 1.1;
+  uint64_t Seed = 1;
+  /// With a shared L2 (TieredStore per machine over one remote store);
+  /// off, every machine is L1-only — the no-L2 baseline.
+  bool WithL2 = true;
+  /// Tier policy for every machine's store (quotas, modeled remote
+  /// charges, breaker) in tiered mode.
+  persist::TieredOptions Tier;
+  /// Machines of a round run in parallel across this pool (null:
+  /// sequential). Sessions themselves run synchronously — the pool
+  /// models fleet concurrency, not per-machine pipelining.
+  support::ThreadPool *Pool = nullptr;
+};
+
+/// One round's aggregate over every machine.
+struct FleetRound {
+  uint64_t Runs = 0;
+  uint64_t CacheHits = 0; ///< Runs primed from some cache (own or donor).
+  double HitRate = 0.0;
+  double CumulativeHitRate = 0.0; ///< Over all rounds so far.
+  uint64_t L1Hits = 0;            ///< Primes served by local tiers.
+  uint64_t L2Hits = 0;            ///< Primes served by read-through.
+  uint64_t RemoteFetches = 0;
+  uint64_t RemoteFetchBytes = 0;
+  uint64_t RemotePublishBytes = 0;
+  uint64_t TracesCompiled = 0; ///< Fleet-wide translation work done.
+  /// Modeled time-to-first-trace of the interactive phase: every cycle
+  /// from engine start until the startup input is drained and the app's
+  /// first interactive trace can run — key hashing, cache open, remote
+  /// fetches, translation or materialization, and the startup
+  /// execution itself. Median and 99th percentile across machines.
+  uint64_t TtftP50 = 0;
+  uint64_t TtftP99 = 0;
+};
+
+/// Whole-simulation outcome.
+struct FleetReport {
+  std::vector<FleetRound> Rounds;
+  uint64_t TotalRuns = 0;
+  uint64_t TotalHits = 0;
+  /// Final shared-tier footprint (0 in the no-L2 baseline).
+  uint64_t L2Files = 0;
+  uint64_t L2Bytes = 0;
+  uint64_t RemoteFailures = 0; ///< Absorbed L2 failures, fleet-wide.
+  /// Whether the cumulative hit rate never decreased round over round —
+  /// the convergence property the shared tier exists to provide.
+  bool MonotoneConvergence = true;
+};
+
+/// Runs the simulation. Deterministic for a fixed (options, pool-less)
+/// configuration; with a pool, per-round aggregates may vary slightly in
+/// tiered mode because machines racing within a round publish to L2 in
+/// host order, but cumulative convergence holds regardless.
+ErrorOr<FleetReport> runFleet(const FleetOptions &Opts);
+
+} // namespace workloads
+} // namespace pcc
+
+#endif // PCC_WORKLOADS_FLEET_H

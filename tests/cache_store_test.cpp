@@ -8,10 +8,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dbi/CostModel.h"
 #include "persist/CacheDatabase.h"
 #include "persist/DirectoryStore.h"
 #include "persist/MemoryStore.h"
 #include "persist/Session.h"
+#include "persist/TieredStore.h"
 #include "support/FaultInjector.h"
 #include "support/FileLock.h"
 
@@ -72,21 +74,33 @@ std::set<uint32_t> startsOf(const CacheFile &File) {
 } // namespace
 
 //===----------------------------------------------------------------------===//
-// Backend-agnostic contract, run against both storage backends.
+// Backend-agnostic contract, run against every storage backend: the two
+// flat stores and the tiered store over both L1 flavors (a shared
+// in-memory L2 behind a directory or in-memory L1).
 //===----------------------------------------------------------------------===//
 
 class CacheStoreTest : public ::testing::TestWithParam<const char *> {
 protected:
   std::shared_ptr<CacheStore> makeStore() {
-    if (std::string(GetParam()) == "dir")
+    std::string Kind = GetParam();
+    if (Kind == "dir")
       return std::make_shared<DirectoryStore>(Dir.path() + "/store");
-    return std::make_shared<MemoryStore>();
+    if (Kind == "mem")
+      return std::make_shared<MemoryStore>();
+    std::shared_ptr<CacheStore> L1;
+    if (Kind == "tier-dir")
+      L1 = std::make_shared<DirectoryStore>(Dir.path() + "/l1");
+    else
+      L1 = std::make_shared<MemoryStore>("<l1>");
+    return std::make_shared<TieredStore>(
+        std::move(L1), std::make_shared<MemoryStore>("<remote>"));
   }
   TempDir Dir;
 };
 
 INSTANTIATE_TEST_SUITE_P(Backends, CacheStoreTest,
-                         ::testing::Values("dir", "mem"));
+                         ::testing::Values("dir", "mem", "tier-dir",
+                                           "tier-mem"));
 
 TEST_P(CacheStoreTest, PutOpenLoadRetireRoundtrip) {
   auto Store = makeStore();
@@ -307,6 +321,395 @@ TEST_P(CacheStoreTest, ConcurrentFinalizeMergesBothSessions) {
     EXPECT_EQ(Replay->Stats.TracesCompiled, 0u);
   }
 }
+
+//===----------------------------------------------------------------------===//
+// TieredStore specifics: read-through, write-through, quarantine
+// locality, the remote circuit breaker, and the L1 quota.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// An in-memory L1 over an in-memory L2, with both tiers reachable.
+struct TieredHarness {
+  std::shared_ptr<MemoryStore> L1 =
+      std::make_shared<MemoryStore>("<l1>");
+  std::shared_ptr<MemoryStore> L2 =
+      std::make_shared<MemoryStore>("<remote>");
+  std::shared_ptr<TieredStore> Store;
+  explicit TieredHarness(TieredOptions Opts = TieredOptions())
+      : Store(std::make_shared<TieredStore>(L1, L2, Opts)) {}
+};
+
+} // namespace
+
+TEST(TieredStoreTest, DefaultChargesMatchTheCostModel) {
+  // TieredOptions defaults promise to mirror the engine cost model, so
+  // a store built without one still charges honestly.
+  dbi::CostModel Costs;
+  TieredOptions Opts;
+  EXPECT_EQ(Opts.RemoteFetchLatencyCycles, Costs.RemoteFetchLatencyCycles);
+  EXPECT_EQ(Opts.RemoteFetchCyclesPerPage, Costs.RemoteFetchCyclesPerPage);
+}
+
+TEST(TieredStoreTest, ReadThroughFetchesFillsL1AndStampsTier) {
+  TieredHarness H;
+  // Published elsewhere in the fleet: only the shared tier has it.
+  ASSERT_TRUE(H.L2->put(7, makeFileWithStarts({0x400000})).ok());
+  EXPECT_TRUE(H.Store->exists(7));
+  EXPECT_FALSE(H.L1->exists(7));
+
+  auto First = H.Store->openKey(7, CacheFileView::Depth::Index);
+  ASSERT_TRUE(First.ok()) << First.status().toString();
+  EXPECT_EQ(First->Tier, CacheTier::L2);
+  EXPECT_GT(First->RemoteFetchBytes, 0u);
+  EXPECT_GE(First->RemoteFetchCycles,
+            H.Store->options().RemoteFetchLatencyCycles);
+  EXPECT_TRUE(H.L1->exists(7)); // Read-through filled the local tier.
+
+  auto Second = H.Store->openKey(7, CacheFileView::Depth::Index);
+  ASSERT_TRUE(Second.ok());
+  EXPECT_EQ(Second->Tier, CacheTier::L1);
+  EXPECT_EQ(Second->RemoteFetchBytes, 0u);
+
+  // loadKey reads through the same way.
+  ASSERT_TRUE(H.L2->put(9, makeFileWithStarts({0x400040})).ok());
+  auto Loaded = H.Store->loadKey(9);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.status().toString();
+  EXPECT_TRUE(H.L1->exists(9));
+
+  auto Stats = H.Store->tieredStats();
+  EXPECT_EQ(Stats.L1Hits, 1u);
+  EXPECT_EQ(Stats.L2Hits, 2u);
+  EXPECT_EQ(Stats.RemoteFetches, 2u);
+  EXPECT_EQ(Stats.Misses, 0u);
+  EXPECT_GT(Stats.ModeledRemoteCycles, 0u);
+  EXPECT_FALSE(Stats.RemoteDisabled);
+
+  // A key neither tier holds is a plain miss, not a failure.
+  EXPECT_EQ(H.Store->openRef(H.Store->refFor(8), CacheFileView::Depth::Index)
+                .status()
+                .code(),
+            ErrorCode::NotFound);
+  EXPECT_EQ(H.Store->tieredStats().Misses, 1u);
+  EXPECT_EQ(H.Store->tieredStats().RemoteFailures, 0u);
+}
+
+TEST(TieredStoreTest, WritesGoThroughToTheSharedTier) {
+  TieredHarness H;
+  ASSERT_TRUE(H.Store->put(4, makeFileWithStarts({0x400000})).ok());
+  EXPECT_TRUE(H.L1->exists(4));
+  EXPECT_TRUE(H.L2->exists(4));
+
+  ASSERT_TRUE(H.Store->publish(5, makeFileWithStarts({0x400080}), 0).ok());
+  EXPECT_TRUE(H.L1->exists(5));
+  EXPECT_TRUE(H.L2->exists(5));
+
+  auto Stats = H.Store->tieredStats();
+  EXPECT_EQ(Stats.RemotePublishes, 2u);
+  EXPECT_GT(Stats.RemotePublishBytes, 0u);
+
+  // retire removes from both tiers.
+  ASSERT_TRUE(H.Store->retire(4).ok());
+  EXPECT_FALSE(H.L1->exists(4));
+  EXPECT_FALSE(H.L2->exists(4));
+}
+
+TEST(TieredStoreTest, PublishConflictFillsTheMergeBackIntoL1) {
+  // Two machines (private L1s, one shared L2) publish the same key:
+  // the loser's merge must land in its own L1, and the winner's stale
+  // copy refreshes through the normal read path once retired.
+  auto L2 = std::make_shared<MemoryStore>("<remote>");
+  TieredStore A(std::make_shared<MemoryStore>("<l1-a>"), L2);
+  TieredStore B(std::make_shared<MemoryStore>("<l1-b>"), L2);
+
+  ASSERT_TRUE(A.publish(5, makeFileWithStarts({0x400000}), 0).ok());
+  auto R = B.publish(5, makeFileWithStarts({0x400080}), 0);
+  ASSERT_TRUE(R.ok()) << R.status().toString();
+  EXPECT_TRUE(R->Merged);
+  EXPECT_EQ(R->Generation, 2u);
+
+  auto Local = B.l1().loadKey(5);
+  ASSERT_TRUE(Local.ok());
+  EXPECT_EQ(Local->Generation, 2u);
+  EXPECT_EQ(startsOf(*Local), (std::set<uint32_t>{0x400000, 0x400080}));
+
+  ASSERT_TRUE(A.l1().retire(5).ok());
+  auto Refreshed = A.loadKey(5);
+  ASSERT_TRUE(Refreshed.ok());
+  EXPECT_EQ(Refreshed->Generation, 2u);
+}
+
+TEST(TieredStoreTest, FindCompatibleUnionsRemoteOnlyCandidates) {
+  TieredHarness H;
+  // One cache this machine already holds, one only the fleet has, and
+  // one incompatible remote cache that must be filtered out.
+  ASSERT_TRUE(H.Store->put(1, makeFileWithStarts({0x400000})).ok());
+  ASSERT_TRUE(H.L2->put(2, makeFileWithStarts({0x400040})).ok());
+  CacheFile Alien = makeFileWithStarts({0x400080});
+  Alien.EngineHash ^= 1;
+  ASSERT_TRUE(H.L2->put(3, Alien).ok());
+
+  auto Matches =
+      H.Store->findCompatible(dbi::engineVersionHash(), noToolHash());
+  ASSERT_TRUE(Matches.ok()) << Matches.status().toString();
+  ASSERT_EQ(Matches->size(), 2u);
+  // Local candidates lead (no fetch needed to try them), remote-only
+  // ones follow — all refs in L1's namespace.
+  EXPECT_EQ((*Matches)[0], H.Store->refFor(1));
+  EXPECT_EQ((*Matches)[1], H.Store->refFor(2));
+
+  auto Opened =
+      H.Store->openRef((*Matches)[1], CacheFileView::Depth::Index);
+  ASSERT_TRUE(Opened.ok()) << Opened.status().toString();
+  EXPECT_EQ(Opened->Tier, CacheTier::L2);
+  EXPECT_TRUE(H.L1->exists(2));
+}
+
+TEST(TieredStoreTest, QuarantineIsLocalAndRoundTrips) {
+  TempDir Dir;
+  auto L1 = std::make_shared<DirectoryStore>(Dir.path() + "/l1");
+  auto L2 = std::make_shared<MemoryStore>("<remote>");
+  TieredStore Store(L1, L2);
+  ASSERT_TRUE(Store.put(3, makeFileWithStarts({0x400000})).ok());
+
+  // Quarantine is this machine's judgment: the local copy moves aside,
+  // the fleet's copy is not ours to condemn.
+  ASSERT_TRUE(Store.quarantineRef(Store.refFor(3), "operator").ok());
+  EXPECT_FALSE(L1->exists(3));
+  EXPECT_TRUE(L2->exists(3));
+
+  auto Q = Store.quarantined();
+  ASSERT_TRUE(Q.ok());
+  ASSERT_EQ(Q->size(), 1u);
+  ASSERT_TRUE(Store.restoreQuarantined((*Q)[0].Name).ok());
+  EXPECT_TRUE(L1->exists(3));
+  auto Empty = Store.quarantined();
+  ASSERT_TRUE(Empty.ok());
+  EXPECT_TRUE(Empty->empty());
+
+  ASSERT_TRUE(Store.quarantineRef(Store.refFor(3), "again").ok());
+  auto Purged = Store.purgeQuarantine();
+  ASSERT_TRUE(Purged.ok());
+  EXPECT_EQ(*Purged, 1u);
+  // Purged locally — but still only a remote fetch away.
+  EXPECT_TRUE(Store.exists(3));
+}
+
+TEST(TieredStoreTest, CorruptL1SelfHealsFromRemote) {
+  TempDir Dir;
+  auto L1 = std::make_shared<DirectoryStore>(Dir.path() + "/l1");
+  auto L2 = std::make_shared<MemoryStore>("<remote>");
+  TieredStore Store(L1, L2);
+  ASSERT_TRUE(Store.put(7, makeFileWithStarts({0x400000})).ok());
+
+  // Trash the local copy on disk; the remote copy stays healthy.
+  std::vector<uint8_t> Garbage(32, 0x5a);
+  ASSERT_TRUE(writeFileAtomic(Store.refFor(7), Garbage).ok());
+
+  // The open quarantines the bad local file and reads through.
+  auto Opened = Store.openKey(7, CacheFileView::Depth::Index);
+  ASSERT_TRUE(Opened.ok()) << Opened.status().toString();
+  EXPECT_EQ(Opened->Tier, CacheTier::L2);
+  auto Q = Store.quarantined();
+  ASSERT_TRUE(Q.ok());
+  EXPECT_EQ(Q->size(), 1u);
+
+  // The refetched healthy copy serves locally from now on.
+  auto Again = Store.openKey(7, CacheFileView::Depth::Index);
+  ASSERT_TRUE(Again.ok()) << Again.status().toString();
+  EXPECT_EQ(Again->Tier, CacheTier::L1);
+}
+
+TEST(TieredStoreTest, RemoteIoFailuresOpenTheBreakerAndDegrade) {
+  TempDir Dir;
+  // L1 in memory (immune to injected filesystem faults), L2 on disk so
+  // the process-global injector only ever hits the remote tier.
+  auto L1 = std::make_shared<MemoryStore>("<l1>");
+  auto L2 = std::make_shared<DirectoryStore>(Dir.path() + "/l2");
+  TieredOptions Opts;
+  Opts.RemoteBreakerThreshold = 3;
+  TieredStore Store(L1, L2, Opts);
+  ASSERT_TRUE(L2->put(7, makeFileWithStarts({0x400000})).ok());
+
+  FaultScope Faults;
+  FaultInjector::instance().armCount(FaultOp::Read, 0, /*Times=*/1000);
+  for (int I = 0; I != 3; ++I) {
+    auto R = Store.openKey(7, CacheFileView::Depth::Index);
+    ASSERT_FALSE(R.ok());
+    EXPECT_EQ(R.status().code(), ErrorCode::IoError);
+    EXPECT_EQ(Store.remoteDisabled(), I == 2) << "attempt " << I;
+  }
+  FaultInjector::instance().reset();
+
+  // Breaker open: L1-only for the store's lifetime. The healthy remote
+  // copy is invisible, but local work still lands (and stays local).
+  EXPECT_FALSE(Store.exists(7));
+  ASSERT_TRUE(Store.put(8, makeFileWithStarts({0x400040})).ok());
+  EXPECT_TRUE(Store.exists(8));
+  EXPECT_FALSE(L2->exists(8));
+  auto Stats = Store.tieredStats();
+  EXPECT_TRUE(Stats.RemoteDisabled);
+  EXPECT_GE(Stats.RemoteFailures, 3u);
+}
+
+TEST(TieredStoreTest, SessionSurvivesRemoteOutage) {
+  TinyWorkload W = makeTinyWorkload(3, 2);
+  TempDir Dir;
+  auto L1 = std::make_shared<MemoryStore>("<l1>");
+  auto L2 = std::make_shared<DirectoryStore>(Dir.path() + "/l2");
+  auto Store = std::make_shared<TieredStore>(L1, L2);
+  CacheDatabase Db(Store);
+  auto Input = W.allSlotsInput(2);
+
+  // The remote tier is down for the whole cold run: every write-through
+  // is absorbed, the run succeeds, the cache lands in L1 regardless.
+  FaultScope Faults;
+  FaultInjector::instance().armProbability(FaultOp::Enospc, 1.0);
+  FaultInjector::instance().armProbability(FaultOp::Read, 1.0);
+  auto Cold = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(Cold.ok()) << Cold.status().toString();
+  FaultInjector::instance().reset();
+
+  auto Warm = workloads::runPersistent(W.Registry, W.App, Input, Db);
+  ASSERT_TRUE(Warm.ok()) << Warm.status().toString();
+  EXPECT_TRUE(Warm->Prime.CacheFound);
+  EXPECT_EQ(Warm->Stats.TracesCompiled, 0u);
+  EXPECT_GT(Store->tieredStats().RemoteFailures, 0u);
+  EXPECT_TRUE(Cold->Run.observablyEquals(Warm->Run));
+}
+
+TEST(TieredStoreTest, L1QuotaEvictsColdestLowestHeatFirst) {
+  uint64_t OneFile = makeFileWithStarts({0x400000}).serializedSize();
+  TieredOptions Opts;
+  Opts.L1QuotaBytes = 2 * OneFile + OneFile / 2;
+  TieredHarness H(Opts);
+
+  // Key 1 is the oldest but hot (its traces earned heat); key 2 is
+  // younger but stone cold.
+  CacheFile Hot = makeFileWithStarts({0x400000});
+  Hot.Traces[0].Heat = 64;
+  ASSERT_TRUE(H.Store->put(1, Hot).ok());
+  ASSERT_TRUE(H.Store->put(2, makeFileWithStarts({0x400040})).ok());
+  ASSERT_TRUE(H.Store->put(3, makeFileWithStarts({0x400080})).ok());
+
+  // The quota holds two files: the cold key went, age notwithstanding.
+  EXPECT_TRUE(H.L1->exists(1));
+  EXPECT_FALSE(H.L1->exists(2));
+  EXPECT_TRUE(H.L1->exists(3));
+  EXPECT_GE(H.Store->tieredStats().L1Evictions, 1u);
+
+  // Evicted, not gone: the shared tier still serves it.
+  EXPECT_TRUE(H.Store->exists(2));
+  auto Back = H.Store->openKey(2, CacheFileView::Depth::Index);
+  ASSERT_TRUE(Back.ok()) << Back.status().toString();
+  EXPECT_EQ(Back->Tier, CacheTier::L2);
+}
+
+TEST(TieredStoreTest, FinalizersOnDifferentMachinesMergeThroughL2) {
+  // The fleet version of ConcurrentFinalizeMergesBothSessions: two
+  // machines with private L1s finalize the same key through one shared
+  // L2; a third, empty machine then warm-starts from the merge.
+  TinyWorkload W = makeTinyWorkload(4, 0);
+  auto L2 = std::make_shared<MemoryStore>("<remote>");
+  auto storeFor = [&L2](const char *Label) {
+    return std::make_shared<TieredStore>(
+        std::make_shared<MemoryStore>(Label), L2);
+  };
+  CacheDatabase DbA(storeFor("<l1-a>")), DbB(storeFor("<l1-b>"));
+  auto InputA = W.input({{0, 2}, {1, 2}});
+  auto InputB = W.input({{2, 2}, {3, 2}});
+
+  auto MachineA = workloads::makeMachine(W.Registry, W.App, InputA);
+  auto MachineB = workloads::makeMachine(W.Registry, W.App, InputB);
+  ASSERT_TRUE(MachineA.ok());
+  ASSERT_TRUE(MachineB.ok());
+  dbi::Engine EngineA(*MachineA, nullptr, dbi::EngineOptions());
+  dbi::Engine EngineB(*MachineB, nullptr, dbi::EngineOptions());
+  PersistentSession SessionA(DbA), SessionB(DbB);
+
+  auto PrimeA = SessionA.prime(EngineA);
+  auto PrimeB = SessionB.prime(EngineB);
+  ASSERT_TRUE(PrimeA.ok());
+  ASSERT_TRUE(PrimeB.ok());
+  EXPECT_FALSE(PrimeA->CacheFound);
+  EXPECT_FALSE(PrimeB->CacheFound);
+  ASSERT_EQ(SessionA.lookupKey(), SessionB.lookupKey());
+
+  EngineA.run();
+  EngineB.run();
+  ASSERT_TRUE(SessionA.finalize(EngineA).ok());
+  ASSERT_TRUE(SessionB.finalize(EngineB).ok());
+
+  // The loser merged in the shared tier.
+  auto Merged = L2->loadKey(SessionA.lookupKey());
+  ASSERT_TRUE(Merged.ok()) << Merged.status().toString();
+  EXPECT_EQ(Merged->Generation, 2u);
+
+  for (const auto *Input : {&InputA, &InputB}) {
+    CacheDatabase DbC(storeFor("<l1-c>"));
+    auto Replay = workloads::runPersistent(W.Registry, W.App, *Input, DbC);
+    ASSERT_TRUE(Replay.ok()) << Replay.status().toString();
+    EXPECT_TRUE(Replay->Prime.CacheFound);
+    EXPECT_EQ(Replay->Stats.TracesCompiled, 0u);
+    EXPECT_GT(Replay->Stats.PersistL2Hits, 0u);
+  }
+}
+
+#if PCC_TEST_HAVE_FORK
+TEST(TieredStoreFork, ProcessFinalizersMergeThroughSharedL2) {
+  // Two processes, each its own "machine" (private in-memory L1), race
+  // disjoint halves of one workload through a shared on-disk L2.
+  TinyWorkload W = makeTinyWorkload(4, 0);
+  TempDir Dir;
+  std::string L2Path = Dir.path() + "/l2";
+  auto InputA = W.input({{0, 2}, {1, 2}});
+  auto InputB = W.input({{2, 2}, {3, 2}});
+
+  std::vector<pid_t> Children;
+  for (const auto *Input : {&InputA, &InputB}) {
+    pid_t Pid = fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      auto Store = std::make_shared<TieredStore>(
+          std::make_shared<MemoryStore>("<l1>"),
+          std::make_shared<DirectoryStore>(L2Path));
+      CacheDatabase Db(Store);
+      auto R = workloads::runPersistent(W.Registry, W.App, *Input, Db);
+      _exit(R.ok() ? 0 : 1);
+    }
+    Children.push_back(Pid);
+  }
+  for (pid_t Pid : Children) {
+    int WStatus = 0;
+    ASSERT_EQ(waitpid(Pid, &WStatus, 0), Pid);
+    ASSERT_TRUE(WIFEXITED(WStatus));
+    EXPECT_EQ(WEXITSTATUS(WStatus), 0);
+  }
+
+  // The shared tier holds the merged union and stayed clean.
+  DirectoryStore L2(L2Path);
+  auto Stats = L2.stats();
+  ASSERT_TRUE(Stats.ok());
+  EXPECT_EQ(Stats->CacheFiles, 1u);
+  EXPECT_EQ(Stats->CorruptFiles, 0u);
+  auto Names = listDirectory(L2Path);
+  ASSERT_TRUE(Names.ok());
+  for (const std::string &Name : *Names)
+    EXPECT_FALSE(isAtomicTempName(Name)) << Name;
+
+  // A fresh machine warm-starts from the union, whichever input.
+  for (const auto *Input : {&InputA, &InputB}) {
+    auto Store = std::make_shared<TieredStore>(
+        std::make_shared<MemoryStore>("<fresh>"),
+        std::make_shared<DirectoryStore>(L2Path));
+    CacheDatabase Db(Store);
+    auto Replay = workloads::runPersistent(W.Registry, W.App, *Input, Db);
+    ASSERT_TRUE(Replay.ok()) << Replay.status().toString();
+    EXPECT_TRUE(Replay->Prime.CacheFound);
+    EXPECT_EQ(Replay->Stats.TracesCompiled, 0u);
+  }
+}
+#endif // PCC_TEST_HAVE_FORK
 
 //===----------------------------------------------------------------------===//
 // Directory-backend specifics: crash injection, locks, processes.

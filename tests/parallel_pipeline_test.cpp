@@ -149,6 +149,51 @@ TEST(ThreadPool, ParallelForProgressesWhileWorkersAreBusy) {
   Pool.waitAll();
 }
 
+TEST(ThreadPool, BackgroundModeDrainsAndReportsDemotions) {
+  support::ThreadPool Pool(4, /*Background=*/true);
+  EXPECT_EQ(Pool.workerCount(), 4u);
+  // Demotion is best-effort (platform- and privilege-dependent), but
+  // no more workers than exist can claim it.
+  EXPECT_LE(Pool.backgroundWorkerCount(), Pool.workerCount());
+
+  // Demoted workers still drain everything...
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 200; ++I)
+    Pool.submit([&Count] { Count.fetch_add(1); });
+  Pool.waitAll();
+  EXPECT_EQ(Count.load(), 200);
+
+  // ...and parallelFor, with the (non-demoted) caller participating,
+  // covers every index exactly once.
+  std::vector<std::atomic<int>> Hits(97);
+  Pool.parallelFor(Hits.size(),
+                   [&Hits](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+
+#ifdef __linux__
+  // setpriority(PRIO_PROCESS, tid, 19) needs no privilege: on Linux
+  // every worker must demote itself. Workers record the demotion at
+  // thread entry, asynchronously with the constructor, so allow them a
+  // bounded moment to get there.
+  for (int Spin = 0; Spin < 5000 &&
+                     Pool.backgroundWorkerCount() < Pool.workerCount();
+       ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(Pool.backgroundWorkerCount(), Pool.workerCount());
+#endif
+}
+
+TEST(ThreadPool, BackgroundZeroWorkersNeverDemotesTheCaller) {
+  // Inline mode + background must not touch the calling thread's
+  // priority: the count stays zero and submit still runs inline.
+  support::ThreadPool Pool(0, /*Background=*/true);
+  EXPECT_EQ(Pool.backgroundWorkerCount(), 0u);
+  std::thread::id Runner;
+  Pool.submit([&Runner] { Runner = std::this_thread::get_id(); });
+  EXPECT_EQ(Runner, std::this_thread::get_id());
+}
+
 TEST(ThreadPool, DestructorDrainsPendingTasks) {
   std::atomic<int> Count{0};
   {

@@ -12,6 +12,15 @@
 //   pcc-dbstat DIR --clear          delete every cache file
 //   pcc-dbstat DIR --locks          list writer-coordination locks and
 //                                   whether each is currently held
+//   pcc-dbstat DIR --heat           per-file histogram of the v3 index's
+//                                   per-trace Heat counters (log2
+//                                   buckets) — which caches hold hot
+//                                   translations and which are dead
+//                                   weight a quota would evict first
+//   pcc-dbstat DIR --l2 DIR2        treat DIR as the local L1 of a
+//                                   tiered store with remote tier DIR2
+//                                   and print a per-tier summary line
+//                                   plus the union entry count
 //   pcc-dbstat DIR --jobs N         scan N cache files in parallel
 //                                   (statistics and --header-only
 //                                   rows are identical for any N; the
@@ -22,16 +31,20 @@
 
 #include "persist/CacheDatabase.h"
 #include "persist/CacheView.h"
+#include "persist/DirectoryStore.h"
+#include "persist/TieredStore.h"
 #include "support/FileSystem.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,10 +53,12 @@ using namespace pcc::persist;
 
 int main(int Argc, char **Argv) {
   const char *Dir = nullptr;
+  const char *L2Dir = nullptr;
   bool Clear = false;
   bool Shrink = false;
   bool HeaderOnly = false;
   bool Locks = false;
+  bool Heat = false;
   uint64_t MaxBytes = 0;
   unsigned Jobs = 1;
   for (int I = 1; I < Argc; ++I) {
@@ -53,6 +68,10 @@ int main(int Argc, char **Argv) {
       HeaderOnly = true;
     else if (std::strcmp(Argv[I], "--locks") == 0)
       Locks = true;
+    else if (std::strcmp(Argv[I], "--heat") == 0)
+      Heat = true;
+    else if (std::strcmp(Argv[I], "--l2") == 0 && I + 1 < Argc)
+      L2Dir = Argv[++I];
     else if (std::strcmp(Argv[I], "--shrink-to") == 0 && I + 1 < Argc) {
       Shrink = true;
       MaxBytes = std::strtoull(Argv[++I], nullptr, 0);
@@ -61,7 +80,7 @@ int main(int Argc, char **Argv) {
     else if (std::strcmp(Argv[I], "--help") == 0) {
       std::printf(
           "usage: pcc-dbstat DIR [--header-only | --shrink-to BYTES | "
-          "--clear | --locks] [--jobs N]\n"
+          "--clear | --locks | --heat] [--l2 DIR2] [--jobs N]\n"
           "  --header-only  per-file listing from v2/v3 headers alone:\n"
           "                 each cache costs one 76-byte read regardless\n"
           "                 of size (legacy v1 files are listed by magic\n"
@@ -74,6 +93,11 @@ int main(int Argc, char **Argv) {
           "  --clear        delete every cache file\n"
           "  --locks        list writer-coordination lock files and\n"
           "                 whether each is held right now\n"
+          "  --heat         per-file log2 histogram of per-trace Heat\n"
+          "                 counters from the v3 index (v2 files show\n"
+          "                 every trace as heat 0)\n"
+          "  --l2 DIR2      tiered view: DIR is the local L1, DIR2 the\n"
+          "                 remote L2; prints one summary line per tier\n"
           "  --jobs N       scan N files in parallel (stats and\n"
           "                 --header-only; output is identical for "
           "any N)\n");
@@ -175,6 +199,120 @@ int main(int Argc, char **Argv) {
     for (std::vector<std::string> &Row : Rows)
       Table.addRow(std::move(Row));
     Table.print();
+    return 0;
+  }
+  if (Heat) {
+    auto Names = listDirectory(Dir);
+    if (!Names) {
+      std::fprintf(stderr, "pcc-dbstat: %s\n",
+                   Names.status().toString().c_str());
+      return 1;
+    }
+    std::vector<std::string> CacheNames;
+    for (const std::string &Name : *Names)
+      if (Name.size() >= 4 && Name.substr(Name.size() - 4) == ".pcc")
+        CacheNames.push_back(Name);
+    // Log2 buckets: 0, 1, 2-3, 4-7, 8-15, >=16. A quota evicts from the
+    // left columns first; translations the fleet actually re-executes
+    // accumulate to the right.
+    constexpr size_t NumBuckets = 6;
+    auto bucketOf = [](uint32_t H) -> size_t {
+      if (H == 0)
+        return 0;
+      size_t B = 1;
+      while (B + 1 < NumBuckets && H >= (1u << B))
+        ++B;
+      return B;
+    };
+    std::vector<std::vector<std::string>> Rows(CacheNames.size());
+    uint64_t TotalBuckets[NumBuckets] = {};
+    std::mutex TotalMutex;
+    auto ScanOne = [&](size_t I) {
+      const std::string &Name = CacheNames[I];
+      std::string Path = std::string(Dir) + "/" + Name;
+      auto View =
+          CacheFileView::openFile(Path, CacheFileView::Depth::Index);
+      if (!View) {
+        Rows[I] = {Name, "unreadable: " + View.status().toString(),
+                   "",   "",
+                   "",   "",
+                   "",   "",
+                   ""};
+        return;
+      }
+      uint64_t Buckets[NumBuckets] = {};
+      uint64_t Total = 0, Max = 0;
+      for (uint32_t T = 0; T != View->numTraces(); ++T) {
+        uint32_t H = View->entry(T).Heat;
+        ++Buckets[bucketOf(H)];
+        Total += H;
+        Max = std::max<uint64_t>(Max, H);
+      }
+      Rows[I] = {Name,
+                 formatString("%u", View->numTraces()),
+                 formatString("%llu", (unsigned long long)Buckets[0]),
+                 formatString("%llu", (unsigned long long)Buckets[1]),
+                 formatString("%llu", (unsigned long long)Buckets[2]),
+                 formatString("%llu", (unsigned long long)Buckets[3]),
+                 formatString("%llu", (unsigned long long)Buckets[4]),
+                 formatString("%llu", (unsigned long long)Buckets[5]),
+                 formatString("%llu / %llu", (unsigned long long)Total,
+                              (unsigned long long)Max)};
+      std::lock_guard<std::mutex> Guard(TotalMutex);
+      for (size_t B = 0; B != NumBuckets; ++B)
+        TotalBuckets[B] += Buckets[B];
+    };
+    if (Pool)
+      Pool->parallelFor(CacheNames.size(), ScanOne);
+    else
+      for (size_t I = 0; I < CacheNames.size(); ++I)
+        ScanOne(I);
+    TablePrinter Table("per-trace heat (v3 index counters)");
+    Table.addRow({"file", "traces", "h=0", "h=1", "2-3", "4-7", "8-15",
+                  ">=16", "total/max"});
+    for (std::vector<std::string> &Row : Rows)
+      Table.addRow(std::move(Row));
+    std::vector<std::string> Sum = {"(all)", ""};
+    for (size_t B = 0; B != NumBuckets; ++B)
+      Sum.push_back(
+          formatString("%llu", (unsigned long long)TotalBuckets[B]));
+    Sum.push_back("");
+    Table.addRow(std::move(Sum));
+    Table.print();
+    return 0;
+  }
+  if (L2Dir) {
+    // Tiered view: one summary line per tier, then the union the tiered
+    // store would serve. Quarantine is a local (L1) judgment.
+    auto L1 = std::make_shared<DirectoryStore>(Dir);
+    auto L2 = std::make_shared<DirectoryStore>(L2Dir);
+    if (Pool) {
+      L1->setScanPool(Pool.get());
+      L2->setScanPool(Pool.get());
+    }
+    TieredStore Tiered(L1, L2);
+    std::printf("tiered cache database (L1 %s, L2 %s)\n", Dir, L2Dir);
+    auto printTier = [](const char *Tier, CacheStore &Store) {
+      auto S = Store.stats();
+      if (!S) {
+        std::printf("  %s %s: stats unavailable: %s\n", Tier,
+                    Store.location().c_str(),
+                    S.status().toString().c_str());
+        return;
+      }
+      std::printf("  %s %-24s %u cache file(s) (%u corrupt, %u "
+                  "quarantined), %s, %llu trace(s)\n",
+                  Tier, Store.location().c_str(), S->CacheFiles,
+                  S->CorruptFiles, S->QuarantinedFiles,
+                  formatByteSize(S->DiskBytes).c_str(),
+                  (unsigned long long)S->Traces);
+    };
+    printTier("L1", *L1);
+    printTier("L2", *L2);
+    if (auto Refs = Tiered.listRefs())
+      std::printf("  union                       %zu distinct cache "
+                  "entr%s\n",
+                  Refs->size(), Refs->size() == 1 ? "y" : "ies");
     return 0;
   }
   if (Locks) {

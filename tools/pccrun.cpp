@@ -11,6 +11,15 @@
 //     --tool TOOL          none | bbcount | memtrace | icount
 //     --db DIR             cache database directory (persist mode;
 //                          default ./pcc-cache)
+//     --l2 DIR             remote (L2) store directory: the database
+//                          becomes a tiered store with --db as the
+//                          local L1 — reads miss through to DIR and
+//                          publishes write through to it, with modeled
+//                          remote-link cycle charges on every fetch
+//     --store-stats        print the storage backend's entry/byte/lock
+//                          counters after the run (persist mode); for
+//                          tiered stores, also the per-tier hit/fetch
+//                          split
 //     --work S:I[,S:I...]  work-list input: run slot S for I iterations
 //     --inter-app          allow priming from another app's cache
 //     --pic                position-independent translations
@@ -49,7 +58,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "binary/Assembler.h"
+#include "persist/DirectoryStore.h"
 #include "persist/Session.h"
+#include "persist/TieredStore.h"
 #include "support/FaultInjector.h"
 #include "support/FileSystem.h"
 #include "support/StringUtils.h"
@@ -74,6 +85,8 @@ int usage(int Code) {
       "usage: pccrun [options] app.mod\n"
       "  --lib FILE   --mode native|engine|persist   --tool NAME\n"
       "  --db DIR     --work S:I,S:I   --inter-app   --pic\n"
+      "  --l2 DIR     remote store tier behind --db (persist mode)\n"
+      "  --store-stats  storage backend counters after the run\n"
       "  --xip        write execute-in-place (v3) generations; "
       "implies --pic\n"
       "  --read-only  --aslr SEED      --stats       --disasm\n"
@@ -139,6 +152,15 @@ void printStats(const dbi::EngineStats &S) {
               (unsigned long long)S.TraceExecutions,
               (unsigned long long)S.LinksCreated,
               (unsigned long long)S.CacheFlushes);
+  if (S.FirstTraceReadyCycles != 0)
+    std::printf("  first trace ready after %llu cycles\n",
+                (unsigned long long)S.FirstTraceReadyCycles);
+  if (S.PersistL1Hits != 0 || S.PersistL2Hits != 0)
+    std::printf("  tiered prime: %llu L1 hit(s), %llu L2 hit(s), "
+                "%llu remote byte(s) fetched\n",
+                (unsigned long long)S.PersistL1Hits,
+                (unsigned long long)S.PersistL2Hits,
+                (unsigned long long)S.PersistRemoteBytes);
   if (S.TracesVerified != 0 || S.VerifyFailures != 0 ||
       S.FlagsElided != 0)
     std::printf("  validation: %llu traces proved equivalent, %llu "
@@ -156,10 +178,11 @@ int main(int Argc, char **Argv) {
   std::string Mode = "engine";
   std::string ToolName = "none";
   std::string DbDir = "pcc-cache";
+  std::string L2Dir;
   std::string WorkSpec;
   std::string FaultPlan;
   bool InterApp = false, Pic = false, Xip = false, ReadOnly = false;
-  bool Stats = false, Disasm = false;
+  bool Stats = false, Disasm = false, StoreStats = false;
   bool OptFlags = false, Validate = false;
   uint64_t AslrSeed = 0;
   bool Randomized = false;
@@ -190,6 +213,11 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--db") {
       if (const char *V = next())
         DbDir = V;
+      else
+        return usage(2);
+    } else if (Arg == "--l2") {
+      if (const char *V = next())
+        L2Dir = V;
       else
         return usage(2);
     } else if (Arg == "--work") {
@@ -227,6 +255,8 @@ int main(int Argc, char **Argv) {
       Validate = true;
     else if (Arg == "--stats")
       Stats = true;
+    else if (Arg == "--store-stats")
+      StoreStats = true;
     else if (Arg == "--disasm")
       Disasm = true;
     else if (!Arg.empty() && Arg[0] == '-')
@@ -329,7 +359,20 @@ int main(int Argc, char **Argv) {
     EngineStats = R->Stats;
     HaveStats = true;
   } else if (Mode == "persist") {
-    persist::CacheDatabase Db(DbDir);
+    // With --l2, the database is a tiered store: --db is the local L1,
+    // --l2 the shared remote tier every fetch is charged against.
+    persist::TieredStore *Tier = nullptr;
+    std::shared_ptr<persist::CacheStore> Backend;
+    if (L2Dir.empty()) {
+      Backend = std::make_shared<persist::DirectoryStore>(DbDir);
+    } else {
+      auto Tiered = std::make_shared<persist::TieredStore>(
+          std::make_shared<persist::DirectoryStore>(DbDir),
+          std::make_shared<persist::DirectoryStore>(L2Dir));
+      Tier = Tiered.get();
+      Backend = std::move(Tiered);
+    }
+    persist::CacheDatabase Db(Backend);
     persist::PersistOptions Opts;
     Opts.InterApplication = InterApp;
     Opts.PositionIndependent = Pic;
@@ -386,6 +429,41 @@ int main(int Argc, char **Argv) {
     if (R->Stats.PersistDegraded)
       std::printf("persistence degraded to in-memory only: %s\n",
                   R->Stats.PersistDegradeReason.c_str());
+    if (R->Stats.PersistL2Hits != 0)
+      std::printf("persistent cache: primed by remote read-through "
+                  "(%llu bytes fetched over the modeled link)\n",
+                  (unsigned long long)R->Stats.PersistRemoteBytes);
+    if (StoreStats) {
+      auto S = Backend->stats();
+      if (S)
+        std::printf("store: %u cache file(s) (%u corrupt, %u "
+                    "quarantined), %llu bytes on disk, %llu trace(s), "
+                    "%zu lock file(s)\n",
+                    S->CacheFiles, S->CorruptFiles, S->QuarantinedFiles,
+                    (unsigned long long)S->DiskBytes,
+                    (unsigned long long)S->Traces,
+                    Backend->locks().size());
+      else
+        std::printf("store: stats unavailable: %s\n",
+                    S.status().toString().c_str());
+      if (Tier) {
+        persist::TieredStats T = Tier->tieredStats();
+        std::printf("store tiers: %llu L1 hit(s), %llu L2 hit(s), %llu "
+                    "miss(es); %llu fetch(es) / %llu bytes in, %llu "
+                    "publish(es) / %llu bytes out; %llu remote "
+                    "failure(s)%s\n",
+                    (unsigned long long)T.L1Hits,
+                    (unsigned long long)T.L2Hits,
+                    (unsigned long long)T.Misses,
+                    (unsigned long long)T.RemoteFetches,
+                    (unsigned long long)T.RemoteFetchBytes,
+                    (unsigned long long)T.RemotePublishes,
+                    (unsigned long long)T.RemotePublishBytes,
+                    (unsigned long long)T.RemoteFailures,
+                    T.RemoteDisabled ? "; remote DISABLED (breaker)"
+                                     : "");
+      }
+    }
     Run = R->Run;
     EngineStats = R->Stats;
     HaveStats = true;
