@@ -30,11 +30,23 @@
 #                                    the no-L2 baseline), plus the
 #                                    tiered-store slice of the test
 #                                    suite
+#   scripts/check.sh --replay        record/replay soak: runs the
+#                                    replay_test binary (fault-storm
+#                                    recording over 20 seeds, tiered
+#                                    and XIP configs, differential
+#                                    legs) under ASan and then TSan,
+#                                    plus a pccrun --record/--replay/
+#                                    --replay-diff round trip over a
+#                                    faulty tiered run; the TSan pass
+#                                    records on 4 workers and replays
+#                                    with --jobs 0 and --jobs 16 to
+#                                    prove worker-count independence
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   scripts/check.sh --tsan -R CacheStore
-# In --faults and --xip modes the first extra argument is the number of
-# soak iterations per sanitizer (default 5, 2 for --xip); in --fleet
+# In --faults, --xip and --replay modes the first extra argument is the
+# number of soak iterations per sanitizer (default 5, 2 for --xip and
+# --replay); in --fleet
 # mode it is the simulated machine count (default 96) and the rest goes
 # to pcc-fleetsim.
 set -eu
@@ -97,6 +109,45 @@ if [ "${1:-}" = "--fleet" ]; then
   "$SOAK/tools/pcc-fleetsim" --machines "$MACHINES" --rounds 3 --verify "$@"
   "$SOAK/tests/pcc_tests" --gtest_filter='*Tiered*:Backends/*'
   echo "fleet smoke passed: $MACHINES machines, tiered suite clean"
+  exit 0
+fi
+
+if [ "${1:-}" = "--replay" ]; then
+  shift
+  ITERS="${1:-2}"
+  [ $# -gt 0 ] && shift
+  for SAN in address thread; do
+    SOAK="$ROOT/build-$SAN"
+    cmake -B "$SOAK" -S "$ROOT" -DPCC_SANITIZE=$SAN
+    cmake --build "$SOAK" -j --target replay_test --target pccrun \
+      --target pcc-asm
+    I=1
+    while [ "$I" -le "$ITERS" ]; do
+      echo "== replay soak ($SAN) iteration $I/$ITERS =="
+      "$SOAK/tests/replay_test"
+      I=$((I + 1))
+    done
+    # Tool-level round trip over a faulty tiered store. The TSan pass
+    # records on four pipeline workers and then replays the same log
+    # synchronously and on sixteen workers: any worker count must
+    # reproduce the recording bit for bit.
+    REC_JOBS=0
+    [ "$SAN" = thread ] && REC_JOBS=4
+    TMP=$(mktemp -d)
+    "$SOAK/tools/pcc-asm" "$ROOT/examples/asm/fib.s" -o "$TMP/fib.mod"
+    for LOG in cold warm; do
+      "$SOAK/tools/pccrun" --mode persist --db "$TMP/l1" \
+        --l2 "$TMP/l2" --jobs "$REC_JOBS" \
+        --fault-plan "enospc:0.1,fsync:0.1,lock:0.25" \
+        --record "$TMP/$LOG.pcrr" "$TMP/fib.mod"
+    done
+    "$SOAK/tools/pccrun" --replay "$TMP/cold.pcrr" --jobs 0
+    "$SOAK/tools/pccrun" --replay "$TMP/warm.pcrr" --jobs 0
+    "$SOAK/tools/pccrun" --replay "$TMP/warm.pcrr" --jobs 16
+    "$SOAK/tools/pccrun" --replay-diff "$TMP/warm.pcrr"
+    rm -rf "$TMP"
+  done
+  echo "replay soak passed: $ITERS iteration(s) each under ASan and TSan"
   exit 0
 fi
 

@@ -29,6 +29,7 @@ bool TraceInstallQueue::runNextJob() {
     Index = NextScan++;
     Jobs[Index].State = JobState::Claimed;
     ++InFlight;
+    ++Sched.ChunksClaimed;
     Fn = std::move(Jobs[Index].Fn);
   }
   std::vector<ReadyTrace> Results = Fn(); // Outside the lock.
@@ -36,6 +37,7 @@ bool TraceInstallQueue::runNextJob() {
     std::unique_lock<std::mutex> Lock(Mutex);
     Jobs[Index].Results = std::move(Results);
     Jobs[Index].State = JobState::Published;
+    ++Sched.ChunksPublished;
     --InFlight;
   }
   Advanced.notify_all();
@@ -70,6 +72,7 @@ std::vector<ReadyTrace> TraceInstallQueue::takeFor(uint32_t GuestStart) {
     // to the same inline path at their own first executions.
     J.State = JobState::Consumed;
     J.Fn = nullptr;
+    ++Sched.ChunksWithdrawn;
     return {};
   case JobState::Claimed:
     // A worker is mid-validation. Do not wait for it: the workers may
@@ -78,6 +81,7 @@ std::vector<ReadyTrace> TraceInstallQueue::takeFor(uint32_t GuestStart) {
     // caller validates its one trace inline — duplicate host-side work
     // on immutable bytes, invisible to the cost model — and the
     // worker's result is simply never consumed for that trace.
+    ++Sched.ChunksInFlightSkipped;
     return {};
   case JobState::Published:
     break;
@@ -101,4 +105,9 @@ void TraceInstallQueue::cancelPending() {
 void TraceInstallQueue::waitInFlight() {
   std::unique_lock<std::mutex> Lock(Mutex);
   Advanced.wait(Lock, [this] { return InFlight == 0; });
+}
+
+ScheduleStats TraceInstallQueue::scheduleStats() const {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return Sched;
 }

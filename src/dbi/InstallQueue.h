@@ -51,6 +51,18 @@
 namespace pcc {
 namespace dbi {
 
+/// Counters of the scheduling decisions the queue made over its
+/// lifetime. The engine's results are invariant to them by design
+/// (see the class invariants below); a recorder captures them as a
+/// *diagnostic* timeline so a replay divergence can be attributed to
+/// scheduling vs. input drift.
+struct ScheduleStats {
+  uint64_t ChunksPublished = 0; ///< Worker jobs that ran to publish.
+  uint64_t ChunksClaimed = 0;   ///< Jobs claimed by a worker.
+  uint64_t ChunksWithdrawn = 0; ///< Unclaimed jobs takeFor() withdrew.
+  uint64_t ChunksInFlightSkipped = 0; ///< takeFor() hit a Claimed job.
+};
+
 /// One background-validated persisted payload, ready to install.
 struct ReadyTrace {
   uint32_t GuestStart = 0;
@@ -118,6 +130,9 @@ public:
 
   size_t jobCount() const { return Jobs.size(); }
 
+  /// Snapshot of the scheduling decisions made so far (thread-safe).
+  ScheduleStats scheduleStats() const;
+
 private:
   enum class JobState : uint8_t {
     Unclaimed, ///< Waiting for a worker (or a takeFor withdrawal).
@@ -138,6 +153,7 @@ private:
   std::unordered_map<uint32_t, size_t> ByStart;
   size_t NextScan = 0;  ///< Claim cursor (everything before is taken).
   size_t InFlight = 0;  ///< Jobs in state Claimed.
+  ScheduleStats Sched;  ///< Guarded by Mutex.
 };
 
 } // namespace dbi

@@ -2,7 +2,10 @@
 
 #include "loader/AddressSpace.h"
 
+#include "support/Hashing.h"
 #include "support/StringUtils.h"
+
+#include <algorithm>
 
 using namespace pcc;
 using namespace pcc::loader;
@@ -140,4 +143,19 @@ Status AddressSpace::readBytes(uint32_t Addr, void *Out,
 Status AddressSpace::fetchInstructionBytes(uint32_t Addr,
                                            uint8_t *Out) const {
   return readBytes(Addr, Out, isa::InstructionSize);
+}
+
+uint64_t AddressSpace::contentHash() const {
+  std::vector<uint32_t> Indices;
+  Indices.reserve(Pages.size());
+  for (const auto &[Index, P] : Pages)
+    Indices.push_back(Index);
+  std::sort(Indices.begin(), Indices.end());
+  uint64_t Hash = Fnv1a64Init;
+  for (uint32_t Index : Indices) {
+    Hash = fnv1a64U64(Index, Hash);
+    const Page &P = *Pages.at(Index);
+    Hash = fnv1a64Bytes(P.data(), P.size(), Hash);
+  }
+  return Hash;
 }

@@ -58,6 +58,12 @@ public:
     return static_cast<uint64_t>(Pages.size()) * binary::PageSize;
   }
 
+  /// Order-independent digest of the full mapped contents: pages are
+  /// hashed in ascending page-number order, so two spaces with the same
+  /// mappings and bytes produce the same value regardless of mapping
+  /// order. Replay uses this to prove final memory is bit-identical.
+  uint64_t contentHash() const;
+
 private:
   using Page = std::vector<uint8_t>;
 

@@ -6,6 +6,7 @@
 #include "support/Random.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <deque>
 
 using namespace pcc;
@@ -22,6 +23,18 @@ std::shared_ptr<const Module>
 ModuleRegistry::find(const std::string &Name) const {
   auto It = Modules.find(Name);
   return It == Modules.end() ? nullptr : It->second;
+}
+
+std::vector<std::shared_ptr<const Module>> ModuleRegistry::all() const {
+  std::vector<std::shared_ptr<const Module>> Out;
+  Out.reserve(Modules.size());
+  for (const auto &[Name, Mod] : Modules)
+    Out.push_back(Mod);
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &A, const auto &B) {
+              return A->name() < B->name();
+            });
+  return Out;
 }
 
 const LoadedModule *LoadedImage::findByAddress(uint32_t Addr) const {

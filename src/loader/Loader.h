@@ -49,6 +49,10 @@ public:
 
   size_t size() const { return Modules.size(); }
 
+  /// All registered modules, sorted by name — a deterministic order for
+  /// serialization (the record/replay log stores registries this way).
+  std::vector<std::shared_ptr<const binary::Module>> all() const;
+
 private:
   std::unordered_map<std::string, std::shared_ptr<const binary::Module>>
       Modules;

@@ -142,6 +142,10 @@ struct QuarantineEntry {
   /// Parsed classification of Reason.
   QuarantineReasonCode Code = QuarantineReasonCode::Unknown;
   uint64_t Bytes = 0;
+  /// Name of the record/replay log attached to this entry ("" when the
+  /// quarantining run was not recorded). `pcc-dbcheck --replay` uses it
+  /// to re-run the offending execution.
+  std::string ReplayLog;
 };
 
 /// One advisory lock a store uses for writer coordination, with its
@@ -263,6 +267,26 @@ public:
 
   /// Deletes every quarantined cache. \returns how many were purged.
   virtual ErrorOr<uint32_t> purgeQuarantine() = 0;
+
+  /// Stores an auxiliary artifact (e.g. a `.pcrr` record/replay log)
+  /// next to the quarantined caches under \p FileName, so the evidence
+  /// for a quarantine travels with it. Purging the quarantine removes
+  /// attachments too. Backends without quarantine storage may refuse.
+  virtual Status attachToQuarantine(const std::string &FileName,
+                                    const std::vector<uint8_t> &Bytes) {
+    (void)FileName;
+    (void)Bytes;
+    return Status::error(ErrorCode::InvalidArgument,
+                         "store does not support quarantine attachments");
+  }
+
+  /// Reads back an attachment stored by attachToQuarantine().
+  virtual ErrorOr<std::vector<uint8_t>>
+  readQuarantineAttachment(const std::string &FileName) {
+    (void)FileName;
+    return Status::error(ErrorCode::InvalidArgument,
+                         "store does not support quarantine attachments");
+  }
 
   /// Whether corrupt caches found by opens and scans are moved to the
   /// quarantine automatically (default) or merely reported. Report-only

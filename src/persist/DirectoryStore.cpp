@@ -2,6 +2,7 @@
 
 #include "persist/DirectoryStore.h"
 
+#include "persist/RecordingHooks.h"
 #include "support/FileLock.h"
 #include "support/FileSystem.h"
 #include "support/Random.h"
@@ -11,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -25,6 +27,28 @@ bool isCacheFileName(const std::string &Name) {
 
 bool isLockFileName(const std::string &Name) {
   return Name.size() >= 5 && Name.substr(Name.size() - 5) == ".lock";
+}
+
+bool isAttachmentFileName(const std::string &Name) {
+  return Name.size() >= 5 && Name.substr(Name.size() - 5) == ".pcrr";
+}
+
+/// Raw stdio read that bypasses pcc::readFile, so observing cache bytes
+/// for a recording never consumes a FaultOp::Read decision — the
+/// record-time and replay-time fault streams must see the exact same
+/// call sequence.
+bool readFileRaw(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  Out.clear();
+  uint8_t Buffer[1 << 16];
+  size_t Got = 0;
+  while ((Got = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Out.insert(Out.end(), Buffer, Buffer + Got);
+  bool Ok = std::ferror(File) == 0;
+  std::fclose(File);
+  return Ok;
 }
 
 } // namespace
@@ -63,6 +87,13 @@ bool DirectoryStore::exists(uint64_t LookupKey) const {
 
 ErrorOr<StoredCache> DirectoryStore::openRef(const std::string &Ref,
                                              CacheFileView::Depth D) {
+  if (RecordingHooks *Hooks = recordingHooks()) {
+    // Capture the slot's bytes before parsing: a corrupt cache that the
+    // open below quarantines must be reproducible at replay too.
+    std::vector<uint8_t> Raw;
+    if (readFileRaw(Ref, Raw))
+      Hooks->onCacheObserved(Ref, Raw);
+  }
   StoredCache Cache;
   if (isV2CacheFile(Ref)) {
     // Indexed open: header (and at Depth::Index the module table and
@@ -412,8 +443,8 @@ ErrorOr<uint32_t> DirectoryStore::shrinkTo(uint64_t MaxBytes) {
     if (!E.Corrupt)
       continue;
     if (quarantineRef(E.Path,
-                      encodeQuarantineReason(
-                          QuarantineReasonCode::InvalidFormat,
+                      annotatedQuarantineReason(
+                          E.Path, QuarantineReasonCode::InvalidFormat,
                           "failed validation during shrink"))
             .ok() ||
         removeFile(E.Path).ok()) {
@@ -480,10 +511,13 @@ ErrorOr<std::vector<QuarantineEntry>> DirectoryStore::quarantined() {
       continue;
     if (isAtomicTempName(Name))
       continue; // A crashed reason write, not a quarantined cache.
+    if (isAttachmentFileName(Name))
+      continue; // A replay-log attachment, not a quarantined cache.
     QuarantineEntry E;
     E.Name = Name;
     if (auto Reason = readFile(quarantineDir() + "/" + Name + ".reason")) {
       std::string Stored(Reason->begin(), Reason->end());
+      Stored = splitReplayAnnotation(Stored, &E.ReplayLog);
       E.Code = parseQuarantineReason(Stored, &E.Reason);
     }
     if (auto Size = fileSize(quarantineDir() + "/" + Name))
@@ -520,7 +554,32 @@ ErrorOr<uint32_t> DirectoryStore::purgeQuarantine() {
     (void)removeFile(quarantineDir() + "/" + E.Name + ".reason");
     ++Purged;
   }
+  // Attachments (replay logs) go with the evidence they document.
+  if (auto Names = listDirectory(quarantineDir()))
+    for (const std::string &Name : *Names)
+      if (isAttachmentFileName(Name))
+        (void)removeFile(quarantineDir() + "/" + Name);
   return Purged;
+}
+
+Status
+DirectoryStore::attachToQuarantine(const std::string &FileName,
+                                   const std::vector<uint8_t> &Bytes) {
+  if (FileName.empty() || FileName.find('/') != std::string::npos)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "bad attachment name: " + FileName);
+  Status S = createDirectories(quarantineDir());
+  if (!S.ok())
+    return S;
+  return writeFileAtomic(quarantineDir() + "/" + FileName, Bytes);
+}
+
+ErrorOr<std::vector<uint8_t>>
+DirectoryStore::readQuarantineAttachment(const std::string &FileName) {
+  if (FileName.empty() || FileName.find('/') != std::string::npos)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "bad attachment name: " + FileName);
+  return readFile(quarantineDir() + "/" + FileName);
 }
 
 void DirectoryStore::maybeAutoQuarantine(const std::string &Ref,
@@ -555,10 +614,9 @@ void DirectoryStore::maybeAutoQuarantine(const std::string &Ref,
         !File && File.status().code() == ErrorCode::InvalidFormat;
   }
   if (StillCorrupt)
-    (void)quarantineRef(Ref,
-                        encodeQuarantineReason(
-                            QuarantineReasonCode::InvalidFormat,
-                            Failure.message()));
+    (void)quarantineRef(Ref, annotatedQuarantineReason(
+                                 Ref, QuarantineReasonCode::InvalidFormat,
+                                 Failure.message()));
 }
 
 std::vector<LockInfo> DirectoryStore::locks() const {

@@ -85,6 +85,10 @@ public:
   ErrorOr<std::vector<QuarantineEntry>> quarantined() override;
   Status restoreQuarantined(const std::string &Name) override;
   ErrorOr<uint32_t> purgeQuarantine() override;
+  Status attachToQuarantine(const std::string &FileName,
+                            const std::vector<uint8_t> &Bytes) override;
+  ErrorOr<std::vector<uint8_t>>
+  readQuarantineAttachment(const std::string &FileName) override;
 
   /// Replaces the publisher lock-retry policy (tests tighten it).
   void setRetryPolicy(const RetryPolicy &P) { Policy = P; }

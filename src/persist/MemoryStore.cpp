@@ -2,6 +2,7 @@
 
 #include "persist/MemoryStore.h"
 
+#include "persist/RecordingHooks.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -71,15 +72,16 @@ ErrorOr<StoredCache> MemoryStore::openRef(const std::string &Ref,
       return Status::error(ErrorCode::NotFound, "no cache at " + Ref);
     Bytes = It->second;
   }
+  if (RecordingHooks *Hooks = recordingHooks())
+    Hooks->onCacheObserved(Ref, Bytes);
   auto Reject = [&](const Status &S) {
     // Same policy as the directory backend: readable-but-invalid
     // contents move to the quarantine; mismatched versions stay.
     if (AutoQuarantine && S.code() == ErrorCode::InvalidFormat) {
+      std::string Reason = annotatedQuarantineReason(
+          Ref, QuarantineReasonCode::InvalidFormat, S.message());
       std::lock_guard<std::mutex> Guard(Mutex);
-      quarantineLocked(Ref,
-                       encodeQuarantineReason(
-                           QuarantineReasonCode::InvalidFormat,
-                           S.message()));
+      quarantineLocked(Ref, Reason);
     }
     return S;
   };
@@ -220,7 +222,8 @@ ErrorOr<std::vector<QuarantineEntry>> MemoryStore::quarantined() {
   for (const auto &[Name, Image] : Quarantine) {
     QuarantineEntry E;
     E.Name = Name;
-    E.Code = parseQuarantineReason(Image.Reason, &E.Reason);
+    std::string Stored = splitReplayAnnotation(Image.Reason, &E.ReplayLog);
+    E.Code = parseQuarantineReason(Stored, &E.Reason);
     E.Bytes = Image.Bytes.size();
     Entries.push_back(std::move(E));
   }
@@ -246,7 +249,29 @@ ErrorOr<uint32_t> MemoryStore::purgeQuarantine() {
   std::lock_guard<std::mutex> Guard(Mutex);
   uint32_t Purged = static_cast<uint32_t>(Quarantine.size());
   Quarantine.clear();
+  Attachments.clear();
   return Purged;
+}
+
+Status
+MemoryStore::attachToQuarantine(const std::string &FileName,
+                                const std::vector<uint8_t> &Bytes) {
+  if (FileName.empty() || FileName.find('/') != std::string::npos)
+    return Status::error(ErrorCode::InvalidArgument,
+                         "bad attachment name: " + FileName);
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Attachments[FileName] = Bytes;
+  return Status::success();
+}
+
+ErrorOr<std::vector<uint8_t>>
+MemoryStore::readQuarantineAttachment(const std::string &FileName) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  auto It = Attachments.find(FileName);
+  if (It == Attachments.end())
+    return Status::error(ErrorCode::NotFound,
+                         "no attachment: " + FileName);
+  return It->second;
 }
 
 ErrorOr<uint32_t> MemoryStore::shrinkTo(uint64_t MaxBytes) {

@@ -59,6 +59,10 @@ public:
   ErrorOr<std::vector<QuarantineEntry>> quarantined() override;
   Status restoreQuarantined(const std::string &Name) override;
   ErrorOr<uint32_t> purgeQuarantine() override;
+  Status attachToQuarantine(const std::string &FileName,
+                            const std::vector<uint8_t> &Bytes) override;
+  ErrorOr<std::vector<uint8_t>>
+  readQuarantineAttachment(const std::string &FileName) override;
 
 private:
   /// A quarantined image plus the reason it was pulled aside.
@@ -79,6 +83,9 @@ private:
   std::map<std::string, std::vector<uint8_t>> Slots;
   /// Name -> quarantined image; the in-memory `.quarantine/`.
   std::map<std::string, QuarantinedImage> Quarantine;
+  /// Name -> attachment bytes (e.g. replay logs); purged with the
+  /// quarantine.
+  std::map<std::string, std::vector<uint8_t>> Attachments;
 };
 
 } // namespace persist

@@ -1,0 +1,57 @@
+//===- persist/RecordingHooks.cpp -----------------------------------------===//
+
+#include "persist/RecordingHooks.h"
+
+using namespace pcc;
+using namespace pcc::persist;
+
+namespace pcc {
+namespace persist {
+namespace detail {
+std::atomic<RecordingHooks *> ActiveRecordingHooks{nullptr};
+} // namespace detail
+} // namespace persist
+} // namespace pcc
+
+void pcc::persist::setRecordingHooks(RecordingHooks *Hooks) {
+  detail::ActiveRecordingHooks.store(Hooks, std::memory_order_release);
+}
+
+namespace {
+/// The annotation is a separate line so older readers that treat the
+/// whole file as a free-form reason still render sensibly.
+constexpr const char *ReplayLogPrefix = "\nreplay-log: ";
+} // namespace
+
+std::string
+pcc::persist::annotatedQuarantineReason(const std::string &Ref,
+                                        QuarantineReasonCode Code,
+                                        const std::string &Detail) {
+  std::string Reason = encodeQuarantineReason(Code, Detail);
+  if (RecordingHooks *Hooks = recordingHooks()) {
+    Hooks->onQuarantine(Ref, Code, Detail);
+    std::string Log = Hooks->logName();
+    if (!Log.empty())
+      Reason += ReplayLogPrefix + Log;
+  }
+  return Reason;
+}
+
+std::string
+pcc::persist::splitReplayAnnotation(const std::string &Stored,
+                                    std::string *ReplayLog) {
+  if (ReplayLog)
+    ReplayLog->clear();
+  size_t Pos = Stored.find(ReplayLogPrefix);
+  if (Pos == std::string::npos)
+    return Stored;
+  if (ReplayLog) {
+    std::string Log =
+        Stored.substr(Pos + std::string(ReplayLogPrefix).size());
+    size_t End = Log.find('\n');
+    if (End != std::string::npos)
+      Log.resize(End);
+    *ReplayLog = Log;
+  }
+  return Stored.substr(0, Pos);
+}

@@ -3,6 +3,7 @@
 #include "persist/Session.h"
 
 #include "analysis/Validator.h"
+#include "persist/RecordingHooks.h"
 #include "support/FileSystem.h"
 #include "support/Hashing.h"
 
@@ -194,6 +195,13 @@ ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
     Engine.stats().PersistRemoteBytes += Source->RemoteFetchBytes;
     Engine.stats().PersistCycles += Source->RemoteFetchCycles;
   }
+  // A recorder (if one is active) learns which cache the run actually
+  // consumed, and at what modeled remote cost, so replay can seed a
+  // scratch store with the identical bytes and charges.
+  if (RecordingHooks *Hooks = recordingHooks())
+    Hooks->onCacheConsumed(Result.CachePath, Source->Tier,
+                           Source->RemoteFetchBytes,
+                           Source->RemoteFetchCycles);
 
   if (Source->View) {
     // The session owns the view before installing: an XIP install hands
@@ -256,8 +264,8 @@ ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
           if (!*AlreadyQuarantined && !Ref.empty()) {
             *AlreadyQuarantined = true;
             (void)StorePtr->quarantineRef(
-                Ref, encodeQuarantineReason(
-                         QuarantineReasonCode::SemanticMismatch,
+                Ref, annotatedQuarantineReason(
+                         Ref, QuarantineReasonCode::SemanticMismatch,
                          Check.message()));
           }
           return Status::error(ErrorCode::InvalidFormat,
@@ -1225,6 +1233,18 @@ Status PersistentSession::wait(dbi::EngineStats *Stats) {
     // finish before the cache-file view they read can be released.
     Queue->cancelPending();
     Queue->waitInFlight();
+    if (RecordingHooks *Hooks = recordingHooks()) {
+      // Diagnostic timeline only: engine results are invariant to the
+      // claim/withdraw pattern, so replay compares these outcomes to
+      // attribute a divergence, never to reproduce one.
+      dbi::ScheduleStats Sched = Queue->scheduleStats();
+      ScheduleOutcomes Out;
+      Out.ChunksPublished = Sched.ChunksPublished;
+      Out.ChunksClaimed = Sched.ChunksClaimed;
+      Out.ChunksWithdrawn = Sched.ChunksWithdrawn;
+      Out.ChunksInFlightSkipped = Sched.ChunksInFlightSkipped;
+      Hooks->onScheduleOutcomes(Out);
+    }
   }
   if (!Fin)
     return Status::success();

@@ -134,6 +134,15 @@ public:
   ErrorOr<std::vector<QuarantineEntry>> quarantined() override;
   Status restoreQuarantined(const std::string &Name) override;
   ErrorOr<uint32_t> purgeQuarantine() override;
+  // Quarantine (and its attachments) is a local judgment: L1 only.
+  Status attachToQuarantine(const std::string &FileName,
+                            const std::vector<uint8_t> &Bytes) override {
+    return L1->attachToQuarantine(FileName, Bytes);
+  }
+  ErrorOr<std::vector<uint8_t>>
+  readQuarantineAttachment(const std::string &FileName) override {
+    return L1->readQuarantineAttachment(FileName);
+  }
   void setAutoQuarantine(bool Enabled) override;
   void setScanPool(support::ThreadPool *Pool) override;
 

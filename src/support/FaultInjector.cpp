@@ -5,6 +5,7 @@
 #include "support/Random.h"
 #include "support/StringUtils.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 using namespace pcc;
@@ -17,6 +18,18 @@ std::string trimmed(const std::string &Str) {
     return "";
   size_t End = Str.find_last_not_of(" \t");
   return Str.substr(Begin, End - Begin + 1);
+}
+
+/// Shortest decimal form of \p P that strtod parses back to the same
+/// double, so planString() round-trips through configureFromPlan().
+std::string probabilityString(double P) {
+  char Buffer[32];
+  for (int Precision = 1; Precision <= 17; ++Precision) {
+    std::snprintf(Buffer, sizeof(Buffer), "%.*g", Precision, P);
+    if (std::strtod(Buffer, nullptr) == P)
+      break;
+  }
+  return Buffer;
 }
 
 } // namespace
@@ -76,15 +89,33 @@ void FaultInjector::armCount(FaultOp Op, uint32_t AfterCalls,
   recountArmed();
 }
 
+void FaultInjector::armReplay(FaultOp Op,
+                              std::vector<uint8_t> Decisions) {
+  if (Decisions.empty())
+    return;
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Rule &R = Rules[static_cast<size_t>(Op)];
+  R.Kind = RuleKind::Replay;
+  R.Decisions = std::move(Decisions);
+  R.NextDecision = 0;
+  recountArmed();
+}
+
 void FaultInjector::disarm(FaultOp Op) {
   std::lock_guard<std::mutex> Guard(Mutex);
   Rules[static_cast<size_t>(Op)].Kind = RuleKind::Off;
   recountArmed();
 }
 
+void FaultInjector::setDecisionObserver(DecisionObserver NewObserver) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Observer = std::move(NewObserver);
+}
+
 bool FaultInjector::shouldFail(FaultOp Op) {
   std::lock_guard<std::mutex> Guard(Mutex);
   Rule &R = Rules[static_cast<size_t>(Op)];
+  bool WasArmed = R.Kind != RuleKind::Off;
   bool Fail = false;
   switch (R.Kind) {
   case RuleKind::Off:
@@ -106,9 +137,23 @@ bool FaultInjector::shouldFail(FaultOp Op) {
     R.RngState = Generator.next();
     break;
   }
+  case RuleKind::Replay:
+    Fail = R.Decisions[R.NextDecision++] != 0;
+    if (R.NextDecision == R.Decisions.size()) {
+      // Disarm at the same call index where the recorded rule disarmed
+      // (or the recorded run ended), keeping the enabled() timeline
+      // aligned with the recording.
+      R.Kind = RuleKind::Off;
+      R.Decisions.clear();
+      R.NextDecision = 0;
+      recountArmed();
+    }
+    break;
   }
   if (Fail)
     ++R.Injected;
+  if (WasArmed && Observer)
+    Observer(Op, Fail);
   return Fail;
 }
 
@@ -123,6 +168,39 @@ uint64_t FaultInjector::totalInjected() const {
   for (const Rule &R : Rules)
     Total += R.Injected;
   return Total;
+}
+
+std::string FaultInjector::planString() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::string Plan;
+  auto append = [&Plan](const std::string &Item) {
+    if (!Plan.empty())
+      Plan += ',';
+    Plan += Item;
+  };
+  for (size_t I = 0; I != static_cast<size_t>(FaultOp::OpCount); ++I) {
+    const Rule &R = Rules[I];
+    const char *Name = faultOpName(static_cast<FaultOp>(I));
+    switch (R.Kind) {
+    case RuleKind::Off:
+    case RuleKind::Replay: // Not expressible as a plan item.
+      break;
+    case RuleKind::Count:
+      append(std::string(Name) + ":@" + std::to_string(R.AfterCalls) +
+             (R.Times == 1 ? "" : "+" + std::to_string(R.Times)));
+      break;
+    case RuleKind::Probability: {
+      // armProbability(Op, P, Seed) sets RngState = Seed + 0x100*(Op+1);
+      // invert the diffusion (mod 2^64) so re-arming from the emitted
+      // seed reconstructs the exact mid-stream generator state.
+      uint64_t Seed = R.RngState - 0x100 * (static_cast<uint64_t>(I) + 1);
+      append("seed:" + std::to_string(Seed));
+      append(std::string(Name) + ":" + probabilityString(R.P));
+      break;
+    }
+    }
+  }
+  return Plan;
 }
 
 void FaultInjector::recountArmed() {
@@ -165,10 +243,22 @@ Status FaultInjector::configureFromPlan(const std::string &Plan) {
     if (!Value.empty() && Value[0] == '@') {
       char *End = nullptr;
       unsigned long After = std::strtoul(Value.c_str() + 1, &End, 10);
-      if (End == Value.c_str() + 1 || *End != '\0')
+      if (End == Value.c_str() + 1)
         return Status::error(ErrorCode::InvalidArgument,
                              "bad fault plan count: '" + Value + "'");
-      armCount(Op, static_cast<uint32_t>(After));
+      unsigned long Times = 1;
+      if (*End == '+') {
+        const char *TimesBegin = End + 1;
+        Times = std::strtoul(TimesBegin, &End, 10);
+        if (End == TimesBegin || Times == 0)
+          return Status::error(ErrorCode::InvalidArgument,
+                               "bad fault plan count: '" + Value + "'");
+      }
+      if (*End != '\0')
+        return Status::error(ErrorCode::InvalidArgument,
+                             "bad fault plan count: '" + Value + "'");
+      armCount(Op, static_cast<uint32_t>(After),
+               static_cast<uint32_t>(Times));
       continue;
     }
     char *End = nullptr;

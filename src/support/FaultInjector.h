@@ -39,8 +39,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace pcc {
 
@@ -80,6 +82,13 @@ public:
   /// calls, then disarm.
   void armCount(FaultOp Op, uint32_t AfterCalls = 0, uint32_t Times = 1);
 
+  /// Arms \p Op to replay a recorded decision stream verbatim: call K
+  /// returns Decisions[K] (nonzero = fail). The rule disarms itself when
+  /// the stream is exhausted, mirroring the disarm point of whatever
+  /// rule produced the stream at record time. An empty stream is a
+  /// no-op.
+  void armReplay(FaultOp Op, std::vector<uint8_t> Decisions);
+
   /// Disarms \p Op only.
   void disarm(FaultOp Op);
 
@@ -107,6 +116,7 @@ public:
   ///          | rename | lock
   ///   value := probability in [0,1] (e.g. "0.1")
   ///          | '@' N  — one-shot: pass N calls, then fail once
+  ///          | '@' N '+' T — pass N calls, fail the next T, disarm
   ///
   /// e.g. "enospc:0.1,fsync:0.1,lock:0.25,seed:42". Items apply in
   /// order; "seed" affects subsequently listed probability items.
@@ -114,10 +124,28 @@ public:
   /// plan, leaving already-parsed items armed.
   Status configureFromPlan(const std::string &Plan);
 
+  /// Re-serializes the currently armed rules as a plan string that
+  /// configureFromPlan() accepts, preserving *consumed* state: a
+  /// partially drained count rule emits its remaining pass/fail counts,
+  /// and a probability rule emits a seed reconstructing its exact
+  /// mid-stream generator state. Replay rules (armReplay) are not
+  /// expressible as plan items and are omitted. Feeding the result to
+  /// configureFromPlan() on a fresh injector arms rules whose future
+  /// decisions match this injector's bit for bit.
+  std::string planString() const;
+
+  /// Observes every shouldFail() decision made for an *armed* op, in
+  /// call order (pass and fail alike). The callback runs under the
+  /// injector's mutex: it must be cheap and must not re-enter the
+  /// injector. Pass nullptr to detach. Used by the record/replay layer
+  /// to capture fault streams.
+  using DecisionObserver = std::function<void(FaultOp, bool)>;
+  void setDecisionObserver(DecisionObserver Observer);
+
 private:
   FaultInjector() = default;
 
-  enum class RuleKind : uint8_t { Off, Count, Probability };
+  enum class RuleKind : uint8_t { Off, Count, Probability, Replay };
   struct Rule {
     RuleKind Kind = RuleKind::Off;
     uint32_t AfterCalls = 0; ///< Count: calls to pass before failing.
@@ -125,12 +153,15 @@ private:
     double P = 0;            ///< Probability of failure per call.
     uint64_t RngState = 0;   ///< Per-rule SplitMix64 state.
     uint64_t Injected = 0;   ///< Faults injected since reset().
+    std::vector<uint8_t> Decisions; ///< Replay: recorded stream.
+    size_t NextDecision = 0;        ///< Replay: cursor into Decisions.
   };
 
   void recountArmed(); ///< Recomputes Armed under Mutex.
 
   mutable std::mutex Mutex;
   Rule Rules[static_cast<size_t>(FaultOp::OpCount)];
+  DecisionObserver Observer; ///< Guarded by Mutex; may be empty.
   /// Number of armed rules, readable without the mutex so unarmed
   /// operation costs one relaxed load on every filesystem call.
   std::atomic<uint32_t> Armed{0};

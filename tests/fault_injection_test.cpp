@@ -18,6 +18,8 @@
 #include "persist/DirectoryStore.h"
 #include "persist/MemoryStore.h"
 #include "persist/Session.h"
+#include "replay/Recorder.h"
+#include "replay/Replay.h"
 #include "support/FaultInjector.h"
 #include "support/FileLock.h"
 #include "support/FileSystem.h"
@@ -168,6 +170,44 @@ TEST(FaultInjectorUnit, PlanParsingArmsRulesAndRejectsGarbage) {
   EXPECT_EQ(I.configureFromPlan("seed:x").code(),
             ErrorCode::InvalidArgument);
   EXPECT_TRUE(I.configureFromPlan("").ok());
+}
+
+TEST(FaultInjectorUnit, PlanStringRoundTripsIncludingConsumedState) {
+  FaultScope Scope;
+  FaultInjector &I = FaultInjector::instance();
+  ASSERT_TRUE(
+      I.configureFromPlan("seed:7,enospc:0.25,lock:@3+2,read:@1").ok());
+  // Drain part of every stream so the snapshot is mid-consumption: the
+  // probability rule has advanced its generator, the count rules have
+  // spent passes (and, for lock, one failure).
+  for (int N = 0; N != 5; ++N)
+    (void)I.shouldFail(FaultOp::Enospc);
+  for (int N = 0; N != 4; ++N)
+    (void)I.shouldFail(FaultOp::LockTimeout);
+  (void)I.shouldFail(FaultOp::Read);
+
+  // Parse -> print -> parse is a fixpoint: re-arming from the snapshot
+  // and snapshotting again yields the identical plan string.
+  std::string Snapshot = I.planString();
+  ASSERT_FALSE(Snapshot.empty());
+  auto drainFuture = [&I]() {
+    std::vector<bool> Draws;
+    for (int N = 0; N != 64; ++N) {
+      Draws.push_back(I.shouldFail(FaultOp::Enospc));
+      Draws.push_back(I.shouldFail(FaultOp::LockTimeout));
+      Draws.push_back(I.shouldFail(FaultOp::Read));
+    }
+    return Draws;
+  };
+  std::vector<bool> Original = drainFuture();
+
+  I.reset();
+  ASSERT_TRUE(I.configureFromPlan(Snapshot).ok());
+  EXPECT_EQ(I.planString(), Snapshot);
+
+  // And the re-armed rules' future decisions match the original's bit
+  // for bit — consumed state included.
+  EXPECT_EQ(drainFuture(), Original);
 }
 
 //===----------------------------------------------------------------------===//
@@ -373,6 +413,49 @@ TEST(Quarantine, RestoreAndPurgeRoundTrip) {
   auto Entries = Store.quarantined();
   ASSERT_TRUE(Entries.ok());
   EXPECT_TRUE(Entries->empty());
+}
+
+TEST(Quarantine, RecordedInvalidFormatQuarantineReplaysIdentically) {
+  // An auto-quarantine observed under recording must leave evidence
+  // that replays to the very same verdict: same cache, same
+  // machine-readable reason code, bit-identical run.
+  FaultScope Scope;
+  TinyWorkload W = makeTinyWorkload(3, 0);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  auto Input = W.allSlotsInput(2);
+  ASSERT_TRUE(
+      workloads::runPersistent(W.Registry, W.App, Input, Db).ok());
+  flipByteAt(soleCachePath(Dir.path()), 10); // Header: InvalidFormat.
+
+  replay::RecordSpec Spec;
+  Spec.LogName = "evidence.pcrr";
+  auto Rec = replay::recordRun(W.Registry, W.App, Input, Db,
+                               PersistOptions(), Spec);
+  ASSERT_TRUE(Rec.ok()) << Rec.status().toString();
+  ASSERT_EQ(Rec->Quarantines.size(), 1u);
+  EXPECT_EQ(Rec->Quarantines[0].Code,
+            static_cast<uint8_t>(QuarantineReasonCode::InvalidFormat));
+
+  // The quarantine entry names the recording, and the log itself was
+  // attached next to the quarantined corpse.
+  auto Entries = Db.quarantined();
+  ASSERT_TRUE(Entries.ok());
+  ASSERT_EQ(Entries->size(), 1u);
+  EXPECT_EQ(Entries->front().Code, QuarantineReasonCode::InvalidFormat);
+  EXPECT_EQ(Entries->front().ReplayLog, "evidence.pcrr");
+  auto Attached =
+      Db.backend()->readQuarantineAttachment("evidence.pcrr");
+  ASSERT_TRUE(Attached.ok()) << Attached.status().toString();
+  auto Parsed = replay::deserializeLog(*Attached);
+  ASSERT_TRUE(Parsed.ok()) << Parsed.status().toString();
+
+  auto Out = replay::replayRun(*Parsed, replay::ReplayOptions());
+  ASSERT_TRUE(Out.ok()) << Out.status().toString();
+  EXPECT_EQ(replay::compareToRecording(*Parsed, *Out), "");
+  ASSERT_EQ(Out->Quarantines.size(), 1u);
+  EXPECT_EQ(Out->Quarantines[0].RefName, Rec->Quarantines[0].RefName);
+  EXPECT_EQ(Out->Quarantines[0].Code, Rec->Quarantines[0].Code);
 }
 
 TEST(Quarantine, MemoryStoreSupportsTheSameLifecycle) {

@@ -7,8 +7,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dbi/Compiler.h"
 #include "persist/CacheDatabase.h"
 #include "persist/Session.h"
+#include "replay/Recorder.h"
+#include "replay/Replay.h"
+#include "support/FaultInjector.h"
 #include "vm/Threads.h"
 
 #include "TestUtils.h"
@@ -359,4 +363,79 @@ TEST(SessionEdge, WrittenCachesAlwaysValidateStructurally) {
     ASSERT_TRUE(File.ok());
     EXPECT_TRUE(File->validate().ok()) << Name;
   }
+}
+
+TEST(SessionEdge, RecordedSemanticMismatchQuarantineReplaysIdentically) {
+  // A CRC-transparent miscompile is the nastiest quarantine trigger:
+  // only deep validation catches it. Recording such a run must capture
+  // the poisoned cache bytes, and replaying the log must re-reach the
+  // identical SemanticMismatch verdict bit for bit.
+  FaultScope Scope;
+  TinyWorkload W = makeTinyWorkload(3, 0);
+  TempDir Dir;
+  CacheDatabase Db(Dir.path());
+  auto Input = W.allSlotsInput(2);
+  ASSERT_TRUE(
+      workloads::runPersistent(W.Registry, W.App, Input, Db).ok());
+
+  // Seed one guaranteed-semantic mutation into every persisted trace
+  // and re-serialize (which recomputes every CRC).
+  auto Files = listDirectory(Dir.path());
+  ASSERT_TRUE(Files.ok());
+  unsigned Mutated = 0;
+  for (const std::string &Name : *Files) {
+    if (Name.size() < 4 || Name.substr(Name.size() - 4) != ".pcc")
+      continue;
+    std::string Path = Dir.path() + "/" + Name;
+    auto File = Db.loadPath(Path);
+    ASSERT_TRUE(File.ok());
+    for (TraceRecord &Rec : File->Traces) {
+      auto Body = isa::decodeAll(
+          Rec.Code.data() + dbi::TracePrologueBytes, Rec.GuestInstCount);
+      ASSERT_TRUE(Body.ok());
+      // A mid-body Halt (or, for a Halt, a fallthrough jump) always
+      // changes guest-visible effects.
+      isa::Instruction Mutant =
+          Body->front().Op == isa::Opcode::Halt
+              ? isa::makeJmp(Rec.GuestStart + isa::InstructionSize)
+              : isa::makeHalt();
+      auto Enc = Mutant.encode();
+      std::copy(Enc.begin(), Enc.end(),
+                Rec.Code.begin() + dbi::TracePrologueBytes);
+      ++Mutated;
+    }
+    ASSERT_TRUE(writeFileAtomic(Path, File->serialize()).ok());
+  }
+  ASSERT_GT(Mutated, 0u);
+
+  replay::RecordSpec Spec;
+  Spec.LogName = "miscompile.pcrr";
+  PersistOptions Opts;
+  Opts.ValidateSemantic = true;
+  auto Rec = replay::recordRun(W.Registry, W.App, Input, Db, Opts, Spec);
+  ASSERT_TRUE(Rec.ok()) << Rec.status().toString();
+  ASSERT_EQ(Rec->Quarantines.size(), 1u);
+  EXPECT_EQ(Rec->Quarantines[0].Code,
+            static_cast<uint8_t>(QuarantineReasonCode::SemanticMismatch));
+
+  // The poisoned bytes traveled in the log (they are an input), the
+  // quarantine entry names the recording, and the attached evidence
+  // replays to the identical verdict.
+  ASSERT_EQ(Rec->Caches.size(), 1u);
+  auto Entries = Db.quarantined();
+  ASSERT_TRUE(Entries.ok());
+  ASSERT_EQ(Entries->size(), 1u);
+  EXPECT_EQ(Entries->front().ReplayLog, "miscompile.pcrr");
+  auto Attached =
+      Db.backend()->readQuarantineAttachment("miscompile.pcrr");
+  ASSERT_TRUE(Attached.ok());
+  auto Parsed = replay::deserializeLog(*Attached);
+  ASSERT_TRUE(Parsed.ok()) << Parsed.status().toString();
+
+  auto Out = replay::replayRun(*Parsed, replay::ReplayOptions());
+  ASSERT_TRUE(Out.ok()) << Out.status().toString();
+  EXPECT_EQ(replay::compareToRecording(*Parsed, *Out), "");
+  ASSERT_EQ(Out->Quarantines.size(), 1u);
+  EXPECT_EQ(Out->Quarantines[0].Code,
+            static_cast<uint8_t>(QuarantineReasonCode::SemanticMismatch));
 }

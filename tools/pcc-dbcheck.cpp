@@ -18,7 +18,7 @@
 //   pcc-dbcheck DIR --jobs N           check (or repair) N cache files
 //                                      in parallel; the report is
 //                                      identical for any N
-//   pcc-dbcheck DIR --deep \
+//   pcc-dbcheck DIR --deep
 //       --module FILE | --modules MDIR deep semantic verification: every
 //                                      CRC-intact trace is symbolically
 //                                      revalidated against its module's
@@ -26,6 +26,15 @@
 //                                      corrupt (quarantined under
 //                                      --repair with reason code
 //                                      semantic-mismatch)
+//   pcc-dbcheck DIR --replay NAME      re-drive the recorded run whose
+//                                      .pcrr log was attached to the
+//                                      quarantine as NAME (runs that
+//                                      auto-quarantine under --record
+//                                      leave one), under forced deep
+//                                      validation, and verify it
+//                                      reproduces the same quarantine
+//                                      verdicts; exit 0 reproduced, 1
+//                                      not
 //
 // Exit status: 0 when the database is (now) clean, 1 when problems were
 // found (or remain after repair), 2 on usage errors.
@@ -34,6 +43,7 @@
 
 #include "persist/CacheDatabase.h"
 #include "persist/DbCheck.h"
+#include "replay/Replay.h"
 #include "support/FileSystem.h"
 #include "support/StringUtils.h"
 #include "support/TablePrinter.h"
@@ -61,18 +71,62 @@ static int listQuarantine(const CacheDatabase &Db) {
     return 0;
   }
   TablePrinter Table("quarantined caches");
-  Table.addRow({"file", "size", "code", "reason"});
+  Table.addRow({"file", "size", "code", "replay-log", "reason"});
   for (const QuarantineEntry &E : *Entries)
     Table.addRow({E.Name, formatByteSize(E.Bytes),
                   quarantineReasonCodeName(E.Code),
+                  E.ReplayLog.empty() ? "-" : E.ReplayLog,
                   E.Reason.empty() ? "-" : E.Reason});
   Table.print();
   return 0;
 }
 
+/// --replay NAME: re-drives the quarantine's attached recording under
+/// forced deep validation and demands the same verdicts back.
+static int replayQuarantined(const CacheDatabase &Db,
+                             const std::string &Name) {
+  auto Bytes = Db.backend()->readQuarantineAttachment(Name);
+  if (!Bytes) {
+    std::fprintf(stderr, "pcc-dbcheck: %s\n",
+                 Bytes.status().toString().c_str());
+    return 1;
+  }
+  auto Rec = replay::deserializeLog(*Bytes);
+  if (!Rec) {
+    std::fprintf(stderr, "pcc-dbcheck: %s: %s\n", Name.c_str(),
+                 Rec.status().toString().c_str());
+    return 1;
+  }
+  replay::ReplayOptions Opts;
+  Opts.ForceValidate = true;
+  auto Out = replay::replayRun(*Rec, Opts);
+  if (!Out) {
+    std::fprintf(stderr, "pcc-dbcheck: replay failed: %s\n",
+                 Out.status().toString().c_str());
+    return 1;
+  }
+  std::printf("replayed %s: %zu quarantine decision(s) recorded, %zu "
+              "reproduced\n",
+              Name.c_str(), Rec->Quarantines.size(),
+              Out->Quarantines.size());
+  bool Reproduced = !Rec->Quarantines.empty();
+  for (const replay::RecordedQuarantine &Q : Rec->Quarantines) {
+    bool Found = false;
+    for (const replay::RecordedQuarantine &R : Out->Quarantines)
+      Found = Found || (R.RefName == Q.RefName && R.Code == Q.Code);
+    std::printf("  %s (%s): %s\n", Q.RefName.c_str(),
+                quarantineReasonCodeName(
+                    static_cast<QuarantineReasonCode>(Q.Code)),
+                Found ? "reproduced" : "NOT reproduced");
+    Reproduced = Reproduced && Found;
+  }
+  return Reproduced ? 0 : 1;
+}
+
 int main(int Argc, char **Argv) {
   const char *Dir = nullptr;
   const char *Restore = nullptr;
+  const char *Replay = nullptr;
   bool Repair = false;
   bool Quarantine = false;
   bool Purge = false;
@@ -89,6 +143,8 @@ int main(int Argc, char **Argv) {
       Purge = true;
     else if (std::strcmp(Argv[I], "--restore") == 0 && I + 1 < Argc)
       Restore = Argv[++I];
+    else if (std::strcmp(Argv[I], "--replay") == 0 && I + 1 < Argc)
+      Replay = Argv[++I];
     else if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
       Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 0));
     else if (std::strcmp(Argv[I], "--deep") == 0)
@@ -117,6 +173,10 @@ int main(int Argc, char **Argv) {
           "                     or --modules)\n"
           "  --module FILE      serialized guest module for --deep\n"
           "  --modules MDIR     directory of .mod module files\n"
+          "  --replay NAME      re-drive the quarantine's attached\n"
+          "                     .pcrr recording under forced deep\n"
+          "                     validation; exit 0 when it reproduces\n"
+          "                     the recorded quarantine verdicts\n"
           "exit status: 0 clean, 1 problems found/remaining, 2 usage\n");
       return 0;
     } else if (!Dir)
@@ -137,6 +197,8 @@ int main(int Argc, char **Argv) {
   CacheDatabase Db(Dir);
   if (Quarantine)
     return listQuarantine(Db);
+  if (Replay)
+    return replayQuarantined(Db, Replay);
   if (Restore) {
     Status S = Db.restoreQuarantined(Restore);
     if (!S.ok()) {

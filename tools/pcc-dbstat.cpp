@@ -366,17 +366,35 @@ int main(int Argc, char **Argv) {
     // Break the quarantine down by machine-readable reason code, so a
     // semantic-mismatch epidemic is visible at a glance.
     uint32_t ByCode[5] = {};
+    uint32_t WithReplayLog = 0;
     if (auto Entries = Db.quarantined()) {
-      for (const QuarantineEntry &E : *Entries)
+      for (const QuarantineEntry &E : *Entries) {
         ByCode[static_cast<uint8_t>(E.Code) < 5
                    ? static_cast<uint8_t>(E.Code)
                    : 0]++;
+        if (!E.ReplayLog.empty())
+          ++WithReplayLog;
+      }
       for (uint8_t C = 0; C < 5; ++C)
         if (ByCode[C] != 0)
           std::printf("    %-18s %u\n",
                       quarantineReasonCodeName(
                           static_cast<QuarantineReasonCode>(C)),
                       ByCode[C]);
+      if (WithReplayLog != 0) {
+        std::printf("    %-18s %u (pcc-dbcheck --replay NAME re-runs "
+                    "the evidence)\n",
+                    "with replay log", WithReplayLog);
+        // One row per entry that carries a recording: which log to
+        // hand to pcc-dbcheck --replay for each quarantined cache.
+        TablePrinter Table("quarantined entries with recordings");
+        Table.addRow({"file", "reason", "replay-log"});
+        for (const QuarantineEntry &E : *Entries)
+          if (!E.ReplayLog.empty())
+            Table.addRow({E.Name, quarantineReasonCodeName(E.Code),
+                          E.ReplayLog});
+        Table.print();
+      }
     }
   }
   std::printf("  on disk       %s\n",

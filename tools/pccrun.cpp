@@ -54,6 +54,21 @@
 //                          finalize. N <= 1 keeps everything on the
 //                          main thread; results are identical either
 //                          way
+//     --record FILE        record the run's nondeterministic inputs
+//                          (modules, input, load bases, cache bytes
+//                          served, fault decisions) plus its results
+//                          into a .pcrr log (persist mode)
+//     --replay FILE        re-drive a recorded run from its log in a
+//                          scratch store and assert bit-identical
+//                          stats, results and final memory. Exit 0
+//                          clean, 3 divergence, 4 unreadable or
+//                          version-mismatched log. --jobs still
+//                          applies: any worker count must replay
+//                          identically
+//     --replay-diff FILE   replay FILE twice — persistence on (checked
+//                          against the log) and off — and require
+//                          guest-observable agreement between the two
+//                          legs. Same exit-code contract as --replay
 //
 //===----------------------------------------------------------------------===//
 
@@ -61,6 +76,8 @@
 #include "persist/DirectoryStore.h"
 #include "persist/Session.h"
 #include "persist/TieredStore.h"
+#include "replay/Recorder.h"
+#include "replay/Replay.h"
 #include "support/FaultInjector.h"
 #include "support/FileSystem.h"
 #include "support/StringUtils.h"
@@ -94,8 +111,71 @@ int usage(int Code) {
       "  --validate   deep semantic trace verification (persist)\n"
       "  --fault-plan PLAN  (e.g. enospc:0.1,fsync:0.1,lock:0.25)\n"
       "  --jobs N     persistence pipeline worker threads (persist "
-      "mode)\n");
+      "mode)\n"
+      "  --record FILE  record the run into a .pcrr replay log\n"
+      "  --replay FILE  re-drive a recorded run; exit 3 on divergence, "
+      "4 on a bad log\n"
+      "  --replay-diff FILE  replay with persistence on and off and "
+      "compare\n");
   return Code;
+}
+
+/// Exit-code contract of the replay modes.
+constexpr int ExitReplayDiverged = 3;
+constexpr int ExitReplayBadLog = 4;
+
+/// Runs --replay / --replay-diff: both load FILE, re-drive it, and
+/// map outcomes onto the exit-code contract.
+int runReplayMode(const std::string &LogPath, bool Diff,
+                  unsigned Jobs) {
+  auto Rec = replay::readLogFile(LogPath);
+  if (!Rec) {
+    std::fprintf(stderr, "pccrun: %s: %s\n", LogPath.c_str(),
+                 Rec.status().toString().c_str());
+    return ExitReplayBadLog;
+  }
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<support::ThreadPool>(Jobs,
+                                                 /*Background=*/true);
+  if (Diff) {
+    auto Verdict = replay::replayDiff(*Rec, Pool.get());
+    if (!Verdict) {
+      std::fprintf(stderr, "pccrun: replay failed: %s\n",
+                   Verdict.status().toString().c_str());
+      return 1;
+    }
+    if (!Verdict->empty()) {
+      std::fprintf(stderr, "pccrun: replay diverged: %s\n",
+                   Verdict->c_str());
+      return ExitReplayDiverged;
+    }
+    std::printf("replay-diff: both legs clean (%llu instructions, "
+                "%llu recorded cycles)\n",
+                (unsigned long long)Rec->Run.InstructionsExecuted,
+                (unsigned long long)Rec->Run.Cycles);
+    return 0;
+  }
+  replay::ReplayOptions Opts;
+  Opts.Pool = Pool.get();
+  auto Out = replay::replayRun(*Rec, Opts);
+  if (!Out) {
+    std::fprintf(stderr, "pccrun: replay failed: %s\n",
+                 Out.status().toString().c_str());
+    return 1;
+  }
+  std::string Divergence = replay::compareToRecording(*Rec, *Out);
+  if (!Divergence.empty()) {
+    std::fprintf(stderr, "pccrun: replay diverged: %s\n",
+                 Divergence.c_str());
+    return ExitReplayDiverged;
+  }
+  std::printf("replay: bit-identical (%llu instructions, %llu cycles, "
+              "%zu quarantine decision(s) reproduced)\n",
+              (unsigned long long)Out->Run.InstructionsExecuted,
+              (unsigned long long)Out->Run.Cycles,
+              Out->Quarantines.size());
+  return 0;
 }
 
 ErrorOr<std::shared_ptr<binary::Module>>
@@ -181,6 +261,8 @@ int main(int Argc, char **Argv) {
   std::string L2Dir;
   std::string WorkSpec;
   std::string FaultPlan;
+  std::string RecordPath, ReplayPath;
+  bool ReplayDiff = false;
   bool InterApp = false, Pic = false, Xip = false, ReadOnly = false;
   bool Stats = false, Disasm = false, StoreStats = false;
   bool OptFlags = false, Validate = false;
@@ -230,6 +312,22 @@ int main(int Argc, char **Argv) {
         FaultPlan = V;
       else
         return usage(2);
+    } else if (Arg == "--record") {
+      if (const char *V = next())
+        RecordPath = V;
+      else
+        return usage(2);
+    } else if (Arg == "--replay") {
+      if (const char *V = next())
+        ReplayPath = V;
+      else
+        return usage(2);
+    } else if (Arg == "--replay-diff") {
+      if (const char *V = next()) {
+        ReplayPath = V;
+        ReplayDiff = true;
+      } else
+        return usage(2);
     } else if (Arg == "--jobs") {
       if (const char *V = next())
         Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
@@ -266,6 +364,9 @@ int main(int Argc, char **Argv) {
     else
       return usage(2);
   }
+  // Replay modes take everything from the log; no app module needed.
+  if (!ReplayPath.empty())
+    return runReplayMode(ReplayPath, ReplayDiff, Jobs);
   if (AppPath.empty())
     return usage(2);
 
@@ -338,6 +439,11 @@ int main(int Argc, char **Argv) {
   dbi::EngineOptions EngineOpts;
   EngineOpts.OptimizeFlags = OptFlags;
 
+  if (!RecordPath.empty() && Mode != "persist") {
+    std::fprintf(stderr, "pccrun: --record requires --mode persist\n");
+    return 2;
+  }
+
   if (Mode == "native") {
     auto R = workloads::runNative(Registry, *App, Input);
     if (!R) {
@@ -389,6 +495,50 @@ int main(int Argc, char **Argv) {
       Pool = std::make_unique<support::ThreadPool>(Jobs,
                                                    /*Background=*/true);
       Opts.Pool = Pool.get();
+    }
+    if (!RecordPath.empty()) {
+      // Recording drives the run itself (it owns the hooks and the
+      // tool); the log lands at RecordPath and, if the run quarantined
+      // anything, as an attachment next to the quarantined cache.
+      replay::RecordSpec Spec;
+      size_t Slash = RecordPath.rfind('/');
+      Spec.LogName = Slash == std::string::npos
+                         ? RecordPath
+                         : RecordPath.substr(Slash + 1);
+      Spec.ToolName = ToolName;
+      Spec.OptimizeFlags = OptFlags;
+      Spec.Policy = Policy;
+      Spec.AslrSeed = AslrSeed;
+      Spec.Tiered = !L2Dir.empty();
+      auto Rec = replay::recordRun(Registry, *App, Input, Db, Opts,
+                                   Spec);
+      if (!Rec) {
+        std::fprintf(stderr, "pccrun: record failed: %s\n",
+                     Rec.status().toString().c_str());
+        return 1;
+      }
+      Status W = replay::writeLogFile(RecordPath, *Rec);
+      if (!W.ok()) {
+        std::fprintf(stderr, "pccrun: %s\n", W.toString().c_str());
+        return 1;
+      }
+      std::printf("recorded: %s (%zu cache file(s) observed, %zu "
+                  "quarantine decision(s))\n",
+                  RecordPath.c_str(), Rec->Caches.size(),
+                  Rec->Quarantines.size());
+      if (!FaultPlan.empty())
+        std::printf("fault plan: %llu fault(s) injected\n",
+                    (unsigned long long)
+                        FaultInjector::instance().totalInjected());
+      std::printf("exit code %u; %llu instructions, %llu syscalls, "
+                  "%llu cycles\n",
+                  Rec->Run.ExitCode,
+                  (unsigned long long)Rec->Run.InstructionsExecuted,
+                  (unsigned long long)Rec->Run.SyscallCount,
+                  (unsigned long long)Rec->Run.Cycles);
+      if (Stats)
+        printStats(Rec->Stats);
+      return static_cast<int>(Rec->Run.ExitCode);
     }
     auto R = workloads::runPersistent(Registry, *App, Input, Db, Opts,
                                       Tool.get(), EngineOpts, Policy,
