@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtils.h"
+#include "binary/Assembler.h"
 #include "dbi/Compiler.h"
 #include "dbi/Engine.h"
 #include "persist/CacheDatabase.h"
@@ -694,6 +695,234 @@ void BM_FlagElision(benchmark::State &State) {
                      : "elision off");
 }
 BENCHMARK(BM_FlagElision)->Arg(0)->Arg(1);
+
+/// Fixture for the heat-ordered layout benchmark: 128 small regions,
+/// every 8th one hot, persisted twice — once as finalize writes today
+/// (hot-first payload layout) and once re-sorted into guest-address
+/// order (the pre-heat-layout writer) — so the page-touch bill of a
+/// warm run over just the hot slots is measured over identical trace
+/// populations.
+struct HotFirstFixture {
+  loader::ModuleRegistry Registry;
+  std::shared_ptr<binary::Module> App;
+  bench::ScratchDir HotDir{"pcc-bench-hotfirst"};
+  bench::ScratchDir AddrDir{"pcc-bench-addrorder"};
+  persist::CacheDatabase HotDb{HotDir.path()};
+  persist::CacheDatabase AddrDb{AddrDir.path()};
+  std::vector<uint8_t> WarmInput;
+
+  HotFirstFixture() {
+    workloads::AppDef Def;
+    Def.Name = "hotfirst";
+    Def.Path = "/bin/hotfirst";
+    for (uint32_t I = 0; I != 128; ++I) {
+      workloads::RegionDef Region;
+      Region.Name = "h" + std::to_string(I);
+      Region.Blocks = 2;
+      Region.InstsPerBlock = 10;
+      Region.Seed = I + 901;
+      Def.Slots.push_back(
+          workloads::FunctionSlot::local(std::move(Region)));
+    }
+    App = workloads::buildExecutable(Def);
+    // Cold run: everything executes once, but every 8th slot re-runs
+    // enough to dominate the heat counters — a hot minority scattered
+    // across the whole address space.
+    // Hot slots are heated by *repeated work items*, not a bigger
+    // iteration count: repeating the call re-executes the region's
+    // whole trace path (entry, body, exit), so every trace the warm
+    // run will walk ranks above the run-once majority.
+    std::vector<workloads::WorkItem> Cold;
+    for (uint32_t I = 0; I != 128; ++I)
+      for (uint32_t Rep = 0, N = I % 8 == 0 ? 12u : 1u; Rep != N; ++Rep)
+        Cold.push_back(workloads::WorkItem{I, 1});
+    bench::mustOk(workloads::runPersistent(
+                      Registry, App, workloads::encodeWorkload(Cold),
+                      HotDb),
+                  "cold run populating the hot-first bench cache");
+    // Address-ordered baseline: the identical records with the payload
+    // re-laid-out by guest start, stored under the same lookup key.
+    auto Names = listDirectory(HotDir.path());
+    if (!Names)
+      std::abort();
+    std::string PccName;
+    for (const std::string &N : *Names)
+      if (N.size() >= 4 && N.substr(N.size() - 4) == ".pcc")
+        PccName = N;
+    if (PccName.empty())
+      std::abort();
+    auto File = HotDb.loadPath(HotDir.path() + "/" + PccName);
+    if (!File)
+      std::abort();
+    std::stable_sort(File->Traces.begin(), File->Traces.end(),
+                     [](const persist::TraceRecord &A,
+                        const persist::TraceRecord &B) {
+                       return A.GuestStart < B.GuestStart;
+                     });
+    uint64_t Key = std::strtoull(
+        PccName.substr(0, PccName.size() - 4).c_str(), nullptr, 16);
+    if (!AddrDb.store(Key, *File).ok())
+      std::abort();
+    // Warm work list: one call per hot slot — the exact trace path the
+    // cold run heated.
+    std::vector<workloads::WorkItem> Warm;
+    for (uint32_t I = 0; I != 128; I += 8)
+      Warm.push_back(workloads::WorkItem{I, 1});
+    WarmInput = workloads::encodeWorkload(Warm);
+  }
+};
+
+HotFirstFixture &hotFirstFixture() {
+  static HotFirstFixture F;
+  return F;
+}
+
+/// Warm prime + hot-slots-only run, Arg 0 over the address-ordered
+/// payload layout and Arg 1 over the hot-first layout finalize writes.
+/// With lazy validation only the executed traces' payload pages fault
+/// in, so packing the hot traces first shrinks the pages-touched bill
+/// (BM_PrimeCold's metric) without changing a single record.
+void BM_PrimeHotFirst(benchmark::State &State) {
+  HotFirstFixture &F = hotFirstFixture();
+  const bool HotFirst = State.range(0) != 0;
+  persist::PersistOptions ReadOnly;
+  ReadOnly.WriteBack = false;
+  persist::SharedResidencyMap Touched;
+  ReadOnly.SharedResidency = &Touched;
+  uint64_t Installed = 0;
+  uint64_t PagesTouched = 0;
+  for (auto _ : State) {
+    Touched.clear();
+    auto R = workloads::runPersistent(F.Registry, F.App, F.WarmInput,
+                                      HotFirst ? F.HotDb : F.AddrDb,
+                                      ReadOnly);
+    if (!R || !R->Prime.CacheFound)
+      std::abort();
+    Installed = R->Prime.TracesInstalled;
+    PagesTouched = Touched.residentPages();
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel(formatString(
+      "%s payload layout: %llu traces primed, %llu payload pages "
+      "touched by the hot slots",
+      HotFirst ? "hot-first" : "address-ordered",
+      (unsigned long long)Installed,
+      (unsigned long long)PagesTouched));
+}
+BENCHMARK(BM_PrimeHotFirst)->Arg(0)->Arg(1);
+
+/// A hot loop whose body re-loads the same word it just loaded — the
+/// redundancy the finalize-time optimization tier eliminates. Written
+/// by hand so the win is structural, not an accident of the generator.
+constexpr const char *OptWarmAsm = R"(
+.module optwarm "/bin/optwarm"
+.entry main
+.data
+count: .word 512
+buf:   .word 7
+.text
+main:
+  ldi r4, @count
+  ld r10, [r4+0]
+  ldi r9, @buf
+  ldi r12, 0
+loop:
+  ld r1, [r9+0]
+  add r2, r1, r1
+  ld r1, [r9+0]
+  add r3, r1, r2
+  ld r1, [r9+0]
+  add r2, r1, r3
+  addi r10, r10, -1
+  bne r10, r12, loop
+  ldi r1, 0
+  sys 1
+)";
+
+/// Fixture for the optimization-tier benchmark: the same hand-written
+/// redundant-load program persisted twice, once plain (generation 0)
+/// and once with the finalize promotion tier on (generation 1+). The
+/// constructor asserts the tier's contract: cold-run modeled cycles
+/// are bit-identical (promotion is free background work), warm
+/// guest-visible results agree, and the promoted warm run costs
+/// strictly fewer modeled cycles.
+struct OptTierFixture {
+  loader::ModuleRegistry Registry;
+  std::shared_ptr<binary::Module> App;
+  bench::ScratchDir Gen0Dir{"pcc-bench-opt0"};
+  bench::ScratchDir Gen1Dir{"pcc-bench-opt1"};
+  persist::CacheDatabase Gen0Db{Gen0Dir.path()};
+  persist::CacheDatabase Gen1Db{Gen1Dir.path()};
+
+  OptTierFixture() {
+    auto M = binary::assemble(OptWarmAsm);
+    if (!M)
+      std::abort();
+    App = std::make_shared<binary::Module>(M.take());
+    persist::PersistOptions Plain;
+    auto Cold0 = bench::mustOk(
+        workloads::runPersistent(Registry, App, {}, Gen0Db, Plain),
+        "cold run populating the gen-0 opt-tier cache");
+    persist::PersistOptions Opt;
+    Opt.OptTier = true;
+    auto Cold1 = bench::mustOk(
+        workloads::runPersistent(Registry, App, {}, Gen1Db, Opt),
+        "cold run populating the promoted opt-tier cache");
+    if (Cold0.Stats.totalCycles() != Cold1.Stats.totalCycles())
+      std::abort(); // Promotion must never charge the cold run.
+    persist::PersistOptions ReadOnly;
+    ReadOnly.WriteBack = false;
+    auto Warm0 = bench::mustOk(
+        workloads::runPersistent(Registry, App, {}, Gen0Db, ReadOnly),
+        "gen-0 warm run");
+    auto Warm1 = bench::mustOk(
+        workloads::runPersistent(Registry, App, {}, Gen1Db, ReadOnly),
+        "promoted warm run");
+    if (Warm0.Run.ExitCode != Warm1.Run.ExitCode ||
+        Warm0.Run.InstructionsExecuted != Warm1.Run.InstructionsExecuted)
+      std::abort(); // Architectural results must be identical.
+    if (Warm1.Stats.ExecCycles >= Warm0.Stats.ExecCycles)
+      std::abort(); // The promoted cache must show a modeled exec win.
+  }
+};
+
+OptTierFixture &optTierFixture() {
+  static OptTierFixture F;
+  return F;
+}
+
+/// Warm run of the redundant-load program, Arg 0 primed from the gen-0
+/// cache and Arg 1 from the promoted (gen-1+) cache. The label carries
+/// the modeled cycle split; eliminated loads execute as discounted
+/// Nops, so the promoted leg's translated-exec bill is strictly lower
+/// at identical guest-visible results.
+void BM_OptTierWarm(benchmark::State &State) {
+  OptTierFixture &F = optTierFixture();
+  const bool Promoted = State.range(0) != 0;
+  persist::PersistOptions ReadOnly;
+  ReadOnly.WriteBack = false;
+  uint64_t Exec = 0;
+  uint64_t Total = 0;
+  uint64_t NopsDiscounted = 0;
+  for (auto _ : State) {
+    auto R = workloads::runPersistent(F.Registry, F.App, {},
+                                      Promoted ? F.Gen1Db : F.Gen0Db,
+                                      ReadOnly);
+    if (!R || !R->Prime.CacheFound)
+      std::abort();
+    Exec = R->Stats.ExecCycles;
+    Total = R->Stats.totalCycles();
+    NopsDiscounted = R->Stats.OptNopsExecuted;
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetLabel(formatString(
+      "%s: %llu modeled exec cycles (%llu total, %llu eliminated-load "
+      "nops discounted)",
+      Promoted ? "gen-1+ cache" : "gen-0 cache",
+      (unsigned long long)Exec, (unsigned long long)Total,
+      (unsigned long long)NopsDiscounted));
+}
+BENCHMARK(BM_OptTierWarm)->Arg(0)->Arg(1);
 
 } // namespace
 

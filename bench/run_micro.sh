@@ -3,9 +3,80 @@
 # next to the build (same output as the bench_micro_json CMake target).
 #
 #   bench/run_micro.sh [BUILD_DIR] [extra --benchmark_* flags...]
+#
+# Regression mode:
+#
+#   bench/run_micro.sh --check [BUILD_DIR] [extra --benchmark_* flags...]
+#
+# runs the benchmarks, then diffs the fresh BENCH_micro.json against the
+# committed bench/BENCH_micro.json baseline and fails when any prime/
+# finalize benchmark (BM_Prime*, BM_Finalize*, BM_OptTierWarm) regressed
+# by more than 10% in CPU time. Other benchmarks are reported but do not
+# fail the check — they measure host-dependent work (hashing, CRC) too
+# noisy to gate on.
 set -e
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+
+CHECK=0
+if [ "${1:-}" = "--check" ]; then
+  CHECK=1
+  shift
+fi
+
 BUILD="${1:-build}"
 if [ $# -gt 0 ]; then shift; fi
-exec "$BUILD/bench/micro_core" \
+
+"$BUILD/bench/micro_core" \
   --benchmark_out="$BUILD/BENCH_micro.json" \
   --benchmark_out_format=json "$@"
+
+if [ "$CHECK" = 1 ]; then
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "run_micro.sh --check: python3 not installed; skipping diff" >&2
+    exit 0
+  fi
+  python3 - "$ROOT/bench/BENCH_micro.json" "$BUILD/BENCH_micro.json" <<'EOF'
+import json
+import sys
+
+GATED_PREFIXES = ("BM_Prime", "BM_Finalize", "BM_OptTierWarm")
+THRESHOLD = 0.10
+
+
+def by_name(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {
+        b["name"]: b
+        for b in doc.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+
+base = by_name(sys.argv[1])
+fresh = by_name(sys.argv[2])
+failures = []
+for name in sorted(fresh):
+    if name not in base:
+        print(f"  new        {name} (no baseline)")
+        continue
+    old = base[name]["cpu_time"]
+    new = fresh[name]["cpu_time"]
+    if old <= 0:
+        continue
+    delta = (new - old) / old
+    gated = name.startswith(GATED_PREFIXES)
+    tag = "gated" if gated else "info "
+    print(f"  {tag}  {delta:+7.1%}  {name}")
+    if gated and delta > THRESHOLD:
+        failures.append((name, delta))
+for name in sorted(set(base) - set(fresh)):
+    print(f"  missing    {name} (in baseline, not in this run)")
+if failures:
+    print("regressions over 10% on prime/finalize benchmarks:")
+    for name, delta in failures:
+        print(f"  {name}: {delta:+.1%}")
+    sys.exit(1)
+print("bench check passed: no gated benchmark regressed more than 10%")
+EOF
+fi

@@ -41,12 +41,19 @@
 #                                    records on 4 workers and replays
 #                                    with --jobs 0 and --jobs 16 to
 #                                    prove worker-count independence
+#   scripts/check.sh --opt           optimization-tier soak: runs the
+#                                    opt_tier_test binary under ASan
+#                                    and then TSan, fault-injects a
+#                                    tiered finalize promotion, and
+#                                    races gen-0 against promoting
+#                                    finalizers on one shared database
+#                                    key, deep-checking the survivor
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   scripts/check.sh --tsan -R CacheStore
-# In --faults, --xip and --replay modes the first extra argument is the
-# number of soak iterations per sanitizer (default 5, 2 for --xip and
-# --replay); in --fleet
+# In --faults, --xip, --replay and --opt modes the first extra argument
+# is the number of soak iterations per sanitizer (default 5, 2 for
+# --xip, --replay and --opt); in --fleet
 # mode it is the simulated machine count (default 96) and the rest goes
 # to pcc-fleetsim.
 set -eu
@@ -148,6 +155,56 @@ if [ "${1:-}" = "--replay" ]; then
     rm -rf "$TMP"
   done
   echo "replay soak passed: $ITERS iteration(s) each under ASan and TSan"
+  exit 0
+fi
+
+if [ "${1:-}" = "--opt" ]; then
+  shift
+  ITERS="${1:-2}"
+  [ $# -gt 0 ] && shift
+  for SAN in address thread; do
+    SOAK="$ROOT/build-$SAN"
+    cmake -B "$SOAK" -S "$ROOT" -DPCC_SANITIZE=$SAN
+    cmake --build "$SOAK" -j --target opt_tier_test --target pccrun \
+      --target pcc-asm --target pcc-dbstat --target pcc-dbcheck
+    I=1
+    while [ "$I" -le "$ITERS" ]; do
+      echo "== opt-tier soak ($SAN) iteration $I/$ITERS =="
+      "$SOAK/tests/opt_tier_test"
+      I=$((I + 1))
+    done
+    TMP=$(mktemp -d)
+    "$SOAK/tools/pcc-asm" "$ROOT/examples/asm/fib.s" -o "$TMP/fib.mod"
+    # Fault-injected finalize promotion over a tiered store: the
+    # promotion pass runs behind a publish that keeps failing and
+    # retrying; the session must degrade gracefully, never crash.
+    for I in 1 2; do
+      "$SOAK/tools/pccrun" --mode persist --db "$TMP/l1" \
+        --l2 "$TMP/l2" --opt-tier --stats \
+        --fault-plan "enospc:0.1,fsync:0.1,lock:0.25" "$TMP/fib.mod"
+    done
+    # Concurrent finalizers merging different generations: gen-0
+    # sessions race promoting sessions on the same database key; the
+    # merge must keep the highest proven generation per trace and the
+    # offline deep check must re-prove every promoted body.
+    PIDS=""
+    for J in 1 2 3 4; do
+      if [ $((J % 2)) -eq 0 ]; then
+        "$SOAK/tools/pccrun" --mode persist --db "$TMP/shared" \
+          --opt-tier "$TMP/fib.mod" >/dev/null &
+      else
+        "$SOAK/tools/pccrun" --mode persist --db "$TMP/shared" \
+          "$TMP/fib.mod" >/dev/null &
+      fi
+      PIDS="$PIDS $!"
+    done
+    for P in $PIDS; do wait "$P"; done
+    "$SOAK/tools/pcc-dbstat" "$TMP/shared" --gens
+    "$SOAK/tools/pcc-dbcheck" "$TMP/shared" --deep \
+      --module "$TMP/fib.mod"
+    rm -rf "$TMP"
+  done
+  echo "opt-tier soak passed: $ITERS iteration(s) each under ASan and TSan"
   exit 0
 fi
 

@@ -24,8 +24,10 @@
 
 #include "analysis/Cfg.h"
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 namespace pcc {
@@ -55,6 +57,14 @@ int instDef(const isa::Instruction &Inst);
 /// ops and immediate loads. Ld is excluded — it can fault, which is a
 /// guest-visible effect even when the loaded value is dead.
 bool isPureDef(const isa::Instruction &Inst);
+
+/// Evaluates a pure binary ALU op over concrete operands with exactly
+/// vm::executeInstruction's semantics (uint32 wrap, Divu-by-zero -> 0,
+/// shift counts masked to 5 bits, comparisons producing 0/1). For the
+/// immediate forms pass the immediate as \p B. Returns nullopt for any
+/// opcode that is not a pure ALU op.
+std::optional<uint32_t> foldBinaryOp(isa::Opcode Op, uint32_t A,
+                                     uint32_t B);
 
 /// @}
 
@@ -194,6 +204,90 @@ ReachingDefsResult solveReachingDefs(const Cfg &G);
 std::vector<bool>
 findDeadTraceDefs(const std::vector<isa::Instruction> &Body,
                   uint32_t StartAddr);
+
+/// \name Constant propagation (forward, must)
+/// @{
+
+/// Lattice value of one register: Top (unconstrained optimistic),
+/// Konst (known compile-time constant), or Bottom (runtime value).
+struct ConstVal {
+  enum State : uint8_t { Top, Konst, Bottom };
+  uint8_t S = Top;
+  uint32_t Value = 0;
+
+  bool operator==(const ConstVal &O) const {
+    return S == O.S && (S != Konst || Value == O.Value);
+  }
+};
+
+/// Per-register constant lattice over a whole machine state.
+using ConstState = std::array<ConstVal, isa::NumRegisters>;
+
+struct TraceConstantsResult {
+  /// Folded[I] holds the constant a pure binary ALU instruction I is
+  /// statically proven to produce (all operands constant at I), i.e.
+  /// the value a promoted body may materialize with `Ldi rd, Folded[I]`
+  /// instead. Empty optional everywhere else (including Ldi itself).
+  std::vector<std::optional<uint32_t>> Folded;
+};
+
+/// Constant propagation over a DBI trace body (trace-model CFG: taken
+/// branches leave the region; registers are unknown at entry). Built on
+/// the generic worklist framework with the must-meet per-register
+/// lattice above.
+TraceConstantsResult
+solveTraceConstants(const std::vector<isa::Instruction> &Body,
+                    uint32_t StartAddr);
+
+/// @}
+
+/// \name Available loads (forward, must)
+/// @{
+
+/// One available-load fact: register Holder currently contains the
+/// value of guest memory [Base + Imm], and neither Base nor Holder has
+/// been redefined — and no store or syscall has intervened — since the
+/// load that established it.
+struct AvailLoad {
+  uint8_t Base = 0;
+  uint8_t Holder = 0;
+  uint32_t Imm = 0;
+
+  bool operator==(const AvailLoad &O) const {
+    return Base == O.Base && Holder == O.Holder && Imm == O.Imm;
+  }
+};
+
+/// The available-loads domain: either the universal set (meet
+/// identity, before any path reaches a block) or an explicit fact set.
+struct AvailSet {
+  bool Universal = false;
+  std::vector<AvailLoad> Facts;
+
+  bool operator==(const AvailSet &O) const {
+    return Universal == O.Universal &&
+           (Universal || Facts == O.Facts);
+  }
+};
+
+struct TraceRedundantLoadsResult {
+  /// Holder[I] >= 0 iff instruction I is a Ld whose loaded value is
+  /// already held in register Holder[I] (same base register with the
+  /// same value, same displacement, no intervening store/syscall). The
+  /// load may be replaced by a register move from that holder (or a
+  /// Nop when the holder is the destination itself).
+  std::vector<int> Holder;
+};
+
+/// Available-load analysis over a DBI trace body (trace-model CFG).
+/// Any St conservatively kills every fact — the ISA has no alias
+/// information — as does Sys; Call/Callr push to the stack and kill
+/// everything too.
+TraceRedundantLoadsResult
+solveTraceRedundantLoads(const std::vector<isa::Instruction> &Body,
+                         uint32_t StartAddr);
+
+/// @}
 
 } // namespace analysis
 } // namespace pcc

@@ -1,0 +1,107 @@
+//===- analysis/Optimizer.cpp ---------------------------------------------===//
+
+#include "analysis/Optimizer.h"
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace pcc;
+using namespace pcc::analysis;
+using isa::Instruction;
+using isa::Opcode;
+
+bool pcc::analysis::optimizeTraceBody(std::vector<Instruction> &Body,
+                                      uint32_t GuestStart,
+                                      bool AllowConstFold,
+                                      TraceOptStats &Stats) {
+  bool Changed = false;
+
+  if (AllowConstFold) {
+    TraceConstantsResult C = solveTraceConstants(Body, GuestStart);
+    for (size_t I = 0; I != Body.size(); ++I)
+      if (C.Folded[I]) {
+        Body[I] = isa::makeLdi(Body[I].Rd, *C.Folded[I]);
+        ++Stats.ConstsFolded;
+        Changed = true;
+      }
+  }
+
+  TraceRedundantLoadsResult L =
+      solveTraceRedundantLoads(Body, GuestStart);
+  for (size_t I = 0; I != Body.size(); ++I)
+    if (L.Holder[I] >= 0) {
+      unsigned Holder = static_cast<unsigned>(L.Holder[I]);
+      if (Holder == Body[I].Rd)
+        Body[I] = isa::makeNop();
+      else
+        Body[I] = isa::makeAluImm(Opcode::Ori, Body[I].Rd, Holder, 0);
+      ++Stats.LoadsEliminated;
+      Changed = true;
+    }
+
+  std::vector<bool> Dead = findDeadTraceDefs(Body, GuestStart);
+  for (size_t I = 0; I != Body.size(); ++I)
+    if (Dead[I] && Body[I].Op != Opcode::Nop) {
+      Body[I] = isa::makeNop();
+      ++Stats.FlagsElided;
+      Changed = true;
+    }
+
+  return Changed;
+}
+
+std::vector<std::vector<uint32_t>> pcc::analysis::planSuperblocks(
+    const std::vector<SuperblockCandidate> &Candidates,
+    uint32_t MaxInsts) {
+  std::vector<std::vector<uint32_t>> Chains;
+
+  // Hottest heads first; ties broken by start address so planning is
+  // deterministic for equal heat.
+  std::vector<uint32_t> Order(Candidates.size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](uint32_t A, uint32_t B) {
+                     if (Candidates[A].Heat != Candidates[B].Heat)
+                       return Candidates[A].Heat > Candidates[B].Heat;
+                     return Candidates[A].Start < Candidates[B].Start;
+                   });
+
+  std::vector<bool> Consumed(Candidates.size(), false);
+  for (uint32_t Head : Order) {
+    if (Consumed[Head])
+      continue;
+    std::vector<uint32_t> Chain{Head};
+    uint64_t Total = Candidates[Head].InstCount;
+    uint32_t Cur = Head;
+    while (Candidates[Cur].EndsInFallThrough) {
+      // The successor must start exactly where this body ends, so the
+      // merged body stays contiguous guest code.
+      if (Candidates[Cur].FallTarget !=
+          Candidates[Cur].Start +
+              Candidates[Cur].InstCount * isa::InstructionSize)
+        break;
+      int Next = -1;
+      for (uint32_t I = 0; I != Candidates.size(); ++I)
+        if (!Consumed[I] && I != Head &&
+            Candidates[I].Start == Candidates[Cur].FallTarget &&
+            Candidates[I].ModuleIndex == Candidates[Cur].ModuleIndex) {
+          Next = static_cast<int>(I);
+          break;
+        }
+      if (Next < 0 ||
+          Total + Candidates[Next].InstCount > MaxInsts)
+        break;
+      Chain.push_back(static_cast<uint32_t>(Next));
+      Consumed[Next] = true;
+      Total += Candidates[Next].InstCount;
+      Cur = static_cast<uint32_t>(Next);
+    }
+    if (Chain.size() > 1) {
+      Consumed[Head] = true;
+      Chains.push_back(std::move(Chain));
+    }
+  }
+  return Chains;
+}

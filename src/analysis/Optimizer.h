@@ -1,0 +1,89 @@
+//===- analysis/Optimizer.h - Finalize-time trace optimizer -----*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The finalize-time AOT optimization pipeline that promotes hot
+/// persisted traces to a higher optimization generation:
+///
+///   1. constant propagation (solveTraceConstants) — pure ALU results
+///      proven constant are re-materialized as `Ldi`,
+///   2. redundant-load elimination (solveTraceRedundantLoads) — a
+///      reload whose value is provably still in a register becomes a
+///      register move (or a Nop when it reloads in place), and
+///   3. dead-flag/def elision (findDeadTraceDefs) — defs shadowed
+///      before any exit become Nops,
+///
+/// plus superblock planning: fall-through-linked trace chains merged
+/// into one straight-line body so the dispatcher and per-trace
+/// materialization costs are paid once per chain.
+///
+/// Nothing here is trusted: the caller must prove every transformed
+/// body with analysis::validateTranslation against the guest source
+/// before persisting it, and keep the generation-0 body on rejection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_ANALYSIS_OPTIMIZER_H
+#define PCC_ANALYSIS_OPTIMIZER_H
+
+#include "isa/Instruction.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace pcc {
+namespace analysis {
+
+/// What one optimizeTraceBody run changed.
+struct TraceOptStats {
+  uint32_t ConstsFolded = 0;
+  uint32_t LoadsEliminated = 0;
+  uint32_t FlagsElided = 0;
+
+  bool changedAnything() const {
+    return ConstsFolded || LoadsEliminated || FlagsElided;
+  }
+};
+
+/// Runs the optimization pipeline over \p Body (a trace starting at
+/// guest address \p GuestStart) in place. \p AllowConstFold gates
+/// constant propagation — position-independent caches must disable it,
+/// because a folded constant could bake in an address the rebase step
+/// would otherwise relocate. Returns true when the body changed.
+bool optimizeTraceBody(std::vector<isa::Instruction> &Body,
+                       uint32_t GuestStart, bool AllowConstFold,
+                       TraceOptStats &Stats);
+
+/// One trace considered for superblock formation, in the caller's
+/// index space.
+struct SuperblockCandidate {
+  uint32_t Start = 0;       ///< Guest start address.
+  uint32_t InstCount = 0;   ///< Body length in instructions.
+  uint32_t ModuleIndex = 0; ///< Owning module (chains never cross).
+  uint32_t Heat = 0;        ///< Accumulated execution heat.
+  /// The trace's final exit runs off the end (FallThrough) to
+  /// FallTarget == Start + InstCount * 8.
+  bool EndsInFallThrough = false;
+  uint32_t FallTarget = 0;
+};
+
+/// Greedy heat-ordered superblock planning: starting from the hottest
+/// unconsumed candidate, follows contiguous fall-through edges
+/// (FallTarget must be exactly the next candidate's Start, same
+/// module) while the combined body stays within \p MaxInsts. Returns
+/// chains of candidate indices, each at least two long; a candidate
+/// appears in at most one chain. Tail members keep their own traces
+/// (tail duplication — they remain valid entry points), so the caller
+/// merges each chain into the head's record only.
+std::vector<std::vector<uint32_t>>
+planSuperblocks(const std::vector<SuperblockCandidate> &Candidates,
+                uint32_t MaxInsts);
+
+} // namespace analysis
+} // namespace pcc
+
+#endif // PCC_ANALYSIS_OPTIMIZER_H

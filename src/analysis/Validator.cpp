@@ -2,6 +2,7 @@
 
 #include "analysis/Validator.h"
 
+#include "analysis/Dataflow.h"
 #include "support/StringUtils.h"
 
 #include <array>
@@ -18,6 +19,16 @@ namespace {
 
 /// Hash-consed symbolic expressions. Both executions intern into one
 /// pool, so structural equality is id equality.
+///
+/// bin() additionally *canonicalizes* through semantics-preserving
+/// rewrites — constant folding with exactly vm::executeInstruction's
+/// arithmetic (via foldBinaryOp) and right-zero identities — so that a
+/// body the finalize-time optimizer transformed (constants propagated,
+/// redundant loads replaced by register moves) interns to the same ids
+/// as the unoptimized source. Every rewrite maps an expression to a
+/// semantically equal one, so id equality still implies value equality:
+/// canonicalization only ever *accepts more* correct translations, it
+/// never equates two expressions that could differ at runtime.
 class ExprPool {
 public:
   enum class Kind : uint8_t { Init, Const, Bin, Load };
@@ -29,6 +40,31 @@ public:
     return intern(Kind::Const, 0, 0, 0, Value);
   }
   uint32_t bin(Opcode Op, uint32_t A, uint32_t B) {
+    uint32_t AV = 0, BV = 0;
+    const bool AConst = constValue(A, AV);
+    const bool BConst = constValue(B, BV);
+    if (AConst && BConst)
+      if (auto V = foldBinaryOp(Op, AV, BV))
+        return konst(*V);
+    if (BConst && BV == 0) {
+      // x op 0 == x for the additive/bitwise/shift family.
+      switch (Op) {
+      case Opcode::Add:
+      case Opcode::Addi:
+      case Opcode::Sub:
+      case Opcode::Or:
+      case Opcode::Ori:
+      case Opcode::Xor:
+      case Opcode::Xori:
+      case Opcode::Shl:
+      case Opcode::Shli:
+      case Opcode::Shr:
+      case Opcode::Shri:
+        return A;
+      default:
+        break;
+      }
+    }
     return intern(Kind::Bin, static_cast<uint8_t>(Op), A, B, 0);
   }
   /// A memory read of \p Addr observing the first \p Version stores.
@@ -39,12 +75,25 @@ public:
 private:
   using Key = std::tuple<uint8_t, uint8_t, uint32_t, uint32_t, uint32_t>;
   std::map<Key, uint32_t> Interned;
+  /// Node payloads by id (ids are assigned densely in intern order), so
+  /// bin() can recognize Const operands.
+  std::vector<Key> Nodes;
+
+  bool constValue(uint32_t Id, uint32_t &Value) const {
+    const Key &N = Nodes[Id];
+    if (std::get<0>(N) != static_cast<uint8_t>(Kind::Const))
+      return false;
+    Value = std::get<4>(N);
+    return true;
+  }
 
   uint32_t intern(Kind K, uint8_t Op, uint32_t A, uint32_t B,
                   uint32_t Aux) {
     Key Id{static_cast<uint8_t>(K), Op, A, B, Aux};
     auto [It, Inserted] =
         Interned.emplace(Id, static_cast<uint32_t>(Interned.size()));
+    if (Inserted)
+      Nodes.push_back(Id);
     return It->second;
   }
 };
@@ -91,13 +140,25 @@ const char *exitKindName(SymExit::Kind K) {
   return "?";
 }
 
+/// One memory read: the address expression (loads can fault) and the
+/// value expression it produced. Two reads with equal Val read the same
+/// address at the same store version — the second is redundant.
+struct LoadRec {
+  uint32_t Addr = 0;
+  uint32_t Val = 0;
+
+  bool operator==(const LoadRec &O) const {
+    return Addr == O.Addr && Val == O.Val;
+  }
+};
+
 /// The observable effects of one symbolic execution.
 struct SymTrace {
   std::vector<SymExit> Exits;
   /// All stores in program order: (address expr, value expr).
   std::vector<std::pair<uint32_t, uint32_t>> Stores;
-  /// All load addresses in program order (loads can fault).
-  std::vector<uint32_t> LoadAddrs;
+  /// All loads in program order.
+  std::vector<LoadRec> Loads;
 };
 
 /// Symbolically executes \p Body following vm::executeInstruction's
@@ -113,7 +174,7 @@ SymTrace symExecute(ExprPool &Pool, uint32_t GuestStart,
   auto Snapshot = [&](SymExit E) {
     E.Regs = Regs;
     E.NumStores = static_cast<uint32_t>(T.Stores.size());
-    E.NumLoads = static_cast<uint32_t>(T.LoadAddrs.size());
+    E.NumLoads = static_cast<uint32_t>(T.Loads.size());
     T.Exits.push_back(E);
   };
   auto Version = [&] {
@@ -162,8 +223,9 @@ SymTrace symExecute(ExprPool &Pool, uint32_t GuestStart,
       break;
     case Opcode::Ld: {
       uint32_t Addr = Pool.bin(Opcode::Add, A, Pool.konst(Inst.Imm));
-      T.LoadAddrs.push_back(Addr);
-      Regs[Inst.Rd] = Pool.load(Addr, Version());
+      uint32_t Val = Pool.load(Addr, Version());
+      T.Loads.push_back(LoadRec{Addr, Val});
+      Regs[Inst.Rd] = Val;
       break;
     }
     case Opcode::St: {
@@ -202,8 +264,8 @@ SymTrace symExecute(ExprPool &Pool, uint32_t GuestStart,
       return T;
     case Opcode::Ret: {
       uint32_t Addr = Regs[Sp];
-      T.LoadAddrs.push_back(Addr);
       uint32_t Return = Pool.load(Addr, Version());
+      T.Loads.push_back(LoadRec{Addr, Return});
       Regs[Sp] =
           Pool.bin(Opcode::Add, Addr, Pool.konst(4));
       Snapshot(
@@ -267,6 +329,39 @@ ValidationResult pcc::analysis::validateTranslation(
   SymTrace S = symExecute(Pool, GuestStart, Source);
   SymTrace T = symExecute(Pool, GuestStart, Translated);
 
+  // Match the translated loads against the source loads as an ordered
+  // subsequence. A source load may be absent from the translation only
+  // when it is provably redundant: the identical load expression (same
+  // address, same observed-store version) already occurred earlier in
+  // the source, so re-reading can neither fault anew nor observe a
+  // different value. MatchedPrefix[i] is the number of translated loads
+  // consumed by the first i source loads, which lets the per-exit check
+  // below verify that loads line up at every observable exit point.
+  std::vector<uint32_t> MatchedPrefix(S.Loads.size() + 1, 0);
+  {
+    size_t J = 0;
+    for (size_t I = 0; I != S.Loads.size(); ++I) {
+      if (J < T.Loads.size() && S.Loads[I] == T.Loads[J]) {
+        ++J;
+      } else {
+        bool Redundant = false;
+        for (size_t K = 0; K != I && !Redundant; ++K)
+          Redundant = S.Loads[K].Val == S.Loads[I].Val;
+        if (!Redundant)
+          return mismatch(
+              0, ~0u,
+              formatString("load %zu missing from translation and "
+                           "not redundant",
+                           I));
+      }
+      MatchedPrefix[I + 1] = static_cast<uint32_t>(J);
+    }
+    if (J != T.Loads.size())
+      return mismatch(0, ~0u,
+                      "translated performs memory reads the source "
+                      "does not");
+  }
+
   if (S.Exits.size() != T.Exits.size())
     return mismatch(
         0, static_cast<uint32_t>(
@@ -302,11 +397,13 @@ ValidationResult pcc::analysis::validateTranslation(
                       formatString("memory-write count differs: "
                                    "source %u, translated %u",
                                    A.NumStores, B.NumStores));
-    if (A.NumLoads != B.NumLoads)
+    if (MatchedPrefix[A.NumLoads] != B.NumLoads)
       return mismatch(A.InstIndex, E,
-                      formatString("memory-read count differs: "
-                                   "source %u, translated %u",
-                                   A.NumLoads, B.NumLoads));
+                      formatString("memory reads do not line up at "
+                                   "exit: source %u (of which %u "
+                                   "required), translated %u",
+                                   A.NumLoads, MatchedPrefix[A.NumLoads],
+                                   B.NumLoads));
     for (unsigned R = 0; R != isa::NumRegisters; ++R)
       if (A.Regs[R] != B.Regs[R])
         return mismatch(A.InstIndex, E,
@@ -323,12 +420,5 @@ ValidationResult pcc::analysis::validateTranslation(
       return mismatch(0, ~0u,
                       formatString("store %u value differs", I));
   }
-  if (S.LoadAddrs.size() != T.LoadAddrs.size())
-    return mismatch(0, ~0u, "memory-read count differs");
-  for (uint32_t I = 0; I != S.LoadAddrs.size(); ++I)
-    if (S.LoadAddrs[I] != T.LoadAddrs[I])
-      return mismatch(0, ~0u,
-                      formatString("load %u address differs", I));
-
   return ValidationResult{};
 }

@@ -167,6 +167,13 @@ public:
   uint32_t persistedHeat() const { return PersistedHeat; }
   void setPersistedHeat(uint32_t Heat) { PersistedHeat = Heat; }
 
+  /// Optimization generation carried in from the persistent cache file
+  /// (0 for freshly compiled or unpromoted traces). Promoted bodies
+  /// earn a modeled execution discount for their Nop slots, and
+  /// finalize re-persists the generation so it survives accumulation.
+  uint32_t optGen() const { return OptGen; }
+  void setOptGen(uint32_t Gen) { OptGen = Gen; }
+
   /// Bytes of supporting data structures this trace consumes in the data
   /// pool: trace descriptor, exit records, translation-map node, and
   /// per-instruction bookkeeping (liveness, register bindings). The
@@ -191,6 +198,7 @@ private:
   std::vector<std::pair<TranslatedTrace *, uint32_t>> Incoming;
   uint64_t ExecCount = 0;
   uint32_t PersistedHeat = 0;
+  uint32_t OptGen = 0;
 };
 
 /// The code cache: pools, translation map, and link bookkeeping.

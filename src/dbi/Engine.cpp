@@ -350,6 +350,12 @@ vm::RunResult Engine::run() {
 
     const std::span<const Instruction> Body = Current->body();
     const uint32_t TraceStart = Current->guestStart();
+    // Promoted (gen >= 1) bodies earn the modeled execution discount for
+    // their Nop slots: the optimizer proved the slot's work redundant,
+    // so a real backend would not emit it. Gen-0 bodies get no discount
+    // even when flag elision produced Nops, keeping unpromoted runs
+    // bit-identical to the pre-opt-tier engine.
+    const bool Promoted = Current->optGen() > 0;
     TranslatedTrace *Next = nullptr;
     vm::CpuState &Cpu = Threads.current().Cpu;
 
@@ -390,6 +396,8 @@ vm::RunResult Engine::run() {
           break;
         }
         ++Stats.GuestInstsExecuted;
+        if (Promoted && Inst.Op == Opcode::Nop)
+          ++Stats.OptNopsExecuted;
 
         if (Step->Kind == vm::StepKind::Halted) {
           Done = true;
@@ -480,7 +488,9 @@ vm::RunResult Engine::run() {
     Current = Next;
   }
 
-  Stats.ExecCycles = Costs.translatedExecCycles(Stats.GuestInstsExecuted);
+  assert(Stats.OptNopsExecuted <= Stats.GuestInstsExecuted);
+  Stats.ExecCycles = Costs.translatedExecCycles(Stats.GuestInstsExecuted -
+                                                Stats.OptNopsExecuted);
   if (Opts.IntermixPools)
     Stats.ExecCycles = Stats.ExecCycles * Costs.IntermixExecPenaltyNum /
                        Costs.IntermixExecPenaltyDen;

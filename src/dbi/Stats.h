@@ -75,6 +75,25 @@ struct EngineStats {
   uint64_t VerifyFailures = 0;    ///< Traces the validator rejected.
   uint64_t FlagsElided = 0;       ///< Dead pure defs replaced with Nop
                                   ///< by the --opt-flags pass.
+  uint64_t TracesPromoted = 0;    ///< Traces finalize promoted to a
+                                  ///< higher optimization generation
+                                  ///< (validator-proved).
+  uint64_t SuperblocksFormed = 0; ///< Fall-through trace chains merged
+                                  ///< into one straight-line body.
+  uint64_t OptLoadsEliminated = 0; ///< Redundant loads the promotion
+                                   ///< pipeline removed.
+  uint64_t OptConstsFolded = 0;    ///< ALU results constant-folded by
+                                   ///< the promotion pipeline.
+  uint64_t OptValidatorRejections = 0; ///< Promotion attempts the
+                                       ///< validator refused; the gen-0
+                                       ///< body was kept.
+  uint64_t OptNopsExecuted = 0;   ///< Nop slots executed inside
+                                  ///< promoted (gen >= 1) bodies; these
+                                  ///< earn the modeled execution
+                                  ///< discount. Gen-0 elision Nops are
+                                  ///< deliberately not counted, so
+                                  ///< unpromoted runs cost exactly what
+                                  ///< they did before the opt tier.
   uint64_t PersistL1Hits = 0;     ///< Primes satisfied by the local
                                   ///< (L1) tier of a tiered store.
   uint64_t PersistL2Hits = 0;     ///< Primes satisfied by read-through

@@ -18,6 +18,13 @@ uint32_t pcc::persist::traceDataBytes(uint32_t NumExits,
   return 64 + 40 * NumExits + 24 + 8 * NumInsts;
 }
 
+uint32_t CacheFile::maxOptGen() const {
+  uint32_t Max = 0;
+  for (const TraceRecord &Trace : Traces)
+    Max = std::max(Max, Trace.OptGen);
+  return Max;
+}
+
 uint64_t CacheFile::codeBytes() const {
   uint64_t Total = 0;
   for (const TraceRecord &Trace : Traces)
@@ -59,7 +66,9 @@ size_t CacheFile::serializedSize() const {
                 Trace.RelocMask.size();
     PayloadBytes += Trace.Code.size();
   }
-  size_t IndexSize = Traces.size() * v2::IndexEntryBytes + HeapSize;
+  size_t EntryBytes =
+      maxOptGen() > 0 ? v2::OptIndexEntryBytes : v2::IndexEntryBytes;
+  size_t IndexSize = Traces.size() * EntryBytes + HeapSize;
   size_t PayloadOffset = v2::HeaderBytes + ModuleTableSize + IndexSize;
   if (ExecuteInPlace)
     PayloadOffset = alignUp(PayloadOffset, v2::PayloadAlign);
@@ -78,7 +87,13 @@ std::vector<uint8_t> CacheFile::serialize() const {
                 Trace.RelocMask.size();
     PayloadBytes += Trace.Code.size();
   }
-  size_t IndexSize = Traces.size() * v2::IndexEntryBytes + HeapSize;
+  // Promoted files (any trace with OptGen > 0) use the wide index-entry
+  // layout and announce it in the flags byte; unpromoted files keep the
+  // 40-byte entries so their bytes are identical to pre-OptGen output.
+  const bool HasOptGen = maxOptGen() > 0;
+  const size_t EntryBytes =
+      HasOptGen ? v2::OptIndexEntryBytes : v2::IndexEntryBytes;
+  size_t IndexSize = Traces.size() * EntryBytes + HeapSize;
   uint32_t ModuleTableOffset = static_cast<uint32_t>(v2::HeaderBytes);
   uint32_t TraceIndexOffset =
       ModuleTableOffset + static_cast<uint32_t>(ModuleTableSize);
@@ -102,7 +117,8 @@ std::vector<uint8_t> CacheFile::serialize() const {
   Writer.writeU8(SpecBits);
   Writer.writeU8(static_cast<uint8_t>(
       (PositionIndependent ? v2::FlagPositionIndependent : 0) |
-      (ExecuteInPlace ? v2::FlagExecuteInPlace : 0)));
+      (ExecuteInPlace ? v2::FlagExecuteInPlace : 0) |
+      (HasOptGen ? v2::FlagOptGen : 0)));
   Writer.writeU16(WriterTag); // Former Reserved0: last-writer pid tag.
   Writer.writeU32(Generation);
   Writer.writeU32(static_cast<uint32_t>(Modules.size()));
@@ -125,7 +141,7 @@ std::vector<uint8_t> CacheFile::serialize() const {
 
   // Index entries first, then the metadata heap they point into.
   uint32_t MetaOffset =
-      static_cast<uint32_t>(Traces.size() * v2::IndexEntryBytes);
+      static_cast<uint32_t>(Traces.size() * EntryBytes);
   uint32_t CodeOffset = 0;
   for (const TraceRecord &Trace : Traces) {
     Writer.writeU32(Trace.GuestStart);
@@ -138,6 +154,8 @@ std::vector<uint8_t> CacheFile::serialize() const {
     Writer.writeU32(static_cast<uint32_t>(Trace.Exits.size()));
     Writer.writeU32(static_cast<uint32_t>(Trace.RelocMask.size()));
     Writer.writeU32(Trace.Heat); // Former Reserved word.
+    if (HasOptGen)
+      Writer.writeU32(Trace.OptGen);
     CodeOffset += static_cast<uint32_t>(Trace.Code.size());
     MetaOffset += static_cast<uint32_t>(
         Trace.Exits.size() * v2::ExitRecordBytes + Trace.RelocMask.size());

@@ -60,6 +60,13 @@ struct TraceRecord {
   /// that contributed this trace (stored in the index's former Reserved
   /// word, so v2 readers skip it). Groundwork for profile-guided layout.
   uint32_t Heat = 0;
+  /// Optimization generation: how many finalize-time promotion passes
+  /// this body has been proven through (0 = the cheap first
+  /// translation). Serialized as an extra index word only when some
+  /// trace in the file is promoted (header flag bit 2), so gen-0 files
+  /// stay byte-identical to pre-OptGen writers and old readers still
+  /// parse them.
+  uint32_t OptGen = 0;
 
   bool relocBit(uint32_t InstIndex) const {
     uint32_t Byte = InstIndex / 8;
@@ -100,6 +107,11 @@ struct CacheFile {
   /// 2 = indexed, 3 = indexed XIP). Not serialized; serialize() emits
   /// v2, or v3 when ExecuteInPlace is set.
   uint32_t SourceFormat = 2;
+
+  /// Highest per-trace optimization generation present (0 when every
+  /// trace is an unpromoted first translation). Non-zero switches
+  /// serialize() to the wide (OptGen-bearing) index-entry layout.
+  uint32_t maxOptGen() const;
 
   /// Total translated-code bytes (the code half of Figure 9).
   uint64_t codeBytes() const;

@@ -79,8 +79,11 @@ CacheFile pcc::persist::mergeCacheFiles(const CacheFile &Winner,
   // against the live image, so where the two caches disagree about a
   // guest start, Novel is fresher.
   std::unordered_set<uint32_t> Claimed;
-  for (const TraceRecord &Rec : Novel.Traces)
-    Claimed.insert(Rec.GuestStart);
+  std::unordered_map<uint32_t, size_t> NovelIndexByStart;
+  for (size_t I = 0; I != Novel.Traces.size(); ++I) {
+    Claimed.insert(Novel.Traces[I].GuestStart);
+    NovelIndexByStart.emplace(Novel.Traces[I].GuestStart, I);
+  }
 
   std::unordered_map<std::string, uint32_t> NovelByPath;
   for (size_t I = 0; I != Novel.Modules.size(); ++I)
@@ -116,8 +119,23 @@ CacheFile pcc::persist::mergeCacheFiles(const CacheFile &Winner,
   for (const TraceRecord &Rec : Winner.Traces) {
     if (Rec.ModuleIndex >= Map.size() || Map[Rec.ModuleIndex] < 0)
       continue;
-    if (!Claimed.insert(Rec.GuestStart).second)
+    auto Dup = NovelIndexByStart.find(Rec.GuestStart);
+    if (Dup != NovelIndexByStart.end()) {
+      // Both caches carry this start, and the module key matched, so
+      // both bodies translate the same guest bytes. Novel is fresher,
+      // but a strictly higher optimization generation is
+      // validator-proved finalize work that a stale low-generation
+      // writer must not clobber; lifetime heat accumulates either way.
+      TraceRecord &Kept = Novel.Traces[Dup->second];
+      if (Rec.OptGen > Kept.OptGen) {
+        uint32_t Heat = Kept.Heat > Rec.Heat ? Kept.Heat : Rec.Heat;
+        Kept = Rec;
+        Kept.ModuleIndex = static_cast<uint32_t>(Map[Rec.ModuleIndex]);
+        Kept.Heat = Heat;
+      }
       continue;
+    }
+    Claimed.insert(Rec.GuestStart);
     TraceRecord Copy = Rec;
     Copy.ModuleIndex = static_cast<uint32_t>(Map[Rec.ModuleIndex]);
     Novel.Traces.push_back(std::move(Copy));

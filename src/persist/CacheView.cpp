@@ -47,6 +47,7 @@ Status CacheFileView::parseHeader(const uint8_t *Bytes, size_t Available) {
   uint8_t Flags = Reader.readU8();
   PositionIndependent = (Flags & v2::FlagPositionIndependent) != 0;
   Xip = (Flags & v2::FlagExecuteInPlace) != 0;
+  HasOptGen = (Flags & v2::FlagOptGen) != 0;
   if (Xip != (FormatVersion == v2::XipVersion))
     return formatError("cache XIP flag inconsistent with version");
   WriterTag = Reader.readU16(); // Former Reserved0: last-writer pid tag.
@@ -84,7 +85,8 @@ Status CacheFileView::parseHeader(const uint8_t *Bytes, size_t Available) {
   } else if (PayloadOffset != IndexEnd) {
     return formatError("cache section layout inconsistent");
   }
-  if (static_cast<uint64_t>(NumTraces) * v2::IndexEntryBytes >
+  if (static_cast<uint64_t>(NumTraces) *
+          (HasOptGen ? v2::OptIndexEntryBytes : v2::IndexEntryBytes) >
       TraceIndexSize)
     return formatError("trace index smaller than its entry count");
   return Status::success();
@@ -107,9 +109,10 @@ Status CacheFileView::parseSections() {
   const uint8_t *Index = Data + TraceIndexOffset;
   if (crc32(Index, TraceIndexSize) != TraceIndexCrc)
     return formatError("trace index checksum mismatch");
+  const size_t EntryBytes =
+      HasOptGen ? v2::OptIndexEntryBytes : v2::IndexEntryBytes;
   ByteReader IndexReader(Index,
-                         static_cast<size_t>(NumTraces) *
-                             v2::IndexEntryBytes);
+                         static_cast<size_t>(NumTraces) * EntryBytes);
   Entries.reserve(NumTraces);
   for (uint32_t I = 0; I != NumTraces; ++I) {
     TraceIndexEntry E;
@@ -123,6 +126,8 @@ Status CacheFileView::parseSections() {
     E.ExitCount = IndexReader.readU32();
     E.RelocSize = IndexReader.readU32();
     E.Heat = IndexReader.readU32(); // Former Reserved word.
+    if (HasOptGen)
+      E.OptGen = IndexReader.readU32();
     if (IndexReader.failed())
       return formatError("truncated trace index");
     // Entry bounds: everything an entry points at must land inside its
@@ -263,6 +268,7 @@ ErrorOr<TraceRecord> CacheFileView::record(uint32_t I) const {
   Rec.Exits = readExits(I);
   Rec.RelocMask = readRelocMask(I);
   Rec.Heat = E.Heat;
+  Rec.OptGen = E.OptGen;
   return Rec;
 }
 

@@ -32,9 +32,12 @@
 ///   +36 u32 NumTraces
 ///
 /// Flags bit 0 is PositionIndependent (bit-compatible with the former
-/// 0/1 byte); bit 1 marks an execute-in-place (XIP) generation.
-/// Version stays 2 for materializing files and becomes 3 for XIP
-/// files, whose payload section is page-aligned (the gap between the
+/// 0/1 byte); bit 1 marks an execute-in-place (XIP) generation; bit 2
+/// marks a file whose trace-index entries are 44 bytes wide, the extra
+/// trailing u32 being each trace's optimization generation (bit clear:
+/// 40-byte entries, every trace generation 0 — the byte-identical
+/// legacy layout). Version stays 2 for materializing files and becomes
+/// 3 for XIP files, whose payload section is page-aligned (the gap between the
 /// trace index and the payload is zero padding, < one page) so prime
 /// can hand the mapped payload directly to the engine as executable
 /// trace bodies. Everything else — magic, header size, index entry
@@ -73,10 +76,18 @@ inline constexpr uint32_t Version = 2;
 inline constexpr uint32_t XipVersion = 3;
 inline constexpr size_t HeaderBytes = 76;
 inline constexpr size_t IndexEntryBytes = 40;
+/// Index-entry size when the OptGen flag is set: the 40-byte entry plus
+/// one trailing u32 per-trace optimization generation.
+inline constexpr size_t OptIndexEntryBytes = 44;
 inline constexpr size_t ExitRecordBytes = 13;
 /// Header flags byte (offset +25).
 inline constexpr uint8_t FlagPositionIndependent = 1u << 0;
 inline constexpr uint8_t FlagExecuteInPlace = 1u << 1;
+/// Some trace in the file carries a non-zero optimization generation;
+/// index entries are OptIndexEntryBytes wide. Writers only set this
+/// when needed, so unpromoted files stay byte-identical to pre-OptGen
+/// output (and readable by pre-OptGen readers).
+inline constexpr uint8_t FlagOptGen = 1u << 2;
 /// XIP payload sections start on this boundary.
 inline constexpr uint32_t PayloadAlign = 4096;
 } // namespace v2
@@ -106,6 +117,9 @@ struct TraceIndexEntry {
   /// Saturating lifetime execution count, accumulated at finalize
   /// (the former Reserved word; v2 writers emitted 0 there).
   uint32_t Heat = 0;
+  /// Optimization generation (trailing word of the wide entry layout;
+  /// 0 for files without the FlagOptGen header bit).
+  uint32_t OptGen = 0;
 };
 
 /// Read-only view of a v2 cache file. Owns its backing bytes (a loaded
@@ -142,6 +156,9 @@ public:
   bool positionIndependent() const { return PositionIndependent; }
   /// True for a v3 execute-in-place generation (page-aligned payload).
   bool executeInPlace() const { return Xip; }
+  /// True when index entries carry per-trace optimization generations
+  /// (header FlagOptGen; the wide entry layout).
+  bool optGenEntries() const { return HasOptGen; }
   uint32_t formatVersion() const { return FormatVersion; }
   uint32_t generation() const { return Generation; }
   /// Low 16 bits of the last writer's pid (0 when untagged).
@@ -198,6 +215,7 @@ private:
   uint8_t SpecBits = 0;
   bool PositionIndependent = false;
   bool Xip = false;
+  bool HasOptGen = false;
   uint32_t FormatVersion = 0;
   uint16_t WriterTag = 0;
   uint32_t Generation = 0;

@@ -134,6 +134,8 @@ std::string deepCheckFile(const CacheFile &File, const DeepContext &Deep,
       continue;
     }
     ++R.TracesVerified;
+    if (Rec.OptGen > 0)
+      ++R.TracesPromotedVerified;
   }
   return FirstMismatch;
 }
@@ -410,6 +412,7 @@ pcc::persist::checkDatabase(const std::string &Dir,
     Report.TracesVerified += R->TracesVerified;
     Report.TracesMismatched += R->TracesMismatched;
     Report.TracesUnverifiable += R->TracesUnverifiable;
+    Report.TracesPromotedVerified += R->TracesPromotedVerified;
     switch (R->State) {
     case FileState::Clean:
       ++Report.FilesClean;

@@ -88,6 +88,9 @@ struct FileCheckReport {
   uint32_t TracesVerified = 0;     ///< Proved effect-equivalent.
   uint32_t TracesMismatched = 0;   ///< Failed semantic validation.
   uint32_t TracesUnverifiable = 0; ///< Module missing or key changed.
+  /// Of TracesVerified, bodies at optimization generation >= 1: the
+  /// finalize-time AOT tier's transforms re-proved offline.
+  uint32_t TracesPromotedVerified = 0;
   /// @}
 };
 
@@ -106,6 +109,7 @@ struct DbCheckReport {
   uint32_t TracesVerified = 0;
   uint32_t TracesMismatched = 0;
   uint32_t TracesUnverifiable = 0;
+  uint32_t TracesPromotedVerified = 0;
 
   /// Writer-crash temporaries (`*.tmp.<pid>-<n>`) in the directory.
   uint32_t TempsFound = 0;

@@ -2,6 +2,7 @@
 
 #include "persist/Session.h"
 
+#include "analysis/Optimizer.h"
 #include "analysis/Validator.h"
 #include "persist/RecordingHooks.h"
 #include "support/FileSystem.h"
@@ -410,6 +411,7 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
     uint32_t PoolOffset = 0;
     uint32_t PoolBytes = 0;
     uint32_t Heat = 0;
+    uint32_t OptGen = 0;
     std::vector<dbi::TraceExit> Exits;
     std::vector<uint32_t> LinkedStarts;
   };
@@ -452,6 +454,7 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
     Install.NewStart = NewStart;
     Install.GuestInstCount = Rec.GuestInstCount;
     Install.Heat = Rec.Heat;
+    Install.OptGen = Rec.OptGen;
     bool BadExit = false;
     for (const ExitRecord &Exit : Rec.Exits) {
       if (Exit.Kind > static_cast<uint8_t>(ExitKind::Halt)) {
@@ -505,6 +508,7 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
         Install.PoolBytes, std::move(Install.Exits),
         /*FromPersistentCache=*/true);
     T->setPersistedHeat(Install.Heat);
+    T->setOptGen(Install.OptGen);
     auto Added = Cache.addTrace(std::move(T));
     if (!Added) {
       // Data pool exhausted: remaining traces fall back to translation.
@@ -571,6 +575,7 @@ ErrorOr<bool> PersistentSession::installViewXip(
     uint32_t PoolBytes = 0;
     uint32_t TraceIndex = 0;
     uint32_t Heat = 0;
+    uint32_t OptGen = 0;
     std::vector<dbi::TraceExit> Exits;
     std::vector<uint32_t> LinkedStarts;
   };
@@ -602,6 +607,7 @@ ErrorOr<bool> PersistentSession::installViewXip(
     Install.PoolBytes = E.CodeSize;
     Install.TraceIndex = TraceI;
     Install.Heat = E.Heat;
+    Install.OptGen = E.OptGen;
     for (const ExitRecord &Exit : View.readExits(TraceI)) {
       if (Exit.Kind > static_cast<uint8_t>(ExitKind::Halt))
         return false;
@@ -646,6 +652,7 @@ ErrorOr<bool> PersistentSession::installViewXip(
         /*FromPersistentCache=*/true);
     T->setPersistedPayload(std::move(Payload));
     T->setPersistedHeat(Install.Heat);
+    T->setOptGen(Install.OptGen);
     auto Added = Cache.addTrace(std::move(T));
     if (!Added) {
       // Data pool exhausted: remaining traces fall back to translation
@@ -709,6 +716,7 @@ Status PersistentSession::installView(dbi::Engine &Engine,
     uint32_t PoolBytes = 0;
     uint32_t TraceIndex = 0;
     uint32_t Heat = 0;
+    uint32_t OptGen = 0;
     std::vector<dbi::TraceExit> Exits;
     std::vector<uint32_t> LinkedStarts;
     std::unique_ptr<dbi::PersistedPayload> Payload;
@@ -781,6 +789,7 @@ Status PersistentSession::installView(dbi::Engine &Engine,
     Install.Payload = std::move(Payload);
     Install.TraceIndex = TraceI;
     Install.Heat = E.Heat;
+    Install.OptGen = E.OptGen;
 
     Install.PoolOffset = static_cast<uint32_t>(Pool.size());
     Install.PoolBytes = E.CodeSize;
@@ -828,6 +837,7 @@ Status PersistentSession::installView(dbi::Engine &Engine,
         /*FromPersistentCache=*/true);
     T->setPersistedPayload(std::move(Install.Payload));
     T->setPersistedHeat(Install.Heat);
+    T->setOptGen(Install.OptGen);
     auto Added = Cache.addTrace(std::move(T));
     if (!Added) {
       // Data pool exhausted: remaining traces fall back to translation.
@@ -875,6 +885,196 @@ struct PublishOutcome {
   uint64_t StoreFailures = 0;
   uint64_t StoreRetries = 0;
 };
+
+/// Guest source snapshots for the optimization tier, keyed by trace
+/// start. Fetched synchronously in finalize() (the address space is
+/// only guaranteed alive on the engine thread); the promotion pass then
+/// needs no engine or guest state at all, so it can run on a pool
+/// worker alongside the publish.
+using OptSourceMap =
+    std::unordered_map<uint32_t, std::vector<isa::Instruction>>;
+
+/// What one finalize promotion pass did.
+struct OptOutcome {
+  uint64_t TracesPromoted = 0;
+  uint64_t SuperblocksFormed = 0;
+  uint64_t LoadsEliminated = 0;
+  uint64_t ConstsFolded = 0;
+  uint64_t Rejections = 0;
+};
+
+bool sameInst(const isa::Instruction &A, const isa::Instruction &B) {
+  return A.Op == B.Op && A.Rd == B.Rd && A.Rs1 == B.Rs1 &&
+         A.Rs2 == B.Rs2 && A.Imm == B.Imm;
+}
+
+void clearRelocBit(TraceRecord &Rec, uint32_t I) {
+  if (Rec.RelocMask.size() > I / 8)
+    Rec.RelocMask[I / 8] &= static_cast<uint8_t>(~(1u << (I % 8)));
+}
+
+/// Optimizes \p Rec's body in place and proves the result equivalent to
+/// \p Source; on success re-encodes the image (same size — slot-for-
+/// slot rewriting) and bumps the record's generation. Rejection leaves
+/// the record untouched. Replaced slots lose their reloc bits: a Nop or
+/// register move carries no address-bearing immediate to rebase.
+bool promoteRecord(TraceRecord &Rec,
+                   const std::vector<isa::Instruction> &Source, bool Pic,
+                   OptOutcome &Out) {
+  auto Decoded = isa::decodeAll(
+      Rec.Code.data() + dbi::TracePrologueBytes, Rec.GuestInstCount);
+  if (!Decoded)
+    return false;
+  std::vector<isa::Instruction> Body = Decoded.take();
+  const std::vector<isa::Instruction> Original = Body;
+  analysis::TraceOptStats OS;
+  analysis::optimizeTraceBody(Body, Rec.GuestStart,
+                              /*AllowConstFold=*/!Pic, OS);
+  auto Check =
+      analysis::validateTranslation(Rec.GuestStart, Source, Body);
+  if (!Check.Equivalent) {
+    ++Out.Rejections;
+    return false;
+  }
+  std::vector<uint8_t> Encoded = isa::encodeAll(Body);
+  std::copy(Encoded.begin(), Encoded.end(),
+            Rec.Code.begin() + dbi::TracePrologueBytes);
+  if (Pic)
+    for (uint32_t I = 0; I != Body.size(); ++I)
+      if (!sameInst(Body[I], Original[I]))
+        clearRelocBit(Rec, I);
+  ++Rec.OptGen;
+  ++Out.TracesPromoted;
+  Out.LoadsEliminated += OS.LoadsEliminated;
+  Out.ConstsFolded += OS.ConstsFolded;
+  return true;
+}
+
+/// The finalize-time AOT promotion pass: merges contiguous fall-through
+/// chains of hot traces into superblocks, then runs the optimizer over
+/// every candidate body, accepting only what validateTranslation
+/// proves. Pure host-side transform over \p File — no engine, store or
+/// guest state — so it runs equally inline or on a pool worker.
+void promoteCacheFile(CacheFile &File, const OptSourceMap &Sources,
+                      uint32_t MaxGen, uint32_t MaxSuperblockInsts,
+                      OptOutcome &Out) {
+  const bool Pic = File.PositionIndependent;
+
+  // Candidate set: traces whose guest source was snapshotted (the heat
+  // threshold was applied at snapshot time), with generation headroom
+  // and a source that still matches the body length.
+  std::vector<size_t> CandIdx;
+  std::vector<analysis::SuperblockCandidate> Cands;
+  for (size_t I = 0; I != File.Traces.size(); ++I) {
+    const TraceRecord &Rec = File.Traces[I];
+    auto It = Sources.find(Rec.GuestStart);
+    if (It == Sources.end() || Rec.OptGen >= MaxGen ||
+        It->second.size() != Rec.GuestInstCount)
+      continue;
+    analysis::SuperblockCandidate C;
+    C.Start = Rec.GuestStart;
+    C.InstCount = Rec.GuestInstCount;
+    C.ModuleIndex = Rec.ModuleIndex;
+    C.Heat = Rec.Heat;
+    if (!Rec.Exits.empty() &&
+        Rec.Exits.back().Kind ==
+            static_cast<uint8_t>(ExitKind::FallThrough)) {
+      C.EndsInFallThrough = true;
+      C.FallTarget = Rec.Exits.back().Target;
+    }
+    CandIdx.push_back(I);
+    Cands.push_back(C);
+  }
+
+  // Superblock formation first: each planned chain is merged into its
+  // head's record — the boundary fall-through exits become internal
+  // control flow; every other exit shifts by the head-relative
+  // instruction offset; reloc masks concatenate. Tails keep their own
+  // records (tail duplication — they remain valid entry points). A
+  // chain that fails its proof is abandoned whole; its members stay
+  // scalar candidates below.
+  std::vector<bool> Done(Cands.size(), false);
+  for (const std::vector<uint32_t> &Chain :
+       analysis::planSuperblocks(Cands, MaxSuperblockInsts)) {
+    std::vector<isa::Instruction> Body, Source;
+    std::vector<ExitRecord> Exits;
+    TraceRecord Merged;
+    bool Bad = false;
+    uint32_t Offset = 0;
+    for (size_t K = 0; K != Chain.size(); ++K) {
+      const TraceRecord &Rec = File.Traces[CandIdx[Chain[K]]];
+      auto Part = isa::decodeAll(
+          Rec.Code.data() + dbi::TracePrologueBytes, Rec.GuestInstCount);
+      if (!Part) {
+        Bad = true;
+        break;
+      }
+      Body.insert(Body.end(), Part->begin(), Part->end());
+      const std::vector<isa::Instruction> &Src =
+          Sources.at(Rec.GuestStart);
+      Source.insert(Source.end(), Src.begin(), Src.end());
+      for (size_t X = 0; X != Rec.Exits.size(); ++X) {
+        if (K + 1 != Chain.size() && X + 1 == Rec.Exits.size())
+          break; // Boundary fall-through: now internal, exit dropped.
+        ExitRecord E = Rec.Exits[X];
+        E.InstIndex += Offset;
+        Exits.push_back(E);
+      }
+      if (Pic)
+        for (uint32_t B = 0; B != Rec.GuestInstCount; ++B)
+          if (Rec.relocBit(B))
+            Merged.setRelocBit(Offset + B);
+      Offset += Rec.GuestInstCount;
+    }
+    if (Bad)
+      continue;
+    const TraceRecord &Head = File.Traces[CandIdx[Chain[0]]];
+    Merged.GuestStart = Head.GuestStart;
+    Merged.ModuleIndex = Head.ModuleIndex;
+    Merged.GuestInstCount = Offset;
+    Merged.Heat = Head.Heat;
+    Merged.OptGen = Head.OptGen;
+    Merged.Exits = std::move(Exits);
+
+    const std::vector<isa::Instruction> Original = Body;
+    analysis::TraceOptStats OS;
+    analysis::optimizeTraceBody(Body, Merged.GuestStart,
+                                /*AllowConstFold=*/!Pic, OS);
+    auto Check =
+        analysis::validateTranslation(Merged.GuestStart, Source, Body);
+    if (!Check.Equivalent) {
+      ++Out.Rejections;
+      continue;
+    }
+    if (Pic)
+      for (uint32_t I = 0; I != Body.size(); ++I)
+        if (!sameInst(Body[I], Original[I]))
+          clearRelocBit(Merged, I);
+    Merged.Code.assign(dbi::TracePrologueBytes +
+                           Body.size() * isa::InstructionSize +
+                           Merged.Exits.size() * dbi::ExitStubBytes,
+                       0);
+    std::vector<uint8_t> Encoded = isa::encodeAll(Body);
+    std::copy(Encoded.begin(), Encoded.end(),
+              Merged.Code.begin() + dbi::TracePrologueBytes);
+    ++Merged.OptGen;
+    File.Traces[CandIdx[Chain[0]]] = std::move(Merged);
+    Done[Chain[0]] = true;
+    ++Out.SuperblocksFormed;
+    ++Out.TracesPromoted;
+    Out.LoadsEliminated += OS.LoadsEliminated;
+    Out.ConstsFolded += OS.ConstsFolded;
+  }
+
+  // Scalar promotion for every remaining candidate — superblock tails
+  // included, since direct entries to their starts still execute them.
+  for (size_t CI = 0; CI != CandIdx.size(); ++CI) {
+    if (Done[CI])
+      continue;
+    promoteRecord(File.Traces[CandIdx[CI]], Sources.at(Cands[CI].Start),
+                  Pic, Out);
+  }
+}
 
 /// Store-write circuit breaker: persistence is an accelerator, so a
 /// failing write is retried up to the threshold and then abandoned —
@@ -1005,6 +1205,9 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
     // Heat accumulates across the runs that carried this trace: what
     // the cache file brought in plus this run's executions.
     Rec.Heat = accumulatedHeat(T->persistedHeat(), T->executionCount());
+    // The optimization generation travels with the trace: a promoted
+    // body that executed this run is written back at its generation.
+    Rec.OptGen = T->optGen();
     const uint8_t *Code = Cache.codeAt(T->poolOffset());
     Rec.Code.assign(Code, Code + T->poolBytes());
     for (const dbi::TraceExit &Exit : T->exits())
@@ -1170,8 +1373,43 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
       if (Exit.LinkedStart != 0 && !AllStarts.count(Exit.LinkedStart))
         Exit.LinkedStart = 0;
 
+  // Heat-ordered layout: hottest traces first in the trace index and
+  // payload, so a later run's demand paging touches the fewest payload
+  // pages before its hot code is resident. Correctness is order-
+  // independent — records address each other by guest start.
+  std::stable_sort(File.Traces.begin(), File.Traces.end(),
+                   [](const TraceRecord &A, const TraceRecord &B) {
+                     if (A.Heat != B.Heat)
+                       return A.Heat > B.Heat;
+                     return A.GuestStart < B.GuestStart;
+                   });
+
+  // Optimization tier: snapshot guest source for the hot candidates
+  // now — the address space is only guaranteed alive on this thread —
+  // so the transform + equivalence proof can run alongside the publish,
+  // behind the wait() durability barrier. Tool-less sessions only: the
+  // optimizer deletes instructions, which would change what an
+  // instrumentation tool observes.
+  OptSourceMap OptSources;
+  if (Opts.OptTier && !Engine.tool() && File.SpecBits == 0)
+    for (const TraceRecord &Rec : File.Traces) {
+      if (Rec.Heat < Opts.OptHeatThreshold ||
+          Rec.OptGen >= Opts.OptMaxGen)
+        continue;
+      auto Src =
+          fetchGuestSource(Space, Rec.GuestStart, Rec.GuestInstCount);
+      if (!Src)
+        continue; // Unreadable source (e.g. a carried trace of a module
+                  // this run never mapped): stays at its generation.
+      OptSources.emplace(Rec.GuestStart, Src.take());
+    }
+
   CacheStore &Store = *Db.backend();
   dbi::EngineStats &Stats = Engine.stats();
+  // The write charge is modeled on the pre-promotion snapshot in both
+  // the sync and background paths: promotion happens off the modeled
+  // critical path, so architectural stats stay bit-identical whether
+  // the tier is on or off, and for any worker count.
   Stats.PersistCycles +=
       Engine.options().Costs.PersistWriteCyclesPerPage *
       pagesOf(File.serializedSize());
@@ -1194,8 +1432,14 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
     std::shared_ptr<CacheStore> StorePtr = Db.backend();
     auto FilePtr = std::make_shared<CacheFile>(std::move(File));
     Opts.Pool->submit([FinPtr, StorePtr, FilePtr,
+                       Sources = std::move(OptSources),
+                       MaxGen = Opts.OptMaxGen,
+                       MaxSb = Opts.OptMaxSuperblockInsts,
                        StoreAsPath = Opts.StoreAsPath,
                        Key = LookupKey, BaseGeneration, Attempts] {
+      OptOutcome Opt;
+      if (!Sources.empty())
+        promoteCacheFile(*FilePtr, Sources, MaxGen, MaxSb, Opt);
       PublishOutcome Out =
           publishWithBreaker(*StorePtr, StoreAsPath, Key,
                              BaseGeneration, Attempts,
@@ -1206,12 +1450,27 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
         FinPtr->LastError = Out.LastError;
         FinPtr->StoreFailures = Out.StoreFailures;
         FinPtr->StoreRetries = Out.StoreRetries;
+        FinPtr->TracesPromoted = Opt.TracesPromoted;
+        FinPtr->SuperblocksFormed = Opt.SuperblocksFormed;
+        FinPtr->OptLoadsEliminated = Opt.LoadsEliminated;
+        FinPtr->OptConstsFolded = Opt.ConstsFolded;
+        FinPtr->OptValidatorRejections = Opt.Rejections;
         FinPtr->Done = true;
       }
       FinPtr->Completed.notify_all();
     });
     return Status::success();
   }
+
+  OptOutcome Opt;
+  if (!OptSources.empty())
+    promoteCacheFile(File, OptSources, Opts.OptMaxGen,
+                     Opts.OptMaxSuperblockInsts, Opt);
+  Stats.TracesPromoted += Opt.TracesPromoted;
+  Stats.SuperblocksFormed += Opt.SuperblocksFormed;
+  Stats.OptLoadsEliminated += Opt.LoadsEliminated;
+  Stats.OptConstsFolded += Opt.ConstsFolded;
+  Stats.OptValidatorRejections += Opt.Rejections;
 
   PublishOutcome Out =
       publishWithBreaker(Store, Opts.StoreAsPath, LookupKey,
@@ -1249,6 +1508,7 @@ Status PersistentSession::wait(dbi::EngineStats *Stats) {
   if (!Fin)
     return Status::success();
   PublishOutcome Out;
+  OptOutcome Opt;
   {
     std::unique_lock<std::mutex> Lock(Fin->Mutex);
     Fin->Completed.wait(Lock, [&] { return Fin->Done; });
@@ -1256,11 +1516,21 @@ Status PersistentSession::wait(dbi::EngineStats *Stats) {
     Out.LastError = Fin->LastError;
     Out.StoreFailures = Fin->StoreFailures;
     Out.StoreRetries = Fin->StoreRetries;
+    Opt.TracesPromoted = Fin->TracesPromoted;
+    Opt.SuperblocksFormed = Fin->SuperblocksFormed;
+    Opt.LoadsEliminated = Fin->OptLoadsEliminated;
+    Opt.ConstsFolded = Fin->OptConstsFolded;
+    Opt.Rejections = Fin->OptValidatorRejections;
   }
   Fin.reset();
   if (Stats) {
     Stats->PersistStoreRetries += Out.StoreRetries;
     Stats->PersistStoreFailures += Out.StoreFailures;
+    Stats->TracesPromoted += Opt.TracesPromoted;
+    Stats->SuperblocksFormed += Opt.SuperblocksFormed;
+    Stats->OptLoadsEliminated += Opt.LoadsEliminated;
+    Stats->OptConstsFolded += Opt.ConstsFolded;
+    Stats->OptValidatorRejections += Opt.Rejections;
   }
   if (Out.Succeeded)
     return Status::success();

@@ -125,6 +125,26 @@ struct PersistOptions {
   /// skips just that trace. Verified/failed counts land in
   /// EngineStats::TracesVerified / VerifyFailures.
   bool ValidateSemantic = false;
+  /// Finalize-time AOT optimization tier: promote hot traces (lifetime
+  /// heat >= OptHeatThreshold) to a higher optimization generation
+  /// before the cache is published — superblock formation across
+  /// contiguous fall-through chains, constant propagation (non-PIC
+  /// only), redundant-load elimination, and dead-def elision — with
+  /// every transformed body proved by analysis::validateTranslation;
+  /// rejection keeps the generation-0 body. Guest source snapshots are
+  /// taken synchronously in finalize(); the transform + proof runs with
+  /// the publish (on the worker pool when one is configured), behind
+  /// the wait() durability barrier. Only engaged for tool-less
+  /// sessions: the optimizer deletes instructions, which would change
+  /// instrumentation callback sequences.
+  bool OptTier = false;
+  /// Minimum lifetime heat for a trace to be considered for promotion.
+  uint32_t OptHeatThreshold = 2;
+  /// Generation ceiling: traces already at this generation are left
+  /// alone (each proved promotion pass bumps a trace by one).
+  uint32_t OptMaxGen = 4;
+  /// Combined instruction cap for a merged superblock body.
+  uint32_t OptMaxSuperblockInsts = 256;
 };
 
 /// What prime() did, for reporting and tests.
@@ -260,6 +280,14 @@ private:
     Status LastError = Status::success();
     uint64_t StoreFailures = 0;
     uint64_t StoreRetries = 0;
+    /// Optimization-tier outcome of the background promotion pass,
+    /// merged into EngineStats at wait() exactly as the synchronous
+    /// path records it.
+    uint64_t TracesPromoted = 0;
+    uint64_t SuperblocksFormed = 0;
+    uint64_t OptLoadsEliminated = 0;
+    uint64_t OptConstsFolded = 0;
+    uint64_t OptValidatorRejections = 0;
   };
   std::shared_ptr<FinalizeState> Fin;
 

@@ -176,9 +176,24 @@ void TieredStore::fillL1IfNewer(const std::string &Name,
   std::lock_guard<std::mutex> Guard(FillMutex);
   const std::string LocalRef = l1RefOf(Name);
   auto Cur = L1->openRef(LocalRef, CacheFileView::Depth::HeaderOnly);
-  if (Cur && Cur->generation() >= File.Generation) {
-    touchUseLocked(Name);
-    return; // A racer filled something at least as new; stay monotone.
+  if (Cur) {
+    if (Cur->generation() > File.Generation) {
+      touchUseLocked(Name);
+      return; // A racer filled something newer; stay monotone.
+    }
+    if (Cur->generation() == File.Generation) {
+      // Equal merge generation: the copies can still differ in
+      // promotion state. The header's OptGen flag says whether the
+      // resident copy carries validator-proved promoted bodies; the
+      // incoming file is only an upgrade when it has them and the
+      // resident copy does not — a stale gen-0 finalizer must never
+      // clobber a promoted artifact.
+      bool CurPromoted = Cur->View && Cur->View->optGenEntries();
+      if (CurPromoted || File.maxOptGen() == 0) {
+        touchUseLocked(Name);
+        return;
+      }
+    }
   }
   (void)L1->putRef(LocalRef, File);
   touchUseLocked(Name);

@@ -169,8 +169,9 @@ int main(int Argc, char **Argv) {
           "                     report is identical for any N)\n"
           "  --deep             semantic verification: prove every\n"
           "                     CRC-intact trace effect-equivalent to\n"
-          "                     its module's guest code (needs --module\n"
-          "                     or --modules)\n"
+          "                     its module's guest code, re-proving\n"
+          "                     optimization-tier promoted bodies\n"
+          "                     offline (needs --module or --modules)\n"
           "  --module FILE      serialized guest module for --deep\n"
           "  --modules MDIR     directory of .mod module files\n"
           "  --replay NAME      re-drive the quarantine's attached\n"
@@ -285,11 +286,17 @@ int main(int Argc, char **Argv) {
   if (Report->TracesDropped)
     std::printf("  traces       %u corrupt payload(s) dropped\n",
                 Report->TracesDropped);
-  if (Deep)
+  if (Deep) {
     std::printf("  deep verify  %u trace(s) proved equivalent, "
                 "%u mismatched, %u unverifiable\n",
                 Report->TracesVerified, Report->TracesMismatched,
                 Report->TracesUnverifiable);
+    if (Report->TracesPromotedVerified)
+      std::printf("  opt tier     %u promoted bod%s (gen >= 1) "
+                  "re-proved against guest code\n",
+                  Report->TracesPromotedVerified,
+                  Report->TracesPromotedVerified == 1 ? "y" : "ies");
+  }
   if (Report->TempsFound)
     std::printf("  temporaries  %u found, %u swept\n", Report->TempsFound,
                 Report->TempsSwept);

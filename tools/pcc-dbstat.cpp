@@ -17,6 +17,12 @@
 //                                   buckets) — which caches hold hot
 //                                   translations and which are dead
 //                                   weight a quota would evict first
+//   pcc-dbstat DIR --gens           per-file histogram of per-trace
+//                                   optimization generations — how much
+//                                   of each cache the finalize-time AOT
+//                                   tier has promoted (files without
+//                                   the OptGen index field show every
+//                                   trace at generation 0)
 //   pcc-dbstat DIR --l2 DIR2        treat DIR as the local L1 of a
 //                                   tiered store with remote tier DIR2
 //                                   and print a per-tier summary line
@@ -59,6 +65,7 @@ int main(int Argc, char **Argv) {
   bool HeaderOnly = false;
   bool Locks = false;
   bool Heat = false;
+  bool Gens = false;
   uint64_t MaxBytes = 0;
   unsigned Jobs = 1;
   for (int I = 1; I < Argc; ++I) {
@@ -70,6 +77,8 @@ int main(int Argc, char **Argv) {
       Locks = true;
     else if (std::strcmp(Argv[I], "--heat") == 0)
       Heat = true;
+    else if (std::strcmp(Argv[I], "--gens") == 0)
+      Gens = true;
     else if (std::strcmp(Argv[I], "--l2") == 0 && I + 1 < Argc)
       L2Dir = Argv[++I];
     else if (std::strcmp(Argv[I], "--shrink-to") == 0 && I + 1 < Argc) {
@@ -80,7 +89,7 @@ int main(int Argc, char **Argv) {
     else if (std::strcmp(Argv[I], "--help") == 0) {
       std::printf(
           "usage: pcc-dbstat DIR [--header-only | --shrink-to BYTES | "
-          "--clear | --locks | --heat] [--l2 DIR2] [--jobs N]\n"
+          "--clear | --locks | --heat | --gens] [--l2 DIR2] [--jobs N]\n"
           "  --header-only  per-file listing from v2/v3 headers alone:\n"
           "                 each cache costs one 76-byte read regardless\n"
           "                 of size (legacy v1 files are listed by magic\n"
@@ -96,6 +105,9 @@ int main(int Argc, char **Argv) {
           "  --heat         per-file log2 histogram of per-trace Heat\n"
           "                 counters from the v3 index (v2 files show\n"
           "                 every trace as heat 0)\n"
+          "  --gens         per-file histogram of per-trace optimization\n"
+          "                 generations (files without the OptGen index\n"
+          "                 field show every trace at generation 0)\n"
           "  --l2 DIR2      tiered view: DIR is the local L1, DIR2 the\n"
           "                 remote L2; prints one summary line per tier\n"
           "  --jobs N       scan N files in parallel (stats and\n"
@@ -270,6 +282,74 @@ int main(int Argc, char **Argv) {
     TablePrinter Table("per-trace heat (v3 index counters)");
     Table.addRow({"file", "traces", "h=0", "h=1", "2-3", "4-7", "8-15",
                   ">=16", "total/max"});
+    for (std::vector<std::string> &Row : Rows)
+      Table.addRow(std::move(Row));
+    std::vector<std::string> Sum = {"(all)", ""};
+    for (size_t B = 0; B != NumBuckets; ++B)
+      Sum.push_back(
+          formatString("%llu", (unsigned long long)TotalBuckets[B]));
+    Sum.push_back("");
+    Table.addRow(std::move(Sum));
+    Table.print();
+    return 0;
+  }
+  if (Gens) {
+    auto Names = listDirectory(Dir);
+    if (!Names) {
+      std::fprintf(stderr, "pcc-dbstat: %s\n",
+                   Names.status().toString().c_str());
+      return 1;
+    }
+    std::vector<std::string> CacheNames;
+    for (const std::string &Name : *Names)
+      if (Name.size() >= 4 && Name.substr(Name.size() - 4) == ".pcc")
+        CacheNames.push_back(Name);
+    // Buckets gen 0..3 plus >=4: how much of each cache the finalize
+    // promotion tier has proved and published. Fully gen-0 files have
+    // either never run hot or always been primed read-only.
+    constexpr size_t NumBuckets = 5;
+    std::vector<std::vector<std::string>> Rows(CacheNames.size());
+    uint64_t TotalBuckets[NumBuckets] = {};
+    std::mutex TotalMutex;
+    auto ScanOne = [&](size_t I) {
+      const std::string &Name = CacheNames[I];
+      std::string Path = std::string(Dir) + "/" + Name;
+      auto View =
+          CacheFileView::openFile(Path, CacheFileView::Depth::Index);
+      if (!View) {
+        Rows[I] = {Name, "unreadable: " + View.status().toString(),
+                   "",   "",
+                   "",   "",
+                   "",   ""};
+        return;
+      }
+      uint64_t Buckets[NumBuckets] = {};
+      uint64_t Max = 0;
+      for (uint32_t T = 0; T != View->numTraces(); ++T) {
+        uint32_t G = View->entry(T).OptGen;
+        ++Buckets[G < NumBuckets - 1 ? G : NumBuckets - 1];
+        Max = std::max<uint64_t>(Max, G);
+      }
+      Rows[I] = {Name,
+                 formatString("%u", View->numTraces()),
+                 formatString("%llu", (unsigned long long)Buckets[0]),
+                 formatString("%llu", (unsigned long long)Buckets[1]),
+                 formatString("%llu", (unsigned long long)Buckets[2]),
+                 formatString("%llu", (unsigned long long)Buckets[3]),
+                 formatString("%llu", (unsigned long long)Buckets[4]),
+                 formatString("%llu", (unsigned long long)Max)};
+      std::lock_guard<std::mutex> Guard(TotalMutex);
+      for (size_t B = 0; B != NumBuckets; ++B)
+        TotalBuckets[B] += Buckets[B];
+    };
+    if (Pool)
+      Pool->parallelFor(CacheNames.size(), ScanOne);
+    else
+      for (size_t I = 0; I < CacheNames.size(); ++I)
+        ScanOne(I);
+    TablePrinter Table("per-trace optimization generations");
+    Table.addRow({"file", "traces", "gen0", "gen1", "gen2", "gen3",
+                  ">=4", "max"});
     for (std::vector<std::string> &Row : Rows)
       Table.addRow(std::move(Row));
     std::vector<std::string> Sum = {"(all)", ""};

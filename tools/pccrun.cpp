@@ -36,6 +36,13 @@
 //                          touched trace is proved effect-equivalent by
 //                          the translation validator before the
 //                          optimized body is accepted
+//     --opt-tier           finalize-time AOT optimization tier (persist
+//                          mode, tool-less runs): hot traces are merged
+//                          into superblocks, constant-propagated and
+//                          redundant-load-eliminated in the background,
+//                          each promoted body validator-proved, and
+//                          written back at a higher optimization
+//                          generation that later primes prefer
 //     --validate           deep semantic verification (persist mode):
 //                          primed traces are revalidated against the
 //                          guest code at first decode and finalize
@@ -108,6 +115,8 @@ int usage(int Code) {
       "implies --pic\n"
       "  --read-only  --aslr SEED      --stats       --disasm\n"
       "  --opt-flags  validated dead-flag-def elision\n"
+      "  --opt-tier   finalize-time AOT promotion of hot traces "
+      "(persist)\n"
       "  --validate   deep semantic trace verification (persist)\n"
       "  --fault-plan PLAN  (e.g. enospc:0.1,fsync:0.1,lock:0.25)\n"
       "  --jobs N     persistence pipeline worker threads (persist "
@@ -248,6 +257,15 @@ void printStats(const dbi::EngineStats &S) {
                 (unsigned long long)S.TracesVerified,
                 (unsigned long long)S.VerifyFailures,
                 (unsigned long long)S.FlagsElided);
+  if (S.TracesPromoted != 0 || S.OptValidatorRejections != 0)
+    std::printf("  optimization: %llu traces promoted, %llu "
+                "superblocks formed, %llu loads eliminated, %llu "
+                "consts folded, %llu validator rejections\n",
+                (unsigned long long)S.TracesPromoted,
+                (unsigned long long)S.SuperblocksFormed,
+                (unsigned long long)S.OptLoadsEliminated,
+                (unsigned long long)S.OptConstsFolded,
+                (unsigned long long)S.OptValidatorRejections);
 }
 
 } // namespace
@@ -265,7 +283,7 @@ int main(int Argc, char **Argv) {
   bool ReplayDiff = false;
   bool InterApp = false, Pic = false, Xip = false, ReadOnly = false;
   bool Stats = false, Disasm = false, StoreStats = false;
-  bool OptFlags = false, Validate = false;
+  bool OptFlags = false, OptTier = false, Validate = false;
   uint64_t AslrSeed = 0;
   bool Randomized = false;
   unsigned Jobs = 1;
@@ -349,6 +367,8 @@ int main(int Argc, char **Argv) {
       ReadOnly = true;
     else if (Arg == "--opt-flags")
       OptFlags = true;
+    else if (Arg == "--opt-tier")
+      OptTier = true;
     else if (Arg == "--validate")
       Validate = true;
     else if (Arg == "--stats")
@@ -485,6 +505,7 @@ int main(int Argc, char **Argv) {
     Opts.ExecuteInPlace = Xip;
     Opts.WriteBack = !ReadOnly;
     Opts.ValidateSemantic = Validate;
+    Opts.OptTier = OptTier;
     // The pool outlives the run: runPersistent's session waits for the
     // background publish and any in-flight payload jobs before it
     // returns, so destruction order here is safe. Background priority:
