@@ -10,6 +10,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtils.h"
+#include "analysis/CertChecker.h"
+#include "analysis/Certificate.h"
+#include "analysis/Validator.h"
 #include "binary/Assembler.h"
 #include "dbi/Compiler.h"
 #include "dbi/Engine.h"
@@ -29,6 +32,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 
@@ -923,6 +927,192 @@ void BM_OptTierWarm(benchmark::State &State) {
       (unsigned long long)NopsDiscounted));
 }
 BENCHMARK(BM_OptTierWarm)->Arg(0)->Arg(1);
+
+/// Fixture for the proof-check benchmark: a certified cache grown by
+/// the real opt-tier pipeline (cold run hot enough to promote), with
+/// every promoted record's guest start, certificate blob, embedded
+/// source, and decoded gen-N body pre-extracted so the measured loop
+/// is pure proof work — trusted-checker replay vs full re-prove.
+struct ProofCheckFixture {
+  struct Item {
+    uint32_t GuestStart = 0;
+    std::vector<isa::Instruction> Source;
+    std::vector<isa::Instruction> Body;
+    std::vector<uint8_t> Cert;
+    /// Raw at-rest encodings of Source/Body, kept alive so the checker
+    /// can run its binding CRCs over stored bytes (CertBindings) the
+    /// way dbcheck and L2 fills do.
+    std::vector<uint8_t> SrcBytes;
+    std::vector<uint8_t> BodyBytes;
+  };
+  loader::ModuleRegistry Registry;
+  std::shared_ptr<binary::Module> App;
+  bench::ScratchDir Dir{"pcc-bench-proof"};
+  persist::CacheDatabase Db{Dir.path()};
+  std::vector<Item> Items;
+
+  ProofCheckFixture() {
+    // Several hot loops with superblock-scale straight-line bodies: a
+    // long run of distinct loads, a redundantly re-loaded word whose
+    // first occurrence sits late in the load order, and a long ALU
+    // dependence chain over the loaded values. The finalize tier
+    // promotes each body and eliminates the repeated loads, so the
+    // full re-prove pays its map-based hash-consing per expression
+    // plus a linear witness search per eliminated load, while the
+    // trusted checker verifies recorded steps and witnesses in
+    // constant time each — the record shape the certificate layer
+    // exists for.
+    std::string Asm = ".module proof \"/bin/proof\"\n"
+                      ".entry main\n"
+                      ".data\n"
+                      "count: .word 96\n"
+                      "buf:   .space 1024\n"
+                      ".text\n"
+                      "main:\n"
+                      "  ldi r9, @buf\n"
+                      "  ldi r12, 0\n";
+    for (int L = 0; L != 6; ++L) {
+      Asm += formatString("  ldi r4, @count\n"
+                          "  ld r10, [r4+0]\n"
+                          "loop%d:\n",
+                          L);
+      for (int I = 0; I != 238; ++I)
+        Asm += formatString("  ld r1, [r9+%d]\n", 4 + 4 * I);
+      for (int I = 0; I != 12; ++I)
+        Asm += "  ld r5, [r9+0]\n";
+      Asm += formatString("  add r2, r5, r1\n"
+                          "  addi r10, r10, -1\n"
+                          "  bne r10, r12, loop%d\n",
+                          L);
+    }
+    Asm += "  ldi r1, 0\n  sys 1\n";
+    auto M = binary::assemble(Asm.c_str());
+    if (!M)
+      std::abort();
+    App = std::make_shared<binary::Module>(M.take());
+    persist::PersistOptions Opt;
+    Opt.OptTier = true;
+    dbi::EngineOptions EngineOpts;
+    EngineOpts.MaxTraceInsts = 256; // Superblock-scale trace bodies.
+    bench::mustOk(workloads::runPersistent(Registry, App, {}, Db, Opt,
+                                           nullptr, EngineOpts),
+                  "cold run populating the certified proof cache");
+    auto Names = listDirectory(Dir.path());
+    if (!Names)
+      std::abort();
+    for (const std::string &Name : *Names) {
+      if (Name.size() < 4 || Name.substr(Name.size() - 4) != ".pcc")
+        continue;
+      auto File = Db.loadPath(Dir.path() + "/" + Name);
+      if (!File)
+        std::abort();
+      for (const persist::TraceRecord &Rec : File->Traces) {
+        if (Rec.OptGen == 0 || Rec.Cert.empty())
+          continue;
+        auto Cert = analysis::Certificate::deserialize(Rec.Cert.data(),
+                                                       Rec.Cert.size());
+        auto Body = isa::decodeAll(Rec.Code.data() + dbi::TracePrologueBytes,
+                                   Rec.GuestInstCount);
+        if (!Cert || !Body)
+          std::abort();
+        const uint8_t *Enc = Rec.Code.data() + dbi::TracePrologueBytes;
+        const size_t EncLen =
+            static_cast<size_t>(Rec.GuestInstCount) * isa::InstructionSize;
+        Items.push_back(Item{Rec.GuestStart, Cert->Source, Body.take(),
+                             Rec.Cert, isa::encodeAll(Cert->Source),
+                             std::vector<uint8_t>(Enc, Enc + EncLen)});
+      }
+    }
+    if (Items.empty())
+      std::abort(); // No promoted traces: the benchmark would be vacuous.
+    if (getenv("PCC_PROOF_SIZES")) {
+      for (const Item &It : Items) {
+        auto C = bench::mustOk(analysis::Certificate::deserialize(
+                                   It.Cert.data(), It.Cert.size()),
+                               "size probe");
+        std::fprintf(stderr,
+                     "body=%zu insts cert=%zu B steps=%zu wits=%zu "
+                     "flat-steps=%zu B src-section=%zu B\n",
+                     It.Body.size(), It.Cert.size(), C.Steps.size(),
+                     C.Witnesses.size(), C.Steps.size() * 4,
+                     It.SrcBytes.size());
+      }
+    }
+    for (const Item &It : Items) {
+      if (!analysis::checkCertificateBlob(It.Cert.data(), It.Cert.size(),
+                                          It.GuestStart, It.Body, &It.Source)
+               .ok())
+        std::abort();
+      if (!analysis::validateTranslation(It.GuestStart, It.Source, It.Body)
+               .Equivalent)
+        std::abort();
+    }
+  }
+};
+
+ProofCheckFixture &proofCheckFixture() {
+  static ProofCheckFixture F;
+  return F;
+}
+
+/// Prime-time proof work over every promoted trace of the certified
+/// cache. Args are {mode, jobs}: mode 0 replays the persisted
+/// certificate through the minimal trusted checker
+/// (analysis::checkCertificateBlob), mode 1 re-proves from scratch with
+/// the full validator; jobs 1 runs serially, jobs N fans the per-trace
+/// work across a thread pool (the shape of parallel prime). Any
+/// rejected proof aborts — these are untampered records, so both modes
+/// must accept everything.
+void BM_ProofCheck(benchmark::State &State) {
+  ProofCheckFixture &F = proofCheckFixture();
+  const bool Reprove = State.range(0) != 0;
+  const auto Jobs = static_cast<size_t>(State.range(1));
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<support::ThreadPool>(Jobs);
+  uint64_t Checked = 0;
+  for (auto _ : State) {
+    std::atomic<uint64_t> Bad{0};
+    auto CheckOne = [&](size_t I) {
+      const ProofCheckFixture::Item &It = F.Items[I];
+      if (Reprove) {
+        auto R =
+            analysis::validateTranslation(It.GuestStart, It.Source, It.Body);
+        if (!R.Equivalent)
+          ++Bad;
+        benchmark::DoNotOptimize(R);
+      } else {
+        // Bind the at-rest encodings exactly as a primed install or a
+        // dbcheck sweep would, so the measured check is the deployed
+        // fast path.
+        analysis::CertBindings Bind;
+        Bind.BodyBytes = It.BodyBytes.data();
+        Bind.BodyByteCount = It.BodyBytes.size();
+        Bind.SourceBytes = It.SrcBytes.data();
+        Bind.SourceByteCount = It.SrcBytes.size();
+        auto R = analysis::checkCertificateBlob(It.Cert.data(),
+                                                It.Cert.size(), It.GuestStart,
+                                                It.Body, &It.Source, &Bind);
+        if (!R.ok())
+          ++Bad;
+        benchmark::DoNotOptimize(R);
+      }
+    };
+    if (Pool)
+      Pool->parallelFor(F.Items.size(), CheckOne);
+    else
+      for (size_t I = 0; I != F.Items.size(); ++I)
+        CheckOne(I);
+    if (Bad.load() != 0)
+      std::abort();
+    Checked += F.Items.size();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Checked));
+  State.SetLabel(formatString(
+      "%s, %zu promoted traces",
+      Reprove ? "full re-prove" : "certificate check", F.Items.size()));
+}
+BENCHMARK(BM_ProofCheck)->Args({0, 1})->Args({0, 4})->Args({1, 1})->Args({1, 4});
 
 } // namespace
 

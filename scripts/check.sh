@@ -15,7 +15,20 @@
 #                                    repo .clang-tidy (bugprone-*,
 #                                    concurrency-*, performance-*);
 #                                    skips gracefully when clang-tidy
-#                                    is not installed
+#                                    is not installed; the default
+#                                    (no-mode) gate also runs this
+#                                    after its ctest pass whenever
+#                                    clang-tidy is present
+#   scripts/check.sh --certs         certificate soak: runs the
+#                                    cert_test binary repeatedly under
+#                                    ASan and then TSan, grows a
+#                                    certified store under an injected
+#                                    fault storm (certificate-section
+#                                    writes failing and retrying), and
+#                                    holds the survivor to the full
+#                                    proof contract with pcc-dbcheck
+#                                    (plain certificate replay, then
+#                                    --deep module-bound re-check)
 #   scripts/check.sh --xip           execute-in-place soak: runs the
 #                                    xip_test and fault_injection_test
 #                                    binaries plus the shared_desktop
@@ -208,6 +221,41 @@ if [ "${1:-}" = "--opt" ]; then
   exit 0
 fi
 
+if [ "${1:-}" = "--certs" ]; then
+  shift
+  ITERS="${1:-2}"
+  [ $# -gt 0 ] && shift
+  for SAN in address thread; do
+    SOAK="$ROOT/build-$SAN"
+    cmake -B "$SOAK" -S "$ROOT" -DPCC_SANITIZE=$SAN
+    cmake --build "$SOAK" -j --target cert_test --target pccrun \
+      --target pcc-asm --target pcc-dbcheck --target pcc-dbstat
+    I=1
+    while [ "$I" -le "$ITERS" ]; do
+      echo "== certificate soak ($SAN) iteration $I/$ITERS =="
+      "$SOAK/tests/cert_test"
+      I=$((I + 1))
+    done
+    # Fault-injected certificate writes: grow a certified store while
+    # publishes keep failing and retrying, then hold whatever survived
+    # to the full proof contract — plain dbcheck replays every
+    # persisted certificate self-contained, --deep re-binds each one
+    # to the real module text (and re-proves anything certificateless).
+    TMP=$(mktemp -d)
+    "$SOAK/tools/pcc-asm" "$ROOT/examples/asm/fib.s" -o "$TMP/fib.mod"
+    for I in 1 2 3; do
+      "$SOAK/tools/pccrun" --mode persist --db "$TMP/db" --opt-tier \
+        --fault-plan "enospc:0.1,fsync:0.1,lock:0.25" "$TMP/fib.mod"
+    done
+    "$SOAK/tools/pcc-dbstat" "$TMP/db" --gens
+    "$SOAK/tools/pcc-dbcheck" "$TMP/db"
+    "$SOAK/tools/pcc-dbcheck" "$TMP/db" --deep --module "$TMP/fib.mod"
+    rm -rf "$TMP"
+  done
+  echo "certificate soak passed: $ITERS iteration(s) each under ASan and TSan"
+  exit 0
+fi
+
 if [ "${1:-}" = "--tidy" ]; then
   shift
   if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -233,5 +281,11 @@ fi
 # shellcheck disable=SC2086  # EXTRA_CMAKE is intentionally word-split.
 cmake -B "$BUILD" -S "$ROOT" $EXTRA_CMAKE
 cmake --build "$BUILD" -j
-cd "$BUILD"
-exec ctest --output-on-failure -j "$@"
+(cd "$BUILD" && ctest --output-on-failure -j "$@")
+
+# Static analysis rides the default gate whenever clang-tidy is
+# around; machines without it still ran the full build + test tier.
+if [ "$BUILD" = "$ROOT/build" ] && command -v clang-tidy >/dev/null 2>&1
+then
+  exec "$ROOT/scripts/check.sh" --tidy
+fi

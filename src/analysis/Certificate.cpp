@@ -1,0 +1,286 @@
+//===- analysis/Certificate.cpp -------------------------------------------===//
+
+#include "analysis/Certificate.h"
+
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+
+#include <cstring>
+
+using namespace pcc;
+using namespace pcc::analysis;
+using isa::Instruction;
+using isa::InstructionSize;
+
+namespace {
+
+/// Blob layout (all fields little-endian):
+///
+///   u32 Magic            'CERT'
+///   u16 Version          CertVersion
+///   u16 Reserved         0
+///   u32 GuestStart
+///   u32 OptGen
+///   u32 InstCount        embedded source length (== body length)
+///   u32 SrcCrc
+///   u32 BodyCrc
+///   u32 StepCount
+///   u32 WitnessCount
+///   u32 ExitCount
+///   u32 StoresDigest
+///   u32 LoadsDigest
+///   u32 StepBytes        packed step-stream byte length
+///   -- 52 bytes to here --
+///   InstCount * 8        embedded source instruction encodings
+///   StepBytes            packed step stream (see below)
+///   WitnessCount * 4     skip witnesses
+///   ExitCount * 4        per-exit digests
+///   u32 CertCrc          CRC32 over every preceding blob byte
+///
+/// Packed step stream: most intern requests create a brand-new node
+/// (the next dense id), so the stream stores a *fresh bitmap* of
+/// StepCount bits (bit i set = step i interned a new node — one bit
+/// instead of four bytes) followed by one LEB128 varint per clear bit,
+/// in step order: the *backref distance* D >= 1 from the current node
+/// count F, naming existing node F - D. This keeps the dominant blob
+/// section ~16x smaller than flat u32 ids, which is most of what makes
+/// a certificate cheaper to CRC, store and ship than a re-proof.
+constexpr uint32_t CertMagic = 0x54524543; // "CERT"
+constexpr size_t CertHeaderBytes = 52;
+
+void putU16(std::vector<uint8_t> &Out, uint16_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+uint16_t getU16(const uint8_t *P) {
+  return static_cast<uint16_t>(P[0] | (P[1] << 8));
+}
+
+uint32_t getU32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) |
+         (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+Status malformed(const char *What) {
+  return Status::error(ErrorCode::InvalidFormat,
+                       formatString("certificate: %s", What));
+}
+
+} // namespace
+
+std::vector<uint8_t> Certificate::serialize() const {
+  // Pack the step stream: fresh bitmap + varint backref distances. A
+  // recorded id equal to the running fresh count F is a new node; a
+  // smaller one is a backref at distance F - Id. (An id above F never
+  // comes from the prover; encode it as fresh so even a hand-corrupted
+  // in-memory certificate serializes to a well-formed — if unprovable —
+  // blob.)
+  std::vector<uint8_t> Bitmap((Steps.size() + 7) / 8, 0);
+  std::vector<uint8_t> Refs;
+  uint32_t F = 0;
+  for (size_t I = 0; I != Steps.size(); ++I) {
+    const uint32_t Id = Steps[I];
+    if (Id >= F) {
+      Bitmap[I >> 3] |= static_cast<uint8_t>(1u << (I & 7));
+      ++F;
+    } else {
+      uint32_t D = F - Id;
+      while (D >= 0x80) {
+        Refs.push_back(static_cast<uint8_t>(0x80 | (D & 0x7f)));
+        D >>= 7;
+      }
+      Refs.push_back(static_cast<uint8_t>(D));
+    }
+  }
+  const size_t StepBytes = Bitmap.size() + Refs.size();
+
+  std::vector<uint8_t> Out;
+  Out.reserve(CertHeaderBytes + Source.size() * InstructionSize +
+              StepBytes + (Witnesses.size() + ExitDigests.size()) * 4 + 4);
+  putU32(Out, CertMagic);
+  putU16(Out, Version);
+  putU16(Out, 0);
+  putU32(Out, GuestStart);
+  putU32(Out, OptGen);
+  putU32(Out, static_cast<uint32_t>(Source.size()));
+  putU32(Out, SrcCrc);
+  putU32(Out, BodyCrc);
+  putU32(Out, static_cast<uint32_t>(Steps.size()));
+  putU32(Out, static_cast<uint32_t>(Witnesses.size()));
+  putU32(Out, static_cast<uint32_t>(ExitDigests.size()));
+  putU32(Out, StoresDigest);
+  putU32(Out, LoadsDigest);
+  putU32(Out, static_cast<uint32_t>(StepBytes));
+  for (const Instruction &Inst : Source)
+    Inst.encodeTo(Out);
+  Out.insert(Out.end(), Bitmap.begin(), Bitmap.end());
+  Out.insert(Out.end(), Refs.begin(), Refs.end());
+  for (uint32_t W : Witnesses)
+    putU32(Out, W);
+  for (uint32_t D : ExitDigests)
+    putU32(Out, D);
+  putU32(Out, crc32(Out.data(), Out.size()));
+  return Out;
+}
+
+std::optional<CertPeek> pcc::analysis::peekCertificate(const uint8_t *Data,
+                                                       size_t Size) {
+  if (Size < CertHeaderBytes || getU32(Data) != CertMagic ||
+      getU16(Data + 4) != CertVersion)
+    return std::nullopt;
+  CertPeek P;
+  P.GuestStart = getU32(Data + 8);
+  P.OptGen = getU32(Data + 12);
+  P.InstCount = getU32(Data + 16);
+  P.SrcCrc = getU32(Data + 20);
+  P.BodyCrc = getU32(Data + 24);
+  return P;
+}
+
+ErrorOr<CertView> pcc::analysis::viewCertificate(const uint8_t *Data,
+                                                 size_t Size) {
+  if (Size < CertHeaderBytes + 4)
+    return malformed("blob truncated");
+  if (getU32(Data) != CertMagic)
+    return malformed("bad magic");
+  if (getU16(Data + 4) != CertVersion)
+    return malformed("unsupported version");
+
+  CertView V;
+  V.GuestStart = getU32(Data + 8);
+  V.OptGen = getU32(Data + 12);
+  V.InstCount = getU32(Data + 16);
+  V.SrcCrc = getU32(Data + 20);
+  V.BodyCrc = getU32(Data + 24);
+  V.StepCount = getU32(Data + 28);
+  V.WitnessCount = getU32(Data + 32);
+  V.ExitCount = getU32(Data + 36);
+  V.StoresDigest = getU32(Data + 40);
+  V.LoadsDigest = getU32(Data + 44);
+  const uint32_t StepBytes = getU32(Data + 48);
+
+  // Overflow-safe total: each count contributes at most 8 bytes per
+  // element and all counts are 32-bit, so 64-bit math is exact.
+  const uint64_t Want =
+      static_cast<uint64_t>(CertHeaderBytes) +
+      static_cast<uint64_t>(V.InstCount) * InstructionSize +
+      static_cast<uint64_t>(StepBytes) +
+      (static_cast<uint64_t>(V.WitnessCount) +
+       static_cast<uint64_t>(V.ExitCount)) *
+          4 +
+      4;
+  if (Want != Size)
+    return malformed("declared sizes do not match blob size");
+  if (StepBytes < (static_cast<uint64_t>(V.StepCount) + 7) / 8)
+    return malformed("step stream shorter than its fresh bitmap");
+
+  const uint32_t WantCrc = getU32(Data + Size - 4);
+  if (crc32(Data, Size - 4) != WantCrc)
+    return malformed("blob CRC mismatch");
+
+  V.SourceBytes = Data + CertHeaderBytes;
+  V.StepBitmap =
+      V.SourceBytes + static_cast<size_t>(V.InstCount) * InstructionSize;
+  V.StepRefs = V.StepBitmap + (V.StepCount + 7) / 8;
+  V.StepRefsEnd = V.StepBitmap + StepBytes;
+  V.WitnessWords = V.StepRefsEnd;
+  V.ExitDigestWords =
+      V.WitnessWords + static_cast<size_t>(V.WitnessCount) * 4;
+  return V;
+}
+
+ErrorOr<Certificate> Certificate::deserialize(const uint8_t *Data,
+                                              size_t Size) {
+  auto View = viewCertificate(Data, Size);
+  if (!View)
+    return View.status();
+  const CertView &V = *View;
+
+  Certificate C;
+  C.Version = getU16(Data + 4);
+  C.GuestStart = V.GuestStart;
+  C.OptGen = V.OptGen;
+  C.SrcCrc = V.SrcCrc;
+  C.BodyCrc = V.BodyCrc;
+  C.StoresDigest = V.StoresDigest;
+  C.LoadsDigest = V.LoadsDigest;
+
+  auto Decoded = isa::decodeAll(V.SourceBytes, V.InstCount);
+  if (!Decoded)
+    return malformed("embedded source does not decode");
+  C.Source = Decoded.take();
+
+  // Unpack the step stream back to absolute node ids.
+  const uint8_t *Ref = V.StepRefs;
+  C.Steps.reserve(V.StepCount);
+  uint32_t F = 0;
+  for (uint32_t I = 0; I != V.StepCount; ++I) {
+    if ((V.StepBitmap[I >> 3] >> (I & 7)) & 1) {
+      C.Steps.push_back(F++);
+      continue;
+    }
+    uint32_t D = 0;
+    int Shift = 0;
+    while (true) {
+      if (Ref == V.StepRefsEnd || Shift > 28)
+        return malformed("step backref varint overruns its section");
+      const uint8_t B = *Ref++;
+      D |= static_cast<uint32_t>(B & 0x7f) << Shift;
+      if (!(B & 0x80))
+        break;
+      Shift += 7;
+    }
+    if (D == 0 || D > F)
+      return malformed("step backref distance out of range");
+    C.Steps.push_back(F - D);
+  }
+  if (Ref != V.StepRefsEnd)
+    return malformed("unconsumed bytes after the step stream");
+
+  C.Witnesses.reserve(V.WitnessCount);
+  for (uint32_t I = 0; I != V.WitnessCount; ++I)
+    C.Witnesses.push_back(getU32(V.WitnessWords + 4 * static_cast<size_t>(I)));
+  C.ExitDigests.reserve(V.ExitCount);
+  for (uint32_t I = 0; I != V.ExitCount; ++I)
+    C.ExitDigests.push_back(
+        getU32(V.ExitDigestWords + 4 * static_cast<size_t>(I)));
+  return C;
+}
+
+uint32_t pcc::analysis::exitDigest(const SymExit &E,
+                                   uint32_t MatchedLoads) {
+  std::array<uint32_t, 7 + isa::NumRegisters> Packed;
+  Packed[0] = static_cast<uint32_t>(E.K);
+  Packed[1] = E.InstIndex;
+  Packed[2] = E.Cond;
+  Packed[3] = E.Target;
+  Packed[4] = E.SysNumber;
+  Packed[5] = E.NumStores;
+  Packed[6] = MatchedLoads;
+  for (unsigned R = 0; R != isa::NumRegisters; ++R)
+    Packed[7 + R] = E.Regs[R];
+  return crc32(Packed.data(), Packed.size() * sizeof(uint32_t));
+}
+
+uint32_t pcc::analysis::storesDigest(const SymTrace &T) {
+  // (address, value) pairs CRC'd straight out of the trace: the pair
+  // layout is two adjacent u32s, byte-identical to pushing Addr then
+  // Val into a packed vector.
+  static_assert(sizeof(std::pair<uint32_t, uint32_t>) ==
+                2 * sizeof(uint32_t));
+  return crc32(T.Stores.data(),
+               T.Stores.size() * sizeof(std::pair<uint32_t, uint32_t>));
+}
+
+uint32_t pcc::analysis::loadsDigest(const SymTrace &T) {
+  static_assert(sizeof(LoadRec) == 2 * sizeof(uint32_t));
+  return crc32(T.Loads.data(), T.Loads.size() * sizeof(LoadRec));
+}

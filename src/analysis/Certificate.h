@@ -1,0 +1,156 @@
+//===- analysis/Certificate.h - Persisted validation proof ------*- C++ -*-===//
+//
+// Part of the PCC project: reproduction of "Persistent Code Caching"
+// (CGO 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A proof-carrying-code style certificate for one validated trace
+/// translation. The prover (analysis::validateTranslation's emitting
+/// overload) records, while proving, everything a much smaller checker
+/// needs to re-establish the verdict without re-running the prover's
+/// search:
+///
+///   * the **step stream** — one node id per expression-intern request,
+///     across both symbolic executions (source first, then translated
+///     body), which lets the checker replace the prover's map-based
+///     hash-consing with a linear stream verification;
+///   * the **skip witnesses** — for every source load the optimizer
+///     elided, the index of the earlier identical load that proves it
+///     redundant, turning the prover's quadratic redundancy search into
+///     an O(1) check per elision;
+///   * **per-exit symbolic effect digests** plus whole-trace store/load
+///     digests — CRCs over the exit summaries the two executions must
+///     agree on;
+///   * **binding CRCs** over the exact gen-0 source bytes (embedded in
+///     the certificate, so checks need no module access) and the exact
+///     gen-N translated body bytes.
+///
+/// The serialized blob is self-delimiting and self-checking (a trailing
+/// CRC over the whole blob); persist/ stores it in the PCC2 certificate
+/// section, keyed by trace index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PCC_ANALYSIS_CERTIFICATE_H
+#define PCC_ANALYSIS_CERTIFICATE_H
+
+#include "analysis/SymExec.h"
+#include "isa/Instruction.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pcc {
+namespace analysis {
+
+/// In-memory form of one translation-validation certificate.
+struct Certificate {
+  /// Blob format version (CertVersion when emitted by this build).
+  uint16_t Version = 1;
+  /// Guest address the trace translates (pre-rebase; a rebase
+  /// invalidates the certificate by construction).
+  uint32_t GuestStart = 0;
+  /// Optimization generation of the body this proof covers.
+  uint32_t OptGen = 0;
+  /// CRC32 over the embedded source's instruction encodings.
+  uint32_t SrcCrc = 0;
+  /// CRC32 over the translated body's instruction encodings (body
+  /// instructions only — prologue and exit stubs are covered by the
+  /// trace record's own payload CRC).
+  uint32_t BodyCrc = 0;
+  /// The gen-0 guest instructions the proof is against, embedded so a
+  /// certificate checks without any module mapped (L2 fills, dbcheck
+  /// without --module).
+  std::vector<isa::Instruction> Source;
+  /// One recorded node id per expression-intern request, in execution
+  /// order: source execution first, then the translated body.
+  std::vector<uint32_t> Steps;
+  /// For each source load absent from the translation, in source-load
+  /// order: the index of the earlier source load proving it redundant.
+  std::vector<uint32_t> Witnesses;
+  /// Per-exit digest (exitDigest) for every source exit, in order.
+  std::vector<uint32_t> ExitDigests;
+  /// CRC32 over the source execution's (address, value) store id pairs.
+  uint32_t StoresDigest = 0;
+  /// CRC32 over the source execution's (address, value) load id pairs.
+  uint32_t LoadsDigest = 0;
+
+  /// Serializes to the self-checking blob form.
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses and CRC-verifies a blob. Fails (InvalidFormat) on any
+  /// structural damage: bad magic/version, truncation, size overflow,
+  /// undecodable embedded source, or trailing-CRC mismatch.
+  static ErrorOr<Certificate> deserialize(const uint8_t *Data,
+                                          size_t Size);
+};
+
+/// Current certificate blob version.
+inline constexpr uint16_t CertVersion = 1;
+
+/// Fixed-size header fields readable without a full (CRC-checked)
+/// parse — enough to decide whether a certificate *claims* to cover a
+/// given body before paying for deserialization.
+struct CertPeek {
+  uint32_t GuestStart = 0;
+  uint32_t OptGen = 0;
+  uint32_t InstCount = 0;
+  uint32_t SrcCrc = 0;
+  uint32_t BodyCrc = 0;
+};
+
+/// Reads the fixed header of a certificate blob. Returns nullopt when
+/// the buffer is too small or the magic/version do not match; performs
+/// no CRC verification.
+std::optional<CertPeek> peekCertificate(const uint8_t *Data, size_t Size);
+
+/// Zero-copy wire view of a certificate blob: decoded header fields
+/// plus section pointers into the caller's buffer. Produced only after
+/// the size arithmetic and the trailing whole-blob CRC have been
+/// verified, so the trusted checker can consume sections in place
+/// (no Certificate materialization) — a forgery that survives the CRC
+/// is still rejected by the checker's semantic replay.
+struct CertView {
+  uint32_t GuestStart = 0;
+  uint32_t OptGen = 0;
+  uint32_t InstCount = 0;
+  uint32_t SrcCrc = 0;
+  uint32_t BodyCrc = 0;
+  uint32_t StepCount = 0;
+  uint32_t WitnessCount = 0;
+  uint32_t ExitCount = 0;
+  uint32_t StoresDigest = 0;
+  uint32_t LoadsDigest = 0;
+  const uint8_t *SourceBytes = nullptr; ///< InstCount * 8 encodings.
+  const uint8_t *StepBitmap = nullptr;  ///< (StepCount + 7) / 8 bytes.
+  const uint8_t *StepRefs = nullptr;    ///< Varint backrefs after bitmap.
+  const uint8_t *StepRefsEnd = nullptr; ///< One past the step stream.
+  const uint8_t *WitnessWords = nullptr;    ///< WitnessCount * u32.
+  const uint8_t *ExitDigestWords = nullptr; ///< ExitCount * u32.
+};
+
+/// Structurally validates a blob (magic, version, section arithmetic,
+/// whole-blob CRC — not the embedded source encodings or the step
+/// stream, which consumers decode in place) and returns the wire view.
+ErrorOr<CertView> viewCertificate(const uint8_t *Data, size_t Size);
+
+/// The per-exit symbolic effect digest both prover and checker compute:
+/// CRC32 over the packed exit summary (kind, position, condition,
+/// target, syscall number, store count, required-load count, all
+/// registers — as pool node ids).
+uint32_t exitDigest(const SymExit &E, uint32_t MatchedLoads);
+
+/// Digest over an execution's ordered (address, value) store id pairs.
+uint32_t storesDigest(const SymTrace &T);
+
+/// Digest over an execution's ordered (address, value) load id pairs.
+uint32_t loadsDigest(const SymTrace &T);
+
+} // namespace analysis
+} // namespace pcc
+
+#endif // PCC_ANALYSIS_CERTIFICATE_H

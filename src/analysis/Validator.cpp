@@ -2,294 +2,75 @@
 
 #include "analysis/Validator.h"
 
-#include "analysis/Dataflow.h"
+#include "analysis/Certificate.h"
+#include "analysis/SymExec.h"
+#include "support/Hashing.h"
 #include "support/StringUtils.h"
 
-#include <array>
 #include <map>
-#include <tuple>
 
 using namespace pcc;
 using namespace pcc::analysis;
 using isa::Instruction;
-using isa::InstructionSize;
 using isa::Opcode;
 
 namespace {
 
-/// Hash-consed symbolic expressions. Both executions intern into one
-/// pool, so structural equality is id equality.
-///
-/// bin() additionally *canonicalizes* through semantics-preserving
-/// rewrites — constant folding with exactly vm::executeInstruction's
-/// arithmetic (via foldBinaryOp) and right-zero identities — so that a
-/// body the finalize-time optimizer transformed (constants propagated,
-/// redundant loads replaced by register moves) interns to the same ids
-/// as the unoptimized source. Every rewrite maps an expression to a
-/// semantically equal one, so id equality still implies value equality:
-/// canonicalization only ever *accepts more* correct translations, it
-/// never equates two expressions that could differ at runtime.
+/// The prover's hash-consed expression pool. Both executions intern
+/// into one pool, so structural equality is id equality. When a
+/// Transcript is attached, every intern request appends the id it
+/// resolved to — the certificate's step stream; the checker's
+/// ReplayPool consumes the same stream while re-running the shared
+/// symExecute, so recording costs one vector push per intern and no
+/// separate bookkeeping.
 class ExprPool {
 public:
-  enum class Kind : uint8_t { Init, Const, Bin, Load };
+  /// When non-null, receives one id per intern request.
+  std::vector<uint32_t> *Transcript = nullptr;
 
   uint32_t init(unsigned Reg) {
-    return intern(Kind::Init, 0, 0, 0, Reg);
+    return intern(ExprKind::Init, 0, 0, 0, Reg);
   }
   uint32_t konst(uint32_t Value) {
-    return intern(Kind::Const, 0, 0, 0, Value);
+    return intern(ExprKind::Const, 0, 0, 0, Value);
   }
   uint32_t bin(Opcode Op, uint32_t A, uint32_t B) {
-    uint32_t AV = 0, BV = 0;
-    const bool AConst = constValue(A, AV);
-    const bool BConst = constValue(B, BV);
-    if (AConst && BConst)
-      if (auto V = foldBinaryOp(Op, AV, BV))
-        return konst(*V);
-    if (BConst && BV == 0) {
-      // x op 0 == x for the additive/bitwise/shift family.
-      switch (Op) {
-      case Opcode::Add:
-      case Opcode::Addi:
-      case Opcode::Sub:
-      case Opcode::Or:
-      case Opcode::Ori:
-      case Opcode::Xor:
-      case Opcode::Xori:
-      case Opcode::Shl:
-      case Opcode::Shli:
-      case Opcode::Shr:
-      case Opcode::Shri:
-        return A;
-      default:
-        break;
-      }
-    }
-    return intern(Kind::Bin, static_cast<uint8_t>(Op), A, B, 0);
+    return canonicalBin(*this, Op, A, B);
   }
   /// A memory read of \p Addr observing the first \p Version stores.
   uint32_t load(uint32_t Addr, uint32_t Version) {
-    return intern(Kind::Load, 0, Addr, 0, Version);
+    return intern(ExprKind::Load, 0, Addr, 0, Version);
   }
 
-private:
-  using Key = std::tuple<uint8_t, uint8_t, uint32_t, uint32_t, uint32_t>;
-  std::map<Key, uint32_t> Interned;
-  /// Node payloads by id (ids are assigned densely in intern order), so
-  /// bin() can recognize Const operands.
-  std::vector<Key> Nodes;
-
+  uint32_t binNode(Opcode Op, uint32_t A, uint32_t B) {
+    return intern(ExprKind::Bin, static_cast<uint8_t>(Op), A, B, 0);
+  }
   bool constValue(uint32_t Id, uint32_t &Value) const {
-    const Key &N = Nodes[Id];
-    if (std::get<0>(N) != static_cast<uint8_t>(Kind::Const))
+    const ExprKey &N = Nodes[Id];
+    if (std::get<0>(N) != static_cast<uint8_t>(ExprKind::Const))
       return false;
     Value = std::get<4>(N);
     return true;
   }
 
-  uint32_t intern(Kind K, uint8_t Op, uint32_t A, uint32_t B,
+private:
+  std::map<ExprKey, uint32_t> Interned;
+  /// Node payloads by id (ids are assigned densely in intern order), so
+  /// bin() can recognize Const operands.
+  std::vector<ExprKey> Nodes;
+
+  uint32_t intern(ExprKind K, uint8_t Op, uint32_t A, uint32_t B,
                   uint32_t Aux) {
-    Key Id{static_cast<uint8_t>(K), Op, A, B, Aux};
+    ExprKey Id{static_cast<uint8_t>(K), Op, A, B, Aux};
     auto [It, Inserted] =
         Interned.emplace(Id, static_cast<uint32_t>(Interned.size()));
     if (Inserted)
       Nodes.push_back(Id);
+    if (Transcript)
+      Transcript->push_back(It->second);
     return It->second;
   }
 };
-
-constexpr uint32_t NoExpr = ~0u;
-
-/// One point where control can leave the trace, with the symbolic
-/// machine state observable there.
-struct SymExit {
-  enum class Kind : uint8_t {
-    Branch,      ///< Conditional branch taken.
-    Direct,      ///< Jmp/Call.
-    Indirect,    ///< Jr/Callr/Ret.
-    Syscall,     ///< Sys (control leaves to the emulation unit).
-    Halt,        ///< Halt.
-    FallThrough, ///< Ran off the end of the body.
-  };
-
-  Kind K = Kind::Halt;
-  uint32_t InstIndex = 0;
-  uint32_t Cond = NoExpr;   ///< Branch condition expression.
-  uint32_t Target = NoExpr; ///< Exit target expression.
-  uint32_t SysNumber = 0;
-  std::array<uint32_t, isa::NumRegisters> Regs{};
-  uint32_t NumStores = 0; ///< Stores performed before this exit.
-  uint32_t NumLoads = 0;  ///< Loads performed before this exit.
-};
-
-const char *exitKindName(SymExit::Kind K) {
-  switch (K) {
-  case SymExit::Kind::Branch:
-    return "branch";
-  case SymExit::Kind::Direct:
-    return "direct";
-  case SymExit::Kind::Indirect:
-    return "indirect";
-  case SymExit::Kind::Syscall:
-    return "syscall";
-  case SymExit::Kind::Halt:
-    return "halt";
-  case SymExit::Kind::FallThrough:
-    return "fall-through";
-  }
-  return "?";
-}
-
-/// One memory read: the address expression (loads can fault) and the
-/// value expression it produced. Two reads with equal Val read the same
-/// address at the same store version — the second is redundant.
-struct LoadRec {
-  uint32_t Addr = 0;
-  uint32_t Val = 0;
-
-  bool operator==(const LoadRec &O) const {
-    return Addr == O.Addr && Val == O.Val;
-  }
-};
-
-/// The observable effects of one symbolic execution.
-struct SymTrace {
-  std::vector<SymExit> Exits;
-  /// All stores in program order: (address expr, value expr).
-  std::vector<std::pair<uint32_t, uint32_t>> Stores;
-  /// All loads in program order.
-  std::vector<LoadRec> Loads;
-};
-
-/// Symbolically executes \p Body following vm::executeInstruction's
-/// semantics exactly (operands read before any write; Call pushes the
-/// return address below the old stack pointer; Ret pops).
-SymTrace symExecute(ExprPool &Pool, uint32_t GuestStart,
-                    const std::vector<Instruction> &Body) {
-  SymTrace T;
-  std::array<uint32_t, isa::NumRegisters> Regs;
-  for (unsigned R = 0; R != isa::NumRegisters; ++R)
-    Regs[R] = Pool.init(R);
-
-  auto Snapshot = [&](SymExit E) {
-    E.Regs = Regs;
-    E.NumStores = static_cast<uint32_t>(T.Stores.size());
-    E.NumLoads = static_cast<uint32_t>(T.Loads.size());
-    T.Exits.push_back(E);
-  };
-  auto Version = [&] {
-    return static_cast<uint32_t>(T.Stores.size());
-  };
-
-  for (uint32_t I = 0; I != Body.size(); ++I) {
-    const Instruction &Inst = Body[I];
-    const uint32_t InstPc = GuestStart + I * InstructionSize;
-    const uint32_t FallPc = InstPc + InstructionSize;
-    const uint32_t A = Regs[Inst.Rs1];
-    const uint32_t B = Regs[Inst.Rs2];
-    const unsigned Sp = isa::StackPointerReg;
-
-    switch (Inst.Op) {
-    case Opcode::Nop:
-      break;
-    case Opcode::Halt:
-      Snapshot(SymExit{SymExit::Kind::Halt, I, NoExpr, NoExpr, 0});
-      return T;
-    case Opcode::Add:
-    case Opcode::Sub:
-    case Opcode::Mul:
-    case Opcode::Divu:
-    case Opcode::And:
-    case Opcode::Or:
-    case Opcode::Xor:
-    case Opcode::Shl:
-    case Opcode::Shr:
-    case Opcode::Sltu:
-    case Opcode::Seq:
-      Regs[Inst.Rd] = Pool.bin(Inst.Op, A, B);
-      break;
-    case Opcode::Addi:
-    case Opcode::Muli:
-    case Opcode::Andi:
-    case Opcode::Ori:
-    case Opcode::Xori:
-    case Opcode::Shli:
-    case Opcode::Shri:
-    case Opcode::Sltiu:
-      Regs[Inst.Rd] = Pool.bin(Inst.Op, A, Pool.konst(Inst.Imm));
-      break;
-    case Opcode::Ldi:
-      Regs[Inst.Rd] = Pool.konst(Inst.Imm);
-      break;
-    case Opcode::Ld: {
-      uint32_t Addr = Pool.bin(Opcode::Add, A, Pool.konst(Inst.Imm));
-      uint32_t Val = Pool.load(Addr, Version());
-      T.Loads.push_back(LoadRec{Addr, Val});
-      Regs[Inst.Rd] = Val;
-      break;
-    }
-    case Opcode::St: {
-      uint32_t Addr = Pool.bin(Opcode::Add, A, Pool.konst(Inst.Imm));
-      T.Stores.emplace_back(Addr, B);
-      break;
-    }
-    case Opcode::Beq:
-    case Opcode::Bne:
-    case Opcode::Bltu:
-    case Opcode::Bgeu:
-      Snapshot(SymExit{SymExit::Kind::Branch, I,
-                       Pool.bin(Inst.Op, A, B), Pool.konst(Inst.Imm),
-                       0});
-      break; // fall through to the next instruction (untaken path)
-    case Opcode::Jmp:
-      Snapshot(SymExit{SymExit::Kind::Direct, I, NoExpr,
-                       Pool.konst(Inst.Imm), 0});
-      return T;
-    case Opcode::Call:
-    case Opcode::Callr: {
-      uint32_t NewSp =
-          Pool.bin(Opcode::Add, Regs[Sp],
-                   Pool.konst(static_cast<uint32_t>(-4)));
-      T.Stores.emplace_back(NewSp, Pool.konst(FallPc));
-      Regs[Sp] = NewSp;
-      if (Inst.Op == Opcode::Call)
-        Snapshot(SymExit{SymExit::Kind::Direct, I, NoExpr,
-                         Pool.konst(Inst.Imm), 0});
-      else
-        Snapshot(SymExit{SymExit::Kind::Indirect, I, NoExpr, A, 0});
-      return T;
-    }
-    case Opcode::Jr:
-      Snapshot(SymExit{SymExit::Kind::Indirect, I, NoExpr, A, 0});
-      return T;
-    case Opcode::Ret: {
-      uint32_t Addr = Regs[Sp];
-      uint32_t Return = Pool.load(Addr, Version());
-      T.Loads.push_back(LoadRec{Addr, Return});
-      Regs[Sp] =
-          Pool.bin(Opcode::Add, Addr, Pool.konst(4));
-      Snapshot(
-          SymExit{SymExit::Kind::Indirect, I, NoExpr, Return, 0});
-      return T;
-    }
-    case Opcode::Sys:
-      Snapshot(SymExit{SymExit::Kind::Syscall, I, NoExpr,
-                       Pool.konst(FallPc), Inst.Imm});
-      return T;
-    case Opcode::NumOpcodes:
-      break;
-    }
-  }
-
-  if (!Body.empty()) {
-    uint32_t EndPc = GuestStart +
-                     static_cast<uint32_t>(Body.size()) * InstructionSize;
-    Snapshot(SymExit{SymExit::Kind::FallThrough,
-                     static_cast<uint32_t>(Body.size()) - 1, NoExpr,
-                     Pool.konst(EndPc), 0});
-  }
-  return T;
-}
 
 ValidationResult mismatch(uint32_t InstIndex, uint32_t ExitIndex,
                           std::string What) {
@@ -316,7 +97,9 @@ std::string ValidationResult::message() const {
 
 ValidationResult pcc::analysis::validateTranslation(
     uint32_t GuestStart, const std::vector<Instruction> &Source,
-    const std::vector<Instruction> &Translated) {
+    const std::vector<Instruction> &Translated, Certificate *CertOut) {
+  if (CertOut)
+    *CertOut = Certificate{};
   if (Source.size() != Translated.size())
     return mismatch(
         static_cast<uint32_t>(
@@ -326,6 +109,9 @@ ValidationResult pcc::analysis::validateTranslation(
                      Source.size(), Translated.size()));
 
   ExprPool Pool;
+  std::vector<uint32_t> Steps;
+  if (CertOut)
+    Pool.Transcript = &Steps;
   SymTrace S = symExecute(Pool, GuestStart, Source);
   SymTrace T = symExecute(Pool, GuestStart, Translated);
 
@@ -338,21 +124,25 @@ ValidationResult pcc::analysis::validateTranslation(
   // consumed by the first i source loads, which lets the per-exit check
   // below verify that loads line up at every observable exit point.
   std::vector<uint32_t> MatchedPrefix(S.Loads.size() + 1, 0);
+  std::vector<uint32_t> Witnesses;
   {
     size_t J = 0;
     for (size_t I = 0; I != S.Loads.size(); ++I) {
       if (J < T.Loads.size() && S.Loads[I] == T.Loads[J]) {
         ++J;
       } else {
-        bool Redundant = false;
-        for (size_t K = 0; K != I && !Redundant; ++K)
-          Redundant = S.Loads[K].Val == S.Loads[I].Val;
-        if (!Redundant)
+        size_t Witness = I;
+        for (size_t K = 0; K != I && Witness == I; ++K)
+          if (S.Loads[K].Val == S.Loads[I].Val)
+            Witness = K;
+        if (Witness == I)
           return mismatch(
               0, ~0u,
               formatString("load %zu missing from translation and "
                            "not redundant",
                            I));
+        if (CertOut)
+          Witnesses.push_back(static_cast<uint32_t>(Witness));
       }
       MatchedPrefix[I + 1] = static_cast<uint32_t>(J);
     }
@@ -420,5 +210,32 @@ ValidationResult pcc::analysis::validateTranslation(
       return mismatch(0, ~0u,
                       formatString("store %u value differs", I));
   }
+
+  if (CertOut) {
+    // The proof went through: persist what the checker needs to replay
+    // it. OptGen is the caller's to fill — the validator does not know
+    // which generation this body will be published as.
+    Certificate &C = *CertOut;
+    C.GuestStart = GuestStart;
+    C.Source = Source;
+    const std::vector<uint8_t> SrcBytes = isa::encodeAll(Source);
+    C.SrcCrc = crc32(SrcBytes.data(), SrcBytes.size());
+    const std::vector<uint8_t> BodyBytes = isa::encodeAll(Translated);
+    C.BodyCrc = crc32(BodyBytes.data(), BodyBytes.size());
+    C.Steps = std::move(Steps);
+    C.Witnesses = std::move(Witnesses);
+    C.ExitDigests.reserve(S.Exits.size());
+    for (const SymExit &E : S.Exits)
+      C.ExitDigests.push_back(
+          exitDigest(E, MatchedPrefix[E.NumLoads]));
+    C.StoresDigest = storesDigest(S);
+    C.LoadsDigest = loadsDigest(S);
+  }
   return ValidationResult{};
+}
+
+ValidationResult pcc::analysis::validateTranslation(
+    uint32_t GuestStart, const std::vector<Instruction> &Source,
+    const std::vector<Instruction> &Translated) {
+  return validateTranslation(GuestStart, Source, Translated, nullptr);
 }

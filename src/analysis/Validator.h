@@ -43,6 +43,8 @@
 namespace pcc {
 namespace analysis {
 
+struct Certificate;
+
 /// Structured diagnostic for a failed validation.
 struct TraceMismatch {
   /// Instruction index (in the source body) of the exit point — or for
@@ -72,6 +74,19 @@ ValidationResult
 validateTranslation(uint32_t GuestStart,
                     const std::vector<isa::Instruction> &Source,
                     const std::vector<isa::Instruction> &Translated);
+
+/// As above, and on success additionally emits into \p CertOut a
+/// proof-carrying certificate (analysis::Certificate) from which the
+/// minimal checker (analysis::checkCertificate) can re-establish the
+/// verdict without re-running the prover. \p CertOut may be null (then
+/// this is exactly the plain overload); on failure it is reset to an
+/// empty certificate. The caller fills Certificate::OptGen — the
+/// validator does not know the generation the body publishes as.
+ValidationResult
+validateTranslation(uint32_t GuestStart,
+                    const std::vector<isa::Instruction> &Source,
+                    const std::vector<isa::Instruction> &Translated,
+                    Certificate *CertOut);
 
 } // namespace analysis
 } // namespace pcc

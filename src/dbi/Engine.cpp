@@ -104,12 +104,9 @@ Status Engine::ensureMaterialized(TranslatedTrace *T) {
       if (ValidateMaterialize) {
         std::vector<Instruction> Copy(InPlace,
                                       InPlace + T->guestInstCount());
-        Status Verdict = ValidateMaterialize(T->guestStart(), Copy);
-        if (!Verdict.ok()) {
-          ++Stats.VerifyFailures;
+        Status Verdict = runMaterializeCheck(T->guestStart(), Copy);
+        if (!Verdict.ok())
           return Verdict;
-        }
-        ++Stats.TracesVerified;
       }
       T->clearPersistedPayload();
       T->materializeBorrowed(InPlace);
@@ -169,12 +166,9 @@ Status Engine::ensureMaterialized(TranslatedTrace *T) {
         return Ready->DecodeError;
       if (ValidateMaterialize) {
         Status Verdict =
-            ValidateMaterialize(T->guestStart(), Ready->Body);
-        if (!Verdict.ok()) {
-          ++Stats.VerifyFailures;
+            runMaterializeCheck(T->guestStart(), Ready->Body);
+        if (!Verdict.ok())
           return Verdict;
-        }
-        ++Stats.TracesVerified;
       }
       T->materialize(std::move(Ready->Body));
       chargePersistFirstTouch(T);
@@ -208,16 +202,29 @@ Status Engine::ensureMaterialized(TranslatedTrace *T) {
     // effect-equivalent to the guest instructions it claims to
     // translate. Runs before materialize so a rejected trace follows
     // the same drop-and-retranslate path as a CRC mismatch.
-    Status Verdict = ValidateMaterialize(T->guestStart(), Decoded);
-    if (!Verdict.ok()) {
-      ++Stats.VerifyFailures;
+    Status Verdict = runMaterializeCheck(T->guestStart(), Decoded);
+    if (!Verdict.ok())
       return Verdict;
-    }
-    ++Stats.TracesVerified;
   }
   T->materialize(std::move(Decoded));
   chargePersistFirstTouch(T);
   ++Stats.TracesReused;
+  return Status::success();
+}
+
+Status Engine::runMaterializeCheck(
+    uint32_t GuestStart, const std::vector<Instruction> &Body) {
+  MaterializeCheckInfo Info;
+  Status Verdict = ValidateMaterialize(GuestStart, Body, Info);
+  Stats.CertsChecked += Info.CertsChecked;
+  Stats.CertChecksFailed += Info.CertChecksFailed;
+  Stats.ProofsReplayed += Info.ProofsReplayed;
+  if (!Verdict.ok()) {
+    ++Stats.VerifyFailures;
+    return Verdict;
+  }
+  if (Info.Verified)
+    ++Stats.TracesVerified;
   return Status::success();
 }
 

@@ -113,16 +113,35 @@ public:
     InstallQ = std::move(Q);
   }
 
+  /// What a materialize-time verification hook did, reported back so
+  /// the engine can account for it without knowing how the session
+  /// verifies (full symbolic re-proof, certificate check, or neither).
+  struct MaterializeCheckInfo {
+    /// The hook established effect-equivalence for this body (counts in
+    /// EngineStats::TracesVerified). False when the hook passed the
+    /// trace through unverified (e.g. an unpromoted trace under
+    /// certificate-only checking).
+    bool Verified = false;
+    /// Certificate checks attempted / failed for this body.
+    uint32_t CertsChecked = 0;
+    uint32_t CertChecksFailed = 0;
+    /// Full symbolic re-proofs run (certificate missing or rejected).
+    uint32_t ProofsReplayed = 0;
+  };
+
   /// Deep-verification hook run when a persisted trace's body is
   /// decoded (at first execution or during a synchronous/async prime),
   /// before the trace becomes executable. Receives the trace's guest
-  /// start address and its decoded (rebased) body; a non-success
-  /// Status rejects the trace, which is then dropped and retranslated
-  /// from guest memory exactly like a payload CRC failure. Installed
-  /// by persist::Session when PersistOptions::ValidateSemantic is set;
-  /// the engine itself stays persistence-agnostic.
+  /// start address, its decoded (rebased) body, and an Info out-param
+  /// describing the verification work done; a non-success Status
+  /// rejects the trace, which is then dropped and retranslated from
+  /// guest memory exactly like a payload CRC failure. Installed by
+  /// persist::Session when PersistOptions::ValidateSemantic or
+  /// certificate checking applies; the engine itself stays
+  /// persistence-agnostic.
   using MaterializeValidator = std::function<Status(
-      uint32_t GuestStart, const std::vector<isa::Instruction> &Body)>;
+      uint32_t GuestStart, const std::vector<isa::Instruction> &Body,
+      MaterializeCheckInfo &Info)>;
   void setMaterializeValidator(MaterializeValidator V) {
     ValidateMaterialize = std::move(V);
   }
@@ -163,6 +182,13 @@ private:
   /// \p T, splitting newly touched pages into shared soft faults and
   /// demand-paged I/O when a residency probe is attached.
   void chargePersistFirstTouch(TranslatedTrace *T);
+
+  /// Runs ValidateMaterialize over \p Body, folding the hook's
+  /// MaterializeCheckInfo into Stats (certificate and re-proof
+  /// counters; TracesVerified only when the hook actually verified).
+  /// Must only be called with the hook installed.
+  Status runMaterializeCheck(uint32_t GuestStart,
+                             const std::vector<isa::Instruction> &Body);
 
   /// Moves every published install-queue result into Prevalidated.
   void drainInstallQueue();

@@ -70,9 +70,19 @@ struct EngineStats {
                                        ///< map is attached; attaching one
                                        ///< affects XIP and materializing
                                        ///< runs identically.
-  uint64_t TracesVerified = 0;    ///< Traces the translation validator
-                                  ///< proved effect-equivalent.
+  uint64_t TracesVerified = 0;    ///< Traces proven effect-equivalent at
+                                  ///< materialization (full symbolic
+                                  ///< proof or certificate check).
   uint64_t VerifyFailures = 0;    ///< Traces the validator rejected.
+  uint64_t CertsChecked = 0;      ///< Persisted validation certificates
+                                  ///< checked at prime time.
+  uint64_t CertChecksFailed = 0;  ///< Of those, rejected (tampered,
+                                  ///< stale, or unsound); each falls
+                                  ///< back to a full re-proof.
+  uint64_t ProofsReplayed = 0;    ///< Promoted bodies re-proved with the
+                                  ///< full symbolic validator at prime
+                                  ///< (certificate missing/rebased or
+                                  ///< rejected).
   uint64_t FlagsElided = 0;       ///< Dead pure defs replaced with Nop
                                   ///< by the --opt-flags pass.
   uint64_t TracesPromoted = 0;    ///< Traces finalize promoted to a

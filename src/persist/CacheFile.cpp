@@ -25,6 +25,13 @@ uint32_t CacheFile::maxOptGen() const {
   return Max;
 }
 
+bool CacheFile::hasCerts() const {
+  for (const TraceRecord &Trace : Traces)
+    if (!Trace.Cert.empty())
+      return true;
+  return false;
+}
+
 uint64_t CacheFile::codeBytes() const {
   uint64_t Total = 0;
   for (const TraceRecord &Trace : Traces)
@@ -53,6 +60,19 @@ size_t alignUp(size_t N, size_t Align) {
   return (N + Align - 1) / Align * Align;
 }
 
+/// Bytes the trailing certificate section adds (0 when no trace is
+/// certified and the section is omitted entirely).
+size_t certSectionBytes(const std::vector<TraceRecord> &Traces,
+                        bool HasCerts) {
+  if (!HasCerts)
+    return 0;
+  size_t BlobBytes = 0;
+  for (const TraceRecord &Trace : Traces)
+    BlobBytes += Trace.Cert.size();
+  return v2::CertSectHeaderBytes +
+         Traces.size() * v2::CertDirEntryBytes + BlobBytes;
+}
+
 } // namespace
 
 size_t CacheFile::serializedSize() const {
@@ -72,7 +92,8 @@ size_t CacheFile::serializedSize() const {
   size_t PayloadOffset = v2::HeaderBytes + ModuleTableSize + IndexSize;
   if (ExecuteInPlace)
     PayloadOffset = alignUp(PayloadOffset, v2::PayloadAlign);
-  return PayloadOffset + PayloadBytes;
+  return PayloadOffset + PayloadBytes +
+         certSectionBytes(Traces, hasCerts());
 }
 
 std::vector<uint8_t> CacheFile::serialize() const {
@@ -91,6 +112,11 @@ std::vector<uint8_t> CacheFile::serialize() const {
   // layout and announce it in the flags byte; unpromoted files keep the
   // 40-byte entries so their bytes are identical to pre-OptGen output.
   const bool HasOptGen = maxOptGen() > 0;
+  // Certified files (any trace with a certificate blob) gain a trailing
+  // certificate section past the payload and announce it in the flags
+  // byte; uncertified files omit it so their bytes are identical to
+  // pre-certificate output.
+  const bool HasCerts = hasCerts();
   const size_t EntryBytes =
       HasOptGen ? v2::OptIndexEntryBytes : v2::IndexEntryBytes;
   size_t IndexSize = Traces.size() * EntryBytes + HeapSize;
@@ -105,7 +131,8 @@ std::vector<uint8_t> CacheFile::serialize() const {
       ExecuteInPlace
           ? static_cast<uint32_t>(alignUp(IndexEnd, v2::PayloadAlign))
           : IndexEnd;
-  size_t TotalSize = static_cast<size_t>(PayloadOffset) + PayloadBytes;
+  size_t TotalSize = static_cast<size_t>(PayloadOffset) + PayloadBytes +
+                     certSectionBytes(Traces, HasCerts);
 
   ByteWriter Writer;
   Writer.reserve(TotalSize);
@@ -118,7 +145,8 @@ std::vector<uint8_t> CacheFile::serialize() const {
   Writer.writeU8(static_cast<uint8_t>(
       (PositionIndependent ? v2::FlagPositionIndependent : 0) |
       (ExecuteInPlace ? v2::FlagExecuteInPlace : 0) |
-      (HasOptGen ? v2::FlagOptGen : 0)));
+      (HasOptGen ? v2::FlagOptGen : 0) |
+      (HasCerts ? v2::FlagCertificates : 0)));
   Writer.writeU16(WriterTag); // Former Reserved0: last-writer pid tag.
   Writer.writeU32(Generation);
   Writer.writeU32(static_cast<uint32_t>(Modules.size()));
@@ -178,6 +206,33 @@ std::vector<uint8_t> CacheFile::serialize() const {
 
   for (const TraceRecord &Trace : Traces)
     Writer.writeBytes(Trace.Code.data(), Trace.Code.size());
+
+  if (HasCerts) {
+    // Trailing certificate section: fixed header, per-trace directory,
+    // then the concatenated blobs. Sits entirely past the declared
+    // (header-covered) file size; the directory carries its own CRC and
+    // each blob its own trailing CRC.
+    size_t BlobBytes = 0;
+    for (const TraceRecord &Trace : Traces)
+      BlobBytes += Trace.Cert.size();
+    Writer.writeU32(v2::CertSectMagic);
+    Writer.writeU32(static_cast<uint32_t>(Traces.size()));
+    Writer.writeU32(static_cast<uint32_t>(BlobBytes));
+    size_t DirCrcAt = Writer.size();
+    Writer.writeU32(0); // DirCrc, patched below.
+    size_t DirAt = Writer.size();
+    uint32_t BlobOffset = 0;
+    for (const TraceRecord &Trace : Traces) {
+      Writer.writeU32(Trace.Cert.empty() ? 0 : BlobOffset);
+      Writer.writeU32(static_cast<uint32_t>(Trace.Cert.size()));
+      BlobOffset += static_cast<uint32_t>(Trace.Cert.size());
+    }
+    Writer.patchU32(DirCrcAt,
+                    crc32(Writer.bytes().data() + DirAt,
+                          Traces.size() * v2::CertDirEntryBytes));
+    for (const TraceRecord &Trace : Traces)
+      Writer.writeBytes(Trace.Cert.data(), Trace.Cert.size());
+  }
   assert(Writer.size() == TotalSize && "payload size drifted");
 
   const uint8_t *Raw = Writer.bytes().data();

@@ -67,6 +67,14 @@ struct TraceRecord {
   /// stay byte-identical to pre-OptGen writers and old readers still
   /// parse them.
   uint32_t OptGen = 0;
+  /// Serialized analysis::Certificate blob proving this body equivalent
+  /// to its gen-0 guest source (empty when uncertified). Stored in the
+  /// trailing certificate section only when some trace carries one
+  /// (header flag bit 3), so uncertified files stay byte-identical.
+  /// The blob is self-checking (trailing CRC), so one tampered
+  /// certificate degrades that trace to a full re-prove without
+  /// poisoning the rest of the file.
+  std::vector<uint8_t> Cert;
 
   bool relocBit(uint32_t InstIndex) const {
     uint32_t Byte = InstIndex / 8;
@@ -112,6 +120,11 @@ struct CacheFile {
   /// trace is an unpromoted first translation). Non-zero switches
   /// serialize() to the wide (OptGen-bearing) index-entry layout.
   uint32_t maxOptGen() const;
+
+  /// True when any trace carries a validation certificate; switches
+  /// serialize() to append the trailing certificate section (header
+  /// flag bit 3).
+  bool hasCerts() const;
 
   /// Total translated-code bytes (the code half of Figure 9).
   uint64_t codeBytes() const;

@@ -21,6 +21,8 @@ pcc::persist::quarantineReasonCodeName(QuarantineReasonCode Code) {
     return "structural-invalid";
   case QuarantineReasonCode::SemanticMismatch:
     return "semantic-mismatch";
+  case QuarantineReasonCode::CertificateInvalid:
+    return "certificate-invalid";
   }
   return "unknown";
 }
@@ -39,6 +41,7 @@ pcc::persist::parseQuarantineReason(const std::string &Stored,
       QuarantineReasonCode::VersionMismatch,
       QuarantineReasonCode::StructuralInvalid,
       QuarantineReasonCode::SemanticMismatch,
+      QuarantineReasonCode::CertificateInvalid,
   };
   for (QuarantineReasonCode Code : Codes) {
     std::string Prefix = std::string(quarantineReasonCodeName(Code)) + ": ";

@@ -112,6 +112,10 @@ enum class QuarantineReasonCode : uint8_t {
   /// Deep verification: a persisted trace is not effect-equivalent to
   /// the guest code it claims to translate.
   SemanticMismatch,
+  /// A persisted validation certificate failed its check (tampered,
+  /// stale against a newer body, or its obligations do not discharge)
+  /// AND the full-validator fallback also rejected the body.
+  CertificateInvalid,
 };
 
 /// Short stable name ("semantic-mismatch") for display and encoding.

@@ -48,6 +48,7 @@ Status CacheFileView::parseHeader(const uint8_t *Bytes, size_t Available) {
   PositionIndependent = (Flags & v2::FlagPositionIndependent) != 0;
   Xip = (Flags & v2::FlagExecuteInPlace) != 0;
   HasOptGen = (Flags & v2::FlagOptGen) != 0;
+  HasCerts = (Flags & v2::FlagCertificates) != 0;
   if (Xip != (FormatVersion == v2::XipVersion))
     return formatError("cache XIP flag inconsistent with version");
   WriterTag = Reader.readU16(); // Former Reserved0: last-writer pid tag.
@@ -93,7 +94,10 @@ Status CacheFileView::parseHeader(const uint8_t *Bytes, size_t Available) {
 }
 
 Status CacheFileView::parseSections() {
-  if (Size != declaredFileBytes())
+  // A certified file carries the certificate section past the declared
+  // (header-covered) size; an uncertified file must end exactly there.
+  if (HasCerts ? Size < declaredFileBytes()
+               : Size != declaredFileBytes())
     return formatError("cache file size does not match header");
 
   const uint8_t *ModTable = Data + ModuleTableOffset;
@@ -144,7 +148,48 @@ Status CacheFileView::parseSections() {
       return formatError("trace metadata outside index section");
     Entries.push_back(E);
   }
+  if (HasCerts)
+    parseCertSection();
   return Status::success();
+}
+
+void CacheFileView::parseCertSection() {
+  // Certificate damage never fails the open: the code sections stand on
+  // their own CRCs, so a corrupt cert section degrades every trace to a
+  // full re-prove at consumption instead of discarding the file.
+  CertsCorrupt = true;
+  const uint64_t Declared = declaredFileBytes();
+  if (Size < Declared + v2::CertSectHeaderBytes)
+    return;
+  const uint8_t *Sect = Data + Declared;
+  ByteReader Reader(Sect, v2::CertSectHeaderBytes);
+  const uint32_t SectMagic = Reader.readU32();
+  const uint32_t Count = Reader.readU32();
+  const uint32_t BlobBytes = Reader.readU32();
+  const uint32_t DirCrc = Reader.readU32();
+  if (SectMagic != v2::CertSectMagic || Count != NumTraces)
+    return;
+  const uint64_t DirBytes =
+      static_cast<uint64_t>(Count) * v2::CertDirEntryBytes;
+  if (Size !=
+      Declared + v2::CertSectHeaderBytes + DirBytes + BlobBytes)
+    return;
+  const uint8_t *Dir = Sect + v2::CertSectHeaderBytes;
+  if (crc32(Dir, DirBytes) != DirCrc)
+    return;
+  ByteReader DirReader(Dir, DirBytes);
+  std::vector<std::pair<uint32_t, uint32_t>> Parsed;
+  Parsed.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    uint32_t Off = DirReader.readU32();
+    uint32_t Sz = DirReader.readU32();
+    if (static_cast<uint64_t>(Off) + Sz > BlobBytes)
+      return;
+    Parsed.emplace_back(Off, Sz);
+  }
+  CertDir = std::move(Parsed);
+  CertBlobBase = Dir + DirBytes;
+  CertsCorrupt = false;
 }
 
 ErrorOr<CacheFileView> CacheFileView::open(std::vector<uint8_t> Bytes,
@@ -159,8 +204,10 @@ ErrorOr<CacheFileView> CacheFileView::open(std::vector<uint8_t> Bytes,
     return S;
   if (D == Depth::HeaderOnly) {
     // An in-memory image is complete, so the declared size is checkable
-    // even without parsing the sections.
-    if (View.Size != View.declaredFileBytes())
+    // even without parsing the sections. Certified files legitimately
+    // extend past the declared size (the trailing cert section).
+    if (View.HasCerts ? View.Size < View.declaredFileBytes()
+                      : View.Size != View.declaredFileBytes())
       return formatError("cache file size does not match header");
     return View;
   }
@@ -189,7 +236,8 @@ ErrorOr<CacheFileView> CacheFileView::openFile(const std::string &Path,
     auto OnDisk = fileSize(Path);
     if (!OnDisk)
       return OnDisk.status();
-    if (*OnDisk != View.declaredFileBytes())
+    if (View.HasCerts ? *OnDisk < View.declaredFileBytes()
+                      : *OnDisk != View.declaredFileBytes())
       return formatError("cache file size does not match header");
     return View;
   }
@@ -255,6 +303,16 @@ bool CacheFileView::codeCrcOk(uint32_t I) const {
   return crc32(codeBytesOf(I), E.CodeSize) == E.CodeCrc;
 }
 
+std::pair<const uint8_t *, size_t>
+CacheFileView::certBlobOf(uint32_t I) const {
+  if (!certsPresent() || I >= CertDir.size())
+    return {nullptr, 0};
+  const auto &[Off, Sz] = CertDir[I];
+  if (Sz == 0)
+    return {nullptr, 0};
+  return {CertBlobBase + Off, Sz};
+}
+
 ErrorOr<TraceRecord> CacheFileView::record(uint32_t I) const {
   const TraceIndexEntry &E = Entries[I];
   if (!codeCrcOk(I))
@@ -269,6 +327,9 @@ ErrorOr<TraceRecord> CacheFileView::record(uint32_t I) const {
   Rec.RelocMask = readRelocMask(I);
   Rec.Heat = E.Heat;
   Rec.OptGen = E.OptGen;
+  auto [CertData, CertSize] = certBlobOf(I);
+  if (CertData)
+    Rec.Cert.assign(CertData, CertData + CertSize);
   return Rec;
 }
 

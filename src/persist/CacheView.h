@@ -36,7 +36,10 @@
 /// marks a file whose trace-index entries are 44 bytes wide, the extra
 /// trailing u32 being each trace's optimization generation (bit clear:
 /// 40-byte entries, every trace generation 0 — the byte-identical
-/// legacy layout). Version stays 2 for materializing files and becomes
+/// legacy layout); bit 3 marks a trailing certificate section past the
+/// payload (validation proofs for promoted traces — see the
+/// v2::CertSect* constants below). Version stays 2 for materializing
+/// files and becomes
 /// 3 for XIP files, whose payload section is page-aligned (the gap between the
 /// trace index and the payload is zero padding, < one page) so prime
 /// can hand the mapped payload directly to the engine as executable
@@ -88,8 +91,28 @@ inline constexpr uint8_t FlagExecuteInPlace = 1u << 1;
 /// when needed, so unpromoted files stay byte-identical to pre-OptGen
 /// output (and readable by pre-OptGen readers).
 inline constexpr uint8_t FlagOptGen = 1u << 2;
+/// The file carries a trailing certificate section (validation proofs
+/// for promoted traces) after the payload. Writers only set this when
+/// some trace is certified, so uncertified files stay byte-identical
+/// to pre-certificate output.
+inline constexpr uint8_t FlagCertificates = 1u << 3;
 /// XIP payload sections start on this boundary.
 inline constexpr uint32_t PayloadAlign = 4096;
+
+/// Certificate-section layout (appended after the payload when
+/// FlagCertificates is set):
+///
+///   u32 SectMagic 'PCRT'   u32 Count (== NumTraces)
+///   u32 BlobBytes           u32 DirCrc (over the directory)
+///   Count x { u32 BlobOffset, u32 BlobSize }   (0,0 = uncertified)
+///   BlobBytes of concatenated certificate blobs
+///
+/// The directory is CRC'd as a whole; each blob carries its own
+/// trailing CRC (analysis::Certificate), so one tampered blob rejects
+/// per-trace while the rest of the section stays usable.
+inline constexpr uint32_t CertSectMagic = 0x54524350; // "PCRT"
+inline constexpr size_t CertSectHeaderBytes = 16;
+inline constexpr size_t CertDirEntryBytes = 8;
 } // namespace v2
 
 /// Legacy (v1) on-disk magic, kept for read compatibility.
@@ -159,6 +182,9 @@ public:
   /// True when index entries carry per-trace optimization generations
   /// (header FlagOptGen; the wide entry layout).
   bool optGenEntries() const { return HasOptGen; }
+  /// True when the header declares a trailing certificate section
+  /// (FlagCertificates), whether or not it parsed cleanly.
+  bool certsFlagged() const { return HasCerts; }
   uint32_t formatVersion() const { return FormatVersion; }
   uint32_t generation() const { return Generation; }
   /// Low 16 bits of the last writer's pid (0 when untagged).
@@ -191,8 +217,23 @@ public:
   /// Checks trace \p I's code image against its indexed CRC.
   bool codeCrcOk(uint32_t I) const;
 
+  /// True when a structurally valid certificate section is available
+  /// (flagged, directory parsed and CRC-clean). Individual blobs still
+  /// verify themselves at consumption.
+  bool certsPresent() const { return HasCerts && !CertsCorrupt; }
+  /// True when the header flagged certificates but the trailing section
+  /// is damaged (truncated, bad magic/count, directory CRC or bounds).
+  /// The file itself stays usable; every trace then re-proves at
+  /// consumption instead of cert-checking.
+  bool certSectionCorrupt() const { return CertsCorrupt; }
+  /// Certificate blob of trace \p I, or (nullptr, 0) when the trace is
+  /// uncertified or the section is absent/corrupt. The blob bytes are
+  /// not yet CRC-verified — consumers verify per blob.
+  std::pair<const uint8_t *, size_t> certBlobOf(uint32_t I) const;
+
   /// Fully decodes trace \p I into a TraceRecord, CRC-checking its code
-  /// image. The eager-compat path for tools and accumulation.
+  /// image (and attaching its certificate blob, when one is present).
+  /// The eager-compat path for tools and accumulation.
   ErrorOr<TraceRecord> record(uint32_t I) const;
 
   /// Totals computed from the index alone (no payload reads).
@@ -216,6 +257,8 @@ private:
   bool PositionIndependent = false;
   bool Xip = false;
   bool HasOptGen = false;
+  bool HasCerts = false;
+  bool CertsCorrupt = false;
   uint32_t FormatVersion = 0;
   uint16_t WriterTag = 0;
   uint32_t Generation = 0;
@@ -232,9 +275,15 @@ private:
 
   std::vector<ModuleKey> Modules;
   std::vector<TraceIndexEntry> Entries;
+  /// Certificate directory: (offset into the blob area, size) per
+  /// trace; (0, 0) marks an uncertified trace. Empty when the section
+  /// is absent or corrupt.
+  std::vector<std::pair<uint32_t, uint32_t>> CertDir;
+  const uint8_t *CertBlobBase = nullptr;
 
   Status parseHeader(const uint8_t *Bytes, size_t Available);
   Status parseSections();
+  void parseCertSection();
 };
 
 } // namespace persist

@@ -2,6 +2,8 @@
 
 #include "persist/DbCheck.h"
 
+#include "analysis/CertChecker.h"
+#include "analysis/Certificate.h"
 #include "analysis/Validator.h"
 #include "binary/Module.h"
 #include "dbi/Compiler.h"
@@ -46,12 +48,70 @@ QuarantineReasonCode reasonCodeFor(const Status &S) {
   }
 }
 
+/// Self-contained certificate sweep (no guest modules needed): each
+/// record carrying a certificate has its recorded proof replayed
+/// against the certificate's own embedded source and the record's body
+/// bytes — so a bit-flipped certificate, a certificate bound to a
+/// different generation's bytes, or an unsound proof is caught without
+/// ever resolving the guest. Under \p Repair a rejected certificate is
+/// stripped in place (the caller rewrites the file); the trace itself
+/// is kept — its payload CRC already checked out, it just loses its
+/// fast-path proof. Returns the first rejection description.
+std::string certSweepFile(CacheFile &File, bool Repair,
+                          FileCheckReport &R) {
+  std::string FirstReject;
+  for (TraceRecord &Rec : File.Traces) {
+    if (Rec.Cert.empty())
+      continue;
+    ++R.CertsChecked;
+    auto Translated =
+        isa::decodeAll(Rec.Code.data() + dbi::TracePrologueBytes,
+                       Rec.GuestInstCount);
+    analysis::CertCheckResult C;
+    if (Translated) {
+      // The decoded body came straight from the record's stored
+      // encodings, so bind those bytes and spare the checker a
+      // re-encode.
+      analysis::CertBindings Bind;
+      Bind.BodyBytes = Rec.Code.data() + dbi::TracePrologueBytes;
+      Bind.BodyByteCount =
+          static_cast<size_t>(Rec.GuestInstCount) * isa::InstructionSize;
+      C = analysis::checkCertificateBlob(Rec.Cert.data(),
+                                         Rec.Cert.size(), Rec.GuestStart,
+                                         *Translated, nullptr, &Bind);
+    } else {
+      C.Status = analysis::CertCheckStatus::Malformed;
+      C.Detail = Translated.status().message();
+    }
+    if (C.ok())
+      continue;
+    ++R.CertsRejected;
+    if (FirstReject.empty())
+      FirstReject = formatString(
+          "trace @%08x: certificate rejected (%s%s%s)", Rec.GuestStart,
+          analysis::certCheckStatusName(C.Status),
+          C.Detail.empty() ? "" : ": ", C.Detail.c_str());
+    if (Repair)
+      Rec.Cert.clear();
+  }
+  return FirstReject;
+}
+
 /// Deep semantic sweep over one (CRC-intact) cache file: every trace is
 /// symbolically validated against the guest instructions its module
-/// supplies. Fills the TracesVerified/Mismatched/Unverifiable counters
-/// and returns the first mismatch description (empty when none).
-std::string deepCheckFile(const CacheFile &File, const DeepContext &Deep,
-                          FileCheckReport &R) {
+/// supplies. Traces carrying a validation certificate go through the
+/// trusted checker first, bound to the real module text; only a
+/// rejected (or absent) certificate on a promoted body pays for the
+/// full prover. Under \p Repair, a promoted trace the prover vouched
+/// for gets a fresh certificate (regenerated from that very proof) and
+/// a rejected certificate on a failing trace is simply part of the
+/// mismatch disposition. Fills the TracesVerified/Mismatched/
+/// Unverifiable and certificate counters; sets \p CertsDirty when a
+/// repair changed any record's certificate; returns the first mismatch
+/// description (empty when none).
+std::string deepCheckFile(CacheFile &File, const DeepContext &Deep,
+                          bool Repair, FileCheckReport &R,
+                          bool &CertsDirty) {
   const size_t NumMods = File.Modules.size();
   // Per-module relocated guest text, resolved lazily: a module whose
   // key no longer matches its on-disk image produces unverifiable
@@ -87,7 +147,7 @@ std::string deepCheckFile(const CacheFile &File, const DeepContext &Deep,
   };
 
   std::string FirstMismatch;
-  for (const TraceRecord &Rec : File.Traces) {
+  for (TraceRecord &Rec : File.Traces) {
     auto Flag = [&](const std::string &What) {
       ++R.TracesMismatched;
       if (FirstMismatch.empty())
@@ -127,11 +187,47 @@ std::string deepCheckFile(const CacheFile &File, const DeepContext &Deep,
     std::vector<isa::Instruction> Source(
         Insts->begin() + First,
         Insts->begin() + First + Rec.GuestInstCount);
-    auto Check = analysis::validateTranslation(Rec.GuestStart, Source,
-                                               *Translated);
+    // Certificate fast path: replay the recorded proof with the
+    // trusted checker, bound to the real module text.
+    bool CertRejected = false;
+    if (!Rec.Cert.empty()) {
+      ++R.CertsChecked;
+      analysis::CertBindings Bind;
+      Bind.BodyBytes = Rec.Code.data() + dbi::TracePrologueBytes;
+      Bind.BodyByteCount =
+          static_cast<size_t>(Rec.GuestInstCount) * isa::InstructionSize;
+      if (analysis::checkCertificateBlob(Rec.Cert.data(),
+                                         Rec.Cert.size(), Rec.GuestStart,
+                                         *Translated, &Source, &Bind)
+              .ok()) {
+        ++R.TracesVerified;
+        if (Rec.OptGen > 0)
+          ++R.TracesPromotedVerified;
+        continue;
+      }
+      ++R.CertsRejected;
+      CertRejected = true;
+    }
+    analysis::Certificate Fresh;
+    const bool WantFresh = Repair && Rec.OptGen > 0;
+    auto Check = analysis::validateTranslation(
+        Rec.GuestStart, Source, *Translated,
+        WantFresh ? &Fresh : nullptr);
     if (!Check.Equivalent) {
       Flag(Check.message());
       continue;
+    }
+    if (Rec.OptGen > 0 && (CertRejected || Rec.Cert.empty()))
+      ++R.CertsReplayedByProver;
+    if (WantFresh && (CertRejected || Rec.Cert.empty())) {
+      // The prover just vouched for this promoted body against the
+      // real source: persist that proof as a fresh certificate.
+      Fresh.OptGen = Rec.OptGen;
+      Rec.Cert = Fresh.serialize();
+      CertsDirty = true;
+    } else if (Repair && CertRejected) {
+      Rec.Cert.clear();
+      CertsDirty = true;
     }
     ++R.TracesVerified;
     if (Rec.OptGen > 0)
@@ -171,27 +267,51 @@ std::optional<FileCheckReport> checkFile(DirectoryStore &Store,
       R.State = FileState::Corrupt;
   };
 
-  // Deep semantic sweep, shared by the v1 and v2 clean paths. Returns
+  // Deep semantic sweep, shared by the v1 and v2 clean paths. Decides
   // the final file state: a mismatch makes the file corrupt (or
   // quarantined under Repair — semantically wrong code must leave the
-  // candidate set even though every checksum is fine).
-  auto DeepVerdict = [&](const CacheFile &File) {
-    std::string Mismatch = deepCheckFile(File, *Deep, R);
-    if (R.TracesMismatched == 0) {
-      R.State = FileState::Clean;
+  // candidate set even though every checksum is fine); a rejected
+  // certificate the prover overruled makes the file corrupt on a
+  // report-only pass and is repaired in place (stripped or
+  // regenerated) when \p CanRewrite.
+  auto DeepVerdict = [&](CacheFile &File, bool CanRewrite) {
+    bool CertsDirty = false;
+    std::string Mismatch =
+        deepCheckFile(File, *Deep, Repair && CanRewrite, R, CertsDirty);
+    if (R.TracesMismatched != 0) {
+      R.Detail = Mismatch;
+      if (Repair &&
+          Store
+              .quarantineRef(
+                  Path, encodeQuarantineReason(
+                            QuarantineReasonCode::SemanticMismatch,
+                            Mismatch))
+              .ok())
+        R.State = FileState::Quarantined;
+      else
+        R.State = FileState::Corrupt;
       return;
     }
-    R.Detail = Mismatch;
-    if (Repair &&
-        Store
-            .quarantineRef(
-                Path, encodeQuarantineReason(
-                          QuarantineReasonCode::SemanticMismatch,
-                          Mismatch))
-            .ok())
-      R.State = FileState::Quarantined;
-    else
+    if (CertsDirty && CanRewrite) {
+      if (Status W = writeFileAtomic(Path, File.serialize(),
+                                     /*SyncToDisk=*/true);
+          !W.ok()) {
+        R.State = FileState::Unreadable;
+        R.Detail = W.toString();
+        return;
+      }
+      R.State = FileState::Repaired;
+      return;
+    }
+    if (R.CertsRejected != 0) {
       R.State = FileState::Corrupt;
+      R.Detail = formatString(
+          "%u certificate(s) rejected; bodies re-proved by the full "
+          "validator",
+          R.CertsRejected);
+      return;
+    }
+    R.State = FileState::Clean;
   };
 
   if (!fileExists(Path))
@@ -242,10 +362,30 @@ std::optional<FileCheckReport> checkFile(DirectoryStore &Store,
         return R;
       }
       if (Deep) {
-        DeepVerdict(Out);
+        DeepVerdict(Out, /*CanRewrite=*/true);
         return R;
       }
-      R.State = FileState::Clean;
+      // Plain pass: self-contained certificate sweep (rejections are
+      // stripped in place under Repair — the trace survives on its
+      // intact payload, it just loses its fast-path proof).
+      std::string CertReject = certSweepFile(Out, Repair, R);
+      if (R.CertsRejected == 0) {
+        R.State = FileState::Clean;
+        return R;
+      }
+      R.Detail = CertReject;
+      if (!Repair) {
+        R.State = FileState::Corrupt;
+        return R;
+      }
+      if (Status W = writeFileAtomic(Path, Out.serialize(),
+                                     /*SyncToDisk=*/true);
+          !W.ok()) {
+        R.State = FileState::Unreadable;
+        R.Detail = W.toString();
+        return R;
+      }
+      R.State = FileState::Repaired;
       return R;
     }
     if (!Repair) {
@@ -299,7 +439,9 @@ std::optional<FileCheckReport> checkFile(DirectoryStore &Store,
   }
   R.TracesKept = static_cast<uint32_t>(File->Traces.size());
   if (Deep) {
-    DeepVerdict(*File);
+    // Legacy v1 files predate certificates (and a rewrite would be a
+    // format upgrade), so no in-place certificate repair here.
+    DeepVerdict(*File, /*CanRewrite=*/false);
     return R;
   }
   R.State = FileState::Clean;
@@ -409,6 +551,9 @@ pcc::persist::checkDatabase(const std::string &Dir,
     if (R->Xip)
       ++Report.FilesXip;
     Report.TracesDropped += R->TracesDropped;
+    Report.CertsChecked += R->CertsChecked;
+    Report.CertsRejected += R->CertsRejected;
+    Report.CertsReplayedByProver += R->CertsReplayedByProver;
     Report.TracesVerified += R->TracesVerified;
     Report.TracesMismatched += R->TracesMismatched;
     Report.TracesUnverifiable += R->TracesUnverifiable;

@@ -83,6 +83,24 @@ struct FileCheckReport {
   bool Xip = false;
   uint32_t TracesKept = 0;
   uint32_t TracesDropped = 0; ///< Payload-CRC failures in this file.
+  /// \name Certificate results
+  /// Validation certificates (promoted traces carry one) are checked on
+  /// every pass. A plain pass runs the self-contained check: the
+  /// recorded proof is replayed against the certificate's own embedded
+  /// source and the record's body bytes — no guest modules needed. A
+  /// --deep pass binds the check to the real module text instead, and
+  /// falls back to the full symbolic prover when a certificate is
+  /// rejected or missing from a promoted body. Under --repair, rejected
+  /// certificates are stripped (plain) or regenerated from a successful
+  /// re-proof (--deep); the trace itself survives whenever the prover
+  /// vouches for it.
+  /// @{
+  uint32_t CertsChecked = 0;  ///< Certificates checked on this file.
+  uint32_t CertsRejected = 0; ///< Of those, failed the trusted checker.
+  /// Promoted bodies the full prover had to vouch for because their
+  /// certificate was rejected or absent (--deep passes only).
+  uint32_t CertsReplayedByProver = 0;
+  /// @}
   /// \name Deep-verification results (--deep passes only)
   /// @{
   uint32_t TracesVerified = 0;     ///< Proved effect-equivalent.
@@ -105,6 +123,10 @@ struct DbCheckReport {
   uint32_t FilesQuarantined = 0;
   uint32_t FilesXip = 0; ///< Execute-in-place (v3) files scanned.
   uint32_t TracesDropped = 0;
+  /// Certificate aggregates (see FileCheckReport).
+  uint32_t CertsChecked = 0;
+  uint32_t CertsRejected = 0;
+  uint32_t CertsReplayedByProver = 0;
   /// Deep-verification aggregates (zero unless Opts.Deep).
   uint32_t TracesVerified = 0;
   uint32_t TracesMismatched = 0;
@@ -129,7 +151,8 @@ struct DbCheckReport {
   /// corrupt or unreadable remains and no crash temporaries linger.
   bool clean() const {
     return FilesCorrupt == 0 && FilesUnreadable == 0 &&
-           TracesMismatched == 0 && TempsFound == TempsSwept;
+           TracesMismatched == 0 && CertsRejected == 0 &&
+           TempsFound == TempsSwept;
   }
 };
 

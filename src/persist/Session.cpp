@@ -2,6 +2,8 @@
 
 #include "persist/Session.h"
 
+#include "analysis/CertChecker.h"
+#include "analysis/Certificate.h"
 #include "analysis/Optimizer.h"
 #include "analysis/Validator.h"
 #include "persist/RecordingHooks.h"
@@ -238,37 +240,90 @@ ErrorOr<PrimeResult> PersistentSession::prime(dbi::Engine &Engine) {
       return Map->touch(PayloadId, Page);
     });
   }
-  if (Opts.ValidateSemantic) {
-    // Deep verification at materialization: whenever a primed trace's
-    // body is decoded (first execution, prevalidation, or a background
-    // worker's result being consumed), it must prove effect-equivalent
-    // to the guest instructions at its start address. A mismatch drops
-    // the trace for retranslation — and, once per session, quarantines
-    // the source cache so later runs stop re-priming a miscompiled
-    // database.
+  if (Opts.ValidateSemantic || !PrimedCerts.empty()) {
+    // Verification at materialization: whenever a primed trace's body
+    // is decoded (first execution, prevalidation, or a background
+    // worker's result being consumed), it is checked against the guest
+    // instructions at its start address. Promoted traces that rode in
+    // with a validation certificate go through the minimal trusted
+    // checker (no fixpoint solving); a rejected certificate — and any
+    // promoted trace without one — falls back to the full symbolic
+    // validator. Under Opts.ValidateSemantic, unpromoted traces are
+    // fully proved too. A trace that fails every applicable check is
+    // dropped for retranslation — and, once per session, the source
+    // cache is quarantined so later runs stop re-priming a miscompiled
+    // database (CertificateInvalid when a certificate lied and the
+    // re-proof agreed it was wrong; SemanticMismatch otherwise).
     std::shared_ptr<CacheStore> StorePtr = Db.backend();
     auto AlreadyQuarantined = std::make_shared<bool>(false);
     std::string Ref = Result.CachePath;
     loader::AddressSpace &Space = Engine.machine().space();
+    auto Certs = std::make_shared<
+        std::unordered_map<uint32_t, std::vector<uint8_t>>>(
+        std::move(PrimedCerts));
+    PrimedCerts.clear();
+    const bool ValidateAll = Opts.ValidateSemantic;
     Engine.setMaterializeValidator(
-        [&Space, StorePtr, AlreadyQuarantined,
-         Ref](uint32_t GuestStart,
-              const std::vector<isa::Instruction> &Body) -> Status {
+        [&Space, StorePtr, AlreadyQuarantined, Ref, Certs, ValidateAll](
+            uint32_t GuestStart,
+            const std::vector<isa::Instruction> &Body,
+            dbi::Engine::MaterializeCheckInfo &Info) -> Status {
+          auto QuarantineOnce = [&](QuarantineReasonCode Code,
+                                    const std::string &Detail) {
+            if (!*AlreadyQuarantined && !Ref.empty()) {
+              *AlreadyQuarantined = true;
+              (void)StorePtr->quarantineRef(
+                  Ref, annotatedQuarantineReason(Ref, Code, Detail));
+            }
+          };
+          auto It = Certs->find(GuestStart);
+          if (It == Certs->end() && !ValidateAll)
+            return Status::success(); // Unpromoted, not validating.
           auto Source = fetchGuestSource(
               Space, GuestStart, static_cast<uint32_t>(Body.size()));
           if (!Source)
             return Source.status();
+          bool CertRejected = false;
+          std::string CertDetail;
+          if (It != Certs->end() && !It->second.empty()) {
+            // Certificate fast path: replay the recorded proof with
+            // the trusted checker, bound to the live guest bytes.
+            ++Info.CertsChecked;
+            analysis::CertCheckResult R = analysis::checkCertificateBlob(
+                It->second.data(), It->second.size(), GuestStart, Body,
+                &*Source);
+            if (R.ok()) {
+              Info.Verified = true;
+              return Status::success();
+            }
+            ++Info.CertChecksFailed;
+            CertRejected = true;
+            CertDetail = std::string(certCheckStatusName(R.Status)) +
+                         (R.Detail.empty() ? "" : ": " + R.Detail);
+          }
+          // Full symbolic proof: the prover backstop for a rejected or
+          // missing certificate on a promoted body, and the
+          // ValidateSemantic path for unpromoted ones.
+          if (It != Certs->end())
+            ++Info.ProofsReplayed;
           auto Check =
               analysis::validateTranslation(GuestStart, *Source, Body);
-          if (Check.Equivalent)
+          if (Check.Equivalent) {
+            Info.Verified = true;
             return Status::success();
-          if (!*AlreadyQuarantined && !Ref.empty()) {
-            *AlreadyQuarantined = true;
-            (void)StorePtr->quarantineRef(
-                Ref, annotatedQuarantineReason(
-                         Ref, QuarantineReasonCode::SemanticMismatch,
-                         Check.message()));
           }
+          if (CertRejected) {
+            QuarantineOnce(QuarantineReasonCode::CertificateInvalid,
+                           "certificate rejected (" + CertDetail +
+                               ") and re-proof failed: " +
+                               Check.message());
+            return Status::error(ErrorCode::InvalidFormat,
+                                 "certificate rejected and re-proof "
+                                 "failed: " +
+                                     Check.message());
+          }
+          QuarantineOnce(QuarantineReasonCode::SemanticMismatch,
+                         Check.message());
           return Status::error(ErrorCode::InvalidFormat,
                                "translation validation failed: " +
                                    Check.message());
@@ -414,6 +469,7 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
     uint32_t OptGen = 0;
     std::vector<dbi::TraceExit> Exits;
     std::vector<uint32_t> LinkedStarts;
+    std::vector<uint8_t> Cert;
   };
   std::vector<PendingInstall> Installs;
   std::vector<uint8_t> Pool;
@@ -455,6 +511,11 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
     Install.GuestInstCount = Rec.GuestInstCount;
     Install.Heat = Rec.Heat;
     Install.OptGen = Rec.OptGen;
+    // A certificate binds to the exact stored body bytes, so a rebase
+    // invalidates it: the promoted trace is then re-proved in full at
+    // materialization (empty map entry).
+    if (Opts.CheckCertificates && Rec.OptGen > 0 && D == 0)
+      Install.Cert = Rec.Cert;
     bool BadExit = false;
     for (const ExitRecord &Exit : Rec.Exits) {
       if (Exit.Kind > static_cast<uint8_t>(ExitKind::Halt)) {
@@ -515,6 +576,8 @@ Status PersistentSession::installCache(dbi::Engine &Engine,
       ++Result.TracesSkipped;
       continue;
     }
+    if (Opts.CheckCertificates && Install.OptGen > 0)
+      PrimedCerts.emplace(Install.NewStart, std::move(Install.Cert));
     ByStart.emplace(Install.NewStart, *Added);
     LinkWork.emplace_back(*Added, std::move(Install.LinkedStarts));
     ++Result.TracesInstalled;
@@ -578,6 +641,7 @@ ErrorOr<bool> PersistentSession::installViewXip(
     uint32_t OptGen = 0;
     std::vector<dbi::TraceExit> Exits;
     std::vector<uint32_t> LinkedStarts;
+    std::vector<uint8_t> Cert;
   };
   std::vector<PendingInstall> Installs;
   std::unordered_set<uint32_t> SeenStarts;
@@ -608,6 +672,13 @@ ErrorOr<bool> PersistentSession::installViewXip(
     Install.TraceIndex = TraceI;
     Install.Heat = E.Heat;
     Install.OptGen = E.OptGen;
+    if (Opts.CheckCertificates && E.OptGen > 0) {
+      // XIP never rebases (delta zero everywhere), so a certificate
+      // stays bound to the mapped body bytes as-is.
+      auto [CertData, CertSize] = View.certBlobOf(TraceI);
+      if (CertData)
+        Install.Cert.assign(CertData, CertData + CertSize);
+    }
     for (const ExitRecord &Exit : View.readExits(TraceI)) {
       if (Exit.Kind > static_cast<uint8_t>(ExitKind::Halt))
         return false;
@@ -661,6 +732,8 @@ ErrorOr<bool> PersistentSession::installViewXip(
       ++Result.TracesSkipped;
       continue;
     }
+    if (Opts.CheckCertificates && Install.OptGen > 0)
+      PrimedCerts.emplace(Install.Start, std::move(Install.Cert));
     ByStart.emplace(Install.Start, *Added);
     LinkWork.emplace_back(*Added, std::move(Install.LinkedStarts));
     ++Result.TracesInstalled;
@@ -720,6 +793,7 @@ Status PersistentSession::installView(dbi::Engine &Engine,
     std::vector<dbi::TraceExit> Exits;
     std::vector<uint32_t> LinkedStarts;
     std::unique_ptr<dbi::PersistedPayload> Payload;
+    std::vector<uint8_t> Cert;
   };
   std::vector<PendingInstall> Installs;
   std::vector<uint8_t> Pool;
@@ -790,6 +864,14 @@ Status PersistentSession::installView(dbi::Engine &Engine,
     Install.TraceIndex = TraceI;
     Install.Heat = E.Heat;
     Install.OptGen = E.OptGen;
+    // A certificate binds to the exact stored body bytes, so a rebase
+    // invalidates it: the promoted trace is then re-proved in full at
+    // materialization (empty map entry).
+    if (Opts.CheckCertificates && E.OptGen > 0 && D == 0) {
+      auto [CertData, CertSize] = View.certBlobOf(TraceI);
+      if (CertData)
+        Install.Cert.assign(CertData, CertData + CertSize);
+    }
 
     Install.PoolOffset = static_cast<uint32_t>(Pool.size());
     Install.PoolBytes = E.CodeSize;
@@ -844,6 +926,8 @@ Status PersistentSession::installView(dbi::Engine &Engine,
       ++Result.TracesSkipped;
       continue;
     }
+    if (Opts.CheckCertificates && Install.OptGen > 0)
+      PrimedCerts.emplace(Install.NewStart, std::move(Install.Cert));
     if (AsyncPrime)
       AsyncJobs.push_back(std::move(Job));
     ByStart.emplace(Install.NewStart, *Added);
@@ -920,7 +1004,7 @@ void clearRelocBit(TraceRecord &Rec, uint32_t I) {
 /// register move carries no address-bearing immediate to rebase.
 bool promoteRecord(TraceRecord &Rec,
                    const std::vector<isa::Instruction> &Source, bool Pic,
-                   OptOutcome &Out) {
+                   bool EmitCerts, OptOutcome &Out) {
   auto Decoded = isa::decodeAll(
       Rec.Code.data() + dbi::TracePrologueBytes, Rec.GuestInstCount);
   if (!Decoded)
@@ -930,8 +1014,9 @@ bool promoteRecord(TraceRecord &Rec,
   analysis::TraceOptStats OS;
   analysis::optimizeTraceBody(Body, Rec.GuestStart,
                               /*AllowConstFold=*/!Pic, OS);
-  auto Check =
-      analysis::validateTranslation(Rec.GuestStart, Source, Body);
+  analysis::Certificate Cert;
+  auto Check = analysis::validateTranslation(
+      Rec.GuestStart, Source, Body, EmitCerts ? &Cert : nullptr);
   if (!Check.Equivalent) {
     ++Out.Rejections;
     return false;
@@ -944,6 +1029,15 @@ bool promoteRecord(TraceRecord &Rec,
       if (!sameInst(Body[I], Original[I]))
         clearRelocBit(Rec, I);
   ++Rec.OptGen;
+  // The proof just ran against the new body: persist it as this
+  // record's certificate. Any prior-generation certificate is stale
+  // (it bound to the pre-promotion bytes) and must not survive.
+  if (EmitCerts) {
+    Cert.OptGen = Rec.OptGen;
+    Rec.Cert = Cert.serialize();
+  } else {
+    Rec.Cert.clear();
+  }
   ++Out.TracesPromoted;
   Out.LoadsEliminated += OS.LoadsEliminated;
   Out.ConstsFolded += OS.ConstsFolded;
@@ -957,7 +1051,7 @@ bool promoteRecord(TraceRecord &Rec,
 /// guest state — so it runs equally inline or on a pool worker.
 void promoteCacheFile(CacheFile &File, const OptSourceMap &Sources,
                       uint32_t MaxGen, uint32_t MaxSuperblockInsts,
-                      OptOutcome &Out) {
+                      bool EmitCerts, OptOutcome &Out) {
   const bool Pic = File.PositionIndependent;
 
   // Candidate set: traces whose guest source was snapshotted (the heat
@@ -1040,8 +1134,9 @@ void promoteCacheFile(CacheFile &File, const OptSourceMap &Sources,
     analysis::TraceOptStats OS;
     analysis::optimizeTraceBody(Body, Merged.GuestStart,
                                 /*AllowConstFold=*/!Pic, OS);
-    auto Check =
-        analysis::validateTranslation(Merged.GuestStart, Source, Body);
+    analysis::Certificate Cert;
+    auto Check = analysis::validateTranslation(
+        Merged.GuestStart, Source, Body, EmitCerts ? &Cert : nullptr);
     if (!Check.Equivalent) {
       ++Out.Rejections;
       continue;
@@ -1058,6 +1153,10 @@ void promoteCacheFile(CacheFile &File, const OptSourceMap &Sources,
     std::copy(Encoded.begin(), Encoded.end(),
               Merged.Code.begin() + dbi::TracePrologueBytes);
     ++Merged.OptGen;
+    if (EmitCerts) {
+      Cert.OptGen = Merged.OptGen;
+      Merged.Cert = Cert.serialize();
+    }
     File.Traces[CandIdx[Chain[0]]] = std::move(Merged);
     Done[Chain[0]] = true;
     ++Out.SuperblocksFormed;
@@ -1072,7 +1171,7 @@ void promoteCacheFile(CacheFile &File, const OptSourceMap &Sources,
     if (Done[CI])
       continue;
     promoteRecord(File.Traces[CandIdx[CI]], Sources.at(Cands[CI].Start),
-                  Pic, Out);
+                  Pic, EmitCerts, Out);
   }
 }
 
@@ -1172,7 +1271,7 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
   // otherwise be re-published under a fresh checksum. A mismatch skips
   // just that trace.
   const loader::AddressSpace &Space = Engine.machine().space();
-  auto semanticallyValid = [&](const TraceRecord &Rec) -> bool {
+  auto semanticallyValid = [&](TraceRecord &Rec) -> bool {
     if (!Opts.ValidateSemantic)
       return true;
     auto Translated =
@@ -1183,15 +1282,81 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
                                       Rec.GuestInstCount)
                    : ErrorOr<std::vector<isa::Instruction>>(
                          Translated.status());
-    if (!Translated || !Source ||
-        !analysis::validateTranslation(Rec.GuestStart, *Source,
+    if (!Translated || !Source) {
+      ++Engine.stats().VerifyFailures;
+      return false;
+    }
+    // Certificate fast path: a record that still carries its promotion
+    // certificate is verified by the trusted checker; only a rejected
+    // (or absent) certificate pays for the full symbolic proof.
+    const bool HadCert = !Rec.Cert.empty();
+    analysis::CertBindings Bind;
+    Bind.BodyBytes = Rec.Code.data() + dbi::TracePrologueBytes;
+    Bind.BodyByteCount =
+        static_cast<size_t>(Rec.GuestInstCount) * isa::InstructionSize;
+    if (HadCert &&
+        analysis::checkCertificateBlob(Rec.Cert.data(), Rec.Cert.size(),
+                                       Rec.GuestStart, *Translated,
+                                       &*Source, &Bind)
+            .ok()) {
+      ++Engine.stats().TracesVerified;
+      return true;
+    }
+    if (!analysis::validateTranslation(Rec.GuestStart, *Source,
                                        *Translated)
              .Equivalent) {
       ++Engine.stats().VerifyFailures;
       return false;
     }
+    // The prover vouches for the body but the certificate did not:
+    // drop the stale certificate, keep the trace.
+    if (HadCert)
+      Rec.Cert.clear();
     ++Engine.stats().TracesVerified;
     return true;
+  };
+
+  // Resident traces harvested from the engine pool lost their record
+  // envelopes at install — certificates included. Re-attach each
+  // promoted trace's certificate from the primed file when the body
+  // bytes still match exactly (CRC-bound), so an executed-but-
+  // unmodified promotion keeps its proof across generations without
+  // re-proving.
+  std::unordered_map<uint32_t, std::pair<const uint8_t *, size_t>>
+      PriorCerts;
+  if (LoadedCache) {
+    for (const TraceRecord &Rec : LoadedCache->Traces)
+      if (!Rec.Cert.empty())
+        PriorCerts.emplace(
+            Rec.GuestStart,
+            std::make_pair(Rec.Cert.data(), Rec.Cert.size()));
+  } else if (LoadedView && LoadedView->certsPresent()) {
+    for (uint32_t J = 0; J != LoadedView->numTraces(); ++J) {
+      auto [CertData, CertSize] = LoadedView->certBlobOf(J);
+      if (CertData)
+        PriorCerts.emplace(LoadedView->entry(J).GuestStart,
+                           std::make_pair(CertData, CertSize));
+    }
+  }
+  auto reattachCert = [&](TraceRecord &Rec) {
+    if (Rec.OptGen == 0 || !Rec.Cert.empty() || PriorCerts.empty())
+      return;
+    auto It = PriorCerts.find(Rec.GuestStart);
+    if (It == PriorCerts.end())
+      return;
+    auto Peek =
+        analysis::peekCertificate(It->second.first, It->second.second);
+    if (!Peek || Peek->GuestStart != Rec.GuestStart ||
+        Peek->InstCount != Rec.GuestInstCount)
+      return;
+    const size_t InstBytes =
+        static_cast<size_t>(Rec.GuestInstCount) * isa::InstructionSize;
+    if (Rec.Code.size() < dbi::TracePrologueBytes + InstBytes ||
+        crc32(Rec.Code.data() + dbi::TracePrologueBytes, InstBytes) !=
+            Peek->BodyCrc)
+      return; // Body changed (rebase, recompile): certificate is stale.
+    Rec.Cert.assign(It->second.first,
+                    It->second.first + It->second.second);
   };
 
   for (const auto &T : Cache.traces()) {
@@ -1230,6 +1395,7 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
             rebaseImmediate(Rec.Code, I, P->RebaseDelta);
       if (Opts.PositionIndependent)
         Rec.RelocMask = P->RelocMask;
+      reattachCert(Rec);
       if (!semanticallyValid(Rec))
         continue;
       File.Traces.push_back(std::move(Rec));
@@ -1259,6 +1425,7 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
           Rec.setRelocBit(I);
       }
     }
+    reattachCert(Rec);
     if (!semanticallyValid(Rec))
       continue;
     File.Traces.push_back(std::move(Rec));
@@ -1435,11 +1602,13 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
                        Sources = std::move(OptSources),
                        MaxGen = Opts.OptMaxGen,
                        MaxSb = Opts.OptMaxSuperblockInsts,
+                       EmitCerts = Opts.EmitCertificates,
                        StoreAsPath = Opts.StoreAsPath,
                        Key = LookupKey, BaseGeneration, Attempts] {
       OptOutcome Opt;
       if (!Sources.empty())
-        promoteCacheFile(*FilePtr, Sources, MaxGen, MaxSb, Opt);
+        promoteCacheFile(*FilePtr, Sources, MaxGen, MaxSb, EmitCerts,
+                         Opt);
       PublishOutcome Out =
           publishWithBreaker(*StorePtr, StoreAsPath, Key,
                              BaseGeneration, Attempts,
@@ -1465,7 +1634,8 @@ Status PersistentSession::finalize(dbi::Engine &Engine) {
   OptOutcome Opt;
   if (!OptSources.empty())
     promoteCacheFile(File, OptSources, Opts.OptMaxGen,
-                     Opts.OptMaxSuperblockInsts, Opt);
+                     Opts.OptMaxSuperblockInsts, Opts.EmitCertificates,
+                     Opt);
   Stats.TracesPromoted += Opt.TracesPromoted;
   Stats.SuperblocksFormed += Opt.SuperblocksFormed;
   Stats.OptLoadsEliminated += Opt.LoadsEliminated;

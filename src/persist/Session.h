@@ -53,6 +53,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace pcc {
@@ -125,6 +126,25 @@ struct PersistOptions {
   /// skips just that trace. Verified/failed counts land in
   /// EngineStats::TracesVerified / VerifyFailures.
   bool ValidateSemantic = false;
+  /// Check persisted validation certificates at prime time: every
+  /// promoted (OptGen > 0) trace that rode in with a certificate is
+  /// re-verified by the minimal trusted checker
+  /// (analysis::checkCertificateBlob) when its body is first
+  /// materialized — no fixpoint solving, just replaying the recorded
+  /// proof against the live guest bytes. A rejected certificate falls
+  /// back to the full symbolic validator; if that also fails, the
+  /// trace is dropped and the source cache quarantined with
+  /// QuarantineReasonCode::CertificateInvalid. Promoted traces with no
+  /// usable certificate (rebased, or written before certificates
+  /// existed) are re-proved in full. Counts land in
+  /// EngineStats::CertsChecked / CertChecksFailed / ProofsReplayed.
+  bool CheckCertificates = true;
+  /// Emit a validation certificate with every finalize-time promotion:
+  /// the validator's successful proof is serialized into the trace
+  /// record so later primes can verify the promoted body with the
+  /// trusted checker instead of re-proving it. Files with no certified
+  /// traces stay byte-identical to pre-certificate output.
+  bool EmitCertificates = true;
   /// Finalize-time AOT optimization tier: promote hot traces (lifetime
   /// heat >= OptHeatThreshold) to a higher optimization generation
   /// before the cache is published — superblock formation across
@@ -299,6 +319,13 @@ private:
   std::shared_ptr<CacheFileView> LoadedView;
   std::vector<bool> ModuleValidated; ///< Per LoadedCache module.
   std::vector<bool> ModuleLoadedNow; ///< Per LoadedCache module.
+  /// Promoted traces installed by prime(), keyed by their (rebased)
+  /// start address: the value is the validation certificate that rode
+  /// in with the record, or empty when none is usable (rebase delta,
+  /// or a pre-certificate file). Consumed by the materialize-check
+  /// hook, which certificate-checks the former and re-proves the
+  /// latter in full.
+  std::unordered_map<uint32_t, std::vector<uint8_t>> PrimedCerts;
   bool LoadedWasOwn = false; ///< Cache came from this app's own slot.
   uint64_t LookupKey = 0;
   uint64_t EngineHash = 0;

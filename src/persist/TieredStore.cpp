@@ -2,6 +2,9 @@
 
 #include "persist/TieredStore.h"
 
+#include "analysis/CertChecker.h"
+#include "dbi/Compiler.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
@@ -72,6 +75,36 @@ TieredStore::fetchIntoL1Locked(const std::string &Name,
     return Remote.status();
   }
   noteRemoteSuccess();
+  // Self-check the fetched records' validation certificates (the
+  // module-less trusted-checker pass: recorded proof vs embedded
+  // source vs body bytes). Blobs pass through unmodified either way —
+  // prime re-checks against the live guest and owns the quarantine
+  // decision; this is the fleet's early-warning telemetry for a
+  // poisoned or bit-rotted remote tier.
+  for (const TraceRecord &Rec : Remote->Traces) {
+    if (Rec.Cert.empty())
+      continue;
+    ++CertFillChecks;
+    if (Rec.Code.size() < dbi::TracePrologueBytes +
+                              static_cast<size_t>(Rec.GuestInstCount) *
+                                  isa::InstructionSize) {
+      ++CertFillRejects;
+      continue;
+    }
+    auto Body =
+        isa::decodeAll(Rec.Code.data() + dbi::TracePrologueBytes,
+                       Rec.GuestInstCount);
+    analysis::CertBindings Bind;
+    Bind.BodyBytes = Rec.Code.data() + dbi::TracePrologueBytes;
+    Bind.BodyByteCount =
+        static_cast<size_t>(Rec.GuestInstCount) * isa::InstructionSize;
+    if (!Body ||
+        !analysis::checkCertificateBlob(Rec.Cert.data(),
+                                        Rec.Cert.size(), Rec.GuestStart,
+                                        *Body, nullptr, &Bind)
+             .ok())
+      ++CertFillRejects;
+  }
   uint64_t Size = Remote->serializedSize();
   uint64_t Cycles = remoteCycles(Size);
   ++RemoteFetches;
@@ -574,6 +607,8 @@ TieredStats TieredStore::tieredStats() const {
   S.L1Evictions = L1Evictions.load(std::memory_order_relaxed);
   S.ModeledRemoteCycles =
       ModeledRemoteCycles.load(std::memory_order_relaxed);
+  S.CertFillChecks = CertFillChecks.load(std::memory_order_relaxed);
+  S.CertFillRejects = CertFillRejects.load(std::memory_order_relaxed);
   S.RemoteDisabled = remoteDisabled();
   return S;
 }

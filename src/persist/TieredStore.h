@@ -95,6 +95,14 @@ struct TieredStats {
   uint64_t L1Evictions = 0;   ///< Files the L1 quota evicted.
   uint64_t ModeledRemoteCycles = 0; ///< Latency+bandwidth charges of
                                     ///< every fetch and publish.
+  uint64_t CertFillChecks = 0;  ///< Validation certificates
+                                ///< self-checked on L2->L1 fills (the
+                                ///< module-less trusted-checker pass).
+  uint64_t CertFillRejects = 0; ///< Of those, rejected. The blob is
+                                ///< passed through unmodified — prime
+                                ///< re-checks and quarantines with the
+                                ///< full story; this counter is the
+                                ///< fleet's early-warning signal.
   bool RemoteDisabled = false; ///< Circuit breaker currently open.
 };
 
@@ -208,6 +216,7 @@ private:
   std::atomic<uint64_t> RemotePublishes{0}, RemotePublishBytes{0};
   std::atomic<uint64_t> RemoteFailures{0}, L1Evictions{0};
   std::atomic<uint64_t> ModeledRemoteCycles{0};
+  std::atomic<uint64_t> CertFillChecks{0}, CertFillRejects{0};
 };
 
 } // namespace persist

@@ -39,6 +39,9 @@ void writeStats(ByteWriter &W, const dbi::EngineStats &S) {
   W.writeU64(S.PersistSharedPageHits);
   W.writeU64(S.TracesVerified);
   W.writeU64(S.VerifyFailures);
+  W.writeU64(S.CertsChecked);
+  W.writeU64(S.CertChecksFailed);
+  W.writeU64(S.ProofsReplayed);
   W.writeU64(S.FlagsElided);
   W.writeU64(S.PersistL1Hits);
   W.writeU64(S.PersistL2Hits);
@@ -83,6 +86,9 @@ dbi::EngineStats readStats(ByteReader &R) {
   S.PersistSharedPageHits = R.readU64();
   S.TracesVerified = R.readU64();
   S.VerifyFailures = R.readU64();
+  S.CertsChecked = R.readU64();
+  S.CertChecksFailed = R.readU64();
+  S.ProofsReplayed = R.readU64();
   S.FlagsElided = R.readU64();
   S.PersistL1Hits = R.readU64();
   S.PersistL2Hits = R.readU64();
@@ -332,6 +338,9 @@ std::string replay::diffStats(const dbi::EngineStats &A,
   PCC_CHECK_FIELD(PersistSharedPageHits);
   PCC_CHECK_FIELD(TracesVerified);
   PCC_CHECK_FIELD(VerifyFailures);
+  PCC_CHECK_FIELD(CertsChecked);
+  PCC_CHECK_FIELD(CertChecksFailed);
+  PCC_CHECK_FIELD(ProofsReplayed);
   PCC_CHECK_FIELD(FlagsElided);
   PCC_CHECK_FIELD(PersistL1Hits);
   PCC_CHECK_FIELD(PersistL2Hits);

@@ -48,7 +48,9 @@ namespace replay {
 /// "PCRR" in little-endian byte order.
 inline constexpr uint32_t LogMagic = 0x52524350;
 /// Bump on any layout change to the body or trailer.
-inline constexpr uint32_t LogVersion = 1;
+/// v2: EngineStats gained the certificate counters (CertsChecked,
+/// CertChecksFailed, ProofsReplayed).
+inline constexpr uint32_t LogVersion = 2;
 
 /// The run configuration knobs that affect engine-visible results.
 struct RecordedConfig {

@@ -173,6 +173,7 @@ pcc::workloads::runFleet(const FleetOptions &Opts) {
     uint64_t L1Hits = 0, L2Hits = 0;
     uint64_t RemoteFetches = 0, RemoteBytes = 0;
     uint64_t TracesCompiled = 0;
+    uint64_t CertsChecked = 0, CertChecksFailed = 0, ProofsReplayed = 0;
   };
 
   FleetReport Report;
@@ -193,6 +194,12 @@ pcc::workloads::runFleet(const FleetOptions &Opts) {
       persist::CacheDatabase Db(MachineStores[M]);
       persist::PersistOptions Persist;
       Persist.InterApplication = true; // Donor adoption across versions.
+      // The opt-tier leg promotes hot traces at finalize; later rounds
+      // then prime certificate-carrying promoted bodies. Note
+      // ValidateSemantic stays off: the trusted checker (with its
+      // prover backstop) is the only prime-time verification, so the
+      // proof-work ledger measures exactly the deployment trade.
+      Persist.OptTier = Opts.OptTier;
       auto Result = runPersistent(Catalog.Registry, Variant.App,
                                   Variant.Input, Db, Persist);
       if (!Result) {
@@ -209,6 +216,9 @@ pcc::workloads::runFleet(const FleetOptions &Opts) {
       Sample.RemoteFetches = Result->Stats.PersistRemoteFetches;
       Sample.RemoteBytes = Result->Stats.PersistRemoteBytes;
       Sample.TracesCompiled = Result->Stats.TracesCompiled;
+      Sample.CertsChecked = Result->Stats.CertsChecked;
+      Sample.CertChecksFailed = Result->Stats.CertChecksFailed;
+      Sample.ProofsReplayed = Result->Stats.ProofsReplayed;
     };
     if (Opts.Pool)
       Opts.Pool->parallelFor(Opts.Machines, RunMachine);
@@ -229,6 +239,9 @@ pcc::workloads::runFleet(const FleetOptions &Opts) {
       Agg.RemoteFetches += Sample.RemoteFetches;
       Agg.RemoteFetchBytes += Sample.RemoteBytes;
       Agg.TracesCompiled += Sample.TracesCompiled;
+      Agg.CertsChecked += Sample.CertsChecked;
+      Agg.CertChecksFailed += Sample.CertChecksFailed;
+      Agg.ProofsReplayed += Sample.ProofsReplayed;
       Ttfts.push_back(Sample.Ttft);
     }
     std::sort(Ttfts.begin(), Ttfts.end());
@@ -249,7 +262,39 @@ pcc::workloads::runFleet(const FleetOptions &Opts) {
     Agg.RemotePublishBytes = PublishBytes - PublishBytesBefore;
     PublishBytesBefore = PublishBytes;
 
+    Report.CertsChecked += Agg.CertsChecked;
+    Report.CertChecksFailed += Agg.CertChecksFailed;
+    Report.ProofsReplayed += Agg.ProofsReplayed;
     Report.Rounds.push_back(Agg);
+
+    // Adversarial injection between rounds: corrupt every validation
+    // certificate currently in the shared tier (one bit each — the
+    // blob's own CRC plus the proof replay make any flip detectable).
+    // Machines that read the file through in the next round must see
+    // the trusted checker reject it and the prover re-vouch for the
+    // body; machines still holding an intact L1 copy are unaffected.
+    // No run may ever accept a tampered certificate.
+    if (Opts.TamperCerts && Opts.WithL2 && Round + 1 != Opts.Rounds) {
+      auto Refs = L2->listRefs();
+      if (!Refs)
+        return Refs.status();
+      for (const std::string &Ref : *Refs) {
+        auto File = L2->loadRef(Ref);
+        if (!File)
+          continue; // Racing shrink/retire; nothing to tamper.
+        bool Dirty = false;
+        for (persist::TraceRecord &Rec : File->Traces) {
+          if (Rec.Cert.empty())
+            continue;
+          Rec.Cert[Rec.Cert.size() / 2] ^= 0x10;
+          ++Report.CertsTampered;
+          Dirty = true;
+        }
+        if (Dirty)
+          if (Status S = L2->putRef(Ref, *File); !S.ok())
+            return S;
+      }
+    }
   }
 
   if (Opts.WithL2) {
@@ -257,8 +302,12 @@ pcc::workloads::runFleet(const FleetOptions &Opts) {
       Report.L2Files = S->CacheFiles;
       Report.L2Bytes = S->DiskBytes;
     }
-    for (persist::TieredStore *Tier : Tiers)
-      Report.RemoteFailures += Tier->tieredStats().RemoteFailures;
+    for (persist::TieredStore *Tier : Tiers) {
+      persist::TieredStats S = Tier->tieredStats();
+      Report.RemoteFailures += S.RemoteFailures;
+      Report.CertFillChecks += S.CertFillChecks;
+      Report.CertFillRejects += S.CertFillRejects;
+    }
   }
   return Report;
 }

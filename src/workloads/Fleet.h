@@ -57,6 +57,21 @@ struct FleetOptions {
   /// With a shared L2 (TieredStore per machine over one remote store);
   /// off, every machine is L1-only — the no-L2 baseline.
   bool WithL2 = true;
+  /// Finalize-time AOT optimization tier on every machine's runs: hot
+  /// traces are promoted (validator-proved, certificate-emitting), so
+  /// later rounds prime promoted bodies and the proof-work ledger
+  /// (CertsChecked / CertChecksFailed / ProofsReplayed) fills in. The
+  /// fleet never enables ValidateSemantic — certificate checks are the
+  /// only prime-time verification, exactly the deployment the trusted
+  /// checker exists for.
+  bool OptTier = false;
+  /// Adversarial injection: between rounds, flip one bit in every
+  /// validation certificate stored in the shared L2 tier. Every
+  /// tampered certificate must be rejected by the trusted checker at
+  /// its next prime (never falsely accepted) and its body re-proved by
+  /// the full validator — the soundness property the simulation gates
+  /// on.
+  bool TamperCerts = false;
   /// Tier policy for every machine's store (quotas, modeled remote
   /// charges, breaker) in tiered mode.
   persist::TieredOptions Tier;
@@ -78,6 +93,16 @@ struct FleetRound {
   uint64_t RemoteFetchBytes = 0;
   uint64_t RemotePublishBytes = 0;
   uint64_t TracesCompiled = 0; ///< Fleet-wide translation work done.
+  /// \name Proof-work ledger
+  /// Prime-time verification work across the round's machines: how
+  /// many promoted installs the trusted checker served, how many
+  /// certificates it rejected, and how many bodies needed the full
+  /// symbolic prover (rejected or certificate-less).
+  /// @{
+  uint64_t CertsChecked = 0;
+  uint64_t CertChecksFailed = 0;
+  uint64_t ProofsReplayed = 0;
+  /// @}
   /// Modeled time-to-first-trace of the interactive phase: every cycle
   /// from engine start until the startup input is drained and the app's
   /// first interactive trace can run — key hashing, cache open, remote
@@ -99,6 +124,26 @@ struct FleetReport {
   /// Whether the cumulative hit rate never decreased round over round —
   /// the convergence property the shared tier exists to provide.
   bool MonotoneConvergence = true;
+  /// \name Proof-work ledger totals
+  /// @{
+  uint64_t CertsChecked = 0;
+  uint64_t CertChecksFailed = 0;
+  uint64_t ProofsReplayed = 0;
+  /// Certificates the tamper pass bit-flipped in L2 (Opts.TamperCerts).
+  uint64_t CertsTampered = 0;
+  /// L2->L1 fill-time certificate telemetry, fleet-wide.
+  uint64_t CertFillChecks = 0;
+  uint64_t CertFillRejects = 0;
+  /// Of the promotion installs that needed prime-time verification,
+  /// the fraction the trusted checker served without the prover:
+  /// (CertsChecked - CertChecksFailed) / (that + ProofsReplayed).
+  /// 1.0 when no verification work happened at all.
+  double certServedRatio() const {
+    uint64_t Served = CertsChecked - CertChecksFailed;
+    uint64_t Work = Served + ProofsReplayed;
+    return Work == 0 ? 1.0 : double(Served) / double(Work);
+  }
+  /// @}
 };
 
 /// Runs the simulation. Deterministic for a fixed (options, pool-less)

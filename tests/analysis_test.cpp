@@ -578,8 +578,9 @@ TEST(Elision, ArchitecturalResultsIdenticalAndValidated) {
     EXPECT_EQ(Opt->Stats.VerifyFailures, 0u);
     EXPECT_EQ(Base->Stats.FlagsElided, 0u);
     TotalElided += Opt->Stats.FlagsElided;
-    if (Opt->Stats.FlagsElided != 0)
+    if (Opt->Stats.FlagsElided != 0) {
       EXPECT_GT(Opt->Stats.TracesVerified, 0u);
+    }
   }
   EXPECT_GT(TotalElided, 0u)
       << "no workload seed produced an elidable dead def";

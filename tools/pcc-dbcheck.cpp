@@ -36,8 +36,23 @@
 //                                      verdicts; exit 0 reproduced, 1
 //                                      not
 //
-// Exit status: 0 when the database is (now) clean, 1 when problems were
-// found (or remain after repair), 2 on usage errors.
+// Certificate contract (every pass): validation certificates on
+// promoted traces are always checked — a plain pass replays each
+// recorded proof against the certificate's own embedded source (no
+// modules needed); --deep binds the check to the real module text and
+// falls back to the full symbolic prover when a certificate is rejected
+// or missing. The report distinguishes certificates *checked*,
+// *replayed by the prover*, and *rejected*; any rejected certificate
+// makes the database NOT clean (exit 1) even when every CRC passes,
+// because a lying proof is exactly the corruption the certificate layer
+// exists to catch. Under --repair, rejected certificates are stripped
+// (plain pass) or regenerated from a successful re-proof (--deep); the
+// trace itself survives whenever the prover vouches for it.
+//
+// Exit status: 0 when the database is (now) clean — no corrupt or
+// unreadable files, no semantic mismatches, no rejected certificates,
+// no lingering crash temporaries; 1 when problems were found (or remain
+// after repair); 2 on usage errors.
 //
 //===----------------------------------------------------------------------===//
 
@@ -158,10 +173,14 @@ int main(int Argc, char **Argv) {
           "usage: pcc-dbcheck DIR [--repair | --quarantine | "
           "--restore NAME | --purge-quarantine] [--jobs N]\n"
           "  (no flag)          full check: every header, index and\n"
-          "                     trace-payload CRC; never mutates\n"
+          "                     trace-payload CRC, plus every validation\n"
+          "                     certificate replayed against its own\n"
+          "                     embedded source; never mutates\n"
           "  --repair           rebuild salvageable caches (dropping\n"
-          "                     corrupt traces), quarantine the rest,\n"
-          "                     sweep crash temporaries and stale locks\n"
+          "                     corrupt traces), strip or (under --deep)\n"
+          "                     regenerate rejected certificates,\n"
+          "                     quarantine the rest, sweep crash\n"
+          "                     temporaries and stale locks\n"
           "  --quarantine       list quarantined caches with reasons\n"
           "  --restore NAME     move a quarantined cache back in place\n"
           "  --purge-quarantine delete every quarantined cache\n"
@@ -169,9 +188,11 @@ int main(int Argc, char **Argv) {
           "                     report is identical for any N)\n"
           "  --deep             semantic verification: prove every\n"
           "                     CRC-intact trace effect-equivalent to\n"
-          "                     its module's guest code, re-proving\n"
-          "                     optimization-tier promoted bodies\n"
-          "                     offline (needs --module or --modules)\n"
+          "                     its module's guest code — certificates\n"
+          "                     checked against the real module text\n"
+          "                     first, full prover as the backstop for\n"
+          "                     rejected or missing ones (needs\n"
+          "                     --module or --modules)\n"
           "  --module FILE      serialized guest module for --deep\n"
           "  --modules MDIR     directory of .mod module files\n"
           "  --replay NAME      re-drive the quarantine's attached\n"
@@ -286,6 +307,12 @@ int main(int Argc, char **Argv) {
   if (Report->TracesDropped)
     std::printf("  traces       %u corrupt payload(s) dropped\n",
                 Report->TracesDropped);
+  if (Report->CertsChecked || Report->CertsRejected ||
+      Report->CertsReplayedByProver)
+    std::printf("  certificates %u checked, %u replayed by the full "
+                "prover, %u REJECTED\n",
+                Report->CertsChecked, Report->CertsReplayedByProver,
+                Report->CertsRejected);
   if (Deep) {
     std::printf("  deep verify  %u trace(s) proved equivalent, "
                 "%u mismatched, %u unverifiable\n",

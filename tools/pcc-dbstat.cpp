@@ -22,7 +22,11 @@
 //                                   of each cache the finalize-time AOT
 //                                   tier has promoted (files without
 //                                   the OptGen index field show every
-//                                   trace at generation 0)
+//                                   trace at generation 0) — plus each
+//                                   file's certificate coverage: of the
+//                                   promoted bodies, how many carry a
+//                                   validation certificate the trusted
+//                                   checker can consume at prime
 //   pcc-dbstat DIR --l2 DIR2        treat DIR as the local L1 of a
 //                                   tiered store with remote tier DIR2
 //                                   and print a per-tier summary line
@@ -107,7 +111,8 @@ int main(int Argc, char **Argv) {
           "                 every trace as heat 0)\n"
           "  --gens         per-file histogram of per-trace optimization\n"
           "                 generations (files without the OptGen index\n"
-          "                 field show every trace at generation 0)\n"
+          "                 field show every trace at generation 0) and\n"
+          "                 certificate coverage of the promoted bodies\n"
           "  --l2 DIR2      tiered view: DIR is the local L1, DIR2 the\n"
           "                 remote L2; prints one summary line per tier\n"
           "  --jobs N       scan N files in parallel (stats and\n"
@@ -320,16 +325,36 @@ int main(int Argc, char **Argv) {
         Rows[I] = {Name, "unreadable: " + View.status().toString(),
                    "",   "",
                    "",   "",
-                   "",   ""};
+                   "",   "",
+                   ""};
         return;
       }
       uint64_t Buckets[NumBuckets] = {};
       uint64_t Max = 0;
+      uint64_t Promoted = 0, Certified = 0;
       for (uint32_t T = 0; T != View->numTraces(); ++T) {
         uint32_t G = View->entry(T).OptGen;
         ++Buckets[G < NumBuckets - 1 ? G : NumBuckets - 1];
         Max = std::max<uint64_t>(Max, G);
+        // Certificate coverage: of the promoted (gen >= 1) bodies, how
+        // many carry a validation certificate the trusted checker can
+        // consume at prime — the rest pay a full re-proof when a
+        // verifying consumer loads them.
+        if (G > 0) {
+          ++Promoted;
+          if (View->certsPresent() && View->certBlobOf(T).first)
+            ++Certified;
+        }
       }
+      std::string CertCol = "-";
+      if (View->certSectionCorrupt())
+        CertCol = "corrupt";
+      else if (Promoted != 0)
+        CertCol = formatString("%llu/%llu (%.0f%%)",
+                               (unsigned long long)Certified,
+                               (unsigned long long)Promoted,
+                               100.0 * double(Certified) /
+                                   double(Promoted));
       Rows[I] = {Name,
                  formatString("%u", View->numTraces()),
                  formatString("%llu", (unsigned long long)Buckets[0]),
@@ -337,7 +362,8 @@ int main(int Argc, char **Argv) {
                  formatString("%llu", (unsigned long long)Buckets[2]),
                  formatString("%llu", (unsigned long long)Buckets[3]),
                  formatString("%llu", (unsigned long long)Buckets[4]),
-                 formatString("%llu", (unsigned long long)Max)};
+                 formatString("%llu", (unsigned long long)Max),
+                 CertCol};
       std::lock_guard<std::mutex> Guard(TotalMutex);
       for (size_t B = 0; B != NumBuckets; ++B)
         TotalBuckets[B] += Buckets[B];
@@ -349,13 +375,14 @@ int main(int Argc, char **Argv) {
         ScanOne(I);
     TablePrinter Table("per-trace optimization generations");
     Table.addRow({"file", "traces", "gen0", "gen1", "gen2", "gen3",
-                  ">=4", "max"});
+                  ">=4", "max", "certs"});
     for (std::vector<std::string> &Row : Rows)
       Table.addRow(std::move(Row));
     std::vector<std::string> Sum = {"(all)", ""};
     for (size_t B = 0; B != NumBuckets; ++B)
       Sum.push_back(
           formatString("%llu", (unsigned long long)TotalBuckets[B]));
+    Sum.push_back("");
     Sum.push_back("");
     Table.addRow(std::move(Sum));
     Table.print();
@@ -445,17 +472,17 @@ int main(int Argc, char **Argv) {
                 Stats->QuarantinedFiles);
     // Break the quarantine down by machine-readable reason code, so a
     // semantic-mismatch epidemic is visible at a glance.
-    uint32_t ByCode[5] = {};
+    uint32_t ByCode[6] = {};
     uint32_t WithReplayLog = 0;
     if (auto Entries = Db.quarantined()) {
       for (const QuarantineEntry &E : *Entries) {
-        ByCode[static_cast<uint8_t>(E.Code) < 5
+        ByCode[static_cast<uint8_t>(E.Code) < 6
                    ? static_cast<uint8_t>(E.Code)
                    : 0]++;
         if (!E.ReplayLog.empty())
           ++WithReplayLog;
       }
-      for (uint8_t C = 0; C < 5; ++C)
+      for (uint8_t C = 0; C < 6; ++C)
         if (ByCode[C] != 0)
           std::printf("    %-18s %u\n",
                       quarantineReasonCodeName(

@@ -18,9 +18,27 @@
 //     --jobs N        machines running concurrently
 //                     (default: host cores - 1)
 //     --no-baseline   skip the no-L2 comparison run
+//     --opt-tier      enable the finalize-time optimization tier on
+//                     every machine: hot traces are promoted with
+//                     validation certificates, and the report gains the
+//                     proof-work ledger (prime-time certificate checks
+//                     vs full symbolic re-proofs)
+//     --tamper-certs  adversarial leg (implies --opt-tier): between
+//                     rounds, every certificate in the shared L2 has a
+//                     bit flipped; the ledger must show the trusted
+//                     checker rejecting them with the prover re-proving
+//                     every affected body
 //     --verify        exit nonzero unless the tiered run converges
 //                     monotonically and beats the baseline's final-round
-//                     p99 time-to-first-trace (implies the baseline run)
+//                     p99 time-to-first-trace (implies the baseline run).
+//                     With --opt-tier, additionally requires >= 90% of
+//                     verified promotion installs to be served by the
+//                     certificate check (no prover) and zero rejects;
+//                     with --tamper-certs, requires every tampered-cert
+//                     rejection to have been re-proved by the prover
+//                     (rejections > 0, proofs >= rejections, fill-time
+//                     self-checks caught tampered blobs) and no false
+//                     accepts to have surfaced as quarantines.
 //
 //===----------------------------------------------------------------------===//
 
@@ -64,6 +82,40 @@ void printReport(const char *Title, const FleetReport &Report) {
 
 uint64_t finalP99(const FleetReport &Report) {
   return Report.Rounds.empty() ? 0 : Report.Rounds.back().TtftP99;
+}
+
+/// Per-round proof-work ledger: who vouched for promoted bodies at
+/// prime time — the trusted checker (cheap) or the full prover.
+void printLedger(const FleetReport &Report) {
+  TablePrinter Table("proof-work ledger");
+  Table.addRow({"round", "certs checked", "rejected", "proofs replayed",
+                "cert-served"});
+  for (size_t I = 0; I != Report.Rounds.size(); ++I) {
+    const FleetRound &Round = Report.Rounds[I];
+    uint64_t Served = Round.CertsChecked - Round.CertChecksFailed;
+    uint64_t Work = Served + Round.ProofsReplayed;
+    Table.addRow(
+        {formatString("%zu", I + 1),
+         formatString("%llu", (unsigned long long)Round.CertsChecked),
+         formatString("%llu",
+                      (unsigned long long)Round.CertChecksFailed),
+         formatString("%llu", (unsigned long long)Round.ProofsReplayed),
+         Work ? formatString("%5.1f%%", 100.0 * double(Served) /
+                                            double(Work))
+              : std::string("-")});
+  }
+  Table.print();
+  std::printf("ledger: %llu cert check(s), %llu rejected, %llu full "
+              "re-proof(s); %.1f%% of verified installs cert-served; "
+              "%llu cert(s) tampered in L2; fill-time self-check %llu "
+              "checked / %llu rejected\n",
+              (unsigned long long)Report.CertsChecked,
+              (unsigned long long)Report.CertChecksFailed,
+              (unsigned long long)Report.ProofsReplayed,
+              100.0 * Report.certServedRatio(),
+              (unsigned long long)Report.CertsTampered,
+              (unsigned long long)Report.CertFillChecks,
+              (unsigned long long)Report.CertFillRejects);
 }
 
 } // namespace
@@ -120,6 +172,10 @@ int main(int Argc, char **Argv) {
       Jobs = N;
     } else if (Arg == "--no-baseline")
       Baseline = false;
+    else if (Arg == "--opt-tier")
+      Opts.OptTier = true;
+    else if (Arg == "--tamper-certs")
+      Opts.OptTier = Opts.TamperCerts = true;
     else if (Arg == "--verify")
       Verify = true;
     else if (Arg == "--help") {
@@ -127,7 +183,8 @@ int main(int Argc, char **Argv) {
           "usage: pcc-fleetsim [--machines N] [--rounds N] [--apps N]\n"
           "                    [--versions N] [--libraries N] [--zipf S]\n"
           "                    [--seed S] [--l1-quota B] [--l2-quota B]\n"
-          "                    [--jobs N] [--no-baseline] [--verify]\n");
+          "                    [--jobs N] [--no-baseline] [--opt-tier]\n"
+          "                    [--tamper-certs] [--verify]\n");
       return 0;
     } else {
       std::fprintf(stderr, "pcc-fleetsim: unknown argument %s\n",
@@ -167,6 +224,51 @@ int main(int Argc, char **Argv) {
               (unsigned long long)Tiered->L2Files,
               formatByteSize(Tiered->L2Bytes).c_str(),
               (unsigned long long)Tiered->RemoteFailures);
+  if (Opts.OptTier)
+    printLedger(*Tiered);
+
+  if (Verify && Opts.OptTier) {
+    if (Opts.TamperCerts) {
+      // Adversarial gate: tampering must have happened, the trusted
+      // checker must have rejected tampered certificates (soundness
+      // means a tampered blob can only be rejected — a pass would be a
+      // false accept, surfacing as a CertificateInvalid quarantine and
+      // a failed run), and every rejection must have been backstopped
+      // by a full re-proof. The fill-time self-check must have flagged
+      // tampered blobs on the way into machines' L1 tiers.
+      if (Tiered->CertsTampered == 0 ||
+          Tiered->CertChecksFailed == 0 ||
+          Tiered->ProofsReplayed < Tiered->CertChecksFailed ||
+          Tiered->CertFillRejects == 0) {
+        std::fprintf(
+            stderr,
+            "pcc-fleetsim: FAIL: tamper leg: %llu tampered, %llu "
+            "rejected, %llu re-proved, %llu fill rejects — expected "
+            "tampering, rejections, proofs >= rejections and fill-time "
+            "detection\n",
+            (unsigned long long)Tiered->CertsTampered,
+            (unsigned long long)Tiered->CertChecksFailed,
+            (unsigned long long)Tiered->ProofsReplayed,
+            (unsigned long long)Tiered->CertFillRejects);
+        return 1;
+      }
+    } else {
+      // Warm-fleet gate: with nobody tampering, the trusted checker
+      // must carry the verification load — >= 90% of verified
+      // promotion installs served without the prover, and zero
+      // rejects (a reject here would be a checker/prover divergence).
+      if (Tiered->certServedRatio() < 0.90 ||
+          Tiered->CertChecksFailed != 0) {
+        std::fprintf(
+            stderr,
+            "pcc-fleetsim: FAIL: proof-work ledger: %.1f%% cert-served "
+            "(want >= 90%%), %llu unexpected rejection(s)\n",
+            100.0 * Tiered->certServedRatio(),
+            (unsigned long long)Tiered->CertChecksFailed);
+        return 1;
+      }
+    }
+  }
 
   if (!Baseline)
     return 0;

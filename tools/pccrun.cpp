@@ -257,6 +257,12 @@ void printStats(const dbi::EngineStats &S) {
                 (unsigned long long)S.TracesVerified,
                 (unsigned long long)S.VerifyFailures,
                 (unsigned long long)S.FlagsElided);
+  if (S.CertsChecked != 0 || S.ProofsReplayed != 0)
+    std::printf("  certificates: %llu checked at prime (%llu rejected), "
+                "%llu full re-proof(s) by the validator\n",
+                (unsigned long long)S.CertsChecked,
+                (unsigned long long)S.CertChecksFailed,
+                (unsigned long long)S.ProofsReplayed);
   if (S.TracesPromoted != 0 || S.OptValidatorRejections != 0)
     std::printf("  optimization: %llu traces promoted, %llu "
                 "superblocks formed, %llu loads eliminated, %llu "
